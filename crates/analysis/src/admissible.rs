@@ -1,0 +1,1054 @@
+//! Well-typedness, well-formedness, monotone built-in conjunctions, and
+//! admissibility (Definitions 4.2–4.5, Lemma 4.1).
+//!
+//! A rule is **admissible** when
+//!
+//! 1. it is *well typed*: every aggregate application matches one of the
+//!    function's Figure-1 signatures on the declared cost domains;
+//! 2. it is *well formed* (Definition 4.2): no built-ins inside aggregates
+//!    (structural in our AST), only variables in CDB cost positions and
+//!    aggregate-result positions, and each CDB cost variable occurs at most
+//!    once among the non-built-in subgoals;
+//! 3. every CDB aggregate uses a monotonic function, or a pseudo-monotonic
+//!    one with all CDB conjunct predicates declared default-valued
+//!    (Definition 4.1's fixed-cardinality trick, as in circuit Example 4.4);
+//! 4. the conjunction `E_r` of built-in subgoals is monotone
+//!    (Definition 4.4), which we establish with a sufficient
+//!    direction-analysis: classify every variable as *fixed* or *rising*
+//!    (weakly increasing numerically up or down as `J` grows) and check
+//!    that every comparison is upward-closed and that the head cost
+//!    variable's defining expression moves in its domain's direction.
+//!
+//! Additionally (Section 6.3's closing remark) a monotonic component may
+//! not negate its own predicates; we fold that into the admissibility
+//! verdict.
+//!
+//! By Lemma 4.1, a program whose rules are all admissible is monotonic, so
+//! `T_P` has a least fixpoint and the engine's bottom-up iteration computes
+//! the unique minimal model.
+
+use maglog_datalog::{
+    graph::{components, Component as SccComponent},
+    AggFunc, Aggregate, Atom, BinOp, CmpOp, Const, DomainSpec, Expr, Literal, Pred, Program,
+    Rule, Term, Var,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// One admissibility signature of an aggregate function: apply it to
+/// multisets over `domain` (``None`` = any domain / implicit boolean) and
+/// get results in `range`; `monotonic` distinguishes monotonic from merely
+/// pseudo-monotonic structures (Definition 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggSig {
+    pub domain: Option<DomainSpec>,
+    pub range: DomainSpec,
+    pub monotonic: bool,
+}
+
+/// The Figure-1 signatures (monotonic rows) plus the pseudo-monotonic
+/// structures discussed in Section 4.1.1.
+pub fn signatures(func: AggFunc) -> &'static [AggSig] {
+    use DomainSpec::*;
+    macro_rules! sigs {
+        ($( ($domain:expr, $range:expr, $mono:expr) ),+ $(,)?) => {{
+            const S: &[AggSig] = &[
+                $(AggSig { domain: $domain, range: $range, monotonic: $mono }),+
+            ];
+            S
+        }};
+    }
+    match func {
+        AggFunc::Min => sigs![
+            (Some(MinReal), MinReal, true),
+            (Some(MaxReal), MaxReal, false),
+            (Some(NonNegReal), NonNegReal, false),
+        ],
+        AggFunc::Max => sigs![
+            (Some(MaxReal), MaxReal, true),
+            (Some(NonNegReal), NonNegReal, true),
+            (Some(Nat), Nat, true),
+            (Some(MinReal), MinReal, false),
+        ],
+        AggFunc::Sum => sigs![
+            (Some(NonNegReal), NonNegReal, true),
+            (Some(Nat), Nat, true),
+        ],
+        AggFunc::Count => sigs![(None, Nat, true)],
+        AggFunc::Product => sigs![(Some(PosNat), PosNat, true)],
+        AggFunc::And => sigs![
+            (Some(BoolAnd), BoolAnd, true),
+            (Some(BoolOr), BoolOr, false),
+        ],
+        AggFunc::Or => sigs![
+            (Some(BoolOr), BoolOr, true),
+            (Some(BoolAnd), BoolAnd, false),
+        ],
+        AggFunc::Union => sigs![(Some(SetUnion), SetUnion, true)],
+        AggFunc::Intersect => sigs![(Some(SetIntersect), SetIntersect, true)],
+        AggFunc::Avg => sigs![
+            (Some(MaxReal), MaxReal, false),
+            (Some(NonNegReal), NonNegReal, false),
+            (Some(MinReal), MinReal, false),
+        ],
+        AggFunc::HalfSum => sigs![(Some(NonNegReal), NonNegReal, true)],
+    }
+}
+
+/// May a value from `from` flow into a position typed `to` while keeping
+/// "rises in `from`" implying "rises in `to`"? Identity, or widening along
+/// the `≤`-ordered numeric chain `PosNat/Nat ⊆ NonNegReal ⊆ MaxReal`.
+pub fn flows_into(from: DomainSpec, to: DomainSpec) -> bool {
+    use DomainSpec::*;
+    if from == to {
+        return true;
+    }
+    matches!(
+        (from, to),
+        (Nat, NonNegReal)
+            | (Nat, MaxReal)
+            | (PosNat, Nat)
+            | (PosNat, NonNegReal)
+            | (PosNat, MaxReal)
+            | (NonNegReal, MaxReal)
+    )
+}
+
+/// A problem preventing admissibility.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmissibilityIssue {
+    pub rule_index: usize,
+    pub message: String,
+}
+
+/// Analysis verdict for one program component.
+#[derive(Clone, Debug)]
+pub struct ComponentReport {
+    /// Predicates of the component (its CDB).
+    pub preds: BTreeSet<Pred>,
+    /// Rule indices (into `program.rules`).
+    pub rule_indices: Vec<usize>,
+    pub recursive_aggregation: bool,
+    pub recursive_negation: bool,
+    pub issues: Vec<AdmissibilityIssue>,
+}
+
+impl ComponentReport {
+    pub fn admissible(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Check every component of the program (Definition 4.5 per rule, relative
+/// to that component's CDB).
+pub fn admissibility_report(program: &Program) -> Vec<ComponentReport> {
+    components(program)
+        .into_iter()
+        .map(|c| check_component(program, &c))
+        .collect()
+}
+
+fn check_component(program: &Program, component: &SccComponent) -> ComponentReport {
+    let cdb = &component.preds;
+    let mut issues = Vec::new();
+    for &i in &component.rule_indices {
+        let rule = &program.rules[i];
+        for message in check_rule(program, cdb, rule) {
+            issues.push(AdmissibilityIssue {
+                rule_index: i,
+                message,
+            });
+        }
+    }
+    ComponentReport {
+        preds: component.preds.clone(),
+        rule_indices: component.rule_indices.clone(),
+        recursive_aggregation: component.recursive_aggregation,
+        recursive_negation: component.recursive_negation,
+        issues,
+    }
+}
+
+/// All admissibility problems of a single rule relative to a CDB.
+pub fn check_rule(program: &Program, cdb: &BTreeSet<Pred>, rule: &Rule) -> Vec<String> {
+    let mut issues = Vec::new();
+
+    // --- No negation on CDB predicates. ---
+    for lit in &rule.body {
+        if let Literal::Neg(a) = lit {
+            if cdb.contains(&a.pred) {
+                issues.push(format!(
+                    "negative subgoal on component predicate {} breaks monotonicity",
+                    program.pred_name(a.pred)
+                ));
+            }
+        }
+    }
+
+    // --- Well-formedness (Definition 4.2). ---
+    issues.extend(well_formed_issues(program, cdb, rule));
+
+    // --- Well-typedness + per-aggregate monotonicity conditions. ---
+    let mut typings: HashMap<usize, AggSig> = HashMap::new();
+    for (idx, lit) in rule.body.iter().enumerate() {
+        let Literal::Agg(agg) = lit else { continue };
+        let is_ldb_agg = !agg.conjuncts.iter().any(|a| cdb.contains(&a.pred));
+        if is_ldb_agg {
+            // LDB aggregates run over a fixed relation: monotonicity is
+            // irrelevant, only carrier compatibility matters (e.g.
+            // `intersect` over ⊆-ordered set values is fine here).
+            if let Err(msg) = type_ldb_aggregate(program, agg) {
+                issues.push(msg);
+            }
+            continue;
+        }
+        match type_aggregate(program, agg) {
+            Ok(sig) => {
+                typings.insert(idx, sig);
+                let is_cdb_agg = true;
+                if is_cdb_agg && !sig.monotonic {
+                    // Pseudo-monotonic escape hatch: every CDB conjunct must
+                    // be a default-value cost predicate.
+                    let all_default = agg
+                        .conjuncts
+                        .iter()
+                        .filter(|a| cdb.contains(&a.pred))
+                        .all(|a| program.has_default(a.pred));
+                    if !all_default {
+                        issues.push(format!(
+                            "aggregate '{}' is only pseudo-monotonic here, which requires \
+                             every component predicate inside it to be a default-value \
+                             cost predicate",
+                            agg.func.name()
+                        ));
+                    }
+                }
+            }
+            Err(msg) => issues.push(msg),
+        }
+    }
+
+    // --- Head cost flow + E_r monotonicity. ---
+    issues.extend(er_monotonicity_issues(program, cdb, rule, &typings));
+
+    issues
+}
+
+fn well_formed_issues(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule: &Rule,
+) -> Vec<String> {
+    let mut issues = Vec::new();
+
+    // Condition 2: only variables in cost arguments of CDB predicates and
+    // in aggregate-result positions.
+    let check_cost_is_var = |atom: &Atom, issues: &mut Vec<String>| {
+        if cdb.contains(&atom.pred) && program.is_cost_pred(atom.pred) {
+            if let Some(Term::Const(c)) = atom.cost_arg(true) {
+                issues.push(format!(
+                    "constant {} in the cost argument of component predicate {} \
+                     (rewrite with an explicit builtin, e.g. `C = {}`)",
+                    program.display_const(c),
+                    program.pred_name(atom.pred),
+                    program.display_const(c),
+                ));
+            }
+        }
+    };
+    check_cost_is_var(&rule.head, &mut issues);
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => check_cost_is_var(a, &mut issues),
+            Literal::Agg(agg) => {
+                for a in &agg.conjuncts {
+                    check_cost_is_var(a, &mut issues);
+                }
+                if matches!(agg.result, Term::Const(_)) {
+                    issues.push(
+                        "constant aggregate result makes the subgoal a nonmonotonic test \
+                         (the Section 3 two-minimal-models program); use a variable and a \
+                         comparison instead"
+                            .to_string(),
+                    );
+                }
+            }
+            Literal::Builtin(_) => {}
+        }
+    }
+
+    // Condition 3: each CDB cost variable occurs at most once among the
+    // non-built-in subgoals.
+    let mut occurrences: HashMap<Var, usize> = HashMap::new();
+    let cdb_cost_vars = cdb_cost_vars(program, cdb, rule);
+    let count = |v: Var, occurrences: &mut HashMap<Var, usize>| {
+        if cdb_cost_vars.contains(&v) {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+    };
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                for v in a.vars() {
+                    count(v, &mut occurrences);
+                }
+            }
+            Literal::Agg(agg) => {
+                if let Term::Var(v) = agg.result {
+                    count(v, &mut occurrences);
+                }
+                // Per Definition 4.2's technical note, the multiset
+                // variable's occurrence immediately after the aggregate
+                // function is ignored; occurrences inside the conjunction
+                // count.
+                for a in &agg.conjuncts {
+                    for v in a.vars() {
+                        count(v, &mut occurrences);
+                    }
+                }
+            }
+            Literal::Builtin(_) => {}
+        }
+    }
+    for (v, n) in occurrences {
+        if n > 1 {
+            issues.push(format!(
+                "CDB cost variable {} occurs {n} times among non-built-in subgoals \
+                 (well-formedness allows one)",
+                program.var_name(v)
+            ));
+        }
+    }
+
+    issues
+}
+
+/// The CDB cost variables of a rule body: variables in cost arguments of
+/// CDB atoms (positive, negative, or inside aggregates) and result
+/// variables of CDB aggregates.
+fn cdb_cost_vars(program: &Program, cdb: &BTreeSet<Pred>, rule: &Rule) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                if cdb.contains(&a.pred) {
+                    if let Some(Term::Var(v)) = a.cost_arg(program.is_cost_pred(a.pred)) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Literal::Agg(agg) => {
+                let is_cdb_agg = agg.conjuncts.iter().any(|a| cdb.contains(&a.pred));
+                if is_cdb_agg {
+                    if let Term::Var(v) = agg.result {
+                        out.insert(v);
+                    }
+                }
+                for a in &agg.conjuncts {
+                    if cdb.contains(&a.pred) {
+                        if let Some(Term::Var(v)) =
+                            a.cost_arg(program.is_cost_pred(a.pred))
+                        {
+                            out.insert(*v);
+                        }
+                    }
+                }
+            }
+            Literal::Builtin(_) => {}
+        }
+    }
+    out
+}
+
+/// The value carrier of a domain or function — the looser compatibility
+/// notion used for LDB aggregates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Carrier {
+    Num,
+    Bool,
+    Set,
+}
+
+fn domain_carrier(d: DomainSpec) -> Carrier {
+    use DomainSpec::*;
+    match d {
+        MaxReal | MinReal | NonNegReal | Nat | PosNat => Carrier::Num,
+        BoolOr | BoolAnd => Carrier::Bool,
+        SetUnion | SetIntersect => Carrier::Set,
+    }
+}
+
+fn func_carrier(func: AggFunc) -> Option<Carrier> {
+    Some(match func {
+        AggFunc::Min
+        | AggFunc::Max
+        | AggFunc::Sum
+        | AggFunc::Product
+        | AggFunc::Avg
+        | AggFunc::HalfSum => Carrier::Num,
+        AggFunc::And | AggFunc::Or => Carrier::Bool,
+        AggFunc::Union | AggFunc::Intersect => Carrier::Set,
+        AggFunc::Count => return None, // applies to anything
+    })
+}
+
+/// Loose typing for LDB aggregates: the function must merely be applicable
+/// to the aggregated cost values.
+fn type_ldb_aggregate(program: &Program, agg: &Aggregate) -> Result<(), String> {
+    let Some(e) = agg.multiset_var else {
+        return Ok(()); // implicit-boolean count
+    };
+    let Some(want) = func_carrier(agg.func) else {
+        return Ok(());
+    };
+    for a in &agg.conjuncts {
+        let has_cost = program.is_cost_pred(a.pred);
+        if a.cost_arg(has_cost) == Some(&Term::Var(e)) {
+            if let Some(spec) = program.cost_spec(a.pred) {
+                let got = domain_carrier(spec.domain);
+                if got != want {
+                    return Err(format!(
+                        "aggregate '{}' applied to {} values of {}",
+                        agg.func.name(),
+                        match got {
+                            Carrier::Num => "numeric",
+                            Carrier::Bool => "boolean",
+                            Carrier::Set => "set",
+                        },
+                        program.pred_name(a.pred)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the aggregate's typing against the declared cost domains.
+fn type_aggregate(program: &Program, agg: &Aggregate) -> Result<AggSig, String> {
+    let sigs = signatures(agg.func);
+    let Some(e) = agg.multiset_var else {
+        // Implicit-boolean aggregation (count).
+        return Ok(sigs[0]);
+    };
+    // The domains of the cost arguments where E occurs must agree.
+    let mut domain: Option<DomainSpec> = None;
+    for a in &agg.conjuncts {
+        let has_cost = program.is_cost_pred(a.pred);
+        if a.cost_arg(has_cost) == Some(&Term::Var(e)) {
+            let d = program
+                .cost_spec(a.pred)
+                .map(|c| c.domain)
+                .ok_or_else(|| {
+                    format!(
+                        "aggregated predicate {} has no declared cost domain",
+                        program.pred_name(a.pred)
+                    )
+                })?;
+            match domain {
+                None => domain = Some(d),
+                Some(prev) if prev != d => {
+                    return Err(format!(
+                        "aggregate '{}' mixes cost domains {} and {}",
+                        agg.func.name(),
+                        prev.name(),
+                        d.name()
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let d = domain.ok_or_else(|| {
+        "multiset variable does not occur in any declared cost argument".to_string()
+    })?;
+    sigs.iter()
+        .find(|s| s.domain == Some(d) || s.domain.is_none())
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "aggregate '{}' is not (pseudo-)monotonic on domain {} \
+                 (no Figure-1 signature matches)",
+                agg.func.name(),
+                d.name()
+            )
+        })
+}
+
+/// Numeric direction of a value as `J` grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    /// Identical under both assignments.
+    Fixed,
+    /// Weakly increases numerically.
+    Up,
+    /// Weakly decreases numerically.
+    Down,
+    Unknown,
+}
+
+impl Dir {
+    fn flip(self) -> Dir {
+        match self {
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+            other => other,
+        }
+    }
+}
+
+/// Direction plus a known-nonnegative flag (needed for multiplication).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct DirInfo {
+    dir: Dir,
+    nonneg: bool,
+}
+
+fn domain_dir(d: DomainSpec) -> Dir {
+    if d.is_reversed() {
+        Dir::Down
+    } else {
+        Dir::Up
+    }
+}
+
+fn domain_nonneg(d: DomainSpec) -> bool {
+    matches!(
+        d,
+        DomainSpec::NonNegReal
+            | DomainSpec::Nat
+            | DomainSpec::PosNat
+            | DomainSpec::BoolOr
+            | DomainSpec::BoolAnd
+    )
+}
+
+/// Check Definition 4.4 (monotone `E_r`) with a sufficient direction
+/// analysis, and check that the head cost variable moves in its domain's
+/// direction.
+fn er_monotonicity_issues(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule: &Rule,
+    agg_typings: &HashMap<usize, AggSig>,
+) -> Vec<String> {
+    let mut issues = Vec::new();
+
+    // Classification of variables appearing in non-built-in subgoals.
+    let mut info: HashMap<Var, DirInfo> = HashMap::new();
+    for (idx, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                let has_cost = program.is_cost_pred(a.pred);
+                for (i, t) in a.args.iter().enumerate() {
+                    let Term::Var(v) = t else { continue };
+                    let is_cost_pos = has_cost && i + 1 == a.args.len();
+                    if is_cost_pos && cdb.contains(&a.pred) {
+                        let d = program.cost_spec(a.pred).expect("cost pred").domain;
+                        info.insert(
+                            *v,
+                            DirInfo {
+                                dir: domain_dir(d),
+                                nonneg: domain_nonneg(d),
+                            },
+                        );
+                    } else {
+                        info.entry(*v).or_insert(DirInfo {
+                            dir: Dir::Fixed,
+                            nonneg: false,
+                        });
+                    }
+                }
+            }
+            Literal::Agg(agg) => {
+                if let Term::Var(v) = agg.result {
+                    let is_cdb_agg = agg.conjuncts.iter().any(|a| cdb.contains(&a.pred));
+                    if is_cdb_agg {
+                        let range = agg_typings
+                            .get(&idx)
+                            .map(|s| s.range)
+                            .unwrap_or(DomainSpec::MaxReal);
+                        info.insert(
+                            v,
+                            DirInfo {
+                                dir: domain_dir(range),
+                                nonneg: domain_nonneg(range),
+                            },
+                        );
+                    } else {
+                        info.insert(
+                            v,
+                            DirInfo {
+                                dir: Dir::Fixed,
+                                nonneg: false,
+                            },
+                        );
+                    }
+                }
+                for a in &agg.conjuncts {
+                    for t in a.key_args(program.is_cost_pred(a.pred)) {
+                        if let Term::Var(v) = t {
+                            info.entry(*v).or_insert(DirInfo {
+                                dir: Dir::Fixed,
+                                nonneg: false,
+                            });
+                        }
+                    }
+                }
+            }
+            Literal::Builtin(_) => {}
+        }
+    }
+
+    // Iteratively classify variables defined by equations, then check all
+    // built-in subgoals.
+    let builtins: Vec<&maglog_datalog::Builtin> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Builtin(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+
+    let mut defined_by_eq: BTreeSet<usize> = BTreeSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (bi, b) in builtins.iter().enumerate() {
+            if b.op != CmpOp::Eq || defined_by_eq.contains(&bi) {
+                continue;
+            }
+            // `V = e` (or `e = V`) where V is not yet classified and all of
+            // e's variables are: define V.
+            let try_define = |target: &Expr,
+                              source: &Expr,
+                              info: &mut HashMap<Var, DirInfo>|
+             -> Option<bool> {
+                let v = target.as_var()?;
+                if info.contains_key(&v) {
+                    return None;
+                }
+                let src = expr_dir(source, info)?;
+                info.insert(v, src);
+                Some(true)
+            };
+            let defined = try_define(&b.lhs, &b.rhs, &mut info)
+                .or_else(|| try_define(&b.rhs, &b.lhs, &mut info));
+            if defined.is_some() {
+                defined_by_eq.insert(bi);
+                changed = true;
+            }
+        }
+    }
+
+    // Every built-in not consumed as a definition must be upward-closed.
+    for (bi, b) in builtins.iter().enumerate() {
+        if defined_by_eq.contains(&bi) {
+            continue;
+        }
+        let l = expr_dir(&b.lhs, &info);
+        let r = expr_dir(&b.rhs, &info);
+        let (Some(l), Some(r)) = (l, r) else {
+            issues.push(format!(
+                "built-in subgoal {} involves unclassifiable variables",
+                program.display_literal(&Literal::Builtin((*b).clone()))
+            ));
+            continue;
+        };
+        let ok = match b.op {
+            CmpOp::Eq | CmpOp::Ne => l.dir == Dir::Fixed && r.dir == Dir::Fixed,
+            CmpOp::Lt | CmpOp::Le => {
+                matches!(l.dir, Dir::Down | Dir::Fixed) && matches!(r.dir, Dir::Up | Dir::Fixed)
+            }
+            CmpOp::Gt | CmpOp::Ge => {
+                matches!(l.dir, Dir::Up | Dir::Fixed) && matches!(r.dir, Dir::Down | Dir::Fixed)
+            }
+        };
+        if !ok {
+            issues.push(format!(
+                "built-in subgoal {} is not monotone: its truth can be lost as \
+                 component cost values grow",
+                program.display_literal(&Literal::Builtin((*b).clone()))
+            ));
+        }
+    }
+
+    // The head cost variable must move in the head domain's direction.
+    if let Some(spec) = program.cost_spec(rule.head.pred) {
+        if let Some(Term::Var(v)) = rule.head.cost_arg(true) {
+            match info.get(v) {
+                None => {
+                    // Not bound anywhere classifiable (range restriction
+                    // will have its own complaint); treat as unknown here.
+                    issues.push(format!(
+                        "head cost variable {} has no classifiable definition",
+                        program.var_name(*v)
+                    ));
+                }
+                Some(di) => {
+                    let want = domain_dir(spec.domain);
+                    let ok = di.dir == Dir::Fixed || di.dir == want;
+                    if !ok {
+                        issues.push(format!(
+                            "head cost variable {} moves {:?} but the head domain {} \
+                             requires {:?}",
+                            program.var_name(*v),
+                            di.dir,
+                            spec.domain.name(),
+                            want
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    issues
+}
+
+/// Direction of an expression given variable classifications; `None` when a
+/// variable is unclassified.
+fn expr_dir(e: &Expr, info: &HashMap<Var, DirInfo>) -> Option<DirInfo> {
+    Some(match e {
+        Expr::Term(Term::Const(Const::Num(n))) => DirInfo {
+            dir: Dir::Fixed,
+            nonneg: n.get() >= 0.0,
+        },
+        Expr::Term(Term::Const(Const::Sym(_))) => DirInfo {
+            dir: Dir::Fixed,
+            nonneg: false,
+        },
+        Expr::Term(Term::Var(v)) => *info.get(v)?,
+        Expr::Neg(inner) => {
+            let i = expr_dir(inner, info)?;
+            DirInfo {
+                dir: i.dir.flip(),
+                nonneg: false,
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let li = expr_dir(l, info)?;
+            let ri = expr_dir(r, info)?;
+            match op {
+                BinOp::Add => DirInfo {
+                    dir: combine_add(li.dir, ri.dir),
+                    nonneg: li.nonneg && ri.nonneg,
+                },
+                BinOp::Sub => DirInfo {
+                    dir: combine_add(li.dir, ri.dir.flip()),
+                    nonneg: false,
+                },
+                BinOp::Mul => mul_dir(e, li, ri, l, r),
+                BinOp::Div => div_dir(li, ri, r),
+                // min/max are monotone in both arguments: directions
+                // combine like addition (mixed Up/Down is unknown).
+                BinOp::Min | BinOp::Max => DirInfo {
+                    dir: combine_add(li.dir, ri.dir),
+                    nonneg: match op {
+                        BinOp::Min => li.nonneg && ri.nonneg,
+                        _ => li.nonneg || ri.nonneg,
+                    },
+                },
+            }
+        }
+    })
+}
+
+fn combine_add(a: Dir, b: Dir) -> Dir {
+    use Dir::*;
+    match (a, b) {
+        (Fixed, d) | (d, Fixed) => d,
+        (Up, Up) => Up,
+        (Down, Down) => Down,
+        _ => Unknown,
+    }
+}
+
+fn literal_value(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Term(Term::Const(Const::Num(n))) => Some(n.get()),
+        Expr::Neg(inner) => literal_value(inner).map(|v| -v),
+        _ => None,
+    }
+}
+
+fn mul_dir(_whole: &Expr, li: DirInfo, ri: DirInfo, l: &Expr, r: &Expr) -> DirInfo {
+    // Literal constant factor: scale/flip the other side's direction.
+    if let Some(c) = literal_value(l) {
+        return scale_by_const(ri, c);
+    }
+    if let Some(c) = literal_value(r) {
+        return scale_by_const(li, c);
+    }
+    if li.dir == Dir::Fixed && ri.dir == Dir::Fixed {
+        return DirInfo {
+            dir: Dir::Fixed,
+            nonneg: li.nonneg && ri.nonneg,
+        };
+    }
+    // Both sides known nonnegative: directions compose when compatible.
+    if li.nonneg && ri.nonneg {
+        let dir = match (li.dir, ri.dir) {
+            (Dir::Up | Dir::Fixed, Dir::Up | Dir::Fixed) => Dir::Up,
+            (Dir::Down | Dir::Fixed, Dir::Down | Dir::Fixed) => Dir::Down,
+            _ => Dir::Unknown,
+        };
+        return DirInfo { dir, nonneg: true };
+    }
+    DirInfo {
+        dir: Dir::Unknown,
+        nonneg: false,
+    }
+}
+
+fn scale_by_const(side: DirInfo, c: f64) -> DirInfo {
+    let dir = if c > 0.0 {
+        side.dir
+    } else if c == 0.0 {
+        Dir::Fixed
+    } else {
+        side.dir.flip()
+    };
+    DirInfo {
+        dir,
+        nonneg: side.nonneg && c >= 0.0,
+    }
+}
+
+fn div_dir(li: DirInfo, _ri: DirInfo, r: &Expr) -> DirInfo {
+    if let Some(c) = literal_value(r) {
+        if c != 0.0 {
+            return DirInfo {
+                dir: if c > 0.0 { li.dir } else { li.dir.flip() },
+                nonneg: li.nonneg && c > 0.0,
+            };
+        }
+    }
+    DirInfo {
+        dir: Dir::Unknown,
+        nonneg: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn all_admissible(src: &str) -> (bool, Vec<String>) {
+        let p = parse_program(src).unwrap();
+        let reports = admissibility_report(&p);
+        let issues: Vec<String> = reports
+            .iter()
+            .flat_map(|r| r.issues.iter().map(|i| i.message.clone()))
+            .collect();
+        (issues.is_empty(), issues)
+    }
+
+    #[test]
+    fn shortest_path_is_admissible() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn company_control_is_admissible() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn party_is_admissible_despite_k() {
+        // Example 4.3: `N >= K` is fine because K is not a CDB cost var.
+        let (ok, issues) = all_admissible(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn circuit_with_defaults_is_admissible() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn circuit_without_default_is_rejected() {
+        // Example 4.4's discussion: without the default declaration the AND
+        // aggregate loses pseudo-monotonicity.
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred t/2 cost bool_or.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#,
+        );
+        assert!(!ok);
+        assert!(
+            issues.iter().any(|m| m.contains("pseudo-monotonic")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn section_3_nonmono_program_is_rejected() {
+        // p(a) :- 1 =r count : q(X). — constant aggregate result.
+        let (ok, issues) = all_admissible(
+            r#"
+            p(b).
+            q(b).
+            p(a) :- C =r count : q(X), C = 1.
+            q(a) :- C =r count : p(X), C = 1.
+            "#,
+        );
+        assert!(!ok);
+        assert!(issues.iter().any(|m| m.contains("not monotone")), "{issues:?}");
+    }
+
+    #[test]
+    fn wrong_direction_comparison_is_rejected() {
+        // N < 0.5 with N a growing CDB sum: truth can be lost.
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred cv/4 cost nonneg_real.
+            declare pred s/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            c(X, Y) :- N =r sum M : cv(X, Z, Y, M), N < 0.5.
+            "#,
+        );
+        assert!(!ok);
+        assert!(issues.iter().any(|m| m.contains("not monotone")), "{issues:?}");
+    }
+
+    #[test]
+    fn min_aggregate_on_max_domain_is_pseudo_and_gated() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost max_real.
+            declare pred q/2 cost max_real.
+            p(X, C) :- C =r min D : q(X, D).
+            q(X, C) :- p(X, C).
+            "#,
+        );
+        assert!(!ok);
+        assert!(
+            issues.iter().any(|m| m.contains("pseudo-monotonic")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn sum_on_min_domain_has_no_signature() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost min_real.
+            declare pred q/2 cost min_real.
+            p(X, C) :- C =r sum D : q(X, D).
+            q(X, C) :- p(X, C).
+            "#,
+        );
+        assert!(!ok);
+        assert!(
+            issues.iter().any(|m| m.contains("no Figure-1 signature")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_cdb_cost_var_is_rejected() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost max_real.
+            p(X, C) :- p(Y, C), e(Y, X).
+            "#,
+        );
+        // C occurs once in subgoals (p(Y,C)) so this is fine; make a true
+        // violation: C used twice.
+        let _ = (ok, issues);
+        let (ok2, issues2) = all_admissible(
+            r#"
+            declare pred p/2 cost max_real.
+            declare pred q/2 cost max_real.
+            p(X, C) :- p(Y, C), q(X, C), e(Y, X).
+            "#,
+        );
+        assert!(!ok2);
+        assert!(
+            issues2.iter().any(|m| m.contains("occurs 2 times")),
+            "{issues2:?}"
+        );
+    }
+
+    #[test]
+    fn halfsum_is_monotonic_on_nonneg() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            p(a, C) :- C =r halfsum D : p(X, D).
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn halfsum_direction_via_division_builtin() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            declare pred q/2 cost nonneg_real.
+            p(a, C) :- S =r sum D : q(X, D), C = S / 2.
+            q(X, C) :- p(X, C).
+            "#,
+        );
+        assert!(ok, "{issues:?}");
+    }
+
+    #[test]
+    fn subtraction_of_rising_value_is_rejected() {
+        let (ok, issues) = all_admissible(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            declare pred q/2 cost nonneg_real.
+            p(X, C) :- q(X, D), C = 1 - D.
+            q(X, C) :- p(X, C).
+            "#,
+        );
+        assert!(!ok);
+        assert!(
+            issues.iter().any(|m| m.contains("head cost variable")),
+            "{issues:?}"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Conflict-freedom (Definition 2.10, Lemma 2.3).
+//!
+//! A program is conflict-free if every rule is cost-respecting
+//! (Definition 2.7) and, for every pair of rules whose heads — restricted
+//! to the non-cost arguments — unify with MGU `θ`, either a containment
+//! mapping exists between `r1θ` and `r2θ` (in one direction or the other)
+//! or the conjunction of both bodies contains an instance of a declared
+//! integrity constraint. Lemma 2.3: conflict-free ⇒ cost-consistent, i.e.
+//! `T_P` never derives two atoms differing only in their cost argument.
+
+use crate::containment::containment_mapping_exists;
+use crate::cost_respect::is_cost_respecting;
+use crate::unify::{contains_constraint_instance, rename_apart, unify_heads_noncost};
+use maglog_datalog::{Literal, Program};
+
+/// One conflict-freedom violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConflictIssue {
+    /// A rule is not cost-respecting.
+    NotCostRespecting { rule_index: usize },
+    /// A pair of rules with unifiable heads has neither a containment
+    /// mapping nor an integrity-constraint refutation.
+    UnresolvedPair {
+        rule_a: usize,
+        rule_b: usize,
+    },
+}
+
+impl ConflictIssue {
+    pub fn describe(&self, program: &Program) -> String {
+        match self {
+            ConflictIssue::NotCostRespecting { rule_index } => format!(
+                "rule {} is not cost-respecting: {}",
+                rule_index,
+                program.display_rule(&program.rules[*rule_index])
+            ),
+            ConflictIssue::UnresolvedPair { rule_a, rule_b } => format!(
+                "rules {rule_a} and {rule_b} may derive conflicting costs: {} / {}",
+                program.display_rule(&program.rules[*rule_a]),
+                program.display_rule(&program.rules[*rule_b])
+            ),
+        }
+    }
+}
+
+/// Result of the conflict-freedom analysis.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictReport {
+    pub issues: Vec<ConflictIssue>,
+}
+
+impl ConflictReport {
+    pub fn is_conflict_free(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Run the full Definition 2.10 check.
+pub fn conflict_free_report(program: &Program) -> ConflictReport {
+    let mut issues = Vec::new();
+
+    for (i, rule) in program.rules.iter().enumerate() {
+        if !is_cost_respecting(program, rule) {
+            issues.push(ConflictIssue::NotCostRespecting { rule_index: i });
+        }
+    }
+
+    // Pairs of distinct rules defining the same *cost* predicate.
+    for i in 0..program.rules.len() {
+        for j in (i + 1)..program.rules.len() {
+            let r1 = &program.rules[i];
+            if r1.head.pred != program.rules[j].head.pred {
+                continue;
+            }
+            if !program.is_cost_pred(r1.head.pred) {
+                // Rules without cost arguments cannot conflict on costs
+                // (the paper's Example 4.3 remark).
+                continue;
+            }
+            let r2 = rename_apart(program, &program.rules[j], "__r2");
+            let Some(theta) = unify_heads_noncost(program, r1, &r2) else {
+                continue;
+            };
+            let r1t = theta.apply_rule(r1);
+            let r2t = theta.apply_rule(&r2);
+            if containment_mapping_exists(&r1t, &r2t)
+                || containment_mapping_exists(&r2t, &r1t)
+            {
+                continue;
+            }
+            let combined: Vec<Literal> = r1t
+                .body
+                .iter()
+                .chain(r2t.body.iter())
+                .cloned()
+                .collect();
+            let refuted = program
+                .constraints
+                .iter()
+                .any(|c| contains_constraint_instance(c, &combined));
+            if !refuted {
+                issues.push(ConflictIssue::UnresolvedPair {
+                    rule_a: i,
+                    rule_b: j,
+                });
+            }
+        }
+    }
+
+    ConflictReport { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn report(src: &str) -> ConflictReport {
+        conflict_free_report(&parse_program(src).unwrap())
+    }
+
+    const SHORTEST_PATH: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    #[test]
+    fn shortest_path_is_conflict_free_with_constraint() {
+        assert!(report(SHORTEST_PATH).is_conflict_free());
+    }
+
+    #[test]
+    fn shortest_path_without_constraint_is_flagged() {
+        let src = SHORTEST_PATH.replace("constraint :- arc(direct, Z, C).", "");
+        let r = report(&src);
+        assert!(!r.is_conflict_free());
+        assert!(matches!(
+            r.issues[0],
+            ConflictIssue::UnresolvedPair { rule_a: 0, rule_b: 1 }
+        ));
+    }
+
+    #[test]
+    fn company_control_is_conflict_free() {
+        let r = report(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        );
+        assert!(r.is_conflict_free(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn section_2_4_incompatible_min_sum_rules() {
+        // Two rules defining p(X, C) by different aggregates over
+        // overlapping groups: incompatible (Section 2.4's first example).
+        let r = report(
+            r#"
+            declare pred q/2 cost min_real.
+            declare pred r/2 cost min_real.
+            declare pred p/2 cost min_real.
+            p(X, C) :- C =r min D : q(X, D).
+            p(X, C) :- C =r sum D : r(X, D).
+            "#,
+        );
+        assert!(!r.is_conflict_free());
+    }
+
+    #[test]
+    fn non_cost_respecting_rule_is_flagged() {
+        let r = report(
+            r#"
+            declare pred q/3 cost max_real.
+            declare pred p/2 cost max_real.
+            p(X, C) :- q(X, Y, C).
+            "#,
+        );
+        assert_eq!(
+            r.issues,
+            vec![ConflictIssue::NotCostRespecting { rule_index: 0 }]
+        );
+    }
+
+    #[test]
+    fn circuit_with_gate_constraints_is_conflict_free() {
+        let r = report(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            constraint :- gate(G, or), gate(G, and).
+            constraint :- gate(G, T), input(G, C).
+            "#,
+        );
+        assert!(r.is_conflict_free(), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn circuit_without_disjointness_constraints_is_flagged() {
+        let r = report(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#,
+        );
+        assert!(!r.is_conflict_free());
+    }
+
+    #[test]
+    fn non_cost_heads_never_conflict() {
+        let r = report(
+            r#"
+            coming(X) :- invited(X).
+            coming(X) :- host(X).
+            "#,
+        );
+        assert!(r.is_conflict_free());
+    }
+
+    #[test]
+    fn disjoint_head_constants_do_not_conflict() {
+        let r = report(
+            r#"
+            declare pred p/2 cost max_real.
+            declare pred q/1 cost max_real.
+            declare pred r/1 cost max_real.
+            p(a, C) :- q(C).
+            p(b, C) :- r(C).
+            "#,
+        );
+        assert!(r.is_conflict_free(), "{:?}", r.issues);
+    }
+}

@@ -1,0 +1,121 @@
+//! Functional dependencies and Armstrong closure.
+//!
+//! Definition 2.7 decides whether a rule is *cost-respecting* by inferring
+//! the dependency "head non-cost variables → head cost variable" from the
+//! body's FDs using Armstrong's axioms. Armstrong inference reduces to
+//! attribute-set closure, implemented here over rule variables.
+
+use maglog_datalog::Var;
+use std::collections::BTreeSet;
+
+/// A functional dependency `lhs → rhs` over rule variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    pub lhs: BTreeSet<Var>,
+    pub rhs: BTreeSet<Var>,
+}
+
+impl Fd {
+    pub fn new<L, R>(lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator<Item = Var>,
+        R: IntoIterator<Item = Var>,
+    {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
+    }
+}
+
+/// The closure of `attrs` under `fds` (the set of variables functionally
+/// determined by `attrs`). Standard chase: repeatedly fire any FD whose
+/// left side is contained in the current set.
+pub fn closure(attrs: &BTreeSet<Var>, fds: &[Fd]) -> BTreeSet<Var> {
+    let mut out = attrs.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset(&out) && !fd.rhs.is_subset(&out) {
+                out.extend(fd.rhs.iter().copied());
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Does `lhs → rhs` follow from `fds` (Armstrong's axioms)?
+pub fn implies(fds: &[Fd], lhs: &BTreeSet<Var>, rhs: &BTreeSet<Var>) -> bool {
+    rhs.is_subset(&closure(lhs, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::{Sym, Var};
+
+    fn v(i: u32) -> Var {
+        Var(Sym(i))
+    }
+
+    fn set(vars: &[u32]) -> BTreeSet<Var> {
+        vars.iter().map(|&i| v(i)).collect()
+    }
+
+    #[test]
+    fn closure_of_empty_fds_is_identity() {
+        let attrs = set(&[1, 2]);
+        assert_eq!(closure(&attrs, &[]), attrs);
+    }
+
+    #[test]
+    fn transitive_chain_closes() {
+        // 1 → 2, 2 → 3 implies 1 → 3 (Armstrong transitivity).
+        let fds = vec![Fd::new(set(&[1]), set(&[2])), Fd::new(set(&[2]), set(&[3]))];
+        assert!(implies(&fds, &set(&[1]), &set(&[3])));
+        assert!(!implies(&fds, &set(&[3]), &set(&[1])));
+    }
+
+    #[test]
+    fn augmentation_is_implicit() {
+        // 1 → 2 implies {1,3} → {2,3} (augmentation + reflexivity).
+        let fds = vec![Fd::new(set(&[1]), set(&[2]))];
+        assert!(implies(&fds, &set(&[1, 3]), &set(&[2, 3])));
+    }
+
+    #[test]
+    fn shortest_path_rule_fd_inference() {
+        // path(X,Z,Y,C) :- s(X,Z,C1), arc(Z,Y,C2), C = C1 + C2.
+        // Vars: X=1, Z=2, Y=3, C=4, C1=5, C2=6.
+        // FDs: {X,Z}→C1, {Z,Y}→C2, {C1,C2}→C.
+        let fds = vec![
+            Fd::new(set(&[1, 2]), set(&[5])),
+            Fd::new(set(&[2, 3]), set(&[6])),
+            Fd::new(set(&[5, 6]), set(&[4])),
+        ];
+        // Head noncost vars {X,Z,Y} must determine C.
+        assert!(implies(&fds, &set(&[1, 2, 3]), &set(&[4])));
+        // {X,Z} alone must not.
+        assert!(!implies(&fds, &set(&[1, 2]), &set(&[4])));
+    }
+
+    #[test]
+    fn pseudo_transitivity() {
+        // 1 → 2 and {2,3} → 4 imply {1,3} → 4.
+        let fds = vec![
+            Fd::new(set(&[1]), set(&[2])),
+            Fd::new(set(&[2, 3]), set(&[4])),
+        ];
+        assert!(implies(&fds, &set(&[1, 3]), &set(&[4])));
+    }
+
+    #[test]
+    fn empty_lhs_means_constant() {
+        // ∅ → 7 (a variable fixed by a constant) is usable from any set.
+        let fds = vec![Fd::new(set(&[]), set(&[7]))];
+        assert!(implies(&fds, &set(&[]), &set(&[7])));
+        assert!(implies(&fds, &set(&[1]), &set(&[7])));
+    }
+}

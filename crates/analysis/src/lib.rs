@@ -1,0 +1,41 @@
+//! Static analyses for monotonic-aggregation programs.
+//!
+//! This crate implements the paper's syntactic sufficient conditions:
+//!
+//! * **Range restriction** (Definition 2.5): [`range_restriction`] computes
+//!   the limited/quasi-limited variable fixpoints and checks every rule, so
+//!   that bottom-up evaluation stays within the finite active domain
+//!   (Lemma 2.2).
+//! * **Functional-dependency inference** ([`fd`]): attribute-set closure
+//!   under Armstrong's axioms, used by the cost-respecting check.
+//! * **Cost-respecting rules** (Definition 2.7): [`cost_respect`].
+//! * **Containment mappings** (Definition 2.8) and **conflict-freedom**
+//!   (Definition 2.10, Lemma 2.3): [`containment`], [`conflict_free`].
+//! * **Well-formedness, well-typedness, monotone built-in conjunctions, and
+//!   admissibility** (Definitions 4.2–4.5, Lemma 4.1): [`admissible`].
+//! * **r-monotonicity** à la Mumick et al. (Section 5.2): [`rmono`].
+//!
+//! [`check_program`] runs the full battery and produces an
+//! [`AnalysisReport`]; a program whose report says `monotonic` has, by
+//! Lemma 4.1 and Lemma 2.3, a monotonic cost-consistent `T_P` and hence a
+//! unique least model — which `maglog-engine` then computes.
+
+pub mod admissible;
+pub mod conflict_free;
+pub mod containment;
+pub mod cost_respect;
+pub mod fd;
+pub mod range_restriction;
+pub mod report;
+pub mod rmono;
+pub mod termination;
+pub mod unify;
+
+pub use admissible::{admissibility_report, AdmissibilityIssue, ComponentReport};
+pub use conflict_free::{conflict_free_report, ConflictIssue, ConflictReport};
+pub use containment::containment_mapping_exists;
+pub use cost_respect::is_cost_respecting;
+pub use range_restriction::{range_restriction_report, rule_range_restricted, RangeIssue};
+pub use report::{check_program, AnalysisReport};
+pub use rmono::{is_r_monotonic_rule, r_monotonicity_report};
+pub use termination::{termination_report, TerminationVerdict};

@@ -1,0 +1,441 @@
+//! Range restriction (Definition 2.5).
+//!
+//! A *limited argument* is a non-cost argument of a predicate with no
+//! default declaration. The fixpoint of *limited* variables captures
+//! variables guaranteed to range over the finite active domain; the
+//! *quasi-limited* variables are cost-domain variables whose values are
+//! uniquely determined by limited/quasi-limited ones. Lemma 2.2 then
+//! guarantees that bottom-up evaluation only ever builds a finite core and
+//! takes aggregates of finite multisets.
+
+use maglog_datalog::{Atom, CmpOp, Expr, Literal, Program, Rule, Term, Var};
+use std::collections::BTreeSet;
+
+/// A range-restriction violation in one rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeIssue {
+    /// Index of the rule in `program.rules`.
+    pub rule_index: usize,
+    pub message: String,
+}
+
+/// Check every rule of the program; empty vector means range-restricted.
+pub fn range_restriction_report(program: &Program) -> Vec<RangeIssue> {
+    let mut issues = Vec::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        for message in rule_issues(program, rule) {
+            issues.push(RangeIssue {
+                rule_index: i,
+                message,
+            });
+        }
+    }
+    issues
+}
+
+/// Is a single rule range-restricted?
+pub fn rule_range_restricted(program: &Program, rule: &Rule) -> bool {
+    rule_issues(program, rule).is_empty()
+}
+
+/// The set of limited variables of a rule (exposed for the admissibility
+/// checker and tests).
+pub fn limited_vars(program: &Program, rule: &Rule) -> BTreeSet<Var> {
+    fixpoints(program, rule).0
+}
+
+/// The set of quasi-limited variables of a rule.
+pub fn quasi_limited_vars(program: &Program, rule: &Rule) -> BTreeSet<Var> {
+    fixpoints(program, rule).1
+}
+
+/// Compute (limited, quasi-limited) variable sets per Definition 2.5.
+fn fixpoints(program: &Program, rule: &Rule) -> (BTreeSet<Var>, BTreeSet<Var>) {
+    let mut limited: BTreeSet<Var> = BTreeSet::new();
+    let mut quasi: BTreeSet<Var> = BTreeSet::new();
+
+    // Seed quasi-limited clause 1 and 2 (they do not depend on the limited
+    // fixpoint): cost-argument variables of positive/aggregate-internal
+    // atoms, and aggregate result variables.
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) => {
+                if let Some(Term::Var(v)) = a.cost_arg(program.is_cost_pred(a.pred)) {
+                    quasi.insert(*v);
+                }
+            }
+            Literal::Agg(agg) => {
+                if let Term::Var(v) = agg.result {
+                    quasi.insert(v);
+                }
+                for a in &agg.conjuncts {
+                    if let Some(Term::Var(v)) = a.cost_arg(program.is_cost_pred(a.pred)) {
+                        quasi.insert(*v);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Iterate the mutually dependent clauses to a joint fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        for (idx, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Pos(a) => {
+                    for v in limited_arg_vars(program, a) {
+                        changed |= limited.insert(v);
+                    }
+                }
+                Literal::Agg(agg) => {
+                    // Local variables in limited arguments, and grouping
+                    // variables of `=r` aggregates in limited arguments.
+                    let locals: BTreeSet<Var> =
+                        rule.aggregate_local_vars(idx).into_iter().collect();
+                    let groupings: BTreeSet<Var> =
+                        rule.aggregate_grouping_vars(idx).into_iter().collect();
+                    let restricted = agg.eq == maglog_datalog::AggEq::Restricted;
+                    for a in &agg.conjuncts {
+                        for v in limited_arg_vars(program, a) {
+                            if locals.contains(&v) || (restricted && groupings.contains(&v)) {
+                                changed |= limited.insert(v);
+                            }
+                        }
+                    }
+                }
+                Literal::Builtin(b) => {
+                    // Limited clause 4/5: V = Y with Y limited, V = const.
+                    if b.op == CmpOp::Eq {
+                        changed |= propagate_limited_equality(&b.lhs, &b.rhs, &mut limited);
+                        changed |= propagate_limited_equality(&b.rhs, &b.lhs, &mut limited);
+                    }
+                    // Quasi-limited clause 3: V = E with vars(E) all
+                    // limited/quasi-limited.
+                    if b.op == CmpOp::Eq {
+                        changed |=
+                            propagate_quasi_equality(&b.lhs, &b.rhs, &limited, &mut quasi);
+                        changed |=
+                            propagate_quasi_equality(&b.rhs, &b.lhs, &limited, &mut quasi);
+                    }
+                }
+                Literal::Neg(_) => {}
+            }
+        }
+    }
+
+    (limited, quasi)
+}
+
+/// Variables of `atom` in limited argument positions (non-cost arguments of
+/// a predicate with no default declaration).
+fn limited_arg_vars(program: &Program, atom: &Atom) -> Vec<Var> {
+    if program.has_default(atom.pred) {
+        return Vec::new();
+    }
+    atom.key_args(program.is_cost_pred(atom.pred))
+        .iter()
+        .filter_map(Term::as_var)
+        .collect()
+}
+
+/// If `target` is a bare variable and `source` is a limited variable or a
+/// constant, mark `target` limited. Returns whether anything changed.
+fn propagate_limited_equality(
+    target: &Expr,
+    source: &Expr,
+    limited: &mut BTreeSet<Var>,
+) -> bool {
+    let Some(v) = target.as_var() else {
+        return false;
+    };
+    let source_ok = match source {
+        Expr::Term(Term::Var(y)) => limited.contains(y),
+        Expr::Term(Term::Const(_)) => true,
+        _ => false,
+    };
+    if source_ok {
+        limited.insert(v)
+    } else {
+        false
+    }
+}
+
+/// If `target` is a bare variable and every variable of `source` is limited
+/// or quasi-limited, mark `target` quasi-limited.
+fn propagate_quasi_equality(
+    target: &Expr,
+    source: &Expr,
+    limited: &BTreeSet<Var>,
+    quasi: &mut BTreeSet<Var>,
+) -> bool {
+    let Some(v) = target.as_var() else {
+        return false;
+    };
+    let all_known = source
+        .vars()
+        .iter()
+        .all(|x| limited.contains(x) || quasi.contains(x));
+    if all_known {
+        quasi.insert(v)
+    } else {
+        false
+    }
+}
+
+fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
+    let (limited, quasi) = fixpoints(program, rule);
+    let known = |v: &Var| limited.contains(v) || quasi.contains(v);
+    let mut issues = Vec::new();
+    let name = |v: &Var| program.var_name(*v);
+
+    for (idx, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Neg(a) => {
+                let has_cost = program.is_cost_pred(a.pred);
+                for t in a.key_args(has_cost) {
+                    if let Term::Var(v) = t {
+                        if !limited.contains(v) {
+                            issues.push(format!(
+                                "negated subgoal {} has non-limited variable {}",
+                                program.display_atom(a),
+                                name(v)
+                            ));
+                        }
+                    }
+                }
+                if let Some(Term::Var(v)) = a.cost_arg(has_cost) {
+                    if !known(v) {
+                        issues.push(format!(
+                            "negated subgoal {} has non-quasi-limited cost variable {}",
+                            program.display_atom(a),
+                            name(v)
+                        ));
+                    }
+                }
+            }
+            Literal::Pos(a) => {
+                if program.has_default(a.pred) {
+                    for t in a.key_args(true) {
+                        if let Term::Var(v) = t {
+                            if !limited.contains(v) {
+                                issues.push(format!(
+                                    "default-value subgoal {} has non-limited variable {}",
+                                    program.display_atom(a),
+                                    name(v)
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Literal::Agg(agg) => {
+                for v in rule.aggregate_grouping_vars(idx) {
+                    if !limited.contains(&v) {
+                        issues.push(format!(
+                            "aggregate grouping variable {} is not limited",
+                            name(&v)
+                        ));
+                    }
+                }
+                for v in rule.aggregate_local_vars(idx) {
+                    // Only local variables appearing in *non-cost* positions
+                    // must be limited.
+                    let in_noncost = agg.conjuncts.iter().any(|a| {
+                        a.key_args(program.is_cost_pred(a.pred))
+                            .iter()
+                            .any(|t| *t == Term::Var(v))
+                    });
+                    if in_noncost && !limited.contains(&v) {
+                        issues.push(format!(
+                            "aggregate local variable {} is not limited",
+                            name(&v)
+                        ));
+                    }
+                }
+                // Default-value predicates inside aggregates: non-cost
+                // arguments must be limited.
+                for a in &agg.conjuncts {
+                    if program.has_default(a.pred) {
+                        for t in a.key_args(true) {
+                            if let Term::Var(v) = t {
+                                if !limited.contains(v) {
+                                    issues.push(format!(
+                                        "default-value conjunct {} has non-limited variable {}",
+                                        program.display_atom(a),
+                                        name(v)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Literal::Builtin(b) => {
+                for v in b.vars() {
+                    if !known(&v) {
+                        issues.push(format!(
+                            "built-in subgoal variable {} is neither limited nor quasi-limited",
+                            name(&v)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Head conditions.
+    let has_cost = program.is_cost_pred(rule.head.pred);
+    for t in rule.head.key_args(has_cost) {
+        if let Term::Var(v) = t {
+            if !limited.contains(v) {
+                issues.push(format!(
+                    "head variable {} (non-cost position) is not limited",
+                    name(v)
+                ));
+            }
+        }
+    }
+    if let Some(Term::Var(v)) = rule.head.cost_arg(has_cost) {
+        if !known(v) {
+            issues.push(format!(
+                "head cost variable {} is not quasi-limited",
+                name(v)
+            ));
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn assert_rr(src: &str) {
+        let p = parse_program(src).unwrap();
+        let issues = range_restriction_report(&p);
+        assert!(issues.is_empty(), "unexpected issues: {issues:?}");
+    }
+
+    fn assert_not_rr(src: &str, needle: &str) {
+        let p = parse_program(src).unwrap();
+        let issues = range_restriction_report(&p);
+        assert!(
+            issues.iter().any(|i| i.message.contains(needle)),
+            "expected an issue containing '{needle}', got {issues:?}"
+        );
+    }
+
+    #[test]
+    fn example_2_2_positive_cases() {
+        // alt-class-count with a restricting record subgoal.
+        assert_rr(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred alt_class_count/2 cost nat.
+            alt_class_count(C, N) :- record(X, C, Y), N = count : record(S, C, G).
+            "#,
+        );
+        // Circuit AND rule: G limited by gate, W limited by connect.
+        assert_rr(
+            r#"
+            declare pred t/2 cost bool_or default.
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#,
+        );
+        // s rule via =r aggregate: grouping vars limited inside.
+        assert_rr(
+            r#"
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            "#,
+        );
+    }
+
+    #[test]
+    fn example_2_2_negative_cases() {
+        // `=` aggregate does not limit its grouping variable.
+        assert_not_rr(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred alt_class_count/2 cost nat.
+            alt_class_count(C, N) :- N = count : record(S, C, G).
+            "#,
+            "not limited",
+        );
+        // Default-value predicate t does not limit its non-cost argument.
+        assert_not_rr(
+            r#"
+            declare pred t/3 cost bool_or default.
+            declare pred out/3 cost bool_or.
+            out(G, and, C) :- gate(G, and), C = and D : [connect(G, W), t(W, X, D)].
+            "#,
+            "not limited",
+        );
+        // `=` min aggregate: X and Y unlimited.
+        assert_not_rr(
+            r#"
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            s(X, Y, C) :- C = min D : path(X, Z, Y, D).
+            "#,
+            "not limited",
+        );
+    }
+
+    #[test]
+    fn builtin_equality_propagates_limitedness() {
+        assert_rr("p(Y) :- q(X), Y = X.");
+        assert_rr("p(Y) :- Y = a.");
+        assert_not_rr("p(Y) :- q(X), Y = X + 1.", "not limited");
+    }
+
+    #[test]
+    fn arithmetic_gives_quasi_limited_cost() {
+        assert_rr(
+            r#"
+            declare pred s/3 cost min_real.
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            "#,
+        );
+    }
+
+    #[test]
+    fn negation_needs_limited_vars() {
+        assert_rr("p(X) :- q(X), ! r(X).");
+        assert_not_rr("p(X) :- q(X), ! r(X, Y).", "non-limited");
+    }
+
+    #[test]
+    fn head_var_must_be_limited() {
+        assert_not_rr("p(X, Y) :- q(X).", "not limited");
+    }
+
+    #[test]
+    fn free_builtin_variable_is_flagged() {
+        assert_not_rr("p(X) :- q(X), Y < 3.", "neither limited nor quasi-limited");
+    }
+
+    #[test]
+    fn quasi_limited_from_chained_arithmetic() {
+        assert_rr(
+            r#"
+            declare pred q/2 cost max_real.
+            declare pred p/2 cost max_real.
+            p(X, C) :- q(X, A), B = A + 1, C = B * 2.
+            "#,
+        );
+    }
+
+    #[test]
+    fn fact_like_rule_with_vars_is_rejected() {
+        assert_not_rr("p(X).", "not limited");
+    }
+}

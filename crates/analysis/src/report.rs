@@ -1,0 +1,222 @@
+//! The combined analysis report.
+
+use crate::admissible::{admissibility_report, ComponentReport};
+use crate::conflict_free::{conflict_free_report, ConflictReport};
+use crate::range_restriction::{range_restriction_report, RangeIssue};
+use crate::rmono::r_monotonicity_report;
+use crate::termination::{termination_report, TerminationVerdict};
+use maglog_datalog::Program;
+
+/// Everything the paper's static battery says about a program.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Range-restriction violations (Definition 2.5); empty = safe.
+    pub range_issues: Vec<RangeIssue>,
+    /// Conflict-freedom analysis (Definition 2.10).
+    pub conflicts: ConflictReport,
+    /// Per-component admissibility (Definition 4.5).
+    pub components: Vec<ComponentReport>,
+    /// Rules that are not r-monotonic in the Section 5.2 sense, with
+    /// reasons. Informational: r-monotonicity is a *comparison* class, not
+    /// a requirement.
+    pub non_r_monotonic: Vec<(usize, String)>,
+    /// Per-component termination verdicts (Section 6.2's sufficient
+    /// condition, via the cost-flow analysis). Informational: `Unknown`
+    /// components still evaluate, under the round budget.
+    pub termination: Vec<TerminationVerdict>,
+}
+
+impl AnalysisReport {
+    /// Is the program range-restricted (Lemma 2.2's precondition)?
+    pub fn is_range_restricted(&self) -> bool {
+        self.range_issues.is_empty()
+    }
+
+    /// Is the program conflict-free, hence cost-consistent (Lemma 2.3)?
+    pub fn is_conflict_free(&self) -> bool {
+        self.conflicts.is_conflict_free()
+    }
+
+    /// Are all components admissible, hence the program monotonic
+    /// (Lemma 4.1)?
+    pub fn is_monotonic(&self) -> bool {
+        self.components.iter().all(|c| c.admissible())
+    }
+
+    /// Is every rule r-monotonic (the strictly smaller Mumick et al.
+    /// class)?
+    pub fn is_r_monotonic(&self) -> bool {
+        self.non_r_monotonic.is_empty()
+    }
+
+    /// Is the program aggregate-stratified (no recursion through
+    /// aggregation, Section 5.1)?
+    pub fn is_aggregate_stratified(&self) -> bool {
+        self.components.iter().all(|c| !c.recursive_aggregation)
+    }
+
+    /// May the engine evaluate this program to its unique least model?
+    pub fn evaluable(&self) -> bool {
+        self.is_range_restricted() && self.is_conflict_free() && self.is_monotonic()
+    }
+
+    /// Is bottom-up evaluation guaranteed to terminate (Section 6.2)?
+    pub fn is_termination_guaranteed(&self) -> bool {
+        self.termination.iter().all(TerminationVerdict::is_guaranteed)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "range-restricted: {}",
+            yesno(self.is_range_restricted())
+        );
+        for issue in &self.range_issues {
+            let _ = writeln!(out, "  rule {}: {}", issue.rule_index, issue.message);
+        }
+        let _ = writeln!(out, "conflict-free:    {}", yesno(self.is_conflict_free()));
+        for issue in &self.conflicts.issues {
+            let _ = writeln!(out, "  {}", issue.describe(program));
+        }
+        let _ = writeln!(out, "monotonic:        {}", yesno(self.is_monotonic()));
+        for (ci, comp) in self.components.iter().enumerate() {
+            let preds: Vec<String> = comp
+                .preds
+                .iter()
+                .map(|p| program.pred_name(*p))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  component {ci} {{{}}}: {}{}",
+                preds.join(", "),
+                if comp.admissible() {
+                    "admissible"
+                } else {
+                    "NOT admissible"
+                },
+                if comp.recursive_aggregation {
+                    " (recursion through aggregation)"
+                } else {
+                    ""
+                }
+            );
+            for issue in &comp.issues {
+                let _ = writeln!(out, "    rule {}: {}", issue.rule_index, issue.message);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "r-monotonic:      {}",
+            yesno(self.non_r_monotonic.is_empty())
+        );
+        for (i, m) in &self.non_r_monotonic {
+            let _ = writeln!(out, "  rule {i}: {m}");
+        }
+        let _ = writeln!(
+            out,
+            "agg-stratified:   {}",
+            yesno(self.is_aggregate_stratified())
+        );
+        let _ = writeln!(
+            out,
+            "terminating:      {}",
+            yesno(self.is_termination_guaranteed())
+        );
+        for (i, v) in self.termination.iter().enumerate() {
+            if !v.is_guaranteed() {
+                let _ = writeln!(out, "  component {i}: {}", v.reason());
+            }
+        }
+        out
+    }
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Run the full static battery.
+pub fn check_program(program: &Program) -> AnalysisReport {
+    AnalysisReport {
+        range_issues: range_restriction_report(program),
+        conflicts: conflict_free_report(program),
+        components: admissibility_report(program),
+        non_r_monotonic: r_monotonicity_report(program),
+        termination: termination_report(program),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn shortest_path_full_verdict() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        let r = check_program(&p);
+        assert!(r.is_range_restricted());
+        assert!(r.is_conflict_free());
+        assert!(r.is_monotonic());
+        assert!(!r.is_r_monotonic());
+        assert!(!r.is_aggregate_stratified());
+        assert!(r.evaluable());
+        let summary = r.summary(&p);
+        assert!(summary.contains("monotonic:        yes"));
+        assert!(summary.contains("recursion through aggregation"));
+    }
+
+    #[test]
+    fn grades_program_is_stratified_and_monotonic() {
+        // Example 2.1: no recursion at all.
+        let p = parse_program(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred s_avg/2 cost max_real.
+            declare pred c_avg/2 cost max_real.
+            declare pred all_avg/1 cost max_real.
+            s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+            c_avg(C, G) :- G =r avg G2 : record(S, C, G2).
+            all_avg(G) :- G =r avg G2 : c_avg(S, G2).
+            "#,
+        )
+        .unwrap();
+        let r = check_program(&p);
+        assert!(r.is_aggregate_stratified());
+        assert!(r.is_monotonic(), "{}", r.summary(&p));
+        assert!(r.evaluable());
+    }
+
+    #[test]
+    fn broken_program_fails_multiple_checks() {
+        let p = parse_program(
+            r#"
+            declare pred q/3 cost max_real.
+            declare pred p/2 cost max_real.
+            p(X, C) :- q(X, Y, C).
+            "#,
+        )
+        .unwrap();
+        let r = check_program(&p);
+        assert!(!r.is_conflict_free());
+        assert!(!r.evaluable());
+    }
+}

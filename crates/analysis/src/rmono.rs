@@ -1,0 +1,233 @@
+//! r-monotonicity (Section 5.2; Mumick, Pirahesh & Ramakrishnan).
+//!
+//! Definition 5.1: a rule is *r-monotonic* if adding tuples to the
+//! relations of its ordinary or aggregate subgoals can only add head tuples
+//! — no earlier deduction may be invalidated, regardless of the other
+//! relations. The paper's class of monotonic programs *properly contains*
+//! the r-monotonic ones; the judgments we must reproduce are:
+//!
+//! * the company-control rule `m(X,Y,N) :- N =r sum M : cv(X,Z,Y,M)` is
+//!   **not** r-monotonic (the aggregate result appears in the head);
+//! * the merged rule `c(X,Y) :- N =r sum M : cv(X,Z,Y,M), N > 0.5` **is**
+//!   r-monotonic (the aggregate result only feeds a threshold test against
+//!   a constant that growing multisets can only help);
+//! * the shortest-path program is not r-monotonic (the min is part of `s`);
+//! * the party program (Example 4.3) is not r-monotonic "due to the
+//!   nonmonotonicity in K": the threshold is a *variable* from another
+//!   relation, so the syntactic r-monotonicity test cannot admit it.
+
+use maglog_datalog::{AggFunc, CmpOp, Expr, Literal, Program, Rule, Term, Var};
+
+/// Direction of an aggregate's value as its input multiset grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GrowthDir {
+    Up,
+    Down,
+    Unknown,
+}
+
+fn growth_direction(func: AggFunc) -> GrowthDir {
+    match func {
+        AggFunc::Max
+        | AggFunc::Sum
+        | AggFunc::Count
+        | AggFunc::Product
+        | AggFunc::Or
+        | AggFunc::Union
+        | AggFunc::HalfSum => GrowthDir::Up,
+        AggFunc::Min | AggFunc::And | AggFunc::Intersect => GrowthDir::Down,
+        AggFunc::Avg => GrowthDir::Unknown,
+    }
+}
+
+/// Is a single rule r-monotonic?
+pub fn is_r_monotonic_rule(program: &Program, rule: &Rule) -> bool {
+    rule_issue(program, rule).is_none()
+}
+
+/// Why a rule fails r-monotonicity (None = r-monotonic).
+pub fn rule_issue(program: &Program, rule: &Rule) -> Option<String> {
+    for lit in &rule.body {
+        if let Literal::Neg(a) = lit {
+            return Some(format!(
+                "negative subgoal {} can be invalidated by new tuples",
+                program.display_atom(a)
+            ));
+        }
+    }
+    // Aggregate results may only flow into constant-threshold guards that
+    // monotonically improve as the multiset grows.
+    for lit in &rule.body {
+        let Literal::Agg(agg) = lit else { continue };
+        let Term::Var(result) = agg.result else {
+            return Some("constant aggregate result is a nonmonotonic test".into());
+        };
+        // Does the result appear in the head?
+        if rule.head.vars().any(|v| v == result) {
+            return Some(format!(
+                "aggregate result {} appears in the head; replacements of \
+                 aggregate tuples invalidate prior deductions",
+                program.var_name(result)
+            ));
+        }
+        // Every use in a builtin must be an upward-closed constant guard.
+        let dir = growth_direction(agg.func);
+        for other in &rule.body {
+            let Literal::Builtin(b) = other else { continue };
+            let uses = b.vars().iter().filter(|&&v| v == result).count();
+            if uses == 0 {
+                continue;
+            }
+            if !guard_is_upward_closed(b, result, dir) {
+                return Some(format!(
+                    "aggregate result {} is used in {} which is not an \
+                     upward-closed constant guard",
+                    program.var_name(result),
+                    program.display_literal(other)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Is `b` of the form `result OP const` (or flipped) with OP preserved as
+/// the aggregate grows in direction `dir`?
+fn guard_is_upward_closed(b: &maglog_datalog::Builtin, result: Var, dir: GrowthDir) -> bool {
+    let (op, other) = match (b.lhs.as_var(), b.rhs.as_var()) {
+        (Some(v), _) if v == result => (b.op, &b.rhs),
+        (_, Some(v)) if v == result => (b.op.flip(), &b.lhs),
+        _ => return false,
+    };
+    // The other side must be a literal constant — Mumick et al.'s syntactic
+    // class does not admit variable thresholds (the paper's Example 4.3
+    // verdict).
+    if !matches!(other, Expr::Term(Term::Const(_))) {
+        return false;
+    }
+    match dir {
+        GrowthDir::Up => matches!(op, CmpOp::Gt | CmpOp::Ge | CmpOp::Ne),
+        GrowthDir::Down => matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Ne),
+        GrowthDir::Unknown => false,
+    }
+}
+
+/// Per-rule verdicts for the whole program: `(rule index, issue)` for every
+/// non-r-monotonic rule.
+pub fn r_monotonicity_report(program: &Program) -> Vec<(usize, String)> {
+    program
+        .rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| rule_issue(program, r).map(|m| (i, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn company_control_split_rules_are_not_r_monotonic() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        )
+        .unwrap();
+        let report = r_monotonicity_report(&p);
+        // Rule 2 (the sum into the head) is the culprit.
+        assert!(report.iter().any(|(i, _)| *i == 2), "{report:?}");
+        // Rules 0, 1 are plain positive rules: r-monotonic.
+        assert!(!report.iter().any(|(i, _)| *i == 0));
+        assert!(!report.iter().any(|(i, _)| *i == 1));
+    }
+
+    #[test]
+    fn merged_company_rule_is_r_monotonic() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            c(X, Y) :- N =r sum M : cv(X, Z, Y, M), N > 0.5.
+            "#,
+        )
+        .unwrap();
+        assert!(r_monotonicity_report(&p).is_empty());
+    }
+
+    #[test]
+    fn shortest_path_is_not_r_monotonic() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            "#,
+        )
+        .unwrap();
+        let report = r_monotonicity_report(&p);
+        assert!(report.iter().any(|(i, m)| *i == 2 && m.contains("head")));
+    }
+
+    #[test]
+    fn party_is_not_r_monotonic_due_to_variable_threshold() {
+        let p = parse_program(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        )
+        .unwrap();
+        let report = r_monotonicity_report(&p);
+        assert!(
+            report
+                .iter()
+                .any(|(i, m)| *i == 0 && m.contains("upward-closed")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn min_guard_direction_is_respected() {
+        // min shrinks as the multiset grows, so `N < 5` is upward-closed
+        // but `N > 5` is not.
+        let p = parse_program(
+            r#"
+            declare pred d/2 cost min_real.
+            near(X) :- N =r min M : d(X, M), N < 5.
+            d(X, C) :- near(X), base(X, C).
+            "#,
+        )
+        .unwrap();
+        assert!(r_monotonicity_report(&p).is_empty());
+
+        let p2 = parse_program(
+            r#"
+            declare pred d/2 cost min_real.
+            far(X) :- N =r min M : d(X, M), N > 5.
+            d(X, C) :- far(X), base(X, C).
+            "#,
+        )
+        .unwrap();
+        assert!(!r_monotonicity_report(&p2).is_empty());
+    }
+
+    #[test]
+    fn negation_is_never_r_monotonic() {
+        let p = parse_program("p(X) :- q(X), ! r(X).").unwrap();
+        assert!(!r_monotonicity_report(&p).is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! Termination of bottom-up evaluation (Section 6.2).
+//!
+//! The paper: the iteration from `J_∅` terminates when the program is
+//! function-free and `⊒` is a well-founded ordering on the cost domain —
+//! e.g. function-free `min` programs on well-ordered domains, or any
+//! monotonic function-free program with finite cost domains. In general
+//! `T_P` may need transfinite iteration (Example 5.1).
+//!
+//! This module implements a conservative, syntactic guarantee based on a
+//! **cost-flow graph**: a cost value can grow without bound only if some
+//! cost predicate feeds its own cost argument through a *generative*
+//! operation (arithmetic `+ - * /`, or the value-generating aggregates
+//! `sum`, `product`, `avg`, `halfsum`). Selective operations (copies,
+//! `min`/`max` — aggregate or binary —, boolean and set operations, and
+//! `count`, whose value is bounded by the finite active domain) can only
+//! shuffle values drawn from a finite generated set, so components whose
+//! cost-flow cycles are all selective terminate.
+//!
+//! Verdicts on the paper's programs: shortest path is `Unknown` (the
+//! additive cycle `s → path → s`; indeed negative-weight cycles diverge),
+//! company control is `Guaranteed` (the `sum` feeds `m` but `m`'s value
+//! never flows back into the summed `cv` costs), party/circuit/widest-path
+//! are `Guaranteed`.
+
+use maglog_datalog::graph::components;
+use maglog_datalog::{AggFunc, BinOp, Expr, Literal, Pred, Program, Rule, Term};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Per-component termination verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TerminationVerdict {
+    /// Bottom-up evaluation is guaranteed to reach the fixpoint in
+    /// finitely many rounds.
+    Guaranteed { reason: String },
+    /// No syntactic guarantee; evaluation runs under the round budget.
+    Unknown { reason: String },
+}
+
+impl TerminationVerdict {
+    pub fn is_guaranteed(&self) -> bool {
+        matches!(self, TerminationVerdict::Guaranteed { .. })
+    }
+
+    pub fn reason(&self) -> &str {
+        match self {
+            TerminationVerdict::Guaranteed { reason } => reason,
+            TerminationVerdict::Unknown { reason } => reason,
+        }
+    }
+}
+
+/// Analyze every component (in dependency order, matching
+/// [`maglog_datalog::graph::components`]).
+pub fn termination_report(program: &Program) -> Vec<TerminationVerdict> {
+    components(program)
+        .iter()
+        .map(|c| component_verdict(program, &c.preds, &c.rule_indices))
+        .collect()
+}
+
+fn component_verdict(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule_indices: &[usize],
+) -> TerminationVerdict {
+    // Non-recursive components: one pass over a finite active domain.
+    let recursive = rule_indices.iter().any(|&ri| {
+        program.rules[ri].body.iter().any(|lit| match lit {
+            Literal::Pos(a) | Literal::Neg(a) => cdb.contains(&a.pred),
+            Literal::Agg(agg) => agg.conjuncts.iter().any(|a| cdb.contains(&a.pred)),
+            Literal::Builtin(_) => false,
+        })
+    });
+    if !recursive {
+        return TerminationVerdict::Guaranteed {
+            reason: "non-recursive component (single pass over the finite active domain)"
+                .into(),
+        };
+    }
+
+    // Recursive but cost-free: classic Datalog over the active domain.
+    let has_cdb_cost = cdb.iter().any(|p| program.is_cost_pred(*p));
+    if !has_cdb_cost {
+        return TerminationVerdict::Guaranteed {
+            reason: "recursive but cost-free (finite Herbrand base)".into(),
+        };
+    }
+
+    // Cost-flow graph: src cost pred → head cost pred, labeled generative
+    // when the derivation can create new cost values.
+    let mut edges: Vec<(Pred, Pred, bool, String)> = Vec::new();
+    for &ri in rule_indices {
+        let rule = &program.rules[ri];
+        if !program.is_cost_pred(rule.head.pred) {
+            continue;
+        }
+        let (sources, generative, witness) = rule_cost_flow(program, cdb, rule);
+        for src in sources {
+            edges.push((src, rule.head.pred, generative, witness.clone()));
+        }
+    }
+
+    // Find cost-pred SCCs of the flow graph; an internal generative edge
+    // (including self-loops) breaks the guarantee.
+    let sccs = flow_sccs(cdb, &edges);
+    for (u, v, generative, witness) in &edges {
+        if *generative && sccs[u] == sccs[v] {
+            return TerminationVerdict::Unknown {
+                reason: format!(
+                    "cost feedback {} → {} through a generative operation ({witness}); \
+                     values may grow without bound (cf. Example 5.1)",
+                    program.pred_name(*u),
+                    program.pred_name(*v)
+                ),
+            };
+        }
+    }
+    TerminationVerdict::Guaranteed {
+        reason: "every cost-flow cycle is selective: cost values are drawn from a \
+                 finite generated set"
+            .into(),
+    }
+}
+
+/// For one rule: the CDB cost predicates whose values flow into the head
+/// cost, whether the flow is generative, and a witness description.
+fn rule_cost_flow(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule: &Rule,
+) -> (BTreeSet<Pred>, bool, String) {
+    let mut sources = BTreeSet::new();
+    let mut generative = false;
+    let mut witness = String::new();
+
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                if cdb.contains(&a.pred) && program.is_cost_pred(a.pred) {
+                    sources.insert(a.pred);
+                }
+            }
+            Literal::Agg(agg) => {
+                let mut cdb_cost_input = false;
+                for a in &agg.conjuncts {
+                    if cdb.contains(&a.pred) && program.is_cost_pred(a.pred) {
+                        sources.insert(a.pred);
+                        cdb_cost_input = true;
+                    }
+                    // Aggregates over *non-cost* CDB predicates (count
+                    // style) are bounded by the active domain: no source.
+                }
+                let value_generating = matches!(
+                    agg.func,
+                    AggFunc::Sum | AggFunc::Product | AggFunc::Avg | AggFunc::HalfSum
+                );
+                if cdb_cost_input && value_generating {
+                    generative = true;
+                    witness = format!("aggregate '{}'", agg.func.name());
+                }
+            }
+            Literal::Builtin(b) => {
+                if expr_is_generative(&b.lhs) || expr_is_generative(&b.rhs) {
+                    // Conservative: arithmetic anywhere in the rule is
+                    // generative when CDB cost inputs exist (checked below).
+                    if witness.is_empty() {
+                        witness = "arithmetic builtin".into();
+                    }
+                    generative = true;
+                }
+            }
+        }
+    }
+    // Arithmetic without CDB cost sources cannot create feedback.
+    if sources.is_empty() {
+        generative = false;
+    }
+    (sources, generative, witness)
+}
+
+fn expr_is_generative(e: &Expr) -> bool {
+    match e {
+        Expr::Term(Term::Var(_)) | Expr::Term(Term::Const(_)) => false,
+        Expr::Neg(inner) => expr_is_generative(inner),
+        Expr::Bin(op, l, r) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => true,
+            // min/max only select among existing values.
+            BinOp::Min | BinOp::Max => expr_is_generative(l) || expr_is_generative(r),
+        },
+    }
+}
+
+/// SCC ids of the cost-flow graph restricted to the component's cost
+/// predicates (simple Kosaraju-style double DFS — the graphs are tiny).
+fn flow_sccs(cdb: &BTreeSet<Pred>, edges: &[(Pred, Pred, bool, String)]) -> HashMap<Pred, usize> {
+    let nodes: Vec<Pred> = cdb.iter().copied().collect();
+    let mut fwd: HashMap<Pred, Vec<Pred>> = HashMap::new();
+    let mut back: HashMap<Pred, Vec<Pred>> = HashMap::new();
+    for (u, v, _, _) in edges {
+        fwd.entry(*u).or_default().push(*v);
+        back.entry(*v).or_default().push(*u);
+    }
+    // Order by finish time.
+    let mut visited: HashSet<Pred> = HashSet::new();
+    let mut order: Vec<Pred> = Vec::new();
+    for &n in &nodes {
+        dfs_order(n, &fwd, &mut visited, &mut order);
+    }
+    // Assign components on the transpose.
+    let mut scc: HashMap<Pred, usize> = HashMap::new();
+    let mut id = 0;
+    for &n in order.iter().rev() {
+        if scc.contains_key(&n) {
+            continue;
+        }
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            if scc.contains_key(&x) {
+                continue;
+            }
+            scc.insert(x, id);
+            for &y in back.get(&x).into_iter().flatten() {
+                if !scc.contains_key(&y) {
+                    stack.push(y);
+                }
+            }
+        }
+        id += 1;
+    }
+    scc
+}
+
+fn dfs_order(
+    n: Pred,
+    fwd: &HashMap<Pred, Vec<Pred>>,
+    visited: &mut HashSet<Pred>,
+    order: &mut Vec<Pred>,
+) {
+    if !visited.insert(n) {
+        return;
+    }
+    for &m in fwd.get(&n).into_iter().flatten() {
+        dfs_order(m, fwd, visited, order);
+    }
+    order.push(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn verdicts(src: &str) -> Vec<TerminationVerdict> {
+        termination_report(&parse_program(src).unwrap())
+    }
+
+    fn all_guaranteed(src: &str) -> bool {
+        verdicts(src).iter().all(TerminationVerdict::is_guaranteed)
+    }
+
+    #[test]
+    fn shortest_path_is_unknown_due_to_additive_cycle() {
+        let vs = verdicts(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            "#,
+        );
+        assert_eq!(vs.len(), 1);
+        assert!(!vs[0].is_guaranteed());
+        assert!(vs[0].reason().contains("generative"), "{}", vs[0].reason());
+    }
+
+    #[test]
+    fn company_control_is_guaranteed() {
+        // The sum feeds m, but m's value never flows back into cv's costs
+        // (cv copies from the LDB relation s).
+        assert!(all_guaranteed(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#
+        ));
+    }
+
+    #[test]
+    fn party_is_guaranteed() {
+        assert!(all_guaranteed(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#
+        ));
+    }
+
+    #[test]
+    fn circuit_is_guaranteed() {
+        assert!(all_guaranteed(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#
+        ));
+    }
+
+    #[test]
+    fn widest_path_is_guaranteed() {
+        // min(·,·) and max are selective: values come from the finite set
+        // of link capacities.
+        assert!(all_guaranteed(
+            r#"
+            declare pred link/3 cost max_real.
+            declare pred wpath/4 cost max_real.
+            declare pred w/3 cost max_real.
+            wpath(X, direct, Y, C) :- link(X, Y, C).
+            wpath(X, Z, Y, C) :- w(X, Z, C1), link(Z, Y, C2), C = min(C1, C2).
+            w(X, Y, C) :- C =r max D : wpath(X, Z, Y, D).
+            "#
+        ));
+    }
+
+    #[test]
+    fn halfsum_is_unknown() {
+        let vs = verdicts(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            p(a, C) :- C =r halfsum D : p(X, D).
+            "#,
+        );
+        assert!(!vs[0].is_guaranteed());
+        assert!(vs[0].reason().contains("halfsum"));
+    }
+
+    #[test]
+    fn plain_transitive_closure_is_guaranteed() {
+        assert!(all_guaranteed(
+            "tc(X, Y) :- e(X, Y).\ntc(X, Y) :- tc(X, Z), e(Z, Y)."
+        ));
+    }
+
+    #[test]
+    fn non_recursive_aggregation_is_guaranteed() {
+        assert!(all_guaranteed(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred s_avg/2 cost max_real.
+            s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+            "#
+        ));
+    }
+
+    #[test]
+    fn counting_upward_is_unknown() {
+        // p(X, C) :- p(Y, C1), e(Y, X), C = C1 + 1: the classic diverger.
+        let vs = verdicts(
+            r#"
+            declare pred p/2 cost max_real.
+            p(X, C) :- p(Y, C1), e(Y, X), C = C1 + 1.
+            "#,
+        );
+        assert!(!vs[0].is_guaranteed());
+    }
+}

@@ -1,0 +1,347 @@
+//! Unification and substitution over the (flat) term language.
+//!
+//! Terms are variables or constants — no function symbols — so unification
+//! is a simple union-find-free walk. Used by the conflict-freedom check to
+//! unify rule heads restricted to their non-cost arguments (Definition
+//! 2.10) and to rename rules apart.
+
+use maglog_datalog::{
+    Aggregate, Atom, Builtin, Constraint, Expr, Literal, Program, Rule, Term, Var,
+};
+use std::collections::HashMap;
+
+/// A substitution from variables to terms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve a term through the substitution (path-compressed walk).
+    pub fn resolve(&self, t: Term) -> Term {
+        let mut cur = t;
+        let mut steps = 0;
+        while let Term::Var(v) = cur {
+            match self.map.get(&v) {
+                Some(&next) if next != cur => {
+                    cur = next;
+                    steps += 1;
+                    debug_assert!(steps <= self.map.len() + 1, "substitution cycle");
+                }
+                _ => break,
+            }
+        }
+        cur
+    }
+
+    pub fn bind(&mut self, v: Var, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    pub fn get(&self, v: Var) -> Option<Term> {
+        self.map.get(&v).map(|&t| self.resolve(t))
+    }
+
+    /// Unify two terms under the current substitution. Returns false (and
+    /// leaves the substitution in a partially extended state — callers
+    /// clone before trying) on clash.
+    pub fn unify_terms(&mut self, a: Term, b: Term) -> bool {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        match (ra, rb) {
+            (Term::Var(x), Term::Var(y)) if x == y => true,
+            (Term::Var(x), t) => {
+                self.bind(x, t);
+                true
+            }
+            (t, Term::Var(y)) => {
+                self.bind(y, t);
+                true
+            }
+            (Term::Const(c1), Term::Const(c2)) => c1 == c2,
+        }
+    }
+
+    /// Unify two argument slices pairwise.
+    pub fn unify_args(&mut self, a: &[Term], b: &[Term]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(b).all(|(&x, &y)| self.unify_terms(x, y))
+    }
+
+    pub fn apply_term(&self, t: Term) -> Term {
+        self.resolve(t)
+    }
+
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom::new(a.pred, a.args.iter().map(|&t| self.apply_term(t)).collect())
+    }
+
+    pub fn apply_expr(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Term(t) => Expr::Term(self.apply_term(*t)),
+            Expr::Neg(inner) => Expr::Neg(Box::new(self.apply_expr(inner))),
+            Expr::Bin(op, l, r) => Expr::Bin(
+                *op,
+                Box::new(self.apply_expr(l)),
+                Box::new(self.apply_expr(r)),
+            ),
+        }
+    }
+
+    pub fn apply_literal(&self, lit: &Literal) -> Literal {
+        match lit {
+            Literal::Pos(a) => Literal::Pos(self.apply_atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.apply_atom(a)),
+            Literal::Builtin(b) => Literal::Builtin(Builtin {
+                op: b.op,
+                lhs: self.apply_expr(&b.lhs),
+                rhs: self.apply_expr(&b.rhs),
+            }),
+            Literal::Agg(agg) => Literal::Agg(Aggregate {
+                result: self.apply_term(agg.result),
+                eq: agg.eq,
+                func: agg.func,
+                multiset_var: agg.multiset_var.map(|v| match self.resolve(Term::Var(v)) {
+                    Term::Var(w) => w,
+                    // A multiset variable bound to a constant cannot occur
+                    // in a valid program; keep the original to stay total.
+                    Term::Const(_) => v,
+                }),
+                conjuncts: agg.conjuncts.iter().map(|a| self.apply_atom(a)).collect(),
+            }),
+        }
+    }
+
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+        }
+    }
+}
+
+/// Rename every variable of `rule` by appending `suffix`, interning the new
+/// names in `program`'s symbol table. Used to make two rules
+/// variable-disjoint before unifying their heads.
+pub fn rename_apart(program: &Program, rule: &Rule, suffix: &str) -> Rule {
+    let mut s = Subst::new();
+    for v in rule.all_vars() {
+        let fresh = program
+            .symbols
+            .intern(&format!("{}{suffix}", program.var_name(v)));
+        s.bind(v, Term::Var(Var(fresh)));
+    }
+    s.apply_rule(rule)
+}
+
+/// Most general unifier of the *non-cost* head arguments of two rules
+/// (already renamed apart). `None` if they do not unify. Per Definition
+/// 2.10, the cost arguments are excluded from the unification.
+pub fn unify_heads_noncost(program: &Program, r1: &Rule, r2: &Rule) -> Option<Subst> {
+    if r1.head.pred != r2.head.pred {
+        return None;
+    }
+    let has_cost = program.is_cost_pred(r1.head.pred);
+    let a = r1.head.key_args(has_cost);
+    let b = r2.head.key_args(has_cost);
+    let mut s = Subst::new();
+    if s.unify_args(a, b) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Does the conjunction `body` contain an instance of `constraint`'s body?
+/// (Definition 2.10, case 2.) We search for a substitution mapping each
+/// constraint subgoal onto some literal of `body` syntactically.
+pub fn contains_constraint_instance(
+    constraint: &Constraint,
+    body: &[Literal],
+) -> bool {
+    fn match_atom(s: &mut Subst, pat: &Atom, target: &Atom) -> bool {
+        if pat.pred != target.pred || pat.args.len() != target.args.len() {
+            return false;
+        }
+        // One-way matching: pattern variables bind to target terms; target
+        // variables are treated as constants (they name specific terms of
+        // the combined body).
+        pat.args.iter().zip(&target.args).all(|(&p, &t)| {
+            match s.resolve(p) {
+                Term::Var(v) => {
+                    s.bind(v, t);
+                    true
+                }
+                Term::Const(c) => Term::Const(c) == t,
+            }
+        })
+    }
+
+    fn literal_atoms(lit: &Literal) -> Vec<&Atom> {
+        match lit {
+            Literal::Pos(a) => vec![a],
+            Literal::Agg(agg) => agg.conjuncts.iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn search(s: Subst, pats: &[&Atom], targets: &[&Atom]) -> bool {
+        let Some((first, rest)) = pats.split_first() else {
+            return true;
+        };
+        for target in targets {
+            let mut s2 = s.clone();
+            if match_atom(&mut s2, first, target) && search(s2, rest, targets) {
+                return true;
+            }
+        }
+        false
+    }
+
+    // Constraints over positive atoms only (the common case; negated or
+    // built-in constraint subgoals are not used in the paper's examples and
+    // would need evaluation rather than matching).
+    let pats: Vec<&Atom> = constraint
+        .body
+        .iter()
+        .filter_map(|l| l.as_pos())
+        .collect();
+    if pats.len() != constraint.body.len() || pats.is_empty() {
+        return false;
+    }
+    let targets: Vec<&Atom> = body.iter().flat_map(literal_atoms).collect();
+    search(Subst::new(), &pats, &targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn unifies_simple_heads() {
+        let p = parse_program(
+            r#"
+            declare pred cv/4 cost nonneg_real.
+            cv(X, X, Y, M) :- s(X, Y, M).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            "#,
+        )
+        .unwrap();
+        let r2 = rename_apart(&p, &p.rules[1], "_2");
+        let theta = unify_heads_noncost(&p, &p.rules[0], &r2).expect("heads unify");
+        let h1 = theta.apply_atom(&p.rules[0].head);
+        let h2 = theta.apply_atom(&r2.head);
+        // Non-cost prefixes must be identical after unification.
+        assert_eq!(h1.args[..3], h2.args[..3]);
+        // Cost args remain distinct variables.
+        assert_ne!(h1.args[3], h2.args[3]);
+    }
+
+    #[test]
+    fn clashing_constants_do_not_unify() {
+        let p = parse_program(
+            r#"
+            p(a, C) :- q(C).
+            p(b, C) :- r(C).
+            "#,
+        )
+        .unwrap();
+        let r2 = rename_apart(&p, &p.rules[1], "_2");
+        // Heads p(a, C) and p(b, C2): non-cost args [a] vs [b] clash.
+        // (p is not declared a cost pred, so all args count as non-cost and
+        // the C/C2 unification succeeds while a/b fails.)
+        assert!(unify_heads_noncost(&p, &p.rules[0], &r2).is_none());
+    }
+
+    #[test]
+    fn rename_apart_makes_rules_disjoint() {
+        let p = parse_program("p(X, Y) :- q(X, Y).").unwrap();
+        let renamed = rename_apart(&p, &p.rules[0], "_fresh");
+        let orig_vars: std::collections::HashSet<_> =
+            p.rules[0].all_vars().into_iter().collect();
+        for v in renamed.all_vars() {
+            assert!(!orig_vars.contains(&v));
+        }
+    }
+
+    #[test]
+    fn resolve_follows_chains() {
+        let p = parse_program("p(X, Y, Z) :- q(X, Y, Z).").unwrap();
+        let vars = p.rules[0].all_vars();
+        let (x, y, z) = (vars[0], vars[1], vars[2]);
+        let mut s = Subst::new();
+        s.bind(x, Term::Var(y));
+        s.bind(y, Term::Var(z));
+        assert_eq!(s.resolve(Term::Var(x)), Term::Var(z));
+    }
+
+    #[test]
+    fn constraint_instance_detection_example_2_5() {
+        // Combined body contains arc(direct, Y, C2) which instantiates
+        // the constraint :- arc(direct, Z, C).
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, D) :- arc(X, Y, D).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        // Build the combined body with Z unified to `direct` as in the
+        // paper: body of rule 1 plus body of rule 2 with Z := direct.
+        let r2 = rename_apart(&p, &p.rules[1], "_2");
+        let theta = unify_heads_noncost(&p, &p.rules[0], &r2).unwrap();
+        let mut combined: Vec<Literal> = p.rules[0]
+            .body
+            .iter()
+            .map(|l| theta.apply_literal(l))
+            .collect();
+        combined.extend(r2.body.iter().map(|l| theta.apply_literal(l)));
+        assert!(contains_constraint_instance(&p.constraints[0], &combined));
+    }
+
+    #[test]
+    fn constraint_instance_absent_when_bodies_clean() {
+        let p = parse_program(
+            r#"
+            p(X) :- q(X).
+            constraint :- r(X).
+            "#,
+        )
+        .unwrap();
+        assert!(!contains_constraint_instance(
+            &p.constraints[0],
+            &p.rules[0].body
+        ));
+    }
+
+    #[test]
+    fn multi_subgoal_constraint_requires_all_parts() {
+        let p = parse_program(
+            r#"
+            w(G) :- gate(G, or_kind), gate(G, and_kind).
+            x(G) :- gate(G, or_kind).
+            constraint :- gate(G, or_kind), gate(G, and_kind).
+            "#,
+        )
+        .unwrap();
+        assert!(contains_constraint_instance(
+            &p.constraints[0],
+            &p.rules[0].body
+        ));
+        assert!(!contains_constraint_instance(
+            &p.constraints[0],
+            &p.rules[1].body
+        ));
+    }
+}

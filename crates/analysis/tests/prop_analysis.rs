@@ -1,0 +1,140 @@
+//! Property tests for the static analyses: FD closure laws, containment
+//! mappings on systematically renamed/specialized rules, and stability of
+//! the verdicts under variable renaming.
+
+use maglog_analysis::containment::containment_mapping_exists;
+use maglog_analysis::fd::{closure, implies, Fd};
+use maglog_analysis::unify::rename_apart;
+use maglog_analysis::{check_program, is_cost_respecting};
+use maglog_datalog::{parse_program, Sym, Var};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn var_set(ids: &[u32]) -> BTreeSet<Var> {
+    ids.iter().map(|&i| Var(Sym(i))).collect()
+}
+
+fn fd_strategy() -> impl Strategy<Value = Vec<Fd>> {
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0u32..8, 0..3),
+            prop::collection::btree_set(0u32..8, 1..3),
+        ),
+        0..6,
+    )
+    .prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(l, r)| {
+                Fd::new(
+                    l.into_iter().map(|i| Var(Sym(i))),
+                    r.into_iter().map(|i| Var(Sym(i))),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn closure_is_extensive_monotone_idempotent(
+        fds in fd_strategy(),
+        attrs in prop::collection::btree_set(0u32..8, 0..5),
+        more in prop::collection::btree_set(0u32..8, 0..3),
+    ) {
+        let a = var_set(&attrs.iter().copied().collect::<Vec<_>>());
+        let c = closure(&a, &fds);
+        // Extensive: X ⊆ X⁺.
+        prop_assert!(a.is_subset(&c));
+        // Idempotent: (X⁺)⁺ = X⁺.
+        prop_assert_eq!(closure(&c, &fds), c.clone());
+        // Monotone: X ⊆ Y ⇒ X⁺ ⊆ Y⁺.
+        let mut bigger = a.clone();
+        bigger.extend(more.iter().map(|&i| Var(Sym(i))));
+        prop_assert!(c.is_subset(&closure(&bigger, &fds)));
+    }
+
+    #[test]
+    fn implies_respects_armstrong_reflexivity(
+        fds in fd_strategy(),
+        attrs in prop::collection::btree_set(0u32..8, 1..5),
+    ) {
+        // X → Y for every Y ⊆ X, regardless of the FD set.
+        let ids: Vec<u32> = attrs.iter().copied().collect();
+        let lhs = var_set(&ids);
+        let rhs = var_set(&ids[..ids.len() / 2 + 1]);
+        prop_assert!(implies(&fds, &lhs, &rhs));
+    }
+
+    #[test]
+    fn declared_fds_are_implied(fds in fd_strategy()) {
+        for fd in &fds {
+            prop_assert!(implies(&fds, &fd.lhs, &fd.rhs));
+        }
+    }
+}
+
+// ---- Containment mappings ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_rule_contains_its_own_renaming(seed in 0u32..1000) {
+        // A renamed-apart copy of a rule is contained both ways.
+        let src = format!(
+            "p{0}(X, Y, C) :- q(X, Z), r(Z, Y, C), s(Y).",
+            seed % 7
+        );
+        let p = parse_program(&src).unwrap();
+        let rule = &p.rules[0];
+        let renamed = rename_apart(&p, rule, "_fresh");
+        prop_assert!(containment_mapping_exists(rule, &renamed));
+        prop_assert!(containment_mapping_exists(&renamed, rule));
+    }
+
+    #[test]
+    fn specialization_is_contained_one_way(n_extra in 1usize..4) {
+        // r2 = r1 plus extra subgoals: containment r1 → r2 holds (r2's
+        // tuples ⊆ r1's), but not the converse.
+        let extra: Vec<String> = (0..n_extra).map(|i| format!("e{i}(X)")).collect();
+        let src = format!(
+            "p(X, Y) :- q(X, Y).\np(X, Y) :- q(X, Y), {}.",
+            extra.join(", ")
+        );
+        let p = parse_program(&src).unwrap();
+        prop_assert!(containment_mapping_exists(&p.rules[0], &p.rules[1]));
+        prop_assert!(!containment_mapping_exists(&p.rules[1], &p.rules[0]));
+    }
+}
+
+// ---- Verdict stability under renaming ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn verdicts_are_stable_under_variable_renaming(suffix in "[a-z]{1,6}") {
+        let src = format!(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X{s}, direct, Y{s}, C{s}) :- arc(X{s}, Y{s}, C{s}).
+            path(X{s}, Z{s}, Y{s}, C{s}) :- s(X{s}, Z{s}, C1{s}), arc(Z{s}, Y{s}, C2{s}), C{s} = C1{s} + C2{s}.
+            s(X{s}, Y{s}, C{s}) :- C{s} =r min D{s} : path(X{s}, Z{s}, Y{s}, D{s}).
+            constraint :- arc(direct, Z{s}, C{s}).
+            "#,
+            s = suffix.to_uppercase()
+        );
+        let p = parse_program(&src).unwrap();
+        let r = check_program(&p);
+        prop_assert!(r.is_range_restricted());
+        prop_assert!(r.is_conflict_free());
+        prop_assert!(r.is_monotonic());
+        prop_assert!(!r.is_r_monotonic());
+        for rule in &p.rules {
+            prop_assert!(is_cost_respecting(&p, rule));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Direct algorithms for the paper's motivating problems.
+//!
+//! These are the specialized comparators: they work on plain Rust data
+//! (not on programs) and serve both as ground truth for property tests
+//! (engine ≡ direct algorithm on random instances) and as the performance
+//! baselines in the benchmark suite. The paper's Section 7 remarks that
+//! greedy methods (Dijkstra) exploit structure the general monotonic
+//! engine cannot; the benchmarks quantify that gap.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Single-source shortest paths with nonnegative weights (binary-heap
+/// Dijkstra). Returns `dist[v]` for reachable `v`.
+pub fn dijkstra(n: usize, arcs: &[(usize, usize, f64)], source: usize) -> Vec<Option<f64>> {
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(u, v, w) in arcs {
+        debug_assert!(w >= 0.0, "Dijkstra requires nonnegative weights");
+        adj[u].push((v, w));
+    }
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((OrdF64(0.0), source)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if let Some(best) = dist[u] {
+            if best <= d {
+                continue;
+            }
+        }
+        dist[u] = Some(d);
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if dist[v].map_or(true, |b| nd < b) {
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths by running Dijkstra from every source.
+pub fn all_pairs_dijkstra(n: usize, arcs: &[(usize, usize, f64)]) -> Vec<Vec<Option<f64>>> {
+    (0..n).map(|s| dijkstra(n, arcs, s)).collect()
+}
+
+/// Bellman–Ford from one source; handles negative weights. Returns
+/// `Err(())` when a negative cycle is reachable from the source.
+pub fn bellman_ford(
+    n: usize,
+    arcs: &[(usize, usize, f64)],
+    source: usize,
+) -> Result<Vec<Option<f64>>, ()> {
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    dist[source] = Some(0.0);
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for &(u, v, w) in arcs {
+            if let Some(du) = dist[u] {
+                let nd = du + w;
+                if dist[v].map_or(true, |b| nd < b) {
+                    dist[v] = Some(nd);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for &(u, v, w) in arcs {
+        if let (Some(du), Some(dv)) = (dist[u], dist[v]) {
+            if du + w < dv {
+                return Err(());
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Widest (maximum-bottleneck) paths from one source: a max-capacity
+/// variant of Dijkstra. `width[v]` is the largest capacity `c` such that a
+/// nonempty path from `source` to `v` exists whose every link has
+/// capacity ≥ c. Capacities may be any reals; unreachable = `None`.
+pub fn widest_paths(
+    n: usize,
+    links: &[(usize, usize, f64)],
+    source: usize,
+) -> Vec<Option<f64>> {
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(u, v, c) in links {
+        adj[u].push((v, c));
+    }
+    let mut width: Vec<Option<f64>> = vec![None; n];
+    // Max-heap on current bottleneck width.
+    let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::new();
+    // Seed with the source's outgoing links (nonempty paths only — the
+    // same convention as the paper's `s` relation).
+    for &(v, c) in &adj[source] {
+        heap.push((OrdF64(c), v));
+    }
+    while let Some((OrdF64(wd), u)) = heap.pop() {
+        if let Some(best) = width[u] {
+            if best >= wd {
+                continue;
+            }
+        }
+        width[u] = Some(wd);
+        for &(v, c) in &adj[u] {
+            let nw = wd.min(c);
+            if width[v].map_or(true, |b| nw > b) {
+                heap.push((OrdF64(nw), v));
+            }
+        }
+    }
+    width
+}
+
+/// Company control (Example 2.7) solved directly: iterate "X controls Y
+/// iff the shares X owns in Y plus shares owned by companies X controls
+/// exceed 0.5" to a fixpoint. `shares[(x, y)]` is the fraction of `y`
+/// owned by `x`. Returns the set of (controller, controlled) pairs and the
+/// final controlled-fraction matrix.
+pub fn company_control(
+    n: usize,
+    shares: &HashMap<(usize, usize), f64>,
+) -> (HashSet<(usize, usize)>, HashMap<(usize, usize), f64>) {
+    let mut controls: HashSet<(usize, usize)> = HashSet::new();
+    loop {
+        let mut fractions: HashMap<(usize, usize), f64> = HashMap::new();
+        for (&(owner, company), &frac) in shares {
+            // Direct holdings: cv(X, X, Y, N).
+            *fractions.entry((owner, company)).or_insert(0.0) += frac;
+            // Holdings through controlled intermediaries: cv(X, Z, Y, N)
+            // for every X controlling Z = owner.
+            for x in 0..n {
+                if x != owner && controls.contains(&(x, owner)) {
+                    *fractions.entry((x, company)).or_insert(0.0) += frac;
+                }
+            }
+        }
+        let next: HashSet<(usize, usize)> = fractions
+            .iter()
+            .filter(|(_, &f)| f > 0.5)
+            .map(|(&k, _)| k)
+            .collect();
+        if next == controls {
+            return (controls, fractions);
+        }
+        controls = next;
+    }
+}
+
+/// A gate kind for the circuit evaluator (Example 4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    And,
+    Or,
+}
+
+/// A circuit: `inputs[w]` fixes input wires, `gates[g] = (kind, fan_in)`
+/// where fan-in lists wire ids (inputs or gate outputs).
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    pub inputs: HashMap<usize, bool>,
+    pub gates: HashMap<usize, (Gate, Vec<usize>)>,
+}
+
+/// Evaluate a (possibly cyclic) circuit in the *minimal* fashion: every
+/// wire defaults to false and values only ever rise `false → true`
+/// (the `bool_or` lattice). This is the least fixpoint the paper's
+/// default-value semantics computes.
+pub fn eval_circuit_minimal(circuit: &Circuit) -> HashMap<usize, bool> {
+    let mut value: HashMap<usize, bool> = HashMap::new();
+    for (&w, &b) in &circuit.inputs {
+        value.insert(w, b);
+    }
+    for &g in circuit.gates.keys() {
+        value.entry(g).or_insert(false);
+    }
+    loop {
+        let mut changed = false;
+        for (&g, (kind, fan_in)) in &circuit.gates {
+            let bits = fan_in.iter().map(|w| *value.get(w).unwrap_or(&false));
+            let out = match kind {
+                Gate::And => bits.fold(true, |a, b| a && b) && !fan_in.is_empty(),
+                Gate::Or => bits.fold(false, |a, b| a || b),
+            };
+            // Monotone update only (false → true).
+            if out && !value[&g] {
+                value.insert(g, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            return value;
+        }
+    }
+}
+
+/// Party invitations (Example 4.3) solved directly: repeatedly admit every
+/// person whose required number of already-coming acquaintances is met.
+/// `knows[x]` lists who `x` knows; `requires[x]` is their threshold.
+pub fn party_attendance(knows: &[Vec<usize>], requires: &[usize]) -> Vec<bool> {
+    let n = requires.len();
+    let mut coming = vec![false; n];
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    while let Some(x) = queue.pop_front() {
+        if coming[x] {
+            continue;
+        }
+        let known_coming = knows[x].iter().filter(|&&y| coming[y]).count();
+        if known_coming >= requires[x] {
+            coming[x] = true;
+            // Anyone who knows x may now qualify.
+            for (y, ks) in knows.iter().enumerate() {
+                if !coming[y] && ks.contains(&x) {
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    coming
+}
+
+/// A total-order wrapper for f64 distances (no NaN by construction).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN distances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dijkstra_small_graph() {
+        let arcs = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0), (2, 0, 1.0)];
+        let d = dijkstra(3, &arcs, 0);
+        assert_eq!(d[0], Some(0.0));
+        assert_eq!(d[1], Some(1.0));
+        assert_eq!(d[2], Some(3.0));
+        let d2 = dijkstra(3, &arcs, 2);
+        assert_eq!(d2[1], Some(2.0));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_nodes_are_none() {
+        let d = dijkstra(3, &[(0, 1, 1.0)], 0);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn bellman_ford_handles_negative_weights() {
+        let arcs = [(0, 1, 4.0), (0, 2, 5.0), (2, 1, -3.0)];
+        let d = bellman_ford(3, &arcs, 0).unwrap();
+        assert_eq!(d[1], Some(2.0));
+    }
+
+    #[test]
+    fn bellman_ford_detects_negative_cycles() {
+        let arcs = [(0, 1, 1.0), (1, 0, -2.0)];
+        assert!(bellman_ford(2, &arcs, 0).is_err());
+    }
+
+    #[test]
+    fn widest_paths_basic() {
+        // 0 →(5) 1 →(3) 2, plus a thin direct 0 →(1) 2.
+        let links = [(0, 1, 5.0), (1, 2, 3.0), (0, 2, 1.0)];
+        let w = widest_paths(3, &links, 0);
+        assert_eq!(w[1], Some(5.0));
+        assert_eq!(w[2], Some(3.0)); // bottleneck of the wide route
+    }
+
+    #[test]
+    fn widest_paths_on_cycles() {
+        let links = [(0, 1, 4.0), (1, 0, 4.0), (1, 2, 2.0)];
+        let w = widest_paths(3, &links, 0);
+        assert_eq!(w[0], Some(4.0)); // the nonempty round trip
+        assert_eq!(w[1], Some(4.0));
+        assert_eq!(w[2], Some(2.0));
+    }
+
+    #[test]
+    fn company_control_transitive() {
+        // 0 owns 60% of 1; 1 owns 60% of 2 ⇒ 0 controls 2 through 1.
+        let mut shares = HashMap::new();
+        shares.insert((0, 1), 0.6);
+        shares.insert((1, 2), 0.6);
+        let (controls, fractions) = company_control(3, &shares);
+        assert!(controls.contains(&(0, 1)));
+        assert!(controls.contains(&(0, 2)));
+        assert!(controls.contains(&(1, 2)));
+        assert_eq!(fractions[&(0, 2)], 0.6);
+    }
+
+    #[test]
+    fn company_control_cyclic_ownership_stays_uncontrolled() {
+        // Section 5.6's instance: nobody reaches > 0.5 of b or c for a.
+        let mut shares = HashMap::new();
+        shares.insert((0, 1), 0.3);
+        shares.insert((0, 2), 0.3);
+        shares.insert((1, 2), 0.6);
+        shares.insert((2, 1), 0.6);
+        let (controls, _) = company_control(3, &shares);
+        assert!(!controls.contains(&(0, 1)));
+        assert!(!controls.contains(&(0, 2)));
+        assert!(controls.contains(&(1, 2)));
+        assert!(controls.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn circuit_minimal_semantics() {
+        // AND gate 10 self-loop + true input: false (minimal); OR cycle
+        // 11 ↔ 12 with one true input: both true.
+        let mut c = Circuit::default();
+        c.inputs.insert(0, true);
+        c.inputs.insert(1, false);
+        c.gates.insert(10, (Gate::And, vec![10, 0]));
+        c.gates.insert(11, (Gate::Or, vec![0, 12]));
+        c.gates.insert(12, (Gate::Or, vec![11, 1]));
+        let v = eval_circuit_minimal(&c);
+        assert!(!v[&10]);
+        assert!(v[&11]);
+        assert!(v[&12]);
+    }
+
+    #[test]
+    fn party_cascade() {
+        // 0 requires 0; 1 knows 0 and requires 1; 2 and 3 know each other
+        // and require 1: they never come.
+        let knows = vec![vec![], vec![0], vec![3], vec![2]];
+        let requires = vec![0, 1, 1, 1];
+        let coming = party_attendance(&knows, &requires);
+        assert_eq!(coming, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn party_mutual_friends_with_zero_seed() {
+        // A clique where one person needs nobody: everyone cascades in.
+        let knows = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let requires = vec![0, 1, 2];
+        let coming = party_attendance(&knows, &requires);
+        assert_eq!(coming, vec![true, true, true]);
+    }
+}

@@ -1,0 +1,396 @@
+//! The Ganguly–Greco–Zaniolo rewriting (Section 5.4).
+//!
+//! Rules whose body computes a `min` (or `max`) aggregate are rewritten
+//! into normal rules with negation:
+//!
+//! ```text
+//! s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+//! ```
+//! becomes
+//! ```text
+//! ggz_wit_s(X, Y, C)    :- path(X, Z, Y, C).
+//! ggz_better_s(X, Y, C) :- ggz_wit_s(X, Y, C), ggz_wit_s(X, Y, D), D < C.
+//! s(X, Y, C)            :- ggz_wit_s(X, Y, C), ! ggz_better_s(X, Y, C).
+//! ```
+//!
+//! and the rewritten program is evaluated under the well-founded
+//! semantics. On acyclic cost-monotonic instances this gives the same
+//! two-valued answer as the paper's minimal model; on cyclic instances the
+//! positive sub-computation enumerates unboundedly many path costs and the
+//! evaluation diverges (reported as [`GgzOutcome::Diverged`]) — precisely
+//! the gap the paper's Section 5.4 comparison highlights.
+
+use crate::wfs::{well_founded_model, WfModel};
+use maglog_datalog::{
+    AggFunc, Atom, Builtin, CmpOp, Expr, Literal, Pred, PredDecl, Program, Rule, Term,
+    Var,
+};
+use maglog_engine::Edb;
+
+/// Result of running the GGZ pipeline.
+#[derive(Debug)]
+pub enum GgzOutcome {
+    /// The well-founded model of the rewritten program.
+    Model(WfModel),
+    /// Bottom-up evaluation exceeded the round budget (cyclic instance).
+    Diverged(String),
+}
+
+/// Rewrite every rule of the form `h :- C =r min/max E : atom` (possibly
+/// with additional non-aggregate literals) into negation, cloning the rest
+/// of the program. Returns the rewritten program; aggregates other than
+/// min/max are rejected.
+pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
+    let mut new_program = Program::new();
+    // Copy declarations, DROPPING cost specs: in the rewritten normal
+    // program every former cost argument is an ordinary column — `p(a,3)`
+    // and `p(a,4)` are just two atoms, with no lattice compression. (This
+    // is exactly why the rewritten program enumerates every path cost and
+    // diverges on cyclic graphs.)
+    for decl in program.decls.values() {
+        let pred = new_program.pred(&program.pred_name(decl.pred));
+        new_program.decls.insert(
+            pred,
+            PredDecl {
+                pred,
+                arity: decl.arity,
+                cost: None,
+            },
+        );
+    }
+    // Copy facts.
+    for f in &program.facts {
+        let mapped = Atom::new(
+            new_program.pred(&program.pred_name(f.pred)),
+            f.args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(Var(new_program
+                        .symbols
+                        .intern(&program.var_name(*v)))),
+                    Term::Const(maglog_datalog::Const::Sym(s)) => Term::Const(
+                        maglog_datalog::Const::Sym(
+                            new_program.symbols.intern(&program.symbols.name(*s)),
+                        ),
+                    ),
+                    Term::Const(c) => Term::Const(*c),
+                })
+                .collect(),
+        );
+        new_program.facts.push(mapped);
+    }
+
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let agg_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Literal::Agg(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if agg_positions.is_empty() {
+            // Plain copy.
+            new_program.rules.push(Rule {
+                head: map_atom(&new_program, program, &rule.head),
+                body: rule
+                    .body
+                    .iter()
+                    .map(|l| map_literal(&new_program, program, l))
+                    .collect(),
+            });
+            continue;
+        }
+        if agg_positions.len() > 1 {
+            return Err(format!(
+                "GGZ rewriting handles one aggregate per rule (rule {ri})"
+            ));
+        }
+        let ai = agg_positions[0];
+        let Literal::Agg(agg) = &rule.body[ai] else {
+            unreachable!()
+        };
+        if !matches!(agg.func, AggFunc::Min | AggFunc::Max) {
+            return Err(format!(
+                "GGZ rewriting only supports min/max, found '{}' (rule {ri})",
+                agg.func.name()
+            ));
+        }
+        if agg.conjuncts.len() != 1 {
+            return Err(format!(
+                "GGZ rewriting expects a single aggregated atom (rule {ri})"
+            ));
+        }
+        let Some(e) = agg.multiset_var else {
+            return Err(format!("GGZ rewriting needs a multiset variable (rule {ri})"));
+        };
+        let Term::Var(result_var) = agg.result else {
+            return Err(format!("GGZ rewriting needs a variable result (rule {ri})"));
+        };
+
+        let head_name = program.pred_name(rule.head.pred);
+        let wit = new_program.pred(&format!("ggz_wit_{head_name}_{ri}"));
+        let better = new_program.pred(&format!("ggz_better_{head_name}_{ri}"));
+        let groupings = rule.aggregate_grouping_vars(ai);
+        let g_terms: Vec<Term> = groupings
+            .iter()
+            .map(|v| Term::Var(map_var(&new_program, program, *v)))
+            .collect();
+        let c_var = map_var(&new_program, program, result_var);
+        let d_fresh = Var(new_program.symbols.intern(&format!("GgzD{ri}")));
+
+        // wit(G..., C) :- aggregated_atom[E := C].
+        let src_atom = &agg.conjuncts[0];
+        let mut wit_body_atom = map_atom(&new_program, program, src_atom);
+        for t in wit_body_atom.args.iter_mut() {
+            if *t == Term::Var(map_var(&new_program, program, e)) {
+                *t = Term::Var(c_var);
+            }
+        }
+        let mut wit_args = g_terms.clone();
+        wit_args.push(Term::Var(c_var));
+        new_program.rules.push(Rule {
+            head: Atom::new(wit, wit_args.clone()),
+            body: vec![Literal::Pos(wit_body_atom)],
+        });
+
+        // better(G..., C) :- wit(G..., C), wit(G..., D), D < C   (min)
+        //                                            or D > C    (max).
+        let mut wit_args_d = g_terms.clone();
+        wit_args_d.push(Term::Var(d_fresh));
+        let cmp = if agg.func == AggFunc::Min {
+            CmpOp::Lt
+        } else {
+            CmpOp::Gt
+        };
+        new_program.rules.push(Rule {
+            head: Atom::new(better, wit_args.clone()),
+            body: vec![
+                Literal::Pos(Atom::new(wit, wit_args.clone())),
+                Literal::Pos(Atom::new(wit, wit_args_d)),
+                Literal::Builtin(Builtin {
+                    op: cmp,
+                    lhs: Expr::Term(Term::Var(d_fresh)),
+                    rhs: Expr::Term(Term::Var(c_var)),
+                }),
+            ],
+        });
+
+        // head :- rest-of-body, wit(G..., C), ! better(G..., C).
+        let mut body: Vec<Literal> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != ai)
+            .map(|(_, l)| map_literal(&new_program, program, l))
+            .collect();
+        body.push(Literal::Pos(Atom::new(wit, wit_args.clone())));
+        body.push(Literal::Neg(Atom::new(better, wit_args)));
+        new_program.rules.push(Rule {
+            head: map_atom(&new_program, program, &rule.head),
+            body,
+        });
+    }
+    // Constraints are irrelevant to evaluation; copy for completeness.
+    for c in &program.constraints {
+        new_program.constraints.push(maglog_datalog::Constraint {
+            body: c
+                .body
+                .iter()
+                .map(|l| map_literal(&new_program, program, l))
+                .collect(),
+        });
+    }
+    Ok(new_program)
+}
+
+fn map_pred(dst: &Program, src: &Program, p: Pred) -> Pred {
+    dst.pred(&src.pred_name(p))
+}
+
+fn map_var(dst: &Program, src: &Program, v: Var) -> Var {
+    Var(dst.symbols.intern(&src.var_name(v)))
+}
+
+fn map_term(dst: &Program, src: &Program, t: &Term) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(map_var(dst, src, *v)),
+        Term::Const(maglog_datalog::Const::Sym(s)) => Term::Const(
+            maglog_datalog::Const::Sym(dst.symbols.intern(&src.symbols.name(*s))),
+        ),
+        Term::Const(c) => Term::Const(*c),
+    }
+}
+
+fn map_atom(dst: &Program, src: &Program, a: &Atom) -> Atom {
+    Atom::new(
+        map_pred(dst, src, a.pred),
+        a.args.iter().map(|t| map_term(dst, src, t)).collect(),
+    )
+}
+
+fn map_expr(dst: &Program, src: &Program, e: &Expr) -> Expr {
+    match e {
+        Expr::Term(t) => Expr::Term(map_term(dst, src, t)),
+        Expr::Neg(inner) => Expr::Neg(Box::new(map_expr(dst, src, inner))),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(map_expr(dst, src, l)),
+            Box::new(map_expr(dst, src, r)),
+        ),
+    }
+}
+
+fn map_literal(dst: &Program, src: &Program, lit: &Literal) -> Literal {
+    match lit {
+        Literal::Pos(a) => Literal::Pos(map_atom(dst, src, a)),
+        Literal::Neg(a) => Literal::Neg(map_atom(dst, src, a)),
+        Literal::Builtin(b) => Literal::Builtin(Builtin {
+            op: b.op,
+            lhs: map_expr(dst, src, &b.lhs),
+            rhs: map_expr(dst, src, &b.rhs),
+        }),
+        Literal::Agg(_) => unreachable!("aggregates are rewritten before copying"),
+    }
+}
+
+/// Rewrite and evaluate under WFS with a round budget.
+pub fn evaluate_ggz(program: &Program, edb: &Edb, max_rounds: usize) -> Result<GgzOutcome, String> {
+    let rewritten = rewrite_minmax(program)?;
+    let edb = edb.remap(program, &rewritten);
+    match well_founded_model(&rewritten, &edb, max_rounds) {
+        Ok(model) => Ok(GgzOutcome::Model(model)),
+        Err(e) if e.contains("fixpoint") || e.contains("budget") => Ok(GgzOutcome::Diverged(e)),
+        Err(e) => Err(e),
+    }
+}
+
+/// The rewritten program (for callers that need predicate lookups against
+/// it) together with its WFS model.
+pub fn evaluate_ggz_with_program(
+    program: &Program,
+    edb: &Edb,
+    max_rounds: usize,
+) -> Result<(Program, GgzOutcome), String> {
+    let rewritten = rewrite_minmax(program)?;
+    let edb = edb.remap(program, &rewritten);
+    let outcome = match well_founded_model(&rewritten, &edb, max_rounds) {
+        Ok(model) => GgzOutcome::Model(model),
+        Err(e) if e.contains("fixpoint") || e.contains("budget") => GgzOutcome::Diverged(e),
+        Err(e) => return Err(e),
+    };
+    Ok((rewritten, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+    use maglog_engine::{MonotonicEngine, Tuple, Value};
+
+    const SHORTEST_PATH: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    #[test]
+    fn rewriting_produces_negation_rules() {
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let r = rewrite_minmax(&p).unwrap();
+        // 2 copied rules + 3 rules from the rewritten aggregate rule.
+        assert_eq!(r.rules.len(), 5);
+        let has_neg = r
+            .rules
+            .iter()
+            .any(|rule| rule.body.iter().any(|l| matches!(l, Literal::Neg(_))));
+        assert!(has_neg);
+    }
+
+    #[test]
+    fn ggz_agrees_with_engine_on_a_dag() {
+        let src = format!(
+            "{SHORTEST_PATH}\narc(a, b, 1).\narc(b, c, 2).\narc(a, c, 5).\n"
+        );
+        let p = parse_program(&src).unwrap();
+        let engine_model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+
+        let (rw, outcome) = evaluate_ggz_with_program(&p, &Edb::new(), 10_000).unwrap();
+        let GgzOutcome::Model(wf) = outcome else {
+            panic!("expected convergence on a DAG");
+        };
+        assert!(wf.is_two_valued(&rw));
+        let s = rw.find_pred("s").unwrap();
+        // In the rewritten program cost columns are plain columns.
+        let key = Tuple::new(vec![
+            Value::Sym(rw.symbols.intern("a")),
+            Value::Sym(rw.symbols.intern("c")),
+            Value::num(3.0),
+        ]);
+        assert!(wf.true_set.relation(s).unwrap().contains(&key));
+        // And only the minimum survives the negation filter.
+        let a = Value::Sym(rw.symbols.intern("a"));
+        let c = Value::Sym(rw.symbols.intern("c"));
+        let ac_count = wf
+            .true_set
+            .relation(s)
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k.arity() == 3 && k[0] == a && k[1] == c)
+            .count();
+        assert_eq!(ac_count, 1);
+        assert_eq!(
+            engine_model.cost_of(&p, "s", &["a", "c"]).unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn ggz_diverges_on_cycles() {
+        let src = format!("{SHORTEST_PATH}\narc(a, b, 1).\narc(b, a, 1).\n");
+        let p = parse_program(&src).unwrap();
+        match evaluate_ggz(&p, &Edb::new(), 60).unwrap() {
+            GgzOutcome::Diverged(_) => {}
+            GgzOutcome::Model(_) => {
+                panic!("cyclic instance should enumerate unboundedly many path costs")
+            }
+        }
+    }
+
+    #[test]
+    fn non_minmax_aggregates_are_rejected() {
+        let p = parse_program(
+            r#"
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            "#,
+        )
+        .unwrap();
+        assert!(rewrite_minmax(&p).is_err());
+    }
+
+    #[test]
+    fn max_aggregates_flip_the_comparison() {
+        let p = parse_program(
+            r#"
+            declare pred score/2 cost max_real.
+            declare pred best/1 cost max_real.
+            score(a, 1). score(b, 7).
+            best(C) :- C =r max D : score(X, D).
+            "#,
+        )
+        .unwrap();
+        let (rw, outcome) = evaluate_ggz_with_program(&p, &Edb::new(), 1000).unwrap();
+        let GgzOutcome::Model(wf) = outcome else {
+            panic!("expected convergence")
+        };
+        let best = rw.find_pred("best").unwrap();
+        let rel = wf.true_set.relation(best).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&Tuple::new(vec![Value::num(7.0)])));
+    }
+}

@@ -1,0 +1,738 @@
+//! Kemp & Stuckey's well-founded semantics with aggregates (Section 5.3).
+//!
+//! The essential feature of the K&S semantics: an aggregate subgoal can be
+//! used only when **every instance of the aggregated atoms is fully
+//! determined**. On acyclic data this lets evaluation proceed from the
+//! "sinks" towards the "sources" (the paper's shortest-path discussion);
+//! on cyclic data every atom that depends on itself *through an aggregate*
+//! can never have its aggregate fully determined and comes out
+//! **undefined** — which is exactly where the paper's minimal-model
+//! semantics gives strictly more information (Proposition 6.1: the two
+//! agree wherever K&S is defined).
+//!
+//! ### Implementation
+//!
+//! For the negation-free (on CDB) monotonic programs the paper compares
+//! against, the K&S model is computed in three passes at the *key* level
+//! (cost arguments stripped, built-ins involving cost values
+//! over-approximated as true):
+//!
+//! 1. **possible**: the least model of the relaxed key-level program — a
+//!    superset of every derivable atom. Unfounded (positively
+//!    self-supported) atoms are excluded automatically because this is a
+//!    least fixpoint.
+//! 2. **decided**: least fixpoint of "some derivation of the atom is fully
+//!    evaluable": all positive body atoms decided, and for every aggregate
+//!    subgoal, *all possible members of its group* decided.
+//! 3. **statuses**: decided ∧ in the engine's minimal model → `True`
+//!    (with that model's cost — justified by Proposition 6.1);
+//!    decided ∧ not in the model → `False`; possible ∧ not decided →
+//!    `Undefined`; not possible → `False`.
+//!
+//! The construction is exact for the paper's comparison programs (single
+//! derivation shape per atom or purely positive alternatives). Programs
+//! mixing, for one atom, a decidable-but-failing derivation with an
+//! undecidable one may be reported decided where K&S would say undefined;
+//! none of the reproduced experiments have that shape.
+
+use maglog_datalog::{
+    AggEq, Atom, CmpOp, Expr, Literal, Pred, Program, Rule, Term, Var,
+};
+use maglog_engine::{Edb, Model, MonotonicEngine, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Three-valued status of a (key-level) atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomStatus {
+    True,
+    False,
+    Undefined,
+}
+
+/// The K&S well-founded model at the key level.
+#[derive(Debug)]
+pub struct KsModel {
+    statuses: HashMap<(Pred, Tuple), AtomStatus>,
+    /// Costs of `True` cost atoms (from the agreeing minimal model).
+    true_costs: HashMap<(Pred, Tuple), Option<Value>>,
+}
+
+impl KsModel {
+    /// Status of `pred(keys...)` (key arguments only, no cost argument).
+    pub fn status(&self, program: &Program, pred: &str, keys: &[&str]) -> AtomStatus {
+        let Some(pred) = program.find_pred(pred) else {
+            return AtomStatus::False;
+        };
+        let key = Tuple::new(keys.iter().map(|k| parse_value(program, k)).collect());
+        self.statuses
+            .get(&(pred, key))
+            .copied()
+            .unwrap_or(AtomStatus::False)
+    }
+
+    /// Cost of a `True` cost atom.
+    pub fn true_cost(&self, program: &Program, pred: &str, keys: &[&str]) -> Option<Value> {
+        let pred = program.find_pred(pred)?;
+        let key = Tuple::new(keys.iter().map(|k| parse_value(program, k)).collect());
+        self.true_costs.get(&(pred, key)).cloned().flatten()
+    }
+
+    /// Number of atoms with the given status (over possible atoms).
+    pub fn count(&self, status: AtomStatus) -> usize {
+        self.statuses.values().filter(|&&s| s == status).count()
+    }
+
+    /// Undefined atoms for a specific predicate.
+    pub fn undefined_keys(&self, program: &Program, pred: &str) -> Vec<Tuple> {
+        let Some(pred) = program.find_pred(pred) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Tuple> = self
+            .statuses
+            .iter()
+            .filter(|((p, _), s)| *p == pred && **s == AtomStatus::Undefined)
+            .map(|((_, k), _)| k.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub fn is_two_valued(&self) -> bool {
+        self.count(AtomStatus::Undefined) == 0
+    }
+}
+
+type KeySet = HashMap<Pred, HashSet<Tuple>>;
+
+/// Compute the K&S well-founded model. The program must be negation-free
+/// on its recursive predicates (the class both semantics cover); LDB
+/// negation is fine. The engine's minimal model supplies the cost values
+/// of `True` atoms (Proposition 6.1 guarantees agreement).
+pub fn ks_well_founded(program: &Program, edb: &Edb) -> Result<KsModel, String> {
+    let engine_model = MonotonicEngine::new(program)
+        .evaluate(edb)
+        .map_err(|e| e.to_string())?;
+
+    let base = key_level_facts(program, edb)?;
+    let possible = key_fixpoint(program, base.clone(), Mode::Possible, None)?;
+    let decided = key_fixpoint(program, base, Mode::Decided, Some(&possible))?;
+
+    let mut statuses = HashMap::new();
+    let mut true_costs = HashMap::new();
+    for (pred, keys) in &possible {
+        for key in keys {
+            let is_decided = decided
+                .get(pred)
+                .map_or(false, |s| s.contains(key));
+            let status = if !is_decided {
+                AtomStatus::Undefined
+            } else if in_model(&engine_model, program, *pred, key) {
+                AtomStatus::True
+            } else {
+                AtomStatus::False
+            };
+            if status == AtomStatus::True {
+                if let Some(cost) = model_cost(&engine_model, program, *pred, key) {
+                    true_costs.insert((*pred, key.clone()), cost);
+                }
+            }
+            statuses.insert((*pred, key.clone()), status);
+        }
+    }
+    Ok(KsModel {
+        statuses,
+        true_costs,
+    })
+}
+
+fn in_model(model: &Model, program: &Program, pred: Pred, key: &Tuple) -> bool {
+    model
+        .interp()
+        .cost(program, pred, key)
+        .is_some()
+}
+
+fn model_cost(
+    model: &Model,
+    program: &Program,
+    pred: Pred,
+    key: &Tuple,
+) -> Option<Option<Value>> {
+    model.interp().cost(program, pred, key)
+}
+
+/// Load EDB facts at key level (cost argument stripped).
+fn key_level_facts(program: &Program, edb: &Edb) -> Result<KeySet, String> {
+    let mut out: KeySet = HashMap::new();
+    for atom in &program.facts {
+        let has_cost = program.is_cost_pred(atom.pred);
+        let key: Vec<Value> = atom
+            .key_args(has_cost)
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Value::from_const(*c),
+                Term::Var(_) => unreachable!("facts are ground"),
+            })
+            .collect();
+        out.entry(atom.pred).or_default().insert(Tuple::new(key));
+    }
+    for (pred, key, cost) in edb.coerced(program).map_err(|e| e)? {
+        let _ = cost;
+        out.entry(pred).or_default().insert(Tuple::new(key));
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Over-approximate: aggregates existential (`=r`) or vacuous (`=`).
+    Possible,
+    /// Aggregates demand all possible group members already derived.
+    Decided,
+}
+
+/// Iterate the key-level program to a fixpoint in the given mode.
+fn key_fixpoint(
+    program: &Program,
+    base: KeySet,
+    mode: Mode,
+    possible: Option<&KeySet>,
+) -> Result<KeySet, String> {
+    let mut db = base;
+    loop {
+        let mut new_atoms: Vec<(Pred, Tuple)> = Vec::new();
+        for rule in &program.rules {
+            fire_key_rule(program, rule, &db, mode, possible, &mut new_atoms)?;
+        }
+        let mut changed = false;
+        for (pred, key) in new_atoms {
+            changed |= db.entry(pred).or_default().insert(key);
+        }
+        if !changed {
+            return Ok(db);
+        }
+    }
+}
+
+fn fire_key_rule(
+    program: &Program,
+    rule: &Rule,
+    db: &KeySet,
+    mode: Mode,
+    possible: Option<&KeySet>,
+    out: &mut Vec<(Pred, Tuple)>,
+) -> Result<(), String> {
+    // Order: positive atoms (by unbound count at plan time we just keep
+    // syntactic order — bodies are tiny), then aggregates, then negation
+    // and builtins inline when evaluable.
+    let mut pos: Vec<usize> = Vec::new();
+    let mut aggs: Vec<usize> = Vec::new();
+    let mut checks: Vec<usize> = Vec::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Pos(_) => pos.push(i),
+            Literal::Agg(_) => aggs.push(i),
+            Literal::Neg(_) | Literal::Builtin(_) => checks.push(i),
+        }
+    }
+    let order: Vec<usize> = pos.into_iter().chain(aggs).chain(checks).collect();
+
+    let mut binding: HashMap<Var, Value> = HashMap::new();
+    fire_at(
+        program, rule, &order, 0, db, mode, possible, &mut binding, out,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fire_at(
+    program: &Program,
+    rule: &Rule,
+    order: &[usize],
+    depth: usize,
+    db: &KeySet,
+    mode: Mode,
+    possible: Option<&KeySet>,
+    binding: &mut HashMap<Var, Value>,
+    out: &mut Vec<(Pred, Tuple)>,
+) -> Result<(), String> {
+    if depth == order.len() {
+        let has_cost = program.is_cost_pred(rule.head.pred);
+        let mut key = Vec::new();
+        for t in rule.head.key_args(has_cost) {
+            match t {
+                Term::Const(c) => key.push(Value::from_const(*c)),
+                Term::Var(v) => match binding.get(v) {
+                    Some(val) => key.push(val.clone()),
+                    // A head key variable bound only through dropped cost
+                    // machinery cannot occur in range-restricted programs.
+                    None => return Err("unbound key variable in head".into()),
+                },
+            }
+        }
+        out.push((rule.head.pred, Tuple::new(key)));
+        return Ok(());
+    }
+    match &rule.body[order[depth]] {
+        Literal::Pos(atom) => each_key_match(program, db, atom, binding, &mut |b| {
+            fire_at(program, rule, order, depth + 1, db, mode, possible, b, out)
+        }),
+        Literal::Neg(atom) => {
+            // LDB negation: the negated relation is EDB-complete in `db`.
+            let holds = key_atom_holds(program, db, atom, binding)?;
+            if holds {
+                Ok(())
+            } else {
+                fire_at(
+                    program, rule, order, depth + 1, db, mode, possible, binding, out,
+                )
+            }
+        }
+        Literal::Builtin(b) => {
+            // Evaluate when fully bound at key level; otherwise the builtin
+            // involves cost values — over-approximate as true.
+            match try_eval_builtin(b, binding) {
+                Some(false) => Ok(()),
+                _ => fire_at(
+                    program, rule, order, depth + 1, db, mode, possible, binding, out,
+                ),
+            }
+        }
+        Literal::Agg(agg) => {
+            let idx = order[depth];
+            let groupings = rule.aggregate_grouping_vars(idx);
+            match mode {
+                Mode::Possible => {
+                    let all_bound = groupings.iter().all(|v| binding.contains_key(v));
+                    if agg.eq == AggEq::Total && all_bound {
+                        // `=` aggregates hold for every group, empty or not.
+                        return fire_at(
+                            program, rule, order, depth + 1, db, mode, possible, binding,
+                            out,
+                        );
+                    }
+                    // `=r` (or unbound groupings): enumerate distinct
+                    // grouping bindings witnessed by the conjunction.
+                    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+                    let mut results: Vec<HashMap<Var, Value>> = Vec::new();
+                    enumerate_conjunction(program, db, &agg.conjuncts, 0, binding, &mut |b| {
+                        let gv: Vec<Value> =
+                            groupings.iter().map(|v| b[v].clone()).collect();
+                        if seen.insert(gv) {
+                            results.push(
+                                groupings
+                                    .iter()
+                                    .map(|v| (*v, b[v].clone()))
+                                    .collect(),
+                            );
+                        }
+                        Ok(())
+                    })?;
+                    for extra in results {
+                        let mut fresh = Vec::new();
+                        let mut ok = true;
+                        for (v, val) in &extra {
+                            match binding.get(v) {
+                                Some(b) if b == val => {}
+                                Some(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                                None => {
+                                    binding.insert(*v, val.clone());
+                                    fresh.push(*v);
+                                }
+                            }
+                        }
+                        if ok {
+                            fire_at(
+                                program, rule, order, depth + 1, db, mode, possible,
+                                binding, out,
+                            )?;
+                        }
+                        for v in fresh {
+                            binding.remove(&v);
+                        }
+                    }
+                    Ok(())
+                }
+                Mode::Decided => {
+                    let possible = possible.expect("decided mode has a possible set");
+                    // Enumerate grouping bindings (over the possible set) if
+                    // not already bound, then demand every possible group
+                    // member be decided (i.e. in `db`).
+                    let mut candidates: Vec<HashMap<Var, Value>> = Vec::new();
+                    let all_bound = groupings.iter().all(|v| binding.contains_key(v));
+                    if all_bound {
+                        candidates.push(HashMap::new());
+                    } else {
+                        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+                        enumerate_conjunction(
+                            program,
+                            possible,
+                            &agg.conjuncts,
+                            0,
+                            binding,
+                            &mut |b| {
+                                let gv: Vec<Value> =
+                                    groupings.iter().map(|v| b[v].clone()).collect();
+                                if seen.insert(gv) {
+                                    candidates.push(
+                                        groupings
+                                            .iter()
+                                            .map(|v| (*v, b[v].clone()))
+                                            .collect(),
+                                    );
+                                }
+                                Ok(())
+                            },
+                        )?;
+                    }
+                    for extra in candidates {
+                        let mut fresh = Vec::new();
+                        let mut consistent = true;
+                        for (v, val) in &extra {
+                            match binding.get(v) {
+                                Some(b) if b == val => {}
+                                Some(_) => {
+                                    consistent = false;
+                                    break;
+                                }
+                                None => {
+                                    binding.insert(*v, val.clone());
+                                    fresh.push(*v);
+                                }
+                            }
+                        }
+                        if consistent {
+                            // Collect every possible member of this group.
+                            let mut members: Vec<(Pred, Tuple)> = Vec::new();
+                            let mut count = 0usize;
+                            enumerate_conjunction(
+                                program,
+                                possible,
+                                &agg.conjuncts,
+                                0,
+                                binding,
+                                &mut |b| {
+                                    count += 1;
+                                    for conj in &agg.conjuncts {
+                                        let has_cost = program.is_cost_pred(conj.pred);
+                                        let key: Option<Vec<Value>> = conj
+                                            .key_args(has_cost)
+                                            .iter()
+                                            .map(|t| resolve_key(t, b))
+                                            .collect();
+                                        if let Some(key) = key {
+                                            members.push((conj.pred, Tuple::new(key)));
+                                        }
+                                    }
+                                    Ok(())
+                                },
+                            )?;
+                            // Note: default-value predicates get NO special
+                            // treatment here — the default-value device is
+                            // the paper's, not K&S's, which is exactly why
+                            // cyclic circuits are undefined in this
+                            // semantics (Example 4.4 discussion).
+                            let group_ok = members
+                                .iter()
+                                .all(|(p, k)| db.get(p).map_or(false, |s| s.contains(k)));
+                            let nonempty_ok = agg.eq == AggEq::Total || count > 0;
+                            if group_ok && nonempty_ok {
+                                fire_at(
+                                    program, rule, order, depth + 1, db, mode,
+                                    Some(possible), binding, out,
+                                )?;
+                            }
+                        }
+                        for v in fresh {
+                            binding.remove(&v);
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn resolve_key(t: &Term, binding: &HashMap<Var, Value>) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(Value::from_const(*c)),
+        Term::Var(v) => binding.get(v).cloned(),
+    }
+}
+
+/// Enumerate key-level matches of a conjunction (cost arguments ignored).
+fn enumerate_conjunction(
+    program: &Program,
+    db: &KeySet,
+    conjuncts: &[Atom],
+    depth: usize,
+    binding: &mut HashMap<Var, Value>,
+    emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<(), String>,
+) -> Result<(), String> {
+    if depth == conjuncts.len() {
+        return emit(binding);
+    }
+    // Default-value predicates get no totality treatment in the K&S
+    // baseline: only explicitly derived instances participate.
+    let atom = &conjuncts[depth];
+    each_key_match(program, db, atom, binding, &mut |b| {
+        enumerate_conjunction(program, db, conjuncts, depth + 1, b, emit)
+    })
+}
+
+/// Enumerate matches of one atom at key level.
+fn each_key_match(
+    program: &Program,
+    db: &KeySet,
+    atom: &Atom,
+    binding: &mut HashMap<Var, Value>,
+    k: &mut dyn FnMut(&mut HashMap<Var, Value>) -> Result<(), String>,
+) -> Result<(), String> {
+    let has_cost = program.is_cost_pred(atom.pred);
+    let key_args = atom.key_args(has_cost);
+    let Some(keys) = db.get(&atom.pred) else {
+        return Ok(());
+    };
+    'keys: for key in keys {
+        if key.arity() != key_args.len() {
+            continue;
+        }
+        let mut fresh: Vec<Var> = Vec::new();
+        for (i, t) in key_args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    if Value::from_const(*c) != key[i] {
+                        for v in fresh.drain(..) {
+                            binding.remove(&v);
+                        }
+                        continue 'keys;
+                    }
+                }
+                Term::Var(v) => match binding.get(v) {
+                    Some(b) => {
+                        if *b != key[i] {
+                            for v in fresh.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'keys;
+                        }
+                    }
+                    None => {
+                        binding.insert(*v, key[i].clone());
+                        fresh.push(*v);
+                    }
+                },
+            }
+        }
+        k(binding)?;
+        for v in fresh {
+            binding.remove(&v);
+        }
+    }
+    Ok(())
+}
+
+fn key_atom_holds(
+    program: &Program,
+    db: &KeySet,
+    atom: &Atom,
+    binding: &HashMap<Var, Value>,
+) -> Result<bool, String> {
+    let has_cost = program.is_cost_pred(atom.pred);
+    let mut key = Vec::new();
+    for t in atom.key_args(has_cost) {
+        key.push(resolve_key(t, binding).ok_or("unbound var in negated subgoal")?);
+    }
+    Ok(db
+        .get(&atom.pred)
+        .map_or(false, |s| s.contains(&Tuple::new(key))))
+}
+
+/// Evaluate a builtin if all its variables are bound at key level; `None`
+/// when some variable is cost-level (over-approximated).
+fn try_eval_builtin(
+    b: &maglog_datalog::Builtin,
+    binding: &HashMap<Var, Value>,
+) -> Option<bool> {
+    fn eval(e: &Expr, binding: &HashMap<Var, Value>) -> Option<Value> {
+        match e {
+            Expr::Term(Term::Const(c)) => Some(Value::from_const(*c)),
+            Expr::Term(Term::Var(v)) => binding.get(v).cloned(),
+            Expr::Neg(inner) => Some(Value::num(-eval(inner, binding)?.as_f64()?)),
+            Expr::Bin(op, l, r) => {
+                let a = eval(l, binding)?.as_f64()?;
+                let b2 = eval(r, binding)?.as_f64()?;
+                let v = match op {
+                    maglog_datalog::BinOp::Add => a + b2,
+                    maglog_datalog::BinOp::Sub => a - b2,
+                    maglog_datalog::BinOp::Mul => a * b2,
+                    maglog_datalog::BinOp::Min => a.min(b2),
+                    maglog_datalog::BinOp::Max => a.max(b2),
+                    maglog_datalog::BinOp::Div => {
+                        if b2 == 0.0 {
+                            return None;
+                        }
+                        a / b2
+                    }
+                };
+                (!v.is_nan()).then(|| Value::num(v))
+            }
+        }
+    }
+    let l = eval(&b.lhs, binding)?;
+    let r = eval(&b.rhs, binding)?;
+    let (x, y) = (l.as_f64(), r.as_f64());
+    Some(match b.op {
+        CmpOp::Eq => l == r || matches!((x, y), (Some(a), Some(b)) if a == b),
+        CmpOp::Ne => !(l == r || matches!((x, y), (Some(a), Some(b)) if a == b)),
+        CmpOp::Lt => matches!((x, y), (Some(a), Some(b)) if a < b),
+        CmpOp::Le => matches!((x, y), (Some(a), Some(b)) if a <= b),
+        CmpOp::Gt => matches!((x, y), (Some(a), Some(b)) if a > b),
+        CmpOp::Ge => matches!((x, y), (Some(a), Some(b)) if a >= b),
+    })
+}
+
+fn parse_value(program: &Program, text: &str) -> Value {
+    match text.parse::<f64>() {
+        Ok(n) if !n.is_nan() => Value::num(n),
+        _ => Value::Sym(program.symbols.intern(text)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    const SHORTEST_PATH: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    #[test]
+    fn acyclic_shortest_path_is_two_valued_and_agrees() {
+        let src = format!("{SHORTEST_PATH}\narc(a, b, 1).\narc(b, c, 2).\narc(a, c, 5).\n");
+        let p = parse_program(&src).unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert!(ks.is_two_valued());
+        assert_eq!(ks.status(&p, "s", &["a", "c"]), AtomStatus::True);
+        assert_eq!(
+            ks.true_cost(&p, "s", &["a", "c"]).unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(ks.status(&p, "s", &["c", "a"]), AtomStatus::False);
+    }
+
+    #[test]
+    fn cyclic_shortest_path_has_undefined_atoms() {
+        // Example 3.1's instance: arc(a,b,1), arc(b,b,0) — the b-loop makes
+        // s(b,b) (and everything reached through it) undefined for K&S,
+        // while the paper's minimal model decides all of it.
+        let src = format!("{SHORTEST_PATH}\narc(a, b, 1).\narc(b, b, 0).\n");
+        let p = parse_program(&src).unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert!(!ks.is_two_valued());
+        assert_eq!(ks.status(&p, "s", &["b", "b"]), AtomStatus::Undefined);
+        assert_eq!(ks.status(&p, "s", &["a", "b"]), AtomStatus::Undefined);
+        // The direct base facts stay decided.
+        assert_eq!(ks.status(&p, "arc", &["a", "b"]), AtomStatus::True);
+        assert_eq!(
+            ks.status(&p, "path", &["a", "direct", "b"]),
+            AtomStatus::True
+        );
+    }
+
+    const COMPANY: &str = r#"
+        declare pred s/3 cost nonneg_real.
+        declare pred cv/4 cost nonneg_real.
+        declare pred m/3 cost nonneg_real.
+        cv(X, X, Y, N) :- s(X, Y, N).
+        cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+        m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+        c(X, Y) :- m(X, Y, N), N > 0.5.
+    "#;
+
+    #[test]
+    fn van_gelder_edb_is_undefined_for_ks_but_false_for_us() {
+        // Section 5.6's instance: for the minimal-model semantics c(a,b)
+        // and c(a,c) are false; for K&S (and Van Gelder) both undefined.
+        let src = format!(
+            "{COMPANY}\ns(a, b, 0.3).\ns(a, c, 0.3).\ns(b, c, 0.6).\ns(c, b, 0.6).\n"
+        );
+        let p = parse_program(&src).unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert_eq!(ks.status(&p, "c", &["a", "b"]), AtomStatus::Undefined);
+        assert_eq!(ks.status(&p, "c", &["a", "c"]), AtomStatus::Undefined);
+
+        let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        assert!(!model.holds(&p, "c", &["a", "b"]));
+        assert!(!model.holds(&p, "c", &["a", "c"]));
+    }
+
+    #[test]
+    fn acyclic_company_control_is_two_valued() {
+        let src = format!("{COMPANY}\ns(a, b, 0.4).\ns(a, c, 0.6).\ns(c, b, 0.2).\n");
+        let p = parse_program(&src).unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert!(ks.is_two_valued());
+        assert_eq!(ks.status(&p, "c", &["a", "b"]), AtomStatus::True);
+        assert_eq!(ks.status(&p, "c", &["b", "a"]), AtomStatus::False);
+    }
+
+    #[test]
+    fn party_cycles_are_undefined_for_ks() {
+        let p = parse_program(
+            r#"
+            requires(ann, 0). requires(bob, 1). requires(cal, 1). requires(dan, 1).
+            knows(bob, ann). knows(cal, dan). knows(dan, cal).
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        )
+        .unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert_eq!(ks.status(&p, "coming", &["ann"]), AtomStatus::True);
+        assert_eq!(ks.status(&p, "coming", &["bob"]), AtomStatus::True);
+        assert_eq!(ks.status(&p, "coming", &["cal"]), AtomStatus::Undefined);
+        assert_eq!(ks.status(&p, "coming", &["dan"]), AtomStatus::Undefined);
+        // The minimal model decides cal and dan (they do not come).
+        let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        assert!(!model.holds(&p, "coming", &["cal"]));
+    }
+
+    #[test]
+    fn cyclic_circuit_is_undefined_for_ks() {
+        let p = parse_program(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            input(w1, 1).
+            gate(g2, or). gate(g3, or).
+            connect(g2, w1). connect(g2, g3).
+            connect(g3, g2).
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            constraint :- gate(G, T), input(G, C).
+            "#,
+        )
+        .unwrap();
+        let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+        assert_eq!(ks.status(&p, "t", &["w1"]), AtomStatus::True);
+        assert_eq!(ks.status(&p, "t", &["g2"]), AtomStatus::Undefined);
+        assert_eq!(ks.status(&p, "t", &["g3"]), AtomStatus::Undefined);
+        // Our engine decides both gates true.
+        let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        assert_eq!(
+            model.cost_of(&p, "t", &["g2"]),
+            Some(Value::Bool(true))
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Competing semantics (Section 5 of the paper) and direct algorithms.
+//!
+//! * [`stratified`] — evaluation restricted to *aggregate-stratified*
+//!   programs (Mumick et al., Section 5.1): recursion through aggregation
+//!   is rejected rather than given a semantics.
+//! * [`naive`] — a small, self-contained naive evaluator over the shared
+//!   AST in which each literal kind can be evaluated against the evolving
+//!   set or against a *fixed* interpretation. It is the reduct machinery
+//!   behind the stable-model checker and the well-founded semantics.
+//! * [`kemp_stuckey`] — Kemp & Stuckey's well-founded semantics with
+//!   aggregates (Section 5.3): an aggregate subgoal is usable only once the
+//!   aggregated relation is fully determined, so atoms that depend on
+//!   themselves *through an aggregate* come out undefined.
+//! * [`stable`] — Kemp & Stuckey's stable models (Sections 5.3/5.5):
+//!   reduct-based checker (aggregates and negation evaluated against the
+//!   candidate, positive remainder iterated to its least model).
+//! * [`ggz`] — Ganguly, Greco & Zaniolo's rewriting of min/max aggregates
+//!   into negation (Section 5.4), evaluated under the well-founded
+//!   semantics via the alternating fixpoint.
+//! * [`wfs`] — the alternating-fixpoint well-founded semantics for normal
+//!   programs (Van Gelder), the substrate for `ggz`.
+//! * [`direct`] — specialized algorithms for the paper's motivating
+//!   problems (Dijkstra, Bellman–Ford, company control, circuit fixpoint,
+//!   party propagation) used as ground truth and as performance
+//!   comparators.
+
+pub mod direct;
+pub mod ggz;
+pub mod kemp_stuckey;
+pub mod naive;
+pub mod stable;
+pub mod stratified;
+pub mod wfs;
+
+pub use ggz::{rewrite_minmax, GgzOutcome};
+pub use kemp_stuckey::{ks_well_founded, AtomStatus, KsModel};
+pub use stable::is_stable_model;
+pub use stratified::{evaluate_stratified, StratifiedError};
+pub use wfs::{well_founded_model, WfModel};

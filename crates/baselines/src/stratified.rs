@@ -1,0 +1,143 @@
+//! Aggregate-stratified evaluation (Section 5.1).
+//!
+//! Mumick et al. observed that a program with **no recursion through
+//! aggregation** can be evaluated componentwise with ordinary least
+//! fixpoints. This baseline does exactly that — it delegates to the
+//! monotonic engine, whose componentwise iteration coincides with the
+//! iterated perfect model on stratified programs — but *rejects* any
+//! program where a component aggregates its own predicates (or negates
+//! them). The interesting programs of the paper (shortest path, company
+//! control, party, circuits) are all rejected here, which is the point:
+//! this is the class the paper set out to go beyond.
+
+use maglog_datalog::graph::components;
+use maglog_datalog::Program;
+use maglog_engine::{Edb, EvalError, Model, MonotonicEngine};
+use std::fmt;
+
+/// Why stratified evaluation refused a program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StratifiedError {
+    /// Some component aggregates its own predicates.
+    RecursiveAggregation { component_preds: Vec<String> },
+    /// Some component negates its own predicates.
+    RecursiveNegation { component_preds: Vec<String> },
+    /// The underlying evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for StratifiedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StratifiedError::RecursiveAggregation { component_preds } => write!(
+                f,
+                "not aggregate-stratified: component {{{}}} aggregates its own predicates",
+                component_preds.join(", ")
+            ),
+            StratifiedError::RecursiveNegation { component_preds } => write!(
+                f,
+                "not stratified: component {{{}}} negates its own predicates",
+                component_preds.join(", ")
+            ),
+            StratifiedError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StratifiedError {}
+
+/// Evaluate an aggregate-stratified program; error if any recursion goes
+/// through aggregation or negation.
+pub fn evaluate_stratified(program: &Program, edb: &Edb) -> Result<Model, StratifiedError> {
+    for comp in components(program) {
+        let names = || {
+            comp.preds
+                .iter()
+                .map(|p| program.pred_name(*p))
+                .collect::<Vec<_>>()
+        };
+        if comp.recursive_aggregation {
+            return Err(StratifiedError::RecursiveAggregation {
+                component_preds: names(),
+            });
+        }
+        if comp.recursive_negation {
+            return Err(StratifiedError::RecursiveNegation {
+                component_preds: names(),
+            });
+        }
+    }
+    MonotonicEngine::new(program)
+        .evaluate(edb)
+        .map_err(StratifiedError::Eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn grades_program_is_accepted() {
+        let p = parse_program(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred s_avg/2 cost max_real.
+            record(john, db, 80). record(john, os, 60).
+            s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+            "#,
+        )
+        .unwrap();
+        let m = evaluate_stratified(&p, &Edb::new()).unwrap();
+        assert_eq!(
+            m.cost_of(&p, "s_avg", &["john"]).unwrap().as_f64(),
+            Some(70.0)
+        );
+    }
+
+    #[test]
+    fn shortest_path_is_rejected() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        match evaluate_stratified(&p, &Edb::new()) {
+            Err(StratifiedError::RecursiveAggregation { component_preds }) => {
+                assert!(component_preds.contains(&"s".to_string()));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn party_is_rejected() {
+        let p = parse_program(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            evaluate_stratified(&p, &Edb::new()),
+            Err(StratifiedError::RecursiveAggregation { .. })
+        ));
+    }
+
+    #[test]
+    fn recursive_negation_is_rejected() {
+        let p = parse_program("win(X) :- move(X, Y), ! win(Y).").unwrap();
+        assert!(matches!(
+            evaluate_stratified(&p, &Edb::new()),
+            Err(StratifiedError::RecursiveNegation { .. })
+        ));
+    }
+}

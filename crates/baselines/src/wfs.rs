@@ -1,0 +1,160 @@
+//! The well-founded semantics for normal programs via the alternating
+//! fixpoint (Van Gelder; Section 5.6's substrate).
+//!
+//! `Γ(I)` is the least model of the program with every negative literal
+//! evaluated against the fixed interpretation `I`. `Γ` is antimonotone, so
+//! `Γ²` is monotone; the well-founded model is
+//!
+//! * true atoms: `T∞ = lfp(Γ²)` (computed by iterating from the empty
+//!   interpretation),
+//! * possible atoms: `U∞ = Γ(T∞)`,
+//! * false: everything else; undefined: `U∞ \ T∞`.
+//!
+//! Cost arguments are treated as ordinary columns here (no lattice
+//! compression): this is exactly what the Ganguly–Greco–Zaniolo rewriting
+//! needs, where the former aggregate is encoded with negation and every
+//! path cost is a separate atom.
+
+use crate::naive::{load_base, NaiveEval, Src};
+use maglog_datalog::{Pred, Program, Rule};
+use maglog_engine::{Edb, Interp, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A 3-valued well-founded model at the atom level.
+#[derive(Debug)]
+pub struct WfModel {
+    /// Surely-true atoms.
+    pub true_set: Interp,
+    /// Possibly-true atoms (`⊇ true_set`).
+    pub possible: Interp,
+}
+
+impl WfModel {
+    /// Atoms that are possible but not surely true.
+    pub fn undefined_atoms(&self, _program: &Program) -> Vec<(Pred, Tuple, Option<Value>)> {
+        let mut out = Vec::new();
+        for pred in self.possible.preds().collect::<BTreeSet<_>>() {
+            let poss = self.possible.relation(pred).expect("listed");
+            let sure = self.true_set.relation(pred);
+            for (key, cost) in poss.iter() {
+                let in_true = sure.map_or(false, |r| r.get(key) == Some(cost));
+                if !in_true {
+                    out.push((pred, key.clone(), cost.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn is_two_valued(&self, program: &Program) -> bool {
+        self.undefined_atoms(program).is_empty()
+    }
+}
+
+/// Compute the well-founded model of a normal program (negation allowed,
+/// aggregates **not** — rewrite them first, e.g. with
+/// [`crate::ggz::rewrite_minmax`]). `max_rounds` bounds each inner least
+/// fixpoint; programs that generate unboundedly many atoms (e.g. path
+/// costs around a cycle) report divergence.
+pub fn well_founded_model(
+    program: &Program,
+    edb: &Edb,
+    max_rounds: usize,
+) -> Result<WfModel, String> {
+    let base = load_base(program, edb)?;
+    let rules: Vec<&Rule> = program.rules.iter().collect();
+    let mut eval = NaiveEval::new(program);
+    eval.neg_src = Src::Fixed;
+    eval.agg_src = Src::Fixed; // no aggregates expected; harmless otherwise
+    eval.max_rounds = max_rounds;
+    // Rewritten aggregate programs on cyclic data enumerate cost atoms
+    // without bound; cut them off before the quadratic `better` joins melt
+    // down. Convergent instances in the evaluation stay far below this.
+    eval.max_atoms = 20_000;
+
+    let gamma = |assumed: &Interp| -> Result<Interp, String> {
+        let (db, _) = eval.run(&rules, base.clone(), assumed, false)?;
+        Ok(db)
+    };
+
+    // Alternating fixpoint: T_0 = ∅-based least model against U_0 = Γ(∅)…
+    // iterate T_{k+1} = Γ(U_k), U_{k+1} = Γ(T_{k+1}) until stable.
+    let mut true_set = Interp::new(); // T_0 = ∅ (as an assumed set)
+    let mut possible = gamma(&true_set)?; // U_0 = Γ(∅)
+    loop {
+        let next_true = gamma(&possible)?;
+        let next_possible = gamma(&next_true)?;
+        if next_true == true_set && next_possible == possible {
+            return Ok(WfModel {
+                true_set: next_true,
+                possible: next_possible,
+            });
+        }
+        true_set = next_true;
+        possible = next_possible;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn stratified_negation_is_two_valued() {
+        let p = parse_program(
+            r#"
+            e(a, b). e(b, c).
+            node(a). node(b). node(c).
+            reach(X, Y) :- e(X, Y).
+            reach(X, Y) :- reach(X, Z), e(Z, Y).
+            unreach(X, Y) :- node(X), node(Y), ! reach(X, Y).
+            "#,
+        )
+        .unwrap();
+        let wf = well_founded_model(&p, &Edb::new(), 1000).unwrap();
+        assert!(wf.is_two_valued(&p));
+        let unreach = p.find_pred("unreach").unwrap();
+        // 9 pairs - 3 reachable = 6 unreachable.
+        assert_eq!(wf.true_set.relation(unreach).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn win_move_game_is_three_valued_on_cycles() {
+        // The classic win/move program: a → b → a cycle is undefined;
+        // c → d (d has no moves) makes win(c) true, win(d) false.
+        let p = parse_program(
+            r#"
+            move(a, b). move(b, a). move(c, d).
+            win(X) :- move(X, Y), ! win(Y).
+            "#,
+        )
+        .unwrap();
+        let wf = well_founded_model(&p, &Edb::new(), 1000).unwrap();
+        let win = p.find_pred("win").unwrap();
+        let sym = |s: &str| Tuple::new(vec![Value::Sym(p.symbols.intern(s))]);
+        let true_rel = wf.true_set.relation(win).unwrap();
+        assert!(true_rel.contains(&sym("c")), "win(c) is true");
+        assert!(!true_rel.contains(&sym("d")), "win(d) is false");
+        let poss = wf.possible.relation(win).unwrap();
+        assert!(poss.contains(&sym("a")) && !true_rel.contains(&sym("a")));
+        assert!(poss.contains(&sym("b")) && !true_rel.contains(&sym("b")));
+        assert!(!wf.is_two_valued(&p));
+        assert_eq!(wf.undefined_atoms(&p).len(), 2);
+    }
+
+    #[test]
+    fn double_negation_fixpoint_terminates() {
+        let p = parse_program(
+            r#"
+            q(a).
+            p(X) :- q(X), ! r(X).
+            r(X) :- q(X), ! p(X).
+            "#,
+        )
+        .unwrap();
+        let wf = well_founded_model(&p, &Edb::new(), 1000).unwrap();
+        // p(a) and r(a) are both undefined.
+        assert_eq!(wf.undefined_atoms(&p).len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the baseline semantics:
+//!
+//! * the engine's minimal model is always Kemp–Stuckey-stable;
+//! * Proposition 6.1: the minimal model agrees with the K&S WFS wherever
+//!   the latter is defined;
+//! * the GGZ rewriting agrees with the engine on acyclic instances.
+
+use maglog_baselines::ggz::{evaluate_ggz_with_program, GgzOutcome};
+use maglog_baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
+use maglog_baselines::stable::is_stable_model;
+use maglog_datalog::{parse_program, Program};
+use maglog_engine::{Edb, MonotonicEngine, Tuple, Value};
+use proptest::prelude::*;
+
+const SHORTEST_PATH: &str = r#"
+    declare pred arc/3 cost min_real.
+    declare pred path/4 cost min_real.
+    declare pred s/3 cost min_real.
+    path(X, direct, Y, C) :- arc(X, Y, C).
+    path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+    s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+    constraint :- arc(direct, Z, C).
+"#;
+
+const COMPANY: &str = r#"
+    declare pred s/3 cost nonneg_real.
+    declare pred cv/4 cost nonneg_real.
+    declare pred m/3 cost nonneg_real.
+    cv(X, X, Y, N) :- s(X, Y, N).
+    cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+    m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+    c(X, Y) :- m(X, Y, N), N > 0.5.
+"#;
+
+fn graph_edb(p: &Program, arcs: &[(usize, usize, f64)]) -> Edb {
+    let mut edb = Edb::new();
+    for &(u, v, w) in arcs {
+        edb.push_cost_fact(p, "arc", &[&format!("n{u}"), &format!("n{v}")], w);
+    }
+    edb
+}
+
+fn arcs_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::btree_map((0..n, 0..n), 1u32..16, 0..2 * n).prop_map(|m| {
+        m.into_iter()
+            .filter(|((u, v), _)| u != v)
+            .map(|((u, v), w)| (u, v, w as f64))
+            .collect()
+    })
+}
+
+fn shares_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::btree_map((0..n, 0..n), 1u32..40, 0..2 * n).prop_map(move |m| {
+        let mut totals = vec![0u32; n];
+        let mut out = Vec::new();
+        for ((o, c), units) in m {
+            if o == c {
+                continue;
+            }
+            let units = units.min(64 - totals[c].min(64));
+            if units == 0 {
+                continue;
+            }
+            totals[c] += units;
+            out.push((o, c, units as f64 / 64.0));
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn minimal_models_are_stable(arcs in arcs_strategy(6)) {
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let edb = graph_edb(&p, &arcs);
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        prop_assert!(is_stable_model(&p, &edb, model.interp()).unwrap());
+    }
+
+    #[test]
+    fn company_minimal_models_are_stable(shares in shares_strategy(5)) {
+        let p = parse_program(COMPANY).unwrap();
+        let mut edb = Edb::new();
+        for &(o, c, f) in &shares {
+            edb.push_cost_fact(&p, "s", &[&format!("co{o}"), &format!("co{c}")], f);
+        }
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        prop_assert!(is_stable_model(&p, &edb, model.interp()).unwrap());
+    }
+
+    #[test]
+    fn proposition_6_1_on_random_graphs(arcs in arcs_strategy(6)) {
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let edb = graph_edb(&p, &arcs);
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        let ks = ks_well_founded(&p, &edb).unwrap();
+        for u in 0..6usize {
+            for v in 0..6usize {
+                let keys = [format!("n{u}"), format!("n{v}")];
+                let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
+                match ks.status(&p, "s", &keys) {
+                    AtomStatus::True => {
+                        prop_assert_eq!(
+                            model.cost_of(&p, "s", &keys),
+                            ks.true_cost(&p, "s", &keys),
+                            "WFS-true atom must be true with the same cost"
+                        );
+                    }
+                    AtomStatus::False => {
+                        prop_assert!(
+                            model.cost_of(&p, "s", &keys).is_none(),
+                            "WFS-false atom must be absent from the minimal model"
+                        );
+                    }
+                    AtomStatus::Undefined => { /* minimal model may decide */ }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_6_1_on_company_control(shares in shares_strategy(5)) {
+        let p = parse_program(COMPANY).unwrap();
+        let mut edb = Edb::new();
+        for &(o, c, f) in &shares {
+            edb.push_cost_fact(&p, "s", &[&format!("co{o}"), &format!("co{c}")], f);
+        }
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        let ks = ks_well_founded(&p, &edb).unwrap();
+        for x in 0..5usize {
+            for y in 0..5usize {
+                let keys = [format!("co{x}"), format!("co{y}")];
+                let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
+                match ks.status(&p, "c", &keys) {
+                    AtomStatus::True => prop_assert!(model.holds(&p, "c", &keys)),
+                    AtomStatus::False => prop_assert!(!model.holds(&p, "c", &keys)),
+                    AtomStatus::Undefined => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ggz_agrees_with_engine_on_random_dags(arcs in arcs_strategy(7)) {
+        // Force acyclicity by keeping only forward arcs.
+        let dag: Vec<_> = arcs.into_iter().filter(|&(u, v, _)| u < v).collect();
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let edb = graph_edb(&p, &dag);
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        let (rw, outcome) = evaluate_ggz_with_program(&p, &edb, 10_000).unwrap();
+        let GgzOutcome::Model(wf) = outcome else {
+            return Err(TestCaseError::fail("GGZ diverged on a DAG"));
+        };
+        prop_assert!(wf.is_two_valued(&rw));
+        // Every engine s-atom appears in the WFS true set (as a plain
+        // 3-column atom) and vice versa.
+        let s_rw = rw.find_pred("s").unwrap();
+        let wf_s = wf.true_set.relation(s_rw);
+        let engine_s = model.tuples_of(&p, "s");
+        prop_assert_eq!(
+            engine_s.len(),
+            wf_s.map_or(0, |r| r.len()),
+            "same number of s atoms"
+        );
+        for (key, cost) in engine_s {
+            let mut full: Vec<Value> = Vec::new();
+            for v in &key {
+                // Remap symbols into the rewritten program's table.
+                full.push(match v {
+                    Value::Sym(s) => Value::Sym(rw.symbols.intern(&p.symbols.name(*s))),
+                    other => other.clone(),
+                });
+            }
+            full.push(cost.unwrap());
+            prop_assert!(
+                wf_s.map_or(false, |r| r.contains(&Tuple::new(full.clone()))),
+                "engine atom missing from GGZ model: {full:?}"
+            );
+        }
+    }
+}

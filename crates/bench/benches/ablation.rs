@@ -1,0 +1,60 @@
+//! P5: ablation — naive vs. semi-naive fixpoint iteration on the two
+//! recursive-aggregation workloads where the delta machinery matters most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::{program, run_greedy, run_naive, run_seminaive};
+use maglog_workloads::{programs, random_digraph, random_ownership, random_party};
+
+fn bench_strategies(c: &mut Criterion) {
+    let sp = program(programs::SHORTEST_PATH);
+    let cc = program(programs::COMPANY_CONTROL);
+    let party = program(programs::PARTY);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    for n in [16usize, 32] {
+        let g = random_digraph(n, 3.0, (1.0, 9.0), 6000 + n as u64);
+        let edb = g.to_edb(&sp);
+        group.bench_with_input(
+            BenchmarkId::new("shortest_path/seminaive", n),
+            &n,
+            |b, _| b.iter(|| run_seminaive(&sp, &edb)),
+        );
+        group.bench_with_input(BenchmarkId::new("shortest_path/naive", n), &n, |b, _| {
+            b.iter(|| run_naive(&sp, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("shortest_path/greedy", n), &n, |b, _| {
+            b.iter(|| run_greedy(&sp, &edb))
+        });
+    }
+
+    for n in [32usize, 64] {
+        let inst = random_ownership(n, 4, 0.5, 0.3, 7000 + n as u64);
+        let edb = inst.to_edb(&cc);
+        group.bench_with_input(
+            BenchmarkId::new("company_control/seminaive", n),
+            &n,
+            |b, _| b.iter(|| run_seminaive(&cc, &edb)),
+        );
+        group.bench_with_input(BenchmarkId::new("company_control/naive", n), &n, |b, _| {
+            b.iter(|| run_naive(&cc, &edb))
+        });
+    }
+
+    for n in [128usize, 512] {
+        let inst = random_party(n, 6.0, 0.15, 8000 + n as u64);
+        let edb = inst.to_edb(&party);
+        group.bench_with_input(BenchmarkId::new("party/seminaive", n), &n, |b, _| {
+            b.iter(|| run_seminaive(&party, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("party/naive", n), &n, |b, _| {
+            b.iter(|| run_naive(&party, &edb))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! P6: aggregate-function microbenchmarks — `apply` over multisets of
+//! varying size, plus the multiset-order decision procedures (the sorted
+//! sweep vs. the Hopcroft–Karp matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_datalog::AggFunc;
+use maglog_engine::aggregate::apply;
+use maglog_engine::Value;
+use maglog_lattice::Multiset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_apply(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut group = c.benchmark_group("aggregates/apply");
+    for size in [16usize, 256, 4096] {
+        let nums: Vec<Value> = (0..size)
+            .map(|_| Value::num(rng.gen_range(0..1000) as f64 / 4.0))
+            .collect();
+        let bools: Vec<Value> = (0..size).map(|_| Value::Bool(rng.gen())).collect();
+        for func in [AggFunc::Min, AggFunc::Sum, AggFunc::Avg, AggFunc::Count] {
+            group.bench_with_input(
+                BenchmarkId::new(func.name(), size),
+                &size,
+                |b, _| b.iter(|| apply(func, &nums).unwrap()),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("and", size), &size, |b, _| {
+            b.iter(|| apply(AggFunc::And, &bools).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiset_order(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut group = c.benchmark_group("aggregates/multiset_order");
+    group.sample_size(20);
+    for size in [16usize, 64, 256] {
+        let base: Multiset<i64> = (0..size).map(|_| rng.gen_range(0..100)).collect();
+        let bigger: Multiset<i64> = base.iter().map(|&v| v + rng.gen_range(0..5)).collect();
+        group.bench_with_input(BenchmarkId::new("sorted_sweep", size), &size, |b, _| {
+            b.iter(|| base.leq_total_order(&bigger, |a, b| a <= b))
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", size), &size, |b, _| {
+            b.iter(|| base.leq_by_matching(&bigger, |a, b| a <= b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_multiset_order);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! P3: circuit-evaluation scaling — engine (pseudo-monotonic AND over
+//! default-valued wires) vs. the direct boolean fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_baselines::direct::eval_circuit_minimal;
+use maglog_bench::{program, run_seminaive};
+use maglog_workloads::{programs, random_circuit};
+
+fn bench_scaling(c: &mut Criterion) {
+    let p = program(programs::CIRCUIT);
+    let mut group = c.benchmark_group("circuit");
+    group.sample_size(10);
+    for gates in [64usize, 256, 1024, 4096] {
+        let inst = random_circuit(16, gates, 2, 0.3, 4000 + gates as u64);
+        let edb = inst.to_edb(&p);
+        let circuit = inst.to_circuit();
+        group.bench_with_input(BenchmarkId::new("engine_seminaive", gates), &gates, |b, _| {
+            b.iter(|| run_seminaive(&p, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_fixpoint", gates), &gates, |b, _| {
+            b.iter(|| eval_circuit_minimal(&circuit))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

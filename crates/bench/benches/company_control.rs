@@ -1,0 +1,32 @@
+//! P2: company-control scaling — engine vs. the direct fixpoint solver,
+//! plus the split-vs-merged (r-monotonic) program formulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_baselines::direct::company_control;
+use maglog_bench::{program, run_seminaive};
+use maglog_workloads::{programs, random_ownership};
+
+fn bench_scaling(c: &mut Criterion) {
+    let p = program(programs::COMPANY_CONTROL);
+    let merged = program(programs::COMPANY_CONTROL_MERGED);
+    let mut group = c.benchmark_group("company_control");
+    group.sample_size(10);
+    for n in [16usize, 32, 64, 128] {
+        let inst = random_ownership(n, 4, 0.5, 0.3, 3000 + n as u64);
+        let edb = inst.to_edb(&p);
+        let edb_merged = inst.to_edb(&merged);
+        group.bench_with_input(BenchmarkId::new("engine_split", n), &n, |b, _| {
+            b.iter(|| run_seminaive(&p, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("engine_merged", n), &n, |b, _| {
+            b.iter(|| run_seminaive(&merged, &edb_merged))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_fixpoint", n), &n, |b, _| {
+            b.iter(|| company_control(inst.n, &inst.shares))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

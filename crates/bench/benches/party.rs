@@ -1,0 +1,27 @@
+//! P4: party-invitation scaling — engine vs. the direct cascade solver on
+//! cyclic `knows` graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_baselines::direct::party_attendance;
+use maglog_bench::{program, run_seminaive};
+use maglog_workloads::{programs, random_party};
+
+fn bench_scaling(c: &mut Criterion) {
+    let p = program(programs::PARTY);
+    let mut group = c.benchmark_group("party");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024, 4096] {
+        let inst = random_party(n, 6.0, 0.15, 5000 + n as u64);
+        let edb = inst.to_edb(&p);
+        group.bench_with_input(BenchmarkId::new("engine_seminaive", n), &n, |b, _| {
+            b.iter(|| run_seminaive(&p, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_cascade", n), &n, |b, _| {
+            b.iter(|| party_attendance(&inst.knows, &inst.requires))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

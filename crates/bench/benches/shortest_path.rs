@@ -1,0 +1,57 @@
+//! P1: shortest-path scaling — the monotonic engine (semi-naive) vs.
+//! Dijkstra (the specialized greedy the paper's Section 7 says general
+//! monotonic evaluation cannot imitate) vs. the GGZ rewriting under WFS
+//! (acyclic instances only; it diverges on cycles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_baselines::direct::all_pairs_dijkstra;
+use maglog_baselines::ggz::{evaluate_ggz, GgzOutcome};
+use maglog_bench::{program, run_seminaive};
+use maglog_workloads::{layered_dag, programs, random_digraph};
+
+fn bench_cyclic_scaling(c: &mut Criterion) {
+    let p = program(programs::SHORTEST_PATH);
+    let mut group = c.benchmark_group("shortest_path/cyclic");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let g = random_digraph(n, 3.0, (1.0, 9.0), 1000 + n as u64);
+        let edb = g.to_edb(&p);
+        group.bench_with_input(BenchmarkId::new("engine_seminaive", n), &n, |b, _| {
+            b.iter(|| run_seminaive(&p, &edb))
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra_all_pairs", n), &n, |b, _| {
+            b.iter(|| all_pairs_dijkstra(g.n, &g.arcs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_acyclic_vs_ggz(c: &mut Criterion) {
+    let p = program(programs::SHORTEST_PATH);
+    let mut group = c.benchmark_group("shortest_path/acyclic_vs_ggz");
+    group.sample_size(10);
+    for layers in [4usize, 6, 8] {
+        let g = layered_dag(layers, 4, 0.4, 2000 + layers as u64);
+        let edb = g.to_edb(&p);
+        group.bench_with_input(
+            BenchmarkId::new("engine_seminaive", layers),
+            &layers,
+            |b, _| b.iter(|| run_seminaive(&p, &edb)),
+        );
+        group.bench_with_input(BenchmarkId::new("ggz_wfs", layers), &layers, |b, _| {
+            b.iter(|| match evaluate_ggz(&p, &edb, 5_000).unwrap() {
+                GgzOutcome::Model(m) => m,
+                GgzOutcome::Diverged(e) => panic!("GGZ diverged on a DAG: {e}"),
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_all_pairs", layers),
+            &layers,
+            |b, _| b.iter(|| all_pairs_dijkstra(g.n, &g.arcs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cyclic_scaling, bench_acyclic_vs_ggz);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared helpers for the maglog benchmark suite and experiments binary.
+
+use maglog_datalog::{parse_program, Program};
+use maglog_engine::{Edb, EvalOptions, Model, MonotonicEngine, Strategy};
+
+/// Parse a workload program, panicking with context on failure.
+pub fn program(src: &str) -> Program {
+    parse_program(src).expect("workload program parses")
+}
+
+/// Evaluate with the default (semi-naive) engine.
+pub fn run_seminaive(program: &Program, edb: &Edb) -> Model {
+    MonotonicEngine::new(program)
+        .evaluate(edb)
+        .expect("evaluation succeeds")
+}
+
+/// Evaluate with the naive strategy (the ablation arm).
+pub fn run_naive(program: &Program, edb: &Edb) -> Model {
+    MonotonicEngine::with_options(
+        program,
+        EvalOptions {
+            strategy: Strategy::Naive,
+            ..Default::default()
+        },
+    )
+    .evaluate(edb)
+    .expect("evaluation succeeds")
+}
+
+/// Evaluate with the greedy (best-first) strategy — eligible `min_real`
+/// components settle Dijkstra-style.
+pub fn run_greedy(program: &Program, edb: &Edb) -> Model {
+    MonotonicEngine::with_options(
+        program,
+        EvalOptions {
+            strategy: Strategy::Greedy,
+            ..Default::default()
+        },
+    )
+    .evaluate(edb)
+    .expect("evaluation succeeds")
+}
+
+/// Wall-clock one closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Format seconds human-readably for the experiment tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}

@@ -1,0 +1,703 @@
+//! Abstract syntax for Datalog with monotonic aggregation.
+
+use crate::symbols::{Sym, SymbolTable};
+use maglog_lattice::Real;
+use std::collections::HashMap;
+
+/// A variable (interned name).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Sym);
+
+/// A predicate symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub Sym);
+
+/// A constant: an uninterpreted symbol or a number.
+///
+/// The paper's built-in domains are numeric; booleans are written as the
+/// numerals `0`/`1` (as in Example 4.4's `input(W, 1)`) and converted to the
+/// declared cost domain by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    Sym(Sym),
+    Num(Real),
+}
+
+/// A term: a variable or a constant. Arguments are flat — the language has
+/// no uninterpreted function symbols, which (together with well-founded cost
+/// orders) is the paper's Section 6.2 condition for terminating bottom-up
+/// evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    Var(Var),
+    Const(Const),
+}
+
+impl Term {
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// An atom `p(t1, ..., tn)`. If `p` is a cost predicate, the **last**
+/// argument is the cost argument.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub pred: Pred,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The non-cost arguments, given whether the predicate has a cost
+    /// argument.
+    pub fn key_args(&self, has_cost: bool) -> &[Term] {
+        if has_cost {
+            &self.args[..self.args.len() - 1]
+        } else {
+            &self.args
+        }
+    }
+
+    /// The cost argument, if the predicate has one.
+    pub fn cost_arg(&self, has_cost: bool) -> Option<&Term> {
+        if has_cost {
+            self.args.last()
+        } else {
+            None
+        }
+    }
+
+    /// All variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+}
+
+/// Comparison operators allowed in built-in subgoals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// Binary arithmetic operators in built-in expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Binary minimum, written `min(a, b)` — the combiner of widest-path
+    /// style programs.
+    Min,
+    /// Binary maximum, written `max(a, b)`.
+    Max,
+}
+
+/// An arithmetic expression over terms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Term(Term),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// All variables occurring in the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Term(Term::Var(v)) => out.push(*v),
+            Expr::Term(Term::Const(_)) => {}
+            Expr::Neg(e) => e.collect_vars(out),
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// Is this a bare variable?
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Expr::Term(Term::Var(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A built-in subgoal `lhs op rhs` (Section 2.2: equalities and comparisons
+/// over arithmetic expressions on the cost domains).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Builtin {
+    pub op: CmpOp,
+    pub lhs: Expr,
+    pub rhs: Expr,
+}
+
+impl Builtin {
+    pub fn vars(&self) -> Vec<Var> {
+        let mut v = self.lhs.vars();
+        v.extend(self.rhs.vars());
+        v
+    }
+}
+
+/// Which equality joins the aggregate variable to the aggregate: the total
+/// form `=` (defined on empty groups) or the restricted form `=r`
+/// (Definition 2.4: *false* when the multiset is empty, matching SQL).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggEq {
+    Total,
+    Restricted,
+}
+
+/// The aggregate functions of Figure 1 plus the pseudo-monotonic `average`
+/// (Section 4.1.1) and `halfsum` (Example 5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Min,
+    Max,
+    Sum,
+    Count,
+    Product,
+    And,
+    Or,
+    Union,
+    Intersect,
+    Avg,
+    HalfSum,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Product => "product",
+            AggFunc::And => "and",
+            AggFunc::Or => "or",
+            AggFunc::Union => "union",
+            AggFunc::Intersect => "intersect",
+            AggFunc::Avg => "avg",
+            AggFunc::HalfSum => "halfsum",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "sum" => AggFunc::Sum,
+            "count" => AggFunc::Count,
+            "product" | "prod" => AggFunc::Product,
+            "and" => AggFunc::And,
+            "or" => AggFunc::Or,
+            "union" => AggFunc::Union,
+            "intersect" | "intersection" => AggFunc::Intersect,
+            "avg" | "average" => AggFunc::Avg,
+            "halfsum" => AggFunc::HalfSum,
+            _ => return None,
+        })
+    }
+}
+
+/// An aggregate subgoal (Definition 2.4):
+///
+/// ```text
+/// C  =  F E : [p1(...), ..., pk(...)]
+/// C  =r F E : [p1(...), ..., pk(...)]
+/// ```
+///
+/// `result` is the aggregate variable `C`; `multiset_var` is `E` (absent for
+/// aggregates over an implicit boolean cost argument, like `count : q(X)`);
+/// `conjuncts` is the conjunction of atoms being aggregated over. Grouping
+/// variables are the conjunct variables that also occur *outside* the
+/// subgoal; local variables occur only inside (computed per rule, see
+/// [`Rule::aggregate_grouping_vars`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregate {
+    pub result: Term,
+    pub eq: AggEq,
+    pub func: AggFunc,
+    pub multiset_var: Option<Var>,
+    pub conjuncts: Vec<Atom>,
+}
+
+impl Aggregate {
+    /// Variables occurring in the conjuncts (including the multiset var).
+    pub fn inner_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for a in &self.conjuncts {
+            out.extend(a.vars());
+        }
+        out
+    }
+}
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    Pos(Atom),
+    Neg(Atom),
+    Agg(Aggregate),
+    Builtin(Builtin),
+}
+
+impl Literal {
+    pub fn as_pos(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A rule `head :- body`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    pub head: Atom,
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Is this a fact (empty body, ground head checked elsewhere)?
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Variables occurring outside a given aggregate subgoal (head plus all
+    /// other body literals plus the aggregate's own result variable).
+    pub fn vars_outside_aggregate(&self, agg_index: usize) -> Vec<Var> {
+        let mut out: Vec<Var> = self.head.vars().collect();
+        for (i, lit) in self.body.iter().enumerate() {
+            match lit {
+                Literal::Agg(a) if i == agg_index => {
+                    if let Term::Var(v) = a.result {
+                        out.push(v);
+                    }
+                }
+                Literal::Pos(a) | Literal::Neg(a) => out.extend(a.vars()),
+                Literal::Agg(a) => {
+                    if let Term::Var(v) = a.result {
+                        out.push(v);
+                    }
+                    out.extend(a.inner_vars());
+                }
+                Literal::Builtin(b) => out.extend(b.vars()),
+            }
+        }
+        out
+    }
+
+    /// The grouping variables of the aggregate at body position
+    /// `agg_index`: conjunct variables that also occur outside the subgoal
+    /// (Definition 2.4). The multiset variable is never a grouping variable.
+    pub fn aggregate_grouping_vars(&self, agg_index: usize) -> Vec<Var> {
+        let Literal::Agg(agg) = &self.body[agg_index] else {
+            return Vec::new();
+        };
+        let outside = self.vars_outside_aggregate(agg_index);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in agg.inner_vars() {
+            if Some(v) != agg.multiset_var && outside.contains(&v) && seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// The local variables of the aggregate at `agg_index`: conjunct
+    /// variables occurring only inside the subgoal (minus the multiset var).
+    pub fn aggregate_local_vars(&self, agg_index: usize) -> Vec<Var> {
+        let Literal::Agg(agg) = &self.body[agg_index] else {
+            return Vec::new();
+        };
+        let outside = self.vars_outside_aggregate(agg_index);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in agg.inner_vars() {
+            if Some(v) != agg.multiset_var && !outside.contains(&v) && seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Every variable of the rule.
+    pub fn all_vars(&self) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: Var| {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        };
+        for v in self.head.vars() {
+            push(v);
+        }
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => a.vars().for_each(&mut push),
+                Literal::Builtin(b) => b.vars().into_iter().for_each(&mut push),
+                Literal::Agg(agg) => {
+                    if let Term::Var(v) = agg.result {
+                        push(v);
+                    }
+                    agg.inner_vars().into_iter().for_each(&mut push);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An integrity constraint (Definition 2.9): a headless rule whose body is
+/// guaranteed never to be satisfied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Constraint {
+    pub body: Vec<Literal>,
+}
+
+/// The cost domains a cost argument may be declared over — one per row of
+/// Figure 1 (set domains draw their universe from the active domain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DomainSpec {
+    /// `(R ∪ {±∞}, ≤)`: the `max` domain.
+    MaxReal,
+    /// `(R ∪ {±∞}, ≥)`: the `min` domain.
+    MinReal,
+    /// `(R* ∪ {∞}, ≤)`: the `sum` domain.
+    NonNegReal,
+    /// `(B, ≤)`: the `or`/`count` domain.
+    BoolOr,
+    /// `(B, ≥)`: the `and` domain.
+    BoolAnd,
+    /// `(N ∪ {∞}, ≤)`: the `count` range.
+    Nat,
+    /// `(N⁺ ∪ {∞}, ≤)`: the `product` domain.
+    PosNat,
+    /// `(2^S, ⊆)`: the `union` domain.
+    SetUnion,
+    /// `(2^S, ⊇)`: the `intersect` domain.
+    SetIntersect,
+}
+
+impl DomainSpec {
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainSpec::MaxReal => "max_real",
+            DomainSpec::MinReal => "min_real",
+            DomainSpec::NonNegReal => "nonneg_real",
+            DomainSpec::BoolOr => "bool_or",
+            DomainSpec::BoolAnd => "bool_and",
+            DomainSpec::Nat => "nat",
+            DomainSpec::PosNat => "pos_nat",
+            DomainSpec::SetUnion => "set_union",
+            DomainSpec::SetIntersect => "set_intersect",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<DomainSpec> {
+        Some(match name {
+            "max_real" => DomainSpec::MaxReal,
+            "min_real" => DomainSpec::MinReal,
+            "nonneg_real" => DomainSpec::NonNegReal,
+            "bool_or" | "bool" => DomainSpec::BoolOr,
+            "bool_and" => DomainSpec::BoolAnd,
+            "nat" => DomainSpec::Nat,
+            "pos_nat" => DomainSpec::PosNat,
+            "set_union" => DomainSpec::SetUnion,
+            "set_intersect" => DomainSpec::SetIntersect,
+        _ => return None,
+        })
+    }
+
+    /// Is the numeric reading of this domain's `⊑` the reverse of `≤`?
+    pub fn is_reversed(self) -> bool {
+        matches!(
+            self,
+            DomainSpec::MinReal | DomainSpec::BoolAnd | DomainSpec::SetIntersect
+        )
+    }
+}
+
+/// The cost declaration of a predicate: which domain its (final) cost
+/// argument ranges over, and whether the predicate is a *default-value cost
+/// predicate* (Section 2.3.2). Per the paper, the default value is always
+/// the domain's minimal element `⊥`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostSpec {
+    pub domain: DomainSpec,
+    pub has_default: bool,
+}
+
+/// A predicate declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredDecl {
+    pub pred: Pred,
+    pub arity: usize,
+    pub cost: Option<CostSpec>,
+}
+
+/// A parsed program: declarations, rules, integrity constraints, and any
+/// ground facts given inline.
+#[derive(Debug, Default)]
+pub struct Program {
+    pub symbols: SymbolTable,
+    pub decls: HashMap<Pred, PredDecl>,
+    pub rules: Vec<Rule>,
+    pub constraints: Vec<Constraint>,
+    pub facts: Vec<Atom>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a predicate name.
+    pub fn pred(&self, name: &str) -> Pred {
+        Pred(self.symbols.intern(name))
+    }
+
+    /// Look up a predicate by name without interning.
+    pub fn find_pred(&self, name: &str) -> Option<Pred> {
+        self.symbols.lookup(name).map(Pred)
+    }
+
+    pub fn pred_name(&self, pred: Pred) -> String {
+        self.symbols.name(pred.0)
+    }
+
+    pub fn var_name(&self, var: Var) -> String {
+        self.symbols.name(var.0)
+    }
+
+    /// Does `pred` have a declared cost argument?
+    pub fn is_cost_pred(&self, pred: Pred) -> bool {
+        self.decls
+            .get(&pred)
+            .map_or(false, |d| d.cost.is_some())
+    }
+
+    /// The declared cost spec of `pred`, if any.
+    pub fn cost_spec(&self, pred: Pred) -> Option<CostSpec> {
+        self.decls.get(&pred).and_then(|d| d.cost)
+    }
+
+    /// Is `pred` a default-value cost predicate?
+    pub fn has_default(&self, pred: Pred) -> bool {
+        self.cost_spec(pred).map_or(false, |c| c.has_default)
+    }
+
+    /// Declared (or inferred) arity of `pred`.
+    pub fn arity(&self, pred: Pred) -> Option<usize> {
+        self.decls.get(&pred).map(|d| d.arity)
+    }
+
+    /// All predicates appearing in rule heads.
+    pub fn head_preds(&self) -> std::collections::BTreeSet<Pred> {
+        self.rules.iter().map(|r| r.head.pred).collect()
+    }
+
+    /// All predicates mentioned anywhere in the program.
+    pub fn all_preds(&self) -> std::collections::BTreeSet<Pred> {
+        let mut out = std::collections::BTreeSet::new();
+        for rule in &self.rules {
+            out.insert(rule.head.pred);
+            for lit in &rule.body {
+                collect_literal_preds(lit, &mut out);
+            }
+        }
+        for c in &self.constraints {
+            for lit in &c.body {
+                collect_literal_preds(lit, &mut out);
+            }
+        }
+        for f in &self.facts {
+            out.insert(f.pred);
+        }
+        out.extend(self.decls.keys().copied());
+        out
+    }
+}
+
+fn collect_literal_preds(lit: &Literal, out: &mut std::collections::BTreeSet<Pred>) {
+    match lit {
+        Literal::Pos(a) | Literal::Neg(a) => {
+            out.insert(a.pred);
+        }
+        Literal::Agg(agg) => {
+            for a in &agg.conjuncts {
+                out.insert(a.pred);
+            }
+        }
+        Literal::Builtin(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        // Build by hand: coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+        let p = Program::new();
+        p.pred("coming");
+        p
+    }
+
+    #[test]
+    fn atom_key_and_cost_args() {
+        let p = Program::new();
+        let pred = p.pred("s");
+        let x = Var(p.symbols.intern("X"));
+        let c = Var(p.symbols.intern("C"));
+        let atom = Atom::new(pred, vec![Term::Var(x), Term::Var(c)]);
+        assert_eq!(atom.key_args(true).len(), 1);
+        assert_eq!(atom.cost_arg(true), Some(&Term::Var(c)));
+        assert_eq!(atom.key_args(false).len(), 2);
+        assert_eq!(atom.cost_arg(false), None);
+    }
+
+    #[test]
+    fn grouping_and_local_vars_follow_definition_2_4() {
+        // s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        // Grouping: X, Y (appear outside). Local: Z. Multiset: D.
+        let p = Program::new();
+        let s = p.pred("s");
+        let path = p.pred("path");
+        let v = |n: &str| Var(p.symbols.intern(n));
+        let (x, y, z, c, d) = (v("X"), v("Y"), v("Z"), v("C"), v("D"));
+        let rule = Rule {
+            head: Atom::new(s, vec![Term::Var(x), Term::Var(y), Term::Var(c)]),
+            body: vec![Literal::Agg(Aggregate {
+                result: Term::Var(c),
+                eq: AggEq::Restricted,
+                func: AggFunc::Min,
+                multiset_var: Some(d),
+                conjuncts: vec![Atom::new(
+                    path,
+                    vec![Term::Var(x), Term::Var(z), Term::Var(y), Term::Var(d)],
+                )],
+            })],
+        };
+        assert_eq!(rule.aggregate_grouping_vars(0), vec![x, y]);
+        assert_eq!(rule.aggregate_local_vars(0), vec![z]);
+    }
+
+    #[test]
+    fn vars_outside_excludes_aggregate_internals() {
+        let p = sample_program();
+        let coming = p.pred("coming");
+        let requires = p.pred("requires");
+        let kc = p.pred("kc");
+        let v = |n: &str| Var(p.symbols.intern(n));
+        let (x, k, n, y) = (v("X"), v("K"), v("N"), v("Y"));
+        let rule = Rule {
+            head: Atom::new(coming, vec![Term::Var(x)]),
+            body: vec![
+                Literal::Pos(Atom::new(requires, vec![Term::Var(x), Term::Var(k)])),
+                Literal::Agg(Aggregate {
+                    result: Term::Var(n),
+                    eq: AggEq::Total,
+                    func: AggFunc::Count,
+                    multiset_var: None,
+                    conjuncts: vec![Atom::new(kc, vec![Term::Var(x), Term::Var(y)])],
+                }),
+                Literal::Builtin(Builtin {
+                    op: CmpOp::Ge,
+                    lhs: Expr::Term(Term::Var(n)),
+                    rhs: Expr::Term(Term::Var(k)),
+                }),
+            ],
+        };
+        // X is a grouping var (appears in requires and head); Y is local.
+        assert_eq!(rule.aggregate_grouping_vars(1), vec![x]);
+        assert_eq!(rule.aggregate_local_vars(1), vec![y]);
+        assert_eq!(rule.all_vars(), vec![x, k, n, y]);
+    }
+
+    #[test]
+    fn agg_func_round_trips_names() {
+        for f in [
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Product,
+            AggFunc::And,
+            AggFunc::Or,
+            AggFunc::Union,
+            AggFunc::Intersect,
+            AggFunc::Avg,
+            AggFunc::HalfSum,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+
+    #[test]
+    fn domain_spec_round_trips_names() {
+        for d in [
+            DomainSpec::MaxReal,
+            DomainSpec::MinReal,
+            DomainSpec::NonNegReal,
+            DomainSpec::BoolOr,
+            DomainSpec::BoolAnd,
+            DomainSpec::Nat,
+            DomainSpec::PosNat,
+            DomainSpec::SetUnion,
+            DomainSpec::SetIntersect,
+        ] {
+            assert_eq!(DomainSpec::from_name(d.name()), Some(d));
+        }
+        assert!(DomainSpec::MinReal.is_reversed());
+        assert!(!DomainSpec::MaxReal.is_reversed());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for parsing and validation.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Loc {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse error with location and message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub loc: Loc,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(loc: Loc, message: impl Into<String>) -> Self {
+        ParseError {
+            loc,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A program-level validation error (arity mismatch, undeclared cost
+/// predicate in an aggregate, malformed default declaration, ...).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidateError {
+    pub message: String,
+}
+
+impl ValidateError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ValidateError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_location() {
+        let e = ParseError::new(Loc { line: 3, col: 7 }, "expected '.'");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected '.'");
+    }
+
+    #[test]
+    fn validate_error_renders_message() {
+        let e = ValidateError::new("arity mismatch for arc");
+        assert!(e.to_string().contains("arity mismatch"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Predicate dependency graph, strongly connected components, and the
+//! componentwise CDB/LDB decomposition of Section 2.2.
+//!
+//! A *program component* is the set of rules for a set of mutually recursive
+//! predicates. For a component `P`, a predicate is **CDB** ("current
+//! component database") if it heads a rule of `P`, and **LDB** ("lower
+//! component database") if it appears only in bodies. We compute SCCs of
+//! the predicate dependency graph with an iterative Tarjan and emit the
+//! components in dependency (topological) order, lowest first — exactly the
+//! order the iterated minimal-model construction of Section 6.3 consumes
+//! them in.
+
+use crate::ast::{Literal, Pred, Program};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// How a body predicate is referenced by a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Through a positive subgoal.
+    Positive,
+    /// Through a negative subgoal.
+    Negative,
+    /// Inside an aggregate subgoal.
+    Aggregate,
+}
+
+/// The predicate dependency graph of a program.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    /// head → set of (body pred, kind).
+    pub edges: HashMap<Pred, HashSet<(Pred, EdgeKind)>>,
+    /// Every predicate mentioned.
+    pub preds: BTreeSet<Pred>,
+}
+
+impl DepGraph {
+    pub fn build(program: &Program) -> Self {
+        let mut g = DepGraph::default();
+        g.preds = program.all_preds();
+        for rule in &program.rules {
+            let entry = g.edges.entry(rule.head.pred).or_default();
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) => {
+                        entry.insert((a.pred, EdgeKind::Positive));
+                    }
+                    Literal::Neg(a) => {
+                        entry.insert((a.pred, EdgeKind::Negative));
+                    }
+                    Literal::Agg(agg) => {
+                        for a in &agg.conjuncts {
+                            entry.insert((a.pred, EdgeKind::Aggregate));
+                        }
+                    }
+                    Literal::Builtin(_) => {}
+                }
+            }
+        }
+        g
+    }
+
+    fn successors(&self, p: Pred) -> impl Iterator<Item = Pred> + '_ {
+        self.edges
+            .get(&p)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|(q, _)| *q))
+    }
+}
+
+/// One strongly connected component of the dependency graph, with the rules
+/// whose heads belong to it.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// The mutually recursive predicates (CDB of this component).
+    pub preds: BTreeSet<Pred>,
+    /// Indices into `program.rules` of the rules defining those predicates.
+    pub rule_indices: Vec<usize>,
+    /// Does some rule of the component reference a component predicate
+    /// inside an aggregate subgoal (recursion through aggregation)?
+    pub recursive_aggregation: bool,
+    /// Does some rule of the component negate a component predicate
+    /// (recursion through negation)?
+    pub recursive_negation: bool,
+}
+
+impl Component {
+    /// LDB predicates of this component: referenced by its rules but not
+    /// defined in it.
+    pub fn ldb_preds(&self, program: &Program) -> BTreeSet<Pred> {
+        let mut out = BTreeSet::new();
+        for &i in &self.rule_indices {
+            for lit in &program.rules[i].body {
+                match lit {
+                    Literal::Pos(a) | Literal::Neg(a) => {
+                        if !self.preds.contains(&a.pred) {
+                            out.insert(a.pred);
+                        }
+                    }
+                    Literal::Agg(agg) => {
+                        for a in &agg.conjuncts {
+                            if !self.preds.contains(&a.pred) {
+                                out.insert(a.pred);
+                            }
+                        }
+                    }
+                    Literal::Builtin(_) => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compute the strongly connected components of `program`'s dependency
+/// graph in topological order (dependencies first). Predicates with no
+/// defining rules (pure EDB) form no component.
+pub fn components(program: &Program) -> Vec<Component> {
+    let graph = DepGraph::build(program);
+    let sccs = tarjan_sccs(&graph);
+
+    let mut out = Vec::new();
+    for scc in sccs {
+        let preds: BTreeSet<Pred> = scc.into_iter().collect();
+        let rule_indices: Vec<usize> = program
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| preds.contains(&r.head.pred))
+            .map(|(i, _)| i)
+            .collect();
+        if rule_indices.is_empty() {
+            continue; // pure EDB predicate
+        }
+        let mut recursive_aggregation = false;
+        let mut recursive_negation = false;
+        for &i in &rule_indices {
+            for lit in &program.rules[i].body {
+                match lit {
+                    Literal::Neg(a) if preds.contains(&a.pred) => recursive_negation = true,
+                    Literal::Agg(agg) => {
+                        if agg.conjuncts.iter().any(|a| preds.contains(&a.pred)) {
+                            recursive_aggregation = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.push(Component {
+            preds,
+            rule_indices,
+            recursive_aggregation,
+            recursive_negation,
+        });
+    }
+    out
+}
+
+/// Iterative Tarjan SCC. Returns components in reverse topological order of
+/// the successor relation; since our edges point head → body (a component
+/// *depends on* its successors), Tarjan's natural output order (callees
+/// first) is exactly dependencies-first, which is what we want.
+fn tarjan_sccs(graph: &DepGraph) -> Vec<Vec<Pred>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+
+    let mut state: HashMap<Pred, NodeState> = HashMap::new();
+    let mut stack: Vec<Pred> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<Pred>> = Vec::new();
+
+    // Explicit DFS stack: (node, successor iterator position).
+    for &root in &graph.preds {
+        if state.contains_key(&root) {
+            continue;
+        }
+        let mut call_stack: Vec<(Pred, Vec<Pred>, usize)> = Vec::new();
+        let succs: Vec<Pred> = graph.successors(root).collect();
+        state.insert(
+            root,
+            NodeState {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
+        );
+        next_index += 1;
+        stack.push(root);
+        call_stack.push((root, succs, 0));
+
+        while let Some((node, succs, mut i)) = call_stack.pop() {
+            let mut descended = false;
+            while i < succs.len() {
+                let w = succs[i];
+                i += 1;
+                match state.get(&w) {
+                    None => {
+                        // Descend into w.
+                        let wsuccs: Vec<Pred> = graph.successors(w).collect();
+                        state.insert(
+                            w,
+                            NodeState {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        next_index += 1;
+                        stack.push(w);
+                        call_stack.push((node, succs, i));
+                        call_stack.push((w, wsuccs, 0));
+                        descended = true;
+                        break;
+                    }
+                    Some(ws) if ws.on_stack => {
+                        let wi = ws.index;
+                        let ns = state.get_mut(&node).expect("visited");
+                        ns.lowlink = ns.lowlink.min(wi);
+                    }
+                    Some(_) => {}
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Node finished: pop SCC if root, propagate lowlink to parent.
+            let ns = state[&node];
+            if ns.lowlink == ns.index {
+                let mut scc = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack invariant");
+                    state.get_mut(&w).expect("visited").on_stack = false;
+                    scc.push(w);
+                    if w == node {
+                        break;
+                    }
+                }
+                sccs.push(scc);
+            }
+            if let Some((parent, _, _)) = call_stack.last() {
+                let low = state[&node].lowlink;
+                let ps = state.get_mut(parent).expect("visited");
+                ps.lowlink = ps.lowlink.min(low);
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn shortest_path_component_structure() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 1, "path and s are mutually recursive");
+        let c = &comps[0];
+        assert_eq!(c.preds.len(), 2);
+        assert!(c.recursive_aggregation);
+        assert!(!c.recursive_negation);
+        let ldb = c.ldb_preds(&p);
+        assert_eq!(ldb.len(), 1);
+        assert!(ldb.contains(&p.find_pred("arc").unwrap()));
+    }
+
+    #[test]
+    fn stratified_program_yields_ordered_components() {
+        let p = parse_program(
+            r#"
+            a(X) :- e(X).
+            b(X) :- a(X).
+            c(X) :- b(X), a(X).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 3);
+        let names: Vec<String> = comps
+            .iter()
+            .map(|c| p.pred_name(*c.preds.iter().next().unwrap()))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"], "dependencies come first");
+    }
+
+    #[test]
+    fn mutual_recursion_collapses_into_one_component() {
+        let p = parse_program(
+            r#"
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(Y).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].preds.len(), 2);
+        assert_eq!(comps[0].rule_indices.len(), 3);
+    }
+
+    #[test]
+    fn negation_within_component_is_flagged() {
+        let p = parse_program(
+            r#"
+            win(X) :- move(X, Y), ! win(Y).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].recursive_negation);
+    }
+
+    #[test]
+    fn aggregate_stratified_program_has_no_recursive_aggregation() {
+        let p = parse_program(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred s_avg/2 cost max_real.
+            s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 1);
+        assert!(!comps[0].recursive_aggregation);
+    }
+
+    #[test]
+    fn company_control_is_one_component() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].preds.len(), 3); // cv, m, c
+        assert!(comps[0].recursive_aggregation);
+    }
+
+    #[test]
+    fn diamond_dependencies_topologically_ordered() {
+        let p = parse_program(
+            r#"
+            top(X) :- left(X), right(X).
+            left(X) :- base(X).
+            right(X) :- base(X).
+            base(X) :- e(X).
+            "#,
+        )
+        .unwrap();
+        let comps = components(&p);
+        assert_eq!(comps.len(), 4);
+        let pos = |name: &str| {
+            comps
+                .iter()
+                .position(|c| c.preds.contains(&p.find_pred(name).unwrap()))
+                .unwrap()
+        };
+        assert!(pos("base") < pos("left"));
+        assert!(pos("base") < pos("right"));
+        assert!(pos("left") < pos("top"));
+        assert!(pos("right") < pos("top"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Hand-written lexer for the maglog rule language.
+
+use crate::error::{Loc, ParseError};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Lowercase-initial identifier (constant symbol, predicate name,
+    /// keyword, aggregate/domain name).
+    Ident(String),
+    /// Uppercase- or `_`-initial identifier: a variable.
+    UpIdent(String),
+    /// A numeric literal.
+    Num(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    /// `:-`
+    Turnstile,
+    /// `=`
+    Eq,
+    /// `=r`
+    EqR,
+    /// `!=`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    /// `!` (negation)
+    Bang,
+    /// `/` used in `pred/arity` shares `Slash`.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::UpIdent(s) => write!(f, "'{s}'"),
+            Tok::Num(n) => write!(f, "'{n}'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBracket => write!(f, "'['"),
+            Tok::RBracket => write!(f, "']'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Dot => write!(f, "'.'"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::Turnstile => write!(f, "':-'"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::EqR => write!(f, "'=r'"),
+            Tok::Ne => write!(f, "'!='"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Le => write!(f, "'<='"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::Ge => write!(f, "'>='"),
+            Tok::Plus => write!(f, "'+'"),
+            Tok::Minus => write!(f, "'-'"),
+            Tok::Star => write!(f, "'*'"),
+            Tok::Slash => write!(f, "'/'"),
+            Tok::Bang => write!(f, "'!'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub loc: Loc,
+}
+
+/// Tokenize `src`, producing a vector ending with `Tok::Eof`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $loc:expr) => {
+            out.push(Token {
+                tok: $tok,
+                loc: $loc,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let loc = Loc { line, col };
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '%' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, loc);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, loc);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, loc);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, loc);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, loc);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                // Disambiguate end-of-clause '.' from a decimal point: a
+                // decimal point is always preceded and followed by a digit
+                // and handled inside number lexing, so '.' here is a Dot.
+                push!(Tok::Dot, loc);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    push!(Tok::Turnstile, loc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Colon, loc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                // `=r` only when followed by 'r' NOT continuing into a
+                // longer identifier (e.g. `=result` is not a token).
+                if i + 1 < bytes.len()
+                    && bytes[i + 1] == b'r'
+                    && !(i + 2 < bytes.len() && is_ident_char(bytes[i + 2]))
+                {
+                    push!(Tok::EqR, loc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Eq, loc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne, loc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Bang, loc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, loc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, loc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, loc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, loc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push!(Tok::Plus, loc);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(Tok::Minus, loc);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star, loc);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(Tok::Slash, loc);
+                i += 1;
+                col += 1;
+            }
+            '\'' => {
+                // Quoted constant symbol: 'any text'.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    if bytes[j] == b'\n' {
+                        return Err(ParseError::new(loc, "unterminated quoted symbol"));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(loc, "unterminated quoted symbol"));
+                }
+                let text = std::str::from_utf8(&bytes[start..j])
+                    .map_err(|_| ParseError::new(loc, "invalid UTF-8 in quoted symbol"))?;
+                push!(Tok::Ident(text.to_string()), loc);
+                col += (j + 1 - i) as u32;
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Fractional part only when '.' is followed by a digit, so
+                // `p(a,3).` lexes as number 3 then Dot.
+                if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Exponent part.
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..j]).expect("ascii digits");
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(loc, format!("invalid number '{text}'")))?;
+                push!(Tok::Num(value), loc);
+                col += (j - i) as u32;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..j]).expect("ascii ident");
+                let tok = if c.is_ascii_uppercase() || c == '_' {
+                    Tok::UpIdent(text.to_string())
+                } else {
+                    Tok::Ident(text.to_string())
+                };
+                push!(tok, loc);
+                col += (j - i) as u32;
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    loc,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        loc: Loc { line, col },
+    });
+    Ok(out)
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_rule() {
+        let ts = toks("s(X, Y, C) :- arc(X, Y, C).");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("s".into()),
+                Tok::LParen,
+                Tok::UpIdent("X".into()),
+                Tok::Comma,
+                Tok::UpIdent("Y".into()),
+                Tok::Comma,
+                Tok::UpIdent("C".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("arc".into()),
+                Tok::LParen,
+                Tok::UpIdent("X".into()),
+                Tok::Comma,
+                Tok::UpIdent("Y".into()),
+                Tok::Comma,
+                Tok::UpIdent("C".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_eq_r_only_when_isolated() {
+        assert_eq!(toks("=r "), vec![Tok::EqR, Tok::Eof]);
+        assert_eq!(
+            toks("=result"),
+            vec![Tok::Eq, Tok::Ident("result".into()), Tok::Eof]
+        );
+        assert_eq!(toks("=r2")[0], Tok::Eq); // 'r2' is an identifier
+    }
+
+    #[test]
+    fn lexes_numbers_and_dots() {
+        assert_eq!(
+            toks("p(a, 3)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Num(3.0),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("0.5")[0], Tok::Num(0.5));
+        assert_eq!(toks("1e3")[0], Tok::Num(1000.0));
+        assert_eq!(toks("2.5e-1")[0], Tok::Num(0.25));
+        // trailing clause dot after an integer
+        let ts = toks("n(3).");
+        assert_eq!(ts[3], Tok::RParen);
+        assert_eq!(ts[4], Tok::Dot);
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(
+            toks("N >= K, M < 2, A != B, C <= D, E > F"),
+            vec![
+                Tok::UpIdent("N".into()),
+                Tok::Ge,
+                Tok::UpIdent("K".into()),
+                Tok::Comma,
+                Tok::UpIdent("M".into()),
+                Tok::Lt,
+                Tok::Num(2.0),
+                Tok::Comma,
+                Tok::UpIdent("A".into()),
+                Tok::Ne,
+                Tok::UpIdent("B".into()),
+                Tok::Comma,
+                Tok::UpIdent("C".into()),
+                Tok::Le,
+                Tok::UpIdent("D".into()),
+                Tok::Comma,
+                Tok::UpIdent("E".into()),
+                Tok::Gt,
+                Tok::UpIdent("F".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("p(a). % trailing comment\n% full line\nq(b)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_symbols() {
+        assert_eq!(
+            toks("'Hello World'"),
+            vec![Tok::Ident("Hello World".into()), Tok::Eof]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn tracks_locations() {
+        let tokens = tokenize("p(a).\n  q(b).").unwrap();
+        let q = tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("q".into()))
+            .unwrap();
+        assert_eq!(q.loc.line, 2);
+        assert_eq!(q.loc.col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("p(a) @ q(b)").is_err());
+    }
+
+    #[test]
+    fn underscore_starts_variable() {
+        assert_eq!(toks("_x")[0], Tok::UpIdent("_x".into()));
+    }
+}

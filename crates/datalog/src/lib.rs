@@ -1,0 +1,43 @@
+//! Datalog with monotonic aggregation: syntax and program structure.
+//!
+//! This crate implements Section 2 of Ross & Sagiv (PODS 1992): the rule
+//! language with *cost predicates*, *aggregate subgoals* (both the `=` and
+//! the `=r` forms of Definition 2.4), *default-value cost predicates*
+//! (Section 2.3.2), *integrity constraints* (Definition 2.9), and the
+//! componentwise CDB/LDB view of a program (Section 2.2).
+//!
+//! The concrete syntax is a conventional Prolog-flavoured notation:
+//!
+//! ```text
+//! declare pred path/4 cost min_real.
+//! declare pred t/2 cost bool_or default.
+//!
+//! path(X, direct, Y, C) :- arc(X, Y, C).
+//! path(X, Z, Y, C)      :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+//! s(X, Y, C)            :- C =r min D : path(X, Z, Y, D).
+//! t(G, C)               :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+//! coming(X)             :- requires(X, K), N = count : kc(X, Y), N >= K.
+//! constraint :- arc(direct, Z, C).
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; constants are lowercase
+//! identifiers or numbers; `%` starts a comment. The cost argument of a cost
+//! predicate is always its **last** argument, as in the paper's convention.
+
+pub mod ast;
+pub mod error;
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod symbols;
+pub mod validate;
+
+pub use ast::{
+    AggEq, AggFunc, Aggregate, Atom, BinOp, Builtin, CmpOp, Const, Constraint, CostSpec,
+    DomainSpec, Expr, Literal, Pred, PredDecl, Program, Rule, Term, Var,
+};
+pub use error::{ParseError, ValidateError};
+pub use graph::{Component, DepGraph, EdgeKind};
+pub use parser::parse_program;
+pub use symbols::{Sym, SymbolTable};

@@ -1,0 +1,694 @@
+//! Recursive-descent parser for the maglog rule language.
+//!
+//! Grammar (see the crate docs for examples):
+//!
+//! ```text
+//! program    := item*
+//! item       := declare | constraint | clause
+//! declare    := "declare" "pred" IDENT "/" NUM [cost] "."
+//!             | "declare" "default" IDENT "/" NUM "."
+//! cost       := "cost" IDENT ["default"]
+//! constraint := ["constraint"] ":-" body "."
+//! clause     := atom [":-" body] "."
+//! body       := literal ("," literal)*
+//! literal    := ("!" | "not") atom
+//!             | atom
+//!             | term ("=" | "=r") AGGNAME [VAR] ":" aggbody   -- aggregate
+//!             | expr CMP expr                                  -- builtin
+//! aggbody    := atom | "[" atom ("," atom)* "]"
+//! expr       := mulexpr (("+" | "-") mulexpr)*
+//! mulexpr    := unary (("*" | "/") unary)*
+//! unary      := ["-"] primary
+//! primary    := NUM | VAR | IDENT | "(" expr ")"
+//! ```
+//!
+//! Disambiguation between a builtin equality `C = C1 + C2` and an aggregate
+//! `C = min D : ...` is by lookahead after `=`: an aggregate-function name
+//! followed by an optional variable and a `:` parses as an aggregate. The
+//! `=r` token always introduces an aggregate (Definition 2.4 only defines
+//! `=r` for aggregate subgoals).
+
+use crate::ast::*;
+use crate::error::{Loc, ParseError};
+use crate::lexer::{tokenize, Tok, Token};
+use crate::validate::validate;
+
+/// Parse and validate a complete program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        program: Program::new(),
+    };
+    parser.parse()?;
+    let program = parser.program;
+    validate(&program).map_err(|e| ParseError::new(Loc::default(), e.message))?;
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    program: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, offset: usize) -> &Tok {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].tok
+    }
+
+    fn loc(&self) -> Loc {
+        self.tokens[self.pos].loc
+    }
+
+    fn bump(&mut self) -> Tok {
+        let tok = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.loc(),
+                format!("expected {tok}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                self.loc(),
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn parse(&mut self) -> Result<(), ParseError> {
+        while *self.peek() != Tok::Eof {
+            self.item()?;
+        }
+        Ok(())
+    }
+
+    fn item(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(kw) if kw == "declare" => self.declaration(),
+            Tok::Ident(kw) if kw == "constraint" => {
+                self.bump();
+                self.expect(&Tok::Turnstile)?;
+                let body = self.body()?;
+                self.expect(&Tok::Dot)?;
+                self.program.constraints.push(Constraint { body });
+                Ok(())
+            }
+            Tok::Turnstile => {
+                self.bump();
+                let body = self.body()?;
+                self.expect(&Tok::Dot)?;
+                self.program.constraints.push(Constraint { body });
+                Ok(())
+            }
+            _ => self.clause(),
+        }
+    }
+
+    fn declaration(&mut self) -> Result<(), ParseError> {
+        self.bump(); // 'declare'
+        let kind = self.expect_ident("'pred' or 'default'")?;
+        match kind.as_str() {
+            "pred" => {
+                let name = self.expect_ident("predicate name")?;
+                self.expect(&Tok::Slash)?;
+                let arity = self.number("arity")? as usize;
+                let mut cost = None;
+                if let Tok::Ident(kw) = self.peek() {
+                    if kw == "cost" {
+                        self.bump();
+                        let dom_loc = self.loc();
+                        let dom_name = self.expect_ident("cost domain name")?;
+                        let domain = DomainSpec::from_name(&dom_name).ok_or_else(|| {
+                            ParseError::new(
+                                dom_loc,
+                                format!("unknown cost domain '{dom_name}'"),
+                            )
+                        })?;
+                        let mut has_default = false;
+                        if let Tok::Ident(kw) = self.peek() {
+                            if kw == "default" {
+                                self.bump();
+                                has_default = true;
+                            }
+                        }
+                        cost = Some(CostSpec {
+                            domain,
+                            has_default,
+                        });
+                    }
+                }
+                self.expect(&Tok::Dot)?;
+                let pred = self.program.pred(&name);
+                self.program
+                    .decls
+                    .insert(pred, PredDecl { pred, arity, cost });
+                Ok(())
+            }
+            "default" => {
+                // `declare default t/2.` — marks an already (or later)
+                // declared cost predicate as default-valued. Requires the
+                // pred to be declared with a cost domain eventually;
+                // validation enforces this.
+                let name = self.expect_ident("predicate name")?;
+                self.expect(&Tok::Slash)?;
+                let arity = self.number("arity")? as usize;
+                self.expect(&Tok::Dot)?;
+                let pred = self.program.pred(&name);
+                let decl = self
+                    .program
+                    .decls
+                    .entry(pred)
+                    .or_insert(PredDecl {
+                        pred,
+                        arity,
+                        cost: None,
+                    });
+                match &mut decl.cost {
+                    Some(spec) => spec.has_default = true,
+                    None => {
+                        // Default to the boolean-or domain, matching the
+                        // paper's implicit-boolean-cost convention.
+                        decl.cost = Some(CostSpec {
+                            domain: DomainSpec::BoolOr,
+                            has_default: true,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            other => Err(ParseError::new(
+                self.loc(),
+                format!("expected 'pred' or 'default' after 'declare', found '{other}'"),
+            )),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        match self.bump() {
+            Tok::Num(n) => Ok(n),
+            other => Err(ParseError::new(
+                self.loc(),
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn clause(&mut self) -> Result<(), ParseError> {
+        let head = self.atom()?;
+        match self.peek() {
+            Tok::Turnstile => {
+                self.bump();
+                let body = self.body()?;
+                self.expect(&Tok::Dot)?;
+                self.program.rules.push(Rule { head, body });
+            }
+            Tok::Dot => {
+                self.bump();
+                if head.args.iter().all(|t| matches!(t, Term::Const(_))) {
+                    self.program.facts.push(head);
+                } else {
+                    // A headless-body-free rule with variables is a
+                    // (vacuously quantified) rule; keep it as a rule so the
+                    // range-restriction checker can reject it.
+                    self.program.rules.push(Rule {
+                        head,
+                        body: Vec::new(),
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    self.loc(),
+                    format!("expected ':-' or '.', found {other}"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn body(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut lits = vec![self.literal()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            lits.push(self.literal()?);
+        }
+        Ok(lits)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                Ok(Literal::Neg(self.atom()?))
+            }
+            Tok::Ident(kw) if kw == "not" && *self.peek_at(1) == Tok::LParen => {
+                // `not(...)`? No: `not atom` — an atom's pred can't be 'not'
+                // followed by '(' with our grammar, so treat bare `not` as
+                // negation only when followed by an identifier.
+                self.bump();
+                Ok(Literal::Neg(self.atom()?))
+            }
+            Tok::Ident(kw) if kw == "not" && matches!(self.peek_at(1), Tok::Ident(_)) => {
+                self.bump();
+                Ok(Literal::Neg(self.atom()?))
+            }
+            Tok::Ident(_) if *self.peek_at(1) == Tok::LParen => {
+                // An ordinary atom — unless it turns out to be an aggregate
+                // result constant, which we don't support on atoms.
+                Ok(Literal::Pos(self.atom()?))
+            }
+            _ => self.builtin_or_aggregate(),
+        }
+    }
+
+    /// Parse either a built-in comparison or an aggregate subgoal. Both
+    /// start with a term/expression.
+    fn builtin_or_aggregate(&mut self) -> Result<Literal, ParseError> {
+        let lhs_start = self.pos;
+        let lhs = self.expr()?;
+        match self.peek().clone() {
+            Tok::EqR => {
+                self.bump();
+                let result = self.simple_term_from_expr(&lhs, lhs_start)?;
+                self.aggregate(result, AggEq::Restricted)
+            }
+            Tok::Eq if self.looks_like_aggregate() => {
+                self.bump();
+                let result = self.simple_term_from_expr(&lhs, lhs_start)?;
+                self.aggregate(result, AggEq::Total)
+            }
+            Tok::Eq => {
+                self.bump();
+                let rhs = self.expr()?;
+                Ok(Literal::Builtin(Builtin {
+                    op: CmpOp::Eq,
+                    lhs,
+                    rhs,
+                }))
+            }
+            Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
+                let op = match self.bump() {
+                    Tok::Ne => CmpOp::Ne,
+                    Tok::Lt => CmpOp::Lt,
+                    Tok::Le => CmpOp::Le,
+                    Tok::Gt => CmpOp::Gt,
+                    Tok::Ge => CmpOp::Ge,
+                    _ => unreachable!(),
+                };
+                let rhs = self.expr()?;
+                Ok(Literal::Builtin(Builtin { op, lhs, rhs }))
+            }
+            other => Err(ParseError::new(
+                self.loc(),
+                format!("expected comparison or aggregate after expression, found {other}"),
+            )),
+        }
+    }
+
+    /// After `term =`, is what follows an aggregate application? True when
+    /// the next token is a known aggregate-function name followed by
+    /// either `:` or a variable-then-`:`.
+    fn looks_like_aggregate(&self) -> bool {
+        // self.pos currently points at the '=' token.
+        let Tok::Ident(name) = self.peek_at(1) else {
+            return false;
+        };
+        if AggFunc::from_name(name).is_none() {
+            return false;
+        }
+        match self.peek_at(2) {
+            Tok::Colon => true,
+            Tok::UpIdent(_) => *self.peek_at(3) == Tok::Colon,
+            _ => false,
+        }
+    }
+
+    fn simple_term_from_expr(&self, expr: &Expr, at: usize) -> Result<Term, ParseError> {
+        match expr {
+            Expr::Term(t) => Ok(*t),
+            _ => Err(ParseError::new(
+                self.tokens[at].loc,
+                "aggregate result must be a variable or constant, not an expression",
+            )),
+        }
+    }
+
+    fn aggregate(&mut self, result: Term, eq: AggEq) -> Result<Literal, ParseError> {
+        let func_loc = self.loc();
+        let func_name = self.expect_ident("aggregate function name")?;
+        let func = AggFunc::from_name(&func_name).ok_or_else(|| {
+            ParseError::new(func_loc, format!("unknown aggregate function '{func_name}'"))
+        })?;
+        let multiset_var = match self.peek() {
+            Tok::UpIdent(name) => {
+                let v = Var(self.program.symbols.intern(name));
+                self.bump();
+                Some(v)
+            }
+            _ => None,
+        };
+        self.expect(&Tok::Colon)?;
+        let conjuncts = if *self.peek() == Tok::LBracket {
+            self.bump();
+            let mut atoms = vec![self.atom()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                atoms.push(self.atom()?);
+            }
+            self.expect(&Tok::RBracket)?;
+            atoms
+        } else {
+            vec![self.atom()?]
+        };
+        Ok(Literal::Agg(Aggregate {
+            result,
+            eq,
+            func,
+            multiset_var,
+            conjuncts,
+        }))
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name_loc = self.loc();
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => {
+                return Err(ParseError::new(
+                    name_loc,
+                    format!("expected predicate name, found {other}"),
+                ))
+            }
+        };
+        let pred = self.program.pred(&name);
+        let mut args = Vec::new();
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            if *self.peek() != Tok::RParen {
+                args.push(self.term()?);
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    args.push(self.term()?);
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Atom::new(pred, args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let loc = self.loc();
+        match self.bump() {
+            Tok::UpIdent(name) => Ok(Term::Var(Var(self.program.symbols.intern(&name)))),
+            Tok::Ident(name) => Ok(Term::Const(Const::Sym(self.program.symbols.intern(&name)))),
+            Tok::Num(n) => Ok(Term::Const(Const::Num(n.into()))),
+            Tok::Minus => match self.bump() {
+                Tok::Num(n) => Ok(Term::Const(Const::Num((-n).into()))),
+                other => Err(ParseError::new(
+                    loc,
+                    format!("expected number after '-', found {other}"),
+                )),
+            },
+            other => Err(ParseError::new(
+                loc,
+                format!("expected term, found {other}"),
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.loc();
+        match self.bump() {
+            Tok::Num(n) => Ok(Expr::Term(Term::Const(Const::Num(n.into())))),
+            Tok::UpIdent(name) => Ok(Expr::Term(Term::Var(Var(
+                self.program.symbols.intern(&name)
+            )))),
+            Tok::Ident(name) if (name == "min" || name == "max") && *self.peek() == Tok::LParen => {
+                self.bump(); // '('
+                let lhs = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let rhs = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+            }
+            Tok::Ident(name) => Ok(Expr::Term(Term::Const(Const::Sym(
+                self.program.symbols.intern(&name),
+            )))),
+            Tok::LParen => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseError::new(
+                loc,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shortest_path_program() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.constraints.len(), 1);
+        let s = p.find_pred("s").unwrap();
+        assert!(p.is_cost_pred(s));
+        assert_eq!(p.cost_spec(s).unwrap().domain, DomainSpec::MinReal);
+        // Third rule: single aggregate literal with =r and min.
+        let r = &p.rules[2];
+        match &r.body[0] {
+            Literal::Agg(a) => {
+                assert_eq!(a.eq, AggEq::Restricted);
+                assert_eq!(a.func, AggFunc::Min);
+                assert!(a.multiset_var.is_some());
+                assert_eq!(a.conjuncts.len(), 1);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_company_control_program() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        // Last rule has a builtin N > 0.5.
+        match &p.rules[3].body[1] {
+            Literal::Builtin(b) => assert_eq!(b.op, CmpOp::Gt),
+            other => panic!("expected builtin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_total_aggregate_and_comparison() {
+        // Party invitations: `=` (total) count with no multiset variable.
+        let p = parse_program(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        )
+        .unwrap();
+        match &p.rules[0].body[1] {
+            Literal::Agg(a) => {
+                assert_eq!(a.eq, AggEq::Total);
+                assert_eq!(a.func, AggFunc::Count);
+                assert!(a.multiset_var.is_none());
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_conjunction_aggregate() {
+        let p = parse_program(
+            r#"
+            declare pred t/2 cost bool_or default.
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            "#,
+        )
+        .unwrap();
+        match &p.rules[0].body[1] {
+            Literal::Agg(a) => {
+                assert_eq!(a.func, AggFunc::And);
+                assert_eq!(a.conjuncts.len(), 2);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        let t = p.find_pred("t").unwrap();
+        assert!(p.has_default(t));
+    }
+
+    #[test]
+    fn distinguishes_builtin_equality_from_aggregate() {
+        let p = parse_program("p(X, C) :- q(X, A, B), C = A + B.").unwrap();
+        match &p.rules[0].body[1] {
+            Literal::Builtin(b) => {
+                assert_eq!(b.op, CmpOp::Eq);
+                assert!(matches!(b.rhs, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("expected builtin, got {other:?}"),
+        }
+        // `C = min(...)` style where min is a bare constant should still be
+        // a builtin since there is no ':' lookahead.
+        let p2 = parse_program("p(X, C) :- q(X, C), D = min, r(D).");
+        assert!(p2.is_ok());
+    }
+
+    #[test]
+    fn parses_facts_and_negation() {
+        let p = parse_program(
+            r#"
+            arc(a, b, 1).
+            arc(b, b, 0).
+            unreachable(X, Y) :- node(X), node(Y), ! reach(X, Y).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert!(matches!(p.rules[0].body[2], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn parses_not_keyword_negation() {
+        let p = parse_program("unreach(X, Y) :- node(X), node(Y), not reach(X, Y).").unwrap();
+        assert!(matches!(p.rules[0].body[2], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn declare_default_standalone() {
+        let p = parse_program(
+            r#"
+            declare pred t/2 cost bool_or.
+            declare default t/2.
+            t(W, C) :- input(W, C).
+            "#,
+        )
+        .unwrap();
+        let t = p.find_pred("t").unwrap();
+        assert!(p.has_default(t));
+    }
+
+    #[test]
+    fn rejects_unknown_domain_and_aggregate() {
+        assert!(parse_program("declare pred p/2 cost lunar.").is_err());
+        assert!(parse_program("p(X, C) :- C =r median D : q(X, D).").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_missing_dot() {
+        assert!(parse_program("p(a)").is_err());
+        assert!(parse_program("p(a). )").is_err());
+    }
+
+    #[test]
+    fn parses_negative_weights() {
+        let p = parse_program("arc(a, b, -2.5).").unwrap();
+        match p.facts[0].args[2] {
+            Term::Const(Const::Num(n)) => assert_eq!(n.get(), -2.5),
+            ref other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halfsum_program_parses() {
+        let p = parse_program(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            p(b, 1).
+            p(a, C) :- C =r halfsum D : p(X, D).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.facts.len(), 1);
+    }
+}

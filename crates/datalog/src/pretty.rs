@@ -1,0 +1,240 @@
+//! Pretty-printing of programs back to the concrete syntax.
+//!
+//! Because names live in the program's symbol table, printing goes through
+//! wrapper values created by [`Program::display_rule`] and friends rather
+//! than bare `Display` impls.
+
+use crate::ast::*;
+use std::fmt;
+
+impl Program {
+    pub fn display_term(&self, t: &Term) -> String {
+        match t {
+            Term::Var(v) => self.var_name(*v),
+            Term::Const(c) => self.display_const(c),
+        }
+    }
+
+    pub fn display_const(&self, c: &Const) -> String {
+        match c {
+            Const::Sym(s) => self.symbols.name(*s),
+            Const::Num(n) => n.to_string(),
+        }
+    }
+
+    pub fn display_atom(&self, a: &Atom) -> String {
+        if a.args.is_empty() {
+            return self.pred_name(a.pred);
+        }
+        let args: Vec<String> = a.args.iter().map(|t| self.display_term(t)).collect();
+        format!("{}({})", self.pred_name(a.pred), args.join(", "))
+    }
+
+    pub fn display_expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Term(t) => self.display_term(t),
+            Expr::Neg(inner) => format!("-({})", self.display_expr(inner)),
+            Expr::Bin(op, l, r) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Min => {
+                        return format!(
+                            "min({}, {})",
+                            self.display_expr(l),
+                            self.display_expr(r)
+                        )
+                    }
+                    BinOp::Max => {
+                        return format!(
+                            "max({}, {})",
+                            self.display_expr(l),
+                            self.display_expr(r)
+                        )
+                    }
+                };
+                format!(
+                    "({} {} {})",
+                    self.display_expr(l),
+                    sym,
+                    self.display_expr(r)
+                )
+            }
+        }
+    }
+
+    pub fn display_literal(&self, lit: &Literal) -> String {
+        match lit {
+            Literal::Pos(a) => self.display_atom(a),
+            Literal::Neg(a) => format!("! {}", self.display_atom(a)),
+            Literal::Builtin(b) => {
+                let op = match b.op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                format!(
+                    "{} {} {}",
+                    self.display_expr(&b.lhs),
+                    op,
+                    self.display_expr(&b.rhs)
+                )
+            }
+            Literal::Agg(agg) => {
+                let eq = match agg.eq {
+                    AggEq::Total => "=",
+                    AggEq::Restricted => "=r",
+                };
+                let mvar = agg
+                    .multiset_var
+                    .map(|v| format!(" {}", self.var_name(v)))
+                    .unwrap_or_default();
+                let body = if agg.conjuncts.len() == 1 {
+                    self.display_atom(&agg.conjuncts[0])
+                } else {
+                    let parts: Vec<String> = agg
+                        .conjuncts
+                        .iter()
+                        .map(|a| self.display_atom(a))
+                        .collect();
+                    format!("[{}]", parts.join(", "))
+                };
+                format!(
+                    "{} {} {}{} : {}",
+                    self.display_term(&agg.result),
+                    eq,
+                    agg.func.name(),
+                    mvar,
+                    body
+                )
+            }
+        }
+    }
+
+    pub fn display_rule(&self, rule: &Rule) -> String {
+        if rule.body.is_empty() {
+            return format!("{}.", self.display_atom(&rule.head));
+        }
+        let body: Vec<String> = rule.body.iter().map(|l| self.display_literal(l)).collect();
+        format!("{} :- {}.", self.display_atom(&rule.head), body.join(", "))
+    }
+
+    pub fn display_constraint(&self, c: &Constraint) -> String {
+        let body: Vec<String> = c.body.iter().map(|l| self.display_literal(l)).collect();
+        format!("constraint :- {}.", body.join(", "))
+    }
+
+    /// Render the whole program (declarations, rules, constraints, facts).
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        let mut decls: Vec<&PredDecl> = self.decls.values().collect();
+        decls.sort_by_key(|d| d.pred.0);
+        for d in decls {
+            let _ = write!(out, "declare pred {}/{}", self.pred_name(d.pred), d.arity);
+            if let Some(cost) = d.cost {
+                let _ = write!(out, " cost {}", cost.domain.name());
+                if cost.has_default {
+                    let _ = write!(out, " default");
+                }
+            }
+            let _ = writeln!(out, ".");
+        }
+        for f in &self.facts {
+            let _ = writeln!(out, "{}.", self.display_atom(f));
+        }
+        for r in &self.rules {
+            let _ = writeln!(out, "{}", self.display_rule(r));
+        }
+        for c in &self.constraints {
+            let _ = writeln!(out, "{}", self.display_constraint(c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    /// Parsing the printed source must yield the same structure
+    /// (round-trip property, checked on all the paper's programs).
+    fn round_trips(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_source();
+        let p2 = parse_program(&printed).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\nsource was:\n{printed}")
+        });
+        assert_eq!(p1.rules.len(), p2.rules.len());
+        assert_eq!(p1.constraints.len(), p2.constraints.len());
+        assert_eq!(p1.facts.len(), p2.facts.len());
+        assert_eq!(p1.to_source(), p2.to_source(), "printing is a fixpoint");
+    }
+
+    #[test]
+    fn shortest_path_round_trips() {
+        round_trips(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 1).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        );
+    }
+
+    #[test]
+    fn circuit_round_trips() {
+        round_trips(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            constraint :- gate(G, or), gate(G, and).
+            "#,
+        );
+    }
+
+    #[test]
+    fn party_round_trips() {
+        round_trips(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        );
+    }
+
+    #[test]
+    fn negation_and_arithmetic_round_trip() {
+        round_trips(
+            r#"
+            p(X, C) :- q(X, A, B), C = (A + B) * 2 - 1, ! r(X).
+            "#,
+        );
+    }
+
+    #[test]
+    fn min_max_functions_round_trip() {
+        round_trips(
+            r#"
+            declare pred link/3 cost max_real.
+            declare pred w/3 cost max_real.
+            declare pred wpath/4 cost max_real.
+            wpath(X, Z, Y, C) :- w(X, Z, C1), link(Z, Y, C2), C = min(C1, C2).
+            p(X, C) :- q(X, A, B), C = max(A, min(B, 3)) + 1.
+            "#,
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Program-level validation (arity and aggregate well-formedness).
+//!
+//! These checks are the "is this even a program" layer. The *semantic*
+//! checks of the paper — range restriction, cost-respecting rules,
+//! conflict-freedom, admissibility — live in `maglog-analysis`.
+
+use crate::ast::*;
+use crate::error::ValidateError;
+use std::collections::HashMap;
+
+/// Validate `program`, checking:
+///
+/// 1. every predicate is used with one consistent arity, matching its
+///    declaration if present;
+/// 2. every aggregate subgoal is structurally sound per Definition 2.4:
+///    the multiset variable occurs only in cost arguments of cost-predicate
+///    conjuncts (and nowhere else in the rule); aggregates without a
+///    multiset variable are only the implicit-boolean `count`; the result
+///    variable does not occur inside the conjunction;
+/// 3. default-value declarations are attached to cost predicates.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut arities: HashMap<Pred, usize> = HashMap::new();
+    for decl in program.decls.values() {
+        arities.insert(decl.pred, decl.arity);
+    }
+
+    let mut check_atom = |program: &Program, atom: &Atom| -> Result<(), ValidateError> {
+        match arities.get(&atom.pred) {
+            Some(&a) if a != atom.arity() => Err(ValidateError::new(format!(
+                "predicate {}/{} used with arity {}",
+                program.pred_name(atom.pred),
+                a,
+                atom.arity()
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                arities.insert(atom.pred, atom.arity());
+                Ok(())
+            }
+        }
+    };
+
+    for fact in &program.facts {
+        check_atom(program, fact)?;
+    }
+
+    let mut all_bodies: Vec<(&[Literal], Option<&Rule>)> = Vec::new();
+    for rule in &program.rules {
+        check_atom(program, &rule.head)?;
+        all_bodies.push((&rule.body, Some(rule)));
+    }
+    for c in &program.constraints {
+        all_bodies.push((&c.body, None));
+    }
+
+    for (body, rule) in all_bodies {
+        for lit in body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => check_atom(program, a)?,
+                Literal::Builtin(_) => {}
+                Literal::Agg(agg) => {
+                    for a in &agg.conjuncts {
+                        check_atom(program, a)?;
+                    }
+                    validate_aggregate(program, agg, rule)?;
+                }
+            }
+        }
+    }
+
+    for decl in program.decls.values() {
+        if let Some(cost) = decl.cost {
+            if cost.has_default && decl.arity == 0 {
+                return Err(ValidateError::new(format!(
+                    "default-value predicate {} must have at least a cost argument",
+                    program.pred_name(decl.pred)
+                )));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn validate_aggregate(
+    program: &Program,
+    agg: &Aggregate,
+    rule: Option<&Rule>,
+) -> Result<(), ValidateError> {
+    let fname = agg.func.name();
+    match agg.multiset_var {
+        None => {
+            if agg.func != AggFunc::Count {
+                return Err(ValidateError::new(format!(
+                    "aggregate '{fname}' requires a multiset variable \
+                     (only 'count' may aggregate an implicit boolean cost)"
+                )));
+            }
+        }
+        Some(e) => {
+            // E must occur in at least one conjunct, only in the final
+            // (cost) argument position, and the conjuncts it occurs in must
+            // be cost predicates if declared.
+            let mut occurrences = 0usize;
+            for atom in &agg.conjuncts {
+                for (i, term) in atom.args.iter().enumerate() {
+                    if *term == Term::Var(e) {
+                        occurrences += 1;
+                        let is_last = i + 1 == atom.args.len();
+                        if !is_last {
+                            return Err(ValidateError::new(format!(
+                                "multiset variable {} must appear only in cost \
+                                 (final) argument positions",
+                                program.var_name(e)
+                            )));
+                        }
+                        if let Some(decl) = program.decls.get(&atom.pred) {
+                            if decl.cost.is_none() {
+                                return Err(ValidateError::new(format!(
+                                    "multiset variable {} appears in the last argument of \
+                                     {}, which is declared without a cost argument",
+                                    program.var_name(e),
+                                    program.pred_name(atom.pred)
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            if occurrences == 0 {
+                return Err(ValidateError::new(format!(
+                    "multiset variable {} does not occur in the aggregate conjunction",
+                    program.var_name(e)
+                )));
+            }
+            // E must not occur elsewhere in the rule.
+            if let Some(rule) = rule {
+                let outside = count_var_uses_outside_aggregates(rule, e);
+                if outside > 0 {
+                    return Err(ValidateError::new(format!(
+                        "multiset variable {} may not occur outside its aggregate subgoal",
+                        program.var_name(e)
+                    )));
+                }
+            }
+            // The result variable must differ from E and from the local
+            // variables; we enforce the stronger (and simpler) condition
+            // that it does not occur inside the conjunction at all.
+            if let Term::Var(c) = agg.result {
+                if c == e {
+                    return Err(ValidateError::new(format!(
+                        "aggregate variable {} must differ from the multiset variable",
+                        program.var_name(c)
+                    )));
+                }
+                for atom in &agg.conjuncts {
+                    if atom.vars().any(|v| v == c) {
+                        return Err(ValidateError::new(format!(
+                            "aggregate variable {} may not occur inside the aggregated \
+                             conjunction",
+                            program.var_name(c)
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Occurrences of `v` in the rule outside aggregate conjunctions and
+/// aggregate result positions.
+fn count_var_uses_outside_aggregates(rule: &Rule, v: Var) -> usize {
+    let mut n = 0usize;
+    n += rule.head.vars().filter(|&x| x == v).count();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => n += a.vars().filter(|&x| x == v).count(),
+            Literal::Builtin(b) => n += b.vars().into_iter().filter(|&x| x == v).count(),
+            Literal::Agg(agg) => {
+                if agg.result == Term::Var(v) {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_program;
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let err = parse_program("p(a, b).\np(c).").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
+    }
+
+    #[test]
+    fn declared_arity_is_enforced() {
+        let err = parse_program("declare pred p/3.\np(a, b).").unwrap_err();
+        assert!(err.message.contains("arity"), "{}", err.message);
+    }
+
+    #[test]
+    fn multiset_var_must_be_in_cost_position() {
+        let err =
+            parse_program("q(a, 1).\np(C) :- C =r min D : q(D, X).").unwrap_err();
+        assert!(err.message.contains("cost"), "{}", err.message);
+    }
+
+    #[test]
+    fn multiset_var_must_occur_in_conjunction() {
+        let err = parse_program("p(C) :- C =r min D : q(X, Y).").unwrap_err();
+        assert!(err.message.contains("does not occur"), "{}", err.message);
+    }
+
+    #[test]
+    fn multiset_var_may_not_leak_outside() {
+        let err =
+            parse_program("p(C, D) :- C =r min D : q(X, D).").unwrap_err();
+        assert!(err.message.contains("outside"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_count_requires_multiset_var() {
+        let err = parse_program("p(C) :- C =r sum : q(X).").unwrap_err();
+        assert!(err.message.contains("multiset variable"), "{}", err.message);
+    }
+
+    #[test]
+    fn count_without_multiset_var_is_fine() {
+        assert!(parse_program("p(C) :- C =r count : q(X).").is_ok());
+    }
+
+    #[test]
+    fn aggregate_var_cannot_appear_inside() {
+        let err = parse_program("p(C) :- C =r min D : q(C, D).").unwrap_err();
+        assert!(err.message.contains("inside"), "{}", err.message);
+    }
+
+    #[test]
+    fn aggregate_over_undeclared_noncost_pred_is_rejected() {
+        let err = parse_program(
+            "declare pred q/2.\np(C) :- C =r min D : q(X, D).",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("without a cost"), "{}", err.message);
+    }
+}

@@ -1,0 +1,183 @@
+//! Aggregate function application (Definition 2.4 + Figure 1).
+//!
+//! [`apply`] maps a finite multiset of cost values to the aggregate's
+//! result. Empty multisets are meaningful only for the `=` subgoal form;
+//! each function's `F(∅)` is the bottom of its monotonic range (so that
+//! `=`-aggregation over an empty group stays monotone), except `avg`,
+//! whose mean of nothing is undefined — an `=`-aggregate over an empty
+//! group with `avg` is simply unsatisfiable.
+
+use crate::value::Value;
+use maglog_datalog::AggFunc;
+use maglog_lattice::Real;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Apply `func` to a multiset of values. `None` means the result is
+/// undefined for this input (empty `avg`, or a type mismatch the static
+/// checks did not cover because the program was run unchecked).
+pub fn apply(func: AggFunc, values: &[Value]) -> Option<Value> {
+    match func {
+        AggFunc::Count => Some(Value::num(values.len() as f64)),
+        AggFunc::Min => fold_num(values, Real::INFINITY, |a, b| a.min(b)),
+        AggFunc::Max => fold_num(values, Real::NEG_INFINITY, |a, b| a.max(b)),
+        AggFunc::Sum => fold_num(values, Real::ZERO, |a, b| a.add(b)),
+        AggFunc::HalfSum => {
+            let sum = fold_num(values, Real::ZERO, |a, b| a.add(b))?;
+            match sum {
+                Value::Num(n) => Some(Value::Num(Real::new(n.get() / 2.0))),
+                _ => None,
+            }
+        }
+        AggFunc::Product => fold_num(values, Real::new(1.0), |a, b| {
+            Real::new(a.get() * b.get())
+        }),
+        AggFunc::Avg => {
+            if values.is_empty() {
+                return None;
+            }
+            let sum = fold_num(values, Real::ZERO, |a, b| a.add(b))?;
+            match sum {
+                Value::Num(n) => Some(Value::Num(Real::new(n.get() / values.len() as f64))),
+                _ => None,
+            }
+        }
+        AggFunc::And => fold_bool(values, true, |a, b| a && b),
+        AggFunc::Or => fold_bool(values, false, |a, b| a || b),
+        AggFunc::Union => {
+            let mut out: BTreeSet<Value> = BTreeSet::new();
+            for v in values {
+                out.extend(v.as_set()?.iter().cloned());
+            }
+            Some(Value::Set(Arc::new(out)))
+        }
+        AggFunc::Intersect => {
+            let mut iter = values.iter();
+            let Some(first) = iter.next() else {
+                // intersect(∅) is the universe; without a universe in scope
+                // the result is undefined here — the caller substitutes the
+                // domain bottom when one is declared.
+                return None;
+            };
+            let mut out: BTreeSet<Value> = first.as_set()?.clone();
+            for v in iter {
+                let s = v.as_set()?;
+                out.retain(|x| s.contains(x));
+            }
+            Some(Value::Set(Arc::new(out)))
+        }
+    }
+}
+
+fn fold_num(values: &[Value], init: Real, f: impl Fn(Real, Real) -> Real) -> Option<Value> {
+    let mut acc = init;
+    for v in values {
+        match v {
+            Value::Num(n) => acc = f(acc, *n),
+            Value::Bool(b) => acc = f(acc, Real::new(*b as u8 as f64)),
+            _ => return None,
+        }
+    }
+    Some(Value::Num(acc))
+}
+
+fn fold_bool(values: &[Value], init: bool, f: impl Fn(bool, bool) -> bool) -> Option<Value> {
+    let mut acc = init;
+    for v in values {
+        acc = f(acc, v.as_bool()?);
+    }
+    Some(Value::Bool(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(vals: &[f64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::num(v)).collect()
+    }
+
+    #[test]
+    fn figure_1_empty_multiset_values() {
+        assert_eq!(apply(AggFunc::Min, &[]), Some(Value::Num(Real::INFINITY)));
+        assert_eq!(
+            apply(AggFunc::Max, &[]),
+            Some(Value::Num(Real::NEG_INFINITY))
+        );
+        assert_eq!(apply(AggFunc::Sum, &[]), Some(Value::num(0.0)));
+        assert_eq!(apply(AggFunc::Count, &[]), Some(Value::num(0.0)));
+        assert_eq!(apply(AggFunc::Product, &[]), Some(Value::num(1.0)));
+        assert_eq!(apply(AggFunc::And, &[]), Some(Value::Bool(true)));
+        assert_eq!(apply(AggFunc::Or, &[]), Some(Value::Bool(false)));
+        assert_eq!(
+            apply(AggFunc::Union, &[]),
+            Some(Value::set(std::iter::empty()))
+        );
+        assert_eq!(apply(AggFunc::Avg, &[]), None);
+        assert_eq!(apply(AggFunc::Intersect, &[]), None);
+        assert_eq!(apply(AggFunc::HalfSum, &[]), Some(Value::num(0.0)));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let vs = nums(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(apply(AggFunc::Min, &vs), Some(Value::num(1.0)));
+        assert_eq!(apply(AggFunc::Max, &vs), Some(Value::num(3.0)));
+        assert_eq!(apply(AggFunc::Sum, &vs), Some(Value::num(8.0)));
+        assert_eq!(apply(AggFunc::Count, &vs), Some(Value::num(4.0)));
+        assert_eq!(apply(AggFunc::Product, &vs), Some(Value::num(12.0)));
+        assert_eq!(apply(AggFunc::Avg, &vs), Some(Value::num(2.0)));
+        assert_eq!(apply(AggFunc::HalfSum, &vs), Some(Value::num(4.0)));
+    }
+
+    #[test]
+    fn duplicates_are_retained() {
+        // The SQL-style projection of Definition 2.4 keeps duplicates: the
+        // sum of {3, 3} is 6, not 3.
+        assert_eq!(apply(AggFunc::Sum, &nums(&[3.0, 3.0])), Some(Value::num(6.0)));
+    }
+
+    #[test]
+    fn boolean_aggregates() {
+        let tf = vec![Value::Bool(true), Value::Bool(false)];
+        let tt = vec![Value::Bool(true), Value::Bool(true)];
+        assert_eq!(apply(AggFunc::And, &tf), Some(Value::Bool(false)));
+        assert_eq!(apply(AggFunc::And, &tt), Some(Value::Bool(true)));
+        assert_eq!(apply(AggFunc::Or, &tf), Some(Value::Bool(true)));
+        // Numeric 0/1 coerce.
+        assert_eq!(
+            apply(AggFunc::Or, &nums(&[0.0, 0.0])),
+            Some(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn set_aggregates() {
+        let s1 = Value::set(nums(&[1.0, 2.0]));
+        let s2 = Value::set(nums(&[2.0, 3.0]));
+        assert_eq!(
+            apply(AggFunc::Union, &[s1.clone(), s2.clone()]),
+            Some(Value::set(nums(&[1.0, 2.0, 3.0])))
+        );
+        assert_eq!(
+            apply(AggFunc::Intersect, &[s1, s2]),
+            Some(Value::set(nums(&[2.0])))
+        );
+    }
+
+    #[test]
+    fn infinities_propagate() {
+        let vs = vec![Value::num(1.0), Value::Num(Real::INFINITY)];
+        assert_eq!(apply(AggFunc::Sum, &vs), Some(Value::Num(Real::INFINITY)));
+        assert_eq!(apply(AggFunc::Min, &vs), Some(Value::num(1.0)));
+        assert_eq!(apply(AggFunc::Max, &vs), Some(Value::Num(Real::INFINITY)));
+    }
+
+    #[test]
+    fn type_errors_yield_none() {
+        let bad = vec![Value::set(std::iter::empty())];
+        assert_eq!(apply(AggFunc::Sum, &bad), None);
+        assert_eq!(apply(AggFunc::And, &nums(&[0.5])), None);
+        assert_eq!(apply(AggFunc::Union, &nums(&[1.0])), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! EDB loading.
+//!
+//! An [`Edb`] is the extensional database handed to the engine: base facts
+//! for the lowest components. Facts written inline in program text are
+//! merged in automatically by the engine; this type exists so workload
+//! generators and tests can build instances without going through the
+//! parser.
+
+use crate::value::{RuntimeDomain, Value};
+use maglog_datalog::{Pred, Program};
+
+/// A batch of ground facts.
+#[derive(Clone, Debug, Default)]
+pub struct Edb {
+    pub(crate) facts: Vec<(Pred, Vec<Value>, Option<Value>)>,
+}
+
+impl Edb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Add a fact for a predicate without a cost argument. Arguments that
+    /// parse as numbers become numeric values; everything else is interned
+    /// as a symbol.
+    pub fn push_fact(&mut self, program: &Program, pred: &str, args: &[&str]) {
+        let pred = program.pred(pred);
+        let key = args.iter().map(|a| parse_value(program, a)).collect();
+        self.facts.push((pred, key, None));
+    }
+
+    /// Add a fact for a cost predicate, with a numeric cost (coerced to the
+    /// declared domain at load time — booleans accept `0.0`/`1.0`).
+    pub fn push_cost_fact(&mut self, program: &Program, pred: &str, keys: &[&str], cost: f64) {
+        let pred_id = program.pred(pred);
+        let key = keys.iter().map(|a| parse_value(program, a)).collect();
+        self.facts
+            .push((pred_id, key, Some(Value::num(cost))));
+    }
+
+    /// Add a fact with explicit runtime values (e.g. set-valued costs,
+    /// which have no textual literal syntax).
+    pub fn push_value_fact(
+        &mut self,
+        program: &Program,
+        pred: &str,
+        key: Vec<Value>,
+        cost: Option<Value>,
+    ) {
+        self.facts.push((program.pred(pred), key, cost));
+    }
+
+    /// Coerce all cost values to their declared domains; errors list the
+    /// offending fact. Facts for cost predicates loaded without an explicit
+    /// cost have their final column split off as the cost value.
+    pub fn coerced(
+        &self,
+        program: &Program,
+    ) -> Result<Vec<(Pred, Vec<Value>, Option<Value>)>, String> {
+        let mut out = Vec::with_capacity(self.facts.len());
+        for (pred, key, cost) in &self.facts {
+            let coerced = match (program.cost_spec(*pred), cost) {
+                (Some(spec), Some(v)) => {
+                    let domain = RuntimeDomain::new(spec.domain);
+                    Some(domain.coerce(v.clone()).map_err(|e| {
+                        format!("fact for {}: {e}", program.pred_name(*pred))
+                    })?)
+                }
+                (None, Some(v)) => {
+                    // Value supplied for a non-cost predicate: treat it as a
+                    // final key column.
+                    let mut key = key.clone();
+                    key.push(v.clone());
+                    out.push((*pred, key, None));
+                    continue;
+                }
+                (Some(spec), None) => {
+                    // Cost predicate loaded without a cost: the final key
+                    // column is actually the cost value.
+                    let mut key = key.clone();
+                    let Some(v) = key.pop() else {
+                        return Err(format!(
+                            "fact for cost predicate {} has no arguments",
+                            program.pred_name(*pred)
+                        ));
+                    };
+                    let domain = RuntimeDomain::new(spec.domain);
+                    let cv = domain.coerce(v).map_err(|e| {
+                        format!("fact for {}: {e}", program.pred_name(*pred))
+                    })?;
+                    out.push((*pred, key, Some(cv)));
+                    continue;
+                }
+                (None, None) => None,
+            };
+            out.push((*pred, key.clone(), coerced));
+        }
+        Ok(out)
+    }
+}
+
+impl Edb {
+    /// Re-intern every predicate and symbol of this EDB from `from`'s
+    /// symbol table into `to`'s. Needed when facts built against one
+    /// program are evaluated under a transformed program with its own
+    /// symbol table (e.g. the GGZ rewriting).
+    pub fn remap(&self, from: &Program, to: &Program) -> Edb {
+        fn remap_value(v: &Value, from: &Program, to: &Program) -> Value {
+            match v {
+                Value::Sym(s) => Value::Sym(to.symbols.intern(&from.symbols.name(*s))),
+                Value::Set(items) => Value::Set(std::sync::Arc::new(
+                    items.iter().map(|x| remap_value(x, from, to)).collect(),
+                )),
+                other => other.clone(),
+            }
+        }
+        let facts = self
+            .facts
+            .iter()
+            .map(|(pred, key, cost)| {
+                (
+                    to.pred(&from.pred_name(*pred)),
+                    key.iter().map(|v| remap_value(v, from, to)).collect(),
+                    cost.as_ref().map(|v| remap_value(v, from, to)),
+                )
+            })
+            .collect();
+        Edb { facts }
+    }
+}
+
+/// Parse a textual argument: number if it looks like one, else a symbol.
+fn parse_value(program: &Program, text: &str) -> Value {
+    match text.parse::<f64>() {
+        Ok(n) if !n.is_nan() => Value::num(n),
+        _ => Value::Sym(program.symbols.intern(text)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn push_fact_parses_numbers_and_symbols() {
+        let p = parse_program("q(a, 1).").unwrap();
+        let mut edb = Edb::new();
+        edb.push_fact(&p, "q", &["a", "2.5"]);
+        let (_, key, cost) = &edb.facts[0];
+        assert_eq!(key[0], Value::Sym(p.symbols.intern("a")));
+        assert_eq!(key[1], Value::num(2.5));
+        assert!(cost.is_none());
+    }
+
+    #[test]
+    fn cost_facts_are_coerced_to_domain() {
+        let p = parse_program(
+            r#"
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            "#,
+        )
+        .unwrap();
+        let mut edb = Edb::new();
+        edb.push_cost_fact(&p, "input", &["w1"], 1.0);
+        let coerced = edb.coerced(&p).unwrap();
+        assert_eq!(coerced[0].2, Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn invalid_cost_values_error() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            m(X, Y, N) :- s(X, Y, N).
+            "#,
+        )
+        .unwrap();
+        let mut edb = Edb::new();
+        edb.push_cost_fact(&p, "s", &["a", "b"], -0.3);
+        assert!(edb.coerced(&p).is_err());
+    }
+
+    #[test]
+    fn inline_cost_column_is_split_off() {
+        // A fact loaded via push_fact for a cost predicate: the last
+        // argument becomes the cost.
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            p(X) :- arc(X, Y, C).
+            "#,
+        )
+        .unwrap();
+        let mut edb = Edb::new();
+        edb.push_fact(&p, "arc", &["a", "b", "4"]);
+        let coerced = edb.coerced(&p).unwrap();
+        assert_eq!(coerced[0].1.len(), 2);
+        assert_eq!(coerced[0].2, Some(Value::num(4.0)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// Why evaluation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The static battery refused the program (range restriction,
+    /// conflict-freedom, or admissibility failed) and
+    /// `allow_unchecked` was off. The payload is the analysis summary.
+    NotCertified(String),
+    /// Two rule firings in a single `T_P` application derived atoms
+    /// differing only in the cost argument (the program is not
+    /// cost-consistent, Definition 2.6).
+    CostConflict {
+        pred: String,
+        key: String,
+        value_a: String,
+        value_b: String,
+    },
+    /// The iteration cap was reached before a fixpoint (e.g. negative
+    /// cycles under `min`, or a non-continuous `T_P` needing transfinite
+    /// iteration, Section 6.2).
+    NonTermination { rounds: usize, component: usize },
+    /// A cost value did not fit its declared domain.
+    Domain(String),
+    /// An aggregate could not be planned or applied (e.g. an `=` aggregate
+    /// whose grouping variables are unbound — a range-restriction
+    /// violation that was bypassed with `allow_unchecked`).
+    Aggregate(String),
+    /// The greedy (best-first) strategy observed a derivation cheaper than
+    /// its settled frontier: the instance is not cost-inflationary
+    /// (negative weights), so first-settlement minimality does not hold.
+    GreedyViolation { detail: String },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotCertified(summary) => {
+                write!(f, "program not certified monotonic:\n{summary}")
+            }
+            EvalError::CostConflict {
+                pred,
+                key,
+                value_a,
+                value_b,
+            } => write!(
+                f,
+                "cost conflict on {pred}({key}): derived both {value_a} and {value_b} \
+                 in one T_P application"
+            ),
+            EvalError::NonTermination { rounds, component } => write!(
+                f,
+                "no fixpoint after {rounds} rounds in component {component} \
+                 (non-well-founded cost descent or non-continuous T_P?)"
+            ),
+            EvalError::Domain(msg) => write!(f, "domain error: {msg}"),
+            EvalError::Aggregate(msg) => write!(f, "aggregate error: {msg}"),
+            EvalError::GreedyViolation { detail } => {
+                write!(f, "greedy strategy violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = EvalError::CostConflict {
+            pred: "p".into(),
+            key: "a".into(),
+            value_a: "3".into(),
+            value_b: "4".into(),
+        };
+        assert!(e.to_string().contains("cost conflict"));
+        let e = EvalError::NonTermination {
+            rounds: 10,
+            component: 2,
+        };
+        assert!(e.to_string().contains("10 rounds"));
+    }
+}

@@ -1,0 +1,1742 @@
+//! Bottom-up evaluation: `T_P`, naive and semi-naive fixpoints, and the
+//! iterated minimal-model construction.
+//!
+//! For each program component (in dependency order, Section 6.3) the
+//! engine iterates `J ← J ⊔ T_P(J, I)` from `J_∅`. For monotonic programs
+//! this inflationary iteration converges to the least fixpoint of `T_P`
+//! (Tarski / Proposition 3.3), i.e. the component's unique minimal model.
+//!
+//! The **semi-naive** strategy tracks the *delta* — keys that appeared or
+//! whose cost strictly grew in `⊑` — and re-fires a rule only from
+//! occurrences of changed atoms: positive body atoms are re-joined seeded
+//! by the delta tuple, and aggregates are re-evaluated only for the
+//! affected grouping bindings (derived by matching the delta tuple against
+//! the aggregate's conjunct). This is the lattice generalization of
+//! classical semi-naive evaluation and is benchmarked against naive
+//! iteration as an ablation.
+
+use crate::aggregate;
+use crate::edb::Edb;
+use crate::error::EvalError;
+use crate::interp::{Interp, Tuple};
+use crate::model::Model;
+use crate::plan::{plan_rule, Plan, Step};
+use crate::value::{RuntimeDomain, Value};
+use maglog_analysis::check_program;
+use maglog_datalog::graph::components;
+use maglog_datalog::{
+    AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Fixpoint strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Re-fire every rule fully each round.
+    Naive,
+    /// Delta-driven re-firing.
+    #[default]
+    SemiNaive,
+    /// Best-first (Dijkstra-style) settling for *cost-inflationary*
+    /// `min_real` components — the greedy technique of Ganguly, Greco &
+    /// Zaniolo that Section 7 discusses. Candidate derivations are kept in
+    /// a priority queue ordered by cost; the least is settled first and
+    /// each key settles exactly once, so zero-weight cycles terminate in
+    /// one pass and no dominated tuple is ever expanded. Components that
+    /// are not eligible (non-`min_real` CDB domains, non-`min` recursive
+    /// aggregates, non-cost CDB predicates) fall back to semi-naive;
+    /// instances that violate the inflation assumption at runtime (a
+    /// derivation cheaper than the settling frontier — negative weights)
+    /// abort with [`EvalError::GreedyViolation`].
+    Greedy,
+}
+
+/// Evaluation options.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    pub strategy: Strategy,
+    /// Cap on fixpoint rounds per component (Section 6.2: termination is
+    /// only guaranteed on well-founded cost descents).
+    pub max_rounds: usize,
+    /// Detect cost conflicts within a `T_P` application (Definition 2.6).
+    /// When false, conflicting derivations are resolved by the lattice
+    /// join instead of erroring.
+    pub check_consistency: bool,
+    /// Skip the static certification gate (range restriction,
+    /// conflict-freedom, admissibility). The fixpoint of a non-monotonic
+    /// program — if it terminates — is *some* pre-model, not necessarily
+    /// the least one.
+    pub allow_unchecked: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            strategy: Strategy::SemiNaive,
+            max_rounds: 100_000,
+            check_consistency: true,
+            allow_unchecked: false,
+        }
+    }
+}
+
+/// Evaluation statistics.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Rounds used by each component, in evaluation order.
+    pub rounds: Vec<usize>,
+    /// Total number of head derivations (including re-derivations).
+    pub derivations: u64,
+    /// Total number of rule firings attempted.
+    pub firings: u64,
+}
+
+/// The monotonic-aggregation engine.
+pub struct MonotonicEngine<'p> {
+    program: &'p Program,
+    options: EvalOptions,
+}
+
+impl<'p> MonotonicEngine<'p> {
+    pub fn new(program: &'p Program) -> Self {
+        MonotonicEngine {
+            program,
+            options: EvalOptions::default(),
+        }
+    }
+
+    pub fn with_options(program: &'p Program, options: EvalOptions) -> Self {
+        MonotonicEngine { program, options }
+    }
+
+    /// Compute the iterated minimal model of the program over `edb`.
+    pub fn evaluate(&self, edb: &Edb) -> Result<Model, EvalError> {
+        if !self.options.allow_unchecked {
+            let report = check_program(self.program);
+            if !report.evaluable() {
+                return Err(EvalError::NotCertified(report.summary(self.program)));
+            }
+        }
+
+        let mut db = Interp::new();
+        self.load_facts(&mut db, edb)?;
+
+        let comps = components(self.program);
+        let mut stats = EvalStats::default();
+        for (ci, comp) in comps.iter().enumerate() {
+            let rounds = self.eval_component(&mut db, &comp.preds, &comp.rule_indices, &mut stats)
+                .map_err(|e| match e {
+                    EvalError::NonTermination { rounds, .. } => EvalError::NonTermination {
+                        rounds,
+                        component: ci,
+                    },
+                    other => other,
+                })?;
+            stats.rounds.push(rounds);
+        }
+        Ok(Model::new(db, stats))
+    }
+
+    fn load_facts(&self, db: &mut Interp, edb: &Edb) -> Result<(), EvalError> {
+        // Inline program facts.
+        for atom in &self.program.facts {
+            let spec = self.program.cost_spec(atom.pred);
+            let has_cost = spec.is_some();
+            let key: Vec<Value> = atom
+                .key_args(has_cost)
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Value::from_const(*c),
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect();
+            let cost = match (spec, atom.cost_arg(has_cost)) {
+                (Some(spec), Some(Term::Const(c))) => {
+                    let domain = RuntimeDomain::new(spec.domain);
+                    Some(
+                        domain
+                            .coerce(Value::from_const(*c))
+                            .map_err(EvalError::Domain)?,
+                    )
+                }
+                _ => None,
+            };
+            self.store_fact(db, atom.pred, Tuple::new(key), cost)?;
+        }
+        // External EDB.
+        for (pred, key, cost) in edb.coerced(self.program).map_err(EvalError::Domain)? {
+            self.store_fact(db, pred, Tuple::new(key), cost)?;
+        }
+        Ok(())
+    }
+
+    fn store_fact(
+        &self,
+        db: &mut Interp,
+        pred: Pred,
+        key: Tuple,
+        cost: Option<Value>,
+    ) -> Result<(), EvalError> {
+        let rel = db.relation_mut(pred);
+        match (rel.get(&key), &cost) {
+            (Some(Some(old)), Some(new)) if old != new => {
+                if self.options.check_consistency {
+                    return Err(EvalError::CostConflict {
+                        pred: self.program.pred_name(pred),
+                        key: format!("{key:?}"),
+                        value_a: old.to_string(),
+                        value_b: new.to_string(),
+                    });
+                }
+                let domain = RuntimeDomain::new(
+                    self.program.cost_spec(pred).expect("cost value").domain,
+                );
+                let joined = domain.join(old, new);
+                rel.insert(key, Some(joined));
+            }
+            _ => {
+                rel.insert(key, cost);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one component to fixpoint. Returns the number of rounds.
+    fn eval_component(
+        &self,
+        db: &mut Interp,
+        cdb: &BTreeSet<Pred>,
+        rule_indices: &[usize],
+        stats: &mut EvalStats,
+    ) -> Result<usize, EvalError> {
+        // Precompute plans.
+        let mut execs: Vec<RuleExec> = Vec::new();
+        for &ri in rule_indices {
+            let rule = &self.program.rules[ri];
+            let plan = plan_rule(self.program, rule, &BTreeSet::new(), None)
+                .map_err(EvalError::Aggregate)?;
+            let mut drivers = Vec::new();
+            for (li, lit) in rule.body.iter().enumerate() {
+                match lit {
+                    Literal::Pos(a) if cdb.contains(&a.pred) => {
+                        let seed_vars: BTreeSet<Var> = a.vars().collect();
+                        let seeded = plan_rule(self.program, rule, &seed_vars, Some(li))
+                            .map_err(EvalError::Aggregate)?;
+                        drivers.push(Driver {
+                            pred: a.pred,
+                            lit: li,
+                            conjunct: None,
+                            plan: seeded,
+                            relax: None,
+                        });
+                    }
+                    Literal::Agg(agg) => {
+                        // Join-fold relaxation eligibility (see Driver):
+                        // single-conjunct `=r` fold whose result variable is
+                        // exactly the head cost argument and occurs nowhere
+                        // else in the rule.
+                        let relax_plan = relaxation_plan(self.program, rule, li, agg);
+                        for (ci, conj) in agg.conjuncts.iter().enumerate() {
+                            if cdb.contains(&conj.pred) {
+                                drivers.push(Driver {
+                                    pred: conj.pred,
+                                    lit: li,
+                                    conjunct: Some(ci),
+                                    // Aggregate drivers re-run the default
+                                    // plan with grouping vars pre-bound.
+                                    plan: plan.clone(),
+                                    relax: relax_plan.clone(),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            execs.push(RuleExec { rule, plan, drivers });
+        }
+
+        if self.options.strategy == Strategy::Greedy
+            && greedy_eligible(self.program, cdb, rule_indices)
+        {
+            return self.eval_component_greedy(db, cdb, &execs, stats);
+        }
+
+        let mut rounds = 0usize;
+        let mut delta: Vec<(Pred, Tuple)> = Vec::new();
+        loop {
+            if rounds >= self.options.max_rounds {
+                return Err(EvalError::NonTermination {
+                    rounds,
+                    component: 0,
+                });
+            }
+            let full = rounds == 0 || self.options.strategy == Strategy::Naive;
+            let mut derived = RoundBuffer::new(self.program, self.options.check_consistency);
+            {
+                let ctx = Ctx {
+                    program: self.program,
+                    db,
+                };
+                if full {
+                    for exec in &execs {
+                        stats.firings += 1;
+                        let mut binding = Binding::new();
+                        exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+                    }
+                } else {
+                    let mut seen_seeds: HashSet<(usize, u64, Vec<(Var, Value)>)> =
+                        HashSet::new();
+                    for (ei, exec) in execs.iter().enumerate() {
+                        for driver in &exec.drivers {
+                            for (dpred, dkey) in &delta {
+                                if *dpred != driver.pred {
+                                    continue;
+                                }
+                                self.fire_driver(
+                                    &ctx,
+                                    ei,
+                                    exec,
+                                    driver,
+                                    dkey,
+                                    &mut seen_seeds,
+                                    &mut derived,
+                                    stats,
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+            stats.derivations += derived.map.len() as u64;
+
+            // Apply derivations: join into db, recording changed keys.
+            let mut new_delta = Vec::new();
+            for ((pred, key), cost) in derived.map {
+                let domain = self
+                    .program
+                    .cost_spec(pred)
+                    .map(|c| RuntimeDomain::new(c.domain));
+                let rel = db.relation_mut(pred);
+                match rel.get(&key) {
+                    None => {
+                        // For default-value predicates, an explicit entry at
+                        // the default value is not a change.
+                        let is_default_entry = self.program.has_default(pred)
+                            && domain
+                                .as_ref()
+                                .map_or(false, |d| cost.as_ref() == Some(&d.bottom()));
+                        rel.insert(key.clone(), cost);
+                        if !is_default_entry {
+                            new_delta.push((pred, key));
+                        }
+                    }
+                    Some(existing) => {
+                        if let (Some(old), Some(new), Some(d)) =
+                            (existing.clone(), &cost, &domain)
+                        {
+                            let joined = d.join(&old, new);
+                            if joined != old {
+                                rel.insert(key.clone(), Some(joined));
+                                new_delta.push((pred, key));
+                            }
+                        }
+                    }
+                }
+            }
+
+            rounds += 1;
+            if new_delta.is_empty() {
+                // A semi-naive pass that saw no changes is a genuine
+                // fixpoint: every rule was either re-fired through a driver
+                // or has no dependency on the component.
+                return Ok(rounds);
+            }
+            delta = new_delta;
+        }
+    }
+
+    /// Best-first evaluation of an eligible `min_real` component.
+    fn eval_component_greedy(
+        &self,
+        db: &mut Interp,
+        cdb: &BTreeSet<Pred>,
+        execs: &[RuleExec],
+        stats: &mut EvalStats,
+    ) -> Result<usize, EvalError> {
+        use maglog_lattice::Real;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Move any pre-loaded CDB facts into the candidate queue so that
+        // rule-derived cheaper values can still win.
+        let mut candidates: BinaryHeap<Reverse<(Real, Pred, Tuple)>> = BinaryHeap::new();
+        let mut costs: HashMap<(Pred, Tuple), Real> = HashMap::new();
+        for &pred in cdb {
+            let rel = std::mem::take(db.relation_mut(pred));
+            for (key, cost) in rel.iter() {
+                if let Some(Value::Num(r)) = cost {
+                    candidates.push(Reverse((*r, pred, key.clone())));
+                    costs.insert((pred, key.clone()), *r);
+                }
+            }
+        }
+
+        // Initial full pass over the (LDB-only) database.
+        {
+            let ctx = Ctx {
+                program: self.program,
+                db,
+            };
+            let mut derived = RoundBuffer::new(self.program, false);
+            for exec in execs {
+                stats.firings += 1;
+                let mut binding = Binding::new();
+                exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+            }
+            stats.derivations += derived.map.len() as u64;
+            for ((pred, key), cost) in derived.map {
+                if let Some(Value::Num(r)) = cost {
+                    let entry = costs.entry((pred, key.clone())).or_insert(r);
+                    if r <= *entry {
+                        *entry = r;
+                        candidates.push(Reverse((r, pred, key)));
+                    }
+                }
+            }
+        }
+
+        let mut pops = 0usize;
+        let pop_budget = self.options.max_rounds.saturating_mul(64);
+        #[allow(unused_assignments)] // set before first read, on first pop
+        let mut frontier = Real::NEG_INFINITY;
+        while let Some(Reverse((cost, pred, key))) = candidates.pop() {
+            // Already settled with an equal-or-better value?
+            if db
+                .relation(pred)
+                .map_or(false, |rel| rel.contains(&key))
+            {
+                continue;
+            }
+            pops += 1;
+            if pops > pop_budget {
+                return Err(EvalError::NonTermination {
+                    rounds: pops,
+                    component: 0,
+                });
+            }
+            frontier = cost;
+            db.relation_mut(pred)
+                .insert(key.clone(), Some(Value::Num(cost)));
+
+            // Fire the semi-naive drivers for this single settled atom.
+            let mut derived = RoundBuffer::new(self.program, false);
+            {
+                let ctx = Ctx {
+                    program: self.program,
+                    db,
+                };
+                let mut seen_seeds: HashSet<(usize, u64, Vec<(Var, Value)>)> = HashSet::new();
+                for (ei, exec) in execs.iter().enumerate() {
+                    for driver in &exec.drivers {
+                        if driver.pred != pred {
+                            continue;
+                        }
+                        self.fire_driver(
+                            &ctx,
+                            ei,
+                            exec,
+                            driver,
+                            &key,
+                            &mut seen_seeds,
+                            &mut derived,
+                            stats,
+                        )?;
+                    }
+                }
+            }
+            stats.derivations += derived.map.len() as u64;
+            for ((dpred, dkey), dcost) in derived.map {
+                let Some(Value::Num(r)) = dcost else { continue };
+                // Re-derivations of settled atoms are fine as long as they
+                // do not *improve* them (alternative equal-cost paths, or
+                // dominated ones re-found through a new route).
+                if let Some(Some(Value::Num(old))) = db
+                    .relation(dpred)
+                    .and_then(|rel| rel.get(&dkey))
+                    .cloned()
+                {
+                    if r >= old {
+                        continue;
+                    }
+                    return Err(EvalError::GreedyViolation {
+                        detail: format!(
+                            "settled atom of {} at {} improved to {} \
+                             (negative weights? use the semi-naive strategy)",
+                            self.program.pred_name(dpred),
+                            old,
+                            r
+                        ),
+                    });
+                }
+                if r < frontier {
+                    return Err(EvalError::GreedyViolation {
+                        detail: format!(
+                            "derivation for {} at cost {} undercuts the settled frontier {} \
+                             (negative weights? use the semi-naive strategy)",
+                            self.program.pred_name(dpred),
+                            r,
+                            frontier
+                        ),
+                    });
+                }
+                let slot = costs.entry((dpred, dkey.clone())).or_insert(r);
+                if r <= *slot {
+                    *slot = r;
+                    candidates.push(Reverse((r, dpred, dkey)));
+                }
+            }
+        }
+        Ok(pops)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fire_driver(
+        &self,
+        ctx: &Ctx<'_>,
+        exec_index: usize,
+        exec: &RuleExec<'_>,
+        driver: &Driver,
+        delta_key: &Tuple,
+        seen_seeds: &mut HashSet<(usize, u64, Vec<(Var, Value)>)>,
+        derived: &mut RoundBuffer<'_>,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        let rule = exec.rule;
+        // Match the driver atom against the delta tuple to get a seed.
+        let atom = match (&rule.body[driver.lit], driver.conjunct) {
+            (Literal::Pos(a), None) => a,
+            (Literal::Agg(agg), Some(ci)) => &agg.conjuncts[ci],
+            _ => return Ok(()),
+        };
+        let cost = ctx
+            .db
+            .cost(ctx.program, driver.pred, delta_key)
+            .unwrap_or(None);
+        let mut binding = Binding::new();
+        if !match_atom_against(ctx.program, atom, delta_key, &cost, &mut binding) {
+            return Ok(());
+        }
+        // Join-fold relaxation: bind the result variable to the delta
+        // element and skip the aggregate entirely.
+        if let (Some(relax), Some(_)) = (&driver.relax, driver.conjunct) {
+            let rule_agg = match &rule.body[driver.lit] {
+                Literal::Agg(a) => a,
+                _ => unreachable!("relax driver on non-aggregate"),
+            };
+            let Term::Var(result) = rule_agg.result else {
+                unreachable!("relaxation requires a variable result")
+            };
+            let Some(element) = cost.clone() else {
+                return Ok(());
+            };
+            let groupings: BTreeSet<Var> = rule
+                .aggregate_grouping_vars(driver.lit)
+                .into_iter()
+                .collect();
+            let mut seed: HashMap<Var, Value> = binding
+                .map
+                .iter()
+                .filter(|(v, _)| groupings.contains(v))
+                .map(|(v, val)| (*v, val.clone()))
+                .collect();
+            seed.insert(result, element);
+            let mut seed_vec: Vec<(Var, Value)> =
+                seed.iter().map(|(v, val)| (*v, val.clone())).collect();
+            seed_vec.sort_by_key(|(v, _)| *v);
+            let disc = driver.lit as u64 * 1024 + 1022;
+            if !seen_seeds.insert((exec_index, disc, seed_vec)) {
+                return Ok(());
+            }
+            stats.firings += 1;
+            let mut b: Binding = seed.into();
+            derived.joining = true;
+            let r = exec_steps(ctx, rule, &relax.steps, &mut b, derived);
+            derived.joining = false;
+            return r;
+        }
+
+        // For aggregate drivers, keep only the grouping variables: the
+        // aggregate recomputes its group in full.
+        let seed: Binding = if driver.conjunct.is_some() {
+            let groupings: BTreeSet<Var> =
+                rule.aggregate_grouping_vars(driver.lit).into_iter().collect();
+            binding
+                .map
+                .iter()
+                .filter(|(v, _)| groupings.contains(v))
+                .map(|(v, val)| (*v, val.clone()))
+                .collect::<HashMap<_, _>>()
+                .into()
+        } else {
+            binding
+        };
+        let mut seed_vec: Vec<(Var, Value)> = seed
+            .map
+            .iter()
+            .map(|(v, val)| (*v, val.clone()))
+            .collect();
+        seed_vec.sort_by_key(|(v, _)| *v);
+        let disc = driver.lit as u64 * 1024 + driver.conjunct.unwrap_or(1023) as u64;
+        if !seen_seeds.insert((exec_index, disc, seed_vec)) {
+            return Ok(());
+        }
+        stats.firings += 1;
+        let mut b = seed;
+        exec_steps(ctx, rule, &driver.plan.steps, &mut b, derived)
+    }
+}
+
+/// Build the relaxation plan for an aggregate at body index `li` if the
+/// join-fold conditions hold (see [`Driver::relax`]).
+fn relaxation_plan(
+    program: &Program,
+    rule: &Rule,
+    li: usize,
+    agg: &maglog_datalog::Aggregate,
+) -> Option<Plan> {
+    if agg.eq != AggEq::Restricted || agg.conjuncts.len() != 1 {
+        return None;
+    }
+    let Term::Var(result) = agg.result else {
+        return None;
+    };
+    // The head cost argument must be exactly the result variable.
+    let spec = program.cost_spec(rule.head.pred)?;
+    if rule.head.cost_arg(true) != Some(&Term::Var(result)) {
+        return None;
+    }
+    if !is_join_fold(agg.func, spec.domain) {
+        return None;
+    }
+    // The conjunct's cost domain must match the head domain.
+    let conj = &agg.conjuncts[0];
+    let conj_spec = program.cost_spec(conj.pred)?;
+    if conj_spec.domain != spec.domain {
+        return None;
+    }
+    // The result variable must not occur anywhere else in the body.
+    for (i, lit) in rule.body.iter().enumerate() {
+        let used = match lit {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars().any(|v| v == result),
+            Literal::Builtin(b) => b.vars().contains(&result),
+            Literal::Agg(a2) => {
+                (i != li && a2.result == Term::Var(result))
+                    || a2.inner_vars().contains(&result)
+            }
+        };
+        if used {
+            return None;
+        }
+    }
+    // Seed: grouping vars plus the result var (bound to the delta element).
+    let mut seed: BTreeSet<Var> = rule.aggregate_grouping_vars(li).into_iter().collect();
+    seed.insert(result);
+    plan_rule(program, rule, &seed, Some(li)).ok()
+}
+
+/// Is a component eligible for the greedy strategy? All CDB predicates
+/// must be `min_real` cost predicates and every recursive aggregate must
+/// be `min`.
+fn greedy_eligible(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule_indices: &[usize],
+) -> bool {
+    let all_min = cdb.iter().all(|p| {
+        program
+            .cost_spec(*p)
+            .map_or(false, |c| c.domain == maglog_datalog::DomainSpec::MinReal)
+    });
+    if !all_min {
+        return false;
+    }
+    rule_indices.iter().all(|&ri| {
+        program.rules[ri].body.iter().all(|lit| match lit {
+            Literal::Agg(agg) => {
+                let recursive = agg.conjuncts.iter().any(|a| cdb.contains(&a.pred));
+                !recursive || agg.func == AggFunc::Min
+            }
+            Literal::Neg(a) => !cdb.contains(&a.pred),
+            _ => true,
+        })
+    })
+}
+
+struct RuleExec<'p> {
+    rule: &'p Rule,
+    plan: Plan,
+    drivers: Vec<Driver>,
+}
+
+struct Driver {
+    pred: Pred,
+    lit: usize,
+    conjunct: Option<usize>,
+    plan: Plan,
+    /// Join-fold relaxation: when the aggregate is a pure lattice fold
+    /// (`=r min/max/or/and/union/intersect` matching the domain) whose
+    /// result variable flows straight into the head cost argument, a
+    /// changed element can be *relaxed* into the head directly — the
+    /// accumulated lattice join over all relaxations equals the aggregate
+    /// of the full group, at O(1) per delta instead of a group rescan.
+    relax: Option<Plan>,
+}
+
+/// Is `func` the lattice join-fold of `domain` (so that
+/// `F(S ∪ {d}) = F(S) ⊔ d`)?
+fn is_join_fold(func: AggFunc, domain: maglog_datalog::DomainSpec) -> bool {
+    use maglog_datalog::DomainSpec::*;
+    matches!(
+        (func, domain),
+        (AggFunc::Min, MinReal)
+            | (AggFunc::Max, MaxReal)
+            | (AggFunc::Max, NonNegReal)
+            | (AggFunc::Max, Nat)
+            | (AggFunc::Or, BoolOr)
+            | (AggFunc::And, BoolAnd)
+            | (AggFunc::Union, SetUnion)
+            | (AggFunc::Intersect, SetIntersect)
+    )
+}
+
+/// Evaluation context: the program and the current database view (`J ∪ I`
+/// merged, since CDB and LDB predicates are disjoint).
+struct Ctx<'a> {
+    program: &'a Program,
+    db: &'a Interp,
+}
+
+/// A variable binding environment.
+#[derive(Clone, Debug, Default)]
+struct Binding {
+    map: HashMap<Var, Value>,
+}
+
+impl Binding {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, v: Var) -> Option<&Value> {
+        self.map.get(&v)
+    }
+
+    fn bind(&mut self, v: Var, val: Value) {
+        self.map.insert(v, val);
+    }
+
+    fn unbind(&mut self, v: Var) {
+        self.map.remove(&v);
+    }
+}
+
+impl From<HashMap<Var, Value>> for Binding {
+    fn from(map: HashMap<Var, Value>) -> Self {
+        Binding { map }
+    }
+}
+
+/// Buffered derivations of one `T_P` application, with the Definition 2.6
+/// consistency check.
+struct RoundBuffer<'a> {
+    program: &'a Program,
+    check: bool,
+    /// Relaxed (join-fold) derivations are intentionally partial values:
+    /// resolve same-key collisions by lattice join instead of flagging a
+    /// cost conflict.
+    joining: bool,
+    map: HashMap<(Pred, Tuple), Option<Value>>,
+}
+
+impl<'a> RoundBuffer<'a> {
+    fn new(program: &'a Program, check: bool) -> Self {
+        RoundBuffer {
+            program,
+            check,
+            joining: false,
+            map: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, pred: Pred, key: Tuple, cost: Option<Value>) -> Result<(), EvalError> {
+        match self.map.get(&(pred, key.clone())) {
+            None => {
+                self.map.insert((pred, key), cost);
+                Ok(())
+            }
+            Some(existing) => {
+                if *existing == cost {
+                    return Ok(());
+                }
+                if self.check && !self.joining {
+                    return Err(EvalError::CostConflict {
+                        pred: self.program.pred_name(pred),
+                        key: render_key(self.program, &key),
+                        value_a: existing
+                            .as_ref()
+                            .map(|v| v.display(self.program))
+                            .unwrap_or_default(),
+                        value_b: cost
+                            .as_ref()
+                            .map(|v| v.display(self.program))
+                            .unwrap_or_default(),
+                    });
+                }
+                // Lenient mode: lattice join.
+                let domain = self
+                    .program
+                    .cost_spec(pred)
+                    .map(|c| RuntimeDomain::new(c.domain));
+                if let (Some(old), Some(new), Some(d)) = (existing.clone(), &cost, &domain) {
+                    let joined = d.join(&old, new);
+                    self.map.insert((pred, key), Some(joined));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn render_key(program: &Program, key: &Tuple) -> String {
+    key.0
+        .iter()
+        .map(|v| v.display(program))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Execute the remaining plan steps under `binding`, emitting head
+/// derivations into `out`.
+fn exec_steps(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    steps: &[Step],
+    binding: &mut Binding,
+    out: &mut RoundBuffer<'_>,
+) -> Result<(), EvalError> {
+    let Some((step, rest)) = steps.split_first() else {
+        return emit_head(ctx, rule, binding, out);
+    };
+    match step {
+        Step::Atom { lit } => {
+            let Literal::Pos(atom) = &rule.body[*lit] else {
+                unreachable!("Atom step on non-positive literal")
+            };
+            for_each_match(ctx, atom, binding, &mut |b| {
+                exec_steps(ctx, rule, rest, b, out)
+            })
+        }
+        Step::Assign {
+            lit,
+            target,
+            target_is_lhs,
+        } => {
+            let Literal::Builtin(b) = &rule.body[*lit] else {
+                unreachable!("Assign step on non-builtin")
+            };
+            let source = if *target_is_lhs { &b.rhs } else { &b.lhs };
+            let Some(value) = eval_expr(source, binding) else {
+                return Ok(()); // type mismatch: unsatisfiable
+            };
+            match binding.get(*target) {
+                Some(existing) => {
+                    if values_equal(existing, &value) {
+                        exec_steps(ctx, rule, rest, binding, out)
+                    } else {
+                        Ok(())
+                    }
+                }
+                None => {
+                    binding.bind(*target, value);
+                    let r = exec_steps(ctx, rule, rest, binding, out);
+                    binding.unbind(*target);
+                    r
+                }
+            }
+        }
+        Step::Test { lit } => {
+            let Literal::Builtin(b) = &rule.body[*lit] else {
+                unreachable!("Test step on non-builtin")
+            };
+            let (Some(l), Some(r)) = (eval_expr(&b.lhs, binding), eval_expr(&b.rhs, binding))
+            else {
+                return Ok(());
+            };
+            if compare_values(b.op, &l, &r) {
+                exec_steps(ctx, rule, rest, binding, out)
+            } else {
+                Ok(())
+            }
+        }
+        Step::Neg { lit } => {
+            let Literal::Neg(atom) = &rule.body[*lit] else {
+                unreachable!("Neg step on non-negative literal")
+            };
+            if atom_holds(ctx, atom, binding) {
+                Ok(())
+            } else {
+                exec_steps(ctx, rule, rest, binding, out)
+            }
+        }
+        Step::Agg {
+            lit,
+            conjunct_order,
+        } => {
+            let Literal::Agg(agg) = &rule.body[*lit] else {
+                unreachable!("Agg step on non-aggregate")
+            };
+            eval_aggregate(ctx, rule, *lit, agg, conjunct_order, binding, &mut |b| {
+                exec_steps(ctx, rule, rest, b, out)
+            })
+        }
+    }
+}
+
+fn emit_head(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    binding: &Binding,
+    out: &mut RoundBuffer<'_>,
+) -> Result<(), EvalError> {
+    let spec = ctx.program.cost_spec(rule.head.pred);
+    let has_cost = spec.is_some();
+    let mut key = Vec::with_capacity(rule.head.args.len());
+    for t in rule.head.key_args(has_cost) {
+        key.push(resolve_term(t, binding).ok_or_else(|| {
+            EvalError::Aggregate(format!(
+                "unbound head variable in {}",
+                ctx.program.display_rule(rule)
+            ))
+        })?);
+    }
+    let cost = match (spec, rule.head.cost_arg(has_cost)) {
+        (Some(spec), Some(t)) => {
+            let raw = resolve_term(t, binding).ok_or_else(|| {
+                EvalError::Aggregate(format!(
+                    "unbound head cost variable in {}",
+                    ctx.program.display_rule(rule)
+                ))
+            })?;
+            let domain = RuntimeDomain::new(spec.domain);
+            Some(domain.coerce(raw).map_err(EvalError::Domain)?)
+        }
+        _ => None,
+    };
+    out.push(rule.head.pred, Tuple::new(key), cost)
+}
+
+fn resolve_term(t: &Term, binding: &Binding) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(Value::from_const(*c)),
+        Term::Var(v) => binding.get(*v).cloned(),
+    }
+}
+
+/// Enumerate matches of `atom` against the database under `binding`,
+/// calling `k` for each extension. Handles default-value predicates: a
+/// fully-keyed lookup that misses the core yields the default cost.
+fn for_each_match(
+    ctx: &Ctx<'_>,
+    atom: &Atom,
+    binding: &mut Binding,
+    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let has_cost = ctx.program.is_cost_pred(atom.pred);
+    let key_args = atom.key_args(has_cost);
+    let key_vals: Vec<Option<Value>> = key_args
+        .iter()
+        .map(|t| resolve_term(t, binding))
+        .collect();
+    let all_keys_bound = key_vals.iter().all(Option::is_some);
+
+    // Fast path: fully bound key — direct lookup (with default fallback).
+    if all_keys_bound {
+        let key = Tuple::new(key_vals.into_iter().map(Option::unwrap).collect());
+        let Some(cost) = ctx.db.cost(ctx.program, atom.pred, &key) else {
+            return Ok(());
+        };
+        return try_cost_and_continue(atom, has_cost, &cost, binding, k);
+    }
+
+    let Some(rel) = ctx.db.relation(atom.pred) else {
+        return Ok(());
+    };
+
+    // Indexed scan when some key position is bound.
+    let first_bound = key_vals.iter().position(Option::is_some);
+    let candidates: Vec<std::rc::Rc<Tuple>> = match first_bound {
+        Some(pos) => rel.scan_eq(pos, key_vals[pos].as_ref().unwrap()),
+        None => rel
+            .iter()
+            .map(|(t, _)| std::rc::Rc::new(t.clone()))
+            .collect(),
+    };
+
+    for key in candidates {
+        if key.arity() != key_args.len() {
+            continue;
+        }
+        // Match each key position, tracking fresh bindings for undo.
+        let mut fresh: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (i, t) in key_args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    if Value::from_const(*c) != key[i] {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match binding.get(*v) {
+                    Some(bound) => {
+                        if *bound != key[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding.bind(*v, key[i].clone());
+                        fresh.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            let cost = rel.get(&key).cloned().unwrap_or(None);
+            try_cost_and_continue(atom, has_cost, &cost, binding, k)?;
+        }
+        for v in fresh {
+            binding.unbind(v);
+        }
+    }
+    Ok(())
+}
+
+/// Match the cost argument (if any) and continue.
+fn try_cost_and_continue(
+    atom: &Atom,
+    has_cost: bool,
+    cost: &Option<Value>,
+    binding: &mut Binding,
+    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    if !has_cost {
+        return k(binding);
+    }
+    let cost_term = atom.cost_arg(true).expect("cost predicate");
+    let Some(cv) = cost else {
+        return Ok(());
+    };
+    match cost_term {
+        Term::Const(c) => {
+            if values_equal(&Value::from_const(*c), cv) {
+                k(binding)
+            } else {
+                Ok(())
+            }
+        }
+        Term::Var(v) => match binding.get(*v) {
+            Some(bound) => {
+                if values_equal(bound, cv) {
+                    k(binding)
+                } else {
+                    Ok(())
+                }
+            }
+            None => {
+                binding.bind(*v, cv.clone());
+                let r = k(binding);
+                binding.unbind(*v);
+                r
+            }
+        },
+    }
+}
+
+/// Match an atom against an explicit (key, cost) pair — used by semi-naive
+/// drivers.
+fn match_atom_against(
+    program: &Program,
+    atom: &Atom,
+    key: &Tuple,
+    cost: &Option<Value>,
+    binding: &mut Binding,
+) -> bool {
+    let has_cost = program.is_cost_pred(atom.pred);
+    let key_args = atom.key_args(has_cost);
+    if key_args.len() != key.arity() {
+        return false;
+    }
+    for (i, t) in key_args.iter().enumerate() {
+        match t {
+            Term::Const(c) => {
+                if Value::from_const(*c) != key[i] {
+                    return false;
+                }
+            }
+            Term::Var(v) => match binding.get(*v) {
+                Some(bound) => {
+                    if *bound != key[i] {
+                        return false;
+                    }
+                }
+                None => binding.bind(*v, key[i].clone()),
+            },
+        }
+    }
+    if has_cost {
+        let Some(cv) = cost else { return false };
+        match atom.cost_arg(true).expect("cost predicate") {
+            Term::Const(c) => {
+                if !values_equal(&Value::from_const(*c), cv) {
+                    return false;
+                }
+            }
+            Term::Var(v) => match binding.get(*v) {
+                Some(bound) => {
+                    if !values_equal(bound, cv) {
+                        return false;
+                    }
+                }
+                None => binding.bind(*v, cv.clone()),
+            },
+        }
+    }
+    true
+}
+
+/// Does a ground atom hold in the database (with default fallback)?
+fn atom_holds(ctx: &Ctx<'_>, atom: &Atom, binding: &Binding) -> bool {
+    let has_cost = ctx.program.is_cost_pred(atom.pred);
+    let key: Option<Vec<Value>> = atom
+        .key_args(has_cost)
+        .iter()
+        .map(|t| resolve_term(t, binding))
+        .collect();
+    let Some(key) = key else { return false };
+    let key = Tuple::new(key);
+    let Some(cost) = ctx.db.cost(ctx.program, atom.pred, &key) else {
+        return false;
+    };
+    if !has_cost {
+        return true;
+    }
+    let Some(want) = atom
+        .cost_arg(true)
+        .and_then(|t| resolve_term(t, binding))
+    else {
+        return false;
+    };
+    cost.map_or(false, |cv| values_equal(&cv, &want))
+}
+
+/// Evaluate the aggregate subgoal: enumerate the conjunction, group, apply
+/// the function, and continue per satisfying (grouping, result) binding.
+fn eval_aggregate(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    lit: usize,
+    agg: &maglog_datalog::Aggregate,
+    conjunct_order: &[usize],
+    binding: &mut Binding,
+    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let grouping_vars = rule.aggregate_grouping_vars(lit);
+
+    // Enumerate all assignments of the conjunction (restricted by the
+    // current binding) and bucket the multiset element per grouping value.
+    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    {
+        let mut scratch = binding.clone();
+        enumerate_conjuncts(
+            ctx,
+            agg,
+            conjunct_order,
+            0,
+            &mut scratch,
+            &mut |b: &Binding| {
+                let gv: Vec<Value> = grouping_vars
+                    .iter()
+                    .map(|v| b.get(*v).cloned().expect("grouping bound at collection"))
+                    .collect();
+                let element = match agg.multiset_var {
+                    Some(e) => b.get(e).cloned().expect("multiset var bound"),
+                    None => Value::Bool(true),
+                };
+                groups.entry(gv).or_default().push(element);
+            },
+        )?;
+    }
+
+    // For `=` with fully bound groupings, the (possibly empty) group for
+    // the bound values must be considered even if no tuple matched.
+    let groupings_bound = grouping_vars.iter().all(|v| binding.get(*v).is_some());
+    if agg.eq == AggEq::Total {
+        if !groupings_bound {
+            return Err(EvalError::Aggregate(format!(
+                "`=` aggregate with unbound grouping variables in {}",
+                ctx.program.display_rule(rule)
+            )));
+        }
+        let gv: Vec<Value> = grouping_vars
+            .iter()
+            .map(|v| binding.get(*v).cloned().unwrap())
+            .collect();
+        groups.entry(gv).or_default();
+    }
+
+    for (gv, elements) in groups {
+        let Some(result) = aggregate::apply(agg.func, &elements) else {
+            continue; // undefined (empty avg / type error): unsatisfiable
+        };
+        // Bind grouping vars (fresh ones only) and the result.
+        let mut fresh: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (v, val) in grouping_vars.iter().zip(&gv) {
+            match binding.get(*v) {
+                Some(bound) => {
+                    if bound != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    binding.bind(*v, val.clone());
+                    fresh.push(*v);
+                }
+            }
+        }
+        if ok {
+            match &agg.result {
+                Term::Const(c) => {
+                    if values_equal(&Value::from_const(*c), &result) {
+                        k(binding)?;
+                    }
+                }
+                Term::Var(rv) => match binding.get(*rv) {
+                    Some(bound) => {
+                        if values_equal(bound, &result) {
+                            k(binding)?;
+                        }
+                    }
+                    None => {
+                        binding.bind(*rv, result.clone());
+                        k(binding)?;
+                        binding.unbind(*rv);
+                    }
+                },
+            }
+        }
+        for v in fresh {
+            binding.unbind(v);
+        }
+    }
+    let _ = AggFunc::Count; // silence unused-import lints in some cfgs
+    Ok(())
+}
+
+/// Enumerate all satisfying assignments of the aggregate's conjunction in
+/// the planned order.
+fn enumerate_conjuncts(
+    ctx: &Ctx<'_>,
+    agg: &maglog_datalog::Aggregate,
+    order: &[usize],
+    depth: usize,
+    binding: &mut Binding,
+    emit: &mut dyn FnMut(&Binding),
+) -> Result<(), EvalError> {
+    if depth == order.len() {
+        emit(binding);
+        return Ok(());
+    }
+    let atom = &agg.conjuncts[order[depth]];
+    for_each_match(ctx, atom, binding, &mut |b| {
+        enumerate_conjuncts(ctx, agg, order, depth + 1, b, emit)
+    })
+}
+
+/// Evaluate an arithmetic expression. `None` on unbound variables or type
+/// mismatches (the branch is then unsatisfiable).
+fn eval_expr(e: &Expr, binding: &Binding) -> Option<Value> {
+    match e {
+        Expr::Term(t) => resolve_term(t, binding),
+        Expr::Neg(inner) => {
+            let v = eval_expr(inner, binding)?;
+            Some(Value::num(-v.as_f64()?))
+        }
+        Expr::Bin(op, l, r) => {
+            let lv = eval_expr(l, binding)?;
+            let rv = eval_expr(r, binding)?;
+            let (a, b) = (lv.as_f64()?, rv.as_f64()?);
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a / b
+                }
+            };
+            if out.is_nan() {
+                None
+            } else {
+                Some(Value::num(out))
+            }
+        }
+    }
+}
+
+/// Structural equality with numeric/boolean bridging (`1 = true`).
+fn values_equal(a: &Value, b: &Value) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn compare_values(op: CmpOp, a: &Value, b: &Value) -> bool {
+    match op {
+        CmpOp::Eq => values_equal(a, b),
+        CmpOp::Ne => !values_equal(a, b),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return false;
+            };
+            match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+// `Const` is referenced by pattern matches above; keep the import honest.
+#[allow(unused)]
+fn _const_witness(c: Const) -> Const {
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn run(src: &str) -> (maglog_datalog::Program, Model) {
+        let p = parse_program(src).unwrap();
+        let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        (p, model)
+    }
+
+    #[test]
+    fn plain_datalog_transitive_closure() {
+        let (p, m) = run(
+            r#"
+            e(a, b). e(b, c). e(c, d).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), e(Z, Y).
+            "#,
+        );
+        assert!(m.holds(&p, "tc", &["a", "d"]));
+        assert!(m.holds(&p, "tc", &["b", "d"]));
+        assert!(!m.holds(&p, "tc", &["d", "a"]));
+        assert_eq!(m.tuples_of(&p, "tc").len(), 6);
+    }
+
+    #[test]
+    fn example_3_1_shortest_path_minimal_model() {
+        let (p, m) = run(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 1).
+            arc(b, b, 0).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        );
+        // The paper's M1: s(a,b,1), s(b,b,0) — NOT M2's s(a,b,0).
+        assert_eq!(m.cost_of(&p, "s", &["a", "b"]).unwrap().as_f64(), Some(1.0));
+        assert_eq!(m.cost_of(&p, "s", &["b", "b"]).unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            m.cost_of(&p, "path", &["a", "b", "b"]).unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 2). arc(b, c, 3). arc(c, a, 4). arc(a, c, 10).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let p = parse_program(src).unwrap();
+        let naive = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Naive,
+                ..Default::default()
+            },
+        )
+        .evaluate(&Edb::new())
+        .unwrap();
+        let semi = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        assert_eq!(naive.render(&p), semi.render(&p));
+        assert_eq!(
+            semi.cost_of(&p, "s", &["a", "c"]).unwrap().as_f64(),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn company_control_example_2_7() {
+        // a owns 40% of b directly; a owns 60% of c; c owns 20% of b.
+        // a controls c (0.6 > 0.5), hence controls 0.4 + 0.2 of b.
+        let (p, m) = run(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            s(a, b, 0.4). s(a, c, 0.6). s(c, b, 0.2).
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        );
+        assert!(m.holds(&p, "c", &["a", "c"]));
+        assert!(m.holds(&p, "c", &["a", "b"]));
+        let frac = m.cost_of(&p, "m", &["a", "b"]).unwrap().as_f64().unwrap();
+        assert!((frac - 0.6).abs() < 1e-12, "got {frac}");
+    }
+
+    #[test]
+    fn party_example_4_3_with_cyclic_knows() {
+        // ann requires 0; bob requires 1 and knows ann; cal and dan know
+        // only each other and require 1: they stay undecided... no — in the
+        // minimal model they simply do not come.
+        let (p, m) = run(
+            r#"
+            requires(ann, 0). requires(bob, 1). requires(cal, 1). requires(dan, 1).
+            knows(bob, ann). knows(cal, dan). knows(dan, cal).
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        );
+        assert!(m.holds(&p, "coming", &["ann"]));
+        assert!(m.holds(&p, "coming", &["bob"]));
+        assert!(!m.holds(&p, "coming", &["cal"]));
+        assert!(!m.holds(&p, "coming", &["dan"]));
+    }
+
+    #[test]
+    fn circuit_example_4_4_with_cycle() {
+        // AND gate g1 feeding itself evaluates to false (minimal behaviour);
+        // OR gate g2 with a true input is true even on a cycle with g3.
+        let (p, m) = run(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            input(w1, 1). input(w2, 0).
+            gate(g1, and). gate(g2, or). gate(g3, or).
+            connect(g1, g1). connect(g1, w1).
+            connect(g2, w1). connect(g2, g3).
+            connect(g3, g2). connect(g3, w2).
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+            constraint :- gate(G, or), gate(G, and).
+            constraint :- gate(G, T), input(G, C).
+            "#,
+        );
+        assert_eq!(m.cost_of(&p, "t", &["g1"]), Some(Value::Bool(false)));
+        assert_eq!(m.cost_of(&p, "t", &["g2"]), Some(Value::Bool(true)));
+        assert_eq!(m.cost_of(&p, "t", &["g3"]), Some(Value::Bool(true)));
+        assert_eq!(m.cost_of(&p, "t", &["w2"]), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn halfsum_example_5_1_reaches_the_limit() {
+        // The paper's least model is {p(a,1), p(b,1)}; T_P is monotonic but
+        // not continuous, so ω iterations are needed — IEEE-754 rounding
+        // reaches the limit exactly after ~55 rounds (the ulp near 1.0 is
+        // 2^-53, and round-to-even closes the final gap).
+        let (p, m) = run(
+            r#"
+            declare pred p/2 cost nonneg_real.
+            p(b, 1).
+            p(a, C) :- C =r halfsum D : p(X, D).
+            "#,
+        );
+        assert_eq!(m.cost_of(&p, "p", &["a"]).unwrap().as_f64(), Some(1.0));
+        assert_eq!(m.cost_of(&p, "p", &["b"]).unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn negative_cycle_hits_round_cap() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 1). arc(b, a, -2).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        let engine = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                max_rounds: 50,
+                ..Default::default()
+            },
+        );
+        match engine.evaluate(&Edb::new()) {
+            Err(EvalError::NonTermination { .. }) => {}
+            other => panic!("expected NonTermination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_matches_seminaive_on_nonneg_graphs() {
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 2). arc(b, c, 3). arc(c, a, 4). arc(a, c, 10). arc(c, c, 0).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let p = parse_program(src).unwrap();
+        let semi = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        let greedy = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Greedy,
+                ..Default::default()
+            },
+        )
+        .evaluate(&Edb::new())
+        .unwrap();
+        assert_eq!(semi.render(&p), greedy.render(&p));
+    }
+
+    #[test]
+    fn greedy_rejects_negative_weights() {
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 5). arc(b, c, -3).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let p = parse_program(src).unwrap();
+        let engine = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Greedy,
+                ..Default::default()
+            },
+        );
+        match engine.evaluate(&Edb::new()) {
+            Err(EvalError::GreedyViolation { .. }) => {}
+            other => panic!("expected GreedyViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_falls_back_on_ineligible_components() {
+        // Company control: nonneg_real sums — not greedy-eligible; the
+        // strategy silently falls back to semi-naive and stays correct.
+        let src = r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            s(a, b, 0.4). s(a, c, 0.6). s(c, b, 0.2).
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+        "#;
+        let p = parse_program(src).unwrap();
+        let greedy = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Greedy,
+                ..Default::default()
+            },
+        )
+        .evaluate(&Edb::new())
+        .unwrap();
+        assert!(greedy.holds(&p, "c", &["a", "b"]));
+        assert!(greedy.holds(&p, "c", &["a", "c"]));
+    }
+
+    #[test]
+    fn greedy_handles_cdb_edb_facts() {
+        // A pre-loaded s fact competes with derived values; the cheaper
+        // derived value must win.
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 1).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut edb = Edb::new();
+        edb.push_cost_fact(&p, "s", &["a", "b"], 9.0);
+        let greedy = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Greedy,
+                ..Default::default()
+            },
+        )
+        .evaluate(&edb)
+        .unwrap();
+        assert_eq!(
+            greedy.cost_of(&p, "s", &["a", "b"]).unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn uncertified_program_is_refused() {
+        let p = parse_program(
+            r#"
+            declare pred q/3 cost max_real.
+            declare pred p/2 cost max_real.
+            p(X, C) :- q(X, Y, C).
+            "#,
+        )
+        .unwrap();
+        match MonotonicEngine::new(&p).evaluate(&Edb::new()) {
+            Err(EvalError::NotCertified(_)) => {}
+            other => panic!("expected NotCertified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_conflict_is_detected_when_unchecked() {
+        let p = parse_program(
+            r#"
+            declare pred q/2 cost min_real.
+            declare pred r/2 cost min_real.
+            declare pred p/2 cost min_real.
+            q(x, 1). r(x, 2).
+            p(X, C) :- q(X, C).
+            p(X, C) :- r(X, C).
+            "#,
+        )
+        .unwrap();
+        let engine = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                allow_unchecked: true,
+                ..Default::default()
+            },
+        );
+        match engine.evaluate(&Edb::new()) {
+            Err(EvalError::CostConflict { .. }) => {}
+            other => panic!("expected CostConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grades_example_2_1() {
+        let (p, m) = run(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred s_avg/2 cost max_real.
+            declare pred c_avg/2 cost max_real.
+            declare pred all_avg/1 cost max_real.
+            declare pred class_count/2 cost nat.
+            record(john, db, 80). record(john, os, 60).
+            record(mary, db, 90). record(mary, ai, 70).
+            s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+            c_avg(C, G) :- G =r avg G2 : record(S, C, G2).
+            all_avg(G) :- G =r avg G2 : c_avg(S, G2).
+            class_count(C, N) :- N =r count : record(S, C, G).
+            "#,
+        );
+        assert_eq!(
+            m.cost_of(&p, "s_avg", &["john"]).unwrap().as_f64(),
+            Some(70.0)
+        );
+        assert_eq!(
+            m.cost_of(&p, "c_avg", &["db"]).unwrap().as_f64(),
+            Some(85.0)
+        );
+        // all_avg over class averages {85, 60, 70} = 71.666...
+        let g = m.cost_of(&p, "all_avg", &[]).unwrap().as_f64().unwrap();
+        assert!((g - (85.0 + 60.0 + 70.0) / 3.0).abs() < 1e-9);
+        assert_eq!(
+            m.cost_of(&p, "class_count", &["db"]).unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn alt_class_count_counts_empty_classes() {
+        let (p, m) = run(
+            r#"
+            declare pred record/3 cost max_real.
+            declare pred alt_class_count/2 cost nat.
+            courses(db). courses(logic).
+            record(john, db, 80).
+            alt_class_count(C, N) :- courses(C), N = count : record(S, C, G).
+            "#,
+        );
+        assert_eq!(
+            m.cost_of(&p, "alt_class_count", &["db"]).unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            m.cost_of(&p, "alt_class_count", &["logic"])
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Aggregate Herbrand interpretations (Definition 3.3).
+//!
+//! An interpretation maps each predicate to a [`Relation`]: a set of keyed
+//! tuples, each cost predicate's key carrying exactly one cost value (the
+//! functional dependency of Section 2.3.1 is enforced by construction).
+//! Default-value cost predicates are stored by their *core* (Section
+//! 2.3.3): keys at the default value `⊥` are implicit, and lookups fall
+//! back to the declared domain's bottom.
+//!
+//! `Interp` also provides the lifted order `⊑` and join of Theorem 3.1,
+//! used by the engine's fixpoint and by the property-based test suites.
+
+use crate::value::{RuntimeDomain, Value};
+use maglog_datalog::{Pred, Program};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// The non-cost arguments of an atom, as a hashable key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(pub Box<[Value]>);
+
+impl Tuple {
+    pub fn new(args: Vec<Value>) -> Self {
+        Tuple(args.into_boxed_slice())
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+/// One predicate's extension: key → optional cost value. `None` cost for
+/// predicates without a cost argument.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    map: HashMap<Tuple, Option<Value>>,
+    /// Lazily built single-column indexes: position → value → keys.
+    /// Kept in sync incrementally by `insert`.
+    indexes: RefCell<HashMap<usize, HashMap<Value, Vec<Rc<Tuple>>>>>,
+    /// Shared key storage backing the indexes.
+    keys: RefCell<Vec<Rc<Tuple>>>,
+}
+
+impl Relation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn get(&self, key: &Tuple) -> Option<&Option<Value>> {
+        self.map.get(key)
+    }
+
+    pub fn contains(&self, key: &Tuple) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert or replace the cost for `key`. Returns the previous cost
+    /// binding (outer `None` = key was absent).
+    pub fn insert(&mut self, key: Tuple, cost: Option<Value>) -> Option<Option<Value>> {
+        if !self.map.contains_key(&key) {
+            let rc = Rc::new(key.clone());
+            self.keys.borrow_mut().push(rc.clone());
+            let mut indexes = self.indexes.borrow_mut();
+            for (&pos, index) in indexes.iter_mut() {
+                index
+                    .entry(rc.0[pos].clone())
+                    .or_default()
+                    .push(rc.clone());
+            }
+        }
+        self.map.insert(key, cost)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Option<Value>)> {
+        self.map.iter()
+    }
+
+    /// Keys whose `pos`-th component equals `value`, via a lazily built
+    /// index. Returned tuples are shared (`Rc`), not deep-cloned.
+    pub fn scan_eq(&self, pos: usize, value: &Value) -> Vec<Rc<Tuple>> {
+        {
+            let indexes = self.indexes.borrow();
+            if let Some(index) = indexes.get(&pos) {
+                return index.get(value).cloned().unwrap_or_default();
+            }
+        }
+        // Build the index for this position.
+        let mut index: HashMap<Value, Vec<Rc<Tuple>>> = HashMap::new();
+        for rc in self.keys.borrow().iter() {
+            index.entry(rc.0[pos].clone()).or_default().push(rc.clone());
+        }
+        let result = index.get(value).cloned().unwrap_or_default();
+        self.indexes.borrow_mut().insert(pos, index);
+        result
+    }
+}
+
+/// A (partial) aggregate Herbrand interpretation.
+#[derive(Clone, Debug, Default)]
+pub struct Interp {
+    rels: HashMap<Pred, Relation>,
+}
+
+impl Interp {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
+        self.rels.entry(pred).or_default()
+    }
+
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Total number of (explicit, core) tuples.
+    pub fn size(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// The stored cost of `pred(key)`, falling back to the domain default
+    /// for default-value cost predicates.
+    pub fn cost(&self, program: &Program, pred: Pred, key: &Tuple) -> Option<Option<Value>> {
+        if let Some(rel) = self.rels.get(&pred) {
+            if let Some(stored) = rel.get(key) {
+                return Some(stored.clone());
+            }
+        }
+        if program.has_default(pred) {
+            let spec = program.cost_spec(pred).expect("default implies cost");
+            return Some(Some(RuntimeDomain::new(spec.domain).bottom()));
+        }
+        None
+    }
+
+    /// The lifted interpretation order of Definition 3.3: `self ⊑ other`
+    /// iff every atom of `self` has a `⊒` counterpart in `other` (equal
+    /// key, cost `⊑` in the declared domain; non-cost atoms must simply be
+    /// present). Default-value predicates compare their cores against the
+    /// other side's lookup-with-default.
+    pub fn leq(&self, other: &Interp, program: &Program) -> bool {
+        for (&pred, rel) in &self.rels {
+            let domain = program
+                .cost_spec(pred)
+                .map(|c| RuntimeDomain::new(c.domain));
+            for (key, cost) in rel.iter() {
+                let Some(other_cost) = other.cost(program, pred, key) else {
+                    return false;
+                };
+                match (cost, &other_cost, &domain) {
+                    (None, _, _) => {}
+                    (Some(a), Some(b), Some(d)) => {
+                        if !d.leq(a, b) {
+                            return false;
+                        }
+                    }
+                    (Some(_), _, _) => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Pointwise join (the `⊔S` of Theorem 3.1, for two operands).
+    pub fn join(&self, other: &Interp, program: &Program) -> Interp {
+        let mut out = self.clone();
+        for (&pred, rel) in &other.rels {
+            let domain = program
+                .cost_spec(pred)
+                .map(|c| RuntimeDomain::new(c.domain));
+            let out_rel = out.relation_mut(pred);
+            for (key, cost) in rel.iter() {
+                match out_rel.get(key) {
+                    None => {
+                        out_rel.insert(key.clone(), cost.clone());
+                    }
+                    Some(existing) => {
+                        if let (Some(a), Some(b), Some(d)) = (existing, cost, &domain) {
+                            let joined = d.join(a, b);
+                            out_rel.insert(key.clone(), Some(joined));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic rendering for golden tests: one `pred(args[, cost])`
+    /// per line, sorted.
+    pub fn render(&self, program: &Program) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let mut rels: BTreeMap<String, &Relation> = BTreeMap::new();
+        for (&pred, rel) in &self.rels {
+            rels.insert(program.pred_name(pred), rel);
+        }
+        for (name, rel) in rels {
+            let mut rows: Vec<String> = rel
+                .iter()
+                .map(|(key, cost)| {
+                    let mut parts: Vec<String> =
+                        key.0.iter().map(|v| v.display(program)).collect();
+                    if let Some(c) = cost {
+                        parts.push(c.display(program));
+                    }
+                    format!("{name}({})", parts.join(", "))
+                })
+                .collect();
+            rows.sort();
+            lines.extend(rows);
+        }
+        lines.join("\n")
+    }
+}
+
+/// Equality of interpretations up to stored content (used for fixpoint
+/// detection).
+impl PartialEq for Interp {
+    fn eq(&self, other: &Self) -> bool {
+        if self.rels.len() != other.rels.len() {
+            return false;
+        }
+        self.rels.iter().all(|(pred, rel)| {
+            other.rels.get(pred).map_or(rel.is_empty(), |orel| {
+                rel.len() == orel.len()
+                    && rel.iter().all(|(k, c)| orel.get(k) == Some(c))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    fn t(vals: &[f64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::num(v)).collect())
+    }
+
+    #[test]
+    fn relation_insert_and_lookup() {
+        let mut rel = Relation::new();
+        assert_eq!(rel.insert(t(&[1.0]), Some(Value::num(5.0))), None);
+        assert_eq!(
+            rel.insert(t(&[1.0]), Some(Value::num(3.0))),
+            Some(Some(Value::num(5.0)))
+        );
+        assert_eq!(rel.get(&t(&[1.0])), Some(&Some(Value::num(3.0))));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn scan_eq_uses_lazy_index_and_stays_fresh() {
+        let mut rel = Relation::new();
+        rel.insert(t(&[1.0, 10.0]), None);
+        rel.insert(t(&[2.0, 20.0]), None);
+        // Build the index with a first scan.
+        assert_eq!(rel.scan_eq(0, &Value::num(1.0)).len(), 1);
+        // Insert after the index exists: must show up.
+        rel.insert(t(&[1.0, 30.0]), None);
+        assert_eq!(rel.scan_eq(0, &Value::num(1.0)).len(), 2);
+        assert_eq!(rel.scan_eq(1, &Value::num(20.0)).len(), 1);
+        assert!(rel.scan_eq(0, &Value::num(9.0)).is_empty());
+    }
+
+    #[test]
+    fn interp_cost_falls_back_to_default() {
+        let p = parse_program(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred u/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            "#,
+        )
+        .unwrap();
+        let tp = p.find_pred("t").unwrap();
+        let up = p.find_pred("u").unwrap();
+        let interp = Interp::new();
+        let key = Tuple::new(vec![Value::Sym(p.symbols.intern("w1"))]);
+        // Default pred: bottom.
+        assert_eq!(
+            interp.cost(&p, tp, &key),
+            Some(Some(Value::Bool(false)))
+        );
+        // Non-default pred: absent.
+        assert_eq!(interp.cost(&p, up, &key), None);
+    }
+
+    #[test]
+    fn interp_order_follows_example_3_1() {
+        // M1 ⊑ M2 in (MinReal): s(a,b,1) ⊑ s(a,b,0).
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost min_real.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            declare pred path/4 cost min_real.
+            "#,
+        )
+        .unwrap();
+        let s = p.find_pred("s").unwrap();
+        let a = Value::Sym(p.symbols.intern("a"));
+        let b = Value::Sym(p.symbols.intern("b"));
+        let key = Tuple::new(vec![a, b]);
+
+        let mut m1 = Interp::new();
+        m1.relation_mut(s).insert(key.clone(), Some(Value::num(1.0)));
+        let mut m2 = Interp::new();
+        m2.relation_mut(s).insert(key.clone(), Some(Value::num(0.0)));
+
+        assert!(m1.leq(&m2, &p), "longer path is ⊑ shorter path");
+        assert!(!m2.leq(&m1, &p));
+        // Note: M1 ⊑ M2 although M1 ⊄ M2 as sets — the paper's remark.
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let p = parse_program(
+            r#"
+            declare pred v/2 cost max_real.
+            v(X, C) :- w(X, C).
+            declare pred w/2 cost max_real.
+            "#,
+        )
+        .unwrap();
+        let v = p.find_pred("v").unwrap();
+        let key = Tuple::new(vec![Value::num(0.0)]);
+        let mut a = Interp::new();
+        a.relation_mut(v).insert(key.clone(), Some(Value::num(1.0)));
+        let mut b = Interp::new();
+        b.relation_mut(v).insert(key.clone(), Some(Value::num(4.0)));
+        let j = a.join(&b, &p);
+        assert_eq!(
+            j.relation(v).unwrap().get(&key),
+            Some(&Some(Value::num(4.0)))
+        );
+        assert!(a.leq(&j, &p) && b.leq(&j, &p));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let p = parse_program("e(a, b).\ne(b, c).").unwrap();
+        let e = p.find_pred("e").unwrap();
+        let mut i = Interp::new();
+        let a = Value::Sym(p.symbols.intern("a"));
+        let b = Value::Sym(p.symbols.intern("b"));
+        let c = Value::Sym(p.symbols.intern("c"));
+        i.relation_mut(e)
+            .insert(Tuple::new(vec![b.clone(), c.clone()]), None);
+        i.relation_mut(e).insert(Tuple::new(vec![a, b]), None);
+        assert_eq!(i.render(&p), "e(a, b)\ne(b, c)");
+    }
+}

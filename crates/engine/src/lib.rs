@@ -1,0 +1,58 @@
+//! The monotonic-aggregation fixpoint engine.
+//!
+//! This crate implements Section 3 and Section 6 of Ross & Sagiv
+//! (PODS 1992): aggregate Herbrand interpretations ordered by the lifted
+//! cost lattice (Definition 3.3, Theorem 3.1), the immediate-consequence
+//! operator `T_P(J, I)` (Definition 3.7), bottom-up naive and semi-naive
+//! iteration from `J_∅` to the least fixpoint (Section 6.2), and the
+//! iterated minimal-model construction across program components
+//! (Section 6.3).
+//!
+//! The engine refuses — by default — to evaluate programs that the static
+//! battery of `maglog-analysis` cannot certify (range-restricted,
+//! conflict-free, admissible ⇒ monotonic), because only then do
+//! Propositions 3.3–3.4 guarantee that what the fixpoint computes *is* the
+//! unique minimal model. [`EvalOptions::allow_unchecked`] bypasses the gate
+//! for experiments with non-monotonic programs.
+//!
+//! ```
+//! use maglog_datalog::parse_program;
+//! use maglog_engine::{Edb, MonotonicEngine};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     declare pred arc/3 cost min_real.
+//!     declare pred path/4 cost min_real.
+//!     declare pred s/3 cost min_real.
+//!     path(X, direct, Y, C) :- arc(X, Y, C).
+//!     path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+//!     s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+//!     constraint :- arc(direct, Z, C).
+//!     "#,
+//! )
+//! .unwrap();
+//! let mut edb = Edb::new();
+//! edb.push_cost_fact(&program, "arc", &["a", "b"], 1.0);
+//! edb.push_cost_fact(&program, "arc", &["b", "b"], 0.0);
+//! let model = MonotonicEngine::new(&program).evaluate(&edb).unwrap();
+//! assert_eq!(
+//!     model.cost_of(&program, "s", &["a", "b"]).unwrap().as_f64(),
+//!     Some(1.0)
+//! );
+//! ```
+
+pub mod aggregate;
+pub mod edb;
+pub mod error;
+pub mod eval;
+pub mod interp;
+pub mod model;
+pub mod plan;
+pub mod value;
+
+pub use edb::Edb;
+pub use error::EvalError;
+pub use eval::{EvalOptions, EvalStats, MonotonicEngine, Strategy};
+pub use interp::{Interp, Relation, Tuple};
+pub use model::Model;
+pub use value::{CostValue, RuntimeDomain, Value};

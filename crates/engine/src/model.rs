@@ -1,0 +1,113 @@
+//! Evaluation results.
+
+use crate::eval::EvalStats;
+use crate::interp::{Interp, Tuple};
+use crate::value::Value;
+use maglog_datalog::Program;
+
+/// The computed (iterated minimal) model plus statistics.
+#[derive(Clone, Debug)]
+pub struct Model {
+    db: Interp,
+    stats: EvalStats,
+}
+
+impl Model {
+    pub(crate) fn new(db: Interp, stats: EvalStats) -> Self {
+        Model { db, stats }
+    }
+
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    pub fn interp(&self) -> &Interp {
+        &self.db
+    }
+
+    /// The cost value of `pred(keys...)`, if the atom is in the model
+    /// (includes the implicit default for default-value predicates).
+    pub fn cost_of(&self, program: &Program, pred: &str, keys: &[&str]) -> Option<Value> {
+        let pred = program.find_pred(pred)?;
+        let key = Tuple::new(keys.iter().map(|k| parse_value(program, k)).collect());
+        self.db.cost(program, pred, &key).flatten()
+    }
+
+    /// Does a non-cost atom hold?
+    pub fn holds(&self, program: &Program, pred: &str, keys: &[&str]) -> bool {
+        let Some(pred) = program.find_pred(pred) else {
+            return false;
+        };
+        let key = Tuple::new(keys.iter().map(|k| parse_value(program, k)).collect());
+        self.db
+            .relation(pred)
+            .map_or(false, |rel| rel.contains(&key))
+    }
+
+    /// All tuples of a predicate, sorted, as `(key values, cost)`.
+    pub fn tuples_of(&self, program: &Program, pred: &str) -> Vec<(Vec<Value>, Option<Value>)> {
+        let Some(pred) = program.find_pred(pred) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(Vec<Value>, Option<Value>)> = self
+            .db
+            .relation(pred)
+            .map(|rel| {
+                rel.iter()
+                    .map(|(k, c)| (k.0.to_vec(), c.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Number of stored tuples for a predicate.
+    pub fn count(&self, program: &Program, pred: &str) -> usize {
+        program
+            .find_pred(pred)
+            .and_then(|p| self.db.relation(p))
+            .map_or(0, |rel| rel.len())
+    }
+
+    /// Deterministic rendering of the whole model.
+    pub fn render(&self, program: &Program) -> String {
+        self.db.render(program)
+    }
+}
+
+fn parse_value(program: &Program, text: &str) -> Value {
+    match text.parse::<f64>() {
+        Ok(n) if !n.is_nan() => Value::num(n),
+        _ => Value::Sym(program.symbols.intern(text)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::edb::Edb;
+    use crate::eval::MonotonicEngine;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn model_accessors() {
+        let p = parse_program(
+            r#"
+            e(a, b). e(b, c).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), e(Z, Y).
+            "#,
+        )
+        .unwrap();
+        let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        assert!(m.holds(&p, "tc", &["a", "c"]));
+        assert!(!m.holds(&p, "tc", &["c", "a"]));
+        assert!(!m.holds(&p, "nosuch", &["a"]));
+        assert_eq!(m.count(&p, "tc"), 3);
+        assert_eq!(m.tuples_of(&p, "tc").len(), 3);
+        assert_eq!(m.cost_of(&p, "tc", &["a", "c"]), None);
+        let rendered = m.render(&p);
+        assert!(rendered.contains("tc(a, c)"));
+        assert!(!m.stats().rounds.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Boolean cost domains (rows 5, 6, and 8 of Figure 1).
+//!
+//! The booleans carry two complete-lattice structures:
+//!
+//! * [`BoolOr`]: `(B, ≤)` with `0 < 1` — the domain/range of the `OR`
+//!   aggregate and the domain of `count`;
+//! * [`BoolAnd`]: `(B, ≥)` with `1 < 0` in the lattice order — the
+//!   domain/range of the (pseudo-monotonic) `AND` aggregate, where a wire
+//!   that is `true` by default can only "grow" towards `false`.
+//!
+//! In circuit Example 4.4 the *minimal-behaviour* circuit uses `BoolOr`
+//! (default `0`); a maximal-behaviour circuit would use `BoolAnd`
+//! (default `1`), exactly as the paper's parenthetical remarks.
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::fmt;
+
+/// `(B, ≤)`: bottom = `false`, join = `∨`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolOr(pub bool);
+
+impl Poset for BoolOr {
+    fn leq(&self, other: &Self) -> bool {
+        !self.0 || other.0
+    }
+}
+impl JoinSemiLattice for BoolOr {
+    fn join(&self, other: &Self) -> Self {
+        BoolOr(self.0 || other.0)
+    }
+}
+impl MeetSemiLattice for BoolOr {
+    fn meet(&self, other: &Self) -> Self {
+        BoolOr(self.0 && other.0)
+    }
+}
+impl BoundedJoin for BoolOr {
+    fn bottom() -> Self {
+        BoolOr(false)
+    }
+}
+impl BoundedMeet for BoolOr {
+    fn top() -> Self {
+        BoolOr(true)
+    }
+}
+impl fmt::Display for BoolOr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 as u8)
+    }
+}
+
+/// `(B, ≥)`: bottom = `true`, join = `∧`. This is [`BoolOr`] with the order
+/// reversed; we spell it out rather than using `Dual<BoolOr>` because it is
+/// one of the named Figure-1 rows and deserves a first-class name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolAnd(pub bool);
+
+impl Poset for BoolAnd {
+    fn leq(&self, other: &Self) -> bool {
+        self.0 || !other.0
+    }
+}
+impl JoinSemiLattice for BoolAnd {
+    fn join(&self, other: &Self) -> Self {
+        BoolAnd(self.0 && other.0)
+    }
+}
+impl MeetSemiLattice for BoolAnd {
+    fn meet(&self, other: &Self) -> Self {
+        BoolAnd(self.0 || other.0)
+    }
+}
+impl BoundedJoin for BoolAnd {
+    fn bottom() -> Self {
+        BoolAnd(true)
+    }
+}
+impl BoundedMeet for BoolAnd {
+    fn top() -> Self {
+        BoolAnd(false)
+    }
+}
+impl fmt::Display for BoolAnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_or_order() {
+        assert!(BoolOr(false).leq(&BoolOr(true)));
+        assert!(!BoolOr(true).leq(&BoolOr(false)));
+        assert_eq!(BoolOr::bottom(), BoolOr(false));
+        assert_eq!(BoolOr(false).join(&BoolOr(true)), BoolOr(true));
+        assert_eq!(BoolOr(false).meet(&BoolOr(true)), BoolOr(false));
+    }
+
+    #[test]
+    fn bool_and_order_is_reversed() {
+        assert!(BoolAnd(true).leq(&BoolAnd(false)));
+        assert!(!BoolAnd(false).leq(&BoolAnd(true)));
+        assert_eq!(BoolAnd::bottom(), BoolAnd(true));
+        // Join in the reversed order is conjunction.
+        assert_eq!(BoolAnd(true).join(&BoolAnd(false)), BoolAnd(false));
+        assert_eq!(BoolAnd(true).meet(&BoolAnd(false)), BoolAnd(true));
+    }
+
+    #[test]
+    fn both_orders_are_reflexive() {
+        for v in [false, true] {
+            assert!(BoolOr(v).leq(&BoolOr(v)));
+            assert!(BoolAnd(v).leq(&BoolAnd(v)));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Order-reversal combinator.
+//!
+//! Several Figure-1 rows are exact duals of others (`min` of `max`, `AND` of
+//! `OR`, `intersection` of `union`). `Dual<L>` reverses `⊑`, swaps join with
+//! meet, and swaps bottom with top, turning any complete lattice into its
+//! opposite.
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::fmt;
+
+/// `L` with the order reversed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Dual<L>(pub L);
+
+impl<L> Dual<L> {
+    pub fn into_inner(self) -> L {
+        self.0
+    }
+}
+
+impl<L: Poset> Poset for Dual<L> {
+    fn leq(&self, other: &Self) -> bool {
+        other.0.leq(&self.0)
+    }
+}
+
+impl<L: MeetSemiLattice> JoinSemiLattice for Dual<L> {
+    fn join(&self, other: &Self) -> Self {
+        Dual(self.0.meet(&other.0))
+    }
+}
+
+impl<L: JoinSemiLattice> MeetSemiLattice for Dual<L> {
+    fn meet(&self, other: &Self) -> Self {
+        Dual(self.0.join(&other.0))
+    }
+}
+
+impl<L: BoundedMeet> BoundedJoin for Dual<L> {
+    fn bottom() -> Self {
+        Dual(L::top())
+    }
+}
+
+impl<L: BoundedJoin> BoundedMeet for Dual<L> {
+    fn top() -> Self {
+        Dual(L::bottom())
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Dual<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::MaxReal;
+
+    #[test]
+    fn dual_of_max_real_behaves_like_min_real() {
+        let a = Dual(MaxReal::new(1.0));
+        let b = Dual(MaxReal::new(5.0));
+        // In the dual order, 5 ⊑ 1.
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+        assert_eq!(a.join(&b), a); // join = numeric min
+        assert_eq!(a.meet(&b), b); // meet = numeric max
+        assert_eq!(Dual::<MaxReal>::bottom(), Dual(MaxReal::new(f64::INFINITY)));
+        assert_eq!(
+            Dual::<MaxReal>::top(),
+            Dual(MaxReal::new(f64::NEG_INFINITY))
+        );
+    }
+
+    #[test]
+    fn double_dual_restores_order() {
+        let a = Dual(Dual(MaxReal::new(1.0)));
+        let b = Dual(Dual(MaxReal::new(2.0)));
+        assert!(a.leq(&b));
+        assert_eq!(Dual::<Dual<MaxReal>>::bottom().0 .0, MaxReal::new(f64::NEG_INFINITY));
+    }
+}

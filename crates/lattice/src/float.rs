@@ -1,0 +1,343 @@
+//! Extended-real cost domains (rows 1–4 of Figure 1).
+//!
+//! [`Real`] is a total-order wrapper around `f64` that excludes NaN, so that
+//! the extended reals `R ∪ {±∞}` form a genuine chain. On top of it:
+//!
+//! * [`MaxReal`]: `(R ∪ {±∞}, ≤)`, join = max, bottom = `-∞` — the domain of
+//!   the `maximum` aggregate;
+//! * [`MinReal`]: `(R ∪ {±∞}, ≥)`, join = min, bottom = `+∞` — the domain of
+//!   the `minimum` aggregate (note the *reversed* order: "smaller cost is
+//!   bigger in `⊑`", exactly the Example 3.1 situation the paper flags with
+//!   "Beware!");
+//! * [`NonNegReal`]: `(R* ∪ {∞}, ≤)`, bottom = `0` — the domain of the `sum`
+//!   aggregate.
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A totally ordered, NaN-free `f64`. `+∞` and `-∞` are permitted: they are
+/// the limit elements Figure 1 adjoins to the reals.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Real(f64);
+
+impl Real {
+    /// Wrap a finite-or-infinite float. Panics on NaN: NaN has no place in a
+    /// partial order and admitting it would silently break antisymmetry.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "Real cannot hold NaN");
+        Real(v)
+    }
+
+    /// Checked constructor; `None` on NaN.
+    pub fn try_new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(Real(v))
+        }
+    }
+
+    pub const INFINITY: Real = Real(f64::INFINITY);
+    pub const NEG_INFINITY: Real = Real(f64::NEG_INFINITY);
+    pub const ZERO: Real = Real(0.0);
+
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating addition on the extended reals. `+∞ + -∞` is not
+    /// well-defined; we resolve it to `+∞` deterministically and note that
+    /// range-restricted programs never produce it (sums mix only same-signed
+    /// infinities with finite values).
+    pub fn add(self, other: Real) -> Real {
+        let v = self.0 + other.0;
+        if v.is_nan() {
+            Real(f64::INFINITY)
+        } else {
+            Real(v)
+        }
+    }
+}
+
+impl Eq for Real {}
+
+impl PartialOrd for Real {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Real {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded by construction.
+        self.0.partial_cmp(&other.0).expect("Real is NaN-free")
+    }
+}
+
+impl std::hash::Hash for Real {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 to 0.0 so Hash is consistent with Eq.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == f64::INFINITY {
+            write!(f, "inf")
+        } else if self.0 == f64::NEG_INFINITY {
+            write!(f, "-inf")
+        } else if self.0.fract() == 0.0 && self.0.abs() < 1e15 {
+            write!(f, "{}", self.0 as i64)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<f64> for Real {
+    fn from(v: f64) -> Self {
+        Real::new(v)
+    }
+}
+
+impl From<i64> for Real {
+    fn from(v: i64) -> Self {
+        Real(v as f64)
+    }
+}
+
+macro_rules! real_domain {
+    ($(#[$doc:meta])* $name:ident, leq($a:ident, $b:ident) = $leq:expr,
+     join = $join:ident, meet = $meet:ident, bottom = $bot:expr, top = $top:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub Real);
+
+        impl $name {
+            pub fn new(v: f64) -> Self {
+                $name(Real::new(v))
+            }
+            pub fn get(self) -> f64 {
+                self.0.get()
+            }
+        }
+
+        impl Poset for $name {
+            fn leq(&self, other: &Self) -> bool {
+                let $a = self.0;
+                let $b = other.0;
+                $leq
+            }
+        }
+        impl JoinSemiLattice for $name {
+            fn join(&self, other: &Self) -> Self {
+                $name(self.0.$join(other.0))
+            }
+        }
+        impl MeetSemiLattice for $name {
+            fn meet(&self, other: &Self) -> Self {
+                $name(self.0.$meet(other.0))
+            }
+        }
+        impl BoundedJoin for $name {
+            fn bottom() -> Self {
+                $name($bot)
+            }
+        }
+        impl BoundedMeet for $name {
+            fn top() -> Self {
+                $name($top)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+real_domain!(
+    /// Row 1 of Figure 1: `(R ∪ {±∞}, ≤)`. Join is `max`, bottom is `-∞`.
+    MaxReal,
+    leq(a, b) = a <= b,
+    join = max, meet = min,
+    bottom = Real::NEG_INFINITY, top = Real::INFINITY
+);
+
+real_domain!(
+    /// Row 3 of Figure 1: `(R ∪ {±∞}, ≥)`. The order is *reversed*: joins
+    /// take the numeric minimum and the bottom element is `+∞`. Minimal
+    /// models over this domain have numerically *larger* values replaced by
+    /// smaller ones, which is why shortest-path costs shrink as the fixpoint
+    /// iteration proceeds (Example 3.1).
+    MinReal,
+    leq(a, b) = a >= b,
+    join = min, meet = max,
+    bottom = Real::INFINITY, top = Real::NEG_INFINITY
+);
+
+/// Rows 2 and 4 of Figure 1: `(R* ∪ {∞}, ≤)` — the nonnegative extended
+/// reals under `≤`, with bottom `0`. This is the domain of `sum` (adding an
+/// element, or growing an element, can only grow the sum — which is exactly
+/// why the paper restricts `sum` to *nonnegative* values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonNegReal(Real);
+
+impl NonNegReal {
+    /// Panics if `v` is negative or NaN: negative values are outside `R*`
+    /// and would make `sum` nonmonotonic.
+    pub fn new(v: f64) -> Self {
+        assert!(v >= 0.0, "NonNegReal requires a nonnegative value, got {v}");
+        NonNegReal(Real::new(v))
+    }
+
+    pub fn try_new(v: f64) -> Option<Self> {
+        if v.is_nan() || v < 0.0 {
+            None
+        } else {
+            Some(NonNegReal(Real(v)))
+        }
+    }
+
+    pub fn get(self) -> f64 {
+        self.0.get()
+    }
+
+    pub fn add(self, other: NonNegReal) -> NonNegReal {
+        NonNegReal(self.0.add(other.0))
+    }
+}
+
+impl Poset for NonNegReal {
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+impl JoinSemiLattice for NonNegReal {
+    fn join(&self, other: &Self) -> Self {
+        NonNegReal(self.0.max(other.0))
+    }
+}
+impl MeetSemiLattice for NonNegReal {
+    fn meet(&self, other: &Self) -> Self {
+        NonNegReal(self.0.min(other.0))
+    }
+}
+impl BoundedJoin for NonNegReal {
+    fn bottom() -> Self {
+        NonNegReal(Real::ZERO)
+    }
+}
+impl BoundedMeet for NonNegReal {
+    fn top() -> Self {
+        NonNegReal(Real::INFINITY)
+    }
+}
+impl fmt::Display for NonNegReal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn real_rejects_nan() {
+        let _ = Real::new(f64::NAN);
+    }
+
+    #[test]
+    fn real_total_order_includes_infinities() {
+        assert!(Real::NEG_INFINITY < Real::new(-1e300));
+        assert!(Real::new(1e300) < Real::INFINITY);
+        assert_eq!(Real::INFINITY.cmp(&Real::INFINITY), Ordering::Equal);
+    }
+
+    #[test]
+    fn max_real_order_and_bounds() {
+        let a = MaxReal::new(1.0);
+        let b = MaxReal::new(2.0);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert_eq!(a.join(&b), b);
+        assert_eq!(a.meet(&b), a);
+        assert!(MaxReal::bottom().leq(&a));
+        assert!(a.leq(&MaxReal::top()));
+    }
+
+    #[test]
+    fn min_real_order_is_reversed() {
+        let short = MinReal::new(1.0);
+        let long = MinReal::new(5.0);
+        // A longer path is *smaller* in the lattice order.
+        assert!(long.leq(&short));
+        assert!(!short.leq(&long));
+        assert_eq!(long.join(&short), short);
+        // Bottom is +inf: "no path known yet".
+        assert!(MinReal::bottom().leq(&long));
+        assert_eq!(MinReal::bottom(), MinReal::new(f64::INFINITY));
+    }
+
+    #[test]
+    fn nonneg_real_bottom_is_zero() {
+        assert_eq!(NonNegReal::bottom(), NonNegReal::new(0.0));
+        assert!(NonNegReal::bottom().leq(&NonNegReal::new(0.3)));
+        assert!(NonNegReal::new(0.3).leq(&NonNegReal::top()));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn nonneg_real_rejects_negative() {
+        let _ = NonNegReal::new(-0.5);
+    }
+
+    #[test]
+    fn extended_addition_saturates() {
+        assert_eq!(
+            Real::INFINITY.add(Real::new(3.0)),
+            Real::INFINITY
+        );
+        assert_eq!(
+            Real::NEG_INFINITY.add(Real::NEG_INFINITY),
+            Real::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn display_prints_integers_compactly() {
+        assert_eq!(Real::new(3.0).to_string(), "3");
+        assert_eq!(Real::new(0.5).to_string(), "0.5");
+        assert_eq!(Real::INFINITY.to_string(), "inf");
+        assert_eq!(Real::NEG_INFINITY.to_string(), "-inf");
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |r: Real| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Real::new(0.0), Real::new(-0.0));
+        assert_eq!(h(Real::new(0.0)), h(Real::new(-0.0)));
+    }
+}

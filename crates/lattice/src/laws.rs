@@ -1,0 +1,174 @@
+//! Reusable lattice-law assertions.
+//!
+//! These helpers are used by this crate's tests and by the property-based
+//! suites in dependent crates to check that every Figure-1 domain actually
+//! is the complete lattice the paper requires (Definition 2.1). Each helper
+//! panics with a descriptive message on violation, so they compose directly
+//! with `proptest`.
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::fmt::Debug;
+
+/// Partial-order laws on a sample triple.
+pub fn check_poset_laws<T: Poset + Debug>(a: &T, b: &T, c: &T) {
+    assert!(a.leq(a), "reflexivity failed for {a:?}");
+    if a.leq(b) && b.leq(c) {
+        assert!(a.leq(c), "transitivity failed: {a:?} ⊑ {b:?} ⊑ {c:?}");
+    }
+    if a.leq(b) && b.leq(a) {
+        assert!(
+            a.order_eq(b),
+            "antisymmetry bookkeeping failed for {a:?}, {b:?}"
+        );
+    }
+}
+
+/// Join-semilattice laws on a sample pair/triple.
+pub fn check_join_laws<T: JoinSemiLattice + Debug + PartialEq>(a: &T, b: &T, c: &T) {
+    let ab = a.join(b);
+    assert!(a.leq(&ab), "join is not an upper bound of lhs: {a:?} {b:?}");
+    assert!(b.leq(&ab), "join is not an upper bound of rhs: {a:?} {b:?}");
+    assert_eq!(a.join(b), b.join(a), "join not commutative");
+    assert_eq!(a.join(a), a.clone(), "join not idempotent on {a:?}");
+    assert_eq!(
+        a.join(&b.join(c)),
+        a.join(b).join(c),
+        "join not associative"
+    );
+    // Least upper bound: any common upper bound dominates the join.
+    if a.leq(c) && b.leq(c) {
+        assert!(ab.leq(c), "join not least: {a:?} {b:?} vs bound {c:?}");
+    }
+    // Order-consistency: a ⊑ b iff a ⊔ b = b.
+    assert_eq!(a.leq(b), &a.join(b) == b, "join/order inconsistency");
+}
+
+/// Meet-semilattice laws on a sample pair/triple.
+pub fn check_meet_laws<T: MeetSemiLattice + Debug + PartialEq>(a: &T, b: &T, c: &T) {
+    let ab = a.meet(b);
+    assert!(ab.leq(a), "meet is not a lower bound of lhs");
+    assert!(ab.leq(b), "meet is not a lower bound of rhs");
+    assert_eq!(a.meet(b), b.meet(a), "meet not commutative");
+    assert_eq!(a.meet(a), a.clone(), "meet not idempotent");
+    assert_eq!(
+        a.meet(&b.meet(c)),
+        a.meet(b).meet(c),
+        "meet not associative"
+    );
+    if c.leq(a) && c.leq(b) {
+        assert!(c.leq(&ab), "meet not greatest: {a:?} {b:?} vs bound {c:?}");
+    }
+    assert_eq!(a.leq(b), &a.meet(b) == a, "meet/order inconsistency");
+}
+
+/// Absorption laws tying join and meet together.
+pub fn check_absorption<T: JoinSemiLattice + MeetSemiLattice + Debug + PartialEq>(a: &T, b: &T) {
+    assert_eq!(a.join(&a.meet(b)), a.clone(), "absorption (join over meet)");
+    assert_eq!(a.meet(&a.join(b)), a.clone(), "absorption (meet over join)");
+}
+
+/// Bound laws: `⊥ ⊑ a ⊑ ⊤`.
+pub fn check_bounds<T: BoundedJoin + BoundedMeet + Debug>(a: &T) {
+    assert!(T::bottom().leq(a), "bottom not below {a:?}");
+    assert!(a.leq(&T::top()), "top not above {a:?}");
+}
+
+/// All of the above on a sample triple.
+pub fn check_complete_lattice_laws<T>(a: &T, b: &T, c: &T)
+where
+    T: BoundedJoin + BoundedMeet + Debug + PartialEq,
+{
+    check_poset_laws(a, b, c);
+    check_join_laws(a, b, c);
+    check_meet_laws(a, b, c);
+    check_absorption(a, b);
+    check_bounds(a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bools::{BoolAnd, BoolOr};
+    use crate::float::{MaxReal, MinReal, NonNegReal};
+    use crate::nat::{NatInf, PosNatInf};
+
+    #[test]
+    fn max_real_satisfies_lattice_laws() {
+        let samples = [-1.5, 0.0, 2.0, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_complete_lattice_laws(
+                        &MaxReal::new(a),
+                        &MaxReal::new(b),
+                        &MaxReal::new(c),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_real_satisfies_lattice_laws() {
+        let samples = [-1.5, 0.0, 2.0, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_complete_lattice_laws(
+                        &MinReal::new(a),
+                        &MinReal::new(b),
+                        &MinReal::new(c),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonneg_real_satisfies_lattice_laws() {
+        let samples = [0.0, 0.5, 3.0, f64::INFINITY];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    check_complete_lattice_laws(
+                        &NonNegReal::new(a),
+                        &NonNegReal::new(b),
+                        &NonNegReal::new(c),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bool_domains_satisfy_lattice_laws() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    check_complete_lattice_laws(&BoolOr(a), &BoolOr(b), &BoolOr(c));
+                    check_complete_lattice_laws(&BoolAnd(a), &BoolAnd(b), &BoolAnd(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nat_domains_satisfy_lattice_laws() {
+        let nats = [NatInf::Fin(0), NatInf::Fin(1), NatInf::Fin(9), NatInf::Inf];
+        for &a in &nats {
+            for &b in &nats {
+                for &c in &nats {
+                    check_complete_lattice_laws(&a, &b, &c);
+                }
+            }
+        }
+        let pos = [PosNatInf::new(1), PosNatInf::new(4), PosNatInf::INF];
+        for &a in &pos {
+            for &b in &pos {
+                for &c in &pos {
+                    check_complete_lattice_laws(&a, &b, &c);
+                }
+            }
+        }
+    }
+}

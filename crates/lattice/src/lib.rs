@@ -1,0 +1,42 @@
+//! Complete lattices and multiset orderings for monotonic aggregation.
+//!
+//! This crate provides the order-theoretic substrate of the Ross & Sagiv
+//! (PODS 1992) semantics:
+//!
+//! * the [`Poset`] / [`JoinSemiLattice`] / [`MeetSemiLattice`] /
+//!   [`CompleteLattice`] trait hierarchy (Definition 2.1 of the paper),
+//! * every cost domain listed in Figure 1 of the paper as a concrete type
+//!   ([`MaxReal`], [`MinReal`], [`NonNegReal`], [`BoolOr`], [`BoolAnd`],
+//!   [`NatInf`], [`PosNatInf`], [`PowerSet`]) plus the [`Dual`] and
+//!   [`Pair`] combinators,
+//! * finite [`Multiset`]s together with the paper's multiset ordering
+//!   `⊑_D` from Section 4.1 (an injective embedding that is order-respecting
+//!   pointwise), decided by bipartite matching in the general case and by a
+//!   sorted sweep for totally ordered element types.
+//!
+//! Everything here is pure data-structure code with no dependencies; the
+//! dynamically-typed cost domains used by the evaluation engine
+//! (`maglog-engine`) are built on these types.
+
+pub mod bools;
+pub mod dual;
+pub mod float;
+pub mod laws;
+pub mod matching;
+pub mod multiset;
+pub mod nat;
+pub mod pair;
+pub mod set;
+pub mod traits;
+
+pub use bools::{BoolAnd, BoolOr};
+pub use dual::Dual;
+pub use float::{MaxReal, MinReal, NonNegReal, Real};
+pub use matching::BipartiteMatcher;
+pub use multiset::Multiset;
+pub use nat::{NatInf, PosNatInf};
+pub use pair::Pair;
+pub use set::PowerSet;
+pub use traits::{
+    BoundedJoin, BoundedMeet, CompleteLattice, JoinSemiLattice, Lattice, MeetSemiLattice, Poset,
+};

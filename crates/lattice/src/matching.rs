@@ -1,0 +1,191 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+//!
+//! The paper's multiset ordering `I ⊑_D I'` (Section 4.1) asks for an
+//! *injective* map from the elements of `I` into the elements of `I'` that
+//! is pointwise order-respecting. For a partially ordered element domain
+//! that is exactly a perfect matching of the left side in the bipartite
+//! graph "left element `i` may map to right element `j` iff `i ⊑ j`".
+//! Hopcroft–Karp decides this in `O(E √V)`.
+
+/// A bipartite graph given as adjacency lists from `n_left` left vertices to
+/// `n_right` right vertices, with a maximum-matching solver.
+#[derive(Clone, Debug)]
+pub struct BipartiteMatcher {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BipartiteMatcher {
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteMatcher {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
+    }
+
+    /// Add an edge from left vertex `l` to right vertex `r`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        debug_assert!(l < self.n_left && r < self.n_right);
+        self.adj[l].push(r);
+    }
+
+    /// Size of a maximum matching.
+    pub fn max_matching(&self) -> usize {
+        self.solve().0
+    }
+
+    /// Does a matching saturating every left vertex exist?
+    pub fn has_left_perfect_matching(&self) -> bool {
+        self.max_matching() == self.n_left
+    }
+
+    /// Run Hopcroft–Karp; returns (matching size, pair_of_left).
+    pub fn solve(&self) -> (usize, Vec<usize>) {
+        let mut pair_l = vec![NIL; self.n_left];
+        let mut pair_r = vec![NIL; self.n_right];
+        let mut dist = vec![0usize; self.n_left];
+        let mut matching = 0;
+
+        while self.bfs(&pair_l, &pair_r, &mut dist) {
+            for l in 0..self.n_left {
+                if pair_l[l] == NIL && self.dfs(l, &mut pair_l, &mut pair_r, &mut dist) {
+                    matching += 1;
+                }
+            }
+        }
+        (matching, pair_l)
+    }
+
+    /// Layered BFS from free left vertices; returns whether an augmenting
+    /// path exists.
+    fn bfs(&self, pair_l: &[usize], pair_r: &[usize], dist: &mut [usize]) -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        let inf = usize::MAX;
+        for l in 0..self.n_left {
+            if pair_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = inf;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &self.adj[l] {
+                let next = pair_r[r];
+                if next == NIL {
+                    found = true;
+                } else if dist[next] == inf {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found
+    }
+
+    fn dfs(
+        &self,
+        l: usize,
+        pair_l: &mut [usize],
+        pair_r: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        for i in 0..self.adj[l].len() {
+            let r = self.adj[l][i];
+            let next = pair_r[r];
+            let ok = next == NIL
+                || (dist[next] == dist[l] + 1 && self.dfs(next, pair_l, pair_r, dist));
+            if ok {
+                pair_l[l] = r;
+                pair_r[r] = l;
+                return true;
+            }
+        }
+        dist[l] = usize::MAX;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let m = BipartiteMatcher::new(0, 0);
+        assert_eq!(m.max_matching(), 0);
+        assert!(m.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn simple_perfect_matching() {
+        let mut m = BipartiteMatcher::new(2, 2);
+        m.add_edge(0, 0);
+        m.add_edge(0, 1);
+        m.add_edge(1, 0);
+        assert_eq!(m.max_matching(), 2);
+        assert!(m.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn blocked_matching() {
+        // Both left vertices can only map to right vertex 0.
+        let mut m = BipartiteMatcher::new(2, 2);
+        m.add_edge(0, 0);
+        m.add_edge(1, 0);
+        assert_eq!(m.max_matching(), 1);
+        assert!(!m.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn isolated_left_vertex_blocks_perfection() {
+        let mut m = BipartiteMatcher::new(2, 3);
+        m.add_edge(0, 2);
+        assert_eq!(m.max_matching(), 1);
+        assert!(!m.has_left_perfect_matching());
+    }
+
+    #[test]
+    fn larger_bipartite_instance() {
+        // Left i connects to right i and i+1 (mod 5): a 5+5 crown, perfect.
+        let mut m = BipartiteMatcher::new(5, 5);
+        for i in 0..5 {
+            m.add_edge(i, i);
+            m.add_edge(i, (i + 1) % 5);
+        }
+        assert_eq!(m.max_matching(), 5);
+    }
+
+    #[test]
+    fn augmenting_paths_are_found() {
+        // A case where a greedy matching must be augmented: left 0 -> {0},
+        // left 1 -> {0, 1}. Greedy could match 1->0 and strand 0.
+        let mut m = BipartiteMatcher::new(2, 2);
+        m.add_edge(1, 0);
+        m.add_edge(1, 1);
+        m.add_edge(0, 0);
+        assert_eq!(m.max_matching(), 2);
+    }
+
+    #[test]
+    fn solve_returns_valid_pairing() {
+        let mut m = BipartiteMatcher::new(3, 3);
+        for l in 0..3 {
+            for r in 0..3 {
+                m.add_edge(l, r);
+            }
+        }
+        let (size, pairs) = m.solve();
+        assert_eq!(size, 3);
+        let mut seen = std::collections::HashSet::new();
+        for &r in &pairs {
+            assert!(r < 3);
+            assert!(seen.insert(r), "matching must be injective");
+        }
+    }
+}

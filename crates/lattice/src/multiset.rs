@@ -1,0 +1,308 @@
+//! Finite multisets and the paper's multiset ordering `⊑_D`.
+//!
+//! Section 4.1: for `I, I' ∈ M(D)`, `I ⊑_D I'` iff there is an *injective*
+//! map `m` from the elements of `I` to the elements of `I'` with
+//! `i ⊑_D m(i)` for every `i ∈ I`. Aggregate functions are *monotonic* when
+//! they respect this ordering, and *pseudo-monotonic* (Definition 4.1) when
+//! they respect it restricted to equal cardinalities.
+//!
+//! Restricted to finite multisets `⊑_D` is a partial order (the paper notes
+//! antisymmetry can fail for infinite multisets — see
+//! `leq_by_matching`'s docs for the classic `{1,2,3,...} / {2,3,4,...}`
+//! example, which cannot arise here because we only represent finite data).
+
+use crate::matching::BipartiteMatcher;
+use crate::traits::Poset;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite multiset over `T`, stored as value → multiplicity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord> Default for Multiset<T> {
+    fn default() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Remove one occurrence; returns whether the item was present.
+    pub fn remove(&mut self, item: &T) -> bool {
+        match self.counts.get_mut(item) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(item);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total number of elements, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn multiplicity(&self, item: &T) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(value, multiplicity)` pairs in value order.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Iterate over every element, repeating per multiplicity, in value
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(t, &n)| std::iter::repeat(t).take(n))
+    }
+
+    /// Multiset sum (`⊎`).
+    pub fn sum(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (t, n) in other.iter_counts() {
+            *out.counts.entry(t.clone()).or_insert(0) += n;
+            out.len += n;
+        }
+        out
+    }
+
+    /// Decide `self ⊑_D other` for a *totally ordered* element domain using
+    /// a sorted two-pointer sweep: greedily match each element of `self`
+    /// (ascending) against the smallest unused element of `other` that
+    /// dominates it. For chains this greedy strategy is exact.
+    ///
+    /// `leq_elem(a, b)` must be the domain order `a ⊑_D b`, and must be a
+    /// total order for this fast path to be correct (use
+    /// [`Multiset::leq_by_matching`] otherwise).
+    pub fn leq_total_order<F: Fn(&T, &T) -> bool>(&self, other: &Self, leq_elem: F) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        // Walk both in ascending ⊑-order. BTreeMap iterates in `Ord` order,
+        // which may be the reverse of ⊑ (e.g. MinReal); sort explicitly.
+        let mut left: Vec<&T> = self.iter().collect();
+        let mut right: Vec<&T> = other.iter().collect();
+        let by_domain = |a: &&T, b: &&T| {
+            if leq_elem(a, b) {
+                if leq_elem(b, a) {
+                    std::cmp::Ordering::Equal
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        };
+        left.sort_by(by_domain);
+        right.sort_by(by_domain);
+        // Greedy: the largest k left elements must be dominated by the
+        // largest k right elements, pairing largest-with-largest.
+        let mut ri = right.len();
+        for li in (0..left.len()).rev() {
+            ri -= 1;
+            if !leq_elem(left[li], right[ri]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decide `self ⊑_D other` for an arbitrary partial order on elements by
+    /// reduction to bipartite matching: left vertices are occurrences in
+    /// `self`, right vertices occurrences in `other`, edges wherever
+    /// `l ⊑_D r`; `self ⊑_D other` iff a left-perfect matching exists.
+    pub fn leq_by_matching<F: Fn(&T, &T) -> bool>(&self, other: &Self, leq_elem: F) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        if self.len == 0 {
+            return true;
+        }
+        let left: Vec<&T> = self.iter().collect();
+        let right: Vec<&T> = other.iter().collect();
+        let mut m = BipartiteMatcher::new(left.len(), right.len());
+        for (li, l) in left.iter().enumerate() {
+            for (ri, r) in right.iter().enumerate() {
+                if leq_elem(l, r) {
+                    m.add_edge(li, ri);
+                }
+            }
+        }
+        m.has_left_perfect_matching()
+    }
+}
+
+impl<T: Ord + Clone + Poset> Multiset<T> {
+    /// The paper's `⊑_D`, using the element type's own [`Poset`] order.
+    pub fn leq_multiset(&self, other: &Self) -> bool {
+        self.leq_by_matching(other, |a, b| a.leq(b))
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for item in iter {
+            m.insert(item);
+        }
+        m
+    }
+}
+
+impl<T: Ord + Clone + fmt::Display> fmt::Display for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::MaxReal;
+    use crate::pair::Pair;
+
+    fn ms(items: &[i64]) -> Multiset<i64> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn multiplicities_are_tracked() {
+        let m = ms(&[1, 1, 2]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.multiplicity(&1), 2);
+        assert_eq!(m.multiplicity(&2), 1);
+        assert_eq!(m.multiplicity(&7), 0);
+    }
+
+    #[test]
+    fn remove_decrements() {
+        let mut m = ms(&[1, 1]);
+        assert!(m.remove(&1));
+        assert_eq!(m.multiplicity(&1), 1);
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sum_adds_multiplicities() {
+        let m = ms(&[1, 2]).sum(&ms(&[2, 3]));
+        assert_eq!(m.multiplicity(&2), 2);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn total_order_leq_basic() {
+        let leq = |a: &i64, b: &i64| a <= b;
+        assert!(ms(&[]).leq_total_order(&ms(&[1]), leq));
+        assert!(ms(&[1, 2]).leq_total_order(&ms(&[1, 3]), leq));
+        assert!(ms(&[1, 2]).leq_total_order(&ms(&[0, 5, 9]), leq)); // grow + raise
+        assert!(!ms(&[5]).leq_total_order(&ms(&[4]), leq));
+        assert!(!ms(&[1, 1]).leq_total_order(&ms(&[1]), leq)); // cardinality
+    }
+
+    #[test]
+    fn total_order_leq_respects_multiplicity() {
+        let leq = |a: &i64, b: &i64| a <= b;
+        // {3,3} ⊑ {3,4} but {3,3} ⋢ {2,3}: the second 3 has nothing ≥ it left.
+        assert!(ms(&[3, 3]).leq_total_order(&ms(&[3, 4]), leq));
+        assert!(!ms(&[3, 3]).leq_total_order(&ms(&[2, 3]), leq));
+    }
+
+    #[test]
+    fn matching_leq_agrees_with_total_on_chains() {
+        let leq = |a: &i64, b: &i64| a <= b;
+        let cases = [
+            (vec![1, 2], vec![1, 3]),
+            (vec![3, 3], vec![2, 3]),
+            (vec![], vec![]),
+            (vec![5, 5, 5], vec![5, 5, 5]),
+            (vec![1], vec![]),
+            (vec![0, 9], vec![9, 9]),
+        ];
+        for (a, b) in cases {
+            let ma: Multiset<i64> = a.iter().copied().collect();
+            let mb: Multiset<i64> = b.iter().copied().collect();
+            assert_eq!(
+                ma.leq_total_order(&mb, leq),
+                ma.leq_by_matching(&mb, leq),
+                "disagreement on {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_handles_genuine_partial_orders() {
+        // Pairs under the pointwise order: (1,0) and (0,1) are incomparable.
+        type P = Pair<MaxReal, MaxReal>;
+        let p = |a: f64, b: f64| Pair(MaxReal::new(a), MaxReal::new(b));
+        let l: Multiset<PairWrap> = [PairWrap(p(1.0, 0.0)), PairWrap(p(0.0, 1.0))]
+            .into_iter()
+            .collect();
+        let r1: Multiset<PairWrap> = [PairWrap(p(1.0, 1.0)), PairWrap(p(1.0, 1.0))]
+            .into_iter()
+            .collect();
+        let r2: Multiset<PairWrap> = [PairWrap(p(2.0, 0.0)), PairWrap(p(2.0, 0.0))]
+            .into_iter()
+            .collect();
+        assert!(l.leq_by_matching(&r1, |a, b| Poset::leq(&a.0, &b.0)));
+        // (0,1) fits under neither (2,0): no perfect matching.
+        assert!(!l.leq_by_matching(&r2, |a, b| Poset::leq(&a.0, &b.0)));
+
+        // Ord wrapper so the multiset can store pairs; the *order used for
+        // ⊑* is the Poset order passed to leq_by_matching, not this Ord.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct PairWrap(P);
+        impl PartialOrd for PairWrap {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for PairWrap {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                (self.0 .0, self.0 .1).cmp(&(other.0 .0, other.0 .1))
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_multiset_braces() {
+        assert_eq!(ms(&[2, 1, 1]).to_string(), "{|1, 1, 2|}");
+    }
+}

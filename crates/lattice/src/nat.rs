@@ -1,0 +1,175 @@
+//! Natural-number cost domains (rows 7 and 8 of Figure 1).
+//!
+//! * [`NatInf`]: `(N ∪ {∞}, ≤)`, bottom = `0` — the *range* of the `count`
+//!   aggregate;
+//! * [`PosNatInf`]: `(N⁺ ∪ {∞}, ≤)`, bottom = `1` — the domain and range of
+//!   the `product` aggregate (bottom must be the multiplicative identity for
+//!   `product(∅)` to be the bottom of the range).
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::fmt;
+
+/// A natural number extended with `∞`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NatInf {
+    Fin(u64),
+    Inf,
+}
+
+impl NatInf {
+    /// Saturating addition: `∞` absorbs.
+    pub fn add(self, other: NatInf) -> NatInf {
+        match (self, other) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => {
+                a.checked_add(b).map_or(NatInf::Inf, NatInf::Fin)
+            }
+            _ => NatInf::Inf,
+        }
+    }
+
+    /// Saturating multiplication: `∞` absorbs (note `0 · ∞` does not occur
+    /// in `PosNatInf`, and we resolve it to `∞` in `NatInf` for determinism).
+    pub fn mul(self, other: NatInf) -> NatInf {
+        match (self, other) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => {
+                a.checked_mul(b).map_or(NatInf::Inf, NatInf::Fin)
+            }
+            _ => NatInf::Inf,
+        }
+    }
+}
+
+impl Poset for NatInf {
+    fn leq(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+impl JoinSemiLattice for NatInf {
+    fn join(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+impl MeetSemiLattice for NatInf {
+    fn meet(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+}
+impl BoundedJoin for NatInf {
+    fn bottom() -> Self {
+        NatInf::Fin(0)
+    }
+}
+impl BoundedMeet for NatInf {
+    fn top() -> Self {
+        NatInf::Inf
+    }
+}
+impl fmt::Display for NatInf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NatInf::Fin(n) => write!(f, "{n}"),
+            NatInf::Inf => write!(f, "inf"),
+        }
+    }
+}
+
+/// A *positive* natural number extended with `∞`; bottom is `1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PosNatInf(NatInf);
+
+impl PosNatInf {
+    /// Panics on zero: `0` is outside `N⁺` and would break the monotonicity
+    /// of `product` (multiplying by zero can shrink the result).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "PosNatInf requires a positive value, got {n}");
+        PosNatInf(NatInf::Fin(n))
+    }
+
+    pub const INF: PosNatInf = PosNatInf(NatInf::Inf);
+
+    pub fn get(self) -> NatInf {
+        self.0
+    }
+
+    pub fn mul(self, other: PosNatInf) -> PosNatInf {
+        PosNatInf(self.0.mul(other.0))
+    }
+}
+
+impl Poset for PosNatInf {
+    fn leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+impl JoinSemiLattice for PosNatInf {
+    fn join(&self, other: &Self) -> Self {
+        PosNatInf(self.0.join(&other.0))
+    }
+}
+impl MeetSemiLattice for PosNatInf {
+    fn meet(&self, other: &Self) -> Self {
+        PosNatInf(self.0.meet(&other.0))
+    }
+}
+impl BoundedJoin for PosNatInf {
+    fn bottom() -> Self {
+        PosNatInf(NatInf::Fin(1))
+    }
+}
+impl BoundedMeet for PosNatInf {
+    fn top() -> Self {
+        PosNatInf(NatInf::Inf)
+    }
+}
+impl fmt::Display for PosNatInf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_inf_order() {
+        assert!(NatInf::Fin(3).leq(&NatInf::Fin(5)));
+        assert!(NatInf::Fin(u64::MAX).leq(&NatInf::Inf));
+        assert!(!NatInf::Inf.leq(&NatInf::Fin(0)));
+        assert_eq!(NatInf::bottom(), NatInf::Fin(0));
+        assert_eq!(NatInf::top(), NatInf::Inf);
+    }
+
+    #[test]
+    fn nat_inf_saturating_arithmetic() {
+        assert_eq!(NatInf::Fin(2).add(NatInf::Fin(3)), NatInf::Fin(5));
+        assert_eq!(NatInf::Fin(u64::MAX).add(NatInf::Fin(1)), NatInf::Inf);
+        assert_eq!(NatInf::Inf.add(NatInf::Fin(0)), NatInf::Inf);
+        assert_eq!(NatInf::Fin(6).mul(NatInf::Fin(7)), NatInf::Fin(42));
+        assert_eq!(NatInf::Inf.mul(NatInf::Fin(2)), NatInf::Inf);
+    }
+
+    #[test]
+    fn pos_nat_bottom_is_one() {
+        assert_eq!(PosNatInf::bottom(), PosNatInf::new(1));
+        assert!(PosNatInf::bottom().leq(&PosNatInf::new(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pos_nat_rejects_zero() {
+        let _ = PosNatInf::new(0);
+    }
+
+    #[test]
+    fn pos_nat_product_saturates() {
+        assert_eq!(
+            PosNatInf::new(2).mul(PosNatInf::INF),
+            PosNatInf::INF
+        );
+        assert_eq!(
+            PosNatInf::new(3).mul(PosNatInf::new(4)),
+            PosNatInf::new(12)
+        );
+    }
+}

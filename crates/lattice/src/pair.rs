@@ -1,0 +1,87 @@
+//! Pointwise product of lattices.
+//!
+//! Definition 3.6's remark: when a program has cost arguments of several
+//! different domains, `⊑` on interpretations composes the per-domain orders.
+//! `Pair<A, B>` is the binary building block of that composition; nesting
+//! pairs yields arbitrary finite products.
+
+use crate::traits::{BoundedJoin, BoundedMeet, JoinSemiLattice, MeetSemiLattice, Poset};
+use std::fmt;
+
+/// The product lattice `A × B`, ordered pointwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A: Poset, B: Poset> Poset for Pair<A, B> {
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+}
+
+impl<A: JoinSemiLattice, B: JoinSemiLattice> JoinSemiLattice for Pair<A, B> {
+    fn join(&self, other: &Self) -> Self {
+        Pair(self.0.join(&other.0), self.1.join(&other.1))
+    }
+}
+
+impl<A: MeetSemiLattice, B: MeetSemiLattice> MeetSemiLattice for Pair<A, B> {
+    fn meet(&self, other: &Self) -> Self {
+        Pair(self.0.meet(&other.0), self.1.meet(&other.1))
+    }
+}
+
+impl<A: BoundedJoin, B: BoundedJoin> BoundedJoin for Pair<A, B> {
+    fn bottom() -> Self {
+        Pair(A::bottom(), B::bottom())
+    }
+}
+
+impl<A: BoundedMeet, B: BoundedMeet> BoundedMeet for Pair<A, B> {
+    fn top() -> Self {
+        Pair(A::top(), B::top())
+    }
+}
+
+impl<A: fmt::Display, B: fmt::Display> fmt::Display for Pair<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.0, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bools::BoolOr;
+    use crate::float::{MaxReal, MinReal};
+
+    #[test]
+    fn pointwise_order_requires_both_coordinates() {
+        let a = Pair(MaxReal::new(1.0), BoolOr(false));
+        let b = Pair(MaxReal::new(2.0), BoolOr(true));
+        let c = Pair(MaxReal::new(0.0), BoolOr(true));
+        assert!(a.leq(&b));
+        assert!(!a.leq(&c)); // first coordinate decreases
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn mixed_domain_product() {
+        // A MaxReal × MinReal product: coordinates move in opposite numeric
+        // directions as the lattice order increases.
+        let a = Pair(MaxReal::new(1.0), MinReal::new(9.0));
+        let b = Pair(MaxReal::new(3.0), MinReal::new(2.0));
+        assert!(a.leq(&b));
+        assert_eq!(
+            Pair::<MaxReal, MinReal>::bottom(),
+            Pair(MaxReal::new(f64::NEG_INFINITY), MinReal::new(f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn join_and_meet_are_pointwise() {
+        let a = Pair(MaxReal::new(1.0), MaxReal::new(5.0));
+        let b = Pair(MaxReal::new(4.0), MaxReal::new(2.0));
+        assert_eq!(a.join(&b), Pair(MaxReal::new(4.0), MaxReal::new(5.0)));
+        assert_eq!(a.meet(&b), Pair(MaxReal::new(1.0), MaxReal::new(2.0)));
+    }
+}

@@ -1,0 +1,128 @@
+//! The order-theoretic trait hierarchy.
+//!
+//! Definition 2.1 of the paper: a set `D` partially ordered by `⊑` is a
+//! *complete lattice* if every subset has both a least upper bound and a
+//! greatest lower bound. Operationally we only ever take bounds of finite
+//! (possibly empty) families, so a complete lattice is captured by binary
+//! `join`/`meet` plus the bounds of the empty family, `bottom` (= `⊔ ∅`)
+//! and `top` (= `⊓ ∅`).
+
+/// A partially ordered set.
+///
+/// `leq` must be reflexive, transitive, and antisymmetric. We deliberately do
+/// not reuse [`PartialOrd`]: several domains in Figure 1 of the paper use the
+/// *reverse* of a type's natural order (e.g. the `min` domain orders reals by
+/// `≥`), and conflating the two invites subtle bugs.
+pub trait Poset {
+    /// Is `self ⊑ other` in this domain's order?
+    fn leq(&self, other: &Self) -> bool;
+
+    /// Is `self ⊑ other` but not `other ⊑ self`?
+    fn lt(&self, other: &Self) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Are the two elements equivalent in the order (`⊑` both ways)?
+    ///
+    /// For well-behaved (antisymmetric) implementations this coincides with
+    /// `==`, but it is the order-theoretic notion the laws are stated in.
+    fn order_eq(&self, other: &Self) -> bool {
+        self.leq(other) && other.leq(self)
+    }
+}
+
+/// A join-semilattice: every pair of elements has a least upper bound.
+pub trait JoinSemiLattice: Poset + Clone {
+    /// Least upper bound of `self` and `other`.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// A meet-semilattice: every pair of elements has a greatest lower bound.
+pub trait MeetSemiLattice: Poset + Clone {
+    /// Greatest lower bound of `self` and `other`.
+    fn meet(&self, other: &Self) -> Self;
+}
+
+/// A join-semilattice with a least element (`⊥ = ⊔ ∅`).
+pub trait BoundedJoin: JoinSemiLattice {
+    /// The least element of the domain.
+    fn bottom() -> Self;
+
+    /// Least upper bound of a finite family (`⊥` for the empty family).
+    fn join_all<I: IntoIterator<Item = Self>>(items: I) -> Self {
+        items
+            .into_iter()
+            .fold(Self::bottom(), |acc, x| acc.join(&x))
+    }
+}
+
+/// A meet-semilattice with a greatest element (`⊤ = ⊓ ∅`).
+pub trait BoundedMeet: MeetSemiLattice {
+    /// The greatest element of the domain.
+    fn top() -> Self;
+
+    /// Greatest lower bound of a finite family (`⊤` for the empty family).
+    fn meet_all<I: IntoIterator<Item = Self>>(items: I) -> Self {
+        items.into_iter().fold(Self::top(), |acc, x| acc.meet(&x))
+    }
+}
+
+/// A lattice: both joins and meets of pairs exist.
+pub trait Lattice: JoinSemiLattice + MeetSemiLattice {}
+impl<T: JoinSemiLattice + MeetSemiLattice> Lattice for T {}
+
+/// A (finitarily) complete lattice: a lattice with both bounds.
+///
+/// All Figure-1 cost domains implement this. The paper requires completeness
+/// so that Tarski's theorem (Theorem 2.1) applies to `T_P` and so that the
+/// default value of a default-value cost predicate (the `⊥` of its domain,
+/// Section 2.3.2) always exists.
+pub trait CompleteLattice: BoundedJoin + BoundedMeet {}
+impl<T: BoundedJoin + BoundedMeet> CompleteLattice for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct MaxU32(u32);
+    impl Poset for MaxU32 {
+        fn leq(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+    }
+    impl JoinSemiLattice for MaxU32 {
+        fn join(&self, other: &Self) -> Self {
+            MaxU32(self.0.max(other.0))
+        }
+    }
+    impl BoundedJoin for MaxU32 {
+        fn bottom() -> Self {
+            MaxU32(0)
+        }
+    }
+
+    #[test]
+    fn lt_is_strict() {
+        assert!(MaxU32(1).lt(&MaxU32(2)));
+        assert!(!MaxU32(2).lt(&MaxU32(2)));
+        assert!(!MaxU32(3).lt(&MaxU32(2)));
+    }
+
+    #[test]
+    fn join_all_of_empty_is_bottom() {
+        assert_eq!(MaxU32::join_all(std::iter::empty()), MaxU32(0));
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let xs = vec![MaxU32(3), MaxU32(7), MaxU32(5)];
+        assert_eq!(MaxU32::join_all(xs), MaxU32(7));
+    }
+
+    #[test]
+    fn order_eq_matches_eq_for_antisymmetric_posets() {
+        assert!(MaxU32(4).order_eq(&MaxU32(4)));
+        assert!(!MaxU32(4).order_eq(&MaxU32(5)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based verification of the lattice laws (Definition 2.1) for
+//! every Figure-1 domain, and of the multiset ordering `⊑_D` (Section 4.1).
+
+use maglog_lattice::laws::check_complete_lattice_laws;
+use maglog_lattice::{
+    BipartiteMatcher, BoolAnd, BoolOr, Dual, MaxReal, MinReal, Multiset, NatInf, NonNegReal,
+    Pair, PosNatInf, Poset,
+};
+use proptest::prelude::*;
+
+fn finite_or_inf() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => (-1e6..1e6f64),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn max_real_laws(a in finite_or_inf(), b in finite_or_inf(), c in finite_or_inf()) {
+        check_complete_lattice_laws(&MaxReal::new(a), &MaxReal::new(b), &MaxReal::new(c));
+    }
+
+    #[test]
+    fn min_real_laws(a in finite_or_inf(), b in finite_or_inf(), c in finite_or_inf()) {
+        check_complete_lattice_laws(&MinReal::new(a), &MinReal::new(b), &MinReal::new(c));
+    }
+
+    #[test]
+    fn nonneg_real_laws(a in 0.0..1e6f64, b in 0.0..1e6f64, c in 0.0..1e6f64) {
+        check_complete_lattice_laws(
+            &NonNegReal::new(a),
+            &NonNegReal::new(b),
+            &NonNegReal::new(c),
+        );
+    }
+
+    #[test]
+    fn nat_inf_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        check_complete_lattice_laws(&NatInf::Fin(a), &NatInf::Fin(b), &NatInf::Fin(c));
+        check_complete_lattice_laws(&NatInf::Fin(a), &NatInf::Inf, &NatInf::Fin(c));
+    }
+
+    #[test]
+    fn pos_nat_laws(a in 1u64..1000, b in 1u64..1000, c in 1u64..1000) {
+        check_complete_lattice_laws(
+            &PosNatInf::new(a),
+            &PosNatInf::new(b),
+            &PosNatInf::new(c),
+        );
+    }
+
+    #[test]
+    fn bool_laws(a: bool, b: bool, c: bool) {
+        check_complete_lattice_laws(&BoolOr(a), &BoolOr(b), &BoolOr(c));
+        check_complete_lattice_laws(&BoolAnd(a), &BoolAnd(b), &BoolAnd(c));
+    }
+
+    #[test]
+    fn dual_laws(a in finite_or_inf(), b in finite_or_inf(), c in finite_or_inf()) {
+        check_complete_lattice_laws(
+            &Dual(MaxReal::new(a)),
+            &Dual(MaxReal::new(b)),
+            &Dual(MaxReal::new(c)),
+        );
+    }
+
+    #[test]
+    fn pair_laws(
+        a1 in finite_or_inf(), a2 in 0.0..1e6f64,
+        b1 in finite_or_inf(), b2 in 0.0..1e6f64,
+        c1 in finite_or_inf(), c2 in 0.0..1e6f64,
+    ) {
+        check_complete_lattice_laws(
+            &Pair(MaxReal::new(a1), NonNegReal::new(a2)),
+            &Pair(MaxReal::new(b1), NonNegReal::new(b2)),
+            &Pair(MaxReal::new(c1), NonNegReal::new(c2)),
+        );
+    }
+
+    #[test]
+    fn dual_order_is_exact_reverse(a in finite_or_inf(), b in finite_or_inf()) {
+        let (x, y) = (MaxReal::new(a), MaxReal::new(b));
+        prop_assert_eq!(Dual(x).leq(&Dual(y)), y.leq(&x));
+    }
+}
+
+// ---- Multiset ordering ----
+
+fn small_multiset() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..30, 0..8)
+}
+
+proptest! {
+    #[test]
+    fn multiset_leq_reflexive(xs in small_multiset()) {
+        let m: Multiset<i64> = xs.iter().copied().collect();
+        prop_assert!(m.leq_total_order(&m, |a, b| a <= b));
+        prop_assert!(m.leq_by_matching(&m, |a, b| a <= b));
+    }
+
+    #[test]
+    fn sweep_agrees_with_matching_on_total_orders(
+        xs in small_multiset(),
+        ys in small_multiset(),
+    ) {
+        let a: Multiset<i64> = xs.iter().copied().collect();
+        let b: Multiset<i64> = ys.iter().copied().collect();
+        prop_assert_eq!(
+            a.leq_total_order(&b, |x, y| x <= y),
+            a.leq_by_matching(&b, |x, y| x <= y)
+        );
+    }
+
+    #[test]
+    fn raising_and_growing_preserves_leq(
+        xs in small_multiset(),
+        bumps in prop::collection::vec(0i64..5, 0..8),
+        extra in small_multiset(),
+    ) {
+        // Construct b from a by raising elements pointwise and adding more:
+        // a ⊑_D b must hold by construction (Section 4.1's intuition).
+        let a: Multiset<i64> = xs.iter().copied().collect();
+        let mut raised: Vec<i64> = xs
+            .iter()
+            .zip(bumps.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &d)| x + d)
+            .collect();
+        raised.extend(extra.iter().copied());
+        let b: Multiset<i64> = raised.into_iter().collect();
+        prop_assert!(a.leq_by_matching(&b, |x, y| x <= y));
+        prop_assert!(a.leq_total_order(&b, |x, y| x <= y));
+    }
+
+    #[test]
+    fn leq_is_antisymmetric_on_finite_multisets(
+        xs in small_multiset(),
+        ys in small_multiset(),
+    ) {
+        // The paper notes antisymmetry can fail for infinite multisets;
+        // for finite ones a ⊑ b ∧ b ⊑ a ⇒ a = b.
+        let a: Multiset<i64> = xs.iter().copied().collect();
+        let b: Multiset<i64> = ys.iter().copied().collect();
+        if a.leq_by_matching(&b, |x, y| x <= y) && b.leq_by_matching(&a, |x, y| x <= y) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn leq_is_transitive(
+        xs in small_multiset(),
+        bumps1 in prop::collection::vec(0i64..4, 0..8),
+        bumps2 in prop::collection::vec(0i64..4, 0..8),
+    ) {
+        let a: Multiset<i64> = xs.iter().copied().collect();
+        let mid: Vec<i64> = xs
+            .iter()
+            .zip(bumps1.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &d)| x + d)
+            .collect();
+        let top: Vec<i64> = mid
+            .iter()
+            .zip(bumps2.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &d)| x + d)
+            .collect();
+        let b: Multiset<i64> = mid.into_iter().collect();
+        let c: Multiset<i64> = top.into_iter().collect();
+        prop_assert!(a.leq_by_matching(&b, |x, y| x <= y));
+        prop_assert!(b.leq_by_matching(&c, |x, y| x <= y));
+        prop_assert!(a.leq_by_matching(&c, |x, y| x <= y));
+    }
+}
+
+// ---- Hopcroft–Karp against brute force ----
+
+fn brute_force_max_matching(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
+    // Try all assignments recursively (tiny instances only).
+    fn go(l: usize, n_left: usize, used: &mut Vec<bool>, adj: &[Vec<usize>]) -> usize {
+        if l == n_left {
+            return 0;
+        }
+        // Either skip l...
+        let mut best = go(l + 1, n_left, used, adj);
+        // ...or match it.
+        for &r in &adj[l] {
+            if !used[r] {
+                used[r] = true;
+                best = best.max(1 + go(l + 1, n_left, used, adj));
+                used[r] = false;
+            }
+        }
+        best
+    }
+    let mut adj = vec![Vec::new(); n_left];
+    for &(l, r) in edges {
+        adj[l].push(r);
+    }
+    let mut used = vec![false; n_right];
+    go(0, n_left, &mut used, &adj)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn hopcroft_karp_matches_brute_force(
+        edges in prop::collection::vec((0usize..5, 0usize..5), 0..15),
+    ) {
+        let mut m = BipartiteMatcher::new(5, 5);
+        let mut dedup: Vec<(usize, usize)> = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        for &(l, r) in &dedup {
+            m.add_edge(l, r);
+        }
+        prop_assert_eq!(m.max_matching(), brute_force_max_matching(5, 5, &dedup));
+    }
+}

@@ -1,0 +1,127 @@
+//! Random AND/OR circuit generator for the Example 4.4 experiments.
+
+use maglog_baselines::direct::{Circuit, Gate};
+use maglog_datalog::Program;
+use maglog_engine::Edb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generated circuit in both plain-Rust and EDB form. Wire ids:
+/// `0..n_inputs` are inputs, `n_inputs..n_inputs+n_gates` are gates.
+#[derive(Clone, Debug)]
+pub struct CircuitInstance {
+    pub n_inputs: usize,
+    pub n_gates: usize,
+    pub inputs: Vec<bool>,
+    /// `(kind, fan-in wire ids)` per gate.
+    pub gates: Vec<(Gate, Vec<usize>)>,
+}
+
+impl CircuitInstance {
+    pub fn to_edb(&self, program: &Program) -> Edb {
+        let mut edb = Edb::new();
+        for (i, &b) in self.inputs.iter().enumerate() {
+            edb.push_cost_fact(program, "input", &[&wire_name(i)], b as u8 as f64);
+        }
+        for (gi, (kind, fan_in)) in self.gates.iter().enumerate() {
+            let g = self.n_inputs + gi;
+            let kind_name = match kind {
+                Gate::And => "and",
+                Gate::Or => "or",
+            };
+            edb.push_fact(program, "gate", &[&wire_name(g), kind_name]);
+            for &w in fan_in {
+                edb.push_fact(program, "connect", &[&wire_name(g), &wire_name(w)]);
+            }
+        }
+        edb
+    }
+
+    /// Plain-Rust form for the direct evaluator.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::default();
+        for (i, &b) in self.inputs.iter().enumerate() {
+            c.inputs.insert(i, b);
+        }
+        for (gi, (kind, fan_in)) in self.gates.iter().enumerate() {
+            c.gates
+                .insert(self.n_inputs + gi, (*kind, fan_in.clone()));
+        }
+        c
+    }
+}
+
+fn wire_name(id: usize) -> String {
+    format!("w{id}")
+}
+
+/// Generate a circuit of `n_gates` AND/OR gates over `n_inputs` inputs.
+/// Each gate draws `fan_in` wires from inputs and earlier gates; with
+/// probability `feedback_p` one extra fan-in wire comes from a *later*
+/// gate, creating cycles (the regime where default values matter).
+pub fn random_circuit(
+    n_inputs: usize,
+    n_gates: usize,
+    fan_in: usize,
+    feedback_p: f64,
+    seed: u64,
+) -> CircuitInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<bool> = (0..n_inputs).map(|_| rng.gen()).collect();
+    let mut gates = Vec::with_capacity(n_gates);
+    for gi in 0..n_gates {
+        let kind = if rng.gen() { Gate::And } else { Gate::Or };
+        let pool = n_inputs + gi; // inputs + earlier gates
+        let mut fan = Vec::new();
+        for _ in 0..fan_in.max(1) {
+            fan.push(rng.gen_range(0..pool.max(1)));
+        }
+        if rng.gen::<f64>() < feedback_p && gi + 1 < n_gates {
+            // A wire from a later gate: guaranteed feedback potential.
+            let later = n_inputs + rng.gen_range(gi + 1..n_gates);
+            fan.push(later);
+        }
+        fan.sort_unstable();
+        fan.dedup();
+        gates.push((kind, fan));
+    }
+    CircuitInstance {
+        n_inputs,
+        n_gates,
+        inputs,
+        gates,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_circuit(8, 20, 2, 0.3, 3);
+        let b = random_circuit(8, 20, 2, 0.3, 3);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.gates.len(), b.gates.len());
+    }
+
+    #[test]
+    fn edb_has_gates_connects_and_inputs() {
+        let p = maglog_datalog::parse_program(crate::programs::CIRCUIT).unwrap();
+        let inst = random_circuit(4, 6, 2, 0.5, 1);
+        let edb = inst.to_edb(&p);
+        // 4 inputs + 6 gates + at least 6 connects.
+        assert!(edb.len() >= 16);
+    }
+
+    #[test]
+    fn fan_ins_reference_valid_wires() {
+        let inst = random_circuit(5, 15, 3, 0.4, 9);
+        let total = inst.n_inputs + inst.n_gates;
+        for (_, fan) in &inst.gates {
+            assert!(!fan.is_empty());
+            assert!(fan.iter().all(|&w| w < total));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Weighted digraph generators for the shortest-path experiments.
+
+use maglog_datalog::Program;
+use maglog_engine::Edb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated weighted digraph: nodes `0..n`, arcs `(u, v, w)`.
+#[derive(Clone, Debug)]
+pub struct GraphInstance {
+    pub n: usize,
+    pub arcs: Vec<(usize, usize, f64)>,
+}
+
+impl GraphInstance {
+    /// Load as `arc/3` facts for the shortest-path program. Node `i`
+    /// becomes the symbol `n<i>` (the constant `direct` must stay free,
+    /// per the program's integrity constraint).
+    pub fn to_edb(&self, program: &Program) -> Edb {
+        let mut edb = Edb::new();
+        for &(u, v, w) in &self.arcs {
+            edb.push_cost_fact(
+                program,
+                "arc",
+                &[&format!("n{u}"), &format!("n{v}")],
+                w,
+            );
+        }
+        edb
+    }
+
+    /// Does the graph contain a directed cycle?
+    pub fn has_cycle(&self) -> bool {
+        // Kahn's algorithm.
+        let mut indeg = vec![0usize; self.n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(u, v, _) in &self.arcs {
+            indeg[v] += 1;
+            adj[u].push(v);
+        }
+        let mut queue: Vec<usize> = (0..self.n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen != self.n
+    }
+}
+
+/// Erdős–Rényi-style digraph with expected out-degree `avg_degree` and
+/// uniform weights in `[min_w, max_w)`. May be cyclic.
+pub fn random_digraph(
+    n: usize,
+    avg_degree: f64,
+    (min_w, max_w): (f64, f64),
+    seed: u64,
+) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (avg_degree / n as f64).min(1.0);
+    let mut arcs = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < p {
+                arcs.push((u, v, round_weight(rng.gen_range(min_w..max_w))));
+            }
+        }
+    }
+    GraphInstance { n, arcs }
+}
+
+/// A layered DAG: `layers` layers of `width` nodes, arcs only from layer
+/// `i` to `i+1` with probability `p`. Always acyclic — the instance class
+/// the GGZ baseline can handle.
+pub fn layered_dag(layers: usize, width: usize, p: f64, seed: u64) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width;
+    let mut arcs = Vec::new();
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                if rng.gen::<f64>() < p {
+                    let u = l * width + a;
+                    let v = (l + 1) * width + b;
+                    arcs.push((u, v, round_weight(rng.gen_range(1.0..10.0))));
+                }
+            }
+        }
+    }
+    GraphInstance { n, arcs }
+}
+
+/// A `rows × cols` grid with rightward and downward unit-ish arcs.
+pub fn grid_graph(rows: usize, cols: usize, seed: u64) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut arcs = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                arcs.push((u, u + 1, round_weight(rng.gen_range(1.0..5.0))));
+            }
+            if r + 1 < rows {
+                arcs.push((u, u + cols, round_weight(rng.gen_range(1.0..5.0))));
+            }
+        }
+    }
+    GraphInstance { n, arcs }
+}
+
+/// A directed ring (guaranteed cyclic) plus `chords` random chords — the
+/// instance class where the Kemp–Stuckey semantics goes undefined and GGZ
+/// diverges, but the monotonic engine still terminates.
+pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Dedupe endpoints: the cost argument of `arc` is functionally
+    // dependent on the endpoints (Section 2.3.1), so parallel arcs are
+    // not representable.
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut arcs: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        let arc = (i, (i + 1) % n);
+        seen.insert(arc);
+        arcs.push((arc.0, arc.1, round_weight(rng.gen_range(1.0..5.0))));
+    }
+    for _ in 0..chords {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert((u, v)) {
+            arcs.push((u, v, round_weight(rng.gen_range(1.0..10.0))));
+        }
+    }
+    GraphInstance { n, arcs }
+}
+
+/// Keep weights on a coarse grid so float sums compare exactly across
+/// engines.
+fn round_weight(w: f64) -> f64 {
+    (w * 4.0).round() / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_digraph_is_seed_deterministic() {
+        let a = random_digraph(50, 3.0, (1.0, 10.0), 42);
+        let b = random_digraph(50, 3.0, (1.0, 10.0), 42);
+        assert_eq!(a.arcs, b.arcs);
+        let c = random_digraph(50, 3.0, (1.0, 10.0), 43);
+        assert_ne!(a.arcs, c.arcs);
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic() {
+        let g = layered_dag(6, 5, 0.5, 7);
+        assert!(!g.has_cycle());
+        assert_eq!(g.n, 30);
+    }
+
+    #[test]
+    fn ring_is_cyclic() {
+        let g = ring_with_chords(10, 5, 7);
+        assert!(g.has_cycle());
+        assert!(g.arcs.len() >= 10);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4, 1);
+        assert_eq!(g.n, 12);
+        // 3 rows × 3 rightward + 2 downward rows × 4 = 9 + 8.
+        assert_eq!(g.arcs.len(), 17);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn edb_loads_into_program() {
+        let p = maglog_datalog::parse_program(crate::programs::SHORTEST_PATH).unwrap();
+        let g = grid_graph(2, 2, 3);
+        let edb = g.to_edb(&p);
+        assert_eq!(edb.len(), g.arcs.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! Paper programs and seeded synthetic instance generators.
+//!
+//! [`programs`] holds the verbatim rule texts of every program the paper
+//! presents (shortest path, company control, party invitations, circuits,
+//! grades, halfsum, the Section-3 two-minimal-models program), so that
+//! examples, tests, benchmarks, and the experiments binary all evaluate
+//! exactly the same source.
+//!
+//! The generator modules produce reproducible (seeded) instances of the
+//! paper's motivating domains in both plain-Rust form (for the direct
+//! algorithms) and [`maglog_engine::Edb`] form (for the engines).
+
+pub mod circuits;
+pub mod graphs;
+pub mod ownership;
+pub mod party;
+pub mod programs;
+
+pub use circuits::{random_circuit, CircuitInstance};
+pub use graphs::{grid_graph, layered_dag, random_digraph, ring_with_chords, GraphInstance};
+pub use ownership::{random_ownership, OwnershipInstance};
+pub use party::{random_party, PartyInstance};

@@ -1,0 +1,141 @@
+//! Share-ownership network generator for the company-control experiments.
+
+use maglog_datalog::Program;
+use maglog_engine::Edb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A generated ownership network: `shares[(owner, company)]` = fraction of
+/// `company`'s shares held by `owner`; fractions per company sum to ≤ 1.
+#[derive(Clone, Debug)]
+pub struct OwnershipInstance {
+    pub n: usize,
+    pub shares: HashMap<(usize, usize), f64>,
+}
+
+impl OwnershipInstance {
+    /// Load as `s/3` facts for the company-control program; company `i`
+    /// becomes the symbol `co<i>`.
+    pub fn to_edb(&self, program: &Program) -> Edb {
+        let mut edb = Edb::new();
+        let mut entries: Vec<(&(usize, usize), &f64)> = self.shares.iter().collect();
+        entries.sort_by_key(|(&k, _)| k);
+        for (&(owner, company), &frac) in entries {
+            edb.push_cost_fact(
+                program,
+                "s",
+                &[&format!("co{owner}"), &format!("co{company}")],
+                frac,
+            );
+        }
+        edb
+    }
+}
+
+/// Generate a network of `n` companies. Each company's shares are split
+/// among up to `owners_per_company` random owners; with probability
+/// `majority_p` one owner is handed a strict majority (> 0.5), creating
+/// control chains; `cyclic_p` plants mutual cross-holdings that make the
+/// data-level dependency graph cyclic (the K&S-undefined regime).
+/// Fractions are multiples of 1/64 so sums compare exactly.
+pub fn random_ownership(
+    n: usize,
+    owners_per_company: usize,
+    majority_p: f64,
+    cyclic_p: f64,
+    seed: u64,
+) -> OwnershipInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shares: HashMap<(usize, usize), f64> = HashMap::new();
+    let unit = 1.0 / 64.0;
+    for company in 0..n {
+        let mut remaining = 64u32; // in units of 1/64
+        if rng.gen::<f64>() < majority_p {
+            // A strict majority holder: 33..=48 units (0.515..0.75).
+            let owner = rng.gen_range(0..n);
+            if owner != company {
+                let amount = rng.gen_range(33..=48);
+                *shares.entry((owner, company)).or_insert(0.0) +=
+                    amount as f64 * unit;
+                remaining -= amount;
+            }
+        }
+        for _ in 1..owners_per_company {
+            if remaining == 0 {
+                break;
+            }
+            let owner = rng.gen_range(0..n);
+            if owner == company {
+                continue;
+            }
+            let amount = rng.gen_range(1..=remaining.min(16));
+            *shares.entry((owner, company)).or_insert(0.0) += amount as f64 * unit;
+            remaining -= amount;
+        }
+    }
+    // Plant mutual cross-holdings.
+    for company in 0..n {
+        if rng.gen::<f64>() < cyclic_p && n >= 2 {
+            let other = (company + 1 + rng.gen_range(0..n - 1)) % n;
+            if other != company {
+                *shares.entry((company, other)).or_insert(0.0) += 4.0 * unit;
+                *shares.entry((other, company)).or_insert(0.0) += 4.0 * unit;
+            }
+        }
+    }
+    // Clamp: a company's total held shares must stay ≤ 1.
+    let mut totals: HashMap<usize, f64> = HashMap::new();
+    for (&(_, company), &f) in &shares {
+        *totals.entry(company).or_insert(0.0) += f;
+    }
+    for ((_, company), f) in shares.iter_mut() {
+        let t = totals[company];
+        if t > 1.0 {
+            *f = (*f / t * 64.0).floor() / 64.0;
+        }
+    }
+    OwnershipInstance { n, shares }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_never_exceed_one() {
+        let inst = random_ownership(40, 4, 0.5, 0.3, 11);
+        let mut totals: HashMap<usize, f64> = HashMap::new();
+        for (&(_, company), &f) in &inst.shares {
+            assert!(f >= 0.0);
+            *totals.entry(company).or_insert(0.0) += f;
+        }
+        for (_, t) in totals {
+            assert!(t <= 1.0 + 1e-9, "total {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_ownership(20, 3, 0.5, 0.2, 5);
+        let b = random_ownership(20, 3, 0.5, 0.2, 5);
+        assert_eq!(a.shares.len(), b.shares.len());
+        for (k, v) in &a.shares {
+            assert_eq!(b.shares.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn no_self_ownership() {
+        let inst = random_ownership(30, 4, 0.6, 0.5, 9);
+        assert!(inst.shares.keys().all(|&(o, c)| o != c));
+    }
+
+    #[test]
+    fn edb_round_trip() {
+        let p = maglog_datalog::parse_program(crate::programs::COMPANY_CONTROL).unwrap();
+        let inst = random_ownership(10, 3, 0.5, 0.2, 2);
+        let edb = inst.to_edb(&p);
+        assert_eq!(edb.len(), inst.shares.len());
+    }
+}

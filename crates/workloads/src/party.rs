@@ -1,0 +1,108 @@
+//! Social-graph generator for the party-invitation experiments
+//! (Example 4.3).
+
+use maglog_datalog::Program;
+use maglog_engine::Edb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A party instance: `knows[x]` lists acquaintances; `requires[x]` is the
+/// number of already-committed acquaintances guest `x` demands.
+#[derive(Clone, Debug)]
+pub struct PartyInstance {
+    pub knows: Vec<Vec<usize>>,
+    pub requires: Vec<usize>,
+}
+
+impl PartyInstance {
+    pub fn n(&self) -> usize {
+        self.requires.len()
+    }
+
+    /// Load as `knows/2` + `requires/2` facts. Guest `i` becomes `g<i>`.
+    pub fn to_edb(&self, program: &Program) -> Edb {
+        let mut edb = Edb::new();
+        for (x, k) in self.requires.iter().enumerate() {
+            edb.push_fact(
+                program,
+                "requires",
+                &[&format!("g{x}"), &k.to_string()],
+            );
+        }
+        for (x, friends) in self.knows.iter().enumerate() {
+            for &y in friends {
+                edb.push_fact(program, "knows", &[&format!("g{x}"), &format!("g{y}")]);
+            }
+        }
+        edb
+    }
+}
+
+/// Generate `n` guests with a symmetric `knows` relation of expected
+/// degree `avg_degree` (symmetry means cycles abound — the regime modular
+/// stratification cannot handle). `seed_fraction` of the guests require
+/// nobody (they seed the cascade); the rest require between 1 and their
+/// acquaintance count.
+pub fn random_party(n: usize, avg_degree: f64, seed_fraction: f64, seed: u64) -> PartyInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut knows: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let p = (avg_degree / n as f64).min(1.0);
+    for x in 0..n {
+        for y in (x + 1)..n {
+            if rng.gen::<f64>() < p {
+                knows[x].push(y);
+                knows[y].push(x);
+            }
+        }
+    }
+    let requires: Vec<usize> = (0..n)
+        .map(|x| {
+            if rng.gen::<f64>() < seed_fraction || knows[x].is_empty() {
+                0
+            } else {
+                rng.gen_range(1..=knows[x].len())
+            }
+        })
+        .collect();
+    PartyInstance { knows, requires }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knows_is_symmetric() {
+        let inst = random_party(30, 4.0, 0.2, 13);
+        for (x, friends) in inst.knows.iter().enumerate() {
+            for &y in friends {
+                assert!(inst.knows[y].contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn requirements_are_satisfiable_counts() {
+        let inst = random_party(50, 3.0, 0.1, 4);
+        for (x, &k) in inst.requires.iter().enumerate() {
+            assert!(k <= inst.knows[x].len());
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_party(25, 3.0, 0.2, 7);
+        let b = random_party(25, 3.0, 0.2, 7);
+        assert_eq!(a.requires, b.requires);
+        assert_eq!(a.knows, b.knows);
+    }
+
+    #[test]
+    fn edb_round_trip() {
+        let p = maglog_datalog::parse_program(crate::programs::PARTY).unwrap();
+        let inst = random_party(10, 2.0, 0.3, 6);
+        let edb = inst.to_edb(&p);
+        let edges: usize = inst.knows.iter().map(Vec::len).sum();
+        assert_eq!(edb.len(), 10 + edges);
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's programs, verbatim in the maglog concrete syntax.
+
+/// Example 2.6: shortest paths, with the integrity constraint from
+/// Example 2.5 that makes the program conflict-free.
+pub const SHORTEST_PATH: &str = r#"
+    declare pred arc/3 cost min_real.
+    declare pred path/4 cost min_real.
+    declare pred s/3 cost min_real.
+    path(X, direct, Y, C) :- arc(X, Y, C).
+    path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+    s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+    constraint :- arc(direct, Z, C).
+"#;
+
+/// Example 2.7: company control.
+pub const COMPANY_CONTROL: &str = r#"
+    declare pred s/3 cost nonneg_real.
+    declare pred cv/4 cost nonneg_real.
+    declare pred m/3 cost nonneg_real.
+    cv(X, X, Y, N) :- s(X, Y, N).
+    cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+    m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+    c(X, Y) :- m(X, Y, N), N > 0.5.
+"#;
+
+/// Section 5.2's r-monotonic reformulation of company control (third and
+/// fourth rules merged).
+pub const COMPANY_CONTROL_MERGED: &str = r#"
+    declare pred s/3 cost nonneg_real.
+    declare pred cv/4 cost nonneg_real.
+    cv(X, X, Y, N) :- s(X, Y, N).
+    cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+    c(X, Y) :- N =r sum M : cv(X, Z, Y, M), N > 0.5.
+"#;
+
+/// Example 4.3: party invitations.
+pub const PARTY: &str = r#"
+    coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+    kc(X, Y) :- knows(X, Y), coming(Y).
+"#;
+
+/// Example 4.4: circuit evaluation with default-valued wires (minimal
+/// behaviour: every wire defaults to 0).
+pub const CIRCUIT: &str = r#"
+    declare pred t/2 cost bool_or default.
+    declare pred input/2 cost bool_or.
+    t(W, C) :- input(W, C).
+    t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+    t(G, C) :- gate(G, and), C = and D : [connect(G, W), t(W, D)].
+    constraint :- gate(G, or), gate(G, and).
+    constraint :- gate(G, T), input(G, C).
+"#;
+
+/// Widest path (maximum bottleneck capacity): the same recursion shape as
+/// Example 2.6 but over the `(R ∪ {±∞}, ≤)` lattice with `min` as the
+/// path combiner — an extension exercising the `max` aggregate and the
+/// `min(·,·)` built-in function.
+pub const WIDEST_PATH: &str = r#"
+    declare pred link/3 cost max_real.
+    declare pred wpath/4 cost max_real.
+    declare pred w/3 cost max_real.
+    wpath(X, direct, Y, C) :- link(X, Y, C).
+    wpath(X, Z, Y, C) :- w(X, Z, C1), link(Z, Y, C2), C = min(C1, C2).
+    w(X, Y, C) :- C =r max D : wpath(X, Z, Y, D).
+    constraint :- link(direct, Z, C).
+"#;
+
+/// Example 2.1: student grades (aggregate-stratified; no recursion).
+pub const GRADES: &str = r#"
+    declare pred record/3 cost max_real.
+    declare pred s_avg/2 cost max_real.
+    declare pred c_avg/2 cost max_real.
+    declare pred all_avg/1 cost max_real.
+    declare pred class_count/2 cost nat.
+    declare pred alt_class_count/2 cost nat.
+    s_avg(S, G) :- G =r avg G2 : record(S, C, G2).
+    c_avg(C, G) :- G =r avg G2 : record(S, C, G2).
+    all_avg(G) :- G =r avg G2 : c_avg(S, G2).
+    class_count(C, N) :- N =r count : record(S, C, G).
+    alt_class_count(C, N) :- courses(C), N = count : record(S, C, G).
+"#;
+
+/// Example 5.1: halfsum — `T_P` monotonic but not continuous.
+pub const HALFSUM: &str = r#"
+    declare pred p/2 cost nonneg_real.
+    p(b, 1).
+    p(a, C) :- C =r halfsum D : p(X, D).
+"#;
+
+/// The Section 3 program with two incomparable minimal Herbrand models
+/// (`{p(a),p(b),q(b)}` and `{q(a),p(b),q(b)}`) — *not* monotonic, used to
+/// demonstrate rejection by the admissibility checker and multiplicity of
+/// stable models.
+pub const NONMONO_TWO_MODELS: &str = r#"
+    p(b).
+    q(b).
+    p(a) :- C =r count : q(X), C = 1.
+    q(a) :- C =r count : p(X), C = 1.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    #[test]
+    fn all_paper_programs_parse() {
+        for (name, src) in [
+            ("shortest_path", SHORTEST_PATH),
+            ("company_control", COMPANY_CONTROL),
+            ("company_control_merged", COMPANY_CONTROL_MERGED),
+            ("party", PARTY),
+            ("circuit", CIRCUIT),
+            ("widest_path", WIDEST_PATH),
+            ("grades", GRADES),
+            ("halfsum", HALFSUM),
+            ("nonmono", NONMONO_TWO_MODELS),
+        ] {
+            parse_program(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+}

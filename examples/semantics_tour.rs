@@ -1,0 +1,108 @@
+//! A tour of the competing semantics on the paper's own instances:
+//!
+//! * Example 3.1 — two stable models, one minimal;
+//! * Section 3 — a non-monotonic program with two minimal Herbrand models,
+//!   rejected by the admissibility checker;
+//! * Example 5.1 — halfsum: `T_P` monotone but not continuous;
+//! * Section 5.2 — r-monotonicity verdicts.
+//!
+//! ```text
+//! cargo run --example semantics_tour
+//! ```
+
+use maglog::analysis::rmono::r_monotonicity_report;
+use maglog::baselines::stable::is_stable_model;
+use maglog::engine::{Interp, Tuple, Value};
+use maglog::prelude::*;
+use maglog::workloads::programs;
+
+fn main() {
+    example_3_1();
+    section_3_nonmono();
+    example_5_1_halfsum();
+    section_5_2_rmono();
+}
+
+fn example_3_1() {
+    println!("=== Example 3.1: arc(a,b,1), arc(b,b,0) ===");
+    let src = format!("{}\narc(a, b, 1).\narc(b, b, 0).\n", programs::SHORTEST_PATH);
+    let p = parse_program(&src).unwrap();
+    let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    println!("engine computes M1 (s(a,b) = {}):", model.cost_of(&p, "s", &["a", "b"]).unwrap());
+
+    // Build M2 by hand and check both are stable (Section 5.5's point).
+    let mut m2 = Interp::new();
+    let atom = |pred: &str, keys: &[&str], cost: f64| {
+        let pr = p.find_pred(pred).unwrap();
+        let key = Tuple::new(
+            keys.iter()
+                .map(|k| Value::Sym(p.symbols.intern(k)))
+                .collect(),
+        );
+        (pr, key, Some(Value::num(cost)))
+    };
+    for (pr, key, cost) in [
+        atom("arc", &["a", "b"], 1.0),
+        atom("arc", &["b", "b"], 0.0),
+        atom("path", &["a", "direct", "b"], 1.0),
+        atom("path", &["b", "direct", "b"], 0.0),
+        atom("path", &["a", "b", "b"], 0.0),
+        atom("path", &["b", "b", "b"], 0.0),
+        atom("s", &["a", "b"], 0.0),
+        atom("s", &["b", "b"], 0.0),
+    ] {
+        m2.relation_mut(pr).insert(key, cost);
+    }
+    let m1_stable = is_stable_model(&p, &Edb::new(), model.interp()).unwrap();
+    let m2_stable = is_stable_model(&p, &Edb::new(), &m2).unwrap();
+    println!("M1 stable: {m1_stable}; M2 (with s(a,b)=0) stable: {m2_stable}");
+    println!("M1 ⊑ M2: {} — minimality picks M1\n", model.interp().leq(&m2, &p));
+}
+
+fn section_3_nonmono() {
+    println!("=== Section 3: the two-minimal-models program ===");
+    let p = parse_program(programs::NONMONO_TWO_MODELS).unwrap();
+    let report = check_program(&p);
+    println!("admissible/monotonic: {}", report.is_monotonic());
+    match MonotonicEngine::new(&p).evaluate(&Edb::new()) {
+        Err(e) => println!("engine refuses: {}\n", first_line(&e.to_string())),
+        Ok(_) => panic!("the non-monotonic program must be refused"),
+    }
+}
+
+fn example_5_1_halfsum() {
+    println!("=== Example 5.1: halfsum ===");
+    let p = parse_program(programs::HALFSUM).unwrap();
+    let model = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    let rounds: usize = model.stats().rounds.iter().sum();
+    println!(
+        "least model p(a) = {}, p(b) = {} — reached after {} rounds \
+         (T_P is monotone but not continuous; IEEE-754 rounding reaches the \
+         ω-limit exactly)\n",
+        model.cost_of(&p, "p", &["a"]).unwrap(),
+        model.cost_of(&p, "p", &["b"]).unwrap(),
+        rounds
+    );
+}
+
+fn section_5_2_rmono() {
+    println!("=== Section 5.2: r-monotonicity ===");
+    for (name, src) in [
+        ("company control (split rules)", programs::COMPANY_CONTROL),
+        ("company control (merged rule)", programs::COMPANY_CONTROL_MERGED),
+        ("shortest path", programs::SHORTEST_PATH),
+        ("party", programs::PARTY),
+    ] {
+        let p = parse_program(src).unwrap();
+        let issues = r_monotonicity_report(&p);
+        if issues.is_empty() {
+            println!("{name}: r-monotonic");
+        } else {
+            println!("{name}: NOT r-monotonic — {}", issues[0].1);
+        }
+    }
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or(s)
+}

@@ -1,0 +1,107 @@
+//! Integration tests for the `maglog` CLI binary against the sample
+//! programs under `programs/`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn maglog(args: &[&str]) -> Output {
+    let bin = env!("CARGO_BIN_EXE_maglog");
+    Command::new(bin)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("maglog binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn check_certifies_the_shortest_path_program() {
+    let out = maglog(&["check", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("monotonic:        yes"));
+    assert!(text.contains("verdict: evaluable"));
+}
+
+#[test]
+fn run_prints_the_minimal_model() {
+    let out = maglog(&["run", "programs/shortest_path.mgl", "s"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("s(a, b, 1)"), "{text}");
+    assert!(text.contains("s(b, b, 0)"), "{text}");
+    assert!(stderr(&out).contains("rounds"));
+}
+
+#[test]
+fn compare_reports_undefined_atoms() {
+    let out = maglog(&["compare", "programs/company_control.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("undefined"), "{text}");
+    assert!(text.contains("c(a, b)"), "{text}");
+}
+
+#[test]
+fn explain_shows_components() {
+    let out = maglog(&["explain", "programs/party.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("recursion through aggregation"), "{text}");
+    assert!(text.contains("CDB {coming, kc}"), "{text}");
+}
+
+#[test]
+fn widest_path_sample_runs() {
+    let out = maglog(&["run", "programs/widest_path.mgl", "w"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("w(a, c, 3)"), "{text}");
+    assert!(text.contains("w(c, b, 4)"), "{text}");
+}
+
+#[test]
+fn circuit_sample_runs() {
+    let out = maglog(&["run", "programs/circuit.mgl", "t"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("t(g1, 0)"), "{text}");
+    assert!(text.contains("t(g2, 1)"), "{text}");
+}
+
+#[test]
+fn missing_file_fails_with_a_message() {
+    let out = maglog(&["check", "programs/nope.mgl"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("nope.mgl"));
+}
+
+#[test]
+fn bad_subcommand_prints_usage() {
+    let out = maglog(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage"));
+}
+
+#[test]
+fn non_monotonic_program_makes_check_fail() {
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file: PathBuf = dir.join("bad.mgl");
+    std::fs::write(
+        &file,
+        "declare pred q/3 cost max_real.\ndeclare pred p/2 cost max_real.\n\
+         p(X, C) :- q(X, Y, C).\n",
+    )
+    .unwrap();
+    let out = maglog(&["check", file.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("conflict-free:    no"));
+}

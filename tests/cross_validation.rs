@@ -1,0 +1,183 @@
+//! Randomized cross-validation: the engine against the direct algorithms
+//! and against itself (naive vs semi-naive) on generated instances.
+
+use maglog::baselines::direct::{
+    all_pairs_dijkstra, company_control, eval_circuit_minimal, party_attendance, widest_paths,
+};
+use maglog::engine::{EvalOptions, Strategy, Value};
+use maglog::prelude::*;
+use maglog::workloads::{
+    grid_graph, programs, random_circuit, random_digraph, random_ownership, random_party,
+    ring_with_chords, GraphInstance,
+};
+
+fn engine_distances(
+    p: &Program,
+    model: &maglog::engine::Model,
+    n: usize,
+) -> Vec<Vec<Option<f64>>> {
+    (0..n)
+        .map(|u| {
+            (0..n)
+                .map(|v| {
+                    model
+                        .cost_of(p, "s", &[&format!("n{u}"), &format!("n{v}")])
+                        .and_then(|c| c.as_f64())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Expected `s(u, v)`: shortest *nonempty* path = min over arcs `u → w` of
+/// `w + dist(w, v)`.
+fn nonempty_shortest(g: &GraphInstance) -> Vec<Vec<Option<f64>>> {
+    let dist = all_pairs_dijkstra(g.n, &g.arcs);
+    let mut out = vec![vec![None; g.n]; g.n];
+    for &(u, w, c) in &g.arcs {
+        for v in 0..g.n {
+            if let Some(rest) = dist[w][v] {
+                let total = c + rest;
+                let cell = &mut out[u][v];
+                if cell.map_or(true, |b| total < b) {
+                    *cell = Some(total);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn shortest_path_matches_dijkstra_on_random_graphs() {
+    let p = parse_program(programs::SHORTEST_PATH).unwrap();
+    for seed in 0..5u64 {
+        let g = random_digraph(18, 2.5, (0.5, 8.0), seed);
+        let model = MonotonicEngine::new(&p).evaluate(&g.to_edb(&p)).unwrap();
+        let got = engine_distances(&p, &model, g.n);
+        let want = nonempty_shortest(&g);
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn shortest_path_matches_dijkstra_on_cyclic_rings() {
+    let p = parse_program(programs::SHORTEST_PATH).unwrap();
+    for seed in 0..4u64 {
+        let g = ring_with_chords(14, 12, seed);
+        let model = MonotonicEngine::new(&p).evaluate(&g.to_edb(&p)).unwrap();
+        assert_eq!(
+            engine_distances(&p, &model, g.n),
+            nonempty_shortest(&g),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn naive_and_seminaive_agree_on_every_domain() {
+    let sp = parse_program(programs::SHORTEST_PATH).unwrap();
+    let cc = parse_program(programs::COMPANY_CONTROL).unwrap();
+    let party = parse_program(programs::PARTY).unwrap();
+    let circuit = parse_program(programs::CIRCUIT).unwrap();
+
+    let cases: Vec<(&Program, Edb)> = vec![
+        (&sp, grid_graph(4, 4, 3).to_edb(&sp)),
+        (&sp, ring_with_chords(10, 8, 5).to_edb(&sp)),
+        (&cc, random_ownership(15, 3, 0.5, 0.3, 8).to_edb(&cc)),
+        (&party, random_party(30, 4.0, 0.2, 9).to_edb(&party)),
+        (&circuit, random_circuit(6, 25, 2, 0.4, 10).to_edb(&circuit)),
+    ];
+    for (i, (p, edb)) in cases.iter().enumerate() {
+        let naive = MonotonicEngine::with_options(
+            p,
+            EvalOptions {
+                strategy: Strategy::Naive,
+                ..Default::default()
+            },
+        )
+        .evaluate(edb)
+        .unwrap();
+        let semi = MonotonicEngine::new(p).evaluate(edb).unwrap();
+        assert_eq!(naive.render(p), semi.render(p), "case {i}");
+    }
+}
+
+#[test]
+fn widest_path_matches_direct_solver() {
+    // The min(·,·) builtin extension: w(X, Y) must equal the direct
+    // maximum-bottleneck solver on random cyclic graphs.
+    let p = parse_program(programs::WIDEST_PATH).unwrap();
+    let report = check_program(&p);
+    assert!(report.is_monotonic(), "{}", report.summary(&p));
+    for seed in 0..4u64 {
+        let g = ring_with_chords(12, 10, 100 + seed);
+        let mut edb = Edb::new();
+        for &(u, v, w) in &g.arcs {
+            edb.push_cost_fact(&p, "link", &[&format!("n{u}"), &format!("n{v}")], w);
+        }
+        let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
+        for u in 0..g.n {
+            let want = widest_paths(g.n, &g.arcs, u);
+            for v in 0..g.n {
+                let got = model
+                    .cost_of(&p, "w", &[&format!("n{u}"), &format!("n{v}")])
+                    .and_then(|c| c.as_f64());
+                assert_eq!(got, want[v], "seed {seed} w(n{u}, n{v})");
+            }
+        }
+    }
+}
+
+#[test]
+fn company_control_matches_direct_solver() {
+    let p = parse_program(programs::COMPANY_CONTROL).unwrap();
+    for seed in 0..4u64 {
+        let inst = random_ownership(20, 3, 0.6, 0.4, seed);
+        let model = MonotonicEngine::new(&p).evaluate(&inst.to_edb(&p)).unwrap();
+        let (controls, _) = company_control(inst.n, &inst.shares);
+        for x in 0..inst.n {
+            for y in 0..inst.n {
+                assert_eq!(
+                    model.holds(&p, "c", &[&format!("co{x}"), &format!("co{y}")]),
+                    controls.contains(&(x, y)),
+                    "seed {seed} c(co{x}, co{y})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn party_matches_direct_cascade() {
+    let p = parse_program(programs::PARTY).unwrap();
+    for seed in 0..4u64 {
+        let inst = random_party(40, 5.0, 0.2, seed);
+        let model = MonotonicEngine::new(&p).evaluate(&inst.to_edb(&p)).unwrap();
+        let want = party_attendance(&inst.knows, &inst.requires);
+        for x in 0..inst.n() {
+            assert_eq!(
+                model.holds(&p, "coming", &[&format!("g{x}")]),
+                want[x],
+                "seed {seed} guest g{x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn circuits_match_direct_fixpoint() {
+    let p = parse_program(programs::CIRCUIT).unwrap();
+    for seed in 0..4u64 {
+        let inst = random_circuit(8, 40, 2, 0.35, seed);
+        let model = MonotonicEngine::new(&p).evaluate(&inst.to_edb(&p)).unwrap();
+        let want = eval_circuit_minimal(&inst.to_circuit());
+        for wire in 0..(inst.n_inputs + inst.n_gates) {
+            let ours = model
+                .cost_of(&p, "t", &[&format!("w{wire}")])
+                .map(|v| v == Value::Bool(true))
+                .unwrap_or(false);
+            assert_eq!(ours, *want.get(&wire).unwrap_or(&false), "seed {seed} w{wire}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The iterated minimal-model construction (Section 6.3): multiple
+//! components stacked, negation applied to lower components, and several
+//! cost domains mixed in one program (the composition-of-orders remark
+//! after Definition 3.6).
+
+use maglog::prelude::*;
+
+#[test]
+fn negation_over_a_completed_lower_component() {
+    // Component 1: reach (plain recursion). Component 2: isolated pairs
+    // via negation over reach — allowed because reach is LDB there.
+    let p = parse_program(
+        r#"
+        e(a, b). e(b, c). node(a). node(b). node(c). node(d).
+        reach(X, Y) :- e(X, Y).
+        reach(X, Y) :- reach(X, Z), e(Z, Y).
+        separated(X, Y) :- node(X), node(Y), ! reach(X, Y), ! reach(Y, X).
+        "#,
+    )
+    .unwrap();
+    let r = check_program(&p);
+    assert!(r.is_monotonic(), "{}", r.summary(&p));
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert!(m.holds(&p, "separated", &["a", "d"]));
+    assert!(m.holds(&p, "separated", &["d", "c"]));
+    assert!(!m.holds(&p, "separated", &["a", "c"]));
+    // Reflexive pairs are "separated" too (no self edges here).
+    assert!(m.holds(&p, "separated", &["a", "a"]));
+}
+
+#[test]
+fn aggregation_stacked_on_recursive_aggregation() {
+    // Component 1: shortest paths (recursion through min). Component 2:
+    // per-source eccentricity = max over shortest-path costs — an
+    // aggregate over the *completed* lower component, mixing min_real and
+    // max_real domains in one program.
+    let p = parse_program(
+        r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        declare pred ecc/2 cost max_real.
+        declare pred reach_count/2 cost nat.
+
+        arc(a, b, 1). arc(b, c, 2). arc(c, a, 3). arc(a, c, 10).
+
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+
+        ecc(X, E) :- E =r max D : s(X, Y, D).
+        reach_count(X, N) :- N =r count : s(X, Y, D2).
+        "#,
+    )
+    .unwrap();
+    let r = check_program(&p);
+    assert!(r.is_monotonic(), "{}", r.summary(&p));
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    // Shortest distances from a: b=1, c=3, a=6 (round trip) → ecc 6.
+    assert_eq!(m.cost_of(&p, "s", &["a", "c"]).unwrap().as_f64(), Some(3.0));
+    assert_eq!(m.cost_of(&p, "s", &["a", "a"]).unwrap().as_f64(), Some(6.0));
+    assert_eq!(m.cost_of(&p, "ecc", &["a"]).unwrap().as_f64(), Some(6.0));
+    assert_eq!(
+        m.cost_of(&p, "reach_count", &["a"]).unwrap().as_f64(),
+        Some(3.0)
+    );
+}
+
+#[test]
+fn three_layer_pipeline_with_mixed_verdicts() {
+    // Party attendance (recursion through count), then a headcount over
+    // the completed attendance, then a boolean verdict from a comparison.
+    let p = parse_program(
+        r#"
+        declare pred headcount/1 cost nat.
+        requires(ann, 0). requires(bob, 1). requires(cal, 1).
+        knows(bob, ann). knows(cal, bob).
+        coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+        kc(X, Y) :- knows(X, Y), coming(Y).
+        headcount(N) :- N =r count : coming(X).
+        quorum :- headcount(N), N >= 3.
+        "#,
+    )
+    .unwrap();
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "headcount", &[]).unwrap().as_f64(), Some(3.0));
+    assert!(m.holds(&p, "quorum", &[]));
+}
+
+#[test]
+fn default_values_do_not_leak_across_components() {
+    // A default-valued wire predicate in a lower component; a higher
+    // component negates specific wire values — the default must be
+    // visible (t(w9, 0) "holds" implicitly) without polluting the core.
+    let p = parse_program(
+        r#"
+        declare pred t/2 cost bool_or default.
+        declare pred input/2 cost bool_or.
+        input(w1, 1).
+        wire(w1). wire(w9).
+        t(W, C) :- input(W, C).
+        dark(W) :- wire(W), ! t(W, 1).
+        "#,
+    )
+    .unwrap();
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert!(!m.holds(&p, "dark", &["w1"]));
+    // w9 was never driven: its default 0 means t(w9, 1) is false.
+    assert!(m.holds(&p, "dark", &["w9"]));
+    // The core stays small: only the driven wire is stored.
+    assert_eq!(m.count(&p, "t"), 1);
+}
+
+#[test]
+fn components_evaluate_in_dependency_order_regardless_of_rule_order() {
+    // Rules written upside down: the condensation order must still put
+    // base below derived.
+    let p = parse_program(
+        r#"
+        declare pred total/1 cost nonneg_real.
+        total(N) :- N =r sum M : stake(X, M).
+        stake(X, M) :- holding(X, M).
+        declare pred stake/2 cost nonneg_real.
+        declare pred holding/2 cost nonneg_real.
+        holding(a, 0.25). holding(b, 0.5).
+        "#,
+    )
+    .unwrap();
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "total", &[]).unwrap().as_f64(), Some(0.75));
+}

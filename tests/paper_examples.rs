@@ -1,0 +1,217 @@
+//! End-to-end integration tests: every worked example of the paper runs
+//! through parser → static battery → engine → baselines.
+
+use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
+use maglog::baselines::stable::is_stable_model;
+use maglog::engine::Value;
+use maglog::prelude::*;
+use maglog::workloads::programs;
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("paper program parses")
+}
+
+fn with_facts(src: &str, facts: &str) -> Program {
+    parse(&format!("{src}\n{facts}"))
+}
+
+#[test]
+fn shortest_path_static_verdicts_match_the_paper() {
+    let p = parse(programs::SHORTEST_PATH);
+    let r = check_program(&p);
+    assert!(r.is_range_restricted());
+    assert!(r.is_conflict_free(), "Example 2.5: conflict-free via the integrity constraint");
+    assert!(r.is_monotonic(), "Example 4.2: admissible");
+    assert!(!r.is_r_monotonic(), "Section 5.2: not r-monotonic");
+    assert!(!r.is_aggregate_stratified());
+    assert!(r.evaluable());
+}
+
+#[test]
+fn example_3_1_unique_minimal_model() {
+    let p = with_facts(programs::SHORTEST_PATH, "arc(a, b, 1). arc(b, b, 0).");
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    // M1 exactly, per the paper.
+    assert_eq!(m.cost_of(&p, "s", &["a", "b"]).unwrap().as_f64(), Some(1.0));
+    assert_eq!(m.cost_of(&p, "s", &["b", "b"]).unwrap().as_f64(), Some(0.0));
+    assert_eq!(m.cost_of(&p, "path", &["a", "b", "b"]).unwrap().as_f64(), Some(1.0));
+    assert_eq!(m.cost_of(&p, "path", &["b", "b", "b"]).unwrap().as_f64(), Some(0.0));
+    assert_eq!(m.count(&p, "s"), 2);
+    assert_eq!(m.count(&p, "path"), 4);
+    // And it is stable (Section 5.5).
+    assert!(is_stable_model(&p, &Edb::new(), m.interp()).unwrap());
+}
+
+#[test]
+fn shortest_path_with_negative_weights_still_monotonic() {
+    // Section 5.4: monotonic in our sense even with negative weights
+    // (where GGZ's cost-monotonicity fails) — as long as no negative cycle
+    // exists the fixpoint terminates.
+    let p = with_facts(
+        programs::SHORTEST_PATH,
+        "arc(a, b, 5). arc(b, c, -3). arc(a, c, 4).",
+    );
+    let r = check_program(&p);
+    assert!(r.is_monotonic());
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "s", &["a", "c"]).unwrap().as_f64(), Some(2.0));
+}
+
+#[test]
+fn company_control_example_2_7_end_to_end() {
+    let p = with_facts(
+        programs::COMPANY_CONTROL,
+        "s(a, b, 0.4). s(a, c, 0.6). s(c, b, 0.2).",
+    );
+    let r = check_program(&p);
+    assert!(r.is_monotonic(), "{}", r.summary(&p));
+    assert!(r.is_conflict_free(), "Example 2.7: containment mapping between cv rules");
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert!(m.holds(&p, "c", &["a", "b"]));
+    assert!(m.holds(&p, "c", &["a", "c"]));
+    assert!(!m.holds(&p, "c", &["c", "a"]));
+}
+
+#[test]
+fn company_control_merged_rule_is_r_monotonic_and_agrees() {
+    let facts = "s(a, b, 0.4). s(a, c, 0.6). s(c, b, 0.2).";
+    let split = with_facts(programs::COMPANY_CONTROL, facts);
+    let merged = with_facts(programs::COMPANY_CONTROL_MERGED, facts);
+    assert!(!check_program(&split).is_r_monotonic());
+    assert!(check_program(&merged).is_r_monotonic());
+    let ms = MonotonicEngine::new(&split).evaluate(&Edb::new()).unwrap();
+    let mm = MonotonicEngine::new(&merged).evaluate(&Edb::new()).unwrap();
+    for pair in [("a", "b"), ("a", "c"), ("c", "b"), ("b", "a")] {
+        assert_eq!(
+            ms.holds(&split, "c", &[pair.0, pair.1]),
+            mm.holds(&merged, "c", &[pair.0, pair.1]),
+            "c{pair:?}"
+        );
+    }
+}
+
+#[test]
+fn section_5_6_van_gelder_instance() {
+    let p = with_facts(
+        programs::COMPANY_CONTROL,
+        "s(a, b, 0.3). s(a, c, 0.3). s(b, c, 0.6). s(c, b, 0.6).",
+    );
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    // Ours: false.
+    assert!(!m.holds(&p, "c", &["a", "b"]));
+    assert!(!m.holds(&p, "c", &["a", "c"]));
+    assert!(m.holds(&p, "c", &["b", "c"]));
+    assert!(m.holds(&p, "c", &["c", "b"]));
+    // K&S/Van Gelder: undefined.
+    let ks = ks_well_founded(&p, &Edb::new()).unwrap();
+    assert_eq!(ks.status(&p, "c", &["a", "b"]), AtomStatus::Undefined);
+    assert_eq!(ks.status(&p, "c", &["a", "c"]), AtomStatus::Undefined);
+}
+
+#[test]
+fn party_example_4_3_cyclic_knows() {
+    let p = with_facts(
+        programs::PARTY,
+        r#"
+        requires(ann, 0). requires(bob, 1). requires(cal, 2). requires(dan, 1).
+        knows(bob, ann). knows(cal, ann). knows(cal, bob).
+        knows(dan, cal). knows(cal, dan).
+        "#,
+    );
+    let r = check_program(&p);
+    assert!(r.is_monotonic());
+    assert!(!r.is_r_monotonic());
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    // ann (needs 0) → bob (knows ann) → cal (knows ann+bob ≥ 2) → dan.
+    for g in ["ann", "bob", "cal", "dan"] {
+        assert!(m.holds(&p, "coming", &[g]), "coming({g})");
+    }
+
+    // Cut the seed: nobody comes.
+    let p2 = with_facts(
+        programs::PARTY,
+        r#"
+        requires(bob, 1). requires(cal, 1).
+        knows(bob, cal). knows(cal, bob).
+        "#,
+    );
+    let m2 = MonotonicEngine::new(&p2).evaluate(&Edb::new()).unwrap();
+    assert!(!m2.holds(&p2, "coming", &["bob"]));
+    assert!(!m2.holds(&p2, "coming", &["cal"]));
+}
+
+#[test]
+fn circuit_example_4_4_truth_values() {
+    let p = with_facts(
+        programs::CIRCUIT,
+        r#"
+        input(w1, 1). input(w2, 0).
+        gate(g_and, and). gate(g_or, or).
+        connect(g_and, w1). connect(g_and, w2).
+        connect(g_or, w1). connect(g_or, w2).
+        "#,
+    );
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "t", &["g_and"]), Some(Value::Bool(false)));
+    assert_eq!(m.cost_of(&p, "t", &["g_or"]), Some(Value::Bool(true)));
+}
+
+#[test]
+fn circuit_feedback_behaves_minimally() {
+    // A single AND gate wired to itself and to a true input: the paper's
+    // minimal-behaviour reading gives false on the output wire.
+    let p = with_facts(
+        programs::CIRCUIT,
+        r#"
+        input(w1, 1).
+        gate(g, and).
+        connect(g, g). connect(g, w1).
+        "#,
+    );
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "t", &["g"]), Some(Value::Bool(false)));
+}
+
+#[test]
+fn grades_example_2_1_aggregate_stratified() {
+    let p = with_facts(
+        programs::GRADES,
+        r#"
+        record(john, db, 80). record(john, os, 60).
+        record(mary, db, 90). record(mary, ai, 70).
+        courses(db). courses(os). courses(ai). courses(logic).
+        "#,
+    );
+    let r = check_program(&p);
+    assert!(r.is_aggregate_stratified());
+    assert!(r.evaluable());
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "s_avg", &["john"]).unwrap().as_f64(), Some(70.0));
+    assert_eq!(m.cost_of(&p, "s_avg", &["mary"]).unwrap().as_f64(), Some(80.0));
+    assert_eq!(m.cost_of(&p, "c_avg", &["db"]).unwrap().as_f64(), Some(85.0));
+    // class_count only lists nonempty classes (the =r version)...
+    assert_eq!(m.cost_of(&p, "class_count", &["logic"]), None);
+    // ...while alt_class_count counts empty ones too (the `=` version).
+    assert_eq!(
+        m.cost_of(&p, "alt_class_count", &["logic"]).unwrap().as_f64(),
+        Some(0.0)
+    );
+}
+
+#[test]
+fn halfsum_example_5_1_limit() {
+    let p = parse(programs::HALFSUM);
+    let m = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+    assert_eq!(m.cost_of(&p, "p", &["a"]).unwrap().as_f64(), Some(1.0));
+    // Well past ω in spirit: > 50 rounds of strict growth before the
+    // float fixpoint is reached.
+    assert!(m.stats().rounds.iter().sum::<usize>() > 50);
+}
+
+#[test]
+fn section_3_nonmono_program_is_rejected_but_has_stable_models() {
+    let p = parse(programs::NONMONO_TWO_MODELS);
+    let r = check_program(&p);
+    assert!(!r.is_monotonic());
+    assert!(MonotonicEngine::new(&p).evaluate(&Edb::new()).is_err());
+}
