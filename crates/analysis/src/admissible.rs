@@ -27,10 +27,11 @@
 //! `T_P` has a least fixpoint and the engine's bottom-up iteration computes
 //! the unique minimal model.
 
+use crate::diag::{var_span, Code};
 use maglog_datalog::{
     graph::{components, Component as SccComponent},
     AggFunc, Aggregate, Atom, BinOp, CmpOp, Const, DomainSpec, Expr, Literal, Pred, Program,
-    Rule, Term, Var,
+    Rule, Span, Term, Var,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -117,6 +118,11 @@ pub fn flows_into(from: DomainSpec, to: DomainSpec) -> bool {
 #[derive(Clone, Debug, PartialEq)]
 pub struct AdmissibilityIssue {
     pub rule_index: usize,
+    /// Which MAG04xx condition failed.
+    pub code: Code,
+    /// Byte span of the offending subgoal, aggregate, or variable (dummy
+    /// for synthesized rules).
+    pub span: Span,
     pub message: String,
 }
 
@@ -152,9 +158,11 @@ fn check_component(program: &Program, component: &SccComponent) -> ComponentRepo
     let mut issues = Vec::new();
     for &i in &component.rule_indices {
         let rule = &program.rules[i];
-        for message in check_rule(program, cdb, rule) {
+        for (code, span, message) in check_rule(program, cdb, rule) {
             issues.push(AdmissibilityIssue {
                 rule_index: i,
+                code,
+                span: if span.is_dummy() { rule.span } else { span },
                 message,
             });
         }
@@ -168,17 +176,26 @@ fn check_component(program: &Program, component: &SccComponent) -> ComponentRepo
     }
 }
 
-/// All admissibility problems of a single rule relative to a CDB.
-pub fn check_rule(program: &Program, cdb: &BTreeSet<Pred>, rule: &Rule) -> Vec<String> {
+/// All admissibility problems of a single rule relative to a CDB, as
+/// `(lint code, span, message)` triples.
+pub fn check_rule(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule: &Rule,
+) -> Vec<(Code, Span, String)> {
     let mut issues = Vec::new();
 
     // --- No negation on CDB predicates. ---
     for lit in &rule.body {
         if let Literal::Neg(a) = lit {
             if cdb.contains(&a.pred) {
-                issues.push(format!(
-                    "negative subgoal on component predicate {} breaks monotonicity",
-                    program.pred_name(a.pred)
+                issues.push((
+                    Code::NegationOnComponent,
+                    a.span,
+                    format!(
+                        "negative subgoal on component predicate {} breaks monotonicity",
+                        program.pred_name(a.pred)
+                    ),
                 ));
             }
         }
@@ -197,7 +214,7 @@ pub fn check_rule(program: &Program, cdb: &BTreeSet<Pred>, rule: &Rule) -> Vec<S
             // irrelevant, only carrier compatibility matters (e.g.
             // `intersect` over ⊆-ordered set values is fine here).
             if let Err(msg) = type_ldb_aggregate(program, agg) {
-                issues.push(msg);
+                issues.push((Code::IllTypedAggregate, agg.span, msg));
             }
             continue;
         }
@@ -214,16 +231,20 @@ pub fn check_rule(program: &Program, cdb: &BTreeSet<Pred>, rule: &Rule) -> Vec<S
                         .filter(|a| cdb.contains(&a.pred))
                         .all(|a| program.has_default(a.pred));
                     if !all_default {
-                        issues.push(format!(
-                            "aggregate '{}' is only pseudo-monotonic here, which requires \
-                             every component predicate inside it to be a default-value \
-                             cost predicate",
-                            agg.func.name()
+                        issues.push((
+                            Code::PseudoMonotonic,
+                            agg.span,
+                            format!(
+                                "aggregate '{}' is only pseudo-monotonic here, which requires \
+                                 every component predicate inside it to be a default-value \
+                                 cost predicate",
+                                agg.func.name()
+                            ),
                         ));
                     }
                 }
             }
-            Err(msg) => issues.push(msg),
+            Err(msg) => issues.push((Code::IllTypedAggregate, agg.span, msg)),
         }
     }
 
@@ -237,20 +258,24 @@ fn well_formed_issues(
     program: &Program,
     cdb: &BTreeSet<Pred>,
     rule: &Rule,
-) -> Vec<String> {
+) -> Vec<(Code, Span, String)> {
     let mut issues = Vec::new();
 
     // Condition 2: only variables in cost arguments of CDB predicates and
     // in aggregate-result positions.
-    let check_cost_is_var = |atom: &Atom, issues: &mut Vec<String>| {
+    let check_cost_is_var = |atom: &Atom, issues: &mut Vec<(Code, Span, String)>| {
         if cdb.contains(&atom.pred) && program.is_cost_pred(atom.pred) {
             if let Some(Term::Const(c)) = atom.cost_arg(true) {
-                issues.push(format!(
-                    "constant {} in the cost argument of component predicate {} \
-                     (rewrite with an explicit builtin, e.g. `C = {}`)",
-                    program.display_const(c),
-                    program.pred_name(atom.pred),
-                    program.display_const(c),
+                issues.push((
+                    Code::WellFormedness,
+                    atom.arg_span(atom.args.len().saturating_sub(1)),
+                    format!(
+                        "constant {} in the cost argument of component predicate {} \
+                         (rewrite with an explicit builtin, e.g. `C = {}`)",
+                        program.display_const(c),
+                        program.pred_name(atom.pred),
+                        program.display_const(c),
+                    ),
                 ));
             }
         }
@@ -264,12 +289,14 @@ fn well_formed_issues(
                     check_cost_is_var(a, &mut issues);
                 }
                 if matches!(agg.result, Term::Const(_)) {
-                    issues.push(
+                    issues.push((
+                        Code::WellFormedness,
+                        agg.span,
                         "constant aggregate result makes the subgoal a nonmonotonic test \
                          (the Section 3 two-minimal-models program); use a variable and a \
                          comparison instead"
                             .to_string(),
-                    );
+                    ));
                 }
             }
             Literal::Builtin(_) => {}
@@ -309,14 +336,21 @@ fn well_formed_issues(
             Literal::Builtin(_) => {}
         }
     }
-    for (v, n) in occurrences {
-        if n > 1 {
-            issues.push(format!(
+    let mut repeated: Vec<(Var, usize)> = occurrences
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .collect();
+    repeated.sort();
+    for (v, n) in repeated {
+        issues.push((
+            Code::WellFormedness,
+            rule.span,
+            format!(
                 "CDB cost variable {} occurs {n} times among non-built-in subgoals \
                  (well-formedness allows one)",
                 program.var_name(v)
-            ));
-        }
+            ),
+        ));
     }
 
     issues
@@ -530,7 +564,7 @@ fn er_monotonicity_issues(
     cdb: &BTreeSet<Pred>,
     rule: &Rule,
     agg_typings: &HashMap<usize, AggSig>,
-) -> Vec<String> {
+) -> Vec<(Code, Span, String)> {
     let mut issues = Vec::new();
 
     // Classification of variables appearing in non-built-in subgoals.
@@ -649,9 +683,13 @@ fn er_monotonicity_issues(
         let l = expr_dir(&b.lhs, &info);
         let r = expr_dir(&b.rhs, &info);
         let (Some(l), Some(r)) = (l, r) else {
-            issues.push(format!(
-                "built-in subgoal {} involves unclassifiable variables",
-                program.display_literal(&Literal::Builtin((*b).clone()))
+            issues.push((
+                Code::NonMonotoneBuiltin,
+                b.span,
+                format!(
+                    "built-in subgoal {} involves unclassifiable variables",
+                    program.display_literal(&Literal::Builtin((*b).clone()))
+                ),
             ));
             continue;
         };
@@ -665,10 +703,14 @@ fn er_monotonicity_issues(
             }
         };
         if !ok {
-            issues.push(format!(
-                "built-in subgoal {} is not monotone: its truth can be lost as \
-                 component cost values grow",
-                program.display_literal(&Literal::Builtin((*b).clone()))
+            issues.push((
+                Code::NonMonotoneBuiltin,
+                b.span,
+                format!(
+                    "built-in subgoal {} is not monotone: its truth can be lost as \
+                     component cost values grow",
+                    program.display_literal(&Literal::Builtin((*b).clone()))
+                ),
             ));
         }
     }
@@ -680,22 +722,30 @@ fn er_monotonicity_issues(
                 None => {
                     // Not bound anywhere classifiable (range restriction
                     // will have its own complaint); treat as unknown here.
-                    issues.push(format!(
-                        "head cost variable {} has no classifiable definition",
-                        program.var_name(*v)
+                    issues.push((
+                        Code::NonMonotoneBuiltin,
+                        var_span(&rule.head, *v),
+                        format!(
+                            "head cost variable {} has no classifiable definition",
+                            program.var_name(*v)
+                        ),
                     ));
                 }
                 Some(di) => {
                     let want = domain_dir(spec.domain);
                     let ok = di.dir == Dir::Fixed || di.dir == want;
                     if !ok {
-                        issues.push(format!(
-                            "head cost variable {} moves {:?} but the head domain {} \
-                             requires {:?}",
-                            program.var_name(*v),
-                            di.dir,
-                            spec.domain.name(),
-                            want
+                        issues.push((
+                            Code::NonMonotoneBuiltin,
+                            var_span(&rule.head, *v),
+                            format!(
+                                "head cost variable {} moves {:?} but the head domain {} \
+                                 requires {:?}",
+                                program.var_name(*v),
+                                di.dir,
+                                spec.domain.name(),
+                                want
+                            ),
                         ));
                     }
                 }

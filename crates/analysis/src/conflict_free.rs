@@ -27,6 +27,22 @@ pub enum ConflictIssue {
 }
 
 impl ConflictIssue {
+    /// The stable lint code of this issue kind.
+    pub fn code(&self) -> crate::diag::Code {
+        match self {
+            ConflictIssue::NotCostRespecting { .. } => crate::diag::Code::NotCostRespecting,
+            ConflictIssue::UnresolvedPair { .. } => crate::diag::Code::ConflictingPair,
+        }
+    }
+
+    /// The rule index the issue anchors to (the first rule of a pair).
+    pub fn rule_index(&self) -> usize {
+        match self {
+            ConflictIssue::NotCostRespecting { rule_index } => *rule_index,
+            ConflictIssue::UnresolvedPair { rule_a, .. } => *rule_a,
+        }
+    }
+
     pub fn describe(&self, program: &Program) -> String {
         match self {
             ConflictIssue::NotCostRespecting { rule_index } => format!(

@@ -1,0 +1,783 @@
+//! Span-carrying diagnostics with stable lint codes.
+//!
+//! Every finding of the static battery — and of parsing and validation
+//! before it — is reported as a [`Diagnostic`]: a stable `MAGxxxx` code, a
+//! severity, a byte [`Span`] into the source text, a message, and optional
+//! notes and a suggestion. Codes are grouped by the paper section they
+//! enforce:
+//!
+//! | family  | paper concept                                            |
+//! |---------|----------------------------------------------------------|
+//! | MAG00xx | syntax                                                   |
+//! | MAG01xx | program-level validation (arity, declarations)           |
+//! | MAG02xx | range restriction (Def. 2.5) and conflicts (Def. 2.10)   |
+//! | MAG04xx | admissibility (Defs. 4.2–4.5)                            |
+//! | MAG05xx | comparison classes (r-monotonicity, stratification)      |
+//! | MAG06xx | termination (Sec. 6.2)                                   |
+//!
+//! Severities form the lattice `allow < note < warn < deny`; a
+//! [`LintConfig`] reassigns them per code, and only deny-level findings
+//! make `maglog check` fail. The informational MAG05xx/MAG06xx codes
+//! default to `note`: a program can be perfectly evaluable under the
+//! paper's semantics while falling outside the r-monotonic or
+//! guaranteed-terminating classes.
+
+use crate::conflict_free::ConflictIssue;
+use crate::report::{check_program, AnalysisReport};
+use maglog_datalog::{
+    parse_program_raw, validate::validate, Atom, LineIndex, Program, Span, Term, ValidateKind,
+    Var,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How severely a finding is treated. Ordered: `Allow < Note < Warn <
+/// Deny`. `Allow`ed findings are dropped entirely; only `Deny` findings
+/// fail a check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Allow,
+    Note,
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    /// The rustc-style label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Allow => "allowed",
+            Severity::Note => "note",
+            Severity::Warn => "warning",
+            Severity::Deny => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Severity> {
+        Some(match s {
+            "allow" => Severity::Allow,
+            "note" => Severity::Note,
+            "warn" => Severity::Warn,
+            "deny" => Severity::Deny,
+            _ => return None,
+        })
+    }
+}
+
+macro_rules! codes {
+    ($( $variant:ident => ($code:literal, $sev:ident, $title:literal, $paper:literal) ),+ $(,)?) => {
+        /// A stable lint code. The `MAGxxxx` string of a variant never
+        /// changes once released; new codes get new numbers.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Code {
+            $(#[doc = $title] $variant),+
+        }
+
+        impl Code {
+            /// Every released code, in numeric order.
+            pub const ALL: &'static [Code] = &[$(Code::$variant),+];
+
+            /// The stable `MAGxxxx` string.
+            pub fn as_str(self) -> &'static str {
+                match self { $(Code::$variant => $code),+ }
+            }
+
+            /// Parse a `MAGxxxx` string back to its code.
+            pub fn parse(s: &str) -> Option<Code> {
+                match s { $($code => Some(Code::$variant),)+ _ => None }
+            }
+
+            /// One-line description of what the code flags.
+            pub fn title(self) -> &'static str {
+                match self { $(Code::$variant => $title),+ }
+            }
+
+            /// Where in Ross & Sagiv (PODS 1992) the condition is defined.
+            pub fn paper_ref(self) -> &'static str {
+                match self { $(Code::$variant => $paper),+ }
+            }
+
+            /// Severity before any [`LintConfig`] overrides.
+            pub fn default_severity(self) -> Severity {
+                match self { $(Code::$variant => Severity::$sev),+ }
+            }
+        }
+    };
+}
+
+codes! {
+    Syntax => ("MAG0001", Deny,
+        "the source text is not a syntactically valid program",
+        "Section 2.1 (rule syntax), Definition 2.4 (aggregate subgoals)"),
+    Arity => ("MAG0101", Deny,
+        "a predicate is used with inconsistent or undeclared arity",
+        "Section 2.1 (predicate conventions)"),
+    DefaultDecl => ("MAG0102", Deny,
+        "a default-value cost declaration is malformed",
+        "Section 2.3.2 (default-value cost predicates)"),
+    RangeHead => ("MAG0201", Deny,
+        "a head variable is not limited (or its cost not quasi-limited)",
+        "Definition 2.5 (range restriction), Lemma 2.2"),
+    RangeNegated => ("MAG0202", Deny,
+        "a negated subgoal has a non-limited variable",
+        "Definition 2.5 (range restriction)"),
+    RangeDefault => ("MAG0203", Deny,
+        "a default-value subgoal has a non-limited variable",
+        "Definition 2.5 with Section 2.3.2 (default-value predicates)"),
+    RangeAggregate => ("MAG0204", Deny,
+        "an aggregate grouping or local variable is not limited",
+        "Definition 2.5 (range restriction of aggregate subgoals)"),
+    RangeBuiltin => ("MAG0205", Deny,
+        "a built-in subgoal variable is neither limited nor quasi-limited",
+        "Definition 2.5 (quasi-limited variables)"),
+    NotCostRespecting => ("MAG0210", Deny,
+        "a rule is not cost-respecting",
+        "Definition 2.7 (cost-respecting rules)"),
+    ConflictingPair => ("MAG0211", Deny,
+        "two rules may derive atoms differing only in their cost",
+        "Definition 2.10 (conflict-freedom), Lemma 2.3"),
+    IllTypedAggregate => ("MAG0401", Deny,
+        "an aggregate application matches no Figure-1 signature",
+        "Definition 4.3 (well-typedness), Figure 1"),
+    IllFormedAggregate => ("MAG0402", Deny,
+        "an aggregate subgoal is structurally ill-formed",
+        "Definition 2.4 (aggregate subgoals)"),
+    WellFormedness => ("MAG0403", Deny,
+        "a rule violates well-formedness",
+        "Definition 4.2 (well-formed rules)"),
+    PseudoMonotonic => ("MAG0404", Deny,
+        "a pseudo-monotonic aggregate lacks the default-value escape hatch",
+        "Section 4.1.1, Definition 4.1, Example 4.4"),
+    NonMonotoneBuiltin => ("MAG0405", Deny,
+        "the built-in conjunction is not monotone",
+        "Definition 4.4 (monotone built-in conjunctions)"),
+    NegationOnComponent => ("MAG0406", Deny,
+        "a rule negates a predicate of its own component",
+        "Section 6.3 (recursion through negation)"),
+    NotRMonotonic => ("MAG0501", Note,
+        "a rule falls outside the r-monotonic class",
+        "Section 5.2, Definition 5.1 (Mumick et al.)"),
+    RecursiveAggregation => ("MAG0502", Note,
+        "a component recurses through aggregation",
+        "Section 5.1 (aggregate stratification)"),
+    TerminationUnknown => ("MAG0601", Note,
+        "bottom-up termination is not syntactically guaranteed",
+        "Section 6.2, Example 5.1"),
+}
+
+impl Code {
+    /// A fix-it suggestion for codes that have a canonical remedy.
+    pub fn help(self) -> Option<&'static str> {
+        Some(match self {
+            Code::RangeHead | Code::RangeNegated | Code::RangeAggregate => {
+                "bind the variable in a positive non-default subgoal, or equate it \
+                 to a limited variable or constant"
+            }
+            Code::RangeDefault => {
+                "default-value predicates hold for every key: restrict their \
+                 non-cost arguments through another positive subgoal"
+            }
+            Code::NotCostRespecting => {
+                "make the non-cost head arguments functionally determine the cost \
+                 (Definition 2.7), e.g. aggregate over the multiset instead of \
+                 copying one element's cost"
+            }
+            Code::ConflictingPair => {
+                "add an integrity constraint ruling out the overlap, or make the \
+                 rules' groups provably disjoint"
+            }
+            Code::PseudoMonotonic => {
+                "declare every component predicate inside the aggregate as a \
+                 default-value cost predicate (`declare pred p/k cost D default.`)"
+            }
+            Code::NonMonotoneBuiltin => {
+                "compare rising values only with upward-closed guards (`>=` for \
+                 growing costs, `<=` for shrinking ones)"
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, ready for rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Byte span of the offending text; [`Span::DUMMY`] when the finding
+    /// has no single source location.
+    pub span: Span,
+    pub message: String,
+    /// Extra context lines, rendered as `= note:`.
+    pub notes: Vec<String>,
+    /// A fix-it hint, rendered as `= help:`.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, severity: Severity, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+            suggestion: code.help().map(str::to_string),
+        }
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Per-code severity configuration: start from the defaults, optionally
+/// escalate all warnings, then apply explicit per-code overrides (which win
+/// over `deny_all`, so `--deny all --allow MAG0211` behaves as expected).
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    overrides: HashMap<Code, Severity>,
+    deny_all: bool,
+}
+
+impl LintConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override one code's severity.
+    pub fn set(&mut self, code: Code, severity: Severity) -> &mut Self {
+        self.overrides.insert(code, severity);
+        self
+    }
+
+    /// Escalate every warn-level code to deny. Notes are *not* escalated:
+    /// they mark membership in comparison classes, not defects.
+    pub fn set_deny_all(&mut self, on: bool) -> &mut Self {
+        self.deny_all = on;
+        self
+    }
+
+    /// The effective severity of a code.
+    pub fn severity(&self, code: Code) -> Severity {
+        if let Some(&s) = self.overrides.get(&code) {
+            return s;
+        }
+        let base = code.default_severity();
+        if self.deny_all && base == Severity::Warn {
+            Severity::Deny
+        } else {
+            base
+        }
+    }
+}
+
+/// The span of variable `v`'s first occurrence in `atom`'s arguments,
+/// falling back to the atom's own span.
+pub fn var_span(atom: &Atom, v: Var) -> Span {
+    for (i, t) in atom.args.iter().enumerate() {
+        if *t == Term::Var(v) {
+            return atom.arg_span(i);
+        }
+    }
+    atom.span
+}
+
+/// Result of running the whole source-level pipeline: parse → validate →
+/// static battery.
+#[derive(Debug)]
+pub struct SourceCheck {
+    /// `None` when the source failed to parse.
+    pub program: Option<Program>,
+    /// `None` when parsing or validation failed before the battery ran.
+    pub report: Option<AnalysisReport>,
+    /// Findings with severity above `allow`, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl SourceCheck {
+    /// Number of deny-level findings — the check's exit status.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+}
+
+/// Parse, validate, and run the full static battery over source text,
+/// producing diagnostics for everything found along the way.
+pub fn check_source(src: &str, config: &LintConfig) -> SourceCheck {
+    let program = match parse_program_raw(src) {
+        Ok(p) => p,
+        Err(e) => {
+            // Point errors from the parser carry only a line/column; turn
+            // it back into a one-byte span for the renderers.
+            let span = if e.span.is_dummy() {
+                let offset = loc_offset(src, e.loc.line, e.loc.col);
+                Span::new(offset, (offset + 1).min(src.len() as u32).max(offset))
+            } else {
+                e.span
+            };
+            return SourceCheck {
+                program: None,
+                report: None,
+                diagnostics: vec![Diagnostic::new(
+                    Code::Syntax,
+                    Severity::Deny,
+                    span,
+                    e.message,
+                )],
+            };
+        }
+    };
+    if let Err(e) = validate(&program) {
+        let code = match e.kind {
+            ValidateKind::Arity => Code::Arity,
+            ValidateKind::DefaultDecl => Code::DefaultDecl,
+            ValidateKind::Aggregate => Code::IllFormedAggregate,
+        };
+        return SourceCheck {
+            diagnostics: vec![Diagnostic::new(code, Severity::Deny, e.span, e.message)],
+            program: Some(program),
+            report: None,
+        };
+    }
+    let report = check_program(&program);
+    let diagnostics = report_diagnostics(&program, &report, config);
+    SourceCheck {
+        program: Some(program),
+        report: Some(report),
+        diagnostics,
+    }
+}
+
+fn loc_offset(src: &str, line: u32, col: u32) -> u32 {
+    let index = LineIndex::new(src);
+    let mut offset = 0u32;
+    for l in 1..line {
+        offset += index.line_text(src, l).len() as u32 + 1;
+    }
+    (offset + col.saturating_sub(1)).min(src.len() as u32)
+}
+
+/// Convert a finished [`AnalysisReport`] into diagnostics under a lint
+/// configuration. Findings whose effective severity is `allow` are dropped;
+/// the rest are sorted by source position.
+pub fn report_diagnostics(
+    program: &Program,
+    report: &AnalysisReport,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let rule_span = |i: usize| program.rules[i].span;
+
+    for issue in &report.range_issues {
+        let span = if issue.span.is_dummy() {
+            rule_span(issue.rule_index)
+        } else {
+            issue.span
+        };
+        out.push(
+            Diagnostic::new(issue.code, config.severity(issue.code), span, &issue.message)
+                .with_note(format!(
+                    "in rule {}: {}",
+                    issue.rule_index,
+                    program.display_rule(&program.rules[issue.rule_index])
+                )),
+        );
+    }
+
+    for issue in &report.conflicts.issues {
+        let code = issue.code();
+        let d = match issue {
+            ConflictIssue::NotCostRespecting { rule_index } => Diagnostic::new(
+                code,
+                config.severity(code),
+                rule_span(*rule_index),
+                format!(
+                    "rule {} is not cost-respecting: its non-cost head arguments do \
+                     not determine the cost",
+                    rule_index
+                ),
+            )
+            .with_note(format!(
+                "rule {}: {}",
+                rule_index,
+                program.display_rule(&program.rules[*rule_index])
+            )),
+            ConflictIssue::UnresolvedPair { rule_a, rule_b } => Diagnostic::new(
+                code,
+                config.severity(code),
+                rule_span(*rule_a),
+                format!(
+                    "rules {rule_a} and {rule_b} may derive conflicting costs for {}",
+                    program.pred_name(program.rules[*rule_a].head.pred)
+                ),
+            )
+            .with_note(format!(
+                "rule {}: {}",
+                rule_a,
+                program.display_rule(&program.rules[*rule_a])
+            ))
+            .with_note(format!(
+                "rule {}: {}",
+                rule_b,
+                program.display_rule(&program.rules[*rule_b])
+            ))
+            .with_note(
+                "no containment mapping exists between the unified rules, and no \
+                 integrity constraint refutes their conjunction",
+            ),
+        };
+        out.push(d);
+    }
+
+    for comp in &report.components {
+        for issue in &comp.issues {
+            let span = if issue.span.is_dummy() {
+                rule_span(issue.rule_index)
+            } else {
+                issue.span
+            };
+            out.push(
+                Diagnostic::new(issue.code, config.severity(issue.code), span, &issue.message)
+                    .with_note(format!(
+                        "in rule {}: {}",
+                        issue.rule_index,
+                        program.display_rule(&program.rules[issue.rule_index])
+                    )),
+            );
+        }
+        if comp.recursive_aggregation {
+            let code = Code::RecursiveAggregation;
+            let preds: Vec<String> =
+                comp.preds.iter().map(|p| program.pred_name(*p)).collect();
+            let span = comp
+                .rule_indices
+                .first()
+                .map(|&i| rule_span(i))
+                .unwrap_or(Span::DUMMY);
+            out.push(
+                Diagnostic::new(
+                    code,
+                    config.severity(code),
+                    span,
+                    format!(
+                        "component {{{}}} recurses through aggregation",
+                        preds.join(", ")
+                    ),
+                )
+                .with_note(
+                    "outside the aggregate-stratified class; evaluated by the \
+                     paper's monotonic fixpoint semantics instead",
+                ),
+            );
+        }
+    }
+
+    for (i, message) in &report.non_r_monotonic {
+        let code = Code::NotRMonotonic;
+        out.push(
+            Diagnostic::new(code, config.severity(code), rule_span(*i), message).with_note(
+                format!("in rule {}: {}", i, program.display_rule(&program.rules[*i])),
+            ),
+        );
+    }
+
+    for (ci, verdict) in report.termination.iter().enumerate() {
+        if verdict.is_guaranteed() {
+            continue;
+        }
+        let code = Code::TerminationUnknown;
+        let span = report
+            .components
+            .get(ci)
+            .and_then(|c| c.rule_indices.first())
+            .map(|&i| rule_span(i))
+            .unwrap_or(Span::DUMMY);
+        out.push(
+            Diagnostic::new(code, config.severity(code), span, verdict.reason())
+                .with_note("evaluation proceeds under the engine's round budget"),
+        );
+    }
+
+    out.retain(|d| d.severity != Severity::Allow);
+    out.sort_by_key(|d| (d.span.start, d.span.end, d.code));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------------
+
+/// Render diagnostics rustc-style: severity and code header, `-->` file
+/// location, the offending source line with a caret underline, then notes
+/// and help.
+pub fn render_human(src: &str, filename: &str, diagnostics: &[Diagnostic]) -> String {
+    let index = LineIndex::new(src);
+    let mut out = String::new();
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        render_one_human(src, filename, &index, d, &mut out);
+    }
+    out
+}
+
+fn render_one_human(
+    src: &str,
+    filename: &str,
+    index: &LineIndex,
+    d: &Diagnostic,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.code, d.message);
+    if !d.span.is_dummy() && (d.span.start as usize) < src.len() {
+        let loc = index.loc(d.span.start);
+        let line_text = index.line_text(src, loc.line);
+        let gutter = loc.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let _ = writeln!(out, "{pad}--> {filename}:{}:{}", loc.line, loc.col);
+        let _ = writeln!(out, "{pad} |");
+        let _ = writeln!(out, "{gutter} | {line_text}");
+        // Clamp the underline to the first line of the span.
+        let line_remaining = line_text.len().saturating_sub(loc.col as usize - 1);
+        let width = (d.span.len() as usize).clamp(1, line_remaining.max(1));
+        let _ = writeln!(
+            out,
+            "{pad} | {}{}",
+            " ".repeat(loc.col as usize - 1),
+            "^".repeat(width)
+        );
+    }
+    let pad = " ";
+    for note in &d.notes {
+        let _ = writeln!(out, "{pad}= note: {note}");
+    }
+    let _ = writeln!(out, "{pad}= note: see {} (Ross & Sagiv 1992)", d.code.paper_ref());
+    if let Some(help) = &d.suggestion {
+        let _ = writeln!(out, "{pad}= help: {help}");
+    }
+}
+
+/// Render diagnostics as a JSON document (no external dependencies):
+/// `{"file": ..., "diagnostics": [...], "error_count": N}` with both byte
+/// offsets and 1-based line/column positions per span.
+pub fn render_json(src: &str, filename: &str, diagnostics: &[Diagnostic]) -> String {
+    use std::fmt::Write;
+    let index = LineIndex::new(src);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"file\": {},", json_str(filename));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"code\": {},", json_str(d.code.as_str()));
+        let _ = writeln!(out, "      \"title\": {},", json_str(d.code.title()));
+        let _ = writeln!(out, "      \"severity\": {},", json_str(d.severity.label()));
+        let _ = writeln!(out, "      \"message\": {},", json_str(&d.message));
+        if d.span.is_dummy() {
+            out.push_str("      \"span\": null,\n");
+        } else {
+            let start = index.loc(d.span.start);
+            let end = index.loc(d.span.end);
+            let _ = writeln!(
+                out,
+                "      \"span\": {{\"start\": {}, \"end\": {}, \
+                 \"start_line\": {}, \"start_col\": {}, \
+                 \"end_line\": {}, \"end_col\": {}}},",
+                d.span.start, d.span.end, start.line, start.col, end.line, end.col
+            );
+        }
+        out.push_str("      \"notes\": [");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("],\n");
+        match &d.suggestion {
+            Some(h) => {
+                let _ = writeln!(out, "      \"help\": {},", json_str(h));
+            }
+            None => out.push_str("      \"help\": null,\n"),
+        }
+        let _ = writeln!(out, "      \"paper_ref\": {}", json_str(d.code.paper_ref()));
+        out.push_str("    }");
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    let denies = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let _ = writeln!(out, "  \"error_count\": {denies}");
+    out.push_str("}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            assert!(seen.insert(c.as_str()), "duplicate code {}", c.as_str());
+            assert!(c.as_str().starts_with("MAG"));
+            assert!(!c.title().is_empty());
+            assert!(!c.paper_ref().is_empty());
+        }
+        assert_eq!(Code::parse("MAG9999"), None);
+    }
+
+    #[test]
+    fn lint_config_precedence() {
+        let mut cfg = LintConfig::new();
+        assert_eq!(cfg.severity(Code::RangeHead), Severity::Deny);
+        assert_eq!(cfg.severity(Code::NotRMonotonic), Severity::Note);
+        cfg.set_deny_all(true);
+        // deny-all does not escalate notes.
+        assert_eq!(cfg.severity(Code::NotRMonotonic), Severity::Note);
+        // explicit overrides win over deny-all.
+        cfg.set(Code::RangeHead, Severity::Allow);
+        assert_eq!(cfg.severity(Code::RangeHead), Severity::Allow);
+        cfg.set(Code::NotRMonotonic, Severity::Deny);
+        assert_eq!(cfg.severity(Code::NotRMonotonic), Severity::Deny);
+    }
+
+    #[test]
+    fn parse_error_becomes_mag0001() {
+        let chk = check_source("p(X :- q(X).", &LintConfig::new());
+        assert!(chk.program.is_none());
+        assert_eq!(chk.diagnostics.len(), 1);
+        assert_eq!(chk.diagnostics[0].code, Code::Syntax);
+        assert_eq!(chk.diagnostics[0].severity, Severity::Deny);
+        assert!(!chk.diagnostics[0].span.is_dummy());
+        assert_eq!(chk.deny_count(), 1);
+    }
+
+    #[test]
+    fn arity_error_becomes_mag0101_with_span() {
+        let src = "p(a, b).\np(a).\n";
+        let chk = check_source(src, &LintConfig::new());
+        assert_eq!(chk.diagnostics.len(), 1);
+        let d = &chk.diagnostics[0];
+        assert_eq!(d.code, Code::Arity);
+        assert!(!d.span.is_dummy());
+        // The span points at the second, conflicting atom.
+        assert_eq!(&src[d.span.start as usize..d.span.end as usize], "p(a)");
+    }
+
+    #[test]
+    fn range_violation_flags_the_head_variable() {
+        let src = "p(X, Y) :- q(X).";
+        let chk = check_source(src, &LintConfig::new());
+        let d = chk
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RangeHead)
+            .expect("MAG0201 reported");
+        assert_eq!(&src[d.span.start as usize..d.span.end as usize], "Y");
+        assert!(chk.deny_count() >= 1);
+    }
+
+    #[test]
+    fn human_rendering_draws_a_caret() {
+        let src = "p(X, Y) :- q(X).";
+        let chk = check_source(src, &LintConfig::new());
+        let text = render_human(src, "demo.mgl", &chk.diagnostics);
+        assert!(text.contains("error[MAG0201]"), "{text}");
+        assert!(text.contains("--> demo.mgl:1:6"), "{text}");
+        assert!(text.contains("^"), "{text}");
+        assert!(text.contains("= note: see Definition 2.5"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_structured() {
+        let src = "p(X, Y) :- q(X).";
+        let chk = check_source(src, &LintConfig::new());
+        let json = render_json(src, "demo.mgl", &chk.diagnostics);
+        assert!(json.contains("\"code\": \"MAG0201\""), "{json}");
+        assert!(json.contains("\"file\": \"demo.mgl\""), "{json}");
+        assert!(json.contains("\"start_line\": 1"), "{json}");
+        assert!(json.contains("\"error_count\": "), "{json}");
+        // Balanced braces as a cheap well-formedness probe.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn clean_program_yields_only_notes() {
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let chk = check_source(src, &LintConfig::new());
+        assert_eq!(chk.deny_count(), 0, "{:?}", chk.diagnostics);
+        // Shortest path is famously not r-monotonic, recurses through
+        // aggregation, and has an additive cost cycle: three notes.
+        let codes: Vec<Code> = chk.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::NotRMonotonic), "{codes:?}");
+        assert!(codes.contains(&Code::RecursiveAggregation), "{codes:?}");
+        assert!(codes.contains(&Code::TerminationUnknown), "{codes:?}");
+        assert!(chk.diagnostics.iter().all(|d| d.severity == Severity::Note));
+        // ... and deny-all must not escalate them.
+        let mut strict = LintConfig::new();
+        strict.set_deny_all(true);
+        let chk = check_source(src, &strict);
+        assert_eq!(chk.deny_count(), 0);
+    }
+}

@@ -19,11 +19,19 @@
 //! [`AnalysisReport`]; a program whose report says `monotonic` has, by
 //! Lemma 4.1 and Lemma 2.3, a monotonic cost-consistent `T_P` and hence a
 //! unique least model — which `maglog-engine` then computes.
+//!
+//! The [`diag`] module turns the battery's findings into span-carrying
+//! [`Diagnostic`]s with stable `MAGxxxx` lint codes, configurable
+//! severities ([`LintConfig`]), and rustc-style human or JSON renderings
+//! ([`render_human`], [`render_json`]); [`check_source`] is the one-call
+//! parse → validate → analyze → diagnose entry point used by `maglog
+//! check`.
 
 pub mod admissible;
 pub mod conflict_free;
 pub mod containment;
 pub mod cost_respect;
+pub mod diag;
 pub mod fd;
 pub mod range_restriction;
 pub mod report;
@@ -33,6 +41,10 @@ pub mod unify;
 
 pub use admissible::{admissibility_report, AdmissibilityIssue, ComponentReport};
 pub use conflict_free::{conflict_free_report, ConflictIssue, ConflictReport};
+pub use diag::{
+    check_source, render_human, render_json, report_diagnostics, Code, Diagnostic, LintConfig,
+    Severity, SourceCheck,
+};
 pub use containment::containment_mapping_exists;
 pub use cost_respect::is_cost_respecting;
 pub use range_restriction::{range_restriction_report, rule_range_restricted, RangeIssue};

@@ -8,7 +8,8 @@
 //! guarantees that bottom-up evaluation only ever builds a finite core and
 //! takes aggregates of finite multisets.
 
-use maglog_datalog::{Atom, CmpOp, Expr, Literal, Program, Rule, Term, Var};
+use crate::diag::{var_span, Code};
+use maglog_datalog::{Aggregate, Atom, CmpOp, Expr, Literal, Program, Rule, Span, Term, Var};
 use std::collections::BTreeSet;
 
 /// A range-restriction violation in one rule.
@@ -16,6 +17,11 @@ use std::collections::BTreeSet;
 pub struct RangeIssue {
     /// Index of the rule in `program.rules`.
     pub rule_index: usize,
+    /// Which MAG02xx condition failed.
+    pub code: Code,
+    /// Byte span of the offending variable or subgoal (dummy for
+    /// synthesized rules).
+    pub span: Span,
     pub message: String,
 }
 
@@ -23,9 +29,11 @@ pub struct RangeIssue {
 pub fn range_restriction_report(program: &Program) -> Vec<RangeIssue> {
     let mut issues = Vec::new();
     for (i, rule) in program.rules.iter().enumerate() {
-        for message in rule_issues(program, rule) {
+        for (code, span, message) in rule_issues(program, rule) {
             issues.push(RangeIssue {
                 rule_index: i,
+                code,
+                span: if span.is_dummy() { rule.span } else { span },
                 message,
             });
         }
@@ -185,7 +193,18 @@ fn propagate_quasi_equality(
     }
 }
 
-fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
+/// The span of `v`'s first occurrence inside an aggregate's conjuncts,
+/// falling back to the aggregate's own span.
+fn var_span_in_agg(agg: &Aggregate, v: Var) -> Span {
+    for a in &agg.conjuncts {
+        if a.args.contains(&Term::Var(v)) {
+            return var_span(a, v);
+        }
+    }
+    agg.span
+}
+
+fn rule_issues(program: &Program, rule: &Rule) -> Vec<(Code, Span, String)> {
     let (limited, quasi) = fixpoints(program, rule);
     let known = |v: &Var| limited.contains(v) || quasi.contains(v);
     let mut issues = Vec::new();
@@ -198,20 +217,28 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
                 for t in a.key_args(has_cost) {
                     if let Term::Var(v) = t {
                         if !limited.contains(v) {
-                            issues.push(format!(
-                                "negated subgoal {} has non-limited variable {}",
-                                program.display_atom(a),
-                                name(v)
+                            issues.push((
+                                Code::RangeNegated,
+                                var_span(a, *v),
+                                format!(
+                                    "negated subgoal {} has non-limited variable {}",
+                                    program.display_atom(a),
+                                    name(v)
+                                ),
                             ));
                         }
                     }
                 }
                 if let Some(Term::Var(v)) = a.cost_arg(has_cost) {
                     if !known(v) {
-                        issues.push(format!(
-                            "negated subgoal {} has non-quasi-limited cost variable {}",
-                            program.display_atom(a),
-                            name(v)
+                        issues.push((
+                            Code::RangeNegated,
+                            var_span(a, *v),
+                            format!(
+                                "negated subgoal {} has non-quasi-limited cost variable {}",
+                                program.display_atom(a),
+                                name(v)
+                            ),
                         ));
                     }
                 }
@@ -221,10 +248,14 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
                     for t in a.key_args(true) {
                         if let Term::Var(v) = t {
                             if !limited.contains(v) {
-                                issues.push(format!(
-                                    "default-value subgoal {} has non-limited variable {}",
-                                    program.display_atom(a),
-                                    name(v)
+                                issues.push((
+                                    Code::RangeDefault,
+                                    var_span(a, *v),
+                                    format!(
+                                        "default-value subgoal {} has non-limited variable {}",
+                                        program.display_atom(a),
+                                        name(v)
+                                    ),
                                 ));
                             }
                         }
@@ -234,9 +265,13 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
             Literal::Agg(agg) => {
                 for v in rule.aggregate_grouping_vars(idx) {
                     if !limited.contains(&v) {
-                        issues.push(format!(
-                            "aggregate grouping variable {} is not limited",
-                            name(&v)
+                        issues.push((
+                            Code::RangeAggregate,
+                            var_span_in_agg(agg, v),
+                            format!(
+                                "aggregate grouping variable {} is not limited",
+                                name(&v)
+                            ),
                         ));
                     }
                 }
@@ -249,9 +284,13 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
                             .any(|t| *t == Term::Var(v))
                     });
                     if in_noncost && !limited.contains(&v) {
-                        issues.push(format!(
-                            "aggregate local variable {} is not limited",
-                            name(&v)
+                        issues.push((
+                            Code::RangeAggregate,
+                            var_span_in_agg(agg, v),
+                            format!(
+                                "aggregate local variable {} is not limited",
+                                name(&v)
+                            ),
                         ));
                     }
                 }
@@ -262,10 +301,14 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
                         for t in a.key_args(true) {
                             if let Term::Var(v) = t {
                                 if !limited.contains(v) {
-                                    issues.push(format!(
-                                        "default-value conjunct {} has non-limited variable {}",
-                                        program.display_atom(a),
-                                        name(v)
+                                    issues.push((
+                                        Code::RangeDefault,
+                                        var_span(a, *v),
+                                        format!(
+                                            "default-value conjunct {} has non-limited variable {}",
+                                            program.display_atom(a),
+                                            name(v)
+                                        ),
                                     ));
                                 }
                             }
@@ -276,9 +319,13 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
             Literal::Builtin(b) => {
                 for v in b.vars() {
                     if !known(&v) {
-                        issues.push(format!(
-                            "built-in subgoal variable {} is neither limited nor quasi-limited",
-                            name(&v)
+                        issues.push((
+                            Code::RangeBuiltin,
+                            b.span,
+                            format!(
+                                "built-in subgoal variable {} is neither limited nor quasi-limited",
+                                name(&v)
+                            ),
                         ));
                     }
                 }
@@ -291,18 +338,26 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<String> {
     for t in rule.head.key_args(has_cost) {
         if let Term::Var(v) = t {
             if !limited.contains(v) {
-                issues.push(format!(
-                    "head variable {} (non-cost position) is not limited",
-                    name(v)
+                issues.push((
+                    Code::RangeHead,
+                    var_span(&rule.head, *v),
+                    format!(
+                        "head variable {} (non-cost position) is not limited",
+                        name(v)
+                    ),
                 ));
             }
         }
     }
     if let Some(Term::Var(v)) = rule.head.cost_arg(has_cost) {
         if !known(v) {
-            issues.push(format!(
-                "head cost variable {} is not quasi-limited",
-                name(v)
+            issues.push((
+                Code::RangeHead,
+                var_span(&rule.head, *v),
+                format!(
+                    "head cost variable {} is not quasi-limited",
+                    name(v)
+                ),
             ));
         }
     }

@@ -75,11 +75,15 @@ impl AnalysisReport {
             yesno(self.is_range_restricted())
         );
         for issue in &self.range_issues {
-            let _ = writeln!(out, "  rule {}: {}", issue.rule_index, issue.message);
+            let _ = writeln!(
+                out,
+                "  rule {} [{}]: {}",
+                issue.rule_index, issue.code, issue.message
+            );
         }
         let _ = writeln!(out, "conflict-free:    {}", yesno(self.is_conflict_free()));
         for issue in &self.conflicts.issues {
-            let _ = writeln!(out, "  {}", issue.describe(program));
+            let _ = writeln!(out, "  [{}] {}", issue.code(), issue.describe(program));
         }
         let _ = writeln!(out, "monotonic:        {}", yesno(self.is_monotonic()));
         for (ci, comp) in self.components.iter().enumerate() {
@@ -104,7 +108,11 @@ impl AnalysisReport {
                 }
             );
             for issue in &comp.issues {
-                let _ = writeln!(out, "    rule {}: {}", issue.rule_index, issue.message);
+                let _ = writeln!(
+                    out,
+                    "    rule {} [{}]: {}",
+                    issue.rule_index, issue.code, issue.message
+                );
             }
         }
         let _ = writeln!(
@@ -113,7 +121,7 @@ impl AnalysisReport {
             yesno(self.non_r_monotonic.is_empty())
         );
         for (i, m) in &self.non_r_monotonic {
-            let _ = writeln!(out, "  rule {i}: {m}");
+            let _ = writeln!(out, "  rule {i} [MAG0501]: {m}");
         }
         let _ = writeln!(
             out,
@@ -127,7 +135,7 @@ impl AnalysisReport {
         );
         for (i, v) in self.termination.iter().enumerate() {
             if !v.is_guaranteed() {
-                let _ = writeln!(out, "  component {i}: {}", v.reason());
+                let _ = writeln!(out, "  component {i} [MAG0601]: {}", v.reason());
             }
         }
         out

@@ -79,7 +79,12 @@ impl Subst {
     }
 
     pub fn apply_atom(&self, a: &Atom) -> Atom {
-        Atom::new(a.pred, a.args.iter().map(|&t| self.apply_term(t)).collect())
+        Atom {
+            pred: a.pred,
+            args: a.args.iter().map(|&t| self.apply_term(t)).collect(),
+            span: a.span,
+            arg_spans: a.arg_spans.clone(),
+        }
     }
 
     pub fn apply_expr(&self, e: &Expr) -> Expr {
@@ -102,6 +107,7 @@ impl Subst {
                 op: b.op,
                 lhs: self.apply_expr(&b.lhs),
                 rhs: self.apply_expr(&b.rhs),
+                span: b.span,
             }),
             Literal::Agg(agg) => Literal::Agg(Aggregate {
                 result: self.apply_term(agg.result),
@@ -114,6 +120,7 @@ impl Subst {
                     Term::Const(_) => v,
                 }),
                 conjuncts: agg.conjuncts.iter().map(|a| self.apply_atom(a)).collect(),
+                span: agg.span,
             }),
         }
     }
@@ -122,6 +129,7 @@ impl Subst {
         Rule {
             head: self.apply_atom(&r.head),
             body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+            span: r.span,
         }
     }
 }

@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property tests for the static analyses: FD closure laws, containment
 //! mappings on systematically renamed/specialized rules, and stability of
 //! the verdicts under variable renaming.

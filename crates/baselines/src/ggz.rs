@@ -51,11 +51,7 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
         let pred = new_program.pred(&program.pred_name(decl.pred));
         new_program.decls.insert(
             pred,
-            PredDecl {
-                pred,
-                arity: decl.arity,
-                cost: None,
-            },
+            PredDecl::new(pred, decl.arity, None),
         );
     }
     // Copy facts.
@@ -97,6 +93,7 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
                     .iter()
                     .map(|l| map_literal(&new_program, program, l))
                     .collect(),
+                span: rule.span,
             });
             continue;
         }
@@ -151,6 +148,7 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
         new_program.rules.push(Rule {
             head: Atom::new(wit, wit_args.clone()),
             body: vec![Literal::Pos(wit_body_atom)],
+            span: rule.span,
         });
 
         // better(G..., C) :- wit(G..., C), wit(G..., D), D < C   (min)
@@ -163,15 +161,16 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
             CmpOp::Gt
         };
         new_program.rules.push(Rule {
+            span: rule.span,
             head: Atom::new(better, wit_args.clone()),
             body: vec![
                 Literal::Pos(Atom::new(wit, wit_args.clone())),
                 Literal::Pos(Atom::new(wit, wit_args_d)),
-                Literal::Builtin(Builtin {
-                    op: cmp,
-                    lhs: Expr::Term(Term::Var(d_fresh)),
-                    rhs: Expr::Term(Term::Var(c_var)),
-                }),
+                Literal::Builtin(Builtin::new(
+                    cmp,
+                    Expr::Term(Term::Var(d_fresh)),
+                    Expr::Term(Term::Var(c_var)),
+                )),
             ],
         });
 
@@ -188,6 +187,7 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
         new_program.rules.push(Rule {
             head: map_atom(&new_program, program, &rule.head),
             body,
+            span: rule.span,
         });
     }
     // Constraints are irrelevant to evaluation; copy for completeness.
@@ -198,6 +198,7 @@ pub fn rewrite_minmax(program: &Program) -> Result<Program, String> {
                 .iter()
                 .map(|l| map_literal(&new_program, program, l))
                 .collect(),
+            span: c.span,
         });
     }
     Ok(new_program)
@@ -248,6 +249,7 @@ fn map_literal(dst: &Program, src: &Program, lit: &Literal) -> Literal {
             op: b.op,
             lhs: map_expr(dst, src, &b.lhs),
             rhs: map_expr(dst, src, &b.rhs),
+            span: b.span,
         }),
         Literal::Agg(_) => unreachable!("aggregates are rewritten before copying"),
     }

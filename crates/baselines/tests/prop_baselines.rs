@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property tests for the baseline semantics:
 //!
 //! * the engine's minimal model is always Kemp–Stuckey-stable;

@@ -1,7 +1,7 @@
 //! P5: ablation — naive vs. semi-naive fixpoint iteration on the two
 //! recursive-aggregation workloads where the delta machinery matters most.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_bench::{program, run_greedy, run_naive, run_seminaive};
 use maglog_workloads::{programs, random_digraph, random_ownership, random_party};
 

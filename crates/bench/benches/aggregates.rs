@@ -2,13 +2,13 @@
 //! varying size, plus the multiset-order decision procedures (the sorted
 //! sweep vs. the Hopcroft–Karp matching).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_datalog::AggFunc;
 use maglog_engine::aggregate::apply;
 use maglog_engine::Value;
 use maglog_lattice::Multiset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 
 fn bench_apply(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);

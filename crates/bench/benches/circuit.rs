@@ -1,7 +1,7 @@
 //! P3: circuit-evaluation scaling — engine (pseudo-monotonic AND over
 //! default-valued wires) vs. the direct boolean fixpoint.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_baselines::direct::eval_circuit_minimal;
 use maglog_bench::{program, run_seminaive};
 use maglog_workloads::{programs, random_circuit};

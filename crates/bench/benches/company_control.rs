@@ -1,7 +1,7 @@
 //! P2: company-control scaling — engine vs. the direct fixpoint solver,
 //! plus the split-vs-merged (r-monotonic) program formulations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_baselines::direct::company_control;
 use maglog_bench::{program, run_seminaive};
 use maglog_workloads::{programs, random_ownership};

@@ -1,7 +1,7 @@
 //! P4: party-invitation scaling — engine vs. the direct cascade solver on
 //! cyclic `knows` graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_baselines::direct::party_attendance;
 use maglog_bench::{program, run_seminaive};
 use maglog_workloads::{programs, random_party};

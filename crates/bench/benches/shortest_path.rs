@@ -3,7 +3,7 @@
 //! monotonic evaluation cannot imitate) vs. the GGZ rewriting under WFS
 //! (acyclic instances only; it diverges on cycles).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maglog_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maglog_baselines::direct::all_pairs_dijkstra;
 use maglog_baselines::ggz::{evaluate_ggz, GgzOutcome};
 use maglog_bench::{program, run_seminaive};

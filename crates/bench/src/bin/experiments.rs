@@ -22,8 +22,8 @@ use maglog_workloads::{
     grid_graph, layered_dag, programs, random_circuit, random_digraph, random_ownership,
     random_party, ring_with_chords,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,8 +1,10 @@
 //! Abstract syntax for Datalog with monotonic aggregation.
 
+use crate::span::Span;
 use crate::symbols::{Sym, SymbolTable};
 use maglog_lattice::Real;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// A variable (interned name).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,15 +53,48 @@ impl Term {
 
 /// An atom `p(t1, ..., tn)`. If `p` is a cost predicate, the **last**
 /// argument is the cost argument.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// Spans are transparent to equality and hashing: a ground atom the engine
+/// synthesizes compares equal to the same atom parsed from source.
+#[derive(Clone, Debug)]
 pub struct Atom {
     pub pred: Pred,
     pub args: Vec<Term>,
+    /// Byte span of the whole atom in the source; dummy when synthesized.
+    pub span: Span,
+    /// Byte span of each argument; empty when synthesized.
+    pub arg_spans: Vec<Span>,
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.pred == other.pred && self.args == other.args
+    }
+}
+
+impl Eq for Atom {}
+
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.pred.hash(state);
+        self.args.hash(state);
+    }
 }
 
 impl Atom {
     pub fn new(pred: Pred, args: Vec<Term>) -> Self {
-        Atom { pred, args }
+        Atom {
+            pred,
+            args,
+            span: Span::DUMMY,
+            arg_spans: Vec::new(),
+        }
+    }
+
+    /// The span of argument `i`, falling back to the atom's own span when
+    /// per-argument spans were not recorded (synthesized atoms).
+    pub fn arg_span(&self, i: usize) -> Span {
+        self.arg_spans.get(i).copied().unwrap_or(self.span)
     }
 
     pub fn arity(&self) -> usize {
@@ -168,14 +203,31 @@ impl Expr {
 
 /// A built-in subgoal `lhs op rhs` (Section 2.2: equalities and comparisons
 /// over arithmetic expressions on the cost domains).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Builtin {
     pub op: CmpOp,
     pub lhs: Expr,
     pub rhs: Expr,
+    /// Byte span of the subgoal in the source; dummy when synthesized.
+    pub span: Span,
+}
+
+impl PartialEq for Builtin {
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op && self.lhs == other.lhs && self.rhs == other.rhs
+    }
 }
 
 impl Builtin {
+    pub fn new(op: CmpOp, lhs: Expr, rhs: Expr) -> Self {
+        Builtin {
+            op,
+            lhs,
+            rhs,
+            span: Span::DUMMY,
+        }
+    }
+
     pub fn vars(&self) -> Vec<Var> {
         let mut v = self.lhs.vars();
         v.extend(self.rhs.vars());
@@ -257,13 +309,25 @@ impl AggFunc {
 /// variables are the conjunct variables that also occur *outside* the
 /// subgoal; local variables occur only inside (computed per rule, see
 /// [`Rule::aggregate_grouping_vars`]).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Aggregate {
     pub result: Term,
     pub eq: AggEq,
     pub func: AggFunc,
     pub multiset_var: Option<Var>,
     pub conjuncts: Vec<Atom>,
+    /// Byte span of the whole subgoal in the source; dummy when synthesized.
+    pub span: Span,
+}
+
+impl PartialEq for Aggregate {
+    fn eq(&self, other: &Self) -> bool {
+        self.result == other.result
+            && self.eq == other.eq
+            && self.func == other.func
+            && self.multiset_var == other.multiset_var
+            && self.conjuncts == other.conjuncts
+    }
 }
 
 impl Aggregate {
@@ -293,16 +357,42 @@ impl Literal {
             _ => None,
         }
     }
+
+    /// The byte span of the literal (dummy when synthesized).
+    pub fn span(&self) -> Span {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.span,
+            Literal::Agg(agg) => agg.span,
+            Literal::Builtin(b) => b.span,
+        }
+    }
 }
 
 /// A rule `head :- body`.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Rule {
     pub head: Atom,
     pub body: Vec<Literal>,
+    /// Byte span of the whole clause (through its final `.`); dummy when
+    /// synthesized.
+    pub span: Span,
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body
+    }
 }
 
 impl Rule {
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule {
+            head,
+            body,
+            span: Span::DUMMY,
+        }
+    }
+
     /// Is this a fact (empty body, ground head checked elsewhere)?
     pub fn is_fact(&self) -> bool {
         self.body.is_empty()
@@ -397,9 +487,26 @@ impl Rule {
 
 /// An integrity constraint (Definition 2.9): a headless rule whose body is
 /// guaranteed never to be satisfied.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Constraint {
     pub body: Vec<Literal>,
+    /// Byte span of the whole constraint; dummy when synthesized.
+    pub span: Span,
+}
+
+impl PartialEq for Constraint {
+    fn eq(&self, other: &Self) -> bool {
+        self.body == other.body
+    }
+}
+
+impl Constraint {
+    pub fn new(body: Vec<Literal>) -> Self {
+        Constraint {
+            body,
+            span: Span::DUMMY,
+        }
+    }
 }
 
 /// The cost domains a cost argument may be declared over — one per row of
@@ -476,11 +583,30 @@ pub struct CostSpec {
 }
 
 /// A predicate declaration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct PredDecl {
     pub pred: Pred,
     pub arity: usize,
     pub cost: Option<CostSpec>,
+    /// Byte span of the `declare` item; dummy when synthesized.
+    pub span: Span,
+}
+
+impl PartialEq for PredDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.pred == other.pred && self.arity == other.arity && self.cost == other.cost
+    }
+}
+
+impl PredDecl {
+    pub fn new(pred: Pred, arity: usize, cost: Option<CostSpec>) -> Self {
+        PredDecl {
+            pred,
+            arity,
+            cost,
+            span: Span::DUMMY,
+        }
+    }
 }
 
 /// A parsed program: declarations, rules, integrity constraints, and any
@@ -613,9 +739,9 @@ mod tests {
         let path = p.pred("path");
         let v = |n: &str| Var(p.symbols.intern(n));
         let (x, y, z, c, d) = (v("X"), v("Y"), v("Z"), v("C"), v("D"));
-        let rule = Rule {
-            head: Atom::new(s, vec![Term::Var(x), Term::Var(y), Term::Var(c)]),
-            body: vec![Literal::Agg(Aggregate {
+        let rule = Rule::new(
+            Atom::new(s, vec![Term::Var(x), Term::Var(y), Term::Var(c)]),
+            vec![Literal::Agg(Aggregate {
                 result: Term::Var(c),
                 eq: AggEq::Restricted,
                 func: AggFunc::Min,
@@ -624,8 +750,9 @@ mod tests {
                     path,
                     vec![Term::Var(x), Term::Var(z), Term::Var(y), Term::Var(d)],
                 )],
+                span: Span::DUMMY,
             })],
-        };
+        );
         assert_eq!(rule.aggregate_grouping_vars(0), vec![x, y]);
         assert_eq!(rule.aggregate_local_vars(0), vec![z]);
     }
@@ -638,9 +765,9 @@ mod tests {
         let kc = p.pred("kc");
         let v = |n: &str| Var(p.symbols.intern(n));
         let (x, k, n, y) = (v("X"), v("K"), v("N"), v("Y"));
-        let rule = Rule {
-            head: Atom::new(coming, vec![Term::Var(x)]),
-            body: vec![
+        let rule = Rule::new(
+            Atom::new(coming, vec![Term::Var(x)]),
+            vec![
                 Literal::Pos(Atom::new(requires, vec![Term::Var(x), Term::Var(k)])),
                 Literal::Agg(Aggregate {
                     result: Term::Var(n),
@@ -648,14 +775,15 @@ mod tests {
                     func: AggFunc::Count,
                     multiset_var: None,
                     conjuncts: vec![Atom::new(kc, vec![Term::Var(x), Term::Var(y)])],
+                    span: Span::DUMMY,
                 }),
-                Literal::Builtin(Builtin {
-                    op: CmpOp::Ge,
-                    lhs: Expr::Term(Term::Var(n)),
-                    rhs: Expr::Term(Term::Var(k)),
-                }),
+                Literal::Builtin(Builtin::new(
+                    CmpOp::Ge,
+                    Expr::Term(Term::Var(n)),
+                    Expr::Term(Term::Var(k)),
+                )),
             ],
-        };
+        );
         // X is a grouping var (appears in requires and head); Y is local.
         assert_eq!(rule.aggregate_grouping_vars(1), vec![x]);
         assert_eq!(rule.aggregate_local_vars(1), vec![y]);

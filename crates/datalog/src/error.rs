@@ -1,5 +1,6 @@
 //! Error types for parsing and validation.
 
+use crate::span::Span;
 use std::fmt;
 
 /// A source location (1-based line and column).
@@ -15,10 +16,12 @@ impl fmt::Display for Loc {
     }
 }
 
-/// A parse error with location and message.
+/// A parse error with location and message. `span` is the byte range of
+/// the offending text (dummy when only a point location is known).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
     pub loc: Loc,
+    pub span: Span,
     pub message: String,
 }
 
@@ -26,6 +29,15 @@ impl ParseError {
     pub fn new(loc: Loc, message: impl Into<String>) -> Self {
         ParseError {
             loc,
+            span: Span::DUMMY,
+            message: message.into(),
+        }
+    }
+
+    pub fn with_span(loc: Loc, span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            loc,
+            span,
             message: message.into(),
         }
     }
@@ -39,16 +51,33 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// What a [`ValidateError`] is about, so tooling can map it to a stable
+/// lint code without sniffing the message text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidateKind {
+    /// Inconsistent or undeclared-vs-used arity (Section 2.1 conventions).
+    Arity,
+    /// A malformed `declare default` item (Section 2.3.2).
+    DefaultDecl,
+    /// A structurally ill-formed aggregate subgoal (Definition 2.4).
+    Aggregate,
+}
+
 /// A program-level validation error (arity mismatch, undeclared cost
-/// predicate in an aggregate, malformed default declaration, ...).
+/// predicate in an aggregate, malformed default declaration, ...), carrying
+/// the byte span of the offending declaration, atom, or aggregate.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ValidateError {
+    pub span: Span,
+    pub kind: ValidateKind,
     pub message: String,
 }
 
 impl ValidateError {
-    pub fn new(message: impl Into<String>) -> Self {
+    pub fn new(span: Span, kind: ValidateKind, message: impl Into<String>) -> Self {
         ValidateError {
+            span,
+            kind,
             message: message.into(),
         }
     }
@@ -74,7 +103,16 @@ mod tests {
 
     #[test]
     fn validate_error_renders_message() {
-        let e = ValidateError::new("arity mismatch for arc");
+        let e = ValidateError::new(Span::new(4, 9), ValidateKind::Arity, "arity mismatch for arc");
         assert!(e.to_string().contains("arity mismatch"));
+        assert_eq!(e.span, Span::new(4, 9));
+    }
+
+    #[test]
+    fn parse_error_span_defaults_to_dummy() {
+        let e = ParseError::new(Loc { line: 1, col: 1 }, "boom");
+        assert!(e.span.is_dummy());
+        let e = ParseError::with_span(Loc { line: 1, col: 1 }, Span::new(0, 4), "boom");
+        assert_eq!(e.span, Span::new(0, 4));
     }
 }

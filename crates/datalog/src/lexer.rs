@@ -1,6 +1,7 @@
 //! Hand-written lexer for the maglog rule language.
 
 use crate::error::{Loc, ParseError};
+use crate::span::Span;
 use std::fmt;
 
 /// A lexical token.
@@ -73,11 +74,12 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source location.
+/// A token with its source location and byte span.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Token {
     pub tok: Tok,
     pub loc: Loc,
+    pub span: Span,
 }
 
 /// Tokenize `src`, producing a vector ending with `Tok::Eof`.
@@ -88,11 +90,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
     let mut line: u32 = 1;
     let mut col: u32 = 1;
 
+    // `$len` is the token's byte length starting at the current `i`.
     macro_rules! push {
-        ($tok:expr, $loc:expr) => {
+        ($tok:expr, $loc:expr, $len:expr) => {
             out.push(Token {
                 tok: $tok,
                 loc: $loc,
+                span: Span::new(i as u32, (i + $len) as u32),
             })
         };
     }
@@ -117,27 +121,27 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             '(' => {
-                push!(Tok::LParen, loc);
+                push!(Tok::LParen, loc, 1);
                 i += 1;
                 col += 1;
             }
             ')' => {
-                push!(Tok::RParen, loc);
+                push!(Tok::RParen, loc, 1);
                 i += 1;
                 col += 1;
             }
             '[' => {
-                push!(Tok::LBracket, loc);
+                push!(Tok::LBracket, loc, 1);
                 i += 1;
                 col += 1;
             }
             ']' => {
-                push!(Tok::RBracket, loc);
+                push!(Tok::RBracket, loc, 1);
                 i += 1;
                 col += 1;
             }
             ',' => {
-                push!(Tok::Comma, loc);
+                push!(Tok::Comma, loc, 1);
                 i += 1;
                 col += 1;
             }
@@ -145,17 +149,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 // Disambiguate end-of-clause '.' from a decimal point: a
                 // decimal point is always preceded and followed by a digit
                 // and handled inside number lexing, so '.' here is a Dot.
-                push!(Tok::Dot, loc);
+                push!(Tok::Dot, loc, 1);
                 i += 1;
                 col += 1;
             }
             ':' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
-                    push!(Tok::Turnstile, loc);
+                    push!(Tok::Turnstile, loc, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Colon, loc);
+                    push!(Tok::Colon, loc, 1);
                     i += 1;
                     col += 1;
                 }
@@ -167,65 +171,65 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                     && bytes[i + 1] == b'r'
                     && !(i + 2 < bytes.len() && is_ident_char(bytes[i + 2]))
                 {
-                    push!(Tok::EqR, loc);
+                    push!(Tok::EqR, loc, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Eq, loc);
+                    push!(Tok::Eq, loc, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push!(Tok::Ne, loc);
+                    push!(Tok::Ne, loc, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Bang, loc);
+                    push!(Tok::Bang, loc, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push!(Tok::Le, loc);
+                    push!(Tok::Le, loc, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Lt, loc);
+                    push!(Tok::Lt, loc, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push!(Tok::Ge, loc);
+                    push!(Tok::Ge, loc, 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Tok::Gt, loc);
+                    push!(Tok::Gt, loc, 1);
                     i += 1;
                     col += 1;
                 }
             }
             '+' => {
-                push!(Tok::Plus, loc);
+                push!(Tok::Plus, loc, 1);
                 i += 1;
                 col += 1;
             }
             '-' => {
-                push!(Tok::Minus, loc);
+                push!(Tok::Minus, loc, 1);
                 i += 1;
                 col += 1;
             }
             '*' => {
-                push!(Tok::Star, loc);
+                push!(Tok::Star, loc, 1);
                 i += 1;
                 col += 1;
             }
             '/' => {
-                push!(Tok::Slash, loc);
+                push!(Tok::Slash, loc, 1);
                 i += 1;
                 col += 1;
             }
@@ -244,7 +248,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
                 let text = std::str::from_utf8(&bytes[start..j])
                     .map_err(|_| ParseError::new(loc, "invalid UTF-8 in quoted symbol"))?;
-                push!(Tok::Ident(text.to_string()), loc);
+                push!(Tok::Ident(text.to_string()), loc, j + 1 - i);
                 col += (j + 1 - i) as u32;
                 i = j + 1;
             }
@@ -279,7 +283,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| ParseError::new(loc, format!("invalid number '{text}'")))?;
-                push!(Tok::Num(value), loc);
+                push!(Tok::Num(value), loc, j - i);
                 col += (j - i) as u32;
                 i = j;
             }
@@ -295,7 +299,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 } else {
                     Tok::Ident(text.to_string())
                 };
-                push!(tok, loc);
+                push!(tok, loc, j - i);
                 col += (j - i) as u32;
                 i = j;
             }
@@ -310,6 +314,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
     out.push(Token {
         tok: Tok::Eof,
         loc: Loc { line, col },
+        span: Span::new(i as u32, i as u32),
     });
     Ok(out)
 }

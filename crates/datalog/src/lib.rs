@@ -30,6 +30,7 @@ pub mod graph;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 pub mod symbols;
 pub mod validate;
 
@@ -37,7 +38,8 @@ pub use ast::{
     AggEq, AggFunc, Aggregate, Atom, BinOp, Builtin, CmpOp, Const, Constraint, CostSpec,
     DomainSpec, Expr, Literal, Pred, PredDecl, Program, Rule, Term, Var,
 };
-pub use error::{ParseError, ValidateError};
+pub use error::{Loc, ParseError, ValidateError, ValidateKind};
 pub use graph::{Component, DepGraph, EdgeKind};
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_raw};
+pub use span::{LineIndex, Span};
 pub use symbols::{Sym, SymbolTable};

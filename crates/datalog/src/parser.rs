@@ -31,10 +31,25 @@
 use crate::ast::*;
 use crate::error::{Loc, ParseError};
 use crate::lexer::{tokenize, Tok, Token};
+use crate::span::{LineIndex, Span};
 use crate::validate::validate;
 
 /// Parse and validate a complete program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let program = parse_program_raw(src)?;
+    validate(&program).map_err(|e| {
+        let loc = LineIndex::new(src).loc(e.span.start);
+        ParseError::with_span(loc, e.span, e.message)
+    })?;
+    Ok(program)
+}
+
+/// Parse without running program-level validation. Diagnostics tooling
+/// uses this so validation failures keep their [`ValidateKind`] and span
+/// instead of collapsing into a generic parse error.
+///
+/// [`ValidateKind`]: crate::error::ValidateKind
+pub fn parse_program_raw(src: &str) -> Result<Program, ParseError> {
     let tokens = tokenize(src)?;
     let mut parser = Parser {
         tokens,
@@ -42,9 +57,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         program: Program::new(),
     };
     parser.parse()?;
-    let program = parser.program;
-    validate(&program).map_err(|e| ParseError::new(Loc::default(), e.message))?;
-    Ok(program)
+    Ok(parser.program)
 }
 
 struct Parser {
@@ -65,6 +78,16 @@ impl Parser {
 
     fn loc(&self) -> Loc {
         self.tokens[self.pos].loc
+    }
+
+    /// Byte offset where the next token starts.
+    fn cur_start(&self) -> u32 {
+        self.tokens[self.pos].span.start
+    }
+
+    /// Byte offset where the previously consumed token ended.
+    fn prev_end(&self) -> u32 {
+        self.tokens[self.pos.saturating_sub(1)].span.end
     }
 
     fn bump(&mut self) -> Tok {
@@ -108,18 +131,22 @@ impl Parser {
         match self.peek() {
             Tok::Ident(kw) if kw == "declare" => self.declaration(),
             Tok::Ident(kw) if kw == "constraint" => {
+                let start = self.cur_start();
                 self.bump();
                 self.expect(&Tok::Turnstile)?;
                 let body = self.body()?;
                 self.expect(&Tok::Dot)?;
-                self.program.constraints.push(Constraint { body });
+                let span = Span::new(start, self.prev_end());
+                self.program.constraints.push(Constraint { body, span });
                 Ok(())
             }
             Tok::Turnstile => {
+                let start = self.cur_start();
                 self.bump();
                 let body = self.body()?;
                 self.expect(&Tok::Dot)?;
-                self.program.constraints.push(Constraint { body });
+                let span = Span::new(start, self.prev_end());
+                self.program.constraints.push(Constraint { body, span });
                 Ok(())
             }
             _ => self.clause(),
@@ -127,6 +154,7 @@ impl Parser {
     }
 
     fn declaration(&mut self) -> Result<(), ParseError> {
+        let start = self.cur_start();
         self.bump(); // 'declare'
         let kind = self.expect_ident("'pred' or 'default'")?;
         match kind.as_str() {
@@ -160,10 +188,17 @@ impl Parser {
                     }
                 }
                 self.expect(&Tok::Dot)?;
+                let span = Span::new(start, self.prev_end());
                 let pred = self.program.pred(&name);
-                self.program
-                    .decls
-                    .insert(pred, PredDecl { pred, arity, cost });
+                self.program.decls.insert(
+                    pred,
+                    PredDecl {
+                        pred,
+                        arity,
+                        cost,
+                        span,
+                    },
+                );
                 Ok(())
             }
             "default" => {
@@ -175,6 +210,7 @@ impl Parser {
                 self.expect(&Tok::Slash)?;
                 let arity = self.number("arity")? as usize;
                 self.expect(&Tok::Dot)?;
+                let span = Span::new(start, self.prev_end());
                 let pred = self.program.pred(&name);
                 let decl = self
                     .program
@@ -184,6 +220,7 @@ impl Parser {
                         pred,
                         arity,
                         cost: None,
+                        span,
                     });
                 match &mut decl.cost {
                     Some(spec) => spec.has_default = true,
@@ -216,16 +253,19 @@ impl Parser {
     }
 
     fn clause(&mut self) -> Result<(), ParseError> {
+        let start = self.cur_start();
         let head = self.atom()?;
         match self.peek() {
             Tok::Turnstile => {
                 self.bump();
                 let body = self.body()?;
                 self.expect(&Tok::Dot)?;
-                self.program.rules.push(Rule { head, body });
+                let span = Span::new(start, self.prev_end());
+                self.program.rules.push(Rule { head, body, span });
             }
             Tok::Dot => {
                 self.bump();
+                let span = Span::new(start, self.prev_end());
                 if head.args.iter().all(|t| matches!(t, Term::Const(_))) {
                     self.program.facts.push(head);
                 } else {
@@ -235,6 +275,7 @@ impl Parser {
                     self.program.rules.push(Rule {
                         head,
                         body: Vec::new(),
+                        span,
                     });
                 }
             }
@@ -292,20 +333,22 @@ impl Parser {
             Tok::EqR => {
                 self.bump();
                 let result = self.simple_term_from_expr(&lhs, lhs_start)?;
-                self.aggregate(result, AggEq::Restricted)
+                self.aggregate(result, AggEq::Restricted, lhs_start)
             }
             Tok::Eq if self.looks_like_aggregate() => {
                 self.bump();
                 let result = self.simple_term_from_expr(&lhs, lhs_start)?;
-                self.aggregate(result, AggEq::Total)
+                self.aggregate(result, AggEq::Total, lhs_start)
             }
             Tok::Eq => {
                 self.bump();
                 let rhs = self.expr()?;
+                let span = Span::new(self.tokens[lhs_start].span.start, self.prev_end());
                 Ok(Literal::Builtin(Builtin {
                     op: CmpOp::Eq,
                     lhs,
                     rhs,
+                    span,
                 }))
             }
             Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
@@ -318,7 +361,8 @@ impl Parser {
                     _ => unreachable!(),
                 };
                 let rhs = self.expr()?;
-                Ok(Literal::Builtin(Builtin { op, lhs, rhs }))
+                let span = Span::new(self.tokens[lhs_start].span.start, self.prev_end());
+                Ok(Literal::Builtin(Builtin { op, lhs, rhs, span }))
             }
             other => Err(ParseError::new(
                 self.loc(),
@@ -355,7 +399,12 @@ impl Parser {
         }
     }
 
-    fn aggregate(&mut self, result: Term, eq: AggEq) -> Result<Literal, ParseError> {
+    fn aggregate(
+        &mut self,
+        result: Term,
+        eq: AggEq,
+        start_tok: usize,
+    ) -> Result<Literal, ParseError> {
         let func_loc = self.loc();
         let func_name = self.expect_ident("aggregate function name")?;
         let func = AggFunc::from_name(&func_name).ok_or_else(|| {
@@ -382,40 +431,56 @@ impl Parser {
         } else {
             vec![self.atom()?]
         };
+        let span = Span::new(self.tokens[start_tok].span.start, self.prev_end());
         Ok(Literal::Agg(Aggregate {
             result,
             eq,
             func,
             multiset_var,
             conjuncts,
+            span,
         }))
     }
 
     fn atom(&mut self) -> Result<Atom, ParseError> {
         let name_loc = self.loc();
+        let start = self.cur_start();
         let name = match self.bump() {
             Tok::Ident(s) => s,
             other => {
-                return Err(ParseError::new(
+                return Err(ParseError::with_span(
                     name_loc,
+                    self.tokens[self.pos.saturating_sub(1)].span,
                     format!("expected predicate name, found {other}"),
                 ))
             }
         };
         let pred = self.program.pred(&name);
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         if *self.peek() == Tok::LParen {
             self.bump();
             if *self.peek() != Tok::RParen {
-                args.push(self.term()?);
+                let mut arg = |p: &mut Self| -> Result<(), ParseError> {
+                    let s = p.cur_start();
+                    args.push(p.term()?);
+                    arg_spans.push(Span::new(s, p.prev_end()));
+                    Ok(())
+                };
+                arg(self)?;
                 while *self.peek() == Tok::Comma {
                     self.bump();
-                    args.push(self.term()?);
+                    arg(self)?;
                 }
             }
             self.expect(&Tok::RParen)?;
         }
-        Ok(Atom::new(pred, args))
+        Ok(Atom {
+            pred,
+            args,
+            span: Span::new(start, self.prev_end()),
+            arg_spans,
+        })
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {

@@ -1,0 +1,156 @@
+//! Byte-span source locations.
+//!
+//! Every syntax node carries a [`Span`] — a half-open byte range into the
+//! source text it was parsed from. Nodes built programmatically (tests,
+//! rewrites like GGZ, the engine's ground atoms) carry [`Span::DUMMY`];
+//! spans are deliberately *transparent* to equality and hashing so a
+//! synthesized node compares equal to its parsed twin.
+//!
+//! [`LineIndex`] converts byte offsets back to 1-based line/column
+//! positions for rendering, without every node paying for line tracking.
+
+use crate::error::Loc;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    /// The span of synthesized nodes with no source text.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// Does this span point at real source text?
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`. A dummy operand
+    /// yields the other span unchanged.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+
+    pub fn len(self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line/column positions and back to line
+/// text. Build once per source string; lookups are binary searches.
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineIndex {
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// The 1-based line/column of a byte offset. Offsets past the end
+    /// clamp to the final position.
+    pub fn loc(&self, offset: u32) -> Loc {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Loc {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+
+    /// Number of lines in the source (at least 1).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+
+    /// The text of a 1-based line, without its trailing newline.
+    pub fn line_text<'a>(&self, src: &'a str, line: u32) -> &'a str {
+        let i = (line as usize - 1).min(self.line_starts.len() - 1);
+        let start = self.line_starts[i] as usize;
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|&e| e as usize)
+            .unwrap_or(src.len());
+        src[start..end].trim_end_matches(['\n', '\r'])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_and_dummy() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(Span::DUMMY.to(b), b);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!a.is_dummy());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn line_index_locates_offsets() {
+        let src = "abc\ndef\n\nxy";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.loc(0), Loc { line: 1, col: 1 });
+        assert_eq!(idx.loc(2), Loc { line: 1, col: 3 });
+        assert_eq!(idx.loc(4), Loc { line: 2, col: 1 });
+        assert_eq!(idx.loc(8), Loc { line: 3, col: 1 });
+        assert_eq!(idx.loc(9), Loc { line: 4, col: 1 });
+        assert_eq!(idx.loc(11), Loc { line: 4, col: 3 });
+        // past-the-end clamps
+        assert_eq!(idx.loc(99), Loc { line: 4, col: 3 });
+        assert_eq!(idx.line_count(), 4);
+    }
+
+    #[test]
+    fn line_text_strips_newlines() {
+        let src = "abc\r\ndef\nlast";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_text(src, 1), "abc");
+        assert_eq!(idx.line_text(src, 2), "def");
+        assert_eq!(idx.line_text(src, 3), "last");
+    }
+}

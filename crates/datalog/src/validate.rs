@@ -5,7 +5,7 @@
 //! conflict-freedom, admissibility — live in `maglog-analysis`.
 
 use crate::ast::*;
-use crate::error::ValidateError;
+use crate::error::{ValidateError, ValidateKind};
 use std::collections::HashMap;
 
 /// Validate `program`, checking:
@@ -26,12 +26,16 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
 
     let mut check_atom = |program: &Program, atom: &Atom| -> Result<(), ValidateError> {
         match arities.get(&atom.pred) {
-            Some(&a) if a != atom.arity() => Err(ValidateError::new(format!(
+            Some(&a) if a != atom.arity() => Err(ValidateError::new(
+                atom.span,
+                ValidateKind::Arity,
+                format!(
                 "predicate {}/{} used with arity {}",
-                program.pred_name(atom.pred),
-                a,
-                atom.arity()
-            ))),
+                    program.pred_name(atom.pred),
+                    a,
+                    atom.arity()
+                ),
+            )),
             Some(_) => Ok(()),
             None => {
                 arities.insert(atom.pred, atom.arity());
@@ -71,10 +75,14 @@ pub fn validate(program: &Program) -> Result<(), ValidateError> {
     for decl in program.decls.values() {
         if let Some(cost) = decl.cost {
             if cost.has_default && decl.arity == 0 {
-                return Err(ValidateError::new(format!(
-                    "default-value predicate {} must have at least a cost argument",
-                    program.pred_name(decl.pred)
-                )));
+                return Err(ValidateError::new(
+                    decl.span,
+                    ValidateKind::DefaultDecl,
+                    format!(
+                        "default-value predicate {} must have at least a cost argument",
+                        program.pred_name(decl.pred)
+                    ),
+                ));
             }
         }
     }
@@ -91,10 +99,14 @@ fn validate_aggregate(
     match agg.multiset_var {
         None => {
             if agg.func != AggFunc::Count {
-                return Err(ValidateError::new(format!(
-                    "aggregate '{fname}' requires a multiset variable \
-                     (only 'count' may aggregate an implicit boolean cost)"
-                )));
+                return Err(ValidateError::new(
+                    agg.span,
+                    ValidateKind::Aggregate,
+                    format!(
+                        "aggregate '{fname}' requires a multiset variable \
+                         (only 'count' may aggregate an implicit boolean cost)"
+                    ),
+                ));
             }
         }
         Some(e) => {
@@ -108,39 +120,55 @@ fn validate_aggregate(
                         occurrences += 1;
                         let is_last = i + 1 == atom.args.len();
                         if !is_last {
-                            return Err(ValidateError::new(format!(
-                                "multiset variable {} must appear only in cost \
-                                 (final) argument positions",
-                                program.var_name(e)
-                            )));
+                            return Err(ValidateError::new(
+                                atom.arg_span(i),
+                                ValidateKind::Aggregate,
+                                format!(
+                                    "multiset variable {} must appear only in cost \
+                                     (final) argument positions",
+                                    program.var_name(e)
+                                ),
+                            ));
                         }
                         if let Some(decl) = program.decls.get(&atom.pred) {
                             if decl.cost.is_none() {
-                                return Err(ValidateError::new(format!(
-                                    "multiset variable {} appears in the last argument of \
-                                     {}, which is declared without a cost argument",
-                                    program.var_name(e),
-                                    program.pred_name(atom.pred)
-                                )));
+                                return Err(ValidateError::new(
+                                    atom.arg_span(i),
+                                    ValidateKind::Aggregate,
+                                    format!(
+                                        "multiset variable {} appears in the last argument of \
+                                         {}, which is declared without a cost argument",
+                                        program.var_name(e),
+                                        program.pred_name(atom.pred)
+                                    ),
+                                ));
                             }
                         }
                     }
                 }
             }
             if occurrences == 0 {
-                return Err(ValidateError::new(format!(
-                    "multiset variable {} does not occur in the aggregate conjunction",
-                    program.var_name(e)
-                )));
+                return Err(ValidateError::new(
+                    agg.span,
+                    ValidateKind::Aggregate,
+                    format!(
+                        "multiset variable {} does not occur in the aggregate conjunction",
+                        program.var_name(e)
+                    ),
+                ));
             }
             // E must not occur elsewhere in the rule.
             if let Some(rule) = rule {
                 let outside = count_var_uses_outside_aggregates(rule, e);
                 if outside > 0 {
-                    return Err(ValidateError::new(format!(
-                        "multiset variable {} may not occur outside its aggregate subgoal",
-                        program.var_name(e)
-                    )));
+                    return Err(ValidateError::new(
+                        agg.span,
+                        ValidateKind::Aggregate,
+                        format!(
+                            "multiset variable {} may not occur outside its aggregate subgoal",
+                            program.var_name(e)
+                        ),
+                    ));
                 }
             }
             // The result variable must differ from E and from the local
@@ -148,18 +176,26 @@ fn validate_aggregate(
             // that it does not occur inside the conjunction at all.
             if let Term::Var(c) = agg.result {
                 if c == e {
-                    return Err(ValidateError::new(format!(
-                        "aggregate variable {} must differ from the multiset variable",
-                        program.var_name(c)
-                    )));
+                    return Err(ValidateError::new(
+                        agg.span,
+                        ValidateKind::Aggregate,
+                        format!(
+                            "aggregate variable {} must differ from the multiset variable",
+                            program.var_name(c)
+                        ),
+                    ));
                 }
                 for atom in &agg.conjuncts {
                     if atom.vars().any(|v| v == c) {
-                        return Err(ValidateError::new(format!(
-                            "aggregate variable {} may not occur inside the aggregated \
-                             conjunction",
-                            program.var_name(c)
-                        )));
+                        return Err(ValidateError::new(
+                            atom.span,
+                            ValidateKind::Aggregate,
+                            format!(
+                                "aggregate variable {} may not occur inside the aggregated \
+                                 conjunction",
+                                program.var_name(c)
+                            ),
+                        ));
                     }
                 }
             }

@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property tests for the parser: generated programs round-trip through
 //! printing, and arbitrary input never panics the lexer/parser.
 

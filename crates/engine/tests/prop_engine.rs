@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property tests for the engine: aggregate monotonicity (Figure 1),
 //! strategy agreement, monotonicity of the model in the EDB, and the
 //! FD/cost-consistency invariant of the computed models.

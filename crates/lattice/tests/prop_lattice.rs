@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property-based verification of the lattice laws (Definition 2.1) for
 //! every Figure-1 domain, and of the multiset ordering `⊑_D` (Section 4.1).
 

@@ -1,0 +1,238 @@
+//! Deterministic pseudo-random numbers with no external dependencies.
+//!
+//! The workload generators and benchmarks only need seed-reproducible
+//! streams, not cryptographic quality, so this crate provides a small
+//! xoshiro256** generator (Blackman & Vigna) seeded through splitmix64,
+//! behind a facade that mirrors the subset of the `rand` 0.8 API the
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen`, `Rng::gen_range`, and `Rng::gen_bool`. Call sites migrate
+//! by changing only their `use rand::...` lines.
+//!
+//! Streams are stable across platforms and releases: the golden workload
+//! tests depend on `seed_from_u64` producing identical instances forever.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's standard generator: xoshiro256**.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+/// `rand`-style module alias so `use maglog_prng::rngs::StdRng;` works.
+pub mod rngs {
+    pub type StdRng = super::Xoshiro256;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)` using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` (Lemire-style rejection
+    /// via widening multiply).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound && low < bound.wrapping_neg().wrapping_rem(bound).wrapping_add(bound)
+            {
+                continue;
+            }
+            // Accept unless we landed in the biased low fringe.
+            if low < bound.wrapping_neg() % bound {
+                continue;
+            }
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Seeding, mirroring `rand::SeedableRng` for the one constructor we use.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+}
+
+/// A type a generator can sample uniformly ("standard" distribution).
+pub trait Standard: Sized {
+    fn sample(rng: &mut Xoshiro256) -> Self;
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut Xoshiro256) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut Xoshiro256) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut Xoshiro256) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// A range a generator can sample a `T` uniformly from. Generic over the
+/// output type (like `rand::distributions::uniform::SampleRange`) so that
+/// unannotated literals such as `gen_range(33..=48)` infer their type from
+/// how the result is used.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Xoshiro256) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Xoshiro256) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.next_below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u32, u64, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Xoshiro256) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// The sampling facade, mirroring `rand::Rng`.
+pub trait Rng {
+    fn gen<T: Standard>(&mut self) -> T;
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for Xoshiro256 {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(1..=5i64);
+            assert!((1..=5).contains(&y));
+            let z = rng.gen_range(-2.0..4.0);
+            assert!((-2.0..4.0).contains(&z));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut hi = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0..=3u32) == 3 {
+                hi = true;
+            }
+        }
+        assert!(hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

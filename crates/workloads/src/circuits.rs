@@ -3,8 +3,8 @@
 use maglog_baselines::direct::{Circuit, Gate};
 use maglog_datalog::Program;
 use maglog_engine::Edb;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 
 /// The generated circuit in both plain-Rust and EDB form. Wire ids:
 /// `0..n_inputs` are inputs, `n_inputs..n_inputs+n_gates` are gates.

@@ -2,8 +2,8 @@
 
 use maglog_datalog::Program;
 use maglog_engine::Edb;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 
 /// A generated weighted digraph: nodes `0..n`, arcs `(u, v, w)`.
 #[derive(Clone, Debug)]

@@ -2,8 +2,8 @@
 
 use maglog_datalog::Program;
 use maglog_engine::Edb;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A generated ownership network: `shares[(owner, company)]` = fraction of
@@ -55,7 +55,7 @@ pub fn random_ownership(
             // A strict majority holder: 33..=48 units (0.515..0.75).
             let owner = rng.gen_range(0..n);
             if owner != company {
-                let amount = rng.gen_range(33..=48);
+                let amount: u32 = rng.gen_range(33..=48);
                 *shares.entry((owner, company)).or_insert(0.0) +=
                     amount as f64 * unit;
                 remaining -= amount;

@@ -3,8 +3,8 @@
 
 use maglog_datalog::Program;
 use maglog_engine::Edb;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maglog_prng::rngs::StdRng;
+use maglog_prng::{Rng, SeedableRng};
 
 /// A party instance: `knows[x]` lists acquaintances; `requires[x]` is the
 /// number of already-committed acquaintances guest `x` demands.

@@ -1,40 +1,156 @@
 //! `maglog` — command-line driver for the monotonic-aggregation engine.
 //!
 //! ```text
-//! maglog check  <program.mgl>            run the static battery and report
+//! maglog check  [opts] <program.mgl>     run the static battery and report
 //! maglog run    <program.mgl> [pred...]  evaluate; print the model (or just preds)
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! ```
 //!
+//! `check` options:
+//!
+//! ```text
+//! --format=human|json   rendering of the diagnostics (default: human)
+//! --deny <CODE|all>     escalate a lint code to deny (all: every warning)
+//! --allow <CODE>        silence a lint code entirely
+//! ```
+//!
 //! Programs are text files in the maglog rule language; facts can be given
-//! inline (`arc(a, b, 1).`). Exit code is nonzero on parse/analysis/
-//! evaluation failure, so `maglog check` works in CI.
+//! inline (`arc(a, b, 1).`). Exit codes: 0 on success, 1 when `check`
+//! finds deny-level diagnostics (or evaluation fails), 2 on usage errors —
+//! so `maglog check --deny all` works in CI.
 
-use maglog::analysis::check_program;
+use maglog::analysis::diag::{
+    check_source, render_human, render_json, Code, LintConfig, Severity, SourceCheck,
+};
 use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::{Edb, MonotonicEngine};
 use std::process::ExitCode;
 
+const USAGE: &str = "\
+usage: maglog <check|run|compare|explain> <program.mgl> [args]
+
+  check   [--format=human|json] [--deny <CODE|all>] [--allow <CODE>] <program.mgl>
+  run     <program.mgl> [pred...]
+  compare <program.mgl>
+  explain <program.mgl>
+
+Lint codes are the stable MAGxxxx identifiers listed in docs/lint-codes.md.";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct CheckOpts {
+    format: Format,
+    config: LintConfig,
+}
+
+enum ArgError {
+    Usage(String),
+}
+
+/// Split flags from operands. Flags take their value either as
+/// `--flag=value` or from the next argument.
+fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgError> {
+    let mut opts = CheckOpts {
+        format: Format::Human,
+        config: LintConfig::new(),
+    };
+    let mut operands = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(ArgError::Usage(format!("unknown format '{other}'")))
+                    }
+                };
+            }
+            "--deny" => {
+                let v = value("--deny")?;
+                if v == "all" {
+                    opts.config.set_deny_all(true);
+                } else {
+                    let code = parse_code(&v)?;
+                    opts.config.set(code, Severity::Deny);
+                }
+            }
+            "--allow" => {
+                let code = parse_code(&value("--allow")?)?;
+                opts.config.set(code, Severity::Allow);
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            _ => operands.push(arg.clone()),
+        }
+    }
+    Ok((opts, operands))
+}
+
+fn parse_code(s: &str) -> Result<Code, ArgError> {
+    Code::parse(s).ok_or_else(|| ArgError::Usage(format!("unknown lint code '{s}'")))
+}
+
+fn usage_exit(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
-        None => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
+        None => return usage_exit(""),
     };
+    if cmd == "check" {
+        let (opts, operands) = match parse_check_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
+        let [path] = operands.as_slice() else {
+            return usage_exit("check takes exactly one program file");
+        };
+        return match cmd_check(path, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // The other subcommands take no flags.
+    if let Some(flag) = rest.iter().find(|a| a.starts_with('-')) {
+        return usage_exit(&format!("unknown flag '{flag}'"));
+    }
     let result = match (cmd, rest) {
-        ("check", [path]) => cmd_check(path),
         ("run", [path, preds @ ..]) => cmd_run(path, preds),
         ("compare", [path]) => cmd_compare(path),
         ("explain", [path]) => cmd_explain(path),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+        ("run" | "compare" | "explain", _) => {
+            return usage_exit(&format!("{cmd} requires a program file"))
         }
+        _ => return usage_exit(&format!("unknown subcommand '{cmd}'")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -45,22 +161,47 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: maglog <check|run|compare|explain> <program.mgl> [pred...]";
-
 fn load(path: &str) -> Result<Program, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let src = read_source(path)?;
     parse_program(&src).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_check(path: &str) -> Result<(), String> {
-    let program = load(path)?;
-    let report = check_program(&program);
-    print!("{}", report.summary(&program));
-    if report.evaluable() {
-        println!("verdict: evaluable (unique minimal model exists)");
-        Ok(())
-    } else {
-        Err("program is not certified monotonic".into())
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(path: &str, opts: &CheckOpts) -> Result<(), String> {
+    let src = read_source(path)?;
+    let chk: SourceCheck = check_source(&src, &opts.config);
+
+    match opts.format {
+        Format::Json => {
+            print!("{}", render_json(&src, path, &chk.diagnostics));
+        }
+        Format::Human => {
+            // Legacy battery summary first (when the battery ran), then the
+            // span-carrying diagnostics.
+            if let (Some(program), Some(report)) = (&chk.program, &chk.report) {
+                print!("{}", report.summary(program));
+            }
+            if !chk.diagnostics.is_empty() {
+                println!();
+                print!("{}", render_human(&src, path, &chk.diagnostics));
+            }
+            if let Some(report) = &chk.report {
+                if report.evaluable() {
+                    println!("verdict: evaluable (unique minimal model exists)");
+                } else if chk.deny_count() == 0 {
+                    println!("verdict: not evaluable, but all findings are allowed");
+                }
+            }
+        }
+    }
+
+    match chk.deny_count() {
+        0 => Ok(()),
+        _ if chk.report.is_some() => Err("program is not certified monotonic".into()),
+        n => Err(format!("{path}: {n} error(s)")),
     }
 }
 

@@ -91,6 +91,65 @@ fn bad_subcommand_prints_usage() {
 }
 
 #[test]
+fn unknown_flag_prints_usage_and_exits_2() {
+    let out = maglog(&["check", "--frobnicate", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--frobnicate"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_operand_prints_usage_and_exits_2() {
+    for args in [&["check"][..], &["run"][..], &["compare"][..]] {
+        let out = maglog(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn flag_on_non_check_subcommand_is_rejected() {
+    let out = maglog(&["run", "--format=json", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_lint_code_is_a_usage_error() {
+    let out = maglog(&["check", "--deny", "MAG9999", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("MAG9999"), "{}", stderr(&out));
+}
+
+#[test]
+fn check_emits_structured_json_diagnostics() {
+    let out = maglog(&["check", "--format=json", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"code\": \"MAG0501\""), "{text}");
+    assert!(text.contains("\"severity\": \"note\""), "{text}");
+    assert!(text.contains("\"start_line\""), "{text}");
+    assert!(text.contains("\"error_count\": 0"), "{text}");
+}
+
+#[test]
+fn deny_escalates_a_note_to_an_error() {
+    // Shortest path is legitimately outside the r-monotonic class; denying
+    // MAG0501 must flip the exit code, allowing it must restore success.
+    let out = maglog(&["check", "--deny", "MAG0501", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = maglog(&[
+        "check",
+        "--deny",
+        "MAG0501",
+        "--allow",
+        "MAG0501",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
 fn non_monotonic_program_makes_check_fail() {
     let dir = std::env::temp_dir().join("maglog_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
