@@ -41,15 +41,14 @@ pub fn rule_fds(program: &Program, rule: &Rule) -> Vec<Fd> {
     let mut fds = Vec::new();
     for (idx, lit) in rule.body.iter().enumerate() {
         match lit {
-            Literal::Pos(a) => {
-                if program.is_cost_pred(a.pred) {
+            Literal::Pos(a)
+                if program.is_cost_pred(a.pred) => {
                     if let Some(Term::Var(c)) = a.cost_arg(true) {
                         let key: Vec<Var> =
                             a.key_args(true).iter().filter_map(Term::as_var).collect();
                         fds.push(Fd::new(key, [*c]));
                     }
                 }
-            }
             Literal::Agg(agg) => {
                 // Grouping variables determine the aggregate value.
                 if let Term::Var(c) = agg.result {

@@ -279,9 +279,7 @@ fn rule_issues(program: &Program, rule: &Rule) -> Vec<(Code, Span, String)> {
                     // Only local variables appearing in *non-cost* positions
                     // must be limited.
                     let in_noncost = agg.conjuncts.iter().any(|a| {
-                        a.key_args(program.is_cost_pred(a.pred))
-                            .iter()
-                            .any(|t| *t == Term::Var(v))
+                        a.key_args(program.is_cost_pred(a.pred)).contains(&Term::Var(v))
                     });
                     if in_noncost && !limited.contains(&v) {
                         issues.push((

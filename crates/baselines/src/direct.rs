@@ -30,7 +30,7 @@ pub fn dijkstra(n: usize, arcs: &[(usize, usize, f64)], source: usize) -> Vec<Op
         dist[u] = Some(d);
         for &(v, w) in &adj[u] {
             let nd = d + w;
-            if dist[v].map_or(true, |b| nd < b) {
+            if dist[v].is_none_or(|b| nd < b) {
                 heap.push(Reverse((OrdF64(nd), v)));
             }
         }
@@ -43,13 +43,17 @@ pub fn all_pairs_dijkstra(n: usize, arcs: &[(usize, usize, f64)]) -> Vec<Vec<Opt
     (0..n).map(|s| dijkstra(n, arcs, s)).collect()
 }
 
+/// A negative cycle reachable from the source: shortest paths undefined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NegativeCycle;
+
 /// Bellman–Ford from one source; handles negative weights. Returns
-/// `Err(())` when a negative cycle is reachable from the source.
+/// `Err(NegativeCycle)` when a negative cycle is reachable from the source.
 pub fn bellman_ford(
     n: usize,
     arcs: &[(usize, usize, f64)],
     source: usize,
-) -> Result<Vec<Option<f64>>, ()> {
+) -> Result<Vec<Option<f64>>, NegativeCycle> {
     let mut dist: Vec<Option<f64>> = vec![None; n];
     dist[source] = Some(0.0);
     for _ in 0..n.saturating_sub(1) {
@@ -57,7 +61,7 @@ pub fn bellman_ford(
         for &(u, v, w) in arcs {
             if let Some(du) = dist[u] {
                 let nd = du + w;
-                if dist[v].map_or(true, |b| nd < b) {
+                if dist[v].is_none_or(|b| nd < b) {
                     dist[v] = Some(nd);
                     changed = true;
                 }
@@ -70,7 +74,7 @@ pub fn bellman_ford(
     for &(u, v, w) in arcs {
         if let (Some(du), Some(dv)) = (dist[u], dist[v]) {
             if du + w < dv {
-                return Err(());
+                return Err(NegativeCycle);
             }
         }
     }
@@ -107,7 +111,7 @@ pub fn widest_paths(
         width[u] = Some(wd);
         for &(v, c) in &adj[u] {
             let nw = wd.min(c);
-            if width[v].map_or(true, |b| nw > b) {
+            if width[v].is_none_or(|b| nw > b) {
                 heap.push((OrdF64(nw), v));
             }
         }
@@ -120,10 +124,14 @@ pub fn widest_paths(
 /// exceed 0.5" to a fixpoint. `shares[(x, y)]` is the fraction of `y`
 /// owned by `x`. Returns the set of (controller, controlled) pairs and the
 /// final controlled-fraction matrix.
+pub type ControlPairs = HashSet<(usize, usize)>;
+/// `(controller, company) → controlled fraction` accumulator.
+pub type FractionMatrix = HashMap<(usize, usize), f64>;
+
 pub fn company_control(
     n: usize,
     shares: &HashMap<(usize, usize), f64>,
-) -> (HashSet<(usize, usize)>, HashMap<(usize, usize), f64>) {
+) -> (ControlPairs, FractionMatrix) {
     let mut controls: HashSet<(usize, usize)> = HashSet::new();
     loop {
         let mut fractions: HashMap<(usize, usize), f64> = HashMap::new();
@@ -180,10 +188,10 @@ pub fn eval_circuit_minimal(circuit: &Circuit) -> HashMap<usize, bool> {
     loop {
         let mut changed = false;
         for (&g, (kind, fan_in)) in &circuit.gates {
-            let bits = fan_in.iter().map(|w| *value.get(w).unwrap_or(&false));
+            let mut bits = fan_in.iter().map(|w| *value.get(w).unwrap_or(&false));
             let out = match kind {
-                Gate::And => bits.fold(true, |a, b| a && b) && !fan_in.is_empty(),
-                Gate::Or => bits.fold(false, |a, b| a || b),
+                Gate::And => bits.all(|b| b) && !fan_in.is_empty(),
+                Gate::Or => bits.any(|b| b),
             };
             // Monotone update only (false → true).
             if out && !value[&g] {

@@ -123,7 +123,7 @@ pub fn ks_well_founded(program: &Program, edb: &Edb) -> Result<KsModel, String> 
         for key in keys {
             let is_decided = decided
                 .get(pred)
-                .map_or(false, |s| s.contains(key));
+                .is_some_and(|s| s.contains(key));
             let status = if !is_decided {
                 AtomStatus::Undefined
             } else if in_model(&engine_model, program, *pred, key) {
@@ -176,9 +176,9 @@ fn key_level_facts(program: &Program, edb: &Edb) -> Result<KeySet, String> {
             .collect();
         out.entry(atom.pred).or_default().insert(Tuple::new(key));
     }
-    for (pred, key, cost) in edb.coerced(program).map_err(|e| e)? {
+    for (pred, key, cost) in edb.coerced(program)? {
         let _ = cost;
-        out.entry(pred).or_default().insert(Tuple::new(key));
+        out.entry(pred).or_default().insert(key);
     }
     Ok(out)
 }
@@ -436,7 +436,7 @@ fn fire_at(
                             // semantics (Example 4.4 discussion).
                             let group_ok = members
                                 .iter()
-                                .all(|(p, k)| db.get(p).map_or(false, |s| s.contains(k)));
+                                .all(|(p, k)| db.get(p).is_some_and(|s| s.contains(k)));
                             let nonempty_ok = agg.eq == AggEq::Total || count > 0;
                             if group_ok && nonempty_ok {
                                 fire_at(
@@ -463,6 +463,13 @@ fn resolve_key(t: &Term, binding: &HashMap<Var, Value>) -> Option<Value> {
     }
 }
 
+/// Continuation receiving each key-level match of a conjunction.
+type MatchSink<'a> = dyn FnMut(&HashMap<Var, Value>) -> Result<(), String> + 'a;
+
+/// Continuation receiving each key-level match of one atom (the binding is
+/// mutable so the callee can recurse deeper with it).
+type MatchSinkMut<'a> = dyn FnMut(&mut HashMap<Var, Value>) -> Result<(), String> + 'a;
+
 /// Enumerate key-level matches of a conjunction (cost arguments ignored).
 fn enumerate_conjunction(
     program: &Program,
@@ -470,7 +477,7 @@ fn enumerate_conjunction(
     conjuncts: &[Atom],
     depth: usize,
     binding: &mut HashMap<Var, Value>,
-    emit: &mut dyn FnMut(&HashMap<Var, Value>) -> Result<(), String>,
+    emit: &mut MatchSink<'_>,
 ) -> Result<(), String> {
     if depth == conjuncts.len() {
         return emit(binding);
@@ -489,7 +496,7 @@ fn each_key_match(
     db: &KeySet,
     atom: &Atom,
     binding: &mut HashMap<Var, Value>,
-    k: &mut dyn FnMut(&mut HashMap<Var, Value>) -> Result<(), String>,
+    k: &mut MatchSinkMut<'_>,
 ) -> Result<(), String> {
     let has_cost = program.is_cost_pred(atom.pred);
     let key_args = atom.key_args(has_cost);
@@ -548,7 +555,7 @@ fn key_atom_holds(
     }
     Ok(db
         .get(&atom.pred)
-        .map_or(false, |s| s.contains(&Tuple::new(key))))
+        .is_some_and(|s| s.contains(&Tuple::new(key))))
 }
 
 /// Evaluate a builtin if all its variables are bound at key level; `None`

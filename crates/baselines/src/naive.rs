@@ -398,7 +398,7 @@ fn greedy_order(program: &Program, rule: &Rule) -> Result<Vec<usize>, String> {
                 }
             };
             if let Some(p) = prio {
-                if best.map_or(true, |(bp, _)| p < bp) {
+                if best.is_none_or(|(bp, _)| p < bp) {
                     best = Some((p, pos));
                 }
             }
@@ -484,17 +484,16 @@ fn match_atom(
     let first_bound = key_args
         .iter()
         .position(|t| resolve(t, binding).is_some());
-    let candidates: Vec<std::rc::Rc<Tuple>> = match first_bound {
+    let postings;
+    let candidates: &[std::sync::Arc<Tuple>] = match first_bound {
         Some(pos) => {
             let val = resolve(&key_args[pos], binding).expect("position is bound");
-            rel.scan_eq(pos, &val)
+            postings = rel.scan_eq(pos, &val);
+            &postings
         }
-        None => rel
-            .iter()
-            .map(|(k, _)| std::rc::Rc::new(k.clone()))
-            .collect(),
+        None => rel.arc_keys(),
     };
-    'keys: for key in &candidates {
+    'keys: for key in candidates {
         let cost = rel.get(key).cloned().unwrap_or(None);
         let cost = &cost;
         if key.arity() != key_args.len() {
@@ -518,7 +517,7 @@ fn match_atom(
                         // A variable repeated within the atom must match
                         // consistently.
                         if let Some((_, prev)) =
-                            bindings.iter().find(|(bv, _): &&(Var, Value)| bv == v).map(|p| p.clone())
+                            bindings.iter().find(|(bv, _): &&(Var, Value)| bv == v).cloned()
                         {
                             if prev != key[i] {
                                 continue 'keys;
@@ -598,7 +597,7 @@ fn ground_atom_holds(
         .cost_arg(true)
         .and_then(|t| resolve(t, binding))
         .ok_or("unbound cost variable in negated subgoal")?;
-    Ok(cost.map_or(false, |cv| values_equal(&cv, &want)))
+    Ok(cost.is_some_and(|cv| values_equal(&cv, &want)))
 }
 
 /// One aggregate group: the multiset elements (one per satisfying
@@ -815,7 +814,7 @@ pub fn load_base(program: &Program, edb: &maglog_engine::Edb) -> Result<Interp, 
         db.relation_mut(atom.pred).insert(Tuple::new(key), cost);
     }
     for (pred, key, cost) in edb.coerced(program)? {
-        db.relation_mut(pred).insert(Tuple::new(key), cost);
+        db.relation_mut(pred).insert(key, cost);
     }
     Ok(db)
 }

@@ -37,7 +37,7 @@ impl WfModel {
             let poss = self.possible.relation(pred).expect("listed");
             let sure = self.true_set.relation(pred);
             for (key, cost) in poss.iter() {
-                let in_true = sure.map_or(false, |r| r.get(key) == Some(cost));
+                let in_true = sure.is_some_and(|r| r.get(key) == Some(cost));
                 if !in_true {
                     out.push((pred, key.clone(), cost.clone()));
                 }

@@ -176,7 +176,7 @@ proptest! {
             }
             full.push(cost.unwrap());
             prop_assert!(
-                wf_s.map_or(false, |r| r.contains(&Tuple::new(full.clone()))),
+                wf_s.is_some_and(|r| r.contains(&Tuple::new(full.clone()))),
                 "engine atom missing from GGZ model: {full:?}"
             );
         }

@@ -38,7 +38,7 @@ fn bench_multiset_order(c: &mut Criterion) {
     group.sample_size(20);
     for size in [16usize, 64, 256] {
         let base: Multiset<i64> = (0..size).map(|_| rng.gen_range(0..100)).collect();
-        let bigger: Multiset<i64> = base.iter().map(|&v| v + rng.gen_range(0..5)).collect();
+        let bigger: Multiset<i64> = base.iter().map(|&v| v + rng.gen_range(0..5i64)).collect();
         group.bench_with_input(BenchmarkId::new("sorted_sweep", size), &size, |b, _| {
             b.iter(|| base.leq_total_order(&bigger, |a, b| a <= b))
         });

@@ -60,6 +60,81 @@ pub fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// One workload's measurements for `BENCH_engine.json` (written by
+/// `experiments --json`): wall-clock per strategy, model size, and
+/// rounds-to-fixpoint, so the perf trajectory is tracked in-repo.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub workload: String,
+    pub size: usize,
+    pub edb_facts: usize,
+    /// Stored tuples in the fixpoint model (all strategies agree).
+    pub tuples: usize,
+    /// Rounds summed over components. The greedy figure counts queue pops
+    /// (its components settle one atom per "round").
+    pub rounds_seminaive: usize,
+    pub rounds_naive: usize,
+    pub rounds_greedy: usize,
+    pub secs_seminaive: f64,
+    pub secs_naive: f64,
+    pub secs_greedy: f64,
+}
+
+/// Render the benchmark records as the `BENCH_engine.json` document. The
+/// workspace builds with no external dependencies, so this is hand-rolled
+/// (stable field order, one workload object per entry).
+pub fn render_bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"maglog-bench-v1\",\n  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"size\": {}, \"edb_facts\": {}, \"tuples\": {},\n      \
+             \"rounds\": {{\"seminaive\": {}, \"naive\": {}, \"greedy\": {}}},\n      \
+             \"seconds\": {{\"seminaive\": {}, \"naive\": {}, \"greedy\": {}}}}}{}\n",
+            json_escape(&r.workload),
+            r.size,
+            r.edb_facts,
+            r.tuples,
+            r.rounds_seminaive,
+            r.rounds_naive,
+            r.rounds_greedy,
+            json_num(r.secs_seminaive),
+            json_num(r.secs_naive),
+            json_num(r.secs_greedy),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escape a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a JSON number (finite; integers keep a decimal point
+/// so the field stays a float for every reader).
+pub fn json_num(v: f64) -> String {
+    assert!(v.is_finite(), "JSON has no non-finite numbers");
+    if v.fract() == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
 pub mod harness {
     //! Minimal drop-in benchmark harness with criterion's API shape.
     //!
@@ -188,5 +263,39 @@ pub mod harness {
                 $( $group(); )+
             }
         };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_renders_stable_shape() {
+        let rec = BenchRecord {
+            workload: "shortest_path".into(),
+            size: 64,
+            edb_facts: 192,
+            tuples: 4200,
+            rounds_seminaive: 12,
+            rounds_naive: 12,
+            rounds_greedy: 345,
+            secs_seminaive: 0.049,
+            secs_naive: 0.5,
+            secs_greedy: 0.04,
+        };
+        let doc = render_bench_json(&[rec]);
+        assert!(doc.contains("\"schema\": \"maglog-bench-v1\""));
+        assert!(doc.contains("\"workload\": \"shortest_path\""));
+        assert!(doc.contains("\"seminaive\": 0.049"));
+        // Integral floats keep a decimal point.
+        assert!(doc.contains("\"naive\": 0.5"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(2.0), "2.0");
     }
 }

@@ -647,7 +647,7 @@ impl Program {
     pub fn is_cost_pred(&self, pred: Pred) -> bool {
         self.decls
             .get(&pred)
-            .map_or(false, |d| d.cost.is_some())
+            .is_some_and(|d| d.cost.is_some())
     }
 
     /// The declared cost spec of `pred`, if any.
@@ -657,7 +657,7 @@ impl Program {
 
     /// Is `pred` a default-value cost predicate?
     pub fn has_default(&self, pred: Pred) -> bool {
-        self.cost_spec(pred).map_or(false, |c| c.has_default)
+        self.cost_spec(pred).is_some_and(|c| c.has_default)
     }
 
     /// Declared (or inferred) arity of `pred`.

@@ -35,8 +35,10 @@ pub struct DepGraph {
 
 impl DepGraph {
     pub fn build(program: &Program) -> Self {
-        let mut g = DepGraph::default();
-        g.preds = program.all_preds();
+        let mut g = DepGraph {
+            preds: program.all_preds(),
+            ..Default::default()
+        };
         for rule in &program.rules {
             let entry = g.edges.entry(rule.head.pred).or_default();
             for lit in &rule.body {
@@ -137,11 +139,10 @@ pub fn components(program: &Program) -> Vec<Component> {
             for lit in &program.rules[i].body {
                 match lit {
                     Literal::Neg(a) if preds.contains(&a.pred) => recursive_negation = true,
-                    Literal::Agg(agg) => {
-                        if agg.conjuncts.iter().any(|a| preds.contains(&a.pred)) {
+                    Literal::Agg(agg)
+                        if agg.conjuncts.iter().any(|a| preds.contains(&a.pred)) => {
                             recursive_aggregation = true;
                         }
-                    }
                     _ => {}
                 }
             }

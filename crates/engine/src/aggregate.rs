@@ -1,11 +1,16 @@
 //! Aggregate function application (Definition 2.4 + Figure 1).
 //!
-//! [`apply`] maps a finite multiset of cost values to the aggregate's
-//! result. Empty multisets are meaningful only for the `=` subgoal form;
-//! each function's `F(∅)` is the bottom of its monotonic range (so that
-//! `=`-aggregation over an empty group stays monotone), except `avg`,
-//! whose mean of nothing is undefined — an `=`-aggregate over an empty
-//! group with `avg` is simply unsatisfiable.
+//! [`Accumulator`] folds a finite multiset of cost values into the
+//! aggregate's result one element at a time, so group enumeration can
+//! stream elements instead of buffering each group in a `Vec`. [`apply`]
+//! is the one-shot form over a slice. Empty multisets are meaningful only
+//! for the `=` subgoal form; each function's `F(∅)` is the bottom of its
+//! monotonic range (so that `=`-aggregation over an empty group stays
+//! monotone), except `avg`, whose mean of nothing is undefined — an
+//! `=`-aggregate over an empty group with `avg` is simply unsatisfiable.
+//!
+//! The fold is left-to-right in push order, exactly matching the previous
+//! buffered evaluation (IEEE-754 addition order is preserved bit for bit).
 
 use crate::value::Value;
 use maglog_datalog::AggFunc;
@@ -13,80 +18,115 @@ use maglog_lattice::Real;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Apply `func` to a multiset of values. `None` means the result is
-/// undefined for this input (empty `avg`, or a type mismatch the static
-/// checks did not cover because the program was run unchecked).
+/// Streaming state of one group's aggregate.
+#[derive(Clone, Debug)]
+pub struct Accumulator {
+    func: AggFunc,
+    /// Elements pushed so far (`count` and the `avg` divisor).
+    count: usize,
+    state: State,
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    Num(Real),
+    Bool(bool),
+    Union(BTreeSet<Value>),
+    /// `None` until the first operand (intersect(∅) is undefined here —
+    /// the caller substitutes the domain bottom when one is declared).
+    Intersect(Option<BTreeSet<Value>>),
+    /// A type error the static checks did not cover (unchecked programs):
+    /// the result is undefined.
+    Undefined,
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc) -> Self {
+        let state = match func {
+            AggFunc::Count => State::Num(Real::ZERO),
+            AggFunc::Min => State::Num(Real::INFINITY),
+            AggFunc::Max => State::Num(Real::NEG_INFINITY),
+            AggFunc::Sum | AggFunc::HalfSum | AggFunc::Avg => State::Num(Real::ZERO),
+            AggFunc::Product => State::Num(Real::new(1.0)),
+            AggFunc::And => State::Bool(true),
+            AggFunc::Or => State::Bool(false),
+            AggFunc::Union => State::Union(BTreeSet::new()),
+            AggFunc::Intersect => State::Intersect(None),
+        };
+        Accumulator { func, count: 0, state }
+    }
+
+    /// Fold one multiset element into the running state.
+    pub fn push(&mut self, v: &Value) {
+        self.count += 1;
+        match (&mut self.state, self.func) {
+            (State::Undefined, _) => {}
+            (_, AggFunc::Count) => {} // count ignores element types
+            (State::Num(acc), func) => match v.as_num() {
+                Some(n) => {
+                    *acc = match func {
+                        AggFunc::Min => (*acc).min(n),
+                        AggFunc::Max => (*acc).max(n),
+                        AggFunc::Sum | AggFunc::HalfSum | AggFunc::Avg => *acc + n,
+                        AggFunc::Product => Real::new(acc.get() * n.get()),
+                        _ => unreachable!("numeric state on non-numeric func"),
+                    };
+                }
+                None => self.state = State::Undefined,
+            },
+            (State::Bool(acc), func) => match v.as_bool() {
+                Some(b) => {
+                    *acc = match func {
+                        AggFunc::And => *acc && b,
+                        AggFunc::Or => *acc || b,
+                        _ => unreachable!("boolean state on non-boolean func"),
+                    };
+                }
+                None => self.state = State::Undefined,
+            },
+            (State::Union(acc), _) => match v.as_set() {
+                Some(s) => acc.extend(s.iter().cloned()),
+                None => self.state = State::Undefined,
+            },
+            (State::Intersect(acc), _) => match (v.as_set(), acc) {
+                (Some(s), Some(out)) => out.retain(|x| s.contains(x)),
+                (Some(s), acc @ None) => *acc = Some(s.clone()),
+                (None, _) => self.state = State::Undefined,
+            },
+        }
+    }
+
+    /// The aggregate's value, or `None` if undefined for this input (empty
+    /// `avg`/`intersect`, or a type mismatch).
+    pub fn finish(self) -> Option<Value> {
+        match (self.state, self.func) {
+            (_, AggFunc::Count) => Some(Value::num(self.count as f64)),
+            (State::Undefined, _) => None,
+            (State::Num(n), AggFunc::HalfSum) => {
+                Some(Value::Num(Real::new(n.get() / 2.0)))
+            }
+            (State::Num(n), AggFunc::Avg) => {
+                if self.count == 0 {
+                    return None;
+                }
+                Some(Value::Num(Real::new(n.get() / self.count as f64)))
+            }
+            (State::Num(n), _) => Some(Value::Num(n)),
+            (State::Bool(b), _) => Some(Value::Bool(b)),
+            (State::Union(s), _) => Some(Value::Set(Arc::new(s))),
+            (State::Intersect(s), _) => s.map(|s| Value::Set(Arc::new(s))),
+        }
+    }
+}
+
+/// Apply `func` to a multiset of values in one shot. `None` means the
+/// result is undefined for this input.
 pub fn apply(func: AggFunc, values: &[Value]) -> Option<Value> {
-    match func {
-        AggFunc::Count => Some(Value::num(values.len() as f64)),
-        AggFunc::Min => fold_num(values, Real::INFINITY, |a, b| a.min(b)),
-        AggFunc::Max => fold_num(values, Real::NEG_INFINITY, |a, b| a.max(b)),
-        AggFunc::Sum => fold_num(values, Real::ZERO, |a, b| a.add(b)),
-        AggFunc::HalfSum => {
-            let sum = fold_num(values, Real::ZERO, |a, b| a.add(b))?;
-            match sum {
-                Value::Num(n) => Some(Value::Num(Real::new(n.get() / 2.0))),
-                _ => None,
-            }
-        }
-        AggFunc::Product => fold_num(values, Real::new(1.0), |a, b| {
-            Real::new(a.get() * b.get())
-        }),
-        AggFunc::Avg => {
-            if values.is_empty() {
-                return None;
-            }
-            let sum = fold_num(values, Real::ZERO, |a, b| a.add(b))?;
-            match sum {
-                Value::Num(n) => Some(Value::Num(Real::new(n.get() / values.len() as f64))),
-                _ => None,
-            }
-        }
-        AggFunc::And => fold_bool(values, true, |a, b| a && b),
-        AggFunc::Or => fold_bool(values, false, |a, b| a || b),
-        AggFunc::Union => {
-            let mut out: BTreeSet<Value> = BTreeSet::new();
-            for v in values {
-                out.extend(v.as_set()?.iter().cloned());
-            }
-            Some(Value::Set(Arc::new(out)))
-        }
-        AggFunc::Intersect => {
-            let mut iter = values.iter();
-            let Some(first) = iter.next() else {
-                // intersect(∅) is the universe; without a universe in scope
-                // the result is undefined here — the caller substitutes the
-                // domain bottom when one is declared.
-                return None;
-            };
-            let mut out: BTreeSet<Value> = first.as_set()?.clone();
-            for v in iter {
-                let s = v.as_set()?;
-                out.retain(|x| s.contains(x));
-            }
-            Some(Value::Set(Arc::new(out)))
-        }
-    }
-}
-
-fn fold_num(values: &[Value], init: Real, f: impl Fn(Real, Real) -> Real) -> Option<Value> {
-    let mut acc = init;
+    let mut acc = Accumulator::new(func);
     for v in values {
-        match v {
-            Value::Num(n) => acc = f(acc, *n),
-            Value::Bool(b) => acc = f(acc, Real::new(*b as u8 as f64)),
-            _ => return None,
-        }
+        acc.push(v);
     }
-    Some(Value::Num(acc))
-}
-
-fn fold_bool(values: &[Value], init: bool, f: impl Fn(bool, bool) -> bool) -> Option<Value> {
-    let mut acc = init;
-    for v in values {
-        acc = f(acc, v.as_bool()?);
-    }
-    Some(Value::Bool(acc))
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -179,5 +219,30 @@ mod tests {
         assert_eq!(apply(AggFunc::Sum, &bad), None);
         assert_eq!(apply(AggFunc::And, &nums(&[0.5])), None);
         assert_eq!(apply(AggFunc::Union, &nums(&[1.0])), None);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        // Push order is the fold order: a streaming accumulator must agree
+        // with the slice form bit for bit (0.1 + 0.2 + 0.3 associativity).
+        let vs = nums(&[0.1, 0.2, 0.3, 1e16, 1.0]);
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::HalfSum,
+            AggFunc::Product,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+        ] {
+            let mut acc = Accumulator::new(func);
+            for v in &vs {
+                acc.push(v);
+            }
+            assert_eq!(acc.finish(), apply(func, &vs), "{func:?}");
+        }
+        // Count still counts mistyped elements.
+        let mixed = vec![Value::num(1.0), Value::set(std::iter::empty())];
+        assert_eq!(apply(AggFunc::Count, &mixed), Some(Value::num(2.0)));
     }
 }

@@ -6,6 +6,7 @@
 //! generators and tests can build instances without going through the
 //! parser.
 
+use crate::interp::Tuple;
 use crate::value::{RuntimeDomain, Value};
 use maglog_datalog::{Pred, Program};
 
@@ -60,11 +61,13 @@ impl Edb {
 
     /// Coerce all cost values to their declared domains; errors list the
     /// offending fact. Facts for cost predicates loaded without an explicit
-    /// cost have their final column split off as the cost value.
+    /// cost have their final column split off as the cost value. Keys come
+    /// back as ready-made [`Tuple`]s so callers insert them without another
+    /// copy.
     pub fn coerced(
         &self,
         program: &Program,
-    ) -> Result<Vec<(Pred, Vec<Value>, Option<Value>)>, String> {
+    ) -> Result<Vec<(Pred, Tuple, Option<Value>)>, String> {
         let mut out = Vec::with_capacity(self.facts.len());
         for (pred, key, cost) in &self.facts {
             let coerced = match (program.cost_spec(*pred), cost) {
@@ -79,7 +82,7 @@ impl Edb {
                     // final key column.
                     let mut key = key.clone();
                     key.push(v.clone());
-                    out.push((*pred, key, None));
+                    out.push((*pred, Tuple::new(key), None));
                     continue;
                 }
                 (Some(spec), None) => {
@@ -96,12 +99,12 @@ impl Edb {
                     let cv = domain.coerce(v).map_err(|e| {
                         format!("fact for {}: {e}", program.pred_name(*pred))
                     })?;
-                    out.push((*pred, key, Some(cv)));
+                    out.push((*pred, Tuple::new(key), Some(cv)));
                     continue;
                 }
                 (None, None) => None,
             };
-            out.push((*pred, key.clone(), coerced));
+            out.push((*pred, Tuple::new(key.clone()), coerced));
         }
         Ok(out)
     }
@@ -204,7 +207,7 @@ mod tests {
         let mut edb = Edb::new();
         edb.push_fact(&p, "arc", &["a", "b", "4"]);
         let coerced = edb.coerced(&p).unwrap();
-        assert_eq!(coerced[0].1.len(), 2);
+        assert_eq!(coerced[0].1.arity(), 2);
         assert_eq!(coerced[0].2, Some(Value::num(4.0)));
     }
 }

@@ -18,7 +18,7 @@
 use crate::aggregate;
 use crate::edb::Edb;
 use crate::error::EvalError;
-use crate::interp::{Interp, Tuple};
+use crate::interp::{Interp, Sig, Tuple};
 use crate::model::Model;
 use crate::plan::{plan_rule, Plan, Step};
 use crate::value::{RuntimeDomain, Value};
@@ -28,6 +28,11 @@ use maglog_datalog::{
     AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Per-round dedup of aggregate-driver re-evaluations: one entry per
+/// (rule index, driver discriminator, seed binding).
+type SeenSeeds = HashSet<(usize, u64, Vec<(Var, Value)>)>;
 
 /// Fixpoint strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -165,7 +170,7 @@ impl<'p> MonotonicEngine<'p> {
         }
         // External EDB.
         for (pred, key, cost) in edb.coerced(self.program).map_err(EvalError::Domain)? {
-            self.store_fact(db, pred, Tuple::new(key), cost)?;
+            self.store_fact(db, pred, key, cost)?;
         }
         Ok(())
     }
@@ -256,6 +261,24 @@ impl<'p> MonotonicEngine<'p> {
             execs.push(RuleExec { rule, plan, drivers });
         }
 
+        // Register every plan-selected probe signature on its relation so
+        // the join indexes exist before the first probe (plan-time index
+        // selection). Aggregate-driver reruns that bind extra grouping
+        // positions fall back to lazily created indexes for their wider
+        // signatures.
+        for exec in &execs {
+            let mut wanted: Vec<(Pred, Sig)> = exec.plan.probe_sigs(exec.rule);
+            for driver in &exec.drivers {
+                wanted.extend(driver.plan.probe_sigs(exec.rule));
+                if let Some(relax) = &driver.relax {
+                    wanted.extend(relax.probe_sigs(exec.rule));
+                }
+            }
+            for (pred, sig) in wanted {
+                db.relation_mut(pred).ensure_index(sig);
+            }
+        }
+
         if self.options.strategy == Strategy::Greedy
             && greedy_eligible(self.program, cdb, rule_indices)
         {
@@ -263,7 +286,10 @@ impl<'p> MonotonicEngine<'p> {
         }
 
         let mut rounds = 0usize;
-        let mut delta: Vec<(Pred, Tuple)> = Vec::new();
+        // Per-round delta, batched per predicate: each driver iterates only
+        // the changes of its own predicate instead of rescanning the whole
+        // round delta per occurrence.
+        let mut delta: HashMap<Pred, Vec<Arc<Tuple>>> = HashMap::new();
         loop {
             if rounds >= self.options.max_rounds {
                 return Err(EvalError::NonTermination {
@@ -285,14 +311,13 @@ impl<'p> MonotonicEngine<'p> {
                         exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
                     }
                 } else {
-                    let mut seen_seeds: HashSet<(usize, u64, Vec<(Var, Value)>)> =
-                        HashSet::new();
+                    let mut seen_seeds = SeenSeeds::new();
                     for (ei, exec) in execs.iter().enumerate() {
                         for driver in &exec.drivers {
-                            for (dpred, dkey) in &delta {
-                                if *dpred != driver.pred {
-                                    continue;
-                                }
+                            let Some(changed) = delta.get(&driver.pred) else {
+                                continue;
+                            };
+                            for dkey in changed {
                                 self.fire_driver(
                                     &ctx,
                                     ei,
@@ -310,8 +335,10 @@ impl<'p> MonotonicEngine<'p> {
             }
             stats.derivations += derived.map.len() as u64;
 
-            // Apply derivations: join into db, recording changed keys.
-            let mut new_delta = Vec::new();
+            // Apply derivations: join into db, recording changed keys. The
+            // buffered `Arc` keys flow straight into the relation and the
+            // next round's delta — no re-cloning of tuple storage.
+            let mut new_delta: HashMap<Pred, Vec<Arc<Tuple>>> = HashMap::new();
             for ((pred, key), cost) in derived.map {
                 let domain = self
                     .program
@@ -325,10 +352,10 @@ impl<'p> MonotonicEngine<'p> {
                         let is_default_entry = self.program.has_default(pred)
                             && domain
                                 .as_ref()
-                                .map_or(false, |d| cost.as_ref() == Some(&d.bottom()));
-                        rel.insert(key.clone(), cost);
+                                .is_some_and(|d| cost.as_ref() == Some(&d.bottom()));
+                        rel.insert_arc(key.clone(), cost);
                         if !is_default_entry {
-                            new_delta.push((pred, key));
+                            new_delta.entry(pred).or_default().push(key);
                         }
                     }
                     Some(existing) => {
@@ -337,8 +364,8 @@ impl<'p> MonotonicEngine<'p> {
                         {
                             let joined = d.join(&old, new);
                             if joined != old {
-                                rel.insert(key.clone(), Some(joined));
-                                new_delta.push((pred, key));
+                                rel.insert_arc(key.clone(), Some(joined));
+                                new_delta.entry(pred).or_default().push(key);
                             }
                         }
                     }
@@ -369,12 +396,13 @@ impl<'p> MonotonicEngine<'p> {
         use std::collections::BinaryHeap;
 
         // Move any pre-loaded CDB facts into the candidate queue so that
-        // rule-derived cheaper values can still win.
-        let mut candidates: BinaryHeap<Reverse<(Real, Pred, Tuple)>> = BinaryHeap::new();
-        let mut costs: HashMap<(Pred, Tuple), Real> = HashMap::new();
+        // rule-derived cheaper values can still win. Keys stay shared
+        // `Arc`s throughout the heap, the cost table, and the relation.
+        let mut candidates: BinaryHeap<Reverse<(Real, Pred, Arc<Tuple>)>> = BinaryHeap::new();
+        let mut costs: HashMap<(Pred, Arc<Tuple>), Real> = HashMap::new();
         for &pred in cdb {
             let rel = std::mem::take(db.relation_mut(pred));
-            for (key, cost) in rel.iter() {
+            for (key, cost) in rel.iter_arcs() {
                 if let Some(Value::Num(r)) = cost {
                     candidates.push(Reverse((*r, pred, key.clone())));
                     costs.insert((pred, key.clone()), *r);
@@ -414,7 +442,7 @@ impl<'p> MonotonicEngine<'p> {
             // Already settled with an equal-or-better value?
             if db
                 .relation(pred)
-                .map_or(false, |rel| rel.contains(&key))
+                .is_some_and(|rel| rel.contains(&key))
             {
                 continue;
             }
@@ -427,7 +455,7 @@ impl<'p> MonotonicEngine<'p> {
             }
             frontier = cost;
             db.relation_mut(pred)
-                .insert(key.clone(), Some(Value::Num(cost)));
+                .insert_arc(key.clone(), Some(Value::Num(cost)));
 
             // Fire the semi-naive drivers for this single settled atom.
             let mut derived = RoundBuffer::new(self.program, false);
@@ -436,7 +464,7 @@ impl<'p> MonotonicEngine<'p> {
                     program: self.program,
                     db,
                 };
-                let mut seen_seeds: HashSet<(usize, u64, Vec<(Var, Value)>)> = HashSet::new();
+                let mut seen_seeds = SeenSeeds::new();
                 for (ei, exec) in execs.iter().enumerate() {
                     for driver in &exec.drivers {
                         if driver.pred != pred {
@@ -508,7 +536,7 @@ impl<'p> MonotonicEngine<'p> {
         exec: &RuleExec<'_>,
         driver: &Driver,
         delta_key: &Tuple,
-        seen_seeds: &mut HashSet<(usize, u64, Vec<(Var, Value)>)>,
+        seen_seeds: &mut SeenSeeds,
         derived: &mut RoundBuffer<'_>,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
@@ -656,7 +684,7 @@ fn greedy_eligible(
     let all_min = cdb.iter().all(|p| {
         program
             .cost_spec(*p)
-            .map_or(false, |c| c.domain == maglog_datalog::DomainSpec::MinReal)
+            .is_some_and(|c| c.domain == maglog_datalog::DomainSpec::MinReal)
     });
     if !all_min {
         return false;
@@ -756,7 +784,7 @@ struct RoundBuffer<'a> {
     /// resolve same-key collisions by lattice join instead of flagging a
     /// cost conflict.
     joining: bool,
-    map: HashMap<(Pred, Tuple), Option<Value>>,
+    map: HashMap<(Pred, Arc<Tuple>), Option<Value>>,
 }
 
 impl<'a> RoundBuffer<'a> {
@@ -769,20 +797,27 @@ impl<'a> RoundBuffer<'a> {
         }
     }
 
-    fn push(&mut self, pred: Pred, key: Tuple, cost: Option<Value>) -> Result<(), EvalError> {
-        match self.map.get(&(pred, key.clone())) {
-            None => {
-                self.map.insert((pred, key), cost);
+    fn push(
+        &mut self,
+        pred: Pred,
+        key: Arc<Tuple>,
+        cost: Option<Value>,
+    ) -> Result<(), EvalError> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry((pred, key)) {
+            Entry::Vacant(slot) => {
+                slot.insert(cost);
                 Ok(())
             }
-            Some(existing) => {
+            Entry::Occupied(mut slot) => {
+                let existing = slot.get();
                 if *existing == cost {
                     return Ok(());
                 }
                 if self.check && !self.joining {
                     return Err(EvalError::CostConflict {
                         pred: self.program.pred_name(pred),
-                        key: render_key(self.program, &key),
+                        key: render_key(self.program, &slot.key().1),
                         value_a: existing
                             .as_ref()
                             .map(|v| v.display(self.program))
@@ -800,7 +835,7 @@ impl<'a> RoundBuffer<'a> {
                     .map(|c| RuntimeDomain::new(c.domain));
                 if let (Some(old), Some(new), Some(d)) = (existing.clone(), &cost, &domain) {
                     let joined = d.join(&old, new);
-                    self.map.insert((pred, key), Some(joined));
+                    slot.insert(Some(joined));
                 }
                 Ok(())
             }
@@ -829,7 +864,7 @@ fn exec_steps(
         return emit_head(ctx, rule, binding, out);
     };
     match step {
-        Step::Atom { lit } => {
+        Step::Atom { lit, .. } => {
             let Literal::Pos(atom) = &rule.body[*lit] else {
                 unreachable!("Atom step on non-positive literal")
             };
@@ -892,6 +927,7 @@ fn exec_steps(
         Step::Agg {
             lit,
             conjunct_order,
+            ..
         } => {
             let Literal::Agg(agg) = &rule.body[*lit] else {
                 unreachable!("Agg step on non-aggregate")
@@ -933,7 +969,7 @@ fn emit_head(
         }
         _ => None,
     };
-    out.push(rule.head.pred, Tuple::new(key), cost)
+    out.push(rule.head.pred, Arc::new(Tuple::new(key)), cost)
 }
 
 fn resolve_term(t: &Term, binding: &Binding) -> Option<Value> {
@@ -973,14 +1009,33 @@ fn for_each_match(
         return Ok(());
     };
 
-    // Indexed scan when some key position is bound.
-    let first_bound = key_vals.iter().position(Option::is_some);
-    let candidates: Vec<std::rc::Rc<Tuple>> = match first_bound {
-        Some(pos) => rel.scan_eq(pos, key_vals[pos].as_ref().unwrap()),
-        None => rel
-            .iter()
-            .map(|(t, _)| std::rc::Rc::new(t.clone()))
-            .collect(),
+    // Indexed probe on the signature of every bound key position: the
+    // postings hold exactly the keys matching all bound positions, so the
+    // per-key re-check below only confirms (and binds the free positions).
+    // Plan-registered signatures hit a warm index; anything else (e.g.
+    // aggregate-driver reruns with pre-bound groupings) builds its index
+    // lazily. Sig 0 (nothing bound) walks the insertion log directly.
+    let mut sig: Sig = 0;
+    let mut projection: Vec<Value> = Vec::new();
+    for (i, v) in key_vals.iter().enumerate() {
+        if let Some(val) = v {
+            if i < 32 {
+                sig |= 1 << i;
+                projection.push(val.clone());
+            }
+        }
+    }
+    let postings;
+    let candidates: &[Arc<Tuple>] = if sig != 0 {
+        match rel.probe(sig, &projection) {
+            Some(hits) => {
+                postings = hits;
+                &postings
+            }
+            None => return Ok(()),
+        }
+    } else {
+        rel.arc_keys()
     };
 
     for key in candidates {
@@ -1013,7 +1068,7 @@ fn for_each_match(
             }
         }
         if ok {
-            let cost = rel.get(&key).cloned().unwrap_or(None);
+            let cost = rel.get(key).cloned().unwrap_or(None);
             try_cost_and_continue(atom, has_cost, &cost, binding, k)?;
         }
         for v in fresh {
@@ -1138,7 +1193,7 @@ fn atom_holds(ctx: &Ctx<'_>, atom: &Atom, binding: &Binding) -> bool {
     else {
         return false;
     };
-    cost.map_or(false, |cv| values_equal(&cv, &want))
+    cost.is_some_and(|cv| values_equal(&cv, &want))
 }
 
 /// Evaluate the aggregate subgoal: enumerate the conjunction, group, apply
@@ -1155,8 +1210,10 @@ fn eval_aggregate(
     let grouping_vars = rule.aggregate_grouping_vars(lit);
 
     // Enumerate all assignments of the conjunction (restricted by the
-    // current binding) and bucket the multiset element per grouping value.
-    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    // current binding), folding each multiset element straight into its
+    // group's streaming accumulator — no per-group element buffering. The
+    // fold order per group is the enumeration order, same as before.
+    let mut groups: HashMap<Vec<Value>, aggregate::Accumulator> = HashMap::new();
     {
         let mut scratch = binding.clone();
         enumerate_conjuncts(
@@ -1174,7 +1231,10 @@ fn eval_aggregate(
                     Some(e) => b.get(e).cloned().expect("multiset var bound"),
                     None => Value::Bool(true),
                 };
-                groups.entry(gv).or_default().push(element);
+                groups
+                    .entry(gv)
+                    .or_insert_with(|| aggregate::Accumulator::new(agg.func))
+                    .push(&element);
             },
         )?;
     }
@@ -1193,11 +1253,13 @@ fn eval_aggregate(
             .iter()
             .map(|v| binding.get(*v).cloned().unwrap())
             .collect();
-        groups.entry(gv).or_default();
+        groups
+            .entry(gv)
+            .or_insert_with(|| aggregate::Accumulator::new(agg.func));
     }
 
-    for (gv, elements) in groups {
-        let Some(result) = aggregate::apply(agg.func, &elements) else {
+    for (gv, acc) in groups {
+        let Some(result) = acc.finish() else {
             continue; // undefined (empty avg / type error): unsatisfiable
         };
         // Bind grouping vars (fresh ones only) and the result.

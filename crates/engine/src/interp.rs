@@ -7,6 +7,25 @@
 //! 2.3.3): keys at the default value `⊥` are implicit, and lookups fall
 //! back to the declared domain's bottom.
 //!
+//! ## Storage layout
+//!
+//! Keys are stored once, as shared [`Arc<Tuple>`]s: the primary map, the
+//! append-only insertion log, every index posting, and the engine's
+//! per-round delta all point at the same allocation, so inserts and join
+//! probes never deep-clone a `Box<[Value]>`.
+//!
+//! Joins probe **signature-keyed indexes**: a [`Sig`] is a bitmask of
+//! bound key positions, and the index for a signature maps the projection
+//! of a key onto those positions to the postings (keys with that
+//! projection). Signatures are selected at plan time (`plan.rs` records
+//! the signature each atom/conjunct will probe and the engine registers
+//! them via [`Relation::ensure_index`]); a probe with a signature nobody
+//! registered builds its index lazily by the same mechanism. Indexes are
+//! maintained incrementally under a generation counter: each index
+//! remembers how many entries of the insertion log it has ingested
+//! (`built_upto`) and catches up on the next probe, so `insert` stays
+//! O(1) regardless of how many indexes exist.
+//!
 //! `Interp` also provides the lifted order `⊑` and join of Theorem 3.1,
 //! used by the engine's fixpoint and by the property-based test suites.
 
@@ -15,6 +34,7 @@ use maglog_datalog::{Pred, Program};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The non-cost arguments of an atom, as a hashable key.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,16 +57,62 @@ impl std::ops::Index<usize> for Tuple {
     }
 }
 
+/// A join-index signature: bit `i` set ⇔ key position `i` is bound at the
+/// probe. `0` means "no position bound" (a full scan; never indexed).
+pub type Sig = u32;
+
+/// Compute the signature covering the given bound positions.
+pub fn sig_of_positions(positions: impl IntoIterator<Item = usize>) -> Sig {
+    positions.into_iter().fold(0, |s, p| s | (1u32 << p))
+}
+
+/// Project `key` onto the positions of `sig`, in ascending position order.
+fn project(key: &Tuple, sig: Sig) -> Box<[Value]> {
+    let mut out = Vec::with_capacity(sig.count_ones() as usize);
+    let mut bits = sig;
+    while bits != 0 {
+        let pos = bits.trailing_zeros() as usize;
+        out.push(key.0[pos].clone());
+        bits &= bits - 1;
+    }
+    out.into_boxed_slice()
+}
+
+/// One signature's index: projection → postings. `built_upto` is the
+/// generation counter — the number of insertion-log entries already
+/// ingested; probes catch up before reading.
+#[derive(Clone, Debug, Default)]
+struct SigIndex {
+    built_upto: usize,
+    postings: HashMap<Box<[Value]>, Rc<Vec<Arc<Tuple>>>>,
+}
+
+impl SigIndex {
+    fn catch_up(&mut self, sig: Sig, log: &[Arc<Tuple>]) {
+        for key in &log[self.built_upto..] {
+            // Keys too short for this signature (possible only in
+            // heterogeneous test relations) don't participate in it.
+            if key.arity() < 32 && (sig >> key.arity()) != 0 {
+                continue;
+            }
+            Rc::make_mut(self.postings.entry(project(key, sig)).or_default())
+                .push(key.clone());
+        }
+        self.built_upto = log.len();
+    }
+}
+
 /// One predicate's extension: key → optional cost value. `None` cost for
 /// predicates without a cost argument.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
-    map: HashMap<Tuple, Option<Value>>,
-    /// Lazily built single-column indexes: position → value → keys.
-    /// Kept in sync incrementally by `insert`.
-    indexes: RefCell<HashMap<usize, HashMap<Value, Vec<Rc<Tuple>>>>>,
-    /// Shared key storage backing the indexes.
-    keys: RefCell<Vec<Rc<Tuple>>>,
+    map: HashMap<Arc<Tuple>, Option<Value>>,
+    /// Append-only log of distinct keys, in insertion order. Indexes catch
+    /// up against this log under their generation counter.
+    log: Vec<Arc<Tuple>>,
+    /// Signature-keyed join indexes (interior mutability: probes through
+    /// `&self` catch indexes up lazily).
+    indexes: RefCell<HashMap<Sig, SigIndex>>,
 }
 
 impl Relation {
@@ -71,43 +137,77 @@ impl Relation {
     }
 
     /// Insert or replace the cost for `key`. Returns the previous cost
-    /// binding (outer `None` = key was absent).
+    /// binding (outer `None` = key was absent). The key is taken by value
+    /// and shared from then on — no clone.
     pub fn insert(&mut self, key: Tuple, cost: Option<Value>) -> Option<Option<Value>> {
-        if !self.map.contains_key(&key) {
-            let rc = Rc::new(key.clone());
-            self.keys.borrow_mut().push(rc.clone());
-            let mut indexes = self.indexes.borrow_mut();
-            for (&pos, index) in indexes.iter_mut() {
-                index
-                    .entry(rc.0[pos].clone())
-                    .or_default()
-                    .push(rc.clone());
-            }
+        if let Some(slot) = self.map.get_mut(&key) {
+            return Some(std::mem::replace(slot, cost));
         }
-        self.map.insert(key, cost)
+        let arc = Arc::new(key);
+        self.log.push(arc.clone());
+        self.map.insert(arc, cost);
+        None
+    }
+
+    /// Like [`insert`](Self::insert), but the caller already holds the key
+    /// in an `Arc` (e.g. from a round buffer): the same allocation is
+    /// shared by the map, the log, and every index posting.
+    pub fn insert_arc(&mut self, key: Arc<Tuple>, cost: Option<Value>) -> Option<Option<Value>> {
+        if let Some(slot) = self.map.get_mut(&*key) {
+            return Some(std::mem::replace(slot, cost));
+        }
+        self.log.push(key.clone());
+        self.map.insert(key, cost);
+        None
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Option<Value>)> {
+        self.map.iter().map(|(k, v)| (&**k, v))
+    }
+
+    /// Iterate with shared keys (cheap `Arc` clones for the caller).
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (&Arc<Tuple>, &Option<Value>)> {
         self.map.iter()
     }
 
-    /// Keys whose `pos`-th component equals `value`, via a lazily built
-    /// index. Returned tuples are shared (`Rc`), not deep-cloned.
-    pub fn scan_eq(&self, pos: usize, value: &Value) -> Vec<Rc<Tuple>> {
-        {
-            let indexes = self.indexes.borrow();
-            if let Some(index) = indexes.get(&pos) {
-                return index.get(value).cloned().unwrap_or_default();
-            }
+    /// All keys, shared, in insertion order — the unindexed-scan path.
+    pub fn arc_keys(&self) -> &[Arc<Tuple>] {
+        &self.log
+    }
+
+    /// Register the index for `sig` ahead of probing (plan-time signature
+    /// selection). Idempotent; the index is filled lazily on first probe.
+    pub fn ensure_index(&self, sig: Sig) {
+        if sig != 0 {
+            self.indexes.borrow_mut().entry(sig).or_default();
         }
-        // Build the index for this position.
-        let mut index: HashMap<Value, Vec<Rc<Tuple>>> = HashMap::new();
-        for rc in self.keys.borrow().iter() {
-            index.entry(rc.0[pos].clone()).or_default().push(rc.clone());
+    }
+
+    /// Keys whose projection onto `sig`'s positions equals `projection`
+    /// (values in ascending position order). Returns a shared postings
+    /// list — O(1) to hand out, no per-probe allocation. `None` means no
+    /// key matches.
+    pub fn probe(&self, sig: Sig, projection: &[Value]) -> Option<Rc<Vec<Arc<Tuple>>>> {
+        debug_assert_eq!(sig.count_ones() as usize, projection.len());
+        let mut indexes = self.indexes.borrow_mut();
+        let index = indexes.entry(sig).or_default();
+        if index.built_upto < self.log.len() {
+            index.catch_up(sig, &self.log);
         }
-        let result = index.get(value).cloned().unwrap_or_default();
-        self.indexes.borrow_mut().insert(pos, index);
-        result
+        index.postings.get(projection).cloned()
+    }
+
+    /// Keys whose `pos`-th component equals `value` — the single-column
+    /// probe, kept for callers without a plan (baselines, tests).
+    pub fn scan_eq(&self, pos: usize, value: &Value) -> Rc<Vec<Arc<Tuple>>> {
+        self.probe(1 << pos, std::slice::from_ref(value))
+            .unwrap_or_default()
+    }
+
+    /// The signatures currently registered (for diagnostics and the index
+    /// consistency property tests).
+    pub fn index_sigs(&self) -> Vec<Sig> {
+        self.indexes.borrow().keys().copied().collect()
     }
 }
 
@@ -190,15 +290,15 @@ impl Interp {
                 .cost_spec(pred)
                 .map(|c| RuntimeDomain::new(c.domain));
             let out_rel = out.relation_mut(pred);
-            for (key, cost) in rel.iter() {
+            for (key, cost) in rel.iter_arcs() {
                 match out_rel.get(key) {
                     None => {
-                        out_rel.insert(key.clone(), cost.clone());
+                        out_rel.insert_arc(key.clone(), cost.clone());
                     }
                     Some(existing) => {
                         if let (Some(a), Some(b), Some(d)) = (existing, cost, &domain) {
                             let joined = d.join(a, b);
-                            out_rel.insert(key.clone(), Some(joined));
+                            out_rel.insert_arc(key.clone(), Some(joined));
                         }
                     }
                 }
@@ -269,6 +369,8 @@ mod tests {
         );
         assert_eq!(rel.get(&t(&[1.0])), Some(&Some(Value::num(3.0))));
         assert_eq!(rel.len(), 1);
+        // Replacement does not grow the insertion log.
+        assert_eq!(rel.arc_keys().len(), 1);
     }
 
     #[test]
@@ -278,11 +380,45 @@ mod tests {
         rel.insert(t(&[2.0, 20.0]), None);
         // Build the index with a first scan.
         assert_eq!(rel.scan_eq(0, &Value::num(1.0)).len(), 1);
-        // Insert after the index exists: must show up.
+        // Insert after the index exists: must show up (generation catch-up).
         rel.insert(t(&[1.0, 30.0]), None);
         assert_eq!(rel.scan_eq(0, &Value::num(1.0)).len(), 2);
         assert_eq!(rel.scan_eq(1, &Value::num(20.0)).len(), 1);
         assert!(rel.scan_eq(0, &Value::num(9.0)).is_empty());
+    }
+
+    #[test]
+    fn multi_column_probe_matches_exactly() {
+        let mut rel = Relation::new();
+        rel.insert(t(&[1.0, 10.0, 5.0]), None);
+        rel.insert(t(&[1.0, 20.0, 5.0]), None);
+        rel.insert(t(&[2.0, 10.0, 5.0]), None);
+        let sig = sig_of_positions([0, 2]);
+        rel.ensure_index(sig);
+        let hits = rel.probe(sig, &[Value::num(1.0), Value::num(5.0)]).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|k| k[0] == Value::num(1.0) && k[2] == Value::num(5.0)));
+        assert!(rel.probe(sig, &[Value::num(3.0), Value::num(5.0)]).is_none());
+        // Catch-up after the index exists.
+        rel.insert(t(&[1.0, 30.0, 5.0]), None);
+        assert_eq!(
+            rel.probe(sig, &[Value::num(1.0), Value::num(5.0)]).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn insert_arc_shares_the_allocation() {
+        let mut rel = Relation::new();
+        let key = Arc::new(t(&[7.0]));
+        rel.insert_arc(key.clone(), None);
+        assert!(rel.contains(&key));
+        // Map + log + caller: the same allocation, not copies.
+        assert!(Arc::ptr_eq(&key, &rel.arc_keys()[0]));
+        // Replacing the cost must not duplicate the key.
+        rel.insert_arc(key.clone(), Some(Value::num(1.0)));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.arc_keys().len(), 1);
     }
 
     #[test]

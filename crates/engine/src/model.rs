@@ -41,7 +41,7 @@ impl Model {
         let key = Tuple::new(keys.iter().map(|k| parse_value(program, k)).collect());
         self.db
             .relation(pred)
-            .map_or(false, |rel| rel.contains(&key))
+            .is_some_and(|rel| rel.contains(&key))
     }
 
     /// All tuples of a predicate, sorted, as `(key values, cost)`.

@@ -10,15 +10,24 @@
 //! Range-restricted rules (Definition 2.5) always admit a plan; the
 //! planner reports an error otherwise (reachable only with
 //! `allow_unchecked`).
+//!
+//! Each [`Step::Atom`] and each aggregate conjunct also records the **join
+//! signature** it will probe — the bitmask of key positions bound at that
+//! point of the plan (constants and already-bound variables). The engine
+//! registers these signatures on the relations before evaluation, so every
+//! planned probe hits a matching multi-column index
+//! ([`crate::interp::Relation::probe`]).
 
-use maglog_datalog::{AggEq, Expr, Literal, Program, Rule, Term, Var};
+use crate::interp::Sig;
+use maglog_datalog::{AggEq, Atom, Expr, Literal, Program, Rule, Term, Var};
 use std::collections::BTreeSet;
 
 /// One evaluation step.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Step {
-    /// Join/scan a positive atom at body index `lit`.
-    Atom { lit: usize },
+    /// Join/scan a positive atom at body index `lit`, probing the index
+    /// for signature `sig` (0 = full scan).
+    Atom { lit: usize, sig: Sig },
     /// Evaluate one side of an `=` builtin and bind the other (a single
     /// variable). At runtime, if the target is already bound this becomes
     /// an equality test.
@@ -28,14 +37,67 @@ pub enum Step {
     /// Check a fully bound negative literal.
     Neg { lit: usize },
     /// Evaluate an aggregate subgoal; `conjunct_order` is the join order
-    /// of its conjunction given the variables bound at this point.
-    Agg { lit: usize, conjunct_order: Vec<usize> },
+    /// of its conjunction given the variables bound at this point, and
+    /// `conjunct_sigs[i]` the signature conjunct `conjunct_order[i]` will
+    /// probe.
+    Agg {
+        lit: usize,
+        conjunct_order: Vec<usize>,
+        conjunct_sigs: Vec<Sig>,
+    },
+}
+
+/// The signature (bitmask of bound key positions) `atom` would probe under
+/// `bound`: constants and bound variables contribute their position.
+fn atom_sig(program: &Program, atom: &Atom, bound: &BTreeSet<Var>) -> Sig {
+    let has_cost = program.is_cost_pred(atom.pred);
+    let mut sig = 0;
+    for (i, t) in atom.key_args(has_cost).iter().enumerate() {
+        let is_bound = match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        };
+        if is_bound && i < 32 {
+            sig |= 1 << i;
+        }
+    }
+    sig
 }
 
 /// An ordered evaluation plan for one rule body.
 #[derive(Clone, Debug, Default)]
 pub struct Plan {
     pub steps: Vec<Step>,
+}
+
+impl Plan {
+    /// Every (predicate, signature) this plan's probes want indexed —
+    /// the engine registers these on the relations before evaluating.
+    pub fn probe_sigs(&self, rule: &Rule) -> Vec<(maglog_datalog::Pred, Sig)> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            match step {
+                Step::Atom { lit, sig } => {
+                    if let Literal::Pos(a) = &rule.body[*lit] {
+                        out.push((a.pred, *sig));
+                    }
+                }
+                Step::Agg {
+                    lit,
+                    conjunct_order,
+                    conjunct_sigs,
+                } => {
+                    if let Literal::Agg(agg) = &rule.body[*lit] {
+                        for (ci, sig) in conjunct_order.iter().zip(conjunct_sigs) {
+                            out.push((agg.conjuncts[*ci].pred, *sig));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
 }
 
 /// Compute a plan for `rule`, assuming `initially_bound` variables are
@@ -65,7 +127,7 @@ pub fn plan_rule(
         };
         // Update bound variables.
         match &step {
-            Step::Atom { lit } => {
+            Step::Atom { lit, .. } => {
                 if let Literal::Pos(a) = &rule.body[*lit] {
                     bound.extend(a.vars());
                 }
@@ -150,7 +212,8 @@ fn pick_next(
                 };
                 // Encode bound count into priority: more bound = better.
                 let refint = (total - bound_args) as u32;
-                Some((tier * 16 + refint, Step::Atom { lit: li }))
+                let sig = atom_sig(program, a, bound);
+                Some((tier * 16 + refint, Step::Atom { lit: li, sig }))
             }
             Literal::Agg(agg) => {
                 let groupings = rule.aggregate_grouping_vars(li);
@@ -160,8 +223,16 @@ fn pick_next(
                     None
                 } else {
                     let tier = if all_bound { 5 } else { 7 };
-                    plan_conjuncts(program, rule, li, bound)
-                        .map(|order| (tier * 16, Step::Agg { lit: li, conjunct_order: order }))
+                    plan_conjuncts(program, rule, li, bound).map(|(order, sigs)| {
+                        (
+                            tier * 16,
+                            Step::Agg {
+                                lit: li,
+                                conjunct_order: order,
+                                conjunct_sigs: sigs,
+                            },
+                        )
+                    })
                 }
             }
         };
@@ -173,7 +244,7 @@ fn pick_next(
                 Step::Neg { .. } => 32,
                 _ => 48 + prio,
             };
-            if best.as_ref().map_or(true, |(bp, _, _)| prio < *bp) {
+            if best.as_ref().is_none_or(|(bp, _, _)| prio < *bp) {
                 best = Some((prio, ri, step));
             }
         }
@@ -182,7 +253,8 @@ fn pick_next(
 }
 
 /// Order the conjuncts of the aggregate at body index `li`, assuming
-/// `bound` plus whatever earlier conjuncts bind. Default-value predicates
+/// `bound` plus whatever earlier conjuncts bind, and record the probe
+/// signature of each conjunct in that order. Default-value predicates
 /// must have all non-cost arguments bound before they are matched
 /// (otherwise their infinite extension would be enumerated).
 fn plan_conjuncts(
@@ -190,12 +262,13 @@ fn plan_conjuncts(
     rule: &Rule,
     li: usize,
     bound: &BTreeSet<Var>,
-) -> Option<Vec<usize>> {
+) -> Option<(Vec<usize>, Vec<Sig>)> {
     let Literal::Agg(agg) = &rule.body[li] else {
         return None;
     };
     let mut bound = bound.clone();
     let mut order = Vec::new();
+    let mut sigs = Vec::new();
     let mut remaining: Vec<usize> = (0..agg.conjuncts.len()).collect();
     while !remaining.is_empty() {
         let mut best: Option<(usize, usize, usize)> = None; // (unbound count, pos, idx)
@@ -217,16 +290,17 @@ fn plan_conjuncts(
                     continue;
                 }
             }
-            if best.map_or(true, |(bu, _, _)| unbound < bu) {
+            if best.is_none_or(|(bu, _, _)| unbound < bu) {
                 best = Some((unbound, pos, ci));
             }
         }
         let (_, pos, ci) = best?;
+        sigs.push(atom_sig(program, &agg.conjuncts[ci], &bound));
         bound.extend(agg.conjuncts[ci].vars());
         order.push(ci);
         remaining.remove(pos);
     }
-    Some(order)
+    Some((order, sigs))
 }
 
 #[cfg(test)]
@@ -250,8 +324,8 @@ mod tests {
             path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
             "#,
         );
-        assert!(matches!(plan.steps[0], Step::Atom { lit: 0 }));
-        assert!(matches!(plan.steps[1], Step::Atom { lit: 1 }));
+        assert!(matches!(plan.steps[0], Step::Atom { lit: 0, .. }));
+        assert!(matches!(plan.steps[1], Step::Atom { lit: 1, .. }));
         assert!(matches!(plan.steps[2], Step::Assign { lit: 2, .. }));
     }
 
@@ -274,7 +348,7 @@ mod tests {
         let (_, plan) = plan_first_rule(
             "coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.",
         );
-        assert!(matches!(plan.steps[0], Step::Atom { lit: 0 }));
+        assert!(matches!(plan.steps[0], Step::Atom { lit: 0, .. }));
         assert!(matches!(plan.steps[1], Step::Agg { lit: 1, .. }));
         assert!(matches!(plan.steps[2], Step::Test { lit: 2 }));
     }
@@ -321,7 +395,7 @@ mod tests {
         let e_pos = plan
             .steps
             .iter()
-            .position(|s| matches!(s, Step::Atom { lit: 2 }))
+            .position(|s| matches!(s, Step::Atom { lit: 2, .. }))
             .unwrap();
         assert!(neg_pos > e_pos);
     }
@@ -344,6 +418,6 @@ mod tests {
         };
         let plan = plan_rule(&p, rule, &seed_vars, Some(0)).unwrap();
         assert_eq!(plan.steps.len(), 2);
-        assert!(matches!(plan.steps[0], Step::Atom { lit: 1 }));
+        assert!(matches!(plan.steps[0], Step::Atom { lit: 1, .. }));
     }
 }

@@ -14,7 +14,11 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A ground runtime value.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+// Hash/Ord stay derived although `PartialEq` is hand-written below: the
+// manual impl only adds an `Arc::ptr_eq` fast path for sets and agrees
+// with the structural (derived) relation on every input.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Debug, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// An uninterpreted constant symbol.
     Sym(maglog_datalog::Sym),
@@ -42,6 +46,16 @@ impl Value {
         match self {
             Value::Num(r) => Some(r.get()),
             Value::Bool(b) => Some(*b as u8 as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an extended real (booleans coerce to 0/1), preserving
+    /// the `Real` wrapper's total order.
+    pub fn as_num(&self) -> Option<Real> {
+        match self {
+            Value::Num(r) => Some(*r),
+            Value::Bool(b) => Some(Real::new(*b as u8 as f64)),
             _ => None,
         }
     }
@@ -79,6 +93,21 @@ impl Value {
                 let parts: Vec<String> = items.iter().map(|v| v.display(program)).collect();
                 format!("{{{}}}", parts.join(", "))
             }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // Shared-storage fast path: set values flow through the engine
+            // as cloned `Arc`s, so most comparisons are pointer-equal and
+            // skip the element-wise walk.
+            (Value::Set(a), Value::Set(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
         }
     }
 }
@@ -152,11 +181,25 @@ impl RuntimeDomain {
             (MinReal, Value::Num(x), Value::Num(y)) => Value::Num((*x).min(*y)),
             (BoolOr, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x || *y),
             (BoolAnd, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x && *y),
+            // Subset early-outs share the winning side's `Arc` instead of
+            // rebuilding the set element by element.
             (SetUnion, Value::Set(x), Value::Set(y)) => {
-                Value::Set(Arc::new(x.union(y).cloned().collect()))
+                if y.is_subset(x) {
+                    a.clone()
+                } else if x.is_subset(y) {
+                    b.clone()
+                } else {
+                    Value::Set(Arc::new(x.union(y).cloned().collect()))
+                }
             }
             (SetIntersect, Value::Set(x), Value::Set(y)) => {
-                Value::Set(Arc::new(x.intersection(y).cloned().collect()))
+                if x.is_subset(y) {
+                    a.clone()
+                } else if y.is_subset(x) {
+                    b.clone()
+                } else {
+                    Value::Set(Arc::new(x.intersection(y).cloned().collect()))
+                }
             }
             _ => a.clone(),
         }
@@ -173,10 +216,22 @@ impl RuntimeDomain {
             (BoolOr, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x && *y),
             (BoolAnd, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x || *y),
             (SetUnion, Value::Set(x), Value::Set(y)) => {
-                Value::Set(Arc::new(x.intersection(y).cloned().collect()))
+                if x.is_subset(y) {
+                    a.clone()
+                } else if y.is_subset(x) {
+                    b.clone()
+                } else {
+                    Value::Set(Arc::new(x.intersection(y).cloned().collect()))
+                }
             }
             (SetIntersect, Value::Set(x), Value::Set(y)) => {
-                Value::Set(Arc::new(x.union(y).cloned().collect()))
+                if y.is_subset(x) {
+                    a.clone()
+                } else if x.is_subset(y) {
+                    b.clone()
+                } else {
+                    Value::Set(Arc::new(x.union(y).cloned().collect()))
+                }
             }
             _ => a.clone(),
         }

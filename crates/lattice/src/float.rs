@@ -50,11 +50,16 @@ impl Real {
         self.0.is_finite()
     }
 
-    /// Saturating addition on the extended reals. `+∞ + -∞` is not
-    /// well-defined; we resolve it to `+∞` deterministically and note that
-    /// range-restricted programs never produce it (sums mix only same-signed
-    /// infinities with finite values).
-    pub fn add(self, other: Real) -> Real {
+}
+
+/// Saturating addition on the extended reals. `+∞ + -∞` is not
+/// well-defined; we resolve it to `+∞` deterministically and note that
+/// range-restricted programs never produce it (sums mix only same-signed
+/// infinities with finite values).
+impl std::ops::Add for Real {
+    type Output = Real;
+
+    fn add(self, other: Real) -> Real {
         let v = self.0 + other.0;
         if v.is_nan() {
             Real(f64::INFINITY)
@@ -217,8 +222,13 @@ impl NonNegReal {
         self.0.get()
     }
 
-    pub fn add(self, other: NonNegReal) -> NonNegReal {
-        NonNegReal(self.0.add(other.0))
+}
+
+impl std::ops::Add for NonNegReal {
+    type Output = NonNegReal;
+
+    fn add(self, other: NonNegReal) -> NonNegReal {
+        NonNegReal(self.0 + other.0)
     }
 }
 
@@ -310,14 +320,8 @@ mod tests {
 
     #[test]
     fn extended_addition_saturates() {
-        assert_eq!(
-            Real::INFINITY.add(Real::new(3.0)),
-            Real::INFINITY
-        );
-        assert_eq!(
-            Real::NEG_INFINITY.add(Real::NEG_INFINITY),
-            Real::NEG_INFINITY
-        );
+        assert_eq!(Real::INFINITY + Real::new(3.0), Real::INFINITY);
+        assert_eq!(Real::NEG_INFINITY + Real::NEG_INFINITY, Real::NEG_INFINITY);
     }
 
     #[test]

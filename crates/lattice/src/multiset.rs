@@ -82,7 +82,7 @@ impl<T: Ord + Clone> Multiset<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.counts
             .iter()
-            .flat_map(|(t, &n)| std::iter::repeat(t).take(n))
+            .flat_map(|(t, &n)| std::iter::repeat_n(t, n))
     }
 
     /// Multiset sum (`⊎`).

@@ -16,9 +16,11 @@ pub enum NatInf {
     Inf,
 }
 
-impl NatInf {
-    /// Saturating addition: `∞` absorbs.
-    pub fn add(self, other: NatInf) -> NatInf {
+/// Saturating addition: `∞` absorbs.
+impl std::ops::Add for NatInf {
+    type Output = NatInf;
+
+    fn add(self, other: NatInf) -> NatInf {
         match (self, other) {
             (NatInf::Fin(a), NatInf::Fin(b)) => {
                 a.checked_add(b).map_or(NatInf::Inf, NatInf::Fin)
@@ -26,10 +28,14 @@ impl NatInf {
             _ => NatInf::Inf,
         }
     }
+}
 
-    /// Saturating multiplication: `∞` absorbs (note `0 · ∞` does not occur
-    /// in `PosNatInf`, and we resolve it to `∞` in `NatInf` for determinism).
-    pub fn mul(self, other: NatInf) -> NatInf {
+/// Saturating multiplication: `∞` absorbs (note `0 · ∞` does not occur
+/// in `PosNatInf`, and we resolve it to `∞` in `NatInf` for determinism).
+impl std::ops::Mul for NatInf {
+    type Output = NatInf;
+
+    fn mul(self, other: NatInf) -> NatInf {
         match (self, other) {
             (NatInf::Fin(a), NatInf::Fin(b)) => {
                 a.checked_mul(b).map_or(NatInf::Inf, NatInf::Fin)
@@ -91,8 +97,13 @@ impl PosNatInf {
         self.0
     }
 
-    pub fn mul(self, other: PosNatInf) -> PosNatInf {
-        PosNatInf(self.0.mul(other.0))
+}
+
+impl std::ops::Mul for PosNatInf {
+    type Output = PosNatInf;
+
+    fn mul(self, other: PosNatInf) -> PosNatInf {
+        PosNatInf(self.0 * other.0)
     }
 }
 
@@ -142,11 +153,11 @@ mod tests {
 
     #[test]
     fn nat_inf_saturating_arithmetic() {
-        assert_eq!(NatInf::Fin(2).add(NatInf::Fin(3)), NatInf::Fin(5));
-        assert_eq!(NatInf::Fin(u64::MAX).add(NatInf::Fin(1)), NatInf::Inf);
-        assert_eq!(NatInf::Inf.add(NatInf::Fin(0)), NatInf::Inf);
-        assert_eq!(NatInf::Fin(6).mul(NatInf::Fin(7)), NatInf::Fin(42));
-        assert_eq!(NatInf::Inf.mul(NatInf::Fin(2)), NatInf::Inf);
+        assert_eq!(NatInf::Fin(2) + NatInf::Fin(3), NatInf::Fin(5));
+        assert_eq!(NatInf::Fin(u64::MAX) + NatInf::Fin(1), NatInf::Inf);
+        assert_eq!(NatInf::Inf + NatInf::Fin(0), NatInf::Inf);
+        assert_eq!(NatInf::Fin(6) * NatInf::Fin(7), NatInf::Fin(42));
+        assert_eq!(NatInf::Inf * NatInf::Fin(2), NatInf::Inf);
     }
 
     #[test]
@@ -163,13 +174,7 @@ mod tests {
 
     #[test]
     fn pos_nat_product_saturates() {
-        assert_eq!(
-            PosNatInf::new(2).mul(PosNatInf::INF),
-            PosNatInf::INF
-        );
-        assert_eq!(
-            PosNatInf::new(3).mul(PosNatInf::new(4)),
-            PosNatInf::new(12)
-        );
+        assert_eq!(PosNatInf::new(2) * PosNatInf::INF, PosNatInf::INF);
+        assert_eq!(PosNatInf::new(3) * PosNatInf::new(4), PosNatInf::new(12));
     }
 }

@@ -24,13 +24,15 @@ pub trait FiniteUniverse: Ord + Clone {
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct PowerSet<T: Ord + Clone>(pub BTreeSet<T>);
 
+impl<T: Ord + Clone> FromIterator<T> for PowerSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(items: I) -> Self {
+        PowerSet(items.into_iter().collect())
+    }
+}
+
 impl<T: Ord + Clone> PowerSet<T> {
     pub fn empty() -> Self {
         PowerSet(BTreeSet::new())
-    }
-
-    pub fn from_iter<I: IntoIterator<Item = T>>(items: I) -> Self {
-        PowerSet(items.into_iter().collect())
     }
 
     pub fn len(&self) -> usize {
@@ -105,6 +107,11 @@ mod tests {
             (0..4).map(Small).collect()
         }
     }
+    impl fmt::Display for Small {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
 
     fn ps(items: &[u8]) -> PowerSet<Small> {
         PowerSet::from_iter(items.iter().map(|&b| Small(b)))
@@ -141,11 +148,6 @@ mod tests {
 
     #[test]
     fn display_formats_sets() {
-        impl fmt::Display for Small {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{}", self.0)
-            }
-        }
         assert_eq!(ps(&[2, 1]).to_string(), "{1, 2}");
         assert_eq!(ps(&[]).to_string(), "{}");
     }

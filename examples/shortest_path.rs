@@ -99,7 +99,7 @@ fn reachable_nonempty(
         }
         if let Some(rest) = dist[w][v] {
             let total = cost + rest;
-            if best.map_or(true, |b| total < b) {
+            if best.is_none_or(|b| total < b) {
                 best = Some(total);
             }
         }

@@ -50,6 +50,7 @@ pub use maglog_baselines as baselines;
 pub use maglog_datalog as datalog;
 pub use maglog_engine as engine;
 pub use maglog_lattice as lattice;
+pub use maglog_prng as prng;
 pub use maglog_workloads as workloads;
 
 /// The most commonly used items, for glob import.

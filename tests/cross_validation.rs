@@ -39,7 +39,7 @@ fn nonempty_shortest(g: &GraphInstance) -> Vec<Vec<Option<f64>>> {
             if let Some(rest) = dist[w][v] {
                 let total = c + rest;
                 let cell = &mut out[u][v];
-                if cell.map_or(true, |b| total < b) {
+                if cell.is_none_or(|b| total < b) {
                     *cell = Some(total);
                 }
             }
@@ -119,11 +119,11 @@ fn widest_path_matches_direct_solver() {
         let model = MonotonicEngine::new(&p).evaluate(&edb).unwrap();
         for u in 0..g.n {
             let want = widest_paths(g.n, &g.arcs, u);
-            for v in 0..g.n {
+            for (v, &want) in want.iter().enumerate() {
                 let got = model
                     .cost_of(&p, "w", &[&format!("n{u}"), &format!("n{v}")])
                     .and_then(|c| c.as_f64());
-                assert_eq!(got, want[v], "seed {seed} w(n{u}, n{v})");
+                assert_eq!(got, want, "seed {seed} w(n{u}, n{v})");
             }
         }
     }
@@ -155,10 +155,10 @@ fn party_matches_direct_cascade() {
         let inst = random_party(40, 5.0, 0.2, seed);
         let model = MonotonicEngine::new(&p).evaluate(&inst.to_edb(&p)).unwrap();
         let want = party_attendance(&inst.knows, &inst.requires);
-        for x in 0..inst.n() {
+        for (x, &want) in want.iter().enumerate() {
             assert_eq!(
                 model.holds(&p, "coming", &[&format!("g{x}")]),
-                want[x],
+                want,
                 "seed {seed} guest g{x}"
             );
         }
