@@ -9,7 +9,12 @@
 //! `--json` times naive/semi-naive/greedy on each scaling workload
 //! (min-of-samples; `MAGLOG_BENCH_JSON_SAMPLES` overrides the sample
 //! count, default 3), cross-checks that all three strategies produce the
-//! same model, and writes `BENCH_engine.json` at the repo root.
+//! same model, and writes `BENCH_engine.json` at the repo root. The JSON
+//! header records the maglog git commit and the sample count. Add
+//! `--profile` to also run each strategy once more with a metrics sink
+//! (untimed, so the wall-clock figures stay clean) and embed its counter
+//! summary — firings, derivations, insert outcomes, index probes/hits —
+//! in each workload record.
 
 use maglog_analysis::rmono::r_monotonicity_report;
 use maglog_analysis::{check_program, conflict_free_report, is_cost_respecting};
@@ -21,8 +26,8 @@ use maglog_baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog_baselines::stable::is_stable_model;
 use maglog_baselines::stratified::evaluate_stratified;
 use maglog_bench::{
-    fmt_secs, program, render_bench_json, run_greedy, run_naive, run_seminaive, timed,
-    BenchRecord,
+    fmt_secs, profile_run, program, render_bench_json, run_greedy, run_naive, run_seminaive,
+    timed, BenchProfile, BenchRecord, ProfileSummary,
 };
 use maglog_datalog::{parse_program, AggFunc, DomainSpec};
 use maglog_engine::value::RuntimeDomain;
@@ -37,7 +42,7 @@ use maglog_prng::{Rng, SeedableRng};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
-        emit_bench_json();
+        emit_bench_json(args.iter().any(|a| a == "--profile"));
         return;
     }
     let pick = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
@@ -849,17 +854,27 @@ fn min_secs(samples: usize, mut f: impl FnMut() -> maglog_engine::Model) -> (mag
 }
 
 /// Measure one workload instance across the three strategies, asserting
-/// the models agree tuple-for-tuple.
+/// the models agree tuple-for-tuple. With `profile`, each strategy gets one
+/// extra untimed instrumented run whose counters go into the record.
 fn bench_instance(
     workload: &str,
     size: usize,
     p: &maglog_datalog::Program,
     edb: &Edb,
     samples: usize,
+    profile: bool,
 ) -> BenchRecord {
     let (semi, secs_semi) = min_secs(samples, || run_seminaive(p, edb));
     let (naive, secs_naive) = min_secs(samples, || run_naive(p, edb));
     let (greedy, secs_greedy) = min_secs(samples, || run_greedy(p, edb));
+    let profile = profile.then(|| {
+        use maglog_engine::Strategy;
+        BenchProfile {
+            seminaive: ProfileSummary::from_report(&profile_run(p, edb, Strategy::SemiNaive)),
+            naive: ProfileSummary::from_report(&profile_run(p, edb, Strategy::Naive)),
+            greedy: ProfileSummary::from_report(&profile_run(p, edb, Strategy::Greedy)),
+        }
+    });
     assert_eq!(
         semi.render(p),
         naive.render(p),
@@ -881,10 +896,36 @@ fn bench_instance(
         secs_seminaive: secs_semi,
         secs_naive,
         secs_greedy,
+        profile,
     }
 }
 
-fn emit_bench_json() {
+/// The maglog commit the numbers were measured at (short hash, "-dirty"
+/// suffix when the tree has local changes; "unknown" outside git).
+fn git_commit() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match out(&["rev-parse", "--short", "HEAD"]) {
+        Some(hash) if !hash.is_empty() => {
+            let dirty = out(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{hash}-dirty")
+            } else {
+                hash
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+fn emit_bench_json(profile: bool) {
     let samples: usize = std::env::var("MAGLOG_BENCH_JSON_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -895,25 +936,32 @@ fn emit_bench_json() {
     let sp = program(programs::SHORTEST_PATH);
     for n in [16usize, 32, 64] {
         let g = random_digraph(n, 3.0, (1.0, 9.0), 77 + n as u64);
-        records.push(bench_instance("shortest_path", n, &sp, &g.to_edb(&sp), samples));
+        records.push(bench_instance("shortest_path", n, &sp, &g.to_edb(&sp), samples, profile));
     }
 
     let cc = program(programs::COMPANY_CONTROL);
     for n in [16usize, 32, 64] {
         let inst = random_ownership(n, 4, 0.5, 0.3, 99 + n as u64);
-        records.push(bench_instance("company_control", n, &cc, &inst.to_edb(&cc), samples));
+        records.push(bench_instance(
+            "company_control",
+            n,
+            &cc,
+            &inst.to_edb(&cc),
+            samples,
+            profile,
+        ));
     }
 
     let cp = program(programs::CIRCUIT);
     for gates in [64usize, 256, 1024] {
         let inst = random_circuit(16, gates, 2, 0.3, 7 + gates as u64);
-        records.push(bench_instance("circuit", gates, &cp, &inst.to_edb(&cp), samples));
+        records.push(bench_instance("circuit", gates, &cp, &inst.to_edb(&cp), samples, profile));
     }
 
     let pp = program(programs::PARTY);
     for n in [64usize, 256, 1024] {
         let inst = random_party(n, 6.0, 0.15, 13 + n as u64);
-        records.push(bench_instance("party", n, &pp, &inst.to_edb(&pp), samples));
+        records.push(bench_instance("party", n, &pp, &inst.to_edb(&pp), samples, profile));
     }
 
     for r in &records {
@@ -929,7 +977,8 @@ fn emit_bench_json() {
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, render_bench_json(&records)).expect("write BENCH_engine.json");
+    std::fs::write(path, render_bench_json(&git_commit(), samples, &records))
+        .expect("write BENCH_engine.json");
     println!("wrote {path}");
 }
 

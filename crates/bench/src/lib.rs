@@ -1,7 +1,7 @@
 //! Shared helpers for the maglog benchmark suite and experiments binary.
 
 use maglog_datalog::{parse_program, Program};
-use maglog_engine::{Edb, EvalOptions, Model, MonotonicEngine, Strategy};
+use maglog_engine::{Edb, EvalOptions, MetricsSink, Model, MonotonicEngine, ProfileReport, Strategy};
 
 /// Parse a workload program, panicking with context on failure.
 pub fn program(src: &str) -> Program {
@@ -42,6 +42,25 @@ pub fn run_greedy(program: &Program, edb: &Edb) -> Model {
     .expect("evaluation succeeds")
 }
 
+/// Evaluate once under `strategy` with a [`MetricsSink`] attached and
+/// return the profile report. Used by `experiments --profile` for an extra
+/// *untimed* instrumented run per strategy, so the timed samples stay free
+/// of even the (tiny) instrumented-build overhead.
+pub fn profile_run(program: &Program, edb: &Edb, strategy: Strategy) -> ProfileReport {
+    let engine = MonotonicEngine::with_options(
+        program,
+        EvalOptions {
+            strategy,
+            ..Default::default()
+        },
+    );
+    let mut sink = MetricsSink::new(program, strategy);
+    engine
+        .evaluate_with_sink(edb, &mut sink)
+        .expect("evaluation succeeds");
+    sink.finish()
+}
+
 /// Wall-clock one closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = std::time::Instant::now();
@@ -78,18 +97,87 @@ pub struct BenchRecord {
     pub secs_seminaive: f64,
     pub secs_naive: f64,
     pub secs_greedy: f64,
+    /// Counter summaries from an extra untimed instrumented run per
+    /// strategy (`experiments --json --profile`); `None` without the flag.
+    pub profile: Option<BenchProfile>,
+}
+
+/// Per-strategy counter summaries embedded in a [`BenchRecord`].
+#[derive(Clone, Debug)]
+pub struct BenchProfile {
+    pub seminaive: ProfileSummary,
+    pub naive: ProfileSummary,
+    pub greedy: ProfileSummary,
+}
+
+/// The counters from one strategy's [`ProfileReport`] that are worth
+/// tracking alongside wall-clock: work done (firings, derivations, insert
+/// outcomes) and index behaviour (probes, hits).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSummary {
+    pub firings: u64,
+    pub derivations: u64,
+    pub inserted: u64,
+    pub improved: u64,
+    pub noop: u64,
+    pub index_probes: u64,
+    pub index_hits: u64,
+}
+
+impl ProfileSummary {
+    pub fn from_report(report: &ProfileReport) -> Self {
+        let (inserted, improved, noop) = report.total_outcomes();
+        ProfileSummary {
+            firings: report.total_firings(),
+            derivations: report.total_derivations(),
+            inserted,
+            improved,
+            noop,
+            index_probes: report.indexes.iter().map(|i| i.stats.probes).sum(),
+            index_hits: report.indexes.iter().map(|i| i.stats.hits).sum(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"firings\": {}, \"derivations\": {}, \"inserted\": {}, \"improved\": {}, \
+             \"noop\": {}, \"index_probes\": {}, \"index_hits\": {}}}",
+            self.firings,
+            self.derivations,
+            self.inserted,
+            self.improved,
+            self.noop,
+            self.index_probes,
+            self.index_hits
+        )
+    }
 }
 
 /// Render the benchmark records as the `BENCH_engine.json` document. The
 /// workspace builds with no external dependencies, so this is hand-rolled
-/// (stable field order, one workload object per entry).
-pub fn render_bench_json(records: &[BenchRecord]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"maglog-bench-v1\",\n  \"workloads\": [\n");
+/// (stable field order, one workload object per entry). The header records
+/// the maglog commit and per-strategy sample count the numbers came from.
+pub fn render_bench_json(commit: &str, samples: usize, records: &[BenchRecord]) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": \"maglog-bench-v1\",\n  \"commit\": \"{}\",\n  \
+         \"samples\": {samples},\n  \"workloads\": [\n",
+        json_escape(commit)
+    );
     for (i, r) in records.iter().enumerate() {
+        let profile = match &r.profile {
+            Some(p) => format!(
+                ",\n      \"profile\": {{\n        \"seminaive\": {},\n        \
+                 \"naive\": {},\n        \"greedy\": {}\n      }}",
+                p.seminaive.to_json(),
+                p.naive.to_json(),
+                p.greedy.to_json()
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"size\": {}, \"edb_facts\": {}, \"tuples\": {},\n      \
              \"rounds\": {{\"seminaive\": {}, \"naive\": {}, \"greedy\": {}}},\n      \
-             \"seconds\": {{\"seminaive\": {}, \"naive\": {}, \"greedy\": {}}}}}{}\n",
+             \"seconds\": {{\"seminaive\": {}, \"naive\": {}, \"greedy\": {}}}{}}}{}\n",
             json_escape(&r.workload),
             r.size,
             r.edb_facts,
@@ -100,6 +188,7 @@ pub fn render_bench_json(records: &[BenchRecord]) -> String {
             json_num(r.secs_seminaive),
             json_num(r.secs_naive),
             json_num(r.secs_greedy),
+            profile,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -272,7 +361,7 @@ mod tests {
 
     #[test]
     fn bench_json_renders_stable_shape() {
-        let rec = BenchRecord {
+        let mut rec = BenchRecord {
             workload: "shortest_path".into(),
             size: 64,
             edb_facts: 192,
@@ -283,14 +372,53 @@ mod tests {
             secs_seminaive: 0.049,
             secs_naive: 0.5,
             secs_greedy: 0.04,
+            profile: None,
         };
-        let doc = render_bench_json(&[rec]);
+        let doc = render_bench_json("abc1234", 3, &[rec.clone()]);
         assert!(doc.contains("\"schema\": \"maglog-bench-v1\""));
+        assert!(doc.contains("\"commit\": \"abc1234\""));
+        assert!(doc.contains("\"samples\": 3"));
         assert!(doc.contains("\"workload\": \"shortest_path\""));
         assert!(doc.contains("\"seminaive\": 0.049"));
         // Integral floats keep a decimal point.
         assert!(doc.contains("\"naive\": 0.5"));
+        assert!(!doc.contains("\"profile\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+
+        // With --profile summaries attached, the per-strategy counters land
+        // inside the workload object.
+        let summary = ProfileSummary {
+            firings: 9,
+            derivations: 8,
+            inserted: 6,
+            improved: 0,
+            noop: 2,
+            index_probes: 2,
+            index_hits: 2,
+        };
+        rec.profile = Some(BenchProfile {
+            seminaive: summary.clone(),
+            naive: summary.clone(),
+            greedy: summary,
+        });
+        let doc = render_bench_json("abc1234", 3, &[rec]);
+        assert!(doc.contains("\"profile\""));
+        assert!(doc.contains("\"index_probes\": 2"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn profile_summary_tracks_a_real_run() {
+        let p = program(
+            "e(a, b). e(b, c).\n\
+             tc(X, Y) :- e(X, Y).\n\
+             tc(X, Y) :- tc(X, Z), e(Z, Y).",
+        );
+        let report = profile_run(&p, &Edb::new(), Strategy::SemiNaive);
+        let s = ProfileSummary::from_report(&report);
+        assert!(s.firings > 0);
+        assert!(s.derivations > 0);
+        assert_eq!(s.inserted, 3); // tc(a,b), tc(b,c), tc(a,c); facts load directly
     }
 
     #[test]

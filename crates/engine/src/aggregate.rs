@@ -56,6 +56,12 @@ impl Accumulator {
         Accumulator { func, count: 0, state }
     }
 
+    /// Number of multiset elements folded so far (profiler telemetry and
+    /// the `avg` divisor).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
     /// Fold one multiset element into the running state.
     pub fn push(&mut self, v: &Value) {
         self.count += 1;

@@ -21,7 +21,15 @@ pub enum EvalError {
     /// The iteration cap was reached before a fixpoint (e.g. negative
     /// cycles under `min`, or a non-continuous `T_P` needing transfinite
     /// iteration, Section 6.2).
-    NonTermination { rounds: usize, component: usize },
+    NonTermination {
+        rounds: usize,
+        component: usize,
+        /// Names of the offending component's recursive predicates.
+        preds: Vec<String>,
+        /// Size of the last round's delta (still-changing tuples; pending
+        /// frontier candidates under the greedy strategy).
+        last_delta: usize,
+    },
     /// A cost value did not fit its declared domain.
     Domain(String),
     /// An aggregate could not be planned or applied (e.g. an `=` aggregate
@@ -50,11 +58,25 @@ impl fmt::Display for EvalError {
                 "cost conflict on {pred}({key}): derived both {value_a} and {value_b} \
                  in one T_P application"
             ),
-            EvalError::NonTermination { rounds, component } => write!(
-                f,
-                "no fixpoint after {rounds} rounds in component {component} \
-                 (non-well-founded cost descent or non-continuous T_P?)"
-            ),
+            EvalError::NonTermination {
+                rounds,
+                component,
+                preds,
+                last_delta,
+            } => {
+                write!(
+                    f,
+                    "no fixpoint after {rounds} rounds in component {component}"
+                )?;
+                if !preds.is_empty() {
+                    write!(f, " {{{}}}", preds.join(", "))?;
+                }
+                write!(
+                    f,
+                    ": last round still changed {last_delta} tuple(s) \
+                     (non-well-founded cost descent or non-continuous T_P?)"
+                )
+            }
             EvalError::Domain(msg) => write!(f, "domain error: {msg}"),
             EvalError::Aggregate(msg) => write!(f, "aggregate error: {msg}"),
             EvalError::GreedyViolation { detail } => {
@@ -82,7 +104,12 @@ mod tests {
         let e = EvalError::NonTermination {
             rounds: 10,
             component: 2,
+            preds: vec!["path".into(), "s".into()],
+            last_delta: 4,
         };
-        assert!(e.to_string().contains("10 rounds"));
+        let msg = e.to_string();
+        assert!(msg.contains("10 rounds"));
+        assert!(msg.contains("{path, s}"));
+        assert!(msg.contains("4 tuple(s)"));
     }
 }

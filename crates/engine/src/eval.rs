@@ -18,6 +18,7 @@
 use crate::aggregate;
 use crate::edb::Edb;
 use crate::error::EvalError;
+use crate::events::{EventSink, InsertOutcome, NoopSink};
 use crate::interp::{Interp, Sig, Tuple};
 use crate::model::Model;
 use crate::plan::{plan_rule, Plan, Step};
@@ -27,6 +28,7 @@ use maglog_datalog::graph::components;
 use maglog_datalog::{
     AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -54,6 +56,27 @@ pub enum Strategy {
     /// derivation cheaper than the settling frontier — negative weights)
     /// abort with [`EvalError::GreedyViolation`].
     Greedy,
+}
+
+impl Strategy {
+    /// Stable lowercase name, used by profile reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::SemiNaive => "seminaive",
+            Strategy::Greedy => "greedy",
+        }
+    }
+
+    /// Parse a CLI strategy name (the inverse of [`Strategy::name`]).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "naive" => Some(Strategy::Naive),
+            "seminaive" | "semi-naive" => Some(Strategy::SemiNaive),
+            "greedy" => Some(Strategy::Greedy),
+            _ => None,
+        }
+    }
 }
 
 /// Evaluation options.
@@ -116,6 +139,17 @@ impl<'p> MonotonicEngine<'p> {
 
     /// Compute the iterated minimal model of the program over `edb`.
     pub fn evaluate(&self, edb: &Edb) -> Result<Model, EvalError> {
+        self.evaluate_with_sink(edb, &mut NoopSink)
+    }
+
+    /// Like [`evaluate`](Self::evaluate), reporting instrumentation events
+    /// into `sink` as the fixpoint runs. With [`NoopSink`] this
+    /// monomorphizes to the uninstrumented evaluator.
+    pub fn evaluate_with_sink<S: EventSink>(
+        &self,
+        edb: &Edb,
+        sink: &mut S,
+    ) -> Result<Model, EvalError> {
         if !self.options.allow_unchecked {
             let report = check_program(self.program);
             if !report.evaluable() {
@@ -129,15 +163,28 @@ impl<'p> MonotonicEngine<'p> {
         let comps = components(self.program);
         let mut stats = EvalStats::default();
         for (ci, comp) in comps.iter().enumerate() {
-            let rounds = self.eval_component(&mut db, &comp.preds, &comp.rule_indices, &mut stats)
+            let rounds = self
+                .eval_component(&mut db, &comp.preds, &comp.rule_indices, ci, &mut stats, sink)
                 .map_err(|e| match e {
-                    EvalError::NonTermination { rounds, .. } => EvalError::NonTermination {
+                    EvalError::NonTermination {
+                        rounds,
+                        preds,
+                        last_delta,
+                        ..
+                    } => EvalError::NonTermination {
                         rounds,
                         component: ci,
+                        preds,
+                        last_delta,
                     },
                     other => other,
                 })?;
             stats.rounds.push(rounds);
+        }
+        for pred in db.preds().collect::<Vec<_>>() {
+            if let Some(rel) = db.relation(pred) {
+                sink.index_stats(pred, rel.index_sigs().len(), rel.index_stats());
+            }
         }
         Ok(Model::new(db, stats))
     }
@@ -207,12 +254,14 @@ impl<'p> MonotonicEngine<'p> {
     }
 
     /// Evaluate one component to fixpoint. Returns the number of rounds.
-    fn eval_component(
+    fn eval_component<S: EventSink>(
         &self,
         db: &mut Interp,
         cdb: &BTreeSet<Pred>,
         rule_indices: &[usize],
+        ci: usize,
         stats: &mut EvalStats,
+        sink: &mut S,
     ) -> Result<usize, EvalError> {
         // Precompute plans.
         let mut execs: Vec<RuleExec> = Vec::new();
@@ -258,7 +307,7 @@ impl<'p> MonotonicEngine<'p> {
                     _ => {}
                 }
             }
-            execs.push(RuleExec { rule, plan, drivers });
+            execs.push(RuleExec { ri, rule, plan, drivers });
         }
 
         // Register every plan-selected probe signature on its relation so
@@ -279,10 +328,38 @@ impl<'p> MonotonicEngine<'p> {
             }
         }
 
-        if self.options.strategy == Strategy::Greedy
-            && greedy_eligible(self.program, cdb, rule_indices)
-        {
-            return self.eval_component_greedy(db, cdb, &execs, stats);
+        let greedy = self.options.strategy == Strategy::Greedy
+            && greedy_eligible(self.program, cdb, rule_indices);
+        let used = if greedy {
+            Strategy::Greedy
+        } else if self.options.strategy == Strategy::Naive {
+            Strategy::Naive
+        } else {
+            // A requested greedy strategy falls back to semi-naive on
+            // ineligible components.
+            Strategy::SemiNaive
+        };
+        let cdb_preds: Vec<Pred> = cdb.iter().copied().collect();
+        sink.component_start(ci, used, &cdb_preds);
+
+        // Per-exec-slot head-derivation counts, flushed as
+        // `rule_derivations` events at component end.
+        let mut rule_pushes = vec![0u64; execs.len()];
+        // Aggregate-evaluation totals (interior mutability: `Ctx` is shared
+        // immutably down the recursive step executor).
+        let agg_counters = AggCounters::default();
+
+        if greedy {
+            return self.eval_component_greedy(
+                db,
+                cdb,
+                &execs,
+                ci,
+                &mut rule_pushes,
+                &agg_counters,
+                stats,
+                sink,
+            );
         }
 
         let mut rounds = 0usize;
@@ -295,20 +372,28 @@ impl<'p> MonotonicEngine<'p> {
                 return Err(EvalError::NonTermination {
                     rounds,
                     component: 0,
+                    preds: cdb.iter().map(|p| self.program.pred_name(*p)).collect(),
+                    last_delta: delta.values().map(Vec::len).sum(),
                 });
             }
             let full = rounds == 0 || self.options.strategy == Strategy::Naive;
-            let mut derived = RoundBuffer::new(self.program, self.options.check_consistency);
+            sink.round_start(rounds + 1, full);
+            let mut derived =
+                RoundBuffer::new(self.program, self.options.check_consistency, &mut rule_pushes);
             {
                 let ctx = Ctx {
                     program: self.program,
                     db,
+                    agg: &agg_counters,
                 };
                 if full {
-                    for exec in &execs {
+                    for (slot, exec) in execs.iter().enumerate() {
                         stats.firings += 1;
+                        sink.rule_fire_start(exec.ri);
+                        derived.current = slot;
                         let mut binding = Binding::new();
                         exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+                        sink.rule_fire_end(exec.ri);
                     }
                 } else {
                     let mut seen_seeds = SeenSeeds::new();
@@ -327,25 +412,27 @@ impl<'p> MonotonicEngine<'p> {
                                     &mut seen_seeds,
                                     &mut derived,
                                     stats,
+                                    sink,
                                 )?;
                             }
                         }
                     }
                 }
             }
-            stats.derivations += derived.map.len() as u64;
+            let derived_count = derived.map.len();
+            stats.derivations += derived_count as u64;
 
             // Apply derivations: join into db, recording changed keys. The
             // buffered `Arc` keys flow straight into the relation and the
             // next round's delta — no re-cloning of tuple storage.
             let mut new_delta: HashMap<Pred, Vec<Arc<Tuple>>> = HashMap::new();
-            for ((pred, key), cost) in derived.map {
+            for ((pred, key), (cost, slot)) in derived.map {
                 let domain = self
                     .program
                     .cost_spec(pred)
                     .map(|c| RuntimeDomain::new(c.domain));
                 let rel = db.relation_mut(pred);
-                match rel.get(&key) {
+                let outcome = match rel.get(&key) {
                     None => {
                         // For default-value predicates, an explicit entry at
                         // the default value is not a change.
@@ -356,9 +443,13 @@ impl<'p> MonotonicEngine<'p> {
                         rel.insert_arc(key.clone(), cost);
                         if !is_default_entry {
                             new_delta.entry(pred).or_default().push(key);
+                            InsertOutcome::New
+                        } else {
+                            InsertOutcome::Noop
                         }
                     }
                     Some(existing) => {
+                        let mut outcome = InsertOutcome::Noop;
                         if let (Some(old), Some(new), Some(d)) =
                             (existing.clone(), &cost, &domain)
                         {
@@ -366,17 +457,30 @@ impl<'p> MonotonicEngine<'p> {
                             if joined != old {
                                 rel.insert_arc(key.clone(), Some(joined));
                                 new_delta.entry(pred).or_default().push(key);
+                                outcome = InsertOutcome::Improved;
                             }
                         }
+                        outcome
                     }
-                }
+                };
+                sink.insert_outcome(execs[slot].ri, pred, outcome);
             }
 
             rounds += 1;
+            let changed: usize = new_delta.values().map(Vec::len).sum();
+            for (pred, keys) in &new_delta {
+                sink.delta(*pred, keys.len());
+            }
+            sink.round_end(rounds, derived_count, changed);
             if new_delta.is_empty() {
                 // A semi-naive pass that saw no changes is a genuine
                 // fixpoint: every rule was either re-fired through a driver
                 // or has no dependency on the component.
+                for (slot, exec) in execs.iter().enumerate() {
+                    sink.rule_derivations(exec.ri, rule_pushes[slot]);
+                }
+                sink.aggregate_totals(agg_counters.groups.get(), agg_counters.elements.get());
+                sink.component_end(ci, rounds);
                 return Ok(rounds);
             }
             delta = new_delta;
@@ -384,12 +488,17 @@ impl<'p> MonotonicEngine<'p> {
     }
 
     /// Best-first evaluation of an eligible `min_real` component.
-    fn eval_component_greedy(
+    #[allow(clippy::too_many_arguments)]
+    fn eval_component_greedy<S: EventSink>(
         &self,
         db: &mut Interp,
         cdb: &BTreeSet<Pred>,
         execs: &[RuleExec],
+        ci: usize,
+        rule_pushes: &mut [u64],
+        agg_counters: &AggCounters,
         stats: &mut EvalStats,
+        sink: &mut S,
     ) -> Result<usize, EvalError> {
         use maglog_lattice::Real;
         use std::cmp::Reverse;
@@ -415,15 +524,19 @@ impl<'p> MonotonicEngine<'p> {
             let ctx = Ctx {
                 program: self.program,
                 db,
+                agg: agg_counters,
             };
-            let mut derived = RoundBuffer::new(self.program, false);
-            for exec in execs {
+            let mut derived = RoundBuffer::new(self.program, false, rule_pushes);
+            for (slot, exec) in execs.iter().enumerate() {
                 stats.firings += 1;
+                sink.rule_fire_start(exec.ri);
+                derived.current = slot;
                 let mut binding = Binding::new();
                 exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+                sink.rule_fire_end(exec.ri);
             }
             stats.derivations += derived.map.len() as u64;
-            for ((pred, key), cost) in derived.map {
+            for ((pred, key), (cost, _slot)) in derived.map {
                 if let Some(Value::Num(r)) = cost {
                     let entry = costs.entry((pred, key.clone())).or_insert(r);
                     if r <= *entry {
@@ -451,18 +564,23 @@ impl<'p> MonotonicEngine<'p> {
                 return Err(EvalError::NonTermination {
                     rounds: pops,
                     component: 0,
+                    preds: cdb.iter().map(|p| self.program.pred_name(*p)).collect(),
+                    last_delta: candidates.len(),
                 });
             }
+            sink.round_start(pops, false);
+            sink.greedy_settle(pred, &key, cost.get());
             frontier = cost;
             db.relation_mut(pred)
                 .insert_arc(key.clone(), Some(Value::Num(cost)));
 
             // Fire the semi-naive drivers for this single settled atom.
-            let mut derived = RoundBuffer::new(self.program, false);
+            let mut derived = RoundBuffer::new(self.program, false, rule_pushes);
             {
                 let ctx = Ctx {
                     program: self.program,
                     db,
+                    agg: agg_counters,
                 };
                 let mut seen_seeds = SeenSeeds::new();
                 for (ei, exec) in execs.iter().enumerate() {
@@ -479,12 +597,15 @@ impl<'p> MonotonicEngine<'p> {
                             &mut seen_seeds,
                             &mut derived,
                             stats,
+                            sink,
                         )?;
                     }
                 }
             }
-            stats.derivations += derived.map.len() as u64;
-            for ((dpred, dkey), dcost) in derived.map {
+            let derived_count = derived.map.len();
+            stats.derivations += derived_count as u64;
+            let mut pushed = 0usize;
+            for ((dpred, dkey), (dcost, _slot)) in derived.map {
                 let Some(Value::Num(r)) = dcost else { continue };
                 // Re-derivations of settled atoms are fine as long as they
                 // do not *improve* them (alternative equal-cost paths, or
@@ -522,14 +643,24 @@ impl<'p> MonotonicEngine<'p> {
                 if r <= *slot {
                     *slot = r;
                     candidates.push(Reverse((r, dpred, dkey)));
+                    pushed += 1;
                 }
             }
+            // Each pop is a (single-tuple) round: the settled atom is the
+            // round's delta, `pushed` counts new frontier candidates.
+            sink.delta(pred, 1);
+            sink.round_end(pops, derived_count, pushed);
         }
+        for (slot, exec) in execs.iter().enumerate() {
+            sink.rule_derivations(exec.ri, rule_pushes[slot]);
+        }
+        sink.aggregate_totals(agg_counters.groups.get(), agg_counters.elements.get());
+        sink.component_end(ci, pops);
         Ok(pops)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn fire_driver(
+    fn fire_driver<S: EventSink>(
         &self,
         ctx: &Ctx<'_>,
         exec_index: usize,
@@ -539,6 +670,7 @@ impl<'p> MonotonicEngine<'p> {
         seen_seeds: &mut SeenSeeds,
         derived: &mut RoundBuffer<'_>,
         stats: &mut EvalStats,
+        sink: &mut S,
     ) -> Result<(), EvalError> {
         let rule = exec.rule;
         // Match the driver atom against the delta tuple to get a seed.
@@ -587,10 +719,13 @@ impl<'p> MonotonicEngine<'p> {
                 return Ok(());
             }
             stats.firings += 1;
+            sink.rule_fire_start(exec.ri);
+            derived.current = exec_index;
             let mut b: Binding = seed.into();
             derived.joining = true;
             let r = exec_steps(ctx, rule, &relax.steps, &mut b, derived);
             derived.joining = false;
+            sink.rule_fire_end(exec.ri);
             return r;
         }
 
@@ -620,8 +755,12 @@ impl<'p> MonotonicEngine<'p> {
             return Ok(());
         }
         stats.firings += 1;
+        sink.rule_fire_start(exec.ri);
+        derived.current = exec_index;
         let mut b = seed;
-        exec_steps(ctx, rule, &driver.plan.steps, &mut b, derived)
+        let r = exec_steps(ctx, rule, &driver.plan.steps, &mut b, derived);
+        sink.rule_fire_end(exec.ri);
+        r
     }
 }
 
@@ -702,6 +841,8 @@ fn greedy_eligible(
 }
 
 struct RuleExec<'p> {
+    /// Index of the rule in `program.rules` (event attribution).
+    ri: usize,
     rule: &'p Rule,
     plan: Plan,
     drivers: Vec<Driver>,
@@ -738,11 +879,22 @@ fn is_join_fold(func: AggFunc, domain: maglog_datalog::DomainSpec) -> bool {
     )
 }
 
+/// Per-component aggregate-evaluation totals. `Cell`s because `Ctx` flows
+/// immutably through the recursive step executor.
+#[derive(Debug, Default)]
+struct AggCounters {
+    /// Streaming accumulators created (one per enumerated group).
+    groups: Cell<u64>,
+    /// Multiset elements folded across all groups.
+    elements: Cell<u64>,
+}
+
 /// Evaluation context: the program and the current database view (`J ∪ I`
 /// merged, since CDB and LDB predicates are disjoint).
 struct Ctx<'a> {
     program: &'a Program,
     db: &'a Interp,
+    agg: &'a AggCounters,
 }
 
 /// A variable binding environment.
@@ -776,7 +928,10 @@ impl From<HashMap<Var, Value>> for Binding {
 }
 
 /// Buffered derivations of one `T_P` application, with the Definition 2.6
-/// consistency check.
+/// consistency check. Each buffered (pred, key) remembers the exec slot of
+/// the rule that first derived it this round, so the apply loop can
+/// attribute insert outcomes; `pushes` accumulates per-slot derivation
+/// counts across the whole component.
 struct RoundBuffer<'a> {
     program: &'a Program,
     check: bool,
@@ -784,15 +939,21 @@ struct RoundBuffer<'a> {
     /// resolve same-key collisions by lattice join instead of flagging a
     /// cost conflict.
     joining: bool,
-    map: HashMap<(Pred, Arc<Tuple>), Option<Value>>,
+    /// Exec slot of the rule currently firing (set before `exec_steps`).
+    current: usize,
+    /// Per-exec-slot head-derivation counts (component lifetime).
+    pushes: &'a mut [u64],
+    map: HashMap<(Pred, Arc<Tuple>), (Option<Value>, usize)>,
 }
 
 impl<'a> RoundBuffer<'a> {
-    fn new(program: &'a Program, check: bool) -> Self {
+    fn new(program: &'a Program, check: bool, pushes: &'a mut [u64]) -> Self {
         RoundBuffer {
             program,
             check,
             joining: false,
+            current: 0,
+            pushes,
             map: HashMap::new(),
         }
     }
@@ -804,13 +965,15 @@ impl<'a> RoundBuffer<'a> {
         cost: Option<Value>,
     ) -> Result<(), EvalError> {
         use std::collections::hash_map::Entry;
+        self.pushes[self.current] += 1;
         match self.map.entry((pred, key)) {
             Entry::Vacant(slot) => {
-                slot.insert(cost);
+                slot.insert((cost, self.current));
                 Ok(())
             }
             Entry::Occupied(mut slot) => {
-                let existing = slot.get();
+                let (existing, first_slot) = slot.get();
+                let first_slot = *first_slot;
                 if *existing == cost {
                     return Ok(());
                 }
@@ -828,14 +991,15 @@ impl<'a> RoundBuffer<'a> {
                             .unwrap_or_default(),
                     });
                 }
-                // Lenient mode: lattice join.
+                // Lenient mode: lattice join. Attribution stays with the
+                // first deriver.
                 let domain = self
                     .program
                     .cost_spec(pred)
                     .map(|c| RuntimeDomain::new(c.domain));
                 if let (Some(old), Some(new), Some(d)) = (existing.clone(), &cost, &domain) {
                     let joined = d.join(&old, new);
-                    slot.insert(Some(joined));
+                    slot.insert((Some(joined), first_slot));
                 }
                 Ok(())
             }
@@ -1257,6 +1421,11 @@ fn eval_aggregate(
             .entry(gv)
             .or_insert_with(|| aggregate::Accumulator::new(agg.func));
     }
+
+    ctx.agg.groups.set(ctx.agg.groups.get() + groups.len() as u64);
+    ctx.agg.elements.set(
+        ctx.agg.elements.get() + groups.values().map(|a| a.count() as u64).sum::<u64>(),
+    );
 
     for (gv, acc) in groups {
         let Some(result) = acc.finish() else {

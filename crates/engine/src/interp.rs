@@ -31,10 +31,64 @@
 
 use crate::value::{RuntimeDomain, Value};
 use maglog_datalog::{Pred, Program};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// A snapshot of one relation's join-index telemetry (see
+/// [`Relation::index_stats`]). Counters cover the relation's whole
+/// lifetime; diff two snapshots to scope a phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Index probes issued ([`Relation::probe`] calls).
+    pub probes: u64,
+    /// Probes that found a non-empty postings list.
+    pub hits: u64,
+    /// Probes that had to create their `SigIndex` on the spot (signature
+    /// not registered via [`Relation::ensure_index`]).
+    pub lazy_builds: u64,
+    /// Catch-up passes that actually replayed log entries (generation
+    /// counter behind the insertion log).
+    pub log_replays: u64,
+    /// Total log entries ingested across all catch-up passes and
+    /// signatures.
+    pub replayed_entries: u64,
+    /// Posting lists copied on write because a caller still held the `Rc`
+    /// from an earlier probe.
+    pub cow_clones: u64,
+}
+
+/// Always-on interior-mutability counters behind [`IndexStats`]. `Cell`
+/// bumps on the probe path cost a register increment — cheap enough to
+/// keep unconditionally instead of threading an `EventSink` into
+/// `&self` probes.
+#[derive(Clone, Debug, Default)]
+struct IndexCounters {
+    probes: Cell<u64>,
+    hits: Cell<u64>,
+    lazy_builds: Cell<u64>,
+    log_replays: Cell<u64>,
+    replayed_entries: Cell<u64>,
+    cow_clones: Cell<u64>,
+}
+
+impl IndexCounters {
+    fn snapshot(&self) -> IndexStats {
+        IndexStats {
+            probes: self.probes.get(),
+            hits: self.hits.get(),
+            lazy_builds: self.lazy_builds.get(),
+            log_replays: self.log_replays.get(),
+            replayed_entries: self.replayed_entries.get(),
+            cow_clones: self.cow_clones.get(),
+        }
+    }
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
 
 /// The non-cost arguments of an atom, as a hashable key.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -88,15 +142,22 @@ struct SigIndex {
 }
 
 impl SigIndex {
-    fn catch_up(&mut self, sig: Sig, log: &[Arc<Tuple>]) {
+    fn catch_up(&mut self, sig: Sig, log: &[Arc<Tuple>], counters: &IndexCounters) {
+        bump(&counters.log_replays);
+        counters
+            .replayed_entries
+            .set(counters.replayed_entries.get() + (log.len() - self.built_upto) as u64);
         for key in &log[self.built_upto..] {
             // Keys too short for this signature (possible only in
             // heterogeneous test relations) don't participate in it.
             if key.arity() < 32 && (sig >> key.arity()) != 0 {
                 continue;
             }
-            Rc::make_mut(self.postings.entry(project(key, sig)).or_default())
-                .push(key.clone());
+            let entry = self.postings.entry(project(key, sig)).or_default();
+            if Rc::strong_count(entry) > 1 {
+                bump(&counters.cow_clones);
+            }
+            Rc::make_mut(entry).push(key.clone());
         }
         self.built_upto = log.len();
     }
@@ -113,6 +174,8 @@ pub struct Relation {
     /// Signature-keyed join indexes (interior mutability: probes through
     /// `&self` catch indexes up lazily).
     indexes: RefCell<HashMap<Sig, SigIndex>>,
+    /// Lifetime index telemetry (see [`IndexStats`]).
+    counters: IndexCounters,
 }
 
 impl Relation {
@@ -189,12 +252,23 @@ impl Relation {
     /// key matches.
     pub fn probe(&self, sig: Sig, projection: &[Value]) -> Option<Rc<Vec<Arc<Tuple>>>> {
         debug_assert_eq!(sig.count_ones() as usize, projection.len());
+        bump(&self.counters.probes);
         let mut indexes = self.indexes.borrow_mut();
-        let index = indexes.entry(sig).or_default();
+        let index = match indexes.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                bump(&self.counters.lazy_builds);
+                e.insert(SigIndex::default())
+            }
+        };
         if index.built_upto < self.log.len() {
-            index.catch_up(sig, &self.log);
+            index.catch_up(sig, &self.log, &self.counters);
         }
-        index.postings.get(projection).cloned()
+        let hit = index.postings.get(projection).cloned();
+        if hit.is_some() {
+            bump(&self.counters.hits);
+        }
+        hit
     }
 
     /// Keys whose `pos`-th component equals `value` — the single-column
@@ -208,6 +282,11 @@ impl Relation {
     /// consistency property tests).
     pub fn index_sigs(&self) -> Vec<Sig> {
         self.indexes.borrow().keys().copied().collect()
+    }
+
+    /// Snapshot this relation's lifetime index telemetry.
+    pub fn index_stats(&self) -> IndexStats {
+        self.counters.snapshot()
     }
 }
 
@@ -405,6 +484,38 @@ mod tests {
             rel.probe(sig, &[Value::num(1.0), Value::num(5.0)]).unwrap().len(),
             3
         );
+    }
+
+    #[test]
+    fn index_stats_count_probes_builds_and_replays() {
+        let mut rel = Relation::new();
+        rel.insert(t(&[1.0, 10.0]), None);
+        rel.insert(t(&[2.0, 20.0]), None);
+        assert_eq!(rel.index_stats(), IndexStats::default());
+
+        // First probe on an unregistered signature: lazy build + replay of
+        // the whole log, and a hit.
+        let hold = rel.probe(1 << 0, &[Value::num(1.0)]).unwrap();
+        let s = rel.index_stats();
+        assert_eq!((s.probes, s.hits, s.lazy_builds), (1, 1, 1));
+        assert_eq!((s.log_replays, s.replayed_entries), (1, 2));
+
+        // A miss counts the probe but not a hit, and replays nothing.
+        assert!(rel.probe(1 << 0, &[Value::num(9.0)]).is_none());
+        let s = rel.index_stats();
+        assert_eq!((s.probes, s.hits, s.lazy_builds, s.log_replays), (2, 1, 1, 1));
+
+        // Catch-up while a caller still holds the postings Rc: CoW clone.
+        rel.insert(t(&[1.0, 30.0]), None);
+        assert_eq!(rel.probe(1 << 0, &[Value::num(1.0)]).unwrap().len(), 2);
+        let s = rel.index_stats();
+        assert_eq!((s.log_replays, s.replayed_entries, s.cow_clones), (2, 3, 1));
+        drop(hold);
+
+        // A registered signature's first probe is not a lazy build.
+        rel.ensure_index(1 << 1);
+        rel.probe(1 << 1, &[Value::num(10.0)]);
+        assert_eq!(rel.index_stats().lazy_builds, 1);
     }
 
     #[test]

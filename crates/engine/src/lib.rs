@@ -45,14 +45,18 @@ pub mod aggregate;
 pub mod edb;
 pub mod error;
 pub mod eval;
+pub mod events;
 pub mod interp;
 pub mod model;
 pub mod plan;
+pub mod profile;
 pub mod value;
 
 pub use edb::Edb;
 pub use error::EvalError;
 pub use eval::{EvalOptions, EvalStats, MonotonicEngine, Strategy};
-pub use interp::{Interp, Relation, Tuple};
+pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
+pub use interp::{IndexStats, Interp, Relation, Tuple};
 pub use model::Model;
+pub use profile::{render_profile_json, MetricsSink, ProfileReport, TraceSink};
 pub use value::{CostValue, RuntimeDomain, Value};

@@ -21,6 +21,22 @@ impl Model {
         &self.stats
     }
 
+    /// Total fixpoint rounds across all components.
+    pub fn total_rounds(&self) -> usize {
+        self.stats.rounds.iter().sum()
+    }
+
+    /// Per-component rounds rendered as `a+b+c` (evaluation order) — the
+    /// breakdown behind [`total_rounds`](Self::total_rounds).
+    pub fn rounds_breakdown(&self) -> String {
+        self.stats
+            .rounds
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
     pub fn interp(&self) -> &Interp {
         &self.db
     }
@@ -109,5 +125,10 @@ mod tests {
         let rendered = m.render(&p);
         assert!(rendered.contains("tc(a, c)"));
         assert!(!m.stats().rounds.is_empty());
+        assert_eq!(m.total_rounds(), m.stats().rounds.iter().sum::<usize>());
+        assert_eq!(
+            m.rounds_breakdown().split('+').count(),
+            m.stats().rounds.len()
+        );
     }
 }

@@ -98,6 +98,60 @@ impl Plan {
         }
         out
     }
+
+    /// A one-line human rendering of the plan for profiler reports:
+    /// `pred[sig=0b101] ; C := expr ; test ; !neg ; agg{...}`, in step
+    /// order. Signatures are shown in binary (bit i = key position i
+    /// bound), `scan` for an unindexed full scan.
+    pub fn summary(&self, program: &Program, rule: &Rule) -> String {
+        fn sig_str(sig: Sig) -> String {
+            if sig == 0 {
+                "scan".to_string()
+            } else {
+                format!("sig=0b{sig:b}")
+            }
+        }
+        let pred_of = |lit: usize| -> String {
+            match &rule.body[lit] {
+                Literal::Pos(a) | Literal::Neg(a) => program.pred_name(a.pred),
+                _ => "?".to_string(),
+            }
+        };
+        let parts: Vec<String> = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                Step::Atom { lit, sig } => {
+                    format!("{}[{}]", pred_of(*lit), sig_str(*sig))
+                }
+                Step::Assign { .. } => ":=".to_string(),
+                Step::Test { .. } => "test".to_string(),
+                Step::Neg { lit } => format!("!{}", pred_of(*lit)),
+                Step::Agg {
+                    lit,
+                    conjunct_order,
+                    conjunct_sigs,
+                } => {
+                    let inner: Vec<String> = match &rule.body[*lit] {
+                        Literal::Agg(agg) => conjunct_order
+                            .iter()
+                            .zip(conjunct_sigs)
+                            .map(|(ci, sig)| {
+                                format!(
+                                    "{}[{}]",
+                                    program.pred_name(agg.conjuncts[*ci].pred),
+                                    sig_str(*sig)
+                                )
+                            })
+                            .collect(),
+                        _ => vec!["?".to_string()],
+                    };
+                    format!("agg{{{}}}", inner.join(" "))
+                }
+            })
+            .collect();
+        parts.join(" ; ")
+    }
 }
 
 /// Compute a plan for `rule`, assuming `initially_bound` variables are
@@ -398,6 +452,20 @@ mod tests {
             .position(|s| matches!(s, Step::Atom { lit: 2, .. }))
             .unwrap();
         assert!(neg_pos > e_pos);
+    }
+
+    #[test]
+    fn summary_renders_steps_in_order() {
+        let (p, plan) = plan_first_rule(
+            r#"
+            declare pred s/3 cost min_real.
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            "#,
+        );
+        let rule = &p.rules[0];
+        assert_eq!(plan.summary(&p, rule), "s[scan] ; arc[sig=0b1] ; :=");
     }
 
     #[test]

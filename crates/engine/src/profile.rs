@@ -1,0 +1,753 @@
+//! Profiling sinks built on [`EventSink`]: a human round-by-round
+//! [`TraceSink`] and a [`MetricsSink`] that aggregates every event into a
+//! [`ProfileReport`], serializable as `maglog-profile-v1` JSON
+//! ([`render_profile_json`]) or a compact human summary
+//! ([`ProfileReport::render_human`]).
+//!
+//! Counter semantics (see also `DESIGN.md` §4d):
+//!
+//! * **firings** — rule firings attempted (full-pass executions plus
+//!   delta-driven driver firings surviving the per-round seed dedup).
+//! * **derivations** — head derivations pushed into the round buffer,
+//!   including same-key re-derivations within a round.
+//! * **inserted / improved / noop** — how each distinct buffered
+//!   (pred, key) changed the database when applied: a new tuple, a strict
+//!   lattice improvement, or no change. The greedy strategy applies
+//!   settles directly from its priority queue, so these are zero there.
+//! * **nanos** — wall-clock spent inside rule firings, measured by the
+//!   sink's [`Clock`] (inject a [`crate::events::ManualClock`] for
+//!   deterministic tests: nanos == firings at step 1).
+//! * **index counters** — see [`IndexStats`]; lifetime totals per
+//!   relation, reported once after evaluation.
+//!
+//! All collections in the report are deterministically ordered (deltas
+//! and indexes sorted by predicate name, rules by program index), so two
+//! runs of the same program produce identical JSON up to `nanos`.
+
+use crate::eval::Strategy;
+use crate::events::{Clock, EventSink, InsertOutcome, SystemClock};
+use crate::interp::{IndexStats, Tuple};
+use crate::plan::plan_rule;
+use maglog_datalog::{Pred, Program};
+use std::collections::BTreeSet;
+
+/// Per-round detail rows kept per component in the report; further rounds
+/// are only counted (`rounds_elided`). Keeps greedy profiles (one round
+/// per queue pop) bounded.
+const MAX_ROUND_DETAIL: usize = 64;
+
+/// Round-by-round trace lines kept per component by [`TraceSink`].
+const MAX_TRACE_ROUNDS: usize = 50;
+
+/// One round's counters in a component profile.
+#[derive(Clone, Debug, Default)]
+pub struct RoundProfile {
+    pub round: usize,
+    /// Full re-firing pass (round 1, or any naive round).
+    pub full: bool,
+    pub firings: u64,
+    /// Distinct (pred, key) derivations buffered this round.
+    pub derivations: usize,
+    pub inserted: u64,
+    pub improved: u64,
+    pub noop: u64,
+    /// Tuples that changed the database this round.
+    pub changed: usize,
+    /// Per-predicate delta sizes, sorted by predicate name.
+    pub deltas: Vec<(String, usize)>,
+}
+
+/// One component's profile.
+#[derive(Clone, Debug, Default)]
+pub struct ComponentProfile {
+    pub component: usize,
+    /// The strategy actually used (greedy falls back to semi-naive on
+    /// ineligible components).
+    pub strategy: &'static str,
+    /// Recursive (CDB) predicate names, sorted.
+    pub preds: Vec<String>,
+    /// Rounds to fixpoint (queue pops for greedy components).
+    pub rounds: usize,
+    /// Detail for the first [`MAX_ROUND_DETAIL`] rounds.
+    pub rounds_detail: Vec<RoundProfile>,
+    /// Rounds beyond the detail cap (counted, not detailed).
+    pub rounds_elided: usize,
+}
+
+/// One rule's counters, with its rendered text and plan summary.
+#[derive(Clone, Debug, Default)]
+pub struct RuleProfile {
+    /// Index into `program.rules`.
+    pub rule: usize,
+    pub text: String,
+    pub plan: String,
+    pub firings: u64,
+    pub derivations: u64,
+    pub inserted: u64,
+    pub improved: u64,
+    pub noop: u64,
+    /// Wall-clock inside this rule's firings, by the sink's clock.
+    pub nanos: u64,
+}
+
+/// One relation's index telemetry, by predicate name.
+#[derive(Clone, Debug)]
+pub struct IndexProfile {
+    pub pred: String,
+    /// Distinct signatures indexed.
+    pub sigs: usize,
+    pub stats: IndexStats,
+}
+
+/// Aggregated profile of one evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// The *requested* strategy (components record the one actually used).
+    pub strategy: &'static str,
+    pub components: Vec<ComponentProfile>,
+    /// Rules that fired at least once, by program index.
+    pub rules: Vec<RuleProfile>,
+    /// Index telemetry, sorted by predicate name.
+    pub indexes: Vec<IndexProfile>,
+    /// Streaming aggregate accumulators created across all components.
+    pub agg_groups: u64,
+    /// Multiset elements folded across all accumulators.
+    pub agg_elements: u64,
+}
+
+impl ProfileReport {
+    /// Sum of component rounds.
+    pub fn total_rounds(&self) -> usize {
+        self.components.iter().map(|c| c.rounds).sum()
+    }
+
+    pub fn total_firings(&self) -> u64 {
+        self.rules.iter().map(|r| r.firings).sum()
+    }
+
+    pub fn total_derivations(&self) -> u64 {
+        self.rules.iter().map(|r| r.derivations).sum()
+    }
+
+    /// Summed insert outcomes over all rules as `(inserted, improved, noop)`.
+    pub fn total_outcomes(&self) -> (u64, u64, u64) {
+        self.rules.iter().fold((0, 0, 0), |(a, b, c), r| {
+            (a + r.inserted, b + r.improved, c + r.noop)
+        })
+    }
+
+    fn total_nanos(&self) -> u64 {
+        self.rules.iter().map(|r| r.nanos).sum()
+    }
+
+    /// The `maglog-profile-v1` JSON object for one strategy run (no
+    /// schema wrapper — see [`render_profile_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let (inserted, improved, noop) = self.total_outcomes();
+        s.push_str("{\n");
+        s.push_str(&format!("      \"strategy\": {},\n", json_str(self.strategy)));
+        s.push_str(&format!(
+            "      \"totals\": {{\"components\": {}, \"rounds\": {}, \"firings\": {}, \
+             \"derivations\": {}, \"inserted\": {}, \"improved\": {}, \"noop\": {}, \
+             \"rule_nanos\": {}}},\n",
+            self.components.len(),
+            self.total_rounds(),
+            self.total_firings(),
+            self.total_derivations(),
+            inserted,
+            improved,
+            noop,
+            self.total_nanos(),
+        ));
+        s.push_str("      \"components\": [\n");
+        for (i, c) in self.components.iter().enumerate() {
+            let preds: Vec<String> = c.preds.iter().map(|p| json_str(p)).collect();
+            s.push_str(&format!(
+                "        {{\"component\": {}, \"strategy\": {}, \"preds\": [{}], \
+                 \"rounds\": {}, \"rounds_elided\": {}, \"rounds_detail\": [",
+                c.component,
+                json_str(c.strategy),
+                preds.join(", "),
+                c.rounds,
+                c.rounds_elided,
+            ));
+            for (j, r) in c.rounds_detail.iter().enumerate() {
+                let deltas: Vec<String> = r
+                    .deltas
+                    .iter()
+                    .map(|(p, n)| format!("{}: {}", json_str(p), n))
+                    .collect();
+                s.push_str(&format!(
+                    "\n          {{\"round\": {}, \"full\": {}, \"firings\": {}, \
+                     \"derivations\": {}, \"inserted\": {}, \"improved\": {}, \
+                     \"noop\": {}, \"changed\": {}, \"deltas\": {{{}}}}}{}",
+                    r.round,
+                    r.full,
+                    r.firings,
+                    r.derivations,
+                    r.inserted,
+                    r.improved,
+                    r.noop,
+                    r.changed,
+                    deltas.join(", "),
+                    if j + 1 < c.rounds_detail.len() { "," } else { "" },
+                ));
+            }
+            if !c.rounds_detail.is_empty() {
+                s.push_str("\n        ");
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.components.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ],\n");
+        s.push_str("      \"rules\": [\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"rule\": {}, \"text\": {}, \"plan\": {}, \"firings\": {}, \
+                 \"derivations\": {}, \"inserted\": {}, \"improved\": {}, \"noop\": {}, \
+                 \"nanos\": {}}}{}\n",
+                r.rule,
+                json_str(&r.text),
+                json_str(&r.plan),
+                r.firings,
+                r.derivations,
+                r.inserted,
+                r.improved,
+                r.noop,
+                r.nanos,
+                if i + 1 < self.rules.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str("      \"indexes\": [\n");
+        for (i, x) in self.indexes.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"pred\": {}, \"sigs\": {}, \"probes\": {}, \"hits\": {}, \
+                 \"lazy_builds\": {}, \"log_replays\": {}, \"replayed_entries\": {}, \
+                 \"cow_clones\": {}}}{}\n",
+                json_str(&x.pred),
+                x.sigs,
+                x.stats.probes,
+                x.stats.hits,
+                x.stats.lazy_builds,
+                x.stats.log_replays,
+                x.stats.replayed_entries,
+                x.stats.cow_clones,
+                if i + 1 < self.indexes.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str(&format!(
+            "      \"aggregates\": {{\"groups\": {}, \"elements\": {}}}\n",
+            self.agg_groups, self.agg_elements
+        ));
+        s.push_str("    }");
+        s
+    }
+
+    /// A compact human summary (totals, components, per-rule counters,
+    /// index telemetry).
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        let (inserted, improved, noop) = self.total_outcomes();
+        s.push_str(&format!("== profile [{}] ==\n", self.strategy));
+        s.push_str(&format!(
+            "totals: {} component(s), {} rounds, {} firings, {} derivations \
+             ({} new, {} improved, {} no-op), {} ns in rules\n",
+            self.components.len(),
+            self.total_rounds(),
+            self.total_firings(),
+            self.total_derivations(),
+            inserted,
+            improved,
+            noop,
+            self.total_nanos(),
+        ));
+        s.push_str("components:\n");
+        for c in &self.components {
+            let preds = if c.preds.is_empty() {
+                String::new()
+            } else {
+                format!(" {{{}}}", c.preds.join(", "))
+            };
+            s.push_str(&format!(
+                "  #{} [{}]{}: {} round(s)\n",
+                c.component, c.strategy, preds, c.rounds
+            ));
+        }
+        s.push_str("rules:\n");
+        for r in &self.rules {
+            s.push_str(&format!("  r{}: {}\n", r.rule, r.text));
+            s.push_str(&format!("      plan: {}\n", r.plan));
+            s.push_str(&format!(
+                "      {} firings, {} derivations ({} new, {} improved, {} no-op), {} ns\n",
+                r.firings, r.derivations, r.inserted, r.improved, r.noop, r.nanos
+            ));
+        }
+        if !self.indexes.is_empty() {
+            s.push_str("indexes:\n");
+            for x in &self.indexes {
+                s.push_str(&format!(
+                    "  {}: {} sig(s), {} probes ({} hits, {} lazy builds), \
+                     {} replays ({} entries), {} CoW clones\n",
+                    x.pred,
+                    x.sigs,
+                    x.stats.probes,
+                    x.stats.hits,
+                    x.stats.lazy_builds,
+                    x.stats.log_replays,
+                    x.stats.replayed_entries,
+                    x.stats.cow_clones,
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "aggregates: {} group(s), {} element(s)\n",
+            self.agg_groups, self.agg_elements
+        ));
+        s
+    }
+}
+
+/// Wrap per-strategy reports into the top-level `maglog-profile-v1`
+/// document.
+pub fn render_profile_json(program_label: &str, reports: &[ProfileReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"maglog-profile-v1\",\n");
+    s.push_str(&format!("  \"program\": {},\n", json_str(program_label)));
+    s.push_str("  \"strategies\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&r.to_json());
+        s.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// [`EventSink`] that aggregates everything into a [`ProfileReport`].
+pub struct MetricsSink<'p> {
+    program: &'p Program,
+    strategy: Strategy,
+    clock: Box<dyn Clock>,
+    components: Vec<ComponentProfile>,
+    /// Keyed by program rule index (values hold counters only; text and
+    /// plan are resolved in [`finish`](Self::finish)).
+    rules: Vec<(usize, RuleProfile)>,
+    indexes: Vec<IndexProfile>,
+    agg_groups: u64,
+    agg_elements: u64,
+    cur_round: Option<RoundProfile>,
+    fire_started: u64,
+}
+
+impl<'p> MetricsSink<'p> {
+    /// Metrics with real wall-clock rule timings.
+    pub fn new(program: &'p Program, strategy: Strategy) -> Self {
+        Self::with_clock(program, strategy, Box::new(SystemClock::new()))
+    }
+
+    /// Metrics with an injected clock (deterministic tests).
+    pub fn with_clock(program: &'p Program, strategy: Strategy, clock: Box<dyn Clock>) -> Self {
+        MetricsSink {
+            program,
+            strategy,
+            clock,
+            components: Vec::new(),
+            rules: Vec::new(),
+            indexes: Vec::new(),
+            agg_groups: 0,
+            agg_elements: 0,
+            cur_round: None,
+            fire_started: 0,
+        }
+    }
+
+    fn rule_entry(&mut self, ri: usize) -> &mut RuleProfile {
+        if let Some(pos) = self.rules.iter().position(|(i, _)| *i == ri) {
+            return &mut self.rules[pos].1;
+        }
+        self.rules.push((ri, RuleProfile::default()));
+        &mut self.rules.last_mut().unwrap().1
+    }
+
+    /// Consume the sink into its report, resolving rule texts and plan
+    /// summaries against the program.
+    pub fn finish(mut self) -> ProfileReport {
+        self.rules.sort_by_key(|(ri, _)| *ri);
+        let rules = self
+            .rules
+            .into_iter()
+            .map(|(ri, mut prof)| {
+                let rule = &self.program.rules[ri];
+                prof.rule = ri;
+                prof.text = self.program.display_rule(rule);
+                prof.plan = plan_rule(self.program, rule, &BTreeSet::new(), None)
+                    .map(|p| p.summary(self.program, rule))
+                    .unwrap_or_else(|_| "<unplannable>".to_string());
+                prof
+            })
+            .collect();
+        self.indexes.sort_by(|a, b| a.pred.cmp(&b.pred));
+        ProfileReport {
+            strategy: self.strategy.name(),
+            components: self.components,
+            rules,
+            indexes: self.indexes,
+            agg_groups: self.agg_groups,
+            agg_elements: self.agg_elements,
+        }
+    }
+}
+
+impl EventSink for MetricsSink<'_> {
+    fn component_start(&mut self, component: usize, strategy: Strategy, cdb: &[Pred]) {
+        let mut preds: Vec<String> =
+            cdb.iter().map(|p| self.program.pred_name(*p)).collect();
+        preds.sort();
+        self.components.push(ComponentProfile {
+            component,
+            strategy: strategy.name(),
+            preds,
+            ..Default::default()
+        });
+    }
+
+    fn round_start(&mut self, round: usize, full: bool) {
+        self.cur_round = Some(RoundProfile {
+            round,
+            full,
+            ..Default::default()
+        });
+    }
+
+    fn rule_fire_start(&mut self, rule: usize) {
+        self.fire_started = self.clock.now_nanos();
+        self.rule_entry(rule).firings += 1;
+        if let Some(r) = &mut self.cur_round {
+            r.firings += 1;
+        }
+    }
+
+    fn rule_fire_end(&mut self, rule: usize) {
+        let elapsed = self.clock.now_nanos().saturating_sub(self.fire_started);
+        self.rule_entry(rule).nanos += elapsed;
+    }
+
+    fn insert_outcome(&mut self, rule: usize, _pred: Pred, outcome: InsertOutcome) {
+        let entry = self.rule_entry(rule);
+        let slot = match outcome {
+            InsertOutcome::New => &mut entry.inserted,
+            InsertOutcome::Improved => &mut entry.improved,
+            InsertOutcome::Noop => &mut entry.noop,
+        };
+        *slot += 1;
+        if let Some(r) = &mut self.cur_round {
+            match outcome {
+                InsertOutcome::New => r.inserted += 1,
+                InsertOutcome::Improved => r.improved += 1,
+                InsertOutcome::Noop => r.noop += 1,
+            }
+        }
+    }
+
+    fn delta(&mut self, pred: Pred, size: usize) {
+        if let Some(r) = &mut self.cur_round {
+            r.deltas.push((self.program.pred_name(pred), size));
+        }
+    }
+
+    fn round_end(&mut self, _round: usize, derivations: usize, changed: usize) {
+        let Some(mut r) = self.cur_round.take() else {
+            return;
+        };
+        r.derivations = derivations;
+        r.changed = changed;
+        r.deltas.sort();
+        if let Some(c) = self.components.last_mut() {
+            if c.rounds_detail.len() < MAX_ROUND_DETAIL {
+                c.rounds_detail.push(r);
+            } else {
+                c.rounds_elided += 1;
+            }
+        }
+    }
+
+    fn rule_derivations(&mut self, rule: usize, derivations: u64) {
+        self.rule_entry(rule).derivations += derivations;
+    }
+
+    fn aggregate_totals(&mut self, groups: u64, elements: u64) {
+        self.agg_groups += groups;
+        self.agg_elements += elements;
+    }
+
+    fn component_end(&mut self, _component: usize, rounds: usize) {
+        if let Some(c) = self.components.last_mut() {
+            c.rounds = rounds;
+        }
+        self.cur_round = None;
+    }
+
+    fn index_stats(&mut self, pred: Pred, sigs: usize, stats: IndexStats) {
+        self.indexes.push(IndexProfile {
+            pred: self.program.pred_name(pred),
+            sigs,
+            stats,
+        });
+    }
+}
+
+/// [`EventSink`] that renders a human-readable round-by-round fixpoint
+/// trace into an internal buffer ([`TraceSink::into_string`]).
+pub struct TraceSink<'p> {
+    program: &'p Program,
+    out: String,
+    /// Round lines already written for the current component.
+    round_lines: usize,
+    /// Rounds elided beyond [`MAX_TRACE_ROUNDS`] for the current component.
+    elided: usize,
+    cur_full: bool,
+    cur_firings: u64,
+    /// The greedy settle of the current round, pre-rendered.
+    cur_settle: Option<String>,
+    cur_deltas: Vec<(String, usize)>,
+}
+
+impl<'p> TraceSink<'p> {
+    pub fn new(program: &'p Program) -> Self {
+        TraceSink {
+            program,
+            out: String::new(),
+            round_lines: 0,
+            elided: 0,
+            cur_full: false,
+            cur_firings: 0,
+            cur_settle: None,
+            cur_deltas: Vec::new(),
+        }
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl EventSink for TraceSink<'_> {
+    fn component_start(&mut self, component: usize, strategy: Strategy, cdb: &[Pred]) {
+        self.round_lines = 0;
+        self.elided = 0;
+        let mut preds: Vec<String> =
+            cdb.iter().map(|p| self.program.pred_name(*p)).collect();
+        preds.sort();
+        let suffix = if preds.is_empty() {
+            String::new()
+        } else {
+            format!(" {{{}}}", preds.join(", "))
+        };
+        self.out.push_str(&format!(
+            "component {} [{}]{}\n",
+            component,
+            strategy.name(),
+            suffix
+        ));
+    }
+
+    fn round_start(&mut self, _round: usize, full: bool) {
+        self.cur_full = full;
+        self.cur_firings = 0;
+        self.cur_settle = None;
+        self.cur_deltas.clear();
+    }
+
+    fn rule_fire_start(&mut self, _rule: usize) {
+        self.cur_firings += 1;
+    }
+
+    fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {
+        let args: Vec<String> = key.0.iter().map(|v| v.display(self.program)).collect();
+        self.cur_settle = Some(format!(
+            "settle {}({}) @ {}",
+            self.program.pred_name(pred),
+            args.join(", "),
+            cost
+        ));
+    }
+
+    fn delta(&mut self, pred: Pred, size: usize) {
+        self.cur_deltas.push((self.program.pred_name(pred), size));
+    }
+
+    fn round_end(&mut self, round: usize, derivations: usize, changed: usize) {
+        if self.round_lines >= MAX_TRACE_ROUNDS {
+            self.elided += 1;
+            return;
+        }
+        self.round_lines += 1;
+        self.cur_deltas.sort();
+        let deltas = if self.cur_deltas.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = self
+                .cur_deltas
+                .iter()
+                .map(|(p, n)| format!("{p} +{n}"))
+                .collect();
+            format!(" | Δ {}", parts.join(", "))
+        };
+        match &self.cur_settle {
+            Some(settle) => {
+                self.out.push_str(&format!(
+                    "  pop {round}: {settle}: {derivations} derivation(s), \
+                     {changed} queued{deltas}\n"
+                ));
+            }
+            None => {
+                let full = if self.cur_full { " (full)" } else { "" };
+                self.out.push_str(&format!(
+                    "  round {round}{full}: {} firing(s), {derivations} derivation(s), \
+                     {changed} changed{deltas}\n",
+                    self.cur_firings
+                ));
+            }
+        }
+    }
+
+    fn component_end(&mut self, _component: usize, rounds: usize) {
+        if self.elided > 0 {
+            self.out
+                .push_str(&format!("  ... {} more round(s) elided\n", self.elided));
+        }
+        self.out
+            .push_str(&format!("  fixpoint after {rounds} round(s)\n"));
+    }
+}
+
+/// Minimal JSON string escaping (same dialect as the bench renderer —
+/// the workspace has no serde).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edb::Edb;
+    use crate::eval::{EvalOptions, MonotonicEngine};
+    use crate::events::ManualClock;
+    use maglog_datalog::parse_program;
+
+    const TC: &str = "e(a, b). e(b, c). e(c, d).\n\
+                      tc(X, Y) :- e(X, Y).\n\
+                      tc(X, Y) :- tc(X, Z), e(Z, Y).";
+
+    #[test]
+    fn metrics_sink_produces_a_report() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = MetricsSink::with_clock(
+            &p,
+            Strategy::SemiNaive,
+            Box::new(ManualClock::with_step(1)),
+        );
+        MonotonicEngine::new(&p)
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .unwrap();
+        let report = sink.finish();
+        assert_eq!(report.strategy, "seminaive");
+        assert!(report.total_firings() > 0);
+        assert!(report.total_rounds() > 0);
+        // ManualClock at step 1: one nanosecond per firing.
+        assert_eq!(report.total_nanos(), report.total_firings());
+        // tc is derived: 6 tuples inserted across the run.
+        let (inserted, _, _) = report.total_outcomes();
+        assert_eq!(inserted, 6);
+        // The recursive rule probes e's index.
+        let e = report.indexes.iter().find(|x| x.pred == "e").unwrap();
+        assert!(e.stats.probes > 0);
+        assert!(e.stats.hits > 0);
+    }
+
+    #[test]
+    fn profile_json_has_schema_and_sections() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = MetricsSink::with_clock(
+            &p,
+            Strategy::SemiNaive,
+            Box::new(ManualClock::with_step(1)),
+        );
+        MonotonicEngine::new(&p)
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .unwrap();
+        let json = render_profile_json("tc", &[sink.finish()]);
+        assert!(json.contains("\"schema\": \"maglog-profile-v1\""));
+        assert!(json.contains("\"strategies\""));
+        assert!(json.contains("\"rounds_detail\""));
+        assert!(json.contains("\"probes\""));
+        assert!(json.contains("\"deltas\""));
+    }
+
+    #[test]
+    fn trace_sink_renders_rounds_and_fixpoint() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = TraceSink::new(&p);
+        MonotonicEngine::new(&p)
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .unwrap();
+        let trace = sink.into_string();
+        assert!(trace.contains("component 0"));
+        assert!(trace.contains("round 1 (full)"));
+        assert!(trace.contains("fixpoint after"));
+        assert!(trace.contains("Δ"));
+    }
+
+    #[test]
+    fn greedy_trace_shows_settles() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 2). arc(b, c, 3).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        )
+        .unwrap();
+        let mut sink = TraceSink::new(&p);
+        MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy: Strategy::Greedy,
+                ..Default::default()
+            },
+        )
+        .evaluate_with_sink(&Edb::new(), &mut sink)
+        .unwrap();
+        let trace = sink.into_string();
+        assert!(trace.contains("[greedy]"), "{trace}");
+        assert!(trace.contains("settle"), "{trace}");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

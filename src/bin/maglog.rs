@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! maglog check  [opts] <program.mgl>     run the static battery and report
-//! maglog run    <program.mgl> [pred...]  evaluate; print the model (or just preds)
+//! maglog run    [--stats] <program.mgl> [pred...]  evaluate; print the model
+//! maglog profile [opts] <program.mgl>    fixpoint profiler (maglog-profile-v1)
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! ```
@@ -15,6 +16,13 @@
 //! --allow <CODE>        silence a lint code entirely
 //! ```
 //!
+//! `profile` options:
+//!
+//! ```text
+//! --format=human|json          human trace+report, or maglog-profile-v1 JSON
+//! --strategy=naive|seminaive|greedy   profile one strategy (default: all three)
+//! ```
+//!
 //! Programs are text files in the maglog rule language; facts can be given
 //! inline (`arc(a, b, 1).`). Exit codes: 0 on success, 1 when `check`
 //! finds deny-level diagnostics (or evaluation fails), 2 on usage errors —
@@ -25,16 +33,25 @@ use maglog::analysis::diag::{
 };
 use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog::datalog::{graph::components, parse_program, Program};
-use maglog::engine::{Edb, MonotonicEngine};
+use maglog::engine::{
+    render_profile_json, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Strategy,
+    TraceSink,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: maglog <check|run|compare|explain> <program.mgl> [args]
+usage: maglog <check|run|profile|compare|explain> <program.mgl> [args]
 
   check   [--format=human|json] [--deny <CODE|all>] [--allow <CODE>] <program.mgl>
-  run     <program.mgl> [pred...]
+  run     [--stats] <program.mgl> [pred...]
+  profile [--format=human|json] [--strategy=naive|seminaive|greedy] <program.mgl>
   compare <program.mgl>
   explain <program.mgl>
+
+profile evaluates under every strategy (or just --strategy) and reports
+per-round deltas, per-rule counters, and index telemetry; --format=json
+emits the maglog-profile-v1 document. run --stats appends the same report
+for the default strategy to stderr.
 
 Lint codes are the stable MAGxxxx identifiers listed in docs/lint-codes.md.";
 
@@ -139,15 +156,54 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "profile" {
+        let (opts, operands) = match parse_profile_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
+        let [path] = operands.as_slice() else {
+            return usage_exit("profile takes exactly one program file");
+        };
+        return match cmd_profile(path, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "run" {
+        let mut stats = false;
+        let mut operands: Vec<&String> = Vec::new();
+        for arg in rest {
+            match arg.as_str() {
+                "--stats" => stats = true,
+                f if f.starts_with('-') => {
+                    return usage_exit(&format!("unknown flag '{f}'"))
+                }
+                _ => operands.push(arg),
+            }
+        }
+        let Some((path, preds)) = operands.split_first() else {
+            return usage_exit("run requires a program file");
+        };
+        let preds: Vec<String> = preds.iter().map(|s| (*s).clone()).collect();
+        return match cmd_run(path, &preds, stats) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // The other subcommands take no flags.
     if let Some(flag) = rest.iter().find(|a| a.starts_with('-')) {
         return usage_exit(&format!("unknown flag '{flag}'"));
     }
     let result = match (cmd, rest) {
-        ("run", [path, preds @ ..]) => cmd_run(path, preds),
         ("compare", [path]) => cmd_compare(path),
         ("explain", [path]) => cmd_explain(path),
-        ("run" | "compare" | "explain", _) => {
+        ("compare" | "explain", _) => {
             return usage_exit(&format!("{cmd} requires a program file"))
         }
         _ => return usage_exit(&format!("unknown subcommand '{cmd}'")),
@@ -159,6 +215,55 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+struct ProfileOpts {
+    format: Format,
+    /// `None` profiles all three strategies.
+    strategy: Option<Strategy>,
+}
+
+fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), ArgError> {
+    let mut opts = ProfileOpts {
+        format: Format::Human,
+        strategy: None,
+    };
+    let mut operands = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(ArgError::Usage(format!("unknown format '{other}'")))
+                    }
+                };
+            }
+            "--strategy" => {
+                let v = value("--strategy")?;
+                opts.strategy = Some(Strategy::parse(&v).ok_or_else(|| {
+                    ArgError::Usage(format!("unknown strategy '{v}'"))
+                })?);
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            _ => operands.push(arg.clone()),
+        }
+    }
+    Ok((opts, operands))
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -205,11 +310,18 @@ fn cmd_check(path: &str, opts: &CheckOpts) -> Result<(), String> {
     }
 }
 
-fn cmd_run(path: &str, preds: &[String]) -> Result<(), String> {
+fn cmd_run(path: &str, preds: &[String], stats: bool) -> Result<(), String> {
     let program = load(path)?;
-    let model = MonotonicEngine::new(&program)
-        .evaluate(&Edb::new())
-        .map_err(|e| e.to_string())?;
+    let engine = MonotonicEngine::new(&program);
+    let (model, report): (Model, Option<String>) = if stats {
+        let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
+        let model = engine
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .map_err(|e| e.to_string())?;
+        (model, Some(sink.finish().render_human()))
+    } else {
+        (engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None)
+    };
     if preds.is_empty() {
         println!("{}", model.render(&program));
     } else {
@@ -224,13 +336,59 @@ fn cmd_run(path: &str, preds: &[String]) -> Result<(), String> {
             }
         }
     }
-    let rounds: usize = model.stats().rounds.iter().sum();
+    let per_component = if model.stats().rounds.len() > 1 {
+        format!(" ({})", model.rounds_breakdown())
+    } else {
+        String::new()
+    };
     eprintln!(
-        "-- {} atoms, {} rounds, {} firings",
+        "-- {} atoms, {} rounds{}, {} firings",
         model.interp().size(),
-        rounds,
+        model.total_rounds(),
+        per_component,
         model.stats().firings
     );
+    if let Some(report) = report {
+        eprint!("{report}");
+    }
+    Ok(())
+}
+
+/// Evaluate under one or all strategies with profiling sinks, then render
+/// the reports (human trace + summary, or the `maglog-profile-v1` JSON).
+fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
+    let program = load(path)?;
+    let strategies: Vec<Strategy> = match opts.strategy {
+        Some(s) => vec![s],
+        None => vec![Strategy::Naive, Strategy::SemiNaive, Strategy::Greedy],
+    };
+    let mut reports = Vec::new();
+    for strategy in strategies {
+        let engine = MonotonicEngine::with_options(
+            &program,
+            EvalOptions {
+                strategy,
+                ..Default::default()
+            },
+        );
+        let mut sink = Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy));
+        engine
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .map_err(|e| format!("[{}] {e}", strategy.name()))?;
+        let Fanout(trace, metrics) = sink;
+        let report = metrics.finish();
+        match opts.format {
+            Format::Human => {
+                print!("{}", trace.into_string());
+                print!("{}", report.render_human());
+                println!();
+            }
+            Format::Json => reports.push(report),
+        }
+    }
+    if opts.format == Format::Json {
+        print!("{}", render_profile_json(path, &reports));
+    }
     Ok(())
 }
 

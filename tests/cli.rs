@@ -41,6 +41,83 @@ fn run_prints_the_minimal_model() {
 }
 
 #[test]
+fn run_stats_appends_a_profile_report() {
+    let out = maglog(&["run", "--stats", "programs/shortest_path.mgl", "s"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("s(a, b, 1)"));
+    let err = stderr(&out);
+    assert!(err.contains("== profile [seminaive] =="), "{err}");
+    assert!(err.contains("rules:"), "{err}");
+    assert!(err.contains("indexes:"), "{err}");
+}
+
+#[test]
+fn run_reports_per_component_rounds() {
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("two_components.mgl");
+    std::fs::write(
+        &file,
+        "e(a, b). e(b, c).\n\
+         tc(X, Y) :- e(X, Y).\n\
+         tc(X, Y) :- tc(X, Z), e(Z, Y).\n\
+         up(X, Y) :- tc(X, Y).\n\
+         up(X, Y) :- up(Y, X).\n",
+    )
+    .unwrap();
+    let out = maglog(&["run", file.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    // Two recursive components → the summary breaks the total down.
+    assert!(err.contains("rounds (3+3)"), "{err}");
+}
+
+#[test]
+fn profile_emits_all_three_strategies_as_json() {
+    let out = maglog(&["profile", "--format=json", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"schema\": \"maglog-profile-v1\""), "{text}");
+    for strategy in ["naive", "seminaive", "greedy"] {
+        assert!(text.contains(&format!("\"strategy\": \"{strategy}\"")), "{text}");
+    }
+    assert!(text.contains("\"rounds_detail\""), "{text}");
+    assert!(text.contains("\"index_hits\"") || text.contains("\"hits\""), "{text}");
+    assert!(text.contains("\"plan\""), "{text}");
+    // Balanced braces as a cheap well-formedness check (no string in the
+    // output contains braces).
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+}
+
+#[test]
+fn profile_human_traces_rounds_for_one_strategy() {
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("component 0 [seminaive]"), "{text}");
+    assert!(text.contains("round 1 (full)"), "{text}");
+    assert!(text.contains("fixpoint after"), "{text}");
+    assert!(text.contains("== profile [seminaive] =="), "{text}");
+    assert!(!text.contains("[naive]"), "{text}");
+}
+
+#[test]
+fn profile_rejects_bad_flag_values() {
+    let out = maglog(&["profile", "--format=xml", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+    let out = maglog(&["profile", "--strategy=quantum", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+    let out = maglog(&["profile"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn compare_reports_undefined_atoms() {
     let out = maglog(&["compare", "programs/company_control.mgl"]);
     assert!(out.status.success(), "{}", stderr(&out));
