@@ -35,6 +35,7 @@
 //! undecidable one may be reported decided where K&S would say undefined;
 //! none of the reproduced experiments have that shape.
 
+use crate::telemetry::BaselineStats;
 use maglog_datalog::{
     AggEq, Atom, CmpOp, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
@@ -55,6 +56,9 @@ pub struct KsModel {
     statuses: HashMap<(Pred, Tuple), AtomStatus>,
     /// Costs of `True` cost atoms (from the agreeing minimal model).
     true_costs: HashMap<(Pred, Tuple), Option<Value>>,
+    /// Work done: key-level fixpoint rounds (possible + decided passes)
+    /// and the sizes of the *possible* key-level relations.
+    pub stats: BaselineStats,
 }
 
 impl KsModel {
@@ -114,8 +118,16 @@ pub fn ks_well_founded(program: &Program, edb: &Edb) -> Result<KsModel, String> 
         .map_err(|e| e.to_string())?;
 
     let base = key_level_facts(program, edb)?;
-    let possible = key_fixpoint(program, base.clone(), Mode::Possible, None)?;
-    let decided = key_fixpoint(program, base, Mode::Decided, Some(&possible))?;
+    let (possible, possible_rounds) = key_fixpoint(program, base.clone(), Mode::Possible, None)?;
+    let (decided, decided_rounds) = key_fixpoint(program, base, Mode::Decided, Some(&possible))?;
+    let stats = BaselineStats::from_sizes(
+        possible
+            .iter()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(p, keys)| (program.pred_name(*p), keys.len()))
+            .collect(),
+        possible_rounds + decided_rounds,
+    );
 
     let mut statuses = HashMap::new();
     let mut true_costs = HashMap::new();
@@ -142,6 +154,7 @@ pub fn ks_well_founded(program: &Program, edb: &Edb) -> Result<KsModel, String> 
     Ok(KsModel {
         statuses,
         true_costs,
+        stats,
     })
 }
 
@@ -191,15 +204,18 @@ enum Mode {
     Decided,
 }
 
-/// Iterate the key-level program to a fixpoint in the given mode.
+/// Iterate the key-level program to a fixpoint in the given mode. Also
+/// reports the number of rounds taken (including the final no-change one).
 fn key_fixpoint(
     program: &Program,
     base: KeySet,
     mode: Mode,
     possible: Option<&KeySet>,
-) -> Result<KeySet, String> {
+) -> Result<(KeySet, usize), String> {
     let mut db = base;
+    let mut rounds = 0usize;
     loop {
+        rounds += 1;
         let mut new_atoms: Vec<(Pred, Tuple)> = Vec::new();
         for rule in &program.rules {
             fire_key_rule(program, rule, &db, mode, possible, &mut new_atoms)?;
@@ -209,7 +225,7 @@ fn key_fixpoint(
             changed |= db.entry(pred).or_default().insert(key);
         }
         if !changed {
-            return Ok(db);
+            return Ok((db, rounds));
         }
     }
 }

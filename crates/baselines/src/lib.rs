@@ -30,10 +30,12 @@ pub mod kemp_stuckey;
 pub mod naive;
 pub mod stable;
 pub mod stratified;
+pub mod telemetry;
 pub mod wfs;
 
 pub use ggz::{rewrite_minmax, GgzOutcome};
 pub use kemp_stuckey::{ks_well_founded, AtomStatus, KsModel};
-pub use stable::is_stable_model;
+pub use stable::{is_stable_model, is_stable_model_traced};
 pub use stratified::{evaluate_stratified, StratifiedError};
+pub use telemetry::BaselineStats;
 pub use wfs::{well_founded_model, WfModel};

@@ -77,8 +77,21 @@ impl<'p> NaiveEval<'p> {
         fixed: &Interp,
         collect: bool,
     ) -> Result<(Interp, Vec<Firing>), String> {
+        self.run_traced(rules, base, fixed, collect)
+            .map(|(db, firings, _rounds)| (db, firings))
+    }
+
+    /// Like [`NaiveEval::run`], but also reports how many rounds the
+    /// fixpoint took (including the final no-change round).
+    pub fn run_traced(
+        &self,
+        rules: &[&Rule],
+        base: Interp,
+        fixed: &Interp,
+        collect: bool,
+    ) -> Result<(Interp, Vec<Firing>, usize), String> {
         let mut db = base;
-        for _round in 0..self.max_rounds {
+        for round in 0..self.max_rounds {
             let derived = self.apply_rules(rules, &db, fixed, None)?;
             let mut changed = false;
             for ((pred, key), cost) in derived {
@@ -98,7 +111,7 @@ impl<'p> NaiveEval<'p> {
                 } else {
                     Vec::new()
                 };
-                return Ok((db, firings));
+                return Ok((db, firings, round + 1));
             }
         }
         Err(format!(

@@ -14,6 +14,7 @@
 //! select the intended model — minimality in the lattice order does.
 
 use crate::naive::{load_base, NaiveEval, Src};
+use crate::telemetry::BaselineStats;
 use maglog_datalog::{Program, Rule};
 use maglog_engine::{Edb, Interp};
 
@@ -27,6 +28,16 @@ pub fn is_stable_model(
     edb: &Edb,
     candidate: &Interp,
 ) -> Result<bool, String> {
+    is_stable_model_traced(program, edb, candidate).map(|(stable, _)| stable)
+}
+
+/// Like [`is_stable_model`], but also reports how much work the reduct's
+/// least fixpoint did (rounds and the least model's relation sizes).
+pub fn is_stable_model_traced(
+    program: &Program,
+    edb: &Edb,
+    candidate: &Interp,
+) -> Result<(bool, BaselineStats), String> {
     let base = load_base(program, edb)?;
     // Merge EDB into the candidate for fixed-source lookups.
     let full_candidate = base.join(candidate, program);
@@ -35,9 +46,10 @@ pub fn is_stable_model(
     let mut eval = NaiveEval::new(program);
     eval.neg_src = Src::Fixed;
     eval.agg_src = Src::Fixed;
-    let (least, _) = eval.run(&rules, base, &full_candidate, false)?;
+    let (least, _, rounds) = eval.run_traced(&rules, base, &full_candidate, false)?;
 
-    Ok(least == full_candidate)
+    let stats = BaselineStats::from_interp(program, &least, rounds);
+    Ok((least == full_candidate, stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Per-run telemetry for the Section-5 baseline evaluators.
+//!
+//! The engine proper reports rounds, firings, and deltas through its
+//! `EventSink` layer; the baselines deliberately stay simple and bypass
+//! it. This module gives them a minimal common report — fixpoint rounds
+//! and final relation sizes — so baseline-vs-engine comparisons (`maglog
+//! compare`, the bench harness) are not blind to how much work each
+//! semantics did.
+
+use maglog_datalog::Program;
+use maglog_engine::{Interp, Model};
+
+/// What a baseline evaluator did: how many fixpoint rounds it ran and how
+/// large each relation ended up.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Total bottom-up rounds across the run (for alternating-fixpoint
+    /// semantics this sums the inner least-fixpoint rounds of every
+    /// `Γ` application).
+    pub rounds: usize,
+    /// Final relation sizes, `(predicate name, tuples)`, sorted by name.
+    pub relation_sizes: Vec<(String, usize)>,
+}
+
+impl BaselineStats {
+    /// Snapshot the relation sizes of a final interpretation.
+    pub fn from_interp(program: &Program, db: &Interp, rounds: usize) -> Self {
+        let mut relation_sizes: Vec<(String, usize)> = db
+            .preds()
+            .filter_map(|p| {
+                let len = db.relation(p)?.len();
+                (len > 0).then(|| (program.pred_name(p), len))
+            })
+            .collect();
+        relation_sizes.sort();
+        BaselineStats {
+            rounds,
+            relation_sizes,
+        }
+    }
+
+    /// Snapshot an engine [`Model`] (the stratified baseline delegates to
+    /// the engine, so its telemetry comes straight from the model).
+    pub fn from_model(program: &Program, model: &Model) -> Self {
+        Self::from_interp(program, model.interp(), model.total_rounds())
+    }
+
+    /// From pre-computed sizes (key-level evaluators without an `Interp`).
+    pub fn from_sizes(mut relation_sizes: Vec<(String, usize)>, rounds: usize) -> Self {
+        relation_sizes.sort();
+        BaselineStats {
+            rounds,
+            relation_sizes,
+        }
+    }
+
+    /// Total stored atoms across all relations.
+    pub fn total_atoms(&self) -> usize {
+        self.relation_sizes.iter().map(|(_, n)| n).sum()
+    }
+
+    /// One-line rendering: `4 round(s), 8 atom(s) [path=4, s=2, ...]`.
+    pub fn render(&self) -> String {
+        let sizes = self
+            .relation_sizes
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{} round(s), {} atom(s) [{sizes}]",
+            self.rounds,
+            self.total_atoms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable_and_sorted() {
+        let s = BaselineStats::from_sizes(vec![("s".into(), 2), ("path".into(), 4)], 4);
+        assert_eq!(s.total_atoms(), 6);
+        assert_eq!(s.render(), "4 round(s), 6 atom(s) [path=4, s=2]");
+    }
+}

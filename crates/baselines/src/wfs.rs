@@ -16,6 +16,7 @@
 //! path cost is a separate atom.
 
 use crate::naive::{load_base, NaiveEval, Src};
+use crate::telemetry::BaselineStats;
 use maglog_datalog::{Pred, Program, Rule};
 use maglog_engine::{Edb, Interp, Tuple, Value};
 use std::collections::BTreeSet;
@@ -27,6 +28,9 @@ pub struct WfModel {
     pub true_set: Interp,
     /// Possibly-true atoms (`⊇ true_set`).
     pub possible: Interp,
+    /// Work done: total inner least-fixpoint rounds across every `Γ`
+    /// application, and the final sizes of the *possible* relations.
+    pub stats: BaselineStats,
 }
 
 impl WfModel {
@@ -72,22 +76,26 @@ pub fn well_founded_model(
     // down. Convergent instances in the evaluation stay far below this.
     eval.max_atoms = 20_000;
 
-    let gamma = |assumed: &Interp| -> Result<Interp, String> {
-        let (db, _) = eval.run(&rules, base.clone(), assumed, false)?;
+    let gamma = |assumed: &Interp, rounds: &mut usize| -> Result<Interp, String> {
+        let (db, _, r) = eval.run_traced(&rules, base.clone(), assumed, false)?;
+        *rounds += r;
         Ok(db)
     };
 
     // Alternating fixpoint: T_0 = ∅-based least model against U_0 = Γ(∅)…
     // iterate T_{k+1} = Γ(U_k), U_{k+1} = Γ(T_{k+1}) until stable.
+    let mut rounds = 0usize;
     let mut true_set = Interp::new(); // T_0 = ∅ (as an assumed set)
-    let mut possible = gamma(&true_set)?; // U_0 = Γ(∅)
+    let mut possible = gamma(&true_set, &mut rounds)?; // U_0 = Γ(∅)
     loop {
-        let next_true = gamma(&possible)?;
-        let next_possible = gamma(&next_true)?;
+        let next_true = gamma(&possible, &mut rounds)?;
+        let next_possible = gamma(&next_true, &mut rounds)?;
         if next_true == true_set && next_possible == possible {
+            let stats = BaselineStats::from_interp(program, &next_possible, rounds);
             return Ok(WfModel {
                 true_set: next_true,
                 possible: next_possible,
+                stats,
             });
         }
         true_set = next_true;

@@ -25,6 +25,11 @@ pub struct Accumulator {
     /// Elements pushed so far (`count` and the `avg` divisor).
     count: usize,
     state: State,
+    /// Push index of the element that alone determines the current value
+    /// (first argmin/argmax, first decisive boolean); `None` when every
+    /// element contributes (`sum`, `count`, ties on the initial bound, a
+    /// boolean fold that never left its identity).
+    winner: Option<usize>,
 }
 
 #[derive(Clone, Debug)]
@@ -53,7 +58,12 @@ impl Accumulator {
             AggFunc::Union => State::Union(BTreeSet::new()),
             AggFunc::Intersect => State::Intersect(None),
         };
-        Accumulator { func, count: 0, state }
+        Accumulator {
+            func,
+            count: 0,
+            state,
+            winner: None,
+        }
     }
 
     /// Number of multiset elements folded so far (profiler telemetry and
@@ -62,14 +72,30 @@ impl Accumulator {
         self.count
     }
 
+    /// Push index of the single element that determines the current value
+    /// — the first argmin/argmax for `min`/`max`, the first `true` of a
+    /// true `or`, the first `false` of a false `and`. `None` means every
+    /// pushed element is jointly responsible (`sum`, `count`, `avg`,
+    /// `product`, set folds, or a fold still at its identity). Tracking is
+    /// observation-only: the fold itself is bit-for-bit unchanged.
+    pub fn winner(&self) -> Option<usize> {
+        self.winner
+    }
+
     /// Fold one multiset element into the running state.
     pub fn push(&mut self, v: &Value) {
+        let idx = self.count;
         self.count += 1;
         match (&mut self.state, self.func) {
             (State::Undefined, _) => {}
             (_, AggFunc::Count) => {} // count ignores element types
             (State::Num(acc), func) => match v.as_num() {
                 Some(n) => {
+                    match func {
+                        AggFunc::Min if n < *acc => self.winner = Some(idx),
+                        AggFunc::Max if n > *acc => self.winner = Some(idx),
+                        _ => {}
+                    }
                     *acc = match func {
                         AggFunc::Min => (*acc).min(n),
                         AggFunc::Max => (*acc).max(n),
@@ -82,6 +108,11 @@ impl Accumulator {
             },
             (State::Bool(acc), func) => match v.as_bool() {
                 Some(b) => {
+                    match func {
+                        AggFunc::Or if b && !*acc => self.winner = Some(idx),
+                        AggFunc::And if !b && *acc => self.winner = Some(idx),
+                        _ => {}
+                    }
                     *acc = match func {
                         AggFunc::And => *acc && b,
                         AggFunc::Or => *acc || b,
@@ -225,6 +256,46 @@ mod tests {
         assert_eq!(apply(AggFunc::Sum, &bad), None);
         assert_eq!(apply(AggFunc::And, &nums(&[0.5])), None);
         assert_eq!(apply(AggFunc::Union, &nums(&[1.0])), None);
+    }
+
+    #[test]
+    fn winner_tracks_the_determining_element() {
+        // min: first strict improvement wins; later ties do not steal it.
+        let mut acc = Accumulator::new(AggFunc::Min);
+        for v in nums(&[3.0, 1.0, 2.0, 1.0]) {
+            acc.push(&v);
+        }
+        assert_eq!(acc.winner(), Some(1));
+        assert_eq!(acc.finish(), Some(Value::num(1.0)));
+
+        let mut acc = Accumulator::new(AggFunc::Max);
+        for v in nums(&[3.0, 5.0, 5.0]) {
+            acc.push(&v);
+        }
+        assert_eq!(acc.winner(), Some(1));
+
+        // or: the first true is the witness; an all-false fold has none.
+        let mut acc = Accumulator::new(AggFunc::Or);
+        for v in [Value::Bool(false), Value::Bool(true), Value::Bool(true)] {
+            acc.push(&v);
+        }
+        assert_eq!(acc.winner(), Some(1));
+        let mut acc = Accumulator::new(AggFunc::Or);
+        acc.push(&Value::Bool(false));
+        assert_eq!(acc.winner(), None);
+
+        let mut acc = Accumulator::new(AggFunc::And);
+        for v in [Value::Bool(true), Value::Bool(false)] {
+            acc.push(&v);
+        }
+        assert_eq!(acc.winner(), Some(1));
+
+        // Joint-responsibility folds never name a winner.
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        for v in nums(&[1.0, 2.0]) {
+            acc.push(&v);
+        }
+        assert_eq!(acc.winner(), None);
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl fmt::Display for EvalError {
                 write!(
                     f,
                     ": last round still changed {last_delta} tuple(s) \
-                     (non-well-founded cost descent or non-continuous T_P?)"
+                     (non-well-founded cost descent or non-continuous T_P?); \
+                     try `maglog profile` to watch the per-round deltas, or \
+                     `maglog explain --why-not '<fact>'` to probe a goal"
                 )
             }
             EvalError::Domain(msg) => write!(f, "domain error: {msg}"),
@@ -111,5 +113,8 @@ mod tests {
         assert!(msg.contains("10 rounds"));
         assert!(msg.contains("{path, s}"));
         assert!(msg.contains("4 tuple(s)"));
+        // Actionable hint pointing at the observability tooling.
+        assert!(msg.contains("maglog profile"), "{msg}");
+        assert!(msg.contains("maglog explain --why-not"), "{msg}");
     }
 }

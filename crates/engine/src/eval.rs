@@ -22,6 +22,10 @@ use crate::events::{EventSink, InsertOutcome, NoopSink};
 use crate::interp::{Interp, Sig, Tuple};
 use crate::model::Model;
 use crate::plan::{plan_rule, Plan, Step};
+use crate::provenance::{
+    select_witnesses, AggWitness, BodyAtom, Capture, Goal, NoCapture, Provenance,
+    ProvenanceTracker, RuleProbe, WhyNotReport,
+};
 use crate::value::{RuntimeDomain, Value};
 use maglog_analysis::check_program;
 use maglog_datalog::graph::components;
@@ -150,6 +154,33 @@ impl<'p> MonotonicEngine<'p> {
         edb: &Edb,
         sink: &mut S,
     ) -> Result<Model, EvalError> {
+        self.evaluate_inner(edb, sink, &mut NoCapture)
+    }
+
+    /// Like [`evaluate`](Self::evaluate), additionally recording the
+    /// derivation DAG of every accepted insert/improvement. The greedy
+    /// strategy settles keys outside the `T_P` apply loop, so it is
+    /// clamped to semi-naive here; the model is identical either way.
+    pub fn evaluate_with_provenance(&self, edb: &Edb) -> Result<(Model, Provenance), EvalError> {
+        let mut options = self.options.clone();
+        if options.strategy == Strategy::Greedy {
+            options.strategy = Strategy::SemiNaive;
+        }
+        let engine = MonotonicEngine {
+            program: self.program,
+            options,
+        };
+        let mut cap = ProvenanceTracker::new(self.program);
+        let model = engine.evaluate_inner(edb, &mut NoopSink, &mut cap)?;
+        Ok((model, cap.finish()))
+    }
+
+    fn evaluate_inner<S: EventSink, C: Capture>(
+        &self,
+        edb: &Edb,
+        sink: &mut S,
+        cap: &mut C,
+    ) -> Result<Model, EvalError> {
         if !self.options.allow_unchecked {
             let report = check_program(self.program);
             if !report.evaluable() {
@@ -164,7 +195,7 @@ impl<'p> MonotonicEngine<'p> {
         let mut stats = EvalStats::default();
         for (ci, comp) in comps.iter().enumerate() {
             let rounds = self
-                .eval_component(&mut db, &comp.preds, &comp.rule_indices, ci, &mut stats, sink)
+                .eval_component(&mut db, &comp.preds, &comp.rule_indices, ci, &mut stats, sink, cap)
                 .map_err(|e| match e {
                     EvalError::NonTermination {
                         rounds,
@@ -254,7 +285,8 @@ impl<'p> MonotonicEngine<'p> {
     }
 
     /// Evaluate one component to fixpoint. Returns the number of rounds.
-    fn eval_component<S: EventSink>(
+    #[allow(clippy::too_many_arguments)]
+    fn eval_component<S: EventSink, C: Capture>(
         &self,
         db: &mut Interp,
         cdb: &BTreeSet<Pred>,
@@ -262,6 +294,7 @@ impl<'p> MonotonicEngine<'p> {
         ci: usize,
         stats: &mut EvalStats,
         sink: &mut S,
+        cap: &mut C,
     ) -> Result<usize, EvalError> {
         // Precompute plans.
         let mut execs: Vec<RuleExec> = Vec::new();
@@ -359,6 +392,7 @@ impl<'p> MonotonicEngine<'p> {
                 &agg_counters,
                 stats,
                 sink,
+                cap,
             );
         }
 
@@ -378,6 +412,9 @@ impl<'p> MonotonicEngine<'p> {
             }
             let full = rounds == 0 || self.options.strategy == Strategy::Naive;
             sink.round_start(rounds + 1, full);
+            if C::ENABLED {
+                cap.begin_round(ci, rounds + 1);
+            }
             let mut derived =
                 RoundBuffer::new(self.program, self.options.check_consistency, &mut rule_pushes);
             {
@@ -390,9 +427,19 @@ impl<'p> MonotonicEngine<'p> {
                     for (slot, exec) in execs.iter().enumerate() {
                         stats.firings += 1;
                         sink.rule_fire_start(exec.ri);
+                        if C::ENABLED {
+                            cap.begin_rule(exec.ri);
+                        }
                         derived.current = slot;
                         let mut binding = Binding::new();
-                        exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+                        exec_steps(
+                            &ctx,
+                            exec.rule,
+                            &exec.plan.steps,
+                            &mut binding,
+                            &mut derived,
+                            cap,
+                        )?;
                         sink.rule_fire_end(exec.ri);
                     }
                 } else {
@@ -413,6 +460,7 @@ impl<'p> MonotonicEngine<'p> {
                                     &mut derived,
                                     stats,
                                     sink,
+                                    cap,
                                 )?;
                             }
                         }
@@ -440,6 +488,9 @@ impl<'p> MonotonicEngine<'p> {
                             && domain
                                 .as_ref()
                                 .is_some_and(|d| cost.as_ref() == Some(&d.bottom()));
+                        if C::ENABLED && !is_default_entry {
+                            cap.commit(pred, &key, &cost, false);
+                        }
                         rel.insert_arc(key.clone(), cost);
                         if !is_default_entry {
                             new_delta.entry(pred).or_default().push(key);
@@ -455,7 +506,11 @@ impl<'p> MonotonicEngine<'p> {
                         {
                             let joined = d.join(&old, new);
                             if joined != old {
-                                rel.insert_arc(key.clone(), Some(joined));
+                                let joined = Some(joined);
+                                if C::ENABLED {
+                                    cap.commit(pred, &key, &joined, true);
+                                }
+                                rel.insert_arc(key.clone(), joined);
                                 new_delta.entry(pred).or_default().push(key);
                                 outcome = InsertOutcome::Improved;
                             }
@@ -464,6 +519,9 @@ impl<'p> MonotonicEngine<'p> {
                     }
                 };
                 sink.insert_outcome(execs[slot].ri, pred, outcome);
+            }
+            if C::ENABLED {
+                cap.end_round();
             }
 
             rounds += 1;
@@ -488,8 +546,12 @@ impl<'p> MonotonicEngine<'p> {
     }
 
     /// Best-first evaluation of an eligible `min_real` component.
+    ///
+    /// Settled keys bypass the `T_P` apply loop, so provenance capture
+    /// does not commit nodes here — [`Self::evaluate_with_provenance`]
+    /// clamps greedy to semi-naive instead.
     #[allow(clippy::too_many_arguments)]
-    fn eval_component_greedy<S: EventSink>(
+    fn eval_component_greedy<S: EventSink, C: Capture>(
         &self,
         db: &mut Interp,
         cdb: &BTreeSet<Pred>,
@@ -499,6 +561,7 @@ impl<'p> MonotonicEngine<'p> {
         agg_counters: &AggCounters,
         stats: &mut EvalStats,
         sink: &mut S,
+        cap: &mut C,
     ) -> Result<usize, EvalError> {
         use maglog_lattice::Real;
         use std::cmp::Reverse;
@@ -532,7 +595,7 @@ impl<'p> MonotonicEngine<'p> {
                 sink.rule_fire_start(exec.ri);
                 derived.current = slot;
                 let mut binding = Binding::new();
-                exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived)?;
+                exec_steps(&ctx, exec.rule, &exec.plan.steps, &mut binding, &mut derived, cap)?;
                 sink.rule_fire_end(exec.ri);
             }
             stats.derivations += derived.map.len() as u64;
@@ -598,6 +661,7 @@ impl<'p> MonotonicEngine<'p> {
                             &mut derived,
                             stats,
                             sink,
+                            cap,
                         )?;
                     }
                 }
@@ -660,7 +724,7 @@ impl<'p> MonotonicEngine<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn fire_driver<S: EventSink>(
+    fn fire_driver<S: EventSink, C: Capture>(
         &self,
         ctx: &Ctx<'_>,
         exec_index: usize,
@@ -671,6 +735,7 @@ impl<'p> MonotonicEngine<'p> {
         derived: &mut RoundBuffer<'_>,
         stats: &mut EvalStats,
         sink: &mut S,
+        cap: &mut C,
     ) -> Result<(), EvalError> {
         let rule = exec.rule;
         // Match the driver atom against the delta tuple to get a seed.
@@ -720,11 +785,37 @@ impl<'p> MonotonicEngine<'p> {
             }
             stats.firings += 1;
             sink.rule_fire_start(exec.ri);
+            if C::ENABLED {
+                cap.begin_rule(exec.ri);
+                // The relaxed derivation's aggregate witness is the delta
+                // element itself: the group was not rescanned, the lattice
+                // join resolves the rest (marked `partial`).
+                let elem = cost.clone().expect("relax driver has an element");
+                cap.push_agg(AggWitness {
+                    lit: driver.lit,
+                    func: rule_agg.func,
+                    result: elem.clone(),
+                    elements: 1,
+                    witnesses: vec![(
+                        elem,
+                        vec![BodyAtom {
+                            pred: driver.pred,
+                            key: Arc::new(delta_key.clone()),
+                            cost: cost.clone(),
+                        }],
+                    )],
+                    witnesses_total: 1,
+                    partial: true,
+                });
+            }
             derived.current = exec_index;
             let mut b: Binding = seed.into();
             derived.joining = true;
-            let r = exec_steps(ctx, rule, &relax.steps, &mut b, derived);
+            let r = exec_steps(ctx, rule, &relax.steps, &mut b, derived, cap);
             derived.joining = false;
+            if C::ENABLED {
+                cap.pop_agg();
+            }
             sink.rule_fire_end(exec.ri);
             return r;
         }
@@ -756,9 +847,21 @@ impl<'p> MonotonicEngine<'p> {
         }
         stats.firings += 1;
         sink.rule_fire_start(exec.ri);
+        if C::ENABLED {
+            cap.begin_rule(exec.ri);
+            // A positive-atom driver's seeded plan skips re-matching the
+            // delta atom, so put it on the trail by hand. (Aggregate
+            // drivers re-run the full plan: their trail is complete.)
+            if driver.conjunct.is_none() {
+                cap.push_atom(driver.pred, delta_key, &cost);
+            }
+        }
         derived.current = exec_index;
         let mut b = seed;
-        let r = exec_steps(ctx, rule, &driver.plan.steps, &mut b, derived);
+        let r = exec_steps(ctx, rule, &driver.plan.steps, &mut b, derived, cap);
+        if C::ENABLED && driver.conjunct.is_none() {
+            cap.pop_atom();
+        }
         sink.rule_fire_end(exec.ri);
         r
     }
@@ -1016,24 +1119,33 @@ fn render_key(program: &Program, key: &Tuple) -> String {
 }
 
 /// Execute the remaining plan steps under `binding`, emitting head
-/// derivations into `out`.
-fn exec_steps(
+/// derivations into `out`. `cap` observes matched body tuples and
+/// aggregate witnesses; with [`NoCapture`] every hook compiles away.
+fn exec_steps<C: Capture>(
     ctx: &Ctx<'_>,
     rule: &Rule,
     steps: &[Step],
     binding: &mut Binding,
     out: &mut RoundBuffer<'_>,
+    cap: &mut C,
 ) -> Result<(), EvalError> {
     let Some((step, rest)) = steps.split_first() else {
-        return emit_head(ctx, rule, binding, out);
+        return emit_head(ctx, rule, binding, out, cap);
     };
     match step {
         Step::Atom { lit, .. } => {
             let Literal::Pos(atom) = &rule.body[*lit] else {
                 unreachable!("Atom step on non-positive literal")
             };
-            for_each_match(ctx, atom, binding, &mut |b| {
-                exec_steps(ctx, rule, rest, b, out)
+            for_each_match(ctx, atom, binding, &mut |b, key, cost| {
+                if C::ENABLED {
+                    cap.push_atom(atom.pred, key, cost);
+                }
+                let r = exec_steps(ctx, rule, rest, b, out, cap);
+                if C::ENABLED {
+                    cap.pop_atom();
+                }
+                r
             })
         }
         Step::Assign {
@@ -1051,14 +1163,14 @@ fn exec_steps(
             match binding.get(*target) {
                 Some(existing) => {
                     if values_equal(existing, &value) {
-                        exec_steps(ctx, rule, rest, binding, out)
+                        exec_steps(ctx, rule, rest, binding, out, cap)
                     } else {
                         Ok(())
                     }
                 }
                 None => {
                     binding.bind(*target, value);
-                    let r = exec_steps(ctx, rule, rest, binding, out);
+                    let r = exec_steps(ctx, rule, rest, binding, out, cap);
                     binding.unbind(*target);
                     r
                 }
@@ -1073,7 +1185,7 @@ fn exec_steps(
                 return Ok(());
             };
             if compare_values(b.op, &l, &r) {
-                exec_steps(ctx, rule, rest, binding, out)
+                exec_steps(ctx, rule, rest, binding, out, cap)
             } else {
                 Ok(())
             }
@@ -1085,7 +1197,7 @@ fn exec_steps(
             if atom_holds(ctx, atom, binding) {
                 Ok(())
             } else {
-                exec_steps(ctx, rule, rest, binding, out)
+                exec_steps(ctx, rule, rest, binding, out, cap)
             }
         }
         Step::Agg {
@@ -1096,18 +1208,26 @@ fn exec_steps(
             let Literal::Agg(agg) = &rule.body[*lit] else {
                 unreachable!("Agg step on non-aggregate")
             };
-            eval_aggregate(ctx, rule, *lit, agg, conjunct_order, binding, &mut |b| {
-                exec_steps(ctx, rule, rest, b, out)
-            })
+            eval_aggregate(
+                ctx,
+                rule,
+                *lit,
+                agg,
+                conjunct_order,
+                binding,
+                cap,
+                &mut |b, cap| exec_steps(ctx, rule, rest, b, out, cap),
+            )
         }
     }
 }
 
-fn emit_head(
+fn emit_head<C: Capture>(
     ctx: &Ctx<'_>,
     rule: &Rule,
     binding: &Binding,
     out: &mut RoundBuffer<'_>,
+    cap: &mut C,
 ) -> Result<(), EvalError> {
     let spec = ctx.program.cost_spec(rule.head.pred);
     let has_cost = spec.is_some();
@@ -1133,7 +1253,11 @@ fn emit_head(
         }
         _ => None,
     };
-    out.push(rule.head.pred, Arc::new(Tuple::new(key)), cost)
+    let key = Arc::new(Tuple::new(key));
+    if C::ENABLED {
+        cap.head(rule.head.pred, &key, &cost);
+    }
+    out.push(rule.head.pred, key, cost)
 }
 
 fn resolve_term(t: &Term, binding: &Binding) -> Option<Value> {
@@ -1143,14 +1267,19 @@ fn resolve_term(t: &Term, binding: &Binding) -> Option<Value> {
     }
 }
 
+/// Continuation invoked once per match with the extended binding, the
+/// matched key, and its stored cost.
+type MatchCont<'a> = dyn FnMut(&mut Binding, &Tuple, &Option<Value>) -> Result<(), EvalError> + 'a;
+
 /// Enumerate matches of `atom` against the database under `binding`,
-/// calling `k` for each extension. Handles default-value predicates: a
-/// fully-keyed lookup that misses the core yields the default cost.
+/// calling `k` for each extension with the matched key and its stored
+/// cost. Handles default-value predicates: a fully-keyed lookup that
+/// misses the core yields the default cost.
 fn for_each_match(
     ctx: &Ctx<'_>,
     atom: &Atom,
     binding: &mut Binding,
-    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+    k: &mut MatchCont<'_>,
 ) -> Result<(), EvalError> {
     let has_cost = ctx.program.is_cost_pred(atom.pred);
     let key_args = atom.key_args(has_cost);
@@ -1166,7 +1295,7 @@ fn for_each_match(
         let Some(cost) = ctx.db.cost(ctx.program, atom.pred, &key) else {
             return Ok(());
         };
-        return try_cost_and_continue(atom, has_cost, &cost, binding, k);
+        return try_cost_and_continue(atom, has_cost, &key, &cost, binding, k);
     }
 
     let Some(rel) = ctx.db.relation(atom.pred) else {
@@ -1233,7 +1362,7 @@ fn for_each_match(
         }
         if ok {
             let cost = rel.get(key).cloned().unwrap_or(None);
-            try_cost_and_continue(atom, has_cost, &cost, binding, k)?;
+            try_cost_and_continue(atom, has_cost, key, &cost, binding, k)?;
         }
         for v in fresh {
             binding.unbind(v);
@@ -1246,12 +1375,13 @@ fn for_each_match(
 fn try_cost_and_continue(
     atom: &Atom,
     has_cost: bool,
+    key: &Tuple,
     cost: &Option<Value>,
     binding: &mut Binding,
-    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+    k: &mut MatchCont<'_>,
 ) -> Result<(), EvalError> {
     if !has_cost {
-        return k(binding);
+        return k(binding, key, cost);
     }
     let cost_term = atom.cost_arg(true).expect("cost predicate");
     let Some(cv) = cost else {
@@ -1260,7 +1390,7 @@ fn try_cost_and_continue(
     match cost_term {
         Term::Const(c) => {
             if values_equal(&Value::from_const(*c), cv) {
-                k(binding)
+                k(binding, key, cost)
             } else {
                 Ok(())
             }
@@ -1268,14 +1398,14 @@ fn try_cost_and_continue(
         Term::Var(v) => match binding.get(*v) {
             Some(bound) => {
                 if values_equal(bound, cv) {
-                    k(binding)
+                    k(binding, key, cost)
                 } else {
                     Ok(())
                 }
             }
             None => {
                 binding.bind(*v, cv.clone());
-                let r = k(binding);
+                let r = k(binding, key, cost);
                 binding.unbind(*v);
                 r
             }
@@ -1362,14 +1492,16 @@ fn atom_holds(ctx: &Ctx<'_>, atom: &Atom, binding: &Binding) -> bool {
 
 /// Evaluate the aggregate subgoal: enumerate the conjunction, group, apply
 /// the function, and continue per satisfying (grouping, result) binding.
-fn eval_aggregate(
+#[allow(clippy::too_many_arguments)]
+fn eval_aggregate<C: Capture>(
     ctx: &Ctx<'_>,
     rule: &Rule,
     lit: usize,
     agg: &maglog_datalog::Aggregate,
     conjunct_order: &[usize],
     binding: &mut Binding,
-    k: &mut dyn FnMut(&mut Binding) -> Result<(), EvalError>,
+    cap: &mut C,
+    k: &mut dyn FnMut(&mut Binding, &mut C) -> Result<(), EvalError>,
 ) -> Result<(), EvalError> {
     let grouping_vars = rule.aggregate_grouping_vars(lit);
 
@@ -1377,7 +1509,12 @@ fn eval_aggregate(
     // current binding), folding each multiset element straight into its
     // group's streaming accumulator — no per-group element buffering. The
     // fold order per group is the enumeration order, same as before.
+    // Under capture, each element additionally buffers the conjunct tuples
+    // that supplied it (the trail slice since `mark`), so the winner's
+    // supports can be reported without re-deriving them.
+    let mark = if C::ENABLED { cap.trail_mark() } else { 0 };
     let mut groups: HashMap<Vec<Value>, aggregate::Accumulator> = HashMap::new();
+    let mut buffers: HashMap<Vec<Value>, Vec<(Value, Vec<BodyAtom>)>> = HashMap::new();
     {
         let mut scratch = binding.clone();
         enumerate_conjuncts(
@@ -1386,7 +1523,8 @@ fn eval_aggregate(
             conjunct_order,
             0,
             &mut scratch,
-            &mut |b: &Binding| {
+            cap,
+            &mut |b: &Binding, cap: &mut C| {
                 let gv: Vec<Value> = grouping_vars
                     .iter()
                     .map(|v| b.get(*v).cloned().expect("grouping bound at collection"))
@@ -1395,6 +1533,12 @@ fn eval_aggregate(
                     Some(e) => b.get(e).cloned().expect("multiset var bound"),
                     None => Value::Bool(true),
                 };
+                if C::ENABLED {
+                    buffers
+                        .entry(gv.clone())
+                        .or_default()
+                        .push((element.clone(), cap.trail_since(mark)));
+                }
                 groups
                     .entry(gv)
                     .or_insert_with(|| aggregate::Accumulator::new(agg.func))
@@ -1428,6 +1572,8 @@ fn eval_aggregate(
     );
 
     for (gv, acc) in groups {
+        let elements = acc.count();
+        let winner = acc.winner();
         let Some(result) = acc.finish() else {
             continue; // undefined (empty avg / type error): unsatisfiable
         };
@@ -1449,24 +1595,40 @@ fn eval_aggregate(
             }
         }
         if ok {
+            if C::ENABLED {
+                let (witnesses, witnesses_total) =
+                    select_witnesses(winner, buffers.remove(&gv).unwrap_or_default());
+                cap.push_agg(AggWitness {
+                    lit,
+                    func: agg.func,
+                    result: result.clone(),
+                    elements,
+                    witnesses,
+                    witnesses_total,
+                    partial: false,
+                });
+            }
             match &agg.result {
                 Term::Const(c) => {
                     if values_equal(&Value::from_const(*c), &result) {
-                        k(binding)?;
+                        k(binding, cap)?;
                     }
                 }
                 Term::Var(rv) => match binding.get(*rv) {
                     Some(bound) => {
                         if values_equal(bound, &result) {
-                            k(binding)?;
+                            k(binding, cap)?;
                         }
                     }
                     None => {
                         binding.bind(*rv, result.clone());
-                        k(binding)?;
+                        k(binding, cap)?;
                         binding.unbind(*rv);
                     }
                 },
+            }
+            if C::ENABLED {
+                cap.pop_agg();
             }
         }
         for v in fresh {
@@ -1479,21 +1641,29 @@ fn eval_aggregate(
 
 /// Enumerate all satisfying assignments of the aggregate's conjunction in
 /// the planned order.
-fn enumerate_conjuncts(
+fn enumerate_conjuncts<C: Capture>(
     ctx: &Ctx<'_>,
     agg: &maglog_datalog::Aggregate,
     order: &[usize],
     depth: usize,
     binding: &mut Binding,
-    emit: &mut dyn FnMut(&Binding),
+    cap: &mut C,
+    emit: &mut dyn FnMut(&Binding, &mut C),
 ) -> Result<(), EvalError> {
     if depth == order.len() {
-        emit(binding);
+        emit(binding, cap);
         return Ok(());
     }
     let atom = &agg.conjuncts[order[depth]];
-    for_each_match(ctx, atom, binding, &mut |b| {
-        enumerate_conjuncts(ctx, agg, order, depth + 1, b, emit)
+    for_each_match(ctx, atom, binding, &mut |b, key, cost| {
+        if C::ENABLED {
+            cap.push_atom(atom.pred, key, cost);
+        }
+        let r = enumerate_conjuncts(ctx, agg, order, depth + 1, b, cap, emit);
+        if C::ENABLED {
+            cap.pop_atom();
+        }
+        r
     })
 }
 
@@ -1558,6 +1728,343 @@ fn compare_values(op: CmpOp, a: &Value, b: &Value) -> bool {
                 CmpOp::Ge => x >= y,
                 _ => unreachable!(),
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Why-not probing
+// ---------------------------------------------------------------------
+
+/// Probe every rule whose head predicate matches an absent (or
+/// differently-costed) goal against the *final* model: unify the head with
+/// the goal constants, then walk the rule's plan recording the deepest
+/// subgoal any binding reached — the first failing subgoal is the why-not
+/// answer.
+pub fn why_not(program: &Program, db: &Interp, goal: &Goal) -> WhyNotReport {
+    let goal_text = format!(
+        "{}({})",
+        program.pred_name(goal.pred),
+        goal.key
+            .0
+            .iter()
+            .map(|v| v.display(program))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let present = db
+        .cost(program, goal.pred, &goal.key)
+        .map(|c| c.map(|v| v.display(program)));
+    let counters = AggCounters::default();
+    let ctx = Ctx {
+        program,
+        db,
+        agg: &counters,
+    };
+    let has_cost = program.is_cost_pred(goal.pred);
+    let mut rules = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if rule.head.pred != goal.pred {
+            continue;
+        }
+        let rule_text = program.display_rule(rule);
+        let mut binding = Binding::new();
+        let mut unified = rule.head.key_args(has_cost).len() == goal.key.arity();
+        if unified {
+            for (t, val) in rule.head.key_args(has_cost).iter().zip(goal.key.0.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if !values_equal(&Value::from_const(*c), val) {
+                            unified = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(*v) {
+                        Some(bound) => {
+                            if !values_equal(bound, val) {
+                                unified = false;
+                                break;
+                            }
+                        }
+                        None => binding.bind(*v, val.clone()),
+                    },
+                }
+            }
+        }
+        if !unified {
+            rules.push(RuleProbe {
+                rule: ri,
+                rule_text,
+                unified: false,
+                reached: 0,
+                total: 0,
+                failed: None,
+                derivable: None,
+            });
+            continue;
+        }
+        let seed: BTreeSet<Var> = binding.map.keys().copied().collect();
+        let plan = match plan_rule(program, rule, &seed, None) {
+            Ok(p) => p,
+            Err(e) => {
+                rules.push(RuleProbe {
+                    rule: ri,
+                    rule_text,
+                    unified: true,
+                    reached: 0,
+                    total: 0,
+                    failed: Some(format!("(unplannable: {e})")),
+                    derivable: None,
+                });
+                continue;
+            }
+        };
+        let total = plan.steps.len();
+        let mut st = ProbeState::default();
+        // A probe error (e.g. a `=` aggregate whose groupings the goal
+        // left unbound) leaves the failure description of the step that
+        // raised it — exactly the answer we want.
+        let _ = probe_steps(&ctx, rule, &plan.steps, 0, &mut binding, &mut st);
+        let derivable = if st.satisfied {
+            Some(match (&st.derived_cost, has_cost) {
+                (Some(v), true) => v.display(program),
+                _ => "true".to_string(),
+            })
+        } else {
+            None
+        };
+        rules.push(RuleProbe {
+            rule: ri,
+            rule_text,
+            unified: true,
+            reached: st.frontier,
+            total,
+            failed: if st.satisfied { None } else { st.desc },
+            derivable,
+        });
+    }
+    WhyNotReport {
+        goal: goal_text,
+        present,
+        rules,
+    }
+}
+
+#[derive(Default)]
+struct ProbeState {
+    /// Deepest plan step any binding attempted.
+    frontier: usize,
+    /// That step's literal, rendered with the bindings that reached it.
+    desc: Option<String>,
+    satisfied: bool,
+    derived_cost: Option<Value>,
+}
+
+fn probe_steps(
+    ctx: &Ctx<'_>,
+    rule: &Rule,
+    steps: &[Step],
+    idx: usize,
+    binding: &mut Binding,
+    st: &mut ProbeState,
+) -> Result<(), EvalError> {
+    let Some(step) = steps.get(idx) else {
+        if !st.satisfied {
+            st.satisfied = true;
+            let has_cost = ctx.program.is_cost_pred(rule.head.pred);
+            st.derived_cost = rule
+                .head
+                .cost_arg(has_cost)
+                .and_then(|t| resolve_term(t, binding));
+        }
+        return Ok(());
+    };
+    if st.desc.is_none() || idx > st.frontier {
+        st.frontier = idx;
+        st.desc = Some(describe_step(ctx.program, rule, step, binding));
+    }
+    match step {
+        Step::Atom { lit, .. } => {
+            let Literal::Pos(atom) = &rule.body[*lit] else {
+                unreachable!("Atom step on non-positive literal")
+            };
+            for_each_match(ctx, atom, binding, &mut |b, _key, _cost| {
+                probe_steps(ctx, rule, steps, idx + 1, b, st)
+            })
+        }
+        Step::Assign {
+            lit,
+            target,
+            target_is_lhs,
+        } => {
+            let Literal::Builtin(b) = &rule.body[*lit] else {
+                unreachable!("Assign step on non-builtin")
+            };
+            let source = if *target_is_lhs { &b.rhs } else { &b.lhs };
+            let Some(value) = eval_expr(source, binding) else {
+                return Ok(());
+            };
+            match binding.get(*target) {
+                Some(existing) => {
+                    if values_equal(existing, &value) {
+                        probe_steps(ctx, rule, steps, idx + 1, binding, st)
+                    } else {
+                        Ok(())
+                    }
+                }
+                None => {
+                    binding.bind(*target, value);
+                    let r = probe_steps(ctx, rule, steps, idx + 1, binding, st);
+                    binding.unbind(*target);
+                    r
+                }
+            }
+        }
+        Step::Test { lit } => {
+            let Literal::Builtin(b) = &rule.body[*lit] else {
+                unreachable!("Test step on non-builtin")
+            };
+            let (Some(l), Some(r)) = (eval_expr(&b.lhs, binding), eval_expr(&b.rhs, binding))
+            else {
+                return Ok(());
+            };
+            if compare_values(b.op, &l, &r) {
+                probe_steps(ctx, rule, steps, idx + 1, binding, st)
+            } else {
+                Ok(())
+            }
+        }
+        Step::Neg { lit } => {
+            let Literal::Neg(atom) = &rule.body[*lit] else {
+                unreachable!("Neg step on non-negative literal")
+            };
+            if atom_holds(ctx, atom, binding) {
+                Ok(())
+            } else {
+                probe_steps(ctx, rule, steps, idx + 1, binding, st)
+            }
+        }
+        Step::Agg {
+            lit,
+            conjunct_order,
+            ..
+        } => {
+            let Literal::Agg(agg) = &rule.body[*lit] else {
+                unreachable!("Agg step on non-aggregate")
+            };
+            eval_aggregate(
+                ctx,
+                rule,
+                *lit,
+                agg,
+                conjunct_order,
+                binding,
+                &mut NoCapture,
+                &mut |b, _cap| probe_steps(ctx, rule, steps, idx + 1, b, st),
+            )
+        }
+    }
+}
+
+fn step_lit(step: &Step) -> usize {
+    match step {
+        Step::Atom { lit, .. }
+        | Step::Assign { lit, .. }
+        | Step::Test { lit }
+        | Step::Neg { lit }
+        | Step::Agg { lit, .. } => *lit,
+    }
+}
+
+fn describe_step(program: &Program, rule: &Rule, step: &Step, binding: &Binding) -> String {
+    subst_literal(program, &rule.body[step_lit(step)], binding)
+}
+
+/// Render a term with the probe's current bindings substituted in.
+fn subst_term(program: &Program, t: &Term, binding: &Binding) -> String {
+    match t {
+        Term::Const(c) => Value::from_const(*c).display(program),
+        Term::Var(v) => match binding.get(*v) {
+            Some(val) => val.display(program),
+            None => program.var_name(*v),
+        },
+    }
+}
+
+fn subst_atom(program: &Program, atom: &Atom, binding: &Binding) -> String {
+    format!(
+        "{}({})",
+        program.pred_name(atom.pred),
+        atom.args
+            .iter()
+            .map(|t| subst_term(program, t, binding))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn subst_expr(program: &Program, e: &Expr, binding: &Binding) -> String {
+    match e {
+        Expr::Term(t) => subst_term(program, t, binding),
+        Expr::Neg(inner) => format!("-({})", subst_expr(program, inner, binding)),
+        Expr::Bin(op, l, r) => {
+            let ls = subst_expr(program, l, binding);
+            let rs = subst_expr(program, r, binding);
+            match op {
+                BinOp::Add => format!("{ls} + {rs}"),
+                BinOp::Sub => format!("{ls} - {rs}"),
+                BinOp::Mul => format!("{ls} * {rs}"),
+                BinOp::Div => format!("{ls} / {rs}"),
+                BinOp::Min => format!("min({ls}, {rs})"),
+                BinOp::Max => format!("max({ls}, {rs})"),
+            }
+        }
+    }
+}
+
+fn subst_literal(program: &Program, lit: &Literal, binding: &Binding) -> String {
+    match lit {
+        Literal::Pos(a) => subst_atom(program, a, binding),
+        Literal::Neg(a) => format!("! {}", subst_atom(program, a, binding)),
+        Literal::Builtin(b) => {
+            let op = match b.op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!(
+                "{} {op} {}",
+                subst_expr(program, &b.lhs, binding),
+                subst_expr(program, &b.rhs, binding)
+            )
+        }
+        Literal::Agg(agg) => {
+            let eq = match agg.eq {
+                AggEq::Total => "=",
+                AggEq::Restricted => "=r",
+            };
+            let mvar = agg
+                .multiset_var
+                .map(|v| format!(" {}", program.var_name(v)))
+                .unwrap_or_default();
+            let conj: Vec<String> = agg
+                .conjuncts
+                .iter()
+                .map(|a| subst_atom(program, a, binding))
+                .collect();
+            let conj = if conj.len() == 1 {
+                conj[0].clone()
+            } else {
+                format!("[{}]", conj.join(", "))
+            };
+            format!(
+                "{} {eq} {}{mvar} : {conj}",
+                subst_term(program, &agg.result, binding),
+                agg.func.name()
+            )
         }
     }
 }

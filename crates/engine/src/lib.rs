@@ -50,13 +50,20 @@ pub mod interp;
 pub mod model;
 pub mod plan;
 pub mod profile;
+pub mod provenance;
 pub mod value;
 
 pub use edb::Edb;
 pub use error::EvalError;
-pub use eval::{EvalOptions, EvalStats, MonotonicEngine, Strategy};
+pub use eval::{why_not, EvalOptions, EvalStats, MonotonicEngine, Strategy};
 pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
 pub use interp::{IndexStats, Interp, Relation, Tuple};
 pub use model::Model;
 pub use profile::{render_profile_json, MetricsSink, ProfileReport, TraceSink};
+pub use provenance::{
+    explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
+    render_why_not_human, render_why_not_json, AggWitness, BodyAtom, Capture, DerivationNode,
+    ExplainAgg, ExplainKind, ExplainNode, Goal, NoCapture, Provenance, ProvenanceTracker,
+    RuleProbe, WhyNotReport,
+};
 pub use value::{CostValue, RuntimeDomain, Value};

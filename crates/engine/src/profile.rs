@@ -627,7 +627,7 @@ impl EventSink for TraceSink<'_> {
 
 /// Minimal JSON string escaping (same dialect as the bench renderer —
 /// the workspace has no serde).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -178,6 +178,56 @@ fn noop_sink_and_instrumented_runs_agree_byte_for_byte() {
     }
 }
 
+/// Run with a trace sink and return the human trace text.
+fn trace(strategy: Strategy) -> String {
+    let program = parse_program(SHORTEST_PATH).unwrap();
+    let engine = MonotonicEngine::with_options(
+        &program,
+        EvalOptions {
+            strategy,
+            ..Default::default()
+        },
+    );
+    let mut sink = TraceSink::new(&program);
+    engine.evaluate_with_sink(&Edb::new(), &mut sink).unwrap();
+    sink.into_string()
+}
+
+// The golden traces below pin the exact human text of `TraceSink` (it
+// carries no timing, so it is deterministic byte for byte). If an engine
+// change legitimately shifts the evaluation, regenerate with
+// `maglog profile --strategy=<s>` and update the goldens with the change.
+
+#[test]
+fn seminaive_trace_text_is_golden() {
+    assert_eq!(
+        trace(Strategy::SemiNaive),
+        "\
+component 0 [seminaive] {path, s}
+  round 1 (full): 3 firing(s), 2 derivation(s), 2 changed | Δ path +2
+  round 2: 2 firing(s), 2 derivation(s), 2 changed | Δ s +2
+  round 3: 2 firing(s), 2 derivation(s), 2 changed | Δ path +2
+  round 4: 2 firing(s), 2 derivation(s), 0 changed
+  fixpoint after 4 round(s)
+"
+    );
+}
+
+#[test]
+fn naive_trace_text_is_golden() {
+    assert_eq!(
+        trace(Strategy::Naive),
+        "\
+component 0 [naive] {path, s}
+  round 1 (full): 3 firing(s), 2 derivation(s), 2 changed | Δ path +2
+  round 2 (full): 3 firing(s), 4 derivation(s), 2 changed | Δ s +2
+  round 3 (full): 3 firing(s), 6 derivation(s), 2 changed | Δ path +2
+  round 4 (full): 3 firing(s), 6 derivation(s), 0 changed
+  fixpoint after 4 round(s)
+"
+    );
+}
+
 #[test]
 fn non_termination_names_the_component_and_its_delta() {
     let program = parse_program(

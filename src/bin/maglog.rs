@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! maglog check  [opts] <program.mgl>     run the static battery and report
-//! maglog run    [--stats] <program.mgl> [pred...]  evaluate; print the model
+//! maglog run    [opts] <program.mgl> [pred...]  evaluate; print the model
 //! maglog profile [opts] <program.mgl>    fixpoint profiler (maglog-profile-v1)
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
+//! maglog explain [opts] <program.mgl> '<fact>'   why / why-not a fact
 //! ```
 //!
 //! `check` options:
@@ -23,6 +24,18 @@
 //! --strategy=naive|seminaive|greedy   profile one strategy (default: all three)
 //! ```
 //!
+//! `explain` options (goal form):
+//!
+//! ```text
+//! --why-not                    report why the fact was NOT derived
+//! --format=human|json|dot      tree text, maglog-explain-v1 JSON, or Graphviz
+//! --depth <N>                  bound the rendered derivation tree (default 8)
+//! ```
+//!
+//! `run` options: `--stats` (profiler report on stderr), `--explain <pred>`
+//! (dump derivations + aggregate witnesses of every tuple of `pred`),
+//! `--max-rounds <N>` (per-component fixpoint cap).
+//!
 //! Programs are text files in the maglog rule language; facts can be given
 //! inline (`arc(a, b, 1).`). Exit codes: 0 on success, 1 when `check`
 //! finds deny-level diagnostics (or evaluation fails), 2 on usage errors —
@@ -34,8 +47,9 @@ use maglog::analysis::diag::{
 use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::{
-    render_profile_json, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Strategy,
-    TraceSink,
+    explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
+    render_profile_json, render_why_not_human, render_why_not_json, why_not, Edb, EvalOptions,
+    Fanout, MetricsSink, Model, MonotonicEngine, Strategy, TraceSink, Tuple,
 };
 use std::process::ExitCode;
 
@@ -43,15 +57,23 @@ const USAGE: &str = "\
 usage: maglog <check|run|profile|compare|explain> <program.mgl> [args]
 
   check   [--format=human|json] [--deny <CODE|all>] [--allow <CODE>] <program.mgl>
-  run     [--stats] <program.mgl> [pred...]
+  run     [--stats] [--explain <pred>] [--max-rounds <N>] <program.mgl> [pred...]
   profile [--format=human|json] [--strategy=naive|seminaive|greedy] <program.mgl>
   compare <program.mgl>
   explain <program.mgl>
+  explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
 
 profile evaluates under every strategy (or just --strategy) and reports
 per-round deltas, per-rule counters, and index telemetry; --format=json
 emits the maglog-profile-v1 document. run --stats appends the same report
-for the default strategy to stderr.
+for the default strategy to stderr; run --explain <pred> dumps the
+derivation (with aggregate witnesses) of every tuple of <pred>.
+
+explain with a quoted fact answers WHY it holds — a depth-bounded
+derivation tree with rule firings, cost-refinement history, and aggregate
+witnesses (--format=json emits maglog-explain-v1; dot emits Graphviz).
+With --why-not it reports, per candidate rule, the first body subgoal that
+fails. A goal is written like s(a, b) or s(a, b, 3) (cost optional).
 
 Lint codes are the stable MAGxxxx identifiers listed in docs/lint-codes.md.";
 
@@ -173,22 +195,38 @@ fn main() -> ExitCode {
         };
     }
     if cmd == "run" {
-        let mut stats = false;
-        let mut operands: Vec<&String> = Vec::new();
-        for arg in rest {
-            match arg.as_str() {
-                "--stats" => stats = true,
-                f if f.starts_with('-') => {
-                    return usage_exit(&format!("unknown flag '{f}'"))
-                }
-                _ => operands.push(arg),
-            }
-        }
+        let (opts, operands) = match parse_run_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
         let Some((path, preds)) = operands.split_first() else {
             return usage_exit("run requires a program file");
         };
-        let preds: Vec<String> = preds.iter().map(|s| (*s).clone()).collect();
-        return match cmd_run(path, &preds, stats) {
+        return match cmd_run(path, preds, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "explain" {
+        let (opts, operands) = match parse_explain_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
+        let result = match operands.as_slice() {
+            [path, goal] => cmd_explain_goal(path, goal, &opts),
+            [path] if !opts.why_not && opts.format == ExplainFormat::Human => {
+                // Structure view (components, CDB/LDB, rules) — no goal.
+                cmd_explain(path)
+            }
+            [_path] => {
+                return usage_exit("explain flags require a goal fact, e.g. 's(a, b)'")
+            }
+            _ => return usage_exit("explain takes a program file and an optional goal fact"),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -202,10 +240,7 @@ fn main() -> ExitCode {
     }
     let result = match (cmd, rest) {
         ("compare", [path]) => cmd_compare(path),
-        ("explain", [path]) => cmd_explain(path),
-        ("compare" | "explain", _) => {
-            return usage_exit(&format!("{cmd} requires a program file"))
-        }
+        ("compare", _) => return usage_exit("compare requires a program file"),
         _ => return usage_exit(&format!("unknown subcommand '{cmd}'")),
     };
     match result {
@@ -266,6 +301,109 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
     Ok((opts, operands))
 }
 
+struct RunOpts {
+    stats: bool,
+    /// Dump the derivation of every tuple of this predicate after the run.
+    explain: Option<String>,
+    max_rounds: Option<usize>,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
+    let mut opts = RunOpts {
+        stats: false,
+        explain: None,
+        max_rounds: None,
+    };
+    let mut operands = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--stats" => opts.stats = true,
+            "--explain" => opts.explain = Some(value("--explain")?),
+            "--max-rounds" => {
+                let v = value("--max-rounds")?;
+                opts.max_rounds = Some(v.parse().map_err(|_| {
+                    ArgError::Usage(format!("--max-rounds needs a number, got '{v}'"))
+                })?);
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            _ => operands.push(arg.clone()),
+        }
+    }
+    Ok((opts, operands))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ExplainFormat {
+    Human,
+    Json,
+    Dot,
+}
+
+struct ExplainOpts {
+    why_not: bool,
+    format: ExplainFormat,
+    depth: usize,
+}
+
+fn parse_explain_opts(args: &[String]) -> Result<(ExplainOpts, Vec<String>), ArgError> {
+    let mut opts = ExplainOpts {
+        why_not: false,
+        format: ExplainFormat::Human,
+        depth: 8,
+    };
+    let mut operands = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--why-not" => opts.why_not = true,
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => ExplainFormat::Human,
+                    "json" => ExplainFormat::Json,
+                    "dot" => ExplainFormat::Dot,
+                    other => {
+                        return Err(ArgError::Usage(format!("unknown format '{other}'")))
+                    }
+                };
+            }
+            "--depth" => {
+                let v = value("--depth")?;
+                opts.depth = v.parse().map_err(|_| {
+                    ArgError::Usage(format!("--depth needs a number, got '{v}'"))
+                })?;
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            _ => operands.push(arg.clone()),
+        }
+    }
+    Ok((opts, operands))
+}
+
 fn load(path: &str) -> Result<Program, String> {
     let src = read_source(path)?;
     parse_program(&src).map_err(|e| format!("{path}: {e}"))
@@ -310,15 +448,26 @@ fn cmd_check(path: &str, opts: &CheckOpts) -> Result<(), String> {
     }
 }
 
-fn cmd_run(path: &str, preds: &[String], stats: bool) -> Result<(), String> {
+fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
     let program = load(path)?;
-    let engine = MonotonicEngine::new(&program);
-    let (model, report): (Model, Option<String>) = if stats {
+    let mut eval_options = EvalOptions::default();
+    if let Some(max_rounds) = opts.max_rounds {
+        eval_options.max_rounds = max_rounds;
+    }
+    let engine = MonotonicEngine::with_options(&program, eval_options);
+    let mut provenance = None;
+    let (model, report): (Model, Option<String>) = if opts.stats {
         let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
         let model = engine
             .evaluate_with_sink(&Edb::new(), &mut sink)
             .map_err(|e| e.to_string())?;
         (model, Some(sink.finish().render_human()))
+    } else if opts.explain.is_some() {
+        let (model, prov) = engine
+            .evaluate_with_provenance(&Edb::new())
+            .map_err(|e| e.to_string())?;
+        provenance = Some(prov);
+        (model, None)
     } else {
         (engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None)
     };
@@ -350,6 +499,61 @@ fn cmd_run(path: &str, preds: &[String], stats: bool) -> Result<(), String> {
     );
     if let Some(report) = report {
         eprint!("{report}");
+    }
+    if let Some(pred_name) = &opts.explain {
+        let pred = program
+            .find_pred(pred_name)
+            .ok_or_else(|| format!("--explain: unknown predicate '{pred_name}'"))?;
+        // `--stats` evaluated with a metrics sink; rerun with the capture on.
+        let prov = match provenance {
+            Some(p) => p,
+            None => {
+                engine
+                    .evaluate_with_provenance(&Edb::new())
+                    .map_err(|e| e.to_string())?
+                    .1
+            }
+        };
+        println!("-- derivations of {pred_name} --");
+        for (key, _cost) in model.tuples_of(&program, pred_name) {
+            let tuple = Tuple::new(key);
+            let node = explain_tree(&program, &prov, model.interp(), pred, &tuple, 2);
+            print!("{}", render_explain_human(&node));
+        }
+    }
+    Ok(())
+}
+
+/// Explain one goal fact: WHY it was derived (derivation tree with
+/// aggregate witnesses) or — with `--why-not` — why it was not.
+fn cmd_explain_goal(path: &str, goal_text: &str, opts: &ExplainOpts) -> Result<(), String> {
+    let program = load(path)?;
+    let goal = parse_goal(&program, goal_text)?;
+    if opts.why_not {
+        if opts.format == ExplainFormat::Dot {
+            return Err("--format=dot is not supported with --why-not".into());
+        }
+        let model = MonotonicEngine::new(&program)
+            .evaluate(&Edb::new())
+            .map_err(|e| e.to_string())?;
+        let report = why_not(&program, model.interp(), &goal);
+        match opts.format {
+            ExplainFormat::Human => print!("{}", render_why_not_human(&report)),
+            ExplainFormat::Json => print!("{}", render_why_not_json(path, &report)),
+            ExplainFormat::Dot => unreachable!("rejected above"),
+        }
+        return Ok(());
+    }
+    let (model, prov) = MonotonicEngine::new(&program)
+        .evaluate_with_provenance(&Edb::new())
+        .map_err(|e| e.to_string())?;
+    let node = explain_tree(&program, &prov, model.interp(), goal.pred, &goal.key, opts.depth);
+    match opts.format {
+        ExplainFormat::Human => print!("{}", render_explain_human(&node)),
+        ExplainFormat::Json => {
+            print!("{}", render_explain_json(path, goal_text, &node, opts.depth))
+        }
+        ExplainFormat::Dot => print!("{}", render_explain_dot(&node)),
     }
     Ok(())
 }
@@ -405,6 +609,12 @@ fn cmd_compare(path: &str) -> Result<(), String> {
         ks.count(AtomStatus::False),
         ks.count(AtomStatus::Undefined),
     );
+    println!(
+        "  engine:  {} round(s), {} firing(s)",
+        model.total_rounds(),
+        model.stats().firings,
+    );
+    println!("  K&S WFS: {}", ks.stats.render());
     // Show where the minimal model decides what K&S cannot.
     let mut shown = 0;
     for pred in program.all_preds() {

@@ -136,6 +136,135 @@ fn explain_shows_components() {
 }
 
 #[test]
+fn explain_goal_prints_a_derivation_tree() {
+    let out = maglog(&["explain", "programs/shortest_path.mgl", "s(a, b)"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("s(a, b) = 1"), "{text}");
+    assert!(text.contains("via rule 2"), "{text}");
+    assert!(text.contains("witness element 1"), "{text}");
+    assert!(text.contains("arc(a, b) = 1  [input]"), "{text}");
+}
+
+#[test]
+fn explain_goal_emits_versioned_json() {
+    let out = maglog(&[
+        "explain",
+        "--format=json",
+        "programs/shortest_path.mgl",
+        "s(a, b)",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"schema\": \"maglog-explain-v1\""), "{text}");
+    assert!(text.contains("\"mode\": \"why\""), "{text}");
+    assert!(text.contains("\"found\": true"), "{text}");
+    assert!(text.contains("\"witnesses\""), "{text}");
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+}
+
+#[test]
+fn explain_goal_emits_graphviz_dot() {
+    let out = maglog(&[
+        "explain",
+        "--format=dot",
+        "programs/shortest_path.mgl",
+        "s(a, b)",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph explain {"), "{text}");
+    assert!(text.contains("->"), "{text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+}
+
+#[test]
+fn explain_why_not_names_the_failing_subgoal() {
+    let out = maglog(&[
+        "explain",
+        "--why-not",
+        "programs/shortest_path.mgl",
+        "s(b, a)",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("why not s(b, a)?"), "{text}");
+    assert!(text.contains("fails at subgoal"), "{text}");
+    assert!(text.contains("path(b, Z, a"), "{text}");
+}
+
+#[test]
+fn explain_covers_max_domains() {
+    let out = maglog(&["explain", "programs/widest_path.mgl", "w(a, c)"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("w(a, c) = 3"), "{text}");
+    assert!(text.contains("max over"), "{text}");
+    assert!(text.contains("witness element 3"), "{text}");
+}
+
+#[test]
+fn explain_depth_flag_bounds_the_tree() {
+    let out = maglog(&[
+        "explain",
+        "--depth",
+        "1",
+        "programs/widest_path.mgl",
+        "w(a, c)",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("[depth limit]"), "{}", stdout(&out));
+}
+
+#[test]
+fn explain_flags_without_a_goal_are_a_usage_error() {
+    let out = maglog(&["explain", "--why-not", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_explain_dumps_witnesses_for_a_predicate() {
+    let out = maglog(&["run", "--explain", "s", "programs/shortest_path.mgl", "s"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("-- derivations of s --"), "{text}");
+    assert!(text.contains("s(a, b) = 1"), "{text}");
+    assert!(text.contains("witness element"), "{text}");
+}
+
+#[test]
+fn evaluation_failure_exits_nonzero_with_an_actionable_hint() {
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("diverging.mgl");
+    std::fs::write(
+        &file,
+        "declare pred n/2 cost max_real.\n\
+         n(z, 0).\n\
+         n(X, C) :- n(X, C1), C = C1 + 1.\n",
+    )
+    .unwrap();
+    let out = maglog(&["run", "--max-rounds", "30", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("no fixpoint after 30 rounds"), "{err}");
+    assert!(err.contains("maglog profile"), "{err}");
+    assert!(err.contains("maglog explain --why-not"), "{err}");
+}
+
+#[test]
+fn compare_reports_baseline_rounds_and_sizes() {
+    let out = maglog(&["compare", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("engine:"), "{text}");
+    assert!(text.contains("round(s)"), "{text}");
+    assert!(text.contains("K&S WFS:"), "{text}");
+    assert!(text.contains("atom(s)"), "{text}");
+}
+
+#[test]
 fn widest_path_sample_runs() {
     let out = maglog(&["run", "programs/widest_path.mgl", "w"]);
     assert!(out.status.success(), "{}", stderr(&out));
