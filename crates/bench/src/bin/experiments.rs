@@ -6,15 +6,15 @@
 //! cargo run --release -p maglog-bench --bin experiments -- --json # BENCH_engine.json
 //! ```
 //!
-//! `--json` times naive/semi-naive/greedy on each scaling workload
-//! (min-of-samples; `MAGLOG_BENCH_JSON_SAMPLES` overrides the sample
-//! count, default 3), cross-checks that all three strategies produce the
-//! same model, and writes `BENCH_engine.json` at the repo root. The JSON
-//! header records the maglog git commit and the sample count. Add
-//! `--profile` to also run each strategy once more with a metrics sink
-//! (untimed, so the wall-clock figures stay clean) and embed its counter
-//! summary — firings, derivations, insert outcomes, index probes/hits —
-//! in each workload record.
+//! `--json` runs the full benchmark matrix through the v2 harness
+//! ([`maglog_bench::v2`]) — naive/semi-naive/greedy on each scaling
+//! workload, median/min/MAD over `--samples` timed runs (default 3,
+//! `MAGLOG_BENCH_JSON_SAMPLES` also respected), throughput, peak heap,
+//! and a cross-check that all three strategies produce the same model —
+//! and writes `BENCH_engine.json` (schema `maglog-bench-v2`) at the repo
+//! root. Work counters from an untimed instrumented run are always
+//! embedded, so the old `--profile` flag is accepted as a no-op.
+//! Unknown sections or flags are usage errors (exit 2).
 
 use maglog_analysis::rmono::r_monotonicity_report;
 use maglog_analysis::{check_program, conflict_free_report, is_cost_respecting};
@@ -25,10 +25,7 @@ use maglog_baselines::ggz::{evaluate_ggz, GgzOutcome};
 use maglog_baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog_baselines::stable::is_stable_model;
 use maglog_baselines::stratified::evaluate_stratified;
-use maglog_bench::{
-    fmt_secs, profile_run, program, render_bench_json, run_greedy, run_naive, run_seminaive,
-    timed, BenchProfile, BenchRecord, ProfileSummary,
-};
+use maglog_bench::{fmt_secs, program, run_greedy, run_naive, run_seminaive, timed, v2};
 use maglog_datalog::{parse_program, AggFunc, DomainSpec};
 use maglog_engine::value::RuntimeDomain;
 use maglog_engine::{Edb, Interp, MonotonicEngine, Tuple, Value};
@@ -39,11 +36,75 @@ use maglog_workloads::{
 use maglog_prng::rngs::StdRng;
 use maglog_prng::{Rng, SeedableRng};
 
+/// Count allocations so `--json` can report per-strategy peak heap.
+#[global_allocator]
+static ALLOC: maglog_engine::alloc::CountingAlloc = maglog_engine::alloc::CountingAlloc;
+
+const SECTIONS: [&str; 14] = [
+    "fig1",
+    "ex3_1",
+    "shortest_path",
+    "company",
+    "party",
+    "circuit",
+    "halfsum",
+    "nonmono",
+    "grades",
+    "conflict",
+    "rmono",
+    "prop6_1",
+    "termination",
+    "perf",
+];
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    eprintln!("usage: experiments [SECTION...]");
+    eprintln!("       experiments --json [--samples N] [--profile]");
+    eprintln!("sections: {}", SECTIONS.join(" "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
-        emit_bench_json(args.iter().any(|a| a == "--profile"));
+        let mut samples: Option<usize> = None;
+        let mut set_samples = |v: &str| {
+            samples = Some(
+                v.parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage_exit("--samples wants a positive integer")),
+            );
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--json" | "--profile" => {}
+                "--samples" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(v) => set_samples(v),
+                        None => usage_exit("--samples needs a value"),
+                    }
+                }
+                other => match other.strip_prefix("--samples=") {
+                    Some(v) => set_samples(v),
+                    None => usage_exit(&format!("unknown flag {other:?}")),
+                },
+            }
+            i += 1;
+        }
+        emit_bench_json(samples);
         return;
+    }
+    for a in &args {
+        if a.starts_with('-') {
+            usage_exit(&format!("unknown flag {a:?}"));
+        }
+        if !SECTIONS.contains(&a.as_str()) {
+            usage_exit(&format!("unknown section {a:?}"));
+        }
     }
     let pick = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
@@ -838,147 +899,26 @@ fn exp_perf() {
 }
 
 // ---------------------------------------------------------------- --json
-
-/// Time one strategy: min over `samples` runs (the most repeatable
-/// wall-clock statistic for short benchmarks).
-fn min_secs(samples: usize, mut f: impl FnMut() -> maglog_engine::Model) -> (maglog_engine::Model, f64) {
-    let (mut model, mut best) = timed(&mut f);
-    for _ in 1..samples {
-        let (m, s) = timed(&mut f);
-        if s < best {
-            best = s;
-            model = m;
-        }
-    }
-    (model, best)
-}
-
-/// Measure one workload instance across the three strategies, asserting
-/// the models agree tuple-for-tuple. With `profile`, each strategy gets one
-/// extra untimed instrumented run whose counters go into the record.
-fn bench_instance(
-    workload: &str,
-    size: usize,
-    p: &maglog_datalog::Program,
-    edb: &Edb,
-    samples: usize,
-    profile: bool,
-) -> BenchRecord {
-    let (semi, secs_semi) = min_secs(samples, || run_seminaive(p, edb));
-    let (naive, secs_naive) = min_secs(samples, || run_naive(p, edb));
-    let (greedy, secs_greedy) = min_secs(samples, || run_greedy(p, edb));
-    let profile = profile.then(|| {
-        use maglog_engine::Strategy;
-        BenchProfile {
-            seminaive: ProfileSummary::from_report(&profile_run(p, edb, Strategy::SemiNaive)),
-            naive: ProfileSummary::from_report(&profile_run(p, edb, Strategy::Naive)),
-            greedy: ProfileSummary::from_report(&profile_run(p, edb, Strategy::Greedy)),
-        }
-    });
-    assert_eq!(
-        semi.render(p),
-        naive.render(p),
-        "naive and semi-naive disagree on {workload}/{size}"
-    );
-    assert_eq!(
-        semi.render(p),
-        greedy.render(p),
-        "greedy and semi-naive disagree on {workload}/{size}"
-    );
-    BenchRecord {
-        workload: workload.to_string(),
-        size,
-        edb_facts: edb.len(),
-        tuples: semi.interp().size(),
-        rounds_seminaive: semi.stats().rounds.iter().sum(),
-        rounds_naive: naive.stats().rounds.iter().sum(),
-        rounds_greedy: greedy.stats().rounds.iter().sum(),
-        secs_seminaive: secs_semi,
-        secs_naive,
-        secs_greedy,
-        profile,
-    }
-}
-
-/// The maglog commit the numbers were measured at (short hash, "-dirty"
-/// suffix when the tree has local changes; "unknown" outside git).
-fn git_commit() -> String {
-    let out = |args: &[&str]| {
-        std::process::Command::new("git")
-            .args(args)
-            .current_dir(env!("CARGO_MANIFEST_DIR"))
-            .output()
-            .ok()
-            .filter(|o| o.status.success())
-            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-    };
-    match out(&["rev-parse", "--short", "HEAD"]) {
-        Some(hash) if !hash.is_empty() => {
-            let dirty = out(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
-            if dirty {
-                format!("{hash}-dirty")
-            } else {
-                hash
-            }
-        }
-        _ => "unknown".to_string(),
-    }
-}
-
-fn emit_bench_json(profile: bool) {
-    let samples: usize = std::env::var("MAGLOG_BENCH_JSON_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
+/// Run the full benchmark matrix through the v2 harness and write
+/// `BENCH_engine.json` (schema `maglog-bench-v2`) at the repo root.
+fn emit_bench_json(samples: Option<usize>) {
+    let samples = samples
+        .or_else(|| {
+            std::env::var("MAGLOG_BENCH_JSON_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
         .unwrap_or(3)
         .max(1);
-    let mut records: Vec<BenchRecord> = Vec::new();
-
-    let sp = program(programs::SHORTEST_PATH);
-    for n in [16usize, 32, 64] {
-        let g = random_digraph(n, 3.0, (1.0, 9.0), 77 + n as u64);
-        records.push(bench_instance("shortest_path", n, &sp, &g.to_edb(&sp), samples, profile));
-    }
-
-    let cc = program(programs::COMPANY_CONTROL);
-    for n in [16usize, 32, 64] {
-        let inst = random_ownership(n, 4, 0.5, 0.3, 99 + n as u64);
-        records.push(bench_instance(
-            "company_control",
-            n,
-            &cc,
-            &inst.to_edb(&cc),
-            samples,
-            profile,
-        ));
-    }
-
-    let cp = program(programs::CIRCUIT);
-    for gates in [64usize, 256, 1024] {
-        let inst = random_circuit(16, gates, 2, 0.3, 7 + gates as u64);
-        records.push(bench_instance("circuit", gates, &cp, &inst.to_edb(&cp), samples, profile));
-    }
-
-    let pp = program(programs::PARTY);
-    for n in [64usize, 256, 1024] {
-        let inst = random_party(n, 6.0, 0.15, 13 + n as u64);
-        records.push(bench_instance("party", n, &pp, &inst.to_edb(&pp), samples, profile));
-    }
-
-    for r in &records {
-        println!(
-            "{:<18} size={:<5} tuples={:<7} semi {:>10}  naive {:>10}  greedy {:>10}",
-            r.workload,
-            r.size,
-            r.tuples,
-            fmt_secs(r.secs_seminaive),
-            fmt_secs(r.secs_naive),
-            fmt_secs(r.secs_greedy),
-        );
-    }
-
+    let cfg = v2::BenchConfig {
+        samples,
+        ..Default::default()
+    };
+    let measurements =
+        v2::run_config(&cfg, |line| println!("{line}")).expect("default config always plans");
+    let doc = v2::render_v2(&v2::environment(&cfg), &measurements);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, render_bench_json(&git_commit(), samples, &records))
-        .expect("write BENCH_engine.json");
+    std::fs::write(path, doc).expect("write BENCH_engine.json");
     println!("wrote {path}");
 }
 

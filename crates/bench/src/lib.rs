@@ -1,5 +1,7 @@
 //! Shared helpers for the maglog benchmark suite and experiments binary.
 
+pub mod v2;
+
 use maglog_datalog::{parse_program, Program};
 use maglog_engine::{Edb, EvalOptions, MetricsSink, Model, MonotonicEngine, ProfileReport, Strategy};
 
@@ -153,10 +155,10 @@ impl ProfileSummary {
     }
 }
 
-/// Render the benchmark records as the `BENCH_engine.json` document. The
-/// workspace builds with no external dependencies, so this is hand-rolled
-/// (stable field order, one workload object per entry). The header records
-/// the maglog commit and per-strategy sample count the numbers came from.
+/// Render benchmark records in the **legacy** `maglog-bench-v1` schema.
+/// `BENCH_engine.json` is written in v2 now ([`v2::render_v2`]); this stays
+/// so the v1→v2 baseline reader ([`v2::parse_baseline`]) has a writer to
+/// test against, and so old checked-out baselines remain reproducible.
 pub fn render_bench_json(commit: &str, samples: usize, records: &[BenchRecord]) -> String {
     let mut out = format!(
         "{{\n  \"schema\": \"maglog-bench-v1\",\n  \"commit\": \"{}\",\n  \
@@ -196,33 +198,9 @@ pub fn render_bench_json(commit: &str, samples: usize, records: &[BenchRecord]) 
     out
 }
 
-/// Escape a string for a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Format a float as a JSON number (finite; integers keep a decimal point
-/// so the field stays a float for every reader).
-pub fn json_num(v: f64) -> String {
-    assert!(v.is_finite(), "JSON has no non-finite numbers");
-    if v.fract() == 0.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
-}
+// The JSON helpers used to be hand-rolled here too; they now live in the
+// engine's shared `jsonish` module alongside the tree builder/parser.
+pub use maglog_engine::jsonish::{json_escape, json_num};
 
 pub mod harness {
     //! Minimal drop-in benchmark harness with criterion's API shape.

@@ -1,0 +1,847 @@
+//! The `maglog bench` harness: statistically sound measurement with
+//! regression gating (the `maglog-bench-v2` schema).
+//!
+//! Each (workload, size, strategy) cell is measured as: `warmup` untimed
+//! runs (the last one doubles as the peak-heap run, bracketed by
+//! [`maglog_engine::alloc::reset_peak`]), then `samples` timed runs
+//! summarized by **median**, **min**, and **MAD** (median absolute
+//! deviation — robust against scheduler noise, unlike mean/stddev), then
+//! one untimed instrumented run for the work counters (firings,
+//! derivations). Throughput is tuples-per-second and
+//! derivations-per-second at the median.
+//!
+//! The regression gate compares current medians against a committed
+//! baseline document — either `maglog-bench-v2` or the legacy
+//! `maglog-bench-v1` (whose single `seconds.<strategy>` figure is read as
+//! the median) — and flags every cell whose ratio exceeds the threshold.
+
+use std::collections::BTreeMap;
+
+use maglog_datalog::Program;
+use maglog_engine::jsonish::{self, JsonValue};
+use maglog_engine::{alloc, fmt_bytes, Edb, Model, Strategy};
+use maglog_workloads::{
+    programs, random_circuit, random_digraph, random_ownership, random_party,
+};
+
+use crate::{fmt_secs, profile_run, program, run_greedy, run_naive, run_seminaive, timed};
+
+/// Strategy labels in measurement order (also the JSON field order).
+pub const STRATEGIES: [&str; 3] = ["seminaive", "naive", "greedy"];
+
+// ---------------------------------------------------------------- registry
+
+/// One benchmarkable workload: a paper program plus a seeded instance
+/// generator, sized by the same parameters `experiments --json` has
+/// always used, so numbers stay comparable across schema versions.
+pub struct Workload {
+    pub name: &'static str,
+    pub sizes: &'static [usize],
+    builder: fn(usize) -> (Program, Edb),
+}
+
+impl Workload {
+    /// Build the (program, instance) pair for `size`. Deterministic: the
+    /// generator seed is a function of the size.
+    pub fn build(&self, size: usize) -> (Program, Edb) {
+        (self.builder)(size)
+    }
+}
+
+fn build_shortest_path(n: usize) -> (Program, Edb) {
+    let p = program(programs::SHORTEST_PATH);
+    let edb = random_digraph(n, 3.0, (1.0, 9.0), 77 + n as u64).to_edb(&p);
+    (p, edb)
+}
+
+fn build_company_control(n: usize) -> (Program, Edb) {
+    let p = program(programs::COMPANY_CONTROL);
+    let edb = random_ownership(n, 4, 0.5, 0.3, 99 + n as u64).to_edb(&p);
+    (p, edb)
+}
+
+fn build_circuit(gates: usize) -> (Program, Edb) {
+    let p = program(programs::CIRCUIT);
+    let edb = random_circuit(16, gates, 2, 0.3, 7 + gates as u64).to_edb(&p);
+    (p, edb)
+}
+
+fn build_party(n: usize) -> (Program, Edb) {
+    let p = program(programs::PARTY);
+    let edb = random_party(n, 6.0, 0.15, 13 + n as u64).to_edb(&p);
+    (p, edb)
+}
+
+/// The benchmark matrix, smallest sizes first within each workload.
+pub static WORKLOADS: [Workload; 4] = [
+    Workload {
+        name: "shortest_path",
+        sizes: &[16, 32, 64],
+        builder: build_shortest_path,
+    },
+    Workload {
+        name: "company_control",
+        sizes: &[16, 32, 64],
+        builder: build_company_control,
+    },
+    Workload {
+        name: "circuit",
+        sizes: &[64, 256, 1024],
+        builder: build_circuit,
+    },
+    Workload {
+        name: "party",
+        sizes: &[64, 256, 1024],
+        builder: build_party,
+    },
+];
+
+// ---------------------------------------------------------------- config
+
+/// Harness configuration (what `maglog bench` flags parse into).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Timed samples per (workload, size, strategy) cell; at least 1.
+    pub samples: usize,
+    /// Untimed warm-up runs before sampling (0 allowed; the peak-heap
+    /// run always happens and warms the cell anyway).
+    pub warmup: usize,
+    /// Workload-name filter; empty means every workload.
+    pub workloads: Vec<String>,
+    /// Size filter; empty means every size of each selected workload.
+    pub sizes: Vec<usize>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 5,
+            warmup: 1,
+            workloads: Vec::new(),
+            sizes: Vec::new(),
+        }
+    }
+}
+
+/// Resolve the config's filters against the registry. Unknown workload
+/// names and sizes that match nothing are errors (the CLI reports them as
+/// usage errors), as is a filter combination selecting zero cells.
+pub fn plan(cfg: &BenchConfig) -> Result<Vec<(&'static Workload, usize)>, String> {
+    for name in &cfg.workloads {
+        if !WORKLOADS.iter().any(|w| w.name == name) {
+            let known: Vec<&str> = WORKLOADS.iter().map(|w| w.name).collect();
+            return Err(format!(
+                "unknown workload {name:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    let selected: Vec<&Workload> = WORKLOADS
+        .iter()
+        .filter(|w| cfg.workloads.is_empty() || cfg.workloads.iter().any(|n| n == w.name))
+        .collect();
+    for &size in &cfg.sizes {
+        if !selected.iter().any(|w| w.sizes.contains(&size)) {
+            return Err(format!(
+                "size {size} matches no selected workload (sizes: {})",
+                selected
+                    .iter()
+                    .map(|w| format!("{} {:?}", w.name, w.sizes))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+    }
+    let mut out = Vec::new();
+    for w in selected {
+        for &size in w.sizes {
+            if cfg.sizes.is_empty() || cfg.sizes.contains(&size) {
+                out.push((w, size));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("filters select no (workload, size) cells".into());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- stats
+
+/// Robust summary of one cell's timed samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampleStats {
+    pub median: f64,
+    pub min: f64,
+    /// Median absolute deviation from the median.
+    pub mad: f64,
+}
+
+/// Median / min / MAD of a non-empty sample vector.
+pub fn sample_stats(samples: &[f64]) -> SampleStats {
+    assert!(!samples.is_empty(), "sample_stats needs at least one sample");
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let median = s[s.len() / 2];
+    let mut dev: Vec<f64> = s.iter().map(|x| (x - median).abs()).collect();
+    dev.sort_by(f64::total_cmp);
+    SampleStats {
+        median,
+        min: s[0],
+        mad: dev[dev.len() / 2],
+    }
+}
+
+// ---------------------------------------------------------------- measure
+
+/// One strategy's measurements for one workload instance.
+#[derive(Clone, Debug)]
+pub struct StrategyMeasurement {
+    pub strategy: &'static str,
+    /// Rounds summed over components (queue pops for greedy components).
+    pub rounds: usize,
+    /// Rule firings from the untimed instrumented run.
+    pub firings: u64,
+    /// Head derivations from the untimed instrumented run.
+    pub derivations: u64,
+    pub stats: SampleStats,
+    /// Fixpoint tuples divided by the median sample.
+    pub tuples_per_sec: f64,
+    /// Derivations divided by the median sample.
+    pub derivations_per_sec: f64,
+    /// Allocator high-water delta over one run (0 when the host binary
+    /// has no [`maglog_engine::alloc::CountingAlloc`] installed).
+    pub peak_heap_bytes: u64,
+}
+
+/// One (workload, size) cell: instance shape plus all three strategies.
+#[derive(Clone, Debug)]
+pub struct WorkloadMeasurement {
+    pub workload: String,
+    pub size: usize,
+    pub edb_facts: usize,
+    /// Stored tuples in the fixpoint model (strategies are asserted to
+    /// agree tuple-for-tuple before this is recorded).
+    pub tuples: usize,
+    pub strategies: Vec<StrategyMeasurement>,
+}
+
+fn measure_strategy(
+    label: &'static str,
+    strategy: Strategy,
+    run: fn(&Program, &Edb) -> Model,
+    p: &Program,
+    edb: &Edb,
+    cfg: &BenchConfig,
+) -> (Model, StrategyMeasurement) {
+    for _ in 1..cfg.warmup.max(1) {
+        std::hint::black_box(run(p, edb));
+    }
+    // The final warm-up doubles as the peak-heap run: re-seat the
+    // allocator peak at the current live level and read the high-water
+    // delta the evaluation adds on top.
+    let live_before = alloc::current_bytes();
+    alloc::reset_peak();
+    let model = run(p, edb);
+    let peak_heap_bytes = alloc::peak_bytes().saturating_sub(live_before) as u64;
+
+    let mut samples = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples.max(1) {
+        let (m, secs) = timed(|| run(p, edb));
+        std::hint::black_box(m);
+        samples.push(secs);
+    }
+    let stats = sample_stats(&samples);
+
+    // Untimed instrumented run for the work counters, so the timed
+    // samples stay free of sink overhead.
+    let report = profile_run(p, edb, strategy);
+    let measurement = StrategyMeasurement {
+        strategy: label,
+        rounds: model.stats().rounds.iter().sum(),
+        firings: report.total_firings(),
+        derivations: report.total_derivations(),
+        stats,
+        tuples_per_sec: 0.0,       // filled once the model size is known
+        derivations_per_sec: 0.0,  // filled once the model size is known
+        peak_heap_bytes,
+    };
+    (model, measurement)
+}
+
+/// Measure one (workload, size) cell across all three strategies,
+/// asserting the strategies agree on the model.
+pub fn run_workload(w: &Workload, size: usize, cfg: &BenchConfig) -> WorkloadMeasurement {
+    type Runner = fn(&Program, &Edb) -> Model;
+    let (p, edb) = w.build(size);
+    let runners: [(&'static str, Strategy, Runner); 3] = [
+        ("seminaive", Strategy::SemiNaive, run_seminaive),
+        ("naive", Strategy::Naive, run_naive),
+        ("greedy", Strategy::Greedy, run_greedy),
+    ];
+    let mut models = Vec::new();
+    let mut strategies = Vec::new();
+    for (label, strategy, run) in runners {
+        let (model, m) = measure_strategy(label, strategy, run, &p, &edb, cfg);
+        models.push(model);
+        strategies.push(m);
+    }
+    let reference = models[0].render(&p);
+    for (i, model) in models.iter().enumerate().skip(1) {
+        assert_eq!(
+            reference,
+            model.render(&p),
+            "{} and seminaive disagree on {}/{size}",
+            STRATEGIES[i],
+            w.name
+        );
+    }
+    let tuples = models[0].interp().size();
+    for s in &mut strategies {
+        if s.stats.median > 0.0 {
+            s.tuples_per_sec = tuples as f64 / s.stats.median;
+            s.derivations_per_sec = s.derivations as f64 / s.stats.median;
+        }
+    }
+    WorkloadMeasurement {
+        workload: w.name.to_string(),
+        size,
+        edb_facts: edb.len(),
+        tuples,
+        strategies,
+    }
+}
+
+/// Run the full configured matrix, reporting per-cell progress lines
+/// through `progress` (pass `|_| {}` for silence).
+pub fn run_config(
+    cfg: &BenchConfig,
+    mut progress: impl FnMut(&str),
+) -> Result<Vec<WorkloadMeasurement>, String> {
+    let cells = plan(cfg)?;
+    let mut out = Vec::with_capacity(cells.len());
+    for (w, size) in cells {
+        let m = run_workload(w, size, cfg);
+        let semi = &m.strategies[0];
+        progress(&format!(
+            "{:<18} size={:<5} tuples={:<7} semi median {} (min {}, ±{})",
+            m.workload,
+            m.size,
+            m.tuples,
+            fmt_secs(semi.stats.median),
+            fmt_secs(semi.stats.min),
+            fmt_secs(semi.stats.mad),
+        ));
+        out.push(m);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- environment
+
+/// Provenance header for a bench document: where and how the numbers
+/// were measured.
+#[derive(Clone, Debug)]
+pub struct BenchEnv {
+    pub commit: String,
+    pub rustc: String,
+    pub cpus: usize,
+    pub warmup: usize,
+    pub samples: usize,
+}
+
+/// The maglog commit benchmarks run against (short hash, `-dirty` suffix
+/// when the tree has local changes; `"unknown"` outside git).
+pub fn git_commit() -> String {
+    let out = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    match out(&["rev-parse", "--short", "HEAD"]) {
+        Some(hash) if !hash.is_empty() => {
+            let dirty = out(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{hash}-dirty")
+            } else {
+                hash
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+/// `rustc --version` of the toolchain on PATH (an approximation of the
+/// compiling toolchain, which is not recorded in the binary).
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Snapshot the measurement environment for `cfg`.
+pub fn environment(cfg: &BenchConfig) -> BenchEnv {
+    BenchEnv {
+        commit: git_commit(),
+        rustc: rustc_version(),
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        warmup: cfg.warmup,
+        samples: cfg.samples,
+    }
+}
+
+// ---------------------------------------------------------------- render
+
+/// Render the `maglog-bench-v2` document.
+pub fn render_v2(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String {
+    let environment = JsonValue::Obj(vec![
+        ("commit".into(), JsonValue::str(&env.commit)),
+        ("rustc".into(), JsonValue::str(&env.rustc)),
+        ("cpus".into(), JsonValue::int(env.cpus as u64)),
+        ("warmup".into(), JsonValue::int(env.warmup as u64)),
+        ("samples".into(), JsonValue::int(env.samples as u64)),
+    ]);
+    let workloads = measurements
+        .iter()
+        .map(|m| {
+            let strategies = m
+                .strategies
+                .iter()
+                .map(|s| {
+                    (
+                        s.strategy.to_string(),
+                        JsonValue::Obj(vec![
+                            ("rounds".into(), JsonValue::int(s.rounds as u64)),
+                            ("firings".into(), JsonValue::int(s.firings)),
+                            ("derivations".into(), JsonValue::int(s.derivations)),
+                            ("median_secs".into(), JsonValue::Num(s.stats.median)),
+                            ("min_secs".into(), JsonValue::Num(s.stats.min)),
+                            ("mad_secs".into(), JsonValue::Num(s.stats.mad)),
+                            ("tuples_per_sec".into(), JsonValue::Num(s.tuples_per_sec)),
+                            (
+                                "derivations_per_sec".into(),
+                                JsonValue::Num(s.derivations_per_sec),
+                            ),
+                            (
+                                "peak_heap_bytes".into(),
+                                JsonValue::int(s.peak_heap_bytes),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            JsonValue::Obj(vec![
+                ("workload".into(), JsonValue::str(&m.workload)),
+                ("size".into(), JsonValue::int(m.size as u64)),
+                ("edb_facts".into(), JsonValue::int(m.edb_facts as u64)),
+                ("tuples".into(), JsonValue::int(m.tuples as u64)),
+                ("strategies".into(), JsonValue::Obj(strategies)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::str("maglog-bench-v2")),
+        ("environment".into(), environment),
+        ("workloads".into(), JsonValue::Arr(workloads)),
+    ])
+    .render()
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.1}M/s", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k/s", r / 1e3)
+    } else {
+        format!("{r:.0}/s")
+    }
+}
+
+/// Render the human table (what `maglog bench` prints by default).
+pub fn render_human(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String {
+    let mut out = format!(
+        "maglog bench: commit {}, {}, {} cpus, warmup {}, samples {}\n\n",
+        env.commit, env.rustc, env.cpus, env.warmup, env.samples
+    );
+    out.push_str(&format!(
+        "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "workload", "size", "strategy", "median", "min", "±MAD", "tuples/s", "deriv/s", "peak heap"
+    ));
+    for m in measurements {
+        for s in &m.strategies {
+            out.push_str(&format!(
+                "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                m.workload,
+                m.size,
+                s.strategy,
+                fmt_secs(s.stats.median),
+                fmt_secs(s.stats.min),
+                fmt_secs(s.stats.mad),
+                fmt_rate(s.tuples_per_sec),
+                fmt_rate(s.derivations_per_sec),
+                if s.peak_heap_bytes > 0 {
+                    fmt_bytes(s.peak_heap_bytes)
+                } else {
+                    "-".to_string()
+                },
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- baseline
+
+/// Median wall-clock per (workload, size, strategy) read from a baseline
+/// document.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    pub schema: String,
+    pub medians: BTreeMap<(String, usize, String), f64>,
+}
+
+fn workload_key(w: &JsonValue) -> Result<(String, usize), String> {
+    let name = w
+        .get("workload")
+        .and_then(|v| v.as_str())
+        .ok_or("workload entry missing \"workload\"")?
+        .to_string();
+    let size = w
+        .get("size")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("workload {name:?} missing \"size\""))? as usize;
+    Ok((name, size))
+}
+
+/// Parse a baseline document in either schema. v1's min-of-samples
+/// `seconds.<strategy>` figure stands in for the median.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = jsonish::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("baseline missing \"schema\"")?
+        .to_string();
+    let workloads = doc
+        .get("workloads")
+        .and_then(|v| v.as_arr())
+        .ok_or("baseline missing \"workloads\" array")?;
+    let mut medians = BTreeMap::new();
+    match schema.as_str() {
+        "maglog-bench-v1" => {
+            for w in workloads {
+                let (name, size) = workload_key(w)?;
+                let seconds = w
+                    .get("seconds")
+                    .ok_or_else(|| format!("workload {name:?} missing \"seconds\""))?;
+                for strat in STRATEGIES {
+                    if let Some(x) = seconds.get(strat).and_then(|v| v.as_f64()) {
+                        medians.insert((name.clone(), size, strat.to_string()), x);
+                    }
+                }
+            }
+        }
+        "maglog-bench-v2" => {
+            for w in workloads {
+                let (name, size) = workload_key(w)?;
+                let strategies = w
+                    .get("strategies")
+                    .ok_or_else(|| format!("workload {name:?} missing \"strategies\""))?;
+                for strat in STRATEGIES {
+                    if let Some(x) = strategies
+                        .get(strat)
+                        .and_then(|s| s.get("median_secs"))
+                        .and_then(|v| v.as_f64())
+                    {
+                        medians.insert((name.clone(), size, strat.to_string()), x);
+                    }
+                }
+            }
+        }
+        other => return Err(format!("unsupported baseline schema {other:?}")),
+    }
+    Ok(Baseline { schema, medians })
+}
+
+// ---------------------------------------------------------------- gate
+
+/// One cell whose current median exceeds the gated baseline.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    pub workload: String,
+    pub size: usize,
+    pub strategy: String,
+    pub baseline_secs: f64,
+    pub current_secs: f64,
+    pub ratio: f64,
+}
+
+/// The gate verdict over a whole run.
+#[derive(Clone, Debug)]
+pub struct GateOutcome {
+    /// Cells present in both the run and the baseline.
+    pub compared: usize,
+    /// Measured cells the baseline has no figure for (never a failure —
+    /// new workloads must be able to land before their baseline does).
+    pub missing: usize,
+    pub regressions: Vec<Regression>,
+}
+
+impl GateOutcome {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare current medians against the baseline: a cell regresses when
+/// `current > baseline * threshold`.
+pub fn gate(
+    measurements: &[WorkloadMeasurement],
+    baseline: &Baseline,
+    threshold: f64,
+) -> GateOutcome {
+    let mut outcome = GateOutcome {
+        compared: 0,
+        missing: 0,
+        regressions: Vec::new(),
+    };
+    for m in measurements {
+        for s in &m.strategies {
+            let key = (m.workload.clone(), m.size, s.strategy.to_string());
+            match baseline.medians.get(&key) {
+                Some(&base) if base > 0.0 => {
+                    outcome.compared += 1;
+                    let ratio = s.stats.median / base;
+                    if ratio > threshold {
+                        outcome.regressions.push(Regression {
+                            workload: m.workload.clone(),
+                            size: m.size,
+                            strategy: s.strategy.to_string(),
+                            baseline_secs: base,
+                            current_secs: s.stats.median,
+                            ratio,
+                        });
+                    }
+                }
+                _ => outcome.missing += 1,
+            }
+        }
+    }
+    outcome
+}
+
+/// Render the gate verdict for the terminal.
+pub fn render_gate(outcome: &GateOutcome, threshold: f64) -> String {
+    let mut out = format!(
+        "gate: compared {} cells against baseline (threshold {threshold}x)",
+        outcome.compared
+    );
+    if outcome.missing > 0 {
+        out.push_str(&format!(", {} cells missing from baseline", outcome.missing));
+    }
+    out.push('\n');
+    for r in &outcome.regressions {
+        out.push_str(&format!(
+            "REGRESSION {}/{} {}: {} vs {} baseline ({:.2}x > {threshold}x)\n",
+            r.workload,
+            r.size,
+            r.strategy,
+            fmt_secs(r.current_secs),
+            fmt_secs(r.baseline_secs),
+            r.ratio
+        ));
+    }
+    if outcome.passed() {
+        out.push_str("gate: OK\n");
+    } else {
+        out.push_str(&format!(
+            "gate: FAIL ({} regression{})\n",
+            outcome.regressions.len(),
+            if outcome.regressions.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_is_median_min_mad() {
+        let s = sample_stats(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mad, 1.0); // deviations 2,1,0,1,2 → median 1
+        let one = sample_stats(&[0.25]);
+        assert_eq!(one.median, 0.25);
+        assert_eq!(one.mad, 0.0);
+    }
+
+    #[test]
+    fn plan_validates_filters() {
+        let all = plan(&BenchConfig::default()).unwrap();
+        assert_eq!(all.len(), 12); // 4 workloads × 3 sizes
+
+        let cfg = BenchConfig {
+            workloads: vec!["shortest_path".into()],
+            sizes: vec![16, 32],
+            ..Default::default()
+        };
+        let cells = plan(&cfg).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|(w, _)| w.name == "shortest_path"));
+
+        assert!(plan(&BenchConfig {
+            workloads: vec!["nope".into()],
+            ..Default::default()
+        })
+        .is_err());
+        assert!(plan(&BenchConfig {
+            sizes: vec![7],
+            ..Default::default()
+        })
+        .is_err());
+        // 16 is a shortest-path size, not a circuit size.
+        assert!(plan(&BenchConfig {
+            workloads: vec!["circuit".into()],
+            sizes: vec![16],
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn registry_builds_deterministic_instances() {
+        let w = &WORKLOADS[0];
+        let (_, a) = w.build(16);
+        let (_, b) = w.build(16);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    fn fake_measurement(median: f64) -> WorkloadMeasurement {
+        let strat = |name: &'static str| StrategyMeasurement {
+            strategy: name,
+            rounds: 4,
+            firings: 9,
+            derivations: 8,
+            stats: SampleStats {
+                median,
+                min: median * 0.9,
+                mad: median * 0.05,
+            },
+            tuples_per_sec: 100.0,
+            derivations_per_sec: 80.0,
+            peak_heap_bytes: 4096,
+        };
+        WorkloadMeasurement {
+            workload: "shortest_path".into(),
+            size: 16,
+            edb_facts: 48,
+            tuples: 120,
+            strategies: vec![strat("seminaive"), strat("naive"), strat("greedy")],
+        }
+    }
+
+    #[test]
+    fn v2_document_round_trips_into_baseline() {
+        let env = BenchEnv {
+            commit: "abc1234".into(),
+            rustc: "rustc 1.75.0".into(),
+            cpus: 8,
+            warmup: 1,
+            samples: 5,
+        };
+        let doc = render_v2(&env, &[fake_measurement(0.0125)]);
+        assert!(doc.contains("\"schema\": \"maglog-bench-v2\""));
+        assert!(doc.contains("\"median_secs\": 0.0125"));
+        assert!(doc.contains("\"peak_heap_bytes\": 4096"));
+        let base = parse_baseline(&doc).unwrap();
+        assert_eq!(base.schema, "maglog-bench-v2");
+        assert_eq!(
+            base.medians
+                .get(&("shortest_path".into(), 16, "seminaive".into())),
+            Some(&0.0125)
+        );
+        assert_eq!(base.medians.len(), 3);
+    }
+
+    #[test]
+    fn v1_documents_still_read_as_baselines() {
+        let rec = crate::BenchRecord {
+            workload: "shortest_path".into(),
+            size: 16,
+            edb_facts: 48,
+            tuples: 120,
+            rounds_seminaive: 4,
+            rounds_naive: 4,
+            rounds_greedy: 40,
+            secs_seminaive: 0.010,
+            secs_naive: 0.020,
+            secs_greedy: 0.015,
+            profile: None,
+        };
+        let doc = crate::render_bench_json("abc1234", 3, &[rec]);
+        let base = parse_baseline(&doc).unwrap();
+        assert_eq!(base.schema, "maglog-bench-v1");
+        assert_eq!(
+            base.medians
+                .get(&("shortest_path".into(), 16, "naive".into())),
+            Some(&0.020)
+        );
+        assert_eq!(base.medians.len(), 3);
+    }
+
+    #[test]
+    fn parse_baseline_rejects_bad_documents() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"workloads\": []}").is_err());
+        assert!(parse_baseline("{\"schema\": \"maglog-bench-v9\", \"workloads\": []}").is_err());
+    }
+
+    #[test]
+    fn gate_flags_only_cells_past_threshold() {
+        let m = fake_measurement(0.010);
+        let env = BenchEnv {
+            commit: "x".into(),
+            rustc: "r".into(),
+            cpus: 1,
+            warmup: 1,
+            samples: 1,
+        };
+        // Baseline identical to the run: within the gate.
+        let base = parse_baseline(&render_v2(&env, std::slice::from_ref(&m))).unwrap();
+        let ok = gate(std::slice::from_ref(&m), &base, 1.25);
+        assert_eq!(ok.compared, 3);
+        assert_eq!(ok.missing, 0);
+        assert!(ok.passed());
+
+        // Doctored baseline half as slow: every cell regresses.
+        let fast = parse_baseline(&render_v2(&env, &[fake_measurement(0.005)])).unwrap();
+        let fail = gate(std::slice::from_ref(&m), &fast, 1.25);
+        assert!(!fail.passed());
+        assert_eq!(fail.regressions.len(), 3);
+        assert!((fail.regressions[0].ratio - 2.0).abs() < 1e-9);
+        let text = render_gate(&fail, 1.25);
+        assert!(text.contains("REGRESSION shortest_path/16 seminaive"));
+        assert!(text.contains("gate: FAIL (3 regressions)"));
+
+        // Cells the baseline lacks are reported, not failed.
+        let empty = Baseline {
+            schema: "maglog-bench-v2".into(),
+            medians: BTreeMap::new(),
+        };
+        let none = gate(&[m], &empty, 1.25);
+        assert!(none.passed());
+        assert_eq!(none.missing, 3);
+    }
+}

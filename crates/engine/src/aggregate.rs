@@ -82,6 +82,22 @@ impl Accumulator {
         self.winner
     }
 
+    /// Estimated heap bytes owned by the streaming state — zero for the
+    /// scalar folds, the working set for `union`/`intersect`. The
+    /// `Accumulator` struct itself is counted by the owner.
+    pub fn heap_bytes(&self) -> usize {
+        let set_bytes = |s: &BTreeSet<Value>| {
+            s.iter()
+                .map(|v| std::mem::size_of::<Value>() + v.heap_bytes())
+                .sum::<usize>()
+        };
+        match &self.state {
+            State::Union(s) => set_bytes(s),
+            State::Intersect(Some(s)) => set_bytes(s),
+            _ => 0,
+        }
+    }
+
     /// Fold one multiset element into the running state.
     pub fn push(&mut self, v: &Value) {
         let idx = self.count;

@@ -1,0 +1,103 @@
+//! A counting global allocator: wraps [`std::alloc::System`] and keeps
+//! thread-safe current / peak / cumulative byte counters.
+//!
+//! Binaries that want memory figures install it once:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: maglog_engine::alloc::CountingAlloc = maglog_engine::alloc::CountingAlloc;
+//! ```
+//!
+//! Library code never installs it — a host without the allocator simply
+//! reads zeros from [`current_bytes`] / [`peak_bytes`], and every consumer
+//! ([`crate::profile::MetricsSink`], the run-summary phase split, the
+//! bench harness) treats zero as "not wired".
+//!
+//! [`peak_bytes`] is monotone until [`reset_peak`] re-seats it at the
+//! current level; scope a phase by resetting first and reading after.
+//! The counters are relaxed atomics: cross-thread peaks can be off by a
+//! few in-flight allocations, which is noise at the scales reported.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
+
+/// Live heap bytes right now (0 if the allocator is not installed).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Relaxed)
+}
+
+/// High-water mark of live heap bytes since start or the last
+/// [`reset_peak`] (0 if the allocator is not installed).
+pub fn peak_bytes() -> usize {
+    PEAK.load(Relaxed)
+}
+
+/// Cumulative bytes ever allocated — a phase's delta measures its
+/// allocation traffic even when everything is freed again.
+pub fn total_allocated_bytes() -> usize {
+    TOTAL.load(Relaxed)
+}
+
+/// Whether a [`CountingAlloc`] is installed in this binary (any live
+/// Rust program has allocated by the time user code runs).
+pub fn installed() -> bool {
+    TOTAL.load(Relaxed) > 0
+}
+
+/// Re-seat the peak at the current level, so the next [`peak_bytes`] read
+/// reports the high-water mark of the scope that follows.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Relaxed), Relaxed);
+}
+
+fn count_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Relaxed) + size;
+    TOTAL.fetch_add(size, Relaxed);
+    PEAK.fetch_max(now, Relaxed);
+}
+
+fn count_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Relaxed);
+}
+
+/// The counting allocator itself. A unit struct so installing it is a
+/// one-liner; all state is in module-level atomics.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            count_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            count_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        count_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            count_dealloc(layout.size());
+            count_alloc(new_size);
+        }
+        p
+    }
+}

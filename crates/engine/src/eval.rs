@@ -215,6 +215,11 @@ impl<'p> MonotonicEngine<'p> {
         for pred in db.preds().collect::<Vec<_>>() {
             if let Some(rel) = db.relation(pred) {
                 sink.index_stats(pred, rel.index_sigs().len(), rel.index_stats());
+                // The deep-size walk is O(db); only pay it for sinks that
+                // report memory.
+                if sink.wants_relation_memory() {
+                    sink.relation_memory(pred, rel.heap_bytes());
+                }
             }
         }
         Ok(Model::new(db, stats))
@@ -537,7 +542,11 @@ impl<'p> MonotonicEngine<'p> {
                 for (slot, exec) in execs.iter().enumerate() {
                     sink.rule_derivations(exec.ri, rule_pushes[slot]);
                 }
-                sink.aggregate_totals(agg_counters.groups.get(), agg_counters.elements.get());
+                sink.aggregate_totals(
+                    agg_counters.groups.get(),
+                    agg_counters.elements.get(),
+                    agg_counters.peak_bytes.get(),
+                );
                 sink.component_end(ci, rounds);
                 return Ok(rounds);
             }
@@ -718,7 +727,11 @@ impl<'p> MonotonicEngine<'p> {
         for (slot, exec) in execs.iter().enumerate() {
             sink.rule_derivations(exec.ri, rule_pushes[slot]);
         }
-        sink.aggregate_totals(agg_counters.groups.get(), agg_counters.elements.get());
+        sink.aggregate_totals(
+            agg_counters.groups.get(),
+            agg_counters.elements.get(),
+            agg_counters.peak_bytes.get(),
+        );
         sink.component_end(ci, pops);
         Ok(pops)
     }
@@ -990,6 +1003,9 @@ struct AggCounters {
     groups: Cell<u64>,
     /// Multiset elements folded across all groups.
     elements: Cell<u64>,
+    /// Largest estimated footprint of a live accumulator table seen by
+    /// any single aggregate evaluation (struct + set working states).
+    peak_bytes: Cell<u64>,
 }
 
 /// Evaluation context: the program and the current database view (`J ∪ I`
@@ -1567,9 +1583,17 @@ fn eval_aggregate<C: Capture>(
     }
 
     ctx.agg.groups.set(ctx.agg.groups.get() + groups.len() as u64);
-    ctx.agg.elements.set(
-        ctx.agg.elements.get() + groups.values().map(|a| a.count() as u64).sum::<u64>(),
-    );
+    let mut elements = 0u64;
+    let mut live_bytes =
+        (groups.len() * std::mem::size_of::<aggregate::Accumulator>()) as u64;
+    for acc in groups.values() {
+        elements += acc.count() as u64;
+        live_bytes += acc.heap_bytes() as u64;
+    }
+    ctx.agg.elements.set(ctx.agg.elements.get() + elements);
+    ctx.agg
+        .peak_bytes
+        .set(ctx.agg.peak_bytes.get().max(live_bytes));
 
     for (gv, acc) in groups {
         let elements = acc.count();

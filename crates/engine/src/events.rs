@@ -17,7 +17,7 @@
 //! tests pin deterministic values.
 
 use crate::eval::Strategy;
-use crate::interp::{IndexStats, Tuple};
+use crate::interp::{IndexStats, RelationMemory, Tuple};
 use maglog_datalog::Pred;
 use std::cell::Cell;
 use std::time::Instant;
@@ -69,8 +69,10 @@ pub trait EventSink {
     /// component end.
     fn rule_derivations(&mut self, rule: usize, derivations: u64) {}
     /// Aggregate evaluation totals for the component: `groups` streaming
-    /// accumulators created, `elements` multiset elements folded.
-    fn aggregate_totals(&mut self, groups: u64, elements: u64) {}
+    /// accumulators created, `elements` multiset elements folded,
+    /// `peak_bytes` the largest estimated footprint of the live
+    /// accumulator table observed across the component's rounds.
+    fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {}
     /// The greedy strategy settled `pred(key)` at `cost`.
     fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {}
     /// The component reached its fixpoint after `rounds` rounds (queue
@@ -80,6 +82,16 @@ pub trait EventSink {
     /// after evaluation. `sigs` is the number of distinct signatures
     /// indexed.
     fn index_stats(&mut self, pred: Pred, sigs: usize, stats: IndexStats) {}
+    /// Estimated heap footprint of one predicate's relation, reported
+    /// once after evaluation alongside [`EventSink::index_stats`] — but
+    /// only when [`EventSink::wants_relation_memory`] returns true, since
+    /// the deep-size walk behind it is O(database).
+    fn relation_memory(&mut self, pred: Pred, memory: RelationMemory) {}
+    /// Opt-in gate for [`EventSink::relation_memory`]; the default sink
+    /// keeps evaluation free of the deep-size walk.
+    fn wants_relation_memory(&self) -> bool {
+        false
+    }
 }
 
 /// The default sink: does nothing, compiles to nothing.
@@ -126,9 +138,9 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
         self.0.rule_derivations(rule, derivations);
         self.1.rule_derivations(rule, derivations);
     }
-    fn aggregate_totals(&mut self, groups: u64, elements: u64) {
-        self.0.aggregate_totals(groups, elements);
-        self.1.aggregate_totals(groups, elements);
+    fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {
+        self.0.aggregate_totals(groups, elements, peak_bytes);
+        self.1.aggregate_totals(groups, elements, peak_bytes);
     }
     fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {
         self.0.greedy_settle(pred, key, cost);
@@ -141,6 +153,13 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     fn index_stats(&mut self, pred: Pred, sigs: usize, stats: IndexStats) {
         self.0.index_stats(pred, sigs, stats);
         self.1.index_stats(pred, sigs, stats);
+    }
+    fn relation_memory(&mut self, pred: Pred, memory: RelationMemory) {
+        self.0.relation_memory(pred, memory);
+        self.1.relation_memory(pred, memory);
+    }
+    fn wants_relation_memory(&self) -> bool {
+        self.0.wants_relation_memory() || self.1.wants_relation_memory()
     }
 }
 
@@ -226,7 +245,8 @@ mod tests {
         s.rule_fire_start(0);
         s.rule_fire_end(0);
         s.round_end(1, 0, 0);
-        s.aggregate_totals(0, 0);
+        s.aggregate_totals(0, 0, 0);
         s.component_end(0, 1);
+        s.relation_memory(Pred(maglog_datalog::Sym(0)), RelationMemory::default());
     }
 }

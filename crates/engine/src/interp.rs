@@ -102,6 +102,13 @@ impl Tuple {
     pub fn arity(&self) -> usize {
         self.0.len()
     }
+
+    /// Estimated heap bytes of the value slice (plus any set-valued
+    /// components). The `Tuple` struct itself is counted by the owner.
+    pub fn heap_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<Value>()
+            + self.0.iter().map(Value::heap_bytes).sum::<usize>()
+    }
 }
 
 impl std::ops::Index<usize> for Tuple {
@@ -288,6 +295,71 @@ impl Relation {
     pub fn index_stats(&self) -> IndexStats {
         self.counters.snapshot()
     }
+
+    /// Estimate this relation's heap footprint, broken down by component.
+    /// Every figure is a conservative (under-)estimate: hash-table control
+    /// bytes are modeled at one byte per slot and allocator slack not at
+    /// all, so sums stay at or below the counting allocator's peak.
+    pub fn heap_bytes(&self) -> RelationMemory {
+        use std::mem::size_of;
+        // Shared key allocations, counted once however many owners (map,
+        // log, postings) point at them: Arc refcount header + the Tuple
+        // struct + its value slice.
+        let tuple_bytes: usize = self
+            .log
+            .iter()
+            .map(|k| 2 * size_of::<usize>() + size_of::<Tuple>() + k.heap_bytes())
+            .sum();
+        let cost_heap: usize = self
+            .map
+            .values()
+            .flatten()
+            .map(Value::heap_bytes)
+            .sum();
+        let map_bytes = self.map.capacity()
+            * (size_of::<Arc<Tuple>>() + size_of::<Option<Value>>() + 1)
+            + cost_heap;
+        let log_bytes = self.log.capacity() * size_of::<Arc<Tuple>>();
+        let mut index_bytes = 0usize;
+        for index in self.indexes.borrow().values() {
+            index_bytes += index.postings.capacity()
+                * (size_of::<Box<[Value]>>() + size_of::<Rc<Vec<Arc<Tuple>>>>() + 1);
+            for (projection, postings) in &index.postings {
+                index_bytes += projection.len() * size_of::<Value>()
+                    + projection.iter().map(Value::heap_bytes).sum::<usize>();
+                // Rc header + the Vec's pointer array.
+                index_bytes += 2 * size_of::<usize>() + size_of::<Vec<Arc<Tuple>>>()
+                    + postings.capacity() * size_of::<Arc<Tuple>>();
+            }
+        }
+        RelationMemory {
+            tuple_bytes,
+            map_bytes,
+            log_bytes,
+            index_bytes,
+        }
+    }
+}
+
+/// Estimated heap footprint of one [`Relation`], by storage component
+/// (see [`Relation::heap_bytes`] for the estimate's direction of error).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelationMemory {
+    /// Shared `Arc<Tuple>` key allocations, counted once.
+    pub tuple_bytes: usize,
+    /// Primary map: per-slot key pointer + cost value + control byte,
+    /// plus the heap owned by stored cost values.
+    pub map_bytes: usize,
+    /// Append-only insertion log (pointer array).
+    pub log_bytes: usize,
+    /// Join indexes: projections and CoW postings across all signatures.
+    pub index_bytes: usize,
+}
+
+impl RelationMemory {
+    pub fn total(&self) -> usize {
+        self.tuple_bytes + self.map_bytes + self.log_bytes + self.index_bytes
+    }
 }
 
 /// A (partial) aggregate Herbrand interpretation.
@@ -316,6 +388,12 @@ impl Interp {
     /// Total number of (explicit, core) tuples.
     pub fn size(&self) -> usize {
         self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Estimated heap bytes across every relation (see
+    /// [`Relation::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.rels.values().map(|r| r.heap_bytes().total()).sum()
     }
 
     /// The stored cost of `pred(key)`, falling back to the domain default

@@ -42,24 +42,27 @@
 //! ```
 
 pub mod aggregate;
+pub mod alloc;
 pub mod edb;
 pub mod error;
 pub mod eval;
 pub mod events;
 pub mod interp;
+pub mod jsonish;
 pub mod model;
 pub mod plan;
 pub mod profile;
 pub mod provenance;
 pub mod value;
 
+pub use alloc::CountingAlloc;
 pub use edb::Edb;
 pub use error::EvalError;
 pub use eval::{why_not, EvalOptions, EvalStats, MonotonicEngine, Strategy};
 pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
-pub use interp::{IndexStats, Interp, Relation, Tuple};
+pub use interp::{IndexStats, Interp, Relation, RelationMemory, Tuple};
 pub use model::Model;
-pub use profile::{render_profile_json, MetricsSink, ProfileReport, TraceSink};
+pub use profile::{fmt_bytes, render_profile_json, MetricsSink, ProfileReport, TraceSink};
 pub use provenance::{
     explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
     render_why_not_human, render_why_not_json, AggWitness, BodyAtom, Capture, DerivationNode,

@@ -26,7 +26,8 @@
 
 use crate::eval::Strategy;
 use crate::events::{Clock, EventSink, InsertOutcome, SystemClock};
-use crate::interp::{IndexStats, Tuple};
+use crate::interp::{IndexStats, RelationMemory, Tuple};
+use crate::jsonish::json_str;
 use crate::plan::plan_rule;
 use maglog_datalog::{Pred, Program};
 use std::collections::BTreeSet;
@@ -99,6 +100,14 @@ pub struct IndexProfile {
     pub stats: IndexStats,
 }
 
+/// One relation's estimated heap footprint, by predicate name (see
+/// [`RelationMemory`] for the per-component breakdown).
+#[derive(Clone, Debug)]
+pub struct MemoryProfile {
+    pub pred: String,
+    pub memory: RelationMemory,
+}
+
 /// Aggregated profile of one evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileReport {
@@ -109,10 +118,21 @@ pub struct ProfileReport {
     pub rules: Vec<RuleProfile>,
     /// Index telemetry, sorted by predicate name.
     pub indexes: Vec<IndexProfile>,
+    /// Per-relation heap estimates, sorted by predicate name.
+    pub memory: Vec<MemoryProfile>,
     /// Streaming aggregate accumulators created across all components.
     pub agg_groups: u64,
     /// Multiset elements folded across all accumulators.
     pub agg_elements: u64,
+    /// Largest estimated live accumulator-table footprint seen by any
+    /// single aggregate evaluation.
+    pub agg_peak_bytes: u64,
+    /// Live heap per the counting allocator when the report was taken
+    /// (zero when [`crate::alloc::CountingAlloc`] is not installed).
+    pub alloc_current_bytes: u64,
+    /// Allocator high-water mark at report time — per-strategy when the
+    /// host calls [`crate::alloc::reset_peak`] before each run.
+    pub alloc_peak_bytes: u64,
 }
 
 impl ProfileReport {
@@ -138,6 +158,12 @@ impl ProfileReport {
 
     fn total_nanos(&self) -> u64 {
         self.rules.iter().map(|r| r.nanos).sum()
+    }
+
+    /// Sum of the per-relation heap estimates (excludes the aggregate
+    /// accumulators, whose peak is transient).
+    pub fn total_heap_bytes(&self) -> u64 {
+        self.memory.iter().map(|m| m.memory.total() as u64).sum()
     }
 
     /// The `maglog-profile-v1` JSON object for one strategy run (no
@@ -238,9 +264,41 @@ impl ProfileReport {
             ));
         }
         s.push_str("      ],\n");
+        s.push_str("      \"memory\": {\n");
         s.push_str(&format!(
-            "      \"aggregates\": {{\"groups\": {}, \"elements\": {}}}\n",
-            self.agg_groups, self.agg_elements
+            "        \"alloc_current_bytes\": {},\n",
+            self.alloc_current_bytes
+        ));
+        s.push_str(&format!(
+            "        \"alloc_peak_bytes\": {},\n",
+            self.alloc_peak_bytes
+        ));
+        s.push_str(&format!(
+            "        \"relation_heap_bytes\": {},\n",
+            self.total_heap_bytes()
+        ));
+        s.push_str(&format!(
+            "        \"agg_peak_bytes\": {},\n",
+            self.agg_peak_bytes
+        ));
+        s.push_str("        \"relations\": [\n");
+        for (i, m) in self.memory.iter().enumerate() {
+            s.push_str(&format!(
+                "          {{\"pred\": {}, \"heap_bytes\": {}, \"tuple_bytes\": {}, \
+                 \"map_bytes\": {}, \"log_bytes\": {}, \"index_bytes\": {}}}{}\n",
+                json_str(&m.pred),
+                m.memory.total(),
+                m.memory.tuple_bytes,
+                m.memory.map_bytes,
+                m.memory.log_bytes,
+                m.memory.index_bytes,
+                if i + 1 < self.memory.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("        ]\n      },\n");
+        s.push_str(&format!(
+            "      \"aggregates\": {{\"groups\": {}, \"elements\": {}, \"peak_bytes\": {}}}\n",
+            self.agg_groups, self.agg_elements, self.agg_peak_bytes
         ));
         s.push_str("    }");
         s
@@ -302,11 +360,54 @@ impl ProfileReport {
                 ));
             }
         }
+        if !self.memory.is_empty() {
+            s.push_str(&format!(
+                "memory: ~{} in relations",
+                fmt_bytes(self.total_heap_bytes())
+            ));
+            if self.alloc_peak_bytes > 0 {
+                s.push_str(&format!(
+                    " (allocator: {} live, {} peak)",
+                    fmt_bytes(self.alloc_current_bytes),
+                    fmt_bytes(self.alloc_peak_bytes),
+                ));
+            }
+            s.push('\n');
+            for m in &self.memory {
+                s.push_str(&format!(
+                    "  {}: ~{} (tuples {}, map {}, log {}, indexes {})\n",
+                    m.pred,
+                    fmt_bytes(m.memory.total() as u64),
+                    fmt_bytes(m.memory.tuple_bytes as u64),
+                    fmt_bytes(m.memory.map_bytes as u64),
+                    fmt_bytes(m.memory.log_bytes as u64),
+                    fmt_bytes(m.memory.index_bytes as u64),
+                ));
+            }
+        }
         s.push_str(&format!(
-            "aggregates: {} group(s), {} element(s)\n",
-            self.agg_groups, self.agg_elements
+            "aggregates: {} group(s), {} element(s), peak ~{}\n",
+            self.agg_groups,
+            self.agg_elements,
+            fmt_bytes(self.agg_peak_bytes)
         ));
         s
+    }
+}
+
+/// Render a byte count for humans: `512 B`, `1.4 KiB`, `3.2 MiB`, …
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
     }
 }
 
@@ -337,8 +438,10 @@ pub struct MetricsSink<'p> {
     /// plan are resolved in [`finish`](Self::finish)).
     rules: Vec<(usize, RuleProfile)>,
     indexes: Vec<IndexProfile>,
+    memory: Vec<MemoryProfile>,
     agg_groups: u64,
     agg_elements: u64,
+    agg_peak_bytes: u64,
     cur_round: Option<RoundProfile>,
     fire_started: u64,
 }
@@ -358,8 +461,10 @@ impl<'p> MetricsSink<'p> {
             components: Vec::new(),
             rules: Vec::new(),
             indexes: Vec::new(),
+            memory: Vec::new(),
             agg_groups: 0,
             agg_elements: 0,
+            agg_peak_bytes: 0,
             cur_round: None,
             fire_started: 0,
         }
@@ -391,13 +496,18 @@ impl<'p> MetricsSink<'p> {
             })
             .collect();
         self.indexes.sort_by(|a, b| a.pred.cmp(&b.pred));
+        self.memory.sort_by(|a, b| a.pred.cmp(&b.pred));
         ProfileReport {
             strategy: self.strategy.name(),
             components: self.components,
             rules,
             indexes: self.indexes,
+            memory: self.memory,
             agg_groups: self.agg_groups,
             agg_elements: self.agg_elements,
+            agg_peak_bytes: self.agg_peak_bytes,
+            alloc_current_bytes: crate::alloc::current_bytes() as u64,
+            alloc_peak_bytes: crate::alloc::peak_bytes() as u64,
         }
     }
 }
@@ -479,9 +589,10 @@ impl EventSink for MetricsSink<'_> {
         self.rule_entry(rule).derivations += derivations;
     }
 
-    fn aggregate_totals(&mut self, groups: u64, elements: u64) {
+    fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {
         self.agg_groups += groups;
         self.agg_elements += elements;
+        self.agg_peak_bytes = self.agg_peak_bytes.max(peak_bytes);
     }
 
     fn component_end(&mut self, _component: usize, rounds: usize) {
@@ -497,6 +608,17 @@ impl EventSink for MetricsSink<'_> {
             sigs,
             stats,
         });
+    }
+
+    fn relation_memory(&mut self, pred: Pred, memory: RelationMemory) {
+        self.memory.push(MemoryProfile {
+            pred: self.program.pred_name(pred),
+            memory,
+        });
+    }
+
+    fn wants_relation_memory(&self) -> bool {
+        true
     }
 }
 
@@ -625,26 +747,6 @@ impl EventSink for TraceSink<'_> {
     }
 }
 
-/// Minimal JSON string escaping (same dialect as the bench renderer —
-/// the workspace has no serde).
-pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,7 +849,41 @@ mod tests {
     }
 
     #[test]
-    fn json_str_escapes() {
-        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    fn report_carries_relation_memory() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = MetricsSink::with_clock(
+            &p,
+            Strategy::SemiNaive,
+            Box::new(ManualClock::with_step(1)),
+        );
+        MonotonicEngine::new(&p)
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .unwrap();
+        let report = sink.finish();
+        // Both relations report a breakdown whose parts sum to the total.
+        assert_eq!(report.memory.len(), 2);
+        for m in &report.memory {
+            assert!(m.memory.tuple_bytes > 0, "{}: no tuple bytes", m.pred);
+            assert!(m.memory.map_bytes > 0, "{}: no map bytes", m.pred);
+            assert_eq!(
+                m.memory.total(),
+                m.memory.tuple_bytes
+                    + m.memory.map_bytes
+                    + m.memory.log_bytes
+                    + m.memory.index_bytes
+            );
+        }
+        assert!(report.total_heap_bytes() > 0);
+        let json = render_profile_json("tc", &[report]);
+        assert!(json.contains("\"memory\""));
+        assert!(json.contains("\"heap_bytes\""));
+        assert!(json.contains("\"alloc_peak_bytes\""));
+    }
+
+    #[test]
+    fn fmt_bytes_picks_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
     }
 }

@@ -20,7 +20,7 @@
 //! [`crate::eval::MonotonicEngine::evaluate_with_provenance`].
 
 use crate::interp::{Interp, Tuple};
-use crate::profile::json_str;
+use crate::jsonish::json_str;
 use crate::value::{RuntimeDomain, Value};
 use maglog_datalog::{AggFunc, Pred, Program};
 use std::collections::HashMap;
@@ -119,6 +119,34 @@ impl Provenance {
             .get(&(pred, Arc::new(key.clone())))
             .and_then(|idxs| idxs.last())
             .map(|&i| &self.nodes[i])
+    }
+
+    /// Estimated heap bytes owned by the committed DAG: node storage,
+    /// body/witness vectors, and the per-key chain table. Keys are
+    /// `Arc<Tuple>`s shared with the relations that derived them, so they
+    /// are *not* counted here (the relation owns them); like the other
+    /// `heap_bytes` estimates this stays at or below the allocator's view.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.nodes.capacity() * size_of::<DerivationNode>()
+            + self.chains.capacity()
+                * (size_of::<(Pred, Arc<Tuple>)>() + size_of::<Vec<usize>>() + 1);
+        for idxs in self.chains.values() {
+            bytes += idxs.capacity() * size_of::<usize>();
+        }
+        for node in &self.nodes {
+            bytes += node.body.capacity() * size_of::<BodyAtom>();
+            bytes += node.aggs.capacity() * size_of::<AggWitness>();
+            bytes += node.cost.iter().map(Value::heap_bytes).sum::<usize>();
+            for agg in &node.aggs {
+                bytes += agg.witnesses.capacity() * size_of::<(Value, Vec<BodyAtom>)>();
+                for (value, atoms) in &agg.witnesses {
+                    bytes += value.heap_bytes()
+                        + atoms.capacity() * size_of::<BodyAtom>();
+                }
+            }
+        }
+        bytes
     }
 
     fn commit(&mut self, node: DerivationNode) {

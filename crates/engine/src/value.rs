@@ -76,6 +76,24 @@ impl Value {
         }
     }
 
+    /// Estimated heap bytes owned by this value — zero for the inline
+    /// variants, the shared `BTreeSet` tree for set costs. A deliberate
+    /// under-estimate (B-tree node headers and allocator slack are not
+    /// modeled), so sums of `heap_bytes` stay at or below what the
+    /// counting allocator reports.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Set(items) => {
+                std::mem::size_of::<BTreeSet<Value>>()
+                    + items
+                        .iter()
+                        .map(|v| std::mem::size_of::<Value>() + v.heap_bytes())
+                        .sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+
     pub fn from_const(c: Const) -> Value {
         match c {
             Const::Sym(s) => Value::Sym(s),

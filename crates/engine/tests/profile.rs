@@ -12,9 +12,14 @@
 
 use maglog_datalog::parse_program;
 use maglog_engine::{
-    Edb, EvalError, EvalOptions, Fanout, ManualClock, MetricsSink, MonotonicEngine, NoopSink,
-    ProfileReport, Strategy, TraceSink,
+    alloc, Edb, EvalError, EvalOptions, Fanout, ManualClock, MetricsSink, MonotonicEngine,
+    NoopSink, ProfileReport, Strategy, TraceSink,
 };
+
+/// Installed for the whole test binary so the memory-accounting tests can
+/// check the structural estimates against real allocator figures.
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Example 3.1's shortest-path instance: arcs a→b (1) and b→b (0).
 const SHORTEST_PATH: &str = r#"
@@ -147,6 +152,73 @@ fn greedy_profile_is_deterministic() {
     assert_eq!(queued, vec![1, 1, 0, 1, 1, 0]);
     for round in &r.components[0].rounds_detail {
         assert_eq!(round.deltas.iter().map(|(_, n)| n).sum::<usize>(), 1);
+    }
+}
+
+#[test]
+fn memory_accounting_is_internally_consistent() {
+    // The per-structure estimates are deliberately conservative
+    // (under-counting hash-control and allocator slack), so their sum must
+    // stay at or below what the real allocator measured at its peak.
+    for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Greedy] {
+        let program = parse_program(SHORTEST_PATH).unwrap();
+        let engine = MonotonicEngine::with_options(
+            &program,
+            EvalOptions {
+                strategy,
+                ..Default::default()
+            },
+        );
+        let mut sink = MetricsSink::new(&program, strategy);
+        alloc::reset_peak();
+        engine.evaluate_with_sink(&Edb::new(), &mut sink).unwrap();
+        let r = sink.finish();
+
+        assert!(alloc::installed(), "test binary installs the allocator");
+        assert!(r.alloc_peak_bytes > 0, "{}: peak not captured", r.strategy);
+        assert!(r.alloc_current_bytes > 0);
+        assert!(
+            r.alloc_current_bytes <= r.alloc_peak_bytes,
+            "{}: live {} exceeds peak {}",
+            r.strategy,
+            r.alloc_current_bytes,
+            r.alloc_peak_bytes
+        );
+
+        // Every touched relation reports a breakdown whose parts sum to
+        // its total, and the database estimate fits under the real peak.
+        assert_eq!(r.memory.len(), 3, "{}: arc, path, s", r.strategy);
+        let mut relation_total = 0;
+        for m in &r.memory {
+            assert_eq!(
+                m.memory.total(),
+                m.memory.tuple_bytes + m.memory.map_bytes + m.memory.log_bytes
+                    + m.memory.index_bytes,
+                "{}: {} breakdown does not sum",
+                r.strategy,
+                m.pred
+            );
+            assert!(m.memory.total() > 0, "{}: {} empty", r.strategy, m.pred);
+            relation_total += m.memory.total();
+        }
+        assert_eq!(relation_total as u64, r.total_heap_bytes());
+        assert!(
+            relation_total as u64 + r.agg_peak_bytes <= r.alloc_peak_bytes,
+            "{}: estimated {} + agg {} exceeds allocator peak {}",
+            r.strategy,
+            relation_total,
+            r.agg_peak_bytes,
+            r.alloc_peak_bytes
+        );
+
+        // Only naive rebuilds accumulator tables (semi-naive and greedy
+        // relax this min-aggregate into a join-fold, so no groups exist).
+        match strategy {
+            Strategy::Naive => {
+                assert!(r.agg_peak_bytes > 0, "naive: no aggregate peak")
+            }
+            _ => assert_eq!(r.agg_peak_bytes, 0, "{}: unexpected groups", r.strategy),
+        }
     }
 }
 

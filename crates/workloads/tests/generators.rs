@@ -1,0 +1,107 @@
+//! Generator contract tests: every synthetic-instance generator is
+//! deterministic for a fixed seed (the benchmark harness depends on this —
+//! `maglog bench` must measure the same instance every run), and the
+//! shipped benchmark sizes scale monotonically, so "bigger size" really
+//! means "more work".
+
+use maglog_datalog::parse_program;
+use maglog_workloads::{
+    programs, random_circuit, random_digraph, random_ownership, random_party,
+};
+
+#[test]
+fn digraph_is_deterministic_per_seed() {
+    for n in [16usize, 32, 64] {
+        let seed = 77 + n as u64;
+        let a = random_digraph(n, 3.0, (1.0, 9.0), seed);
+        let b = random_digraph(n, 3.0, (1.0, 9.0), seed);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.arcs, b.arcs, "digraph n={n} drifted across calls");
+        assert!(!a.arcs.is_empty());
+        // A different seed actually changes the instance.
+        let c = random_digraph(n, 3.0, (1.0, 9.0), seed + 1);
+        assert_ne!(a.arcs, c.arcs, "digraph n={n} ignores its seed");
+    }
+}
+
+#[test]
+fn ownership_is_deterministic_per_seed() {
+    for n in [16usize, 32, 64] {
+        let seed = 99 + n as u64;
+        let a = random_ownership(n, 4, 0.5, 0.3, seed);
+        let b = random_ownership(n, 4, 0.5, 0.3, seed);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.shares, b.shares, "ownership n={n} drifted across calls");
+        assert!(!a.shares.is_empty());
+        let c = random_ownership(n, 4, 0.5, 0.3, seed + 1);
+        assert_ne!(a.shares, c.shares, "ownership n={n} ignores its seed");
+    }
+}
+
+#[test]
+fn circuit_is_deterministic_per_seed() {
+    for gates in [64usize, 256, 1024] {
+        let seed = 7 + gates as u64;
+        let a = random_circuit(16, gates, 2, 0.3, seed);
+        let b = random_circuit(16, gates, 2, 0.3, seed);
+        assert_eq!(a.n_gates, gates);
+        assert_eq!(a.inputs, b.inputs, "circuit gates={gates} inputs drifted");
+        assert_eq!(a.gates, b.gates, "circuit gates={gates} drifted");
+        let c = random_circuit(16, gates, 2, 0.3, seed + 1);
+        assert!(
+            a.gates != c.gates || a.inputs != c.inputs,
+            "circuit gates={gates} ignores its seed"
+        );
+    }
+}
+
+#[test]
+fn party_is_deterministic_per_seed() {
+    for n in [64usize, 256, 1024] {
+        let seed = 13 + n as u64;
+        let a = random_party(n, 6.0, 0.15, seed);
+        let b = random_party(n, 6.0, 0.15, seed);
+        assert_eq!(a.n(), n);
+        assert_eq!(a.knows, b.knows, "party n={n} drifted across calls");
+        assert_eq!(a.requires, b.requires, "party n={n} drifted across calls");
+        let c = random_party(n, 6.0, 0.15, seed + 1);
+        assert_ne!(
+            (a.knows, a.requires),
+            (c.knows, c.requires),
+            "party n={n} ignores its seed"
+        );
+    }
+}
+
+/// EDB fact counts grow strictly with the benchmark's shipped sizes and
+/// seeds (the exact parameter tuples `maglog bench` measures).
+#[test]
+fn bench_sizes_scale_monotonically() {
+    let sp = parse_program(programs::SHORTEST_PATH).unwrap();
+    let sizes: Vec<usize> = [16usize, 32, 64]
+        .iter()
+        .map(|&n| random_digraph(n, 3.0, (1.0, 9.0), 77 + n as u64).to_edb(&sp).len())
+        .collect();
+    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "digraph: {sizes:?}");
+
+    let cc = parse_program(programs::COMPANY_CONTROL).unwrap();
+    let sizes: Vec<usize> = [16usize, 32, 64]
+        .iter()
+        .map(|&n| random_ownership(n, 4, 0.5, 0.3, 99 + n as u64).to_edb(&cc).len())
+        .collect();
+    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "ownership: {sizes:?}");
+
+    let cp = parse_program(programs::CIRCUIT).unwrap();
+    let sizes: Vec<usize> = [64usize, 256, 1024]
+        .iter()
+        .map(|&g| random_circuit(16, g, 2, 0.3, 7 + g as u64).to_edb(&cp).len())
+        .collect();
+    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "circuit: {sizes:?}");
+
+    let pp = parse_program(programs::PARTY).unwrap();
+    let sizes: Vec<usize> = [64usize, 256, 1024]
+        .iter()
+        .map(|&n| random_party(n, 6.0, 0.15, 13 + n as u64).to_edb(&pp).len())
+        .collect();
+    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "party: {sizes:?}");
+}

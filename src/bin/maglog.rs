@@ -4,6 +4,7 @@
 //! maglog check  [opts] <program.mgl>     run the static battery and report
 //! maglog run    [opts] <program.mgl> [pred...]  evaluate; print the model
 //! maglog profile [opts] <program.mgl>    fixpoint profiler (maglog-profile-v1)
+//! maglog bench  [opts]                   benchmark matrix (maglog-bench-v2)
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! maglog explain [opts] <program.mgl> '<fact>'   why / why-not a fact
@@ -32,9 +33,23 @@
 //! --depth <N>                  bound the rendered derivation tree (default 8)
 //! ```
 //!
-//! `run` options: `--stats` (profiler report on stderr), `--explain <pred>`
-//! (dump derivations + aggregate witnesses of every tuple of `pred`),
-//! `--max-rounds <N>` (per-component fixpoint cap).
+//! `run` options: `--stats` (profiler report on stderr, plus a per-phase
+//! parse/analyze/plan/eval wall-clock and allocation split), `--explain
+//! <pred>` (dump derivations + aggregate witnesses of every tuple of
+//! `pred`), `--max-rounds <N>` (per-component fixpoint cap).
+//!
+//! `bench` options:
+//!
+//! ```text
+//! --samples N           timed samples per cell (default 5)
+//! --warmup N            untimed warm-up runs per cell (default 1)
+//! --workloads a,b       restrict to these workloads
+//! --sizes n,m           restrict to these sizes
+//! --format=human|json   table, or the maglog-bench-v2 document on stdout
+//! --out FILE            also write the v2 document to FILE
+//! --baseline FILE       gate medians against a v1/v2 baseline document
+//! --gate RATIO          regression threshold (default 1.25; needs --baseline)
+//! ```
 //!
 //! Programs are text files in the maglog rule language; facts can be given
 //! inline (`arc(a, b, 1).`). Exit codes: 0 on success, 1 when `check`
@@ -45,29 +60,45 @@ use maglog::analysis::diag::{
     check_source, render_human, render_json, Code, LintConfig, Severity, SourceCheck,
 };
 use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
+use maglog::bench::v2;
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::{
-    explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
-    render_profile_json, render_why_not_human, render_why_not_json, why_not, Edb, EvalOptions,
-    Fanout, MetricsSink, Model, MonotonicEngine, Strategy, TraceSink, Tuple,
+    alloc, explain_tree, fmt_bytes, parse_goal, render_explain_dot, render_explain_human,
+    render_explain_json, render_profile_json, render_why_not_human, render_why_not_json, why_not,
+    Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Strategy, TraceSink, Tuple,
 };
 use std::process::ExitCode;
 
+/// Count heap traffic so `profile`, `run --stats`, and `bench` report real
+/// allocator figures (library code reads zeros without this install).
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
 const USAGE: &str = "\
-usage: maglog <check|run|profile|compare|explain> <program.mgl> [args]
+usage: maglog <check|run|profile|bench|compare|explain> [args]
 
   check   [--format=human|json] [--deny <CODE|all>] [--allow <CODE>] <program.mgl>
   run     [--stats] [--explain <pred>] [--max-rounds <N>] <program.mgl> [pred...]
   profile [--format=human|json] [--strategy=naive|seminaive|greedy] <program.mgl>
+  bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
+          [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
 
 profile evaluates under every strategy (or just --strategy) and reports
-per-round deltas, per-rule counters, and index telemetry; --format=json
-emits the maglog-profile-v1 document. run --stats appends the same report
-for the default strategy to stderr; run --explain <pred> dumps the
-derivation (with aggregate witnesses) of every tuple of <pred>.
+per-round deltas, per-rule counters, index telemetry, and memory (per-
+relation heap estimates plus allocator peaks); --format=json emits the
+maglog-profile-v1 document. run --stats appends the same report for the
+default strategy to stderr; run --explain <pred> dumps the derivation
+(with aggregate witnesses) of every tuple of <pred>.
+
+bench measures the built-in workload matrix (shortest_path,
+company_control, circuit, party) under all three strategies: median, min,
+and MAD over --samples timed runs, throughput, and peak heap per cell.
+--format=json prints the maglog-bench-v2 document; with --baseline the
+run's medians are gated against a committed v1 or v2 document and any
+cell slower than baseline x RATIO (default 1.25) fails the run.
 
 explain with a quoted fact answers WHY it holds — a depth-bounded
 derivation tree with rule firings, cost-refinement history, and aggregate
@@ -210,6 +241,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "bench" {
+        let opts = match parse_bench_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
+        let cfg = v2::BenchConfig {
+            samples: opts.samples,
+            warmup: opts.warmup,
+            workloads: opts.workloads.clone(),
+            sizes: opts.sizes.clone(),
+        };
+        // Filter problems (unknown workloads, sizes matching nothing) are
+        // usage errors, caught before any measurement runs.
+        if let Err(msg) = v2::plan(&cfg) {
+            return usage_exit(&msg);
+        }
+        return match cmd_bench(&cfg, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cmd == "explain" {
         let (opts, operands) = match parse_explain_opts(rest) {
             Ok(x) => x,
@@ -299,6 +354,154 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
         }
     }
     Ok((opts, operands))
+}
+
+struct BenchOpts {
+    samples: usize,
+    warmup: usize,
+    workloads: Vec<String>,
+    sizes: Vec<usize>,
+    format: Format,
+    out: Option<String>,
+    baseline: Option<String>,
+    gate: f64,
+}
+
+fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
+    let mut opts = BenchOpts {
+        samples: 5,
+        warmup: 1,
+        workloads: Vec::new(),
+        sizes: Vec::new(),
+        format: Format::Human,
+        out: None,
+        baseline: None,
+        gate: 1.25,
+    };
+    let mut gate_set = false;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--samples" => {
+                let v = value("--samples")?;
+                opts.samples = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| {
+                        ArgError::Usage(format!("--samples needs a positive integer, got '{v}'"))
+                    })?;
+            }
+            "--warmup" => {
+                let v = value("--warmup")?;
+                opts.warmup = v.parse().map_err(|_| {
+                    ArgError::Usage(format!("--warmup needs a non-negative integer, got '{v}'"))
+                })?;
+            }
+            "--workloads" => {
+                let v = value("--workloads")?;
+                opts.workloads = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if opts.workloads.is_empty() {
+                    return Err(ArgError::Usage("--workloads needs at least one name".into()));
+                }
+            }
+            "--sizes" => {
+                let v = value("--sizes")?;
+                let mut sizes = Vec::new();
+                for part in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    sizes.push(part.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(
+                        || {
+                            ArgError::Usage(format!(
+                                "--sizes wants positive integers, got '{part}'"
+                            ))
+                        },
+                    )?);
+                }
+                if sizes.is_empty() {
+                    return Err(ArgError::Usage("--sizes needs at least one size".into()));
+                }
+                opts.sizes = sizes;
+            }
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(ArgError::Usage(format!("unknown format '{other}'")))
+                    }
+                };
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--gate" => {
+                let v = value("--gate")?;
+                opts.gate = v
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| {
+                        ArgError::Usage(format!("--gate needs a positive ratio, got '{v}'"))
+                    })?;
+                gate_set = true;
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            other => {
+                return Err(ArgError::Usage(format!(
+                    "bench takes no positional arguments, got '{other}'"
+                )));
+            }
+        }
+    }
+    if gate_set && opts.baseline.is_none() {
+        return Err(ArgError::Usage("--gate requires --baseline".into()));
+    }
+    Ok(opts)
+}
+
+/// Run the configured benchmark matrix; emit the table or the
+/// `maglog-bench-v2` document; optionally gate against a baseline.
+fn cmd_bench(cfg: &v2::BenchConfig, opts: &BenchOpts) -> Result<(), String> {
+    let measurements = v2::run_config(cfg, |line| eprintln!("{line}"))?;
+    let env = v2::environment(cfg);
+    let doc = v2::render_v2(&env, &measurements);
+    match opts.format {
+        Format::Human => print!("{}", v2::render_human(&env, &measurements)),
+        Format::Json => print!("{doc}"),
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = v2::parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = v2::gate(&measurements, &baseline, opts.gate);
+        eprint!("{}", v2::render_gate(&outcome, opts.gate));
+        if !outcome.passed() {
+            return Err(format!(
+                "{} benchmark regression(s) against {path}",
+                outcome.regressions.len()
+            ));
+        }
+    }
+    Ok(())
 }
 
 struct RunOpts {
@@ -448,29 +651,62 @@ fn cmd_check(path: &str, opts: &CheckOpts) -> Result<(), String> {
     }
 }
 
+/// One `run` pipeline phase's wall clock and allocation traffic
+/// (cumulative-allocation delta, so freed memory still counts as work).
+struct Phase {
+    name: &'static str,
+    secs: f64,
+    alloc_bytes: usize,
+}
+
+fn run_phase<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let before = alloc::total_allocated_bytes();
+    let out = f();
+    phases.push(Phase {
+        name,
+        secs: start.elapsed().as_secs_f64(),
+        alloc_bytes: alloc::total_allocated_bytes().saturating_sub(before),
+    });
+    out
+}
+
 fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
-    let program = load(path)?;
+    let mut phases = Vec::new();
+    let program = run_phase(&mut phases, "parse", || load(path))?;
+    if opts.stats {
+        // Evaluation doesn't need the static battery, but the phase split
+        // should report what the full check-then-run pipeline costs.
+        run_phase(&mut phases, "analyze", || {
+            std::hint::black_box(maglog::analysis::check_program(&program));
+        });
+    }
     let mut eval_options = EvalOptions::default();
     if let Some(max_rounds) = opts.max_rounds {
         eval_options.max_rounds = max_rounds;
     }
-    let engine = MonotonicEngine::with_options(&program, eval_options);
+    let engine = run_phase(&mut phases, "plan", || {
+        MonotonicEngine::with_options(&program, eval_options)
+    });
     let mut provenance = None;
-    let (model, report): (Model, Option<String>) = if opts.stats {
-        let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
-        let model = engine
-            .evaluate_with_sink(&Edb::new(), &mut sink)
-            .map_err(|e| e.to_string())?;
-        (model, Some(sink.finish().render_human()))
-    } else if opts.explain.is_some() {
-        let (model, prov) = engine
-            .evaluate_with_provenance(&Edb::new())
-            .map_err(|e| e.to_string())?;
-        provenance = Some(prov);
-        (model, None)
-    } else {
-        (engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None)
-    };
+    let (model, report): (Model, Option<String>) =
+        run_phase(&mut phases, "eval", || -> Result<_, String> {
+            if opts.stats {
+                let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
+                let model = engine
+                    .evaluate_with_sink(&Edb::new(), &mut sink)
+                    .map_err(|e| e.to_string())?;
+                Ok((model, Some(sink.finish().render_human())))
+            } else if opts.explain.is_some() {
+                let (model, prov) = engine
+                    .evaluate_with_provenance(&Edb::new())
+                    .map_err(|e| e.to_string())?;
+                provenance = Some(prov);
+                Ok((model, None))
+            } else {
+                Ok((engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None))
+            }
+        })?;
     if preds.is_empty() {
         println!("{}", model.render(&program));
     } else {
@@ -497,6 +733,20 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         per_component,
         model.stats().firings
     );
+    if opts.stats {
+        let parts: Vec<String> = phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "{} {} / {}",
+                    p.name,
+                    maglog::bench::fmt_secs(p.secs),
+                    fmt_bytes(p.alloc_bytes as u64)
+                )
+            })
+            .collect();
+        eprintln!("-- phases: {}", parts.join(", "));
+    }
     if let Some(report) = report {
         eprint!("{report}");
     }
@@ -514,6 +764,10 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
                     .1
             }
         };
+        eprintln!(
+            "-- provenance store: ~{}",
+            fmt_bytes(prov.heap_bytes() as u64)
+        );
         println!("-- derivations of {pred_name} --");
         for (key, _cost) in model.tuples_of(&program, pred_name) {
             let tuple = Tuple::new(key);
@@ -576,6 +830,9 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
             },
         );
         let mut sink = Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy));
+        // Scope the allocator peak to this strategy's evaluation, so each
+        // report's alloc_peak_bytes is a per-strategy high-water mark.
+        alloc::reset_peak();
         engine
             .evaluate_with_sink(&Edb::new(), &mut sink)
             .map_err(|e| format!("[{}] {e}", strategy.name()))?;

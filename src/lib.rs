@@ -16,7 +16,10 @@
 //! * [`baselines`] — stratified evaluation, Kemp–Stuckey well-founded and
 //!   stable semantics, Ganguly–Greco–Zaniolo rewriting, and direct
 //!   algorithms (Dijkstra et al.);
-//! * [`workloads`] — paper programs and synthetic instance generators.
+//! * [`workloads`] — paper programs and synthetic instance generators;
+//! * [`bench`] — the measurement harness behind `maglog bench` and the
+//!   experiments binary (statistics, the `maglog-bench-v2` schema, and
+//!   regression gating).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use maglog_analysis as analysis;
 pub use maglog_baselines as baselines;
+pub use maglog_bench as bench;
 pub use maglog_datalog as datalog;
 pub use maglog_engine as engine;
 pub use maglog_lattice as lattice;

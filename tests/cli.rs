@@ -118,6 +118,160 @@ fn profile_rejects_bad_flag_values() {
 }
 
 #[test]
+fn profile_json_reports_memory_accounting() {
+    let out = maglog(&["profile", "--format=json", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"memory\""), "{text}");
+    assert!(text.contains("\"relation_heap_bytes\""), "{text}");
+    assert!(text.contains("\"tuple_bytes\""), "{text}");
+    assert!(text.contains("\"index_bytes\""), "{text}");
+    // The binary installs the counting allocator, so the real allocator
+    // figures must be present and nonzero.
+    assert!(text.contains("\"alloc_peak_bytes\""), "{text}");
+    assert!(!text.contains("\"alloc_peak_bytes\": 0,"), "{text}");
+}
+
+#[test]
+fn run_stats_reports_the_phase_split() {
+    let out = maglog(&["run", "--stats", "programs/shortest_path.mgl", "s"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("-- phases: parse "), "{err}");
+    for phase in ["analyze ", "plan ", "eval "] {
+        assert!(err.contains(phase), "{err}");
+    }
+    // Each phase reports wall clock and allocation traffic.
+    assert!(err.contains(" / "), "{err}");
+    assert!(err.contains("memory:"), "{err}");
+}
+
+#[test]
+fn bench_rejects_bad_flags_with_exit_2() {
+    for args in [
+        &["bench", "--samples", "0"][..],
+        &["bench", "--samples", "abc"][..],
+        &["bench", "--warmup", "-1"][..],
+        &["bench", "--sizes", "16,zap"][..],
+        &["bench", "--sizes", "7"][..],
+        &["bench", "--workloads", "nope"][..],
+        &["bench", "--workloads", "circuit", "--sizes", "16"][..],
+        &["bench", "--format=xml"][..],
+        &["bench", "--gate", "1.25"][..], // --gate without --baseline
+        &["bench", "--gate", "-2", "--baseline", "BENCH_engine.json"][..],
+        &["bench", "--frobnicate"][..],
+        &["bench", "stray-operand"][..],
+    ] {
+        let out = maglog(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("usage"), "{args:?}: {}", stderr(&out));
+    }
+}
+
+/// One tiny measured cell drives the whole bench pipeline: v2 JSON out,
+/// self-baseline gating (pass), and doctored fast baselines in both
+/// schemas (fail with exit 1).
+#[test]
+fn bench_emits_v2_json_and_gates_against_baselines() {
+    let dir = std::env::temp_dir().join("maglog_cli_bench_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("self.json");
+    let cell = &[
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--workloads",
+        "shortest_path",
+        "--sizes",
+        "16",
+    ][..];
+
+    // JSON emission: v2 schema with environment header and per-strategy stats.
+    let out = maglog(
+        &[&["bench", "--format=json", "--out", baseline.to_str().unwrap()], cell].concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = stdout(&out);
+    assert!(doc.contains("\"schema\": \"maglog-bench-v2\""), "{doc}");
+    assert!(doc.contains("\"environment\""), "{doc}");
+    assert!(doc.contains("\"rustc\""), "{doc}");
+    assert!(doc.contains("\"median_secs\""), "{doc}");
+    assert!(doc.contains("\"mad_secs\""), "{doc}");
+    assert!(doc.contains("\"peak_heap_bytes\""), "{doc}");
+    assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+    assert_eq!(doc, std::fs::read_to_string(&baseline).unwrap());
+
+    // Gating the same cell against its own fresh baseline passes (the
+    // generous ratio absorbs scheduler noise between the two runs).
+    let out = maglog(
+        &[
+            &["bench", "--baseline", baseline.to_str().unwrap(), "--gate", "1000"],
+            cell,
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("gate: OK"), "{}", stderr(&out));
+
+    // A doctored v2 baseline claiming near-zero medians fails the gate.
+    let doctored = dir.join("fast.json");
+    std::fs::write(
+        &doctored,
+        std::fs::read_to_string(&baseline)
+            .unwrap()
+            .replace("\"median_secs\": 0.", "\"median_secs\": 0.000000000"),
+    )
+    .unwrap();
+    let out = maglog(&[&["bench", "--baseline", doctored.to_str().unwrap()], cell].concat());
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("REGRESSION shortest_path/16"), "{err}");
+    assert!(err.contains("gate: FAIL"), "{err}");
+
+    // The legacy v1 schema still reads as a baseline (its min-of-samples
+    // figure stands in for the median) — same doctored-fast failure.
+    let v1 = dir.join("fast_v1.json");
+    std::fs::write(
+        &v1,
+        r#"{"schema": "maglog-bench-v1", "commit": "x", "samples": 1, "workloads": [
+  {"workload": "shortest_path", "size": 16, "edb_facts": 48, "tuples": 900,
+   "rounds": {"seminaive": 4, "naive": 4, "greedy": 40},
+   "seconds": {"seminaive": 1e-9, "naive": 1e-9, "greedy": 1e-9}}]}"#,
+    )
+    .unwrap();
+    let out = maglog(&[&["bench", "--baseline", v1.to_str().unwrap()], cell].concat());
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("gate: FAIL"), "{}", stderr(&out));
+
+    // An unreadable or corrupt baseline is a runtime failure, not usage.
+    let out = maglog(&[&["bench", "--baseline", "/nonexistent/base.json"], cell].concat());
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
+fn bench_human_table_lists_every_strategy() {
+    let out = maglog(&[
+        "bench",
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--workloads",
+        "shortest_path",
+        "--sizes",
+        "16",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("maglog bench: commit "), "{text}");
+    for strategy in ["seminaive", "naive", "greedy"] {
+        assert!(text.contains(strategy), "{text}");
+    }
+    assert!(text.contains("peak heap"), "{text}");
+}
+
+#[test]
 fn compare_reports_undefined_atoms() {
     let out = maglog(&["compare", "programs/company_control.mgl"]);
     assert!(out.status.success(), "{}", stderr(&out));
