@@ -1,0 +1,333 @@
+//! Binding-pattern / magic-set style demand analysis for ground-head point
+//! queries, driven off the dependency graph.
+//!
+//! A point query `s(a, b)?` does not need the whole least model — only the
+//! **derivation cone** of `s` (the predicates `s` transitively depends on)
+//! and, within `s`'s own recursive component, only the tuples that carry
+//! the queried constant. The analysis here proves when that restriction is
+//! sound:
+//!
+//! A key position `j` of a component predicate `g` admits a **uniform
+//! stable binding** when there is an assignment `pos(p)` of one key
+//! position to every predicate of the component, with `pos(g) = j`, such
+//! that for *every* rule of the component
+//!
+//! * the head's term at `pos(head)` is a variable `v`, and
+//! * every component-predicate occurrence in the body (positive, negated,
+//!   or an aggregate conjunct) carries exactly `v` at its assigned
+//!   position.
+//!
+//! Then every tuple in a derivation tree of a `g`-tuple with constant `a`
+//! at position `j` itself carries `a` at its predicate's assigned position
+//! (induction down the tree), so seeding `v := a` into every rule of the
+//! component derives precisely the cone of the query — including complete
+//! aggregate groups, because the bound variable is necessarily a grouping
+//! variable of any aggregate it reaches. The engine's `--optimize=demand`
+//! mode uses [`uniform_binding`] to build exactly that seeding, and skips
+//! components disjoint from [`derivation_cone`] altogether.
+
+use maglog_datalog::{
+    graph::{components, Component, DepGraph},
+    Atom, Literal, Pred, Program, Term, Var,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Demand verdict for one program component, index-aligned with
+/// [`maglog_datalog::graph::components`].
+#[derive(Clone, Debug)]
+pub struct ComponentDemand {
+    /// Predicates of the component (its CDB).
+    pub preds: BTreeSet<Pred>,
+    /// Rule indices (into `program.rules`).
+    pub rule_indices: Vec<usize>,
+    /// Is the component actually recursive (some body references a
+    /// component predicate)? Non-recursive components evaluate in one
+    /// round and are not demand candidates.
+    pub recursive: bool,
+    /// Key positions admitting a uniform stable binding, as
+    /// `(pred, position)` pairs in predicate order.
+    pub supported: Vec<(Pred, usize)>,
+}
+
+impl ComponentDemand {
+    /// May a point query on some position of this component be restricted?
+    pub fn restrictable(&self) -> bool {
+        self.recursive && !self.supported.is_empty()
+    }
+}
+
+/// The demand verdict for every component of the program.
+pub fn demand_report(program: &Program) -> Vec<ComponentDemand> {
+    components(program)
+        .iter()
+        .map(|comp| {
+            let recursive = is_recursive(program, comp);
+            let mut supported = Vec::new();
+            if recursive {
+                for &g in &comp.preds {
+                    let keys = key_arity(program, g);
+                    for j in 0..keys {
+                        if uniform_binding(program, comp, g, j).is_some() {
+                            supported.push((g, j));
+                        }
+                    }
+                }
+            }
+            ComponentDemand {
+                preds: comp.preds.clone(),
+                rule_indices: comp.rule_indices.clone(),
+                recursive,
+                supported,
+            }
+        })
+        .collect()
+}
+
+/// Number of key (non-cost) argument positions of `p` (arity inferred
+/// from a defining rule when `p` is undeclared).
+pub fn key_arity(program: &Program, p: Pred) -> usize {
+    let arity = program
+        .arity(p)
+        .or_else(|| {
+            program
+                .rules
+                .iter()
+                .find(|r| r.head.pred == p)
+                .map(|r| r.head.args.len())
+        })
+        .unwrap_or(0);
+    if program.is_cost_pred(p) {
+        arity.saturating_sub(1)
+    } else {
+        arity
+    }
+}
+
+fn is_recursive(program: &Program, comp: &Component) -> bool {
+    comp.rule_indices.iter().any(|&ri| {
+        program.rules[ri].body.iter().any(|lit| match lit {
+            Literal::Pos(a) | Literal::Neg(a) => comp.preds.contains(&a.pred),
+            Literal::Agg(agg) => agg.conjuncts.iter().any(|a| comp.preds.contains(&a.pred)),
+            Literal::Builtin(_) => false,
+        })
+    })
+}
+
+/// Every component-predicate occurrence in a rule body.
+fn cdb_occurrences<'r>(rule: &'r maglog_datalog::Rule, cdb: &BTreeSet<Pred>) -> Vec<&'r Atom> {
+    let mut out = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                if cdb.contains(&a.pred) {
+                    out.push(a);
+                }
+            }
+            Literal::Agg(agg) => {
+                out.extend(agg.conjuncts.iter().filter(|a| cdb.contains(&a.pred)));
+            }
+            Literal::Builtin(_) => {}
+        }
+    }
+    out
+}
+
+/// Find a uniform stable binding assignment for binding key position
+/// `pos` of `goal` within its component. Returns the per-predicate
+/// position assignment, or `None` when no sound assignment exists.
+///
+/// The assignment is found by worklist propagation from the seed — each
+/// unassigned body occurrence adopts the first position carrying the head
+/// variable — followed by a verification pass of the full condition over
+/// every rule with the completed assignment.
+pub fn uniform_binding(
+    program: &Program,
+    comp: &Component,
+    goal: Pred,
+    pos: usize,
+) -> Option<BTreeMap<Pred, usize>> {
+    if !comp.preds.contains(&goal) || pos >= key_arity(program, goal) {
+        return None;
+    }
+    let mut assign: BTreeMap<Pred, usize> = BTreeMap::new();
+    assign.insert(goal, pos);
+
+    // Propagate: rules whose head predicate is assigned push an
+    // assignment onto every unassigned body occurrence.
+    loop {
+        let mut changed = false;
+        for &ri in &comp.rule_indices {
+            let rule = &program.rules[ri];
+            let Some(&hpos) = assign.get(&rule.head.pred) else {
+                continue;
+            };
+            let v = head_var_at(program, &rule.head, hpos)?;
+            for occ in cdb_occurrences(rule, &comp.preds) {
+                if assign.contains_key(&occ.pred) {
+                    continue;
+                }
+                let keys = occ.key_args(program.is_cost_pred(occ.pred));
+                let Some(p) = keys.iter().position(|t| *t == Term::Var(v)) else {
+                    return None; // the bound variable does not reach this occurrence
+                };
+                assign.insert(occ.pred, p);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Verify the full condition: every head assigned and a variable, and
+    // every occurrence carrying exactly that variable at its position.
+    for &ri in &comp.rule_indices {
+        let rule = &program.rules[ri];
+        let &hpos = assign.get(&rule.head.pred)?;
+        let v = head_var_at(program, &rule.head, hpos)?;
+        for occ in cdb_occurrences(rule, &comp.preds) {
+            let &p = assign.get(&occ.pred)?;
+            let keys = occ.key_args(program.is_cost_pred(occ.pred));
+            if keys.get(p) != Some(&Term::Var(v)) {
+                return None;
+            }
+        }
+    }
+    Some(assign)
+}
+
+fn head_var_at(program: &Program, head: &Atom, pos: usize) -> Option<Var> {
+    head.key_args(program.is_cost_pred(head.pred))
+        .get(pos)
+        .and_then(|t| t.as_var())
+}
+
+/// The derivation cone of `goal`: every predicate it transitively depends
+/// on (through positive, negative, and aggregate edges), including itself.
+/// Components disjoint from the cone cannot influence the query's answer.
+pub fn derivation_cone(program: &Program, goal: Pred) -> BTreeSet<Pred> {
+    let graph = DepGraph::build(program);
+    let mut cone = BTreeSet::new();
+    let mut stack = vec![goal];
+    while let Some(p) = stack.pop() {
+        if !cone.insert(p) {
+            continue;
+        }
+        if let Some(succ) = graph.edges.get(&p) {
+            stack.extend(succ.iter().map(|(q, _)| *q));
+        }
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maglog_datalog::parse_program;
+
+    const SHORTEST_PATH: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    fn pred(p: &Program, name: &str) -> Pred {
+        p.find_pred(name).unwrap()
+    }
+
+    #[test]
+    fn shortest_path_source_position_is_restrictable() {
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let comps = components(&p);
+        let comp = comps
+            .iter()
+            .find(|c| c.preds.contains(&pred(&p, "s")))
+            .unwrap();
+        let assign = uniform_binding(&p, comp, pred(&p, "s"), 0).expect("source is stable");
+        assert_eq!(assign.get(&pred(&p, "s")), Some(&0));
+        assert_eq!(assign.get(&pred(&p, "path")), Some(&0));
+        // The target position is NOT stable: the recursive rule extends
+        // paths at the target end, so the bound variable does not reach
+        // the s-occurrence.
+        assert!(uniform_binding(&p, comp, pred(&p, "s"), 1).is_none());
+    }
+
+    #[test]
+    fn demand_report_lists_supported_positions() {
+        let p = parse_program(SHORTEST_PATH).unwrap();
+        let report = demand_report(&p);
+        let comp = report.iter().find(|c| c.recursive).unwrap();
+        assert!(comp.restrictable());
+        let names: Vec<(String, usize)> = comp
+            .supported
+            .iter()
+            .map(|&(q, j)| (p.pred_name(q), j))
+            .collect();
+        assert!(names.contains(&("s".to_string(), 0)), "{names:?}");
+        assert!(names.contains(&("path".to_string(), 0)), "{names:?}");
+        assert!(!names.contains(&("s".to_string(), 1)), "{names:?}");
+    }
+
+    #[test]
+    fn company_control_controller_position_is_restrictable() {
+        let p = parse_program(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        )
+        .unwrap();
+        let report = demand_report(&p);
+        let comp = report.iter().find(|c| c.recursive).unwrap();
+        let names: Vec<(String, usize)> = comp
+            .supported
+            .iter()
+            .map(|&(q, j)| (p.pred_name(q), j))
+            .collect();
+        assert!(names.contains(&("c".to_string(), 0)), "{names:?}");
+        assert!(names.contains(&("cv".to_string(), 0)), "{names:?}");
+        assert!(names.contains(&("m".to_string(), 0)), "{names:?}");
+    }
+
+    #[test]
+    fn party_admits_no_restriction() {
+        // kc swaps the variable between head and body: no stable position.
+        let p = parse_program(
+            r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            "#,
+        )
+        .unwrap();
+        let report = demand_report(&p);
+        let comp = report.iter().find(|c| c.recursive).unwrap();
+        assert!(!comp.restrictable(), "{:?}", comp.supported);
+    }
+
+    #[test]
+    fn cone_excludes_unrelated_predicates() {
+        let p = parse_program(
+            r#"
+            declare pred arc/3 cost min_real.
+            declare pred s/3 cost min_real.
+            s(X, Y, C) :- arc(X, Y, C).
+            unrelated(X) :- other(X).
+            "#,
+        )
+        .unwrap();
+        let cone = derivation_cone(&p, pred(&p, "s"));
+        assert!(cone.contains(&pred(&p, "s")));
+        assert!(cone.contains(&pred(&p, "arc")));
+        assert!(!cone.contains(&pred(&p, "unrelated")));
+        assert!(!cone.contains(&pred(&p, "other")));
+    }
+}

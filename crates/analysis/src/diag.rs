@@ -14,6 +14,7 @@
 //! | MAG04xx | admissibility (Defs. 4.2–4.5)                            |
 //! | MAG05xx | comparison classes (r-monotonicity, stratification)      |
 //! | MAG06xx | termination (Sec. 6.2)                                   |
+//! | MAG07xx | optimization advisories (premappability, demand)         |
 //!
 //! Severities form the lattice `allow < note < warn < deny`; a
 //! [`LintConfig`] reassigns them per code, and only deny-level findings
@@ -163,6 +164,18 @@ codes! {
     TerminationUnknown => ("MAG0601", Note,
         "bottom-up termination is not syntactically guaranteed",
         "Section 6.2, Example 5.1"),
+    Premappable => ("MAG0701", Note,
+        "a recursive aggregate is premappable: pushdown is proven sound",
+        "the premappability (PreM) condition, Zaniolo et al. arXiv:1910.08888"),
+    PushdownRefused => ("MAG0702", Note,
+        "aggregate pushdown refused: a premappability obligation failed",
+        "the premappability (PreM) condition, Zaniolo et al. arXiv:1910.08888"),
+    DemandRestrictable => ("MAG0703", Note,
+        "point queries on this component can be demand-restricted",
+        "the magic-sets demand transformation; cf. arXiv:1707.05681"),
+    DemandUnsupported => ("MAG0704", Note,
+        "no key position of this recursive component admits demand restriction",
+        "the magic-sets demand transformation; cf. arXiv:1707.05681"),
 }
 
 impl Code {
@@ -196,6 +209,149 @@ impl Code {
             }
             _ => return None,
         })
+    }
+
+    /// Long-form description of the code, shown by `maglog check --explain
+    /// MAGxxxx` and mirrored in `docs/lint-codes.md`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::Syntax => {
+                "The source text could not be parsed as a maglog program. Programs \
+                 consist of `declare` directives, facts, rules, aggregate subgoals \
+                 written `V = f W : p(...)` (or `=r` for cost folds), and integrity \
+                 constraints with the head `constraint`."
+            }
+            Code::Arity => {
+                "Every predicate must be used with a single arity, matching its \
+                 declaration when one exists. A mismatch usually indicates a typo'd \
+                 argument list; maglog refuses to guess which occurrence is right."
+            }
+            Code::DefaultDecl => {
+                "A `default` cost declaration is malformed. Default-value cost \
+                 predicates (Section 2.3.2) hold at the lattice bottom for every \
+                 key, so the declaration must name a cost domain with a bottom."
+            }
+            Code::RangeHead => {
+                "A head variable is not limited by the body (or a head cost is not \
+                 quasi-limited). Range restriction (Definition 2.5) is what keeps \
+                 bottom-up evaluation inside the finite active domain (Lemma 2.2); \
+                 an unlimited head variable would denote infinitely many tuples."
+            }
+            Code::RangeNegated => {
+                "A variable of a negated subgoal is not limited by the positive \
+                 part of the body. Negation-as-failure is only finitely testable \
+                 over a finite candidate set."
+            }
+            Code::RangeDefault => {
+                "A variable of a default-value subgoal is not limited elsewhere. \
+                 Default-value predicates hold for *every* key, so they cannot \
+                 limit their own arguments; some positive non-default subgoal must."
+            }
+            Code::RangeAggregate => {
+                "An aggregate's grouping or local variable is not limited inside \
+                 the aggregate's own conjunction, so the multiset being folded \
+                 would be infinite."
+            }
+            Code::RangeBuiltin => {
+                "A built-in subgoal uses a variable that is neither limited (bound \
+                 to finitely many values) nor quasi-limited (computed from limited \
+                 ones). Built-ins filter and compute; they cannot generate."
+            }
+            Code::NotCostRespecting => {
+                "In a cost-consistent model each key maps to one cost. A rule \
+                 whose non-cost head arguments do not functionally determine the \
+                 head cost (Definition 2.7) can derive two costs for one key, \
+                 breaking that invariant before aggregation can repair it."
+            }
+            Code::ConflictingPair => {
+                "Two rules (or one rule with itself) may derive atoms that differ \
+                 only in their cost, and no containment mapping or integrity \
+                 constraint rules the overlap out (Definition 2.10). Conflict-\
+                 freedom is what lets Lemma 2.3 fold all derivations of a key into \
+                 a single lattice value."
+            }
+            Code::IllTypedAggregate => {
+                "The aggregate's (function, input domain, output domain) triple \
+                 matches no Figure-1 signature row. Each aggregate is only \
+                 monotonic over specific domains — e.g. `min` consumes and \
+                 produces `min_real`, `count` produces `nat`."
+            }
+            Code::IllFormedAggregate => {
+                "The aggregate subgoal violates Definition 2.4's shape: one \
+                 result variable, local variables disjoint from the rest of the \
+                 rule, and a non-empty conjunction of ordinary subgoals."
+            }
+            Code::WellFormedness => {
+                "The rule violates well-formedness (Definition 4.2): cost \
+                 variables of subgoals must be distinct fresh variables used in \
+                 the right places, so that cost flow through the rule is explicit."
+            }
+            Code::PseudoMonotonic => {
+                "The aggregate (e.g. `count`, `sum` over possibly-shrinking \
+                 inputs) is only pseudo-monotonic: growing its input multiset can \
+                 shrink its output. The Section 4.1.1 escape hatch — declaring the \
+                 aggregated predicates as default-value cost predicates — restores \
+                 monotonicity by making every key present from the start."
+            }
+            Code::NonMonotoneBuiltin => {
+                "The built-in conjunction is not monotone (Definition 4.4): a \
+                 comparison points the wrong way relative to how its operands' \
+                 costs grow, so a derivation could be retracted as costs improve."
+            }
+            Code::NegationOnComponent => {
+                "A rule negates a predicate of its own recursive component. \
+                 Semantics through such cycles is undefined here; stratify the \
+                 negation so the negated predicate is fully computed first."
+            }
+            Code::NotRMonotonic => {
+                "The rule falls outside Mumick et al.'s r-monotonic class \
+                 (Section 5.2), a strictly smaller comparison class than this \
+                 system's monotonic programs. Informational only: evaluability is \
+                 unaffected."
+            }
+            Code::RecursiveAggregation => {
+                "The component recurses through an aggregate subgoal, so it lies \
+                 outside the aggregate-stratified class (Section 5.1). The paper's \
+                 monotonic fixpoint semantics evaluates it anyway; this note marks \
+                 the class boundary."
+            }
+            Code::TerminationUnknown => {
+                "No syntactic certificate guarantees the component's fixpoint is \
+                 reached in finitely many rounds (Section 6.2) — typically because \
+                 costs flow through arithmetic that can keep producing new values \
+                 (Example 5.1's additive cycle). Evaluation runs under the \
+                 engine's round budget."
+            }
+            Code::Premappable => {
+                "The component's recursive aggregate satisfies the premappability \
+                 (PreM) obligations: the fold is the domain's join, the cost flows \
+                 through distributive translations on a chain domain, recursion is \
+                 linear, and the component is admissible. Pushing the aggregate \
+                 into the recursion — pruning dominated derivations as they are \
+                 emitted — provably preserves the least model. Enable it with \
+                 `--optimize=prem`."
+            }
+            Code::PushdownRefused => {
+                "The component recurses through an aggregate, but at least one \
+                 premappability obligation failed (the message says which), so \
+                 `--optimize=prem` will NOT prune it: an unsound pushdown could \
+                 change the least model. The component still evaluates exactly; \
+                 only the optimization is withheld."
+            }
+            Code::DemandRestrictable => {
+                "Some key position of this recursive component carries a uniform \
+                 stable binding: every derivation of a tuple with constant `a` \
+                 there only involves component tuples carrying `a` at their \
+                 assigned positions. Point queries (`maglog run --query`) with \
+                 `--optimize=demand` restrict evaluation to that cone."
+            }
+            Code::DemandUnsupported => {
+                "No key position of this recursive component admits a uniform \
+                 stable binding (some rule moves the candidate variable between \
+                 positions or drops it), so point queries must compute the \
+                 component's full model. Informational only."
+            }
+        }
     }
 }
 
@@ -509,6 +665,110 @@ pub fn report_diagnostics(
         );
     }
 
+    for comp in &report.prem {
+        if !comp.recursive_aggregation {
+            continue;
+        }
+        let preds: Vec<String> = comp.preds.iter().map(|p| program.pred_name(*p)).collect();
+        if comp.premappable() {
+            let code = Code::Premappable;
+            let span = comp
+                .agg_rules
+                .first()
+                .map(|&i| rule_span(i))
+                .unwrap_or(Span::DUMMY);
+            out.push(
+                Diagnostic::new(
+                    code,
+                    config.severity(code),
+                    span,
+                    format!(
+                        "the aggregate of component {{{}}} may be pushed inside \
+                         the recursion",
+                        preds.join(", ")
+                    ),
+                )
+                .with_note("enable the pruning rewrite with `--optimize=prem`"),
+            );
+        } else {
+            let code = Code::PushdownRefused;
+            for refusal in &comp.refusals {
+                let span = if refusal.span.is_dummy() {
+                    rule_span(refusal.rule_index)
+                } else {
+                    refusal.span
+                };
+                out.push(
+                    Diagnostic::new(
+                        code,
+                        config.severity(code),
+                        span,
+                        format!(
+                            "aggregate pushdown refused for component {{{}}}: {}",
+                            preds.join(", "),
+                            refusal.reason
+                        ),
+                    )
+                    .with_note(
+                        "the component still evaluates exactly; only \
+                         `--optimize=prem` pruning is withheld",
+                    ),
+                );
+            }
+        }
+    }
+
+    for comp in &report.demand {
+        if !comp.recursive {
+            continue;
+        }
+        let preds: Vec<String> = comp.preds.iter().map(|p| program.pred_name(*p)).collect();
+        let span = comp
+            .rule_indices
+            .first()
+            .map(|&i| rule_span(i))
+            .unwrap_or(Span::DUMMY);
+        if comp.restrictable() {
+            let code = Code::DemandRestrictable;
+            let positions: Vec<String> = comp
+                .supported
+                .iter()
+                .map(|&(p, j)| format!("{}[{}]", program.pred_name(p), j))
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    code,
+                    config.severity(code),
+                    span,
+                    format!(
+                        "component {{{}}} admits demand restriction at {}",
+                        preds.join(", "),
+                        positions.join(", ")
+                    ),
+                )
+                .with_note(
+                    "point queries with `--optimize=demand` evaluate only the \
+                     query's derivation cone",
+                ),
+            );
+        } else {
+            let code = Code::DemandUnsupported;
+            out.push(
+                Diagnostic::new(
+                    code,
+                    config.severity(code),
+                    span,
+                    format!(
+                        "no key position of component {{{}}} admits demand \
+                         restriction",
+                        preds.join(", ")
+                    ),
+                )
+                .with_note("point queries on this component compute its full model"),
+            );
+        }
+    }
+
     out.retain(|d| d.severity != Severity::Allow);
     out.sort_by_key(|d| (d.span.start, d.span.end, d.code));
     out
@@ -564,7 +824,14 @@ fn render_one_human(
     for note in &d.notes {
         let _ = writeln!(out, "{pad}= note: {note}");
     }
-    let _ = writeln!(out, "{pad}= note: see {} (Ross & Sagiv 1992)", d.code.paper_ref());
+    // MAG07xx advisories cite the PreM / magic-sets literature, not the
+    // Ross & Sagiv paper itself.
+    let reference = d.code.paper_ref();
+    if reference.contains("arXiv") {
+        let _ = writeln!(out, "{pad}= note: see {reference}");
+    } else {
+        let _ = writeln!(out, "{pad}= note: see {reference} (Ross & Sagiv 1992)");
+    }
     if let Some(help) = &d.suggestion {
         let _ = writeln!(out, "{pad}= help: {help}");
     }
@@ -665,6 +932,7 @@ mod tests {
             assert!(c.as_str().starts_with("MAG"));
             assert!(!c.title().is_empty());
             assert!(!c.paper_ref().is_empty());
+            assert!(!c.explain().is_empty(), "{} lacks an explanation", c.as_str());
         }
         assert_eq!(Code::parse("MAG9999"), None);
     }
@@ -779,5 +1047,70 @@ mod tests {
         strict.set_deny_all(true);
         let chk = check_source(src, &strict);
         assert_eq!(chk.deny_count(), 0);
+    }
+
+    #[test]
+    fn premappable_program_gets_optimization_advisories() {
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let chk = check_source(src, &LintConfig::new());
+        let codes: Vec<Code> = chk.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::Premappable), "{codes:?}");
+        assert!(codes.contains(&Code::DemandRestrictable), "{codes:?}");
+        assert!(!codes.contains(&Code::PushdownRefused), "{codes:?}");
+        let text = render_human(src, "sp.mgl", &chk.diagnostics);
+        assert!(text.contains("--optimize=prem"), "{text}");
+        // The PreM advisory cites the arXiv line, not Ross & Sagiv.
+        assert!(text.contains("arXiv:1910.08888"), "{text}");
+        assert!(
+            !text.contains("arXiv:1910.08888 (Ross & Sagiv 1992)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn refused_pushdown_is_a_note_with_the_reason() {
+        // `count` is not the join of any cost domain: pushdown is unsound.
+        let src = r#"
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+            requires(a, 0).
+        "#;
+        let chk = check_source(src, &LintConfig::new());
+        let refusal = chk
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::PushdownRefused)
+            .expect("MAG0702 reported");
+        // A refusal is advisory — the program still evaluates exactly —
+        // so deny-all must not turn it into an error (sample programs
+        // self-check under `--deny all`).
+        assert_eq!(refusal.severity, Severity::Note);
+        assert!(refusal.message.contains("refused"), "{}", refusal.message);
+        let mut strict = LintConfig::new();
+        strict.set_deny_all(true);
+        let chk = check_source(src, &strict);
+        assert!(chk
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::PushdownRefused)
+            .all(|d| d.severity == Severity::Note));
+        // An explicit per-code override still escalates or silences it.
+        strict.set(Code::PushdownRefused, Severity::Deny);
+        let chk = check_source(src, &strict);
+        assert!(chk.deny_count() >= 1);
+        strict.set(Code::PushdownRefused, Severity::Allow);
+        let chk = check_source(src, &strict);
+        assert!(chk
+            .diagnostics
+            .iter()
+            .all(|d| d.code != Code::PushdownRefused));
     }
 }

@@ -14,6 +14,11 @@
 //! * **Well-formedness, well-typedness, monotone built-in conjunctions, and
 //!   admissibility** (Definitions 4.2–4.5, Lemma 4.1): [`admissible`].
 //! * **r-monotonicity** à la Mumick et al. (Section 5.2): [`rmono`].
+//! * **Premappability and demand restriction** (the Zaniolo et al. PreM
+//!   line of work): [`prem`] proves when an aggregate may be pushed inside
+//!   the recursion, [`demand`] when a point query may be restricted to its
+//!   derivation cone — both feeding the engine's `--optimize` rewrites and
+//!   the `MAG07xx` advisory diagnostics.
 //!
 //! [`check_program`] runs the full battery and produces an
 //! [`AnalysisReport`]; a program whose report says `monotonic` has, by
@@ -31,8 +36,10 @@ pub mod admissible;
 pub mod conflict_free;
 pub mod containment;
 pub mod cost_respect;
+pub mod demand;
 pub mod diag;
 pub mod fd;
+pub mod prem;
 pub mod range_restriction;
 pub mod report;
 pub mod rmono;
@@ -41,6 +48,8 @@ pub mod unify;
 
 pub use admissible::{admissibility_report, AdmissibilityIssue, ComponentReport};
 pub use conflict_free::{conflict_free_report, ConflictIssue, ConflictReport};
+pub use demand::{demand_report, derivation_cone, key_arity, uniform_binding, ComponentDemand};
+pub use prem::{premappability_report, ComponentPrem, PremRefusal};
 pub use diag::{
     check_source, render_human, render_json, report_diagnostics, Code, Diagnostic, LintConfig,
     Severity, SourceCheck,

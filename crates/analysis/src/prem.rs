@@ -1,0 +1,479 @@
+//! Premappability (PreM) analysis: may the aggregate of a recursive
+//! component be pushed *inside* the recursion?
+//!
+//! Ross & Sagiv's semantics evaluates the full fixpoint, joining every
+//! derivation into the model. Zaniolo et al. (the arXiv:1910.08888 line of
+//! work) observe that when the aggregate is the *join-fold* of its cost
+//! domain and every recursive rule applies a translation that distributes
+//! over that join, the constraint is **premappable**: applying it early —
+//! discarding derivations already dominated by the model — cannot change
+//! the least fixpoint, and turns compute-all-then-aggregate into a
+//! Dijkstra-like pruned search.
+//!
+//! The proof obligations checked here, per recursive-aggregation component:
+//!
+//! 1. **Join-fold aggregate.** Every recursive aggregate is the fold of the
+//!    head domain's join (`min` over `min_real`, `max` over `max_real`, …)
+//!    with restricted equality (`=r`), so late or missing dominated
+//!    elements never change the result (`fold(S ∪ {d}) = fold(S) ⊔ d`, the
+//!    [`maglog_lattice::laws::check_fold_insert`] law).
+//! 2. **Pure fold shape.** The aggregate has a single conjunct over the
+//!    same domain, and its result variable is exactly the head cost
+//!    argument, used nowhere else — the rule only re-groups cost values.
+//! 3. **Distributive translations.** The component's cost domain is a
+//!    chain (totally ordered), so the admissibility direction analysis —
+//!    which proves every rule's cost expression weakly monotone in the
+//!    component cost variable — implies the translation distributes over
+//!    the join (`f(a ⊔ b) = f(a) ⊔ f(b)`, the
+//!    [`maglog_lattice::laws::check_join_distributive`] law; monotone
+//!    unary maps distribute over `min`/`max` on a chain).
+//! 4. **Linear recursion.** Every rule body references the component at
+//!    most once, so a derivation's cost is a single translation chain and
+//!    dominance is preserved link by link.
+//! 5. **Admissibility.** The component passes the Definition 4.5 battery;
+//!    in particular it is conflict-free, so eagerly discarding dominated
+//!    derivations commutes with the engine's cost-consistency bookkeeping.
+//!
+//! A component that passes gets [`ComponentPrem::premappable`]` == true`
+//! and the engine's `--optimize=prem` mode prunes dominated derivations at
+//! emit time; every failed obligation is reported as a [`PremRefusal`] and
+//! surfaced as a `MAG0702` diagnostic.
+
+use crate::admissible::ComponentReport;
+use maglog_datalog::{
+    graph::components, AggEq, AggFunc, Aggregate, DomainSpec, Expr, Literal, Pred, Program, Rule,
+    Span, Term, Var,
+};
+use std::collections::BTreeSet;
+
+/// Why an aggregate pushdown was refused for one rule (or the component).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PremRefusal {
+    /// Index into `program.rules`.
+    pub rule_index: usize,
+    /// Byte span of the offending aggregate, subgoal, or rule.
+    pub span: Span,
+    pub reason: String,
+}
+
+/// The premappability verdict for one program component, index-aligned
+/// with [`maglog_datalog::graph::components`].
+#[derive(Clone, Debug)]
+pub struct ComponentPrem {
+    /// Predicates of the component (its CDB).
+    pub preds: BTreeSet<Pred>,
+    /// Rule indices (into `program.rules`).
+    pub rule_indices: Vec<usize>,
+    /// Does the component recurse through aggregation at all? Components
+    /// that don't are trivially not candidates (nothing to push).
+    pub recursive_aggregation: bool,
+    /// Rules whose recursive aggregate is the pushable join-fold.
+    pub agg_rules: Vec<usize>,
+    /// Every failed proof obligation; empty (with
+    /// `recursive_aggregation`) means the pushdown is proven sound.
+    pub refusals: Vec<PremRefusal>,
+}
+
+impl ComponentPrem {
+    /// Is the aggregate pushdown proven sound for this component?
+    pub fn premappable(&self) -> bool {
+        self.recursive_aggregation && self.refusals.is_empty()
+    }
+}
+
+/// Is `func` the join-fold of `domain`? Mirrors the engine's relaxation
+/// eligibility: folding the aggregate over a multiset is then the same as
+/// joining its elements in the lattice.
+pub fn is_join_fold(func: AggFunc, domain: DomainSpec) -> bool {
+    use DomainSpec::*;
+    matches!(
+        (func, domain),
+        (AggFunc::Min, MinReal)
+            | (AggFunc::Max, MaxReal | NonNegReal | Nat)
+            | (AggFunc::Or, BoolOr)
+            | (AggFunc::And, BoolAnd)
+            | (AggFunc::Union, SetUnion)
+            | (AggFunc::Intersect, SetIntersect)
+    )
+}
+
+/// Is the domain totally ordered? On a chain, any translation proven
+/// weakly monotone by the admissibility direction analysis distributes
+/// over the join (which is `min` or `max` of the two arguments); the
+/// set-valued domains are genuine partial orders where that implication
+/// fails, so they are excluded from pushdown.
+fn is_chain(domain: DomainSpec) -> bool {
+    !matches!(domain, DomainSpec::SetUnion | DomainSpec::SetIntersect)
+}
+
+/// Check premappability of every component. `admissibility` must be the
+/// index-aligned output of [`crate::admissible::admissibility_report`] for
+/// the same program (as stored in [`crate::AnalysisReport::components`]).
+pub fn premappability_report(
+    program: &Program,
+    admissibility: &[ComponentReport],
+) -> Vec<ComponentPrem> {
+    components(program)
+        .iter()
+        .enumerate()
+        .map(|(ci, comp)| {
+            let mut out = ComponentPrem {
+                preds: comp.preds.clone(),
+                rule_indices: comp.rule_indices.clone(),
+                recursive_aggregation: comp.recursive_aggregation,
+                agg_rules: Vec::new(),
+                refusals: Vec::new(),
+            };
+            if !comp.recursive_aggregation {
+                return out;
+            }
+            check_component(program, &comp.preds, &comp.rule_indices, &mut out);
+            if let Some(rep) = admissibility.get(ci) {
+                if !rep.admissible() {
+                    out.refusals.push(PremRefusal {
+                        rule_index: *comp.rule_indices.first().unwrap_or(&0),
+                        span: comp
+                            .rule_indices
+                            .first()
+                            .map(|&i| program.rules[i].span)
+                            .unwrap_or_default(),
+                        reason: "the component is not admissible, so the engine cannot \
+                                 certify the fixpoint the pushdown must preserve"
+                            .to_string(),
+                    });
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+fn check_component(
+    program: &Program,
+    cdb: &BTreeSet<Pred>,
+    rule_indices: &[usize],
+    out: &mut ComponentPrem,
+) {
+    for &ri in rule_indices {
+        let rule = &program.rules[ri];
+        let refuse = |span: Span, reason: String| PremRefusal {
+            rule_index: ri,
+            span,
+            reason,
+        };
+
+        // Obligation 4: linear recursion (at most one CDB reference per
+        // body) and no recursion through negation.
+        let mut cdb_refs = 0usize;
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) => {
+                    if cdb.contains(&a.pred) {
+                        cdb_refs += 1;
+                    }
+                }
+                Literal::Neg(a) => {
+                    if cdb.contains(&a.pred) {
+                        out.refusals.push(refuse(
+                            a.span,
+                            format!(
+                                "recursion negates component predicate {}",
+                                program.pred_name(a.pred)
+                            ),
+                        ));
+                    }
+                }
+                Literal::Agg(agg) => {
+                    cdb_refs += agg
+                        .conjuncts
+                        .iter()
+                        .filter(|a| cdb.contains(&a.pred))
+                        .count();
+                }
+                Literal::Builtin(_) => {}
+            }
+        }
+        if cdb_refs > 1 {
+            out.refusals.push(refuse(
+                rule.span,
+                format!(
+                    "non-linear recursion: the body references the component {cdb_refs} \
+                     times, so a derivation's cost is not a single translation chain"
+                ),
+            ));
+        }
+
+        // Obligations 1–3 on every recursive aggregate of the rule.
+        for lit in &rule.body {
+            let Literal::Agg(agg) = lit else { continue };
+            if !agg.conjuncts.iter().any(|a| cdb.contains(&a.pred)) {
+                continue; // LDB aggregate: runs over a fixed relation.
+            }
+            match check_aggregate(program, rule, agg) {
+                Ok(()) => out.agg_rules.push(ri),
+                Err(reason) => out.refusals.push(refuse(agg.span, reason)),
+            }
+        }
+    }
+}
+
+/// Obligations 1–3 for one recursive aggregate.
+fn check_aggregate(program: &Program, rule: &Rule, agg: &Aggregate) -> Result<(), String> {
+    let head_spec = program
+        .cost_spec(rule.head.pred)
+        .ok_or_else(|| {
+            format!(
+                "head predicate {} has no declared cost domain to push into",
+                program.pred_name(rule.head.pred)
+            )
+        })?;
+
+    if agg.eq != AggEq::Restricted {
+        return Err(format!(
+            "total-equality aggregate '{} =' is defined only on the complete group, \
+             so partial folds cannot be applied early (use `=r` for join-folds)",
+            agg.func.name()
+        ));
+    }
+    if !is_join_fold(agg.func, head_spec.domain) {
+        return Err(format!(
+            "aggregate '{}' is not the join of domain {} — its fold is changed by \
+             dominated elements, so it cannot be applied early",
+            agg.func.name(),
+            head_spec.domain.name()
+        ));
+    }
+    if !is_chain(head_spec.domain) {
+        return Err(format!(
+            "domain {} is not totally ordered: monotone translations need not \
+             distribute over its join",
+            head_spec.domain.name()
+        ));
+    }
+
+    let [conjunct] = agg.conjuncts.as_slice() else {
+        return Err(format!(
+            "the aggregate ranges over {} conjuncts; pushdown is proven only for a \
+             single re-grouped predicate",
+            agg.conjuncts.len()
+        ));
+    };
+    let conj_domain = program.cost_spec(conjunct.pred).map(|c| c.domain);
+    if conj_domain != Some(head_spec.domain) {
+        return Err(format!(
+            "the aggregated predicate {} is not over the head domain {}",
+            program.pred_name(conjunct.pred),
+            head_spec.domain.name()
+        ));
+    }
+
+    // Obligation 2: the result variable is exactly the head cost argument
+    // and occurs nowhere else, so the rule is a pure re-grouping fold.
+    let Some(result) = agg.result.as_var() else {
+        return Err("the aggregate result is a constant, not a foldable variable".to_string());
+    };
+    if rule.head.cost_arg(true) != Some(&Term::Var(result)) {
+        return Err(format!(
+            "the aggregate result {} is not the head cost argument, so the head \
+             applies a further transformation the proof does not cover",
+            program.var_name(result)
+        ));
+    }
+    if rule.head.key_args(true).contains(&Term::Var(result)) {
+        return Err(format!(
+            "the aggregate result {} also occurs in a head key position",
+            program.var_name(result)
+        ));
+    }
+    if result_used_elsewhere(rule, agg, result) {
+        return Err(format!(
+            "the aggregate result {} is consumed by another subgoal, which may \
+             observe intermediate folds",
+            program.var_name(result)
+        ));
+    }
+    Ok(())
+}
+
+/// Does `result` occur in any body literal other than as `agg`'s result?
+fn result_used_elsewhere(rule: &Rule, agg: &Aggregate, result: Var) -> bool {
+    let expr_uses = |e: &Expr| e.vars().contains(&result);
+    rule.body.iter().any(|lit| match lit {
+        Literal::Pos(a) | Literal::Neg(a) => a.vars().any(|v| v == result),
+        Literal::Builtin(b) => expr_uses(&b.lhs) || expr_uses(&b.rhs),
+        Literal::Agg(other) => {
+            if std::ptr::eq(other, agg) {
+                // Within the aggregate itself the result may not leak into
+                // the conjunction (it would observe intermediate folds).
+                other.conjuncts.iter().any(|a| a.vars().any(|v| v == result))
+            } else {
+                other.result == Term::Var(result)
+                    || other.inner_vars().contains(&result)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admissible::admissibility_report;
+    use maglog_datalog::parse_program;
+
+    fn report(src: &str) -> Vec<ComponentPrem> {
+        let p = parse_program(src).unwrap();
+        let adm = admissibility_report(&p);
+        premappability_report(&p, &adm)
+    }
+
+    const SHORTEST_PATH: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    #[test]
+    fn shortest_path_is_premappable() {
+        let r = report(SHORTEST_PATH);
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(comp.premappable(), "{:?}", comp.refusals);
+        assert_eq!(comp.agg_rules.len(), 1);
+    }
+
+    #[test]
+    fn widest_path_max_fold_is_premappable() {
+        let r = report(
+            r#"
+            declare pred arc/3 cost max_real.
+            declare pred path/4 cost max_real.
+            declare pred s/3 cost max_real.
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = min(C1, C2).
+            s(X, Y, C) :- C =r max D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            "#,
+        );
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(comp.premappable(), "{:?}", comp.refusals);
+    }
+
+    #[test]
+    fn sum_aggregate_is_refused_as_non_join_fold() {
+        // Company control: sum over nonneg_real is monotone but not the
+        // domain's join (max); dominated elements change the fold.
+        let r = report(
+            r#"
+            declare pred s/3 cost nonneg_real.
+            declare pred cv/4 cost nonneg_real.
+            declare pred m/3 cost nonneg_real.
+            cv(X, X, Y, N) :- s(X, Y, N).
+            cv(X, Z, Y, N) :- c(X, Z), s(Z, Y, N).
+            m(X, Y, N) :- N =r sum M : cv(X, Z, Y, M).
+            c(X, Y) :- m(X, Y, N), N > 0.5.
+            "#,
+        );
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(!comp.premappable());
+        assert!(
+            comp.refusals
+                .iter()
+                .any(|x| x.reason.contains("not the join")),
+            "{:?}",
+            comp.refusals
+        );
+    }
+
+    #[test]
+    fn non_linear_recursion_is_refused() {
+        // Two CDB references in one body: cost is a tree, not a chain.
+        let r = report(
+            r#"
+            declare pred p/3 cost min_real.
+            declare pred q/3 cost min_real.
+            p(X, Y, C) :- e(X, Y, C).
+            p(X, Y, C) :- q(X, Z, C1), q(Z, Y, C2), C = C1 + C2.
+            q(X, Y, C) :- C =r min D : p(X, Z, D).
+            "#,
+        );
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(!comp.premappable());
+        assert!(
+            comp.refusals
+                .iter()
+                .any(|x| x.reason.contains("non-linear recursion")),
+            "{:?}",
+            comp.refusals
+        );
+    }
+
+    #[test]
+    fn total_equality_aggregate_is_refused() {
+        let r = report(
+            r#"
+            declare pred t/2 cost bool_or default.
+            declare pred input/2 cost bool_or.
+            t(W, C) :- input(W, C).
+            t(G, C) :- gate(G, or), C = or D : [connect(G, W), t(W, D)].
+            "#,
+        );
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(!comp.premappable());
+        assert!(
+            comp.refusals
+                .iter()
+                .any(|x| x.reason.contains("total-equality")),
+            "{:?}",
+            comp.refusals
+        );
+    }
+
+    #[test]
+    fn leaked_result_variable_is_refused() {
+        let r = report(
+            r#"
+            declare pred p/3 cost min_real.
+            declare pred s/3 cost min_real.
+            p(X, Y, C) :- e(X, Y, C).
+            p(X, Y, C) :- s(X, Z, C1), e(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : p(X, Y, D), bound(B), C <= B.
+            "#,
+        );
+        let comp = r
+            .iter()
+            .find(|c| c.recursive_aggregation)
+            .expect("recursive component");
+        assert!(!comp.premappable());
+        assert!(
+            comp.refusals
+                .iter()
+                .any(|x| x.reason.contains("consumed by another subgoal")),
+            "{:?}",
+            comp.refusals
+        );
+    }
+
+    #[test]
+    fn non_recursive_components_are_not_candidates() {
+        let r = report("tc(X, Y) :- e(X, Y).\ntc(X, Y) :- tc(X, Z), e(Z, Y).");
+        assert!(r.iter().all(|c| !c.premappable() && c.refusals.is_empty()));
+    }
+}

@@ -2,6 +2,8 @@
 
 use crate::admissible::{admissibility_report, ComponentReport};
 use crate::conflict_free::{conflict_free_report, ConflictReport};
+use crate::demand::{demand_report, ComponentDemand};
+use crate::prem::{premappability_report, ComponentPrem};
 use crate::range_restriction::{range_restriction_report, RangeIssue};
 use crate::rmono::r_monotonicity_report;
 use crate::termination::{termination_report, TerminationVerdict};
@@ -24,6 +26,12 @@ pub struct AnalysisReport {
     /// condition, via the cost-flow analysis). Informational: `Unknown`
     /// components still evaluate, under the round budget.
     pub termination: Vec<TerminationVerdict>,
+    /// Per-component premappability verdicts (may the aggregate be pushed
+    /// inside the recursion?). Advisory: drives `--optimize=prem`.
+    pub prem: Vec<ComponentPrem>,
+    /// Per-component demand verdicts (may point queries be restricted?).
+    /// Advisory: drives `--optimize=demand`.
+    pub demand: Vec<ComponentDemand>,
 }
 
 impl AnalysisReport {
@@ -63,6 +71,18 @@ impl AnalysisReport {
     /// Is bottom-up evaluation guaranteed to terminate (Section 6.2)?
     pub fn is_termination_guaranteed(&self) -> bool {
         self.termination.iter().all(TerminationVerdict::is_guaranteed)
+    }
+
+    /// Is some component's aggregate pushable inside the recursion
+    /// (`--optimize=prem` has something to do)?
+    pub fn is_premappable(&self) -> bool {
+        self.prem.iter().any(ComponentPrem::premappable)
+    }
+
+    /// Does some recursive component admit demand restriction
+    /// (`--optimize=demand` has something to do)?
+    pub fn is_demand_restrictable(&self) -> bool {
+        self.demand.iter().any(ComponentDemand::restrictable)
     }
 
     /// A human-readable multi-line summary.
@@ -138,6 +158,26 @@ impl AnalysisReport {
                 let _ = writeln!(out, "  component {i} [MAG0601]: {}", v.reason());
             }
         }
+        let agg_comps = self
+            .prem
+            .iter()
+            .filter(|c| c.recursive_aggregation)
+            .count();
+        if agg_comps > 0 {
+            let proven = self.prem.iter().filter(|c| c.premappable()).count();
+            let _ = writeln!(
+                out,
+                "premappable:      {proven} of {agg_comps} recursive-aggregation component(s)"
+            );
+        }
+        let recursive = self.demand.iter().filter(|c| c.recursive).count();
+        if recursive > 0 {
+            let restrictable = self.demand.iter().filter(|c| c.restrictable()).count();
+            let _ = writeln!(
+                out,
+                "demand-restrict:  {restrictable} of {recursive} recursive component(s)"
+            );
+        }
         out
     }
 }
@@ -152,12 +192,16 @@ fn yesno(b: bool) -> &'static str {
 
 /// Run the full static battery.
 pub fn check_program(program: &Program) -> AnalysisReport {
+    let components = admissibility_report(program);
+    let prem = premappability_report(program, &components);
     AnalysisReport {
         range_issues: range_restriction_report(program),
         conflicts: conflict_free_report(program),
-        components: admissibility_report(program),
+        components,
         non_r_monotonic: r_monotonicity_report(program),
         termination: termination_report(program),
+        prem,
+        demand: demand_report(program),
     }
 }
 

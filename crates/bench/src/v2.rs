@@ -19,12 +19,15 @@ use std::collections::BTreeMap;
 
 use maglog_datalog::Program;
 use maglog_engine::jsonish::{self, JsonValue};
-use maglog_engine::{alloc, fmt_bytes, Edb, Model, Strategy};
+use maglog_engine::{
+    alloc, fmt_bytes, Edb, EvalOptions, MetricsSink, Model, MonotonicEngine, Optimize,
+    ProfileReport, Strategy,
+};
 use maglog_workloads::{
     programs, random_circuit, random_digraph, random_ownership, random_party,
 };
 
-use crate::{fmt_secs, profile_run, program, run_greedy, run_naive, run_seminaive, timed};
+use crate::{fmt_secs, profile_run, program, timed};
 
 /// Strategy labels in measurement order (also the JSON field order).
 pub const STRATEGIES: [&str; 3] = ["seminaive", "naive", "greedy"];
@@ -110,6 +113,11 @@ pub struct BenchConfig {
     pub workloads: Vec<String>,
     /// Size filter; empty means every size of each selected workload.
     pub sizes: Vec<usize>,
+    /// Proven rewrites to enable (`maglog bench --optimize[=prem,demand]`).
+    /// When any rewrite is on, each cell additionally records the pruned
+    /// derivation count and an unoptimized derivation figure from one
+    /// extra untimed run, so the win is visible in the document.
+    pub optimize: Optimize,
 }
 
 impl Default for BenchConfig {
@@ -119,6 +127,7 @@ impl Default for BenchConfig {
             warmup: 1,
             workloads: Vec::new(),
             sizes: Vec::new(),
+            optimize: Optimize::default(),
         }
     }
 }
@@ -212,6 +221,42 @@ pub struct StrategyMeasurement {
     /// Allocator high-water delta over one run (0 when the host binary
     /// has no [`maglog_engine::alloc::CountingAlloc`] installed).
     pub peak_heap_bytes: u64,
+    /// Derivations discarded by proven rewrites (0 unless the config
+    /// enables `--optimize` and a rewrite applied).
+    pub pruned: u64,
+    /// Derivation count of an extra unoptimized instrumented run; `Some`
+    /// only when the config enables a rewrite, so the optimized
+    /// `derivations` figure has a before/after companion.
+    pub derivations_unoptimized: Option<u64>,
+}
+
+fn run_with(p: &Program, edb: &Edb, strategy: Strategy, optimize: Optimize) -> Model {
+    MonotonicEngine::with_options(
+        p,
+        EvalOptions {
+            strategy,
+            optimize,
+            ..Default::default()
+        },
+    )
+    .evaluate(edb)
+    .expect("evaluation succeeds")
+}
+
+fn profile_with(p: &Program, edb: &Edb, strategy: Strategy, optimize: Optimize) -> ProfileReport {
+    let engine = MonotonicEngine::with_options(
+        p,
+        EvalOptions {
+            strategy,
+            optimize,
+            ..Default::default()
+        },
+    );
+    let mut sink = MetricsSink::new(p, strategy);
+    engine
+        .evaluate_with_sink(edb, &mut sink)
+        .expect("evaluation succeeds");
+    sink.finish()
 }
 
 /// One (workload, size) cell: instance shape plus all three strategies.
@@ -229,11 +274,11 @@ pub struct WorkloadMeasurement {
 fn measure_strategy(
     label: &'static str,
     strategy: Strategy,
-    run: fn(&Program, &Edb) -> Model,
     p: &Program,
     edb: &Edb,
     cfg: &BenchConfig,
 ) -> (Model, StrategyMeasurement) {
+    let run = |p: &Program, edb: &Edb| run_with(p, edb, strategy, cfg.optimize);
     for _ in 1..cfg.warmup.max(1) {
         std::hint::black_box(run(p, edb));
     }
@@ -254,8 +299,13 @@ fn measure_strategy(
     let stats = sample_stats(&samples);
 
     // Untimed instrumented run for the work counters, so the timed
-    // samples stay free of sink overhead.
-    let report = profile_run(p, edb, strategy);
+    // samples stay free of sink overhead. With rewrites on, one more
+    // unoptimized instrumented run supplies the before figure.
+    let report = profile_with(p, edb, strategy, cfg.optimize);
+    let derivations_unoptimized = cfg
+        .optimize
+        .any()
+        .then(|| profile_run(p, edb, strategy).total_derivations());
     let measurement = StrategyMeasurement {
         strategy: label,
         rounds: model.stats().rounds.iter().sum(),
@@ -265,6 +315,8 @@ fn measure_strategy(
         tuples_per_sec: 0.0,       // filled once the model size is known
         derivations_per_sec: 0.0,  // filled once the model size is known
         peak_heap_bytes,
+        pruned: report.pruned,
+        derivations_unoptimized,
     };
     (model, measurement)
 }
@@ -272,17 +324,16 @@ fn measure_strategy(
 /// Measure one (workload, size) cell across all three strategies,
 /// asserting the strategies agree on the model.
 pub fn run_workload(w: &Workload, size: usize, cfg: &BenchConfig) -> WorkloadMeasurement {
-    type Runner = fn(&Program, &Edb) -> Model;
     let (p, edb) = w.build(size);
-    let runners: [(&'static str, Strategy, Runner); 3] = [
-        ("seminaive", Strategy::SemiNaive, run_seminaive),
-        ("naive", Strategy::Naive, run_naive),
-        ("greedy", Strategy::Greedy, run_greedy),
+    let runners: [(&'static str, Strategy); 3] = [
+        ("seminaive", Strategy::SemiNaive),
+        ("naive", Strategy::Naive),
+        ("greedy", Strategy::Greedy),
     ];
     let mut models = Vec::new();
     let mut strategies = Vec::new();
-    for (label, strategy, run) in runners {
-        let (model, m) = measure_strategy(label, strategy, run, &p, &edb, cfg);
+    for (label, strategy) in runners {
+        let (model, m) = measure_strategy(label, strategy, &p, &edb, cfg);
         models.push(model);
         strategies.push(m);
     }
@@ -348,6 +399,8 @@ pub struct BenchEnv {
     pub cpus: usize,
     pub warmup: usize,
     pub samples: usize,
+    /// Names of the proven rewrites the run enabled (empty = plain run).
+    pub optimize: Vec<&'static str>,
 }
 
 /// The maglog commit benchmarks run against (short hash, `-dirty` suffix
@@ -395,6 +448,7 @@ pub fn environment(cfg: &BenchConfig) -> BenchEnv {
         cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         warmup: cfg.warmup,
         samples: cfg.samples,
+        optimize: cfg.optimize.names(),
     }
 }
 
@@ -408,6 +462,10 @@ pub fn render_v2(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String
         ("cpus".into(), JsonValue::int(env.cpus as u64)),
         ("warmup".into(), JsonValue::int(env.warmup as u64)),
         ("samples".into(), JsonValue::int(env.samples as u64)),
+        (
+            "optimize".into(),
+            JsonValue::Arr(env.optimize.iter().map(|n| JsonValue::str(*n)).collect()),
+        ),
     ]);
     let workloads = measurements
         .iter()
@@ -416,26 +474,30 @@ pub fn render_v2(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String
                 .strategies
                 .iter()
                 .map(|s| {
-                    (
-                        s.strategy.to_string(),
-                        JsonValue::Obj(vec![
-                            ("rounds".into(), JsonValue::int(s.rounds as u64)),
-                            ("firings".into(), JsonValue::int(s.firings)),
-                            ("derivations".into(), JsonValue::int(s.derivations)),
-                            ("median_secs".into(), JsonValue::Num(s.stats.median)),
-                            ("min_secs".into(), JsonValue::Num(s.stats.min)),
-                            ("mad_secs".into(), JsonValue::Num(s.stats.mad)),
-                            ("tuples_per_sec".into(), JsonValue::Num(s.tuples_per_sec)),
-                            (
-                                "derivations_per_sec".into(),
-                                JsonValue::Num(s.derivations_per_sec),
-                            ),
-                            (
-                                "peak_heap_bytes".into(),
-                                JsonValue::int(s.peak_heap_bytes),
-                            ),
-                        ]),
-                    )
+                    let mut fields = vec![
+                        ("rounds".into(), JsonValue::int(s.rounds as u64)),
+                        ("firings".into(), JsonValue::int(s.firings)),
+                        ("derivations".into(), JsonValue::int(s.derivations)),
+                    ];
+                    if let Some(d) = s.derivations_unoptimized {
+                        fields.push(("derivations_unoptimized".into(), JsonValue::int(d)));
+                        fields.push(("pruned".into(), JsonValue::int(s.pruned)));
+                    }
+                    fields.extend([
+                        ("median_secs".into(), JsonValue::Num(s.stats.median)),
+                        ("min_secs".into(), JsonValue::Num(s.stats.min)),
+                        ("mad_secs".into(), JsonValue::Num(s.stats.mad)),
+                        ("tuples_per_sec".into(), JsonValue::Num(s.tuples_per_sec)),
+                        (
+                            "derivations_per_sec".into(),
+                            JsonValue::Num(s.derivations_per_sec),
+                        ),
+                        (
+                            "peak_heap_bytes".into(),
+                            JsonValue::int(s.peak_heap_bytes),
+                        ),
+                    ]);
+                    (s.strategy.to_string(), JsonValue::Obj(fields))
                 })
                 .collect();
             JsonValue::Obj(vec![
@@ -467,8 +529,13 @@ fn fmt_rate(r: f64) -> String {
 
 /// Render the human table (what `maglog bench` prints by default).
 pub fn render_human(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String {
+    let optimize = if env.optimize.is_empty() {
+        String::new()
+    } else {
+        format!(", optimize {}", env.optimize.join(","))
+    };
     let mut out = format!(
-        "maglog bench: commit {}, {}, {} cpus, warmup {}, samples {}\n\n",
+        "maglog bench: commit {}, {}, {} cpus, warmup {}, samples {}{optimize}\n\n",
         env.commit, env.rustc, env.cpus, env.warmup, env.samples
     );
     out.push_str(&format!(
@@ -742,6 +809,8 @@ mod tests {
             tuples_per_sec: 100.0,
             derivations_per_sec: 80.0,
             peak_heap_bytes: 4096,
+            pruned: 0,
+            derivations_unoptimized: None,
         };
         WorkloadMeasurement {
             workload: "shortest_path".into(),
@@ -760,11 +829,26 @@ mod tests {
             cpus: 8,
             warmup: 1,
             samples: 5,
+            optimize: vec!["prem"],
         };
-        let doc = render_v2(&env, &[fake_measurement(0.0125)]);
+        let mut m = fake_measurement(0.0125);
+        m.strategies[0].pruned = 42;
+        m.strategies[0].derivations_unoptimized = Some(50);
+        let doc = render_v2(&env, &[m]);
         assert!(doc.contains("\"schema\": \"maglog-bench-v2\""));
         assert!(doc.contains("\"median_secs\": 0.0125"));
         assert!(doc.contains("\"peak_heap_bytes\": 4096"));
+        let parsed = jsonish::parse(&doc).unwrap();
+        let opt = parsed.get("environment").unwrap().get("optimize").unwrap();
+        let names: Vec<_> = opt
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .collect();
+        assert_eq!(names, ["prem"]);
+        assert!(doc.contains("\"derivations_unoptimized\": 50"));
+        assert!(doc.contains("\"pruned\": 42"));
         let base = parse_baseline(&doc).unwrap();
         assert_eq!(base.schema, "maglog-bench-v2");
         assert_eq!(
@@ -817,6 +901,7 @@ mod tests {
             cpus: 1,
             warmup: 1,
             samples: 1,
+            optimize: Vec::new(),
         };
         // Baseline identical to the run: within the gate.
         let base = parse_baseline(&render_v2(&env, std::slice::from_ref(&m))).unwrap();

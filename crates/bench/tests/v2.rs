@@ -16,6 +16,7 @@ fn tiny_config() -> BenchConfig {
         warmup: 0,
         workloads: vec!["shortest_path".into()],
         sizes: vec![16],
+        ..Default::default()
     }
 }
 

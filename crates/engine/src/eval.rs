@@ -21,14 +21,14 @@ use crate::error::EvalError;
 use crate::events::{EventSink, InsertOutcome, NoopSink};
 use crate::interp::{Interp, Sig, Tuple};
 use crate::model::Model;
-use crate::plan::{plan_rule, Plan, Step};
+use crate::plan::{plan_rule, prem_rewrites, Optimize, Plan, Rewrites, Step};
 use crate::provenance::{
     select_witnesses, AggWitness, BodyAtom, Capture, Goal, NoCapture, Provenance,
     ProvenanceTracker, RuleProbe, WhyNotReport,
 };
 use crate::value::{RuntimeDomain, Value};
-use maglog_analysis::check_program;
-use maglog_datalog::graph::components;
+use maglog_analysis::{check_program, derivation_cone, key_arity, uniform_binding};
+use maglog_datalog::graph::{components, Component};
 use maglog_datalog::{
     AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
@@ -39,6 +39,22 @@ use std::sync::Arc;
 /// Per-round dedup of aggregate-driver re-evaluations: one entry per
 /// (rule index, driver discriminator, seed binding).
 type SeenSeeds = HashSet<(usize, u64, Vec<(Var, Value)>)>;
+
+/// Per-predicate emit-time demand filter: (key position, demanded
+/// constant). Only predicates of the goal's component appear.
+type DemandFilter = HashMap<Pred, (usize, Value)>;
+
+/// The runtime demand restriction derived from a point query
+/// ([`MonotonicEngine::evaluate_goal`] under `--optimize=demand`).
+struct DemandPlan {
+    /// Predicates the goal transitively depends on; components disjoint
+    /// from the cone are skipped.
+    cone: BTreeSet<Pred>,
+    /// Constant filters applied at emit time within the goal's component.
+    filter: DemandFilter,
+    /// Human-readable decision line for stats and profile output.
+    decision: String,
+}
 
 /// Fixpoint strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -99,6 +115,10 @@ pub struct EvalOptions {
     /// program — if it terminates — is *some* pre-model, not necessarily
     /// the least one.
     pub allow_unchecked: bool,
+    /// Opt-in optimizing rewrites, each applied only where its static
+    /// proof (premappability, uniform stable binding) succeeds. The
+    /// computed model is identical with or without them.
+    pub optimize: Optimize,
 }
 
 impl Default for EvalOptions {
@@ -108,6 +128,7 @@ impl Default for EvalOptions {
             max_rounds: 100_000,
             check_consistency: true,
             allow_unchecked: false,
+            optimize: Optimize::default(),
         }
     }
 }
@@ -121,6 +142,12 @@ pub struct EvalStats {
     pub derivations: u64,
     /// Total number of rule firings attempted.
     pub firings: u64,
+    /// Optimizing-rewrite decisions taken this run (empty without
+    /// [`EvalOptions::optimize`]), one human-readable line each.
+    pub optimizations: Vec<String>,
+    /// Derivations skipped by proven-sound filters (PreM dominance
+    /// pruning, demand restriction) before they were buffered.
+    pub pruned: u64,
 }
 
 /// The monotonic-aggregation engine.
@@ -154,7 +181,29 @@ impl<'p> MonotonicEngine<'p> {
         edb: &Edb,
         sink: &mut S,
     ) -> Result<Model, EvalError> {
-        self.evaluate_inner(edb, sink, &mut NoCapture)
+        self.evaluate_inner(edb, sink, &mut NoCapture, None)
+    }
+
+    /// Evaluate a ground point query. Without
+    /// [`EvalOptions::optimize`]`.demand` this is a plain
+    /// [`evaluate`](Self::evaluate) (the caller reads the answer out of
+    /// the full model); with it, components disjoint from the goal's
+    /// derivation cone are skipped outright and the goal's own component
+    /// is restricted to tuples carrying the demanded constant whenever
+    /// the demand analysis proves a uniform stable binding. The answer
+    /// for the queried fact is identical either way.
+    pub fn evaluate_goal(&self, edb: &Edb, goal: &Goal) -> Result<Model, EvalError> {
+        self.evaluate_goal_with_sink(edb, goal, &mut NoopSink)
+    }
+
+    /// [`evaluate_goal`](Self::evaluate_goal) with instrumentation.
+    pub fn evaluate_goal_with_sink<S: EventSink>(
+        &self,
+        edb: &Edb,
+        goal: &Goal,
+        sink: &mut S,
+    ) -> Result<Model, EvalError> {
+        self.evaluate_inner(edb, sink, &mut NoCapture, Some(goal))
     }
 
     /// Like [`evaluate`](Self::evaluate), additionally recording the
@@ -171,7 +220,7 @@ impl<'p> MonotonicEngine<'p> {
             options,
         };
         let mut cap = ProvenanceTracker::new(self.program);
-        let model = engine.evaluate_inner(edb, &mut NoopSink, &mut cap)?;
+        let model = engine.evaluate_inner(edb, &mut NoopSink, &mut cap, None)?;
         Ok((model, cap.finish()))
     }
 
@@ -180,22 +229,72 @@ impl<'p> MonotonicEngine<'p> {
         edb: &Edb,
         sink: &mut S,
         cap: &mut C,
+        query: Option<&Goal>,
     ) -> Result<Model, EvalError> {
+        // The PreM rewrite needs the analysis report even when the
+        // certification gate is bypassed: pruning is only sound on a
+        // certified (statically conflict-free) program.
+        let report = (!self.options.allow_unchecked || self.options.optimize.prem)
+            .then(|| check_program(self.program));
         if !self.options.allow_unchecked {
-            let report = check_program(self.program);
+            let report = report.as_ref().expect("gate computed the report");
             if !report.evaluable() {
                 return Err(EvalError::NotCertified(report.summary(self.program)));
             }
         }
+        let rewrites = match &report {
+            Some(report) if self.options.optimize.prem => {
+                prem_rewrites(self.program, report)
+            }
+            _ => Rewrites::default(),
+        };
 
         let mut db = Interp::new();
         self.load_facts(&mut db, edb)?;
 
         let comps = components(self.program);
+        let demand = match query {
+            Some(goal) if self.options.optimize.demand => {
+                Some(self.demand_plan(&comps, goal))
+            }
+            _ => None,
+        };
+
         let mut stats = EvalStats::default();
+        for line in rewrites.decisions.iter().flatten() {
+            sink.optimization(line);
+            stats.optimizations.push(line.clone());
+        }
+        if let Some(d) = &demand {
+            sink.optimization(&d.decision);
+            stats.optimizations.push(d.decision.clone());
+        }
+
+        let mut skipped = 0usize;
         for (ci, comp) in comps.iter().enumerate() {
+            if let Some(d) = &demand {
+                // A component disjoint from the derivation cone cannot
+                // influence the query's answer: skip it wholesale. The
+                // zero keeps `stats.rounds` index-aligned with components.
+                if comp.preds.is_disjoint(&d.cone) {
+                    stats.rounds.push(0);
+                    skipped += 1;
+                    continue;
+                }
+            }
+            let prune = rewrites.prune.get(ci).copied().unwrap_or(false);
             let rounds = self
-                .eval_component(&mut db, &comp.preds, &comp.rule_indices, ci, &mut stats, sink, cap)
+                .eval_component(
+                    &mut db,
+                    &comp.preds,
+                    &comp.rule_indices,
+                    ci,
+                    prune,
+                    demand.as_ref().map(|d| &d.filter),
+                    &mut stats,
+                    sink,
+                    cap,
+                )
                 .map_err(|e| match e {
                     EvalError::NonTermination {
                         rounds,
@@ -211,6 +310,11 @@ impl<'p> MonotonicEngine<'p> {
                     other => other,
                 })?;
             stats.rounds.push(rounds);
+        }
+        if skipped > 0 {
+            let line = format!("demand: skipped {skipped} component(s) outside the cone");
+            sink.optimization(&line);
+            stats.optimizations.push(line);
         }
         for pred in db.preds().collect::<Vec<_>>() {
             if let Some(rel) = db.relation(pred) {
@@ -289,6 +393,41 @@ impl<'p> MonotonicEngine<'p> {
         Ok(())
     }
 
+    /// Build the runtime demand restriction for one point query: the
+    /// goal's derivation cone, plus per-predicate constant filters on the
+    /// goal's own component when [`uniform_binding`] proves one of the
+    /// goal's key positions stable.
+    fn demand_plan(&self, comps: &[Component], goal: &Goal) -> DemandPlan {
+        let cone = derivation_cone(self.program, goal.pred);
+        let gname = self.program.pred_name(goal.pred);
+        let mut filter = HashMap::new();
+        let mut restricted = None;
+        if let Some(comp) = comps.iter().find(|c| c.preds.contains(&goal.pred)) {
+            for pos in 0..key_arity(self.program, goal.pred) {
+                let Some(want) = goal.key.0.get(pos) else { break };
+                if let Some(assign) = uniform_binding(self.program, comp, goal.pred, pos) {
+                    for (p, j) in assign {
+                        filter.insert(p, (j, want.clone()));
+                    }
+                    restricted = Some((pos, want.clone()));
+                    break;
+                }
+            }
+        }
+        let decision = match restricted {
+            Some((pos, v)) => format!(
+                "demand: restricted the component of {gname} to {gname}[{pos}] = {}",
+                v.display(self.program)
+            ),
+            None => format!("demand: no stable binding for {gname}; cone restriction only"),
+        };
+        DemandPlan {
+            cone,
+            filter,
+            decision,
+        }
+    }
+
     /// Evaluate one component to fixpoint. Returns the number of rounds.
     #[allow(clippy::too_many_arguments)]
     fn eval_component<S: EventSink, C: Capture>(
@@ -297,6 +436,8 @@ impl<'p> MonotonicEngine<'p> {
         cdb: &BTreeSet<Pred>,
         rule_indices: &[usize],
         ci: usize,
+        prune: bool,
+        demand: Option<&DemandFilter>,
         stats: &mut EvalStats,
         sink: &mut S,
         cap: &mut C,
@@ -388,11 +529,16 @@ impl<'p> MonotonicEngine<'p> {
         let agg_counters = AggCounters::default();
 
         if greedy {
+            // Dominance pruning is withheld under greedy settling: a
+            // dominated derivation there is evidence of a frontier
+            // violation (negative weights), which must surface as
+            // `GreedyViolation`, not be silently discarded.
             return self.eval_component_greedy(
                 db,
                 cdb,
                 &execs,
                 ci,
+                demand,
                 &mut rule_pushes,
                 &agg_counters,
                 stats,
@@ -402,6 +548,7 @@ impl<'p> MonotonicEngine<'p> {
         }
 
         let mut rounds = 0usize;
+        let mut component_pruned = 0u64;
         // Per-round delta, batched per predicate: each driver iterates only
         // the changes of its own predicate instead of rescanning the whole
         // round delta per occurrence.
@@ -422,6 +569,8 @@ impl<'p> MonotonicEngine<'p> {
             }
             let mut derived =
                 RoundBuffer::new(self.program, self.options.check_consistency, &mut rule_pushes);
+            derived.prune = prune;
+            derived.demand = demand;
             {
                 let ctx = Ctx {
                     program: self.program,
@@ -474,6 +623,8 @@ impl<'p> MonotonicEngine<'p> {
             }
             let derived_count = derived.map.len();
             stats.derivations += derived_count as u64;
+            stats.pruned += derived.pruned;
+            component_pruned += derived.pruned;
 
             // Apply derivations: join into db, recording changed keys. The
             // buffered `Arc` keys flow straight into the relation and the
@@ -547,6 +698,9 @@ impl<'p> MonotonicEngine<'p> {
                     agg_counters.elements.get(),
                     agg_counters.peak_bytes.get(),
                 );
+                if component_pruned > 0 {
+                    sink.pruned(ci, component_pruned);
+                }
                 sink.component_end(ci, rounds);
                 return Ok(rounds);
             }
@@ -566,6 +720,7 @@ impl<'p> MonotonicEngine<'p> {
         cdb: &BTreeSet<Pred>,
         execs: &[RuleExec],
         ci: usize,
+        demand: Option<&DemandFilter>,
         rule_pushes: &mut [u64],
         agg_counters: &AggCounters,
         stats: &mut EvalStats,
@@ -581,6 +736,7 @@ impl<'p> MonotonicEngine<'p> {
         // `Arc`s throughout the heap, the cost table, and the relation.
         let mut candidates: BinaryHeap<Reverse<(Real, Pred, Arc<Tuple>)>> = BinaryHeap::new();
         let mut costs: HashMap<(Pred, Arc<Tuple>), Real> = HashMap::new();
+        let mut component_pruned = 0u64;
         for &pred in cdb {
             let rel = std::mem::take(db.relation_mut(pred));
             for (key, cost) in rel.iter_arcs() {
@@ -599,6 +755,7 @@ impl<'p> MonotonicEngine<'p> {
                 agg: agg_counters,
             };
             let mut derived = RoundBuffer::new(self.program, false, rule_pushes);
+            derived.demand = demand;
             for (slot, exec) in execs.iter().enumerate() {
                 stats.firings += 1;
                 sink.rule_fire_start(exec.ri);
@@ -608,6 +765,8 @@ impl<'p> MonotonicEngine<'p> {
                 sink.rule_fire_end(exec.ri);
             }
             stats.derivations += derived.map.len() as u64;
+            stats.pruned += derived.pruned;
+            component_pruned += derived.pruned;
             for ((pred, key), (cost, _slot)) in derived.map {
                 if let Some(Value::Num(r)) = cost {
                     let entry = costs.entry((pred, key.clone())).or_insert(r);
@@ -648,6 +807,7 @@ impl<'p> MonotonicEngine<'p> {
 
             // Fire the semi-naive drivers for this single settled atom.
             let mut derived = RoundBuffer::new(self.program, false, rule_pushes);
+            derived.demand = demand;
             {
                 let ctx = Ctx {
                     program: self.program,
@@ -677,6 +837,8 @@ impl<'p> MonotonicEngine<'p> {
             }
             let derived_count = derived.map.len();
             stats.derivations += derived_count as u64;
+            stats.pruned += derived.pruned;
+            component_pruned += derived.pruned;
             let mut pushed = 0usize;
             for ((dpred, dkey), (dcost, _slot)) in derived.map {
                 let Some(Value::Num(r)) = dcost else { continue };
@@ -732,6 +894,9 @@ impl<'p> MonotonicEngine<'p> {
             agg_counters.elements.get(),
             agg_counters.peak_bytes.get(),
         );
+        if component_pruned > 0 {
+            sink.pruned(ci, component_pruned);
+        }
         sink.component_end(ci, pops);
         Ok(pops)
     }
@@ -1060,6 +1225,20 @@ struct RoundBuffer<'a> {
     joining: bool,
     /// Exec slot of the rule currently firing (set before `exec_steps`).
     current: usize,
+    /// PreM dominance pruning (`--optimize=prem`, proven component only):
+    /// discard derivations whose cost is already dominated by the
+    /// database value instead of buffering them. Such a derivation would
+    /// be a no-op at apply time, so the model is unchanged; it does
+    /// bypass the same-round Definition 2.6 check for the discarded
+    /// value, which is why the rewrite additionally requires the program
+    /// to be certified conflict-free.
+    prune: bool,
+    /// Demand filter (`--optimize=demand`): discard derivations not
+    /// carrying the demanded constant at their predicate's stable
+    /// position.
+    demand: Option<&'a DemandFilter>,
+    /// Derivations discarded by either filter.
+    pruned: u64,
     /// Per-exec-slot head-derivation counts (component lifetime).
     pushes: &'a mut [u64],
     map: HashMap<(Pred, Arc<Tuple>), (Option<Value>, usize)>,
@@ -1072,6 +1251,9 @@ impl<'a> RoundBuffer<'a> {
             check,
             joining: false,
             current: 0,
+            prune: false,
+            demand: None,
+            pruned: 0,
             pushes,
             map: HashMap::new(),
         }
@@ -1270,6 +1452,26 @@ fn emit_head<C: Capture>(
         _ => None,
     };
     let key = Arc::new(Tuple::new(key));
+    if let Some(filter) = out.demand {
+        if let Some((pos, want)) = filter.get(&rule.head.pred) {
+            if !key.0.get(*pos).is_some_and(|v| values_equal(v, want)) {
+                out.pruned += 1;
+                return Ok(());
+            }
+        }
+    }
+    if out.prune {
+        if let (Some(new), Some(spec)) = (&cost, spec) {
+            if let Some(Some(old)) = ctx.db.relation(rule.head.pred).and_then(|rel| rel.get(&key))
+            {
+                let domain = RuntimeDomain::new(spec.domain);
+                if &domain.join(old, new) == old {
+                    out.pruned += 1;
+                    return Ok(());
+                }
+            }
+        }
+    }
     if C::ENABLED {
         cap.head(rule.head.pred, &key, &cost);
     }
@@ -2500,5 +2702,208 @@ mod tests {
                 .as_f64(),
             Some(0.0)
         );
+    }
+
+    const OPT_SHORTEST: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        arc(a, b, 2). arc(b, c, 3). arc(c, a, 4). arc(a, c, 10).
+        arc(b, d, 1). arc(d, c, 1).
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    fn run_opt(src: &str, optimize: Optimize) -> (maglog_datalog::Program, Model) {
+        let p = parse_program(src).unwrap();
+        let model = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                optimize,
+                ..Default::default()
+            },
+        )
+        .evaluate(&Edb::new())
+        .unwrap();
+        (p, model)
+    }
+
+    #[test]
+    fn prem_pruning_preserves_the_model_and_cuts_derivations() {
+        let (p, plain) = run(OPT_SHORTEST);
+        let (p2, optimized) = run_opt(
+            OPT_SHORTEST,
+            Optimize {
+                prem: true,
+                demand: false,
+            },
+        );
+        assert_eq!(plain.render(&p), optimized.render(&p2));
+        assert_eq!(plain.stats().pruned, 0);
+        assert!(plain.stats().optimizations.is_empty());
+        assert!(optimized.stats().pruned > 0);
+        assert!(
+            optimized.stats().derivations < plain.stats().derivations,
+            "{} !< {}",
+            optimized.stats().derivations,
+            plain.stats().derivations
+        );
+        assert!(optimized
+            .stats()
+            .optimizations
+            .iter()
+            .any(|l| l.contains("premappable")));
+    }
+
+    #[test]
+    fn refused_pushdown_is_never_pruned_nonlinear_recursion() {
+        // Doubling (non-linear) recursion: the PreM proof refuses the
+        // pushdown, so `--optimize=prem` must change nothing.
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 2). arc(b, c, 3). arc(c, d, 4).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), s(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            constraint :- arc(direct, Z, C).
+            constraint :- s(direct, Z, C).
+        "#;
+        let (p, plain) = run(src);
+        let (p2, optimized) = run_opt(
+            src,
+            Optimize {
+                prem: true,
+                demand: false,
+            },
+        );
+        assert_eq!(plain.render(&p), optimized.render(&p2));
+        assert_eq!(optimized.stats().pruned, 0);
+        assert_eq!(
+            optimized.stats().derivations,
+            plain.stats().derivations,
+            "a refused pushdown must not change the evaluation"
+        );
+        assert!(optimized
+            .stats()
+            .optimizations
+            .iter()
+            .any(|l| l.contains("refused")));
+    }
+
+    #[test]
+    fn refused_pushdown_is_never_pruned_total_aggregate() {
+        // Example 4.3's party program: the count aggregate uses total
+        // equality, which is not a join fold — refusal, no pruning.
+        let src = r#"
+            requires(ann, 0). requires(bob, 1). requires(cal, 1). requires(dan, 1).
+            knows(bob, ann). knows(cal, dan). knows(dan, cal).
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+        "#;
+        let (p, plain) = run(src);
+        let (p2, optimized) = run_opt(
+            src,
+            Optimize {
+                prem: true,
+                demand: false,
+            },
+        );
+        assert_eq!(plain.render(&p), optimized.render(&p2));
+        assert_eq!(optimized.stats().pruned, 0);
+        assert!(optimized
+            .stats()
+            .optimizations
+            .iter()
+            .any(|l| l.contains("refused")));
+    }
+
+    #[test]
+    fn demand_restricted_goal_agrees_with_the_full_model() {
+        use crate::provenance::parse_goal;
+        let src = r#"
+            declare pred arc/3 cost min_real.
+            declare pred path/4 cost min_real.
+            declare pred s/3 cost min_real.
+            arc(a, b, 2). arc(b, c, 3). arc(c, a, 4). arc(a, c, 10).
+            arc(b, d, 1). arc(d, c, 1).
+            path(X, direct, Y, C) :- arc(X, Y, C).
+            path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+            s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+            e(p, q). e(q, r).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- tc(X, Z), e(Z, Y).
+            constraint :- arc(direct, Z, C).
+        "#;
+        let p = parse_program(src).unwrap();
+        let full = MonotonicEngine::new(&p).evaluate(&Edb::new()).unwrap();
+        let goal = parse_goal(&p, "s(a, c)").unwrap();
+        let engine = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                optimize: Optimize {
+                    prem: false,
+                    demand: true,
+                },
+                ..Default::default()
+            },
+        );
+        let m = engine.evaluate_goal(&Edb::new(), &goal).unwrap();
+        // Every s-fact from the demanded source survives, at its exact
+        // full-model cost.
+        for target in ["b", "c", "d"] {
+            assert_eq!(
+                m.cost_of(&p, "s", &["a", target]),
+                full.cost_of(&p, "s", &["a", target]),
+                "s(a, {target})"
+            );
+        }
+        // The unrelated tc component was skipped outright...
+        assert!(m.stats().rounds.contains(&0));
+        assert!(m.tuples_of(&p, "tc").is_empty());
+        // ...and derivations from other sources were filtered.
+        assert!(m.stats().pruned > 0);
+        assert!(m.stats().derivations < full.stats().derivations);
+        assert!(m
+            .stats()
+            .optimizations
+            .iter()
+            .any(|l| l.contains("demand: restricted")));
+    }
+
+    #[test]
+    fn demand_goal_without_a_stable_binding_still_answers() {
+        use crate::provenance::parse_goal;
+        // The party component admits no uniform binding: the engine must
+        // fall back to cone-only restriction and still answer correctly.
+        let src = r#"
+            requires(ann, 0). requires(bob, 1). requires(cal, 1). requires(dan, 1).
+            knows(bob, ann). knows(cal, dan). knows(dan, cal).
+            coming(X) :- requires(X, K), N = count : kc(X, Y), N >= K.
+            kc(X, Y) :- knows(X, Y), coming(Y).
+        "#;
+        let p = parse_program(src).unwrap();
+        let goal = parse_goal(&p, "coming(bob)").unwrap();
+        let engine = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                optimize: Optimize {
+                    prem: false,
+                    demand: true,
+                },
+                ..Default::default()
+            },
+        );
+        let m = engine.evaluate_goal(&Edb::new(), &goal).unwrap();
+        assert!(m.holds(&p, "coming", &["bob"]));
+        assert!(!m.holds(&p, "coming", &["cal"]));
+        assert!(m
+            .stats()
+            .optimizations
+            .iter()
+            .any(|l| l.contains("no stable binding")));
     }
 }

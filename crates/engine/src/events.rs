@@ -75,6 +75,15 @@ pub trait EventSink {
     fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {}
     /// The greedy strategy settled `pred(key)` at `cost`.
     fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {}
+    /// An optimizing-rewrite decision (`--optimize`): one human-readable
+    /// line per decision — PreM pushdown proven or refused per component,
+    /// demand restriction chosen for a point query. Fired before any
+    /// component evaluates.
+    fn optimization(&mut self, decision: &str) {}
+    /// Derivations discarded by proven-sound filters (PreM dominance
+    /// pruning, demand restriction) over the whole component. Fired just
+    /// before [`EventSink::component_end`], and only when non-zero.
+    fn pruned(&mut self, component: usize, count: u64) {}
     /// The component reached its fixpoint after `rounds` rounds (queue
     /// pops for greedy components).
     fn component_end(&mut self, component: usize, rounds: usize) {}
@@ -145,6 +154,14 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {
         self.0.greedy_settle(pred, key, cost);
         self.1.greedy_settle(pred, key, cost);
+    }
+    fn optimization(&mut self, decision: &str) {
+        self.0.optimization(decision);
+        self.1.optimization(decision);
+    }
+    fn pruned(&mut self, component: usize, count: u64) {
+        self.0.pruned(component, count);
+        self.1.pruned(component, count);
     }
     fn component_end(&mut self, component: usize, rounds: usize) {
         self.0.component_end(component, rounds);
@@ -246,6 +263,8 @@ mod tests {
         s.rule_fire_end(0);
         s.round_end(1, 0, 0);
         s.aggregate_totals(0, 0, 0);
+        s.optimization("prem: {p} premappable — dominance pruning enabled");
+        s.pruned(0, 3);
         s.component_end(0, 1);
         s.relation_memory(Pred(maglog_datalog::Sym(0)), RelationMemory::default());
     }

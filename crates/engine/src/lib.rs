@@ -59,6 +59,7 @@ pub use alloc::CountingAlloc;
 pub use edb::Edb;
 pub use error::EvalError;
 pub use eval::{why_not, EvalOptions, EvalStats, MonotonicEngine, Strategy};
+pub use plan::{prem_rewrites, Optimize, Rewrites};
 pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
 pub use interp::{IndexStats, Interp, Relation, RelationMemory, Tuple};
 pub use model::Model;

@@ -19,8 +19,114 @@
 //! ([`crate::interp::Relation::probe`]).
 
 use crate::interp::Sig;
+use maglog_analysis::AnalysisReport;
 use maglog_datalog::{AggEq, Atom, Expr, Literal, Program, Rule, Term, Var};
 use std::collections::BTreeSet;
+
+/// Opt-in optimizing rewrites, each gated on a static proof from
+/// `maglog-analysis`. Off by default: `--optimize` turns everything on,
+/// `--optimize=prem,demand` selects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Optimize {
+    /// Premappability-proven aggregate pushdown: dominated derivations of
+    /// a proven component are pruned at emit time instead of buffered.
+    pub prem: bool,
+    /// Demand restriction for point queries
+    /// ([`crate::MonotonicEngine::evaluate_goal`]): skip components
+    /// outside the goal's derivation cone and filter the goal's component
+    /// to tuples carrying the demanded constant.
+    pub demand: bool,
+}
+
+impl Optimize {
+    /// Every rewrite on.
+    pub fn all() -> Optimize {
+        Optimize {
+            prem: true,
+            demand: true,
+        }
+    }
+
+    /// Parse a comma-separated rewrite list (`prem`, `demand`).
+    pub fn parse(s: &str) -> Option<Optimize> {
+        let mut opt = Optimize::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match part {
+                "prem" => opt.prem = true,
+                "demand" => opt.demand = true,
+                _ => return None,
+            }
+        }
+        Some(opt)
+    }
+
+    /// Is any rewrite enabled?
+    pub fn any(self) -> bool {
+        self.prem || self.demand
+    }
+
+    /// Names of the enabled rewrites, for stats and profile output.
+    pub fn names(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.prem {
+            out.push("prem");
+        }
+        if self.demand {
+            out.push("demand");
+        }
+        out
+    }
+}
+
+/// The PreM rewrite decisions for a program, index-aligned with
+/// [`maglog_datalog::graph::components`]: which components may prune
+/// dominated derivations at emit time, and why (or why not), as recorded
+/// in [`crate::EvalStats::optimizations`] and profile reports.
+#[derive(Clone, Debug, Default)]
+pub struct Rewrites {
+    /// Per-component: dominance pruning is proven sound and enabled.
+    pub prune: Vec<bool>,
+    /// Per-component decision line (None for components without a
+    /// recursive aggregate, where there is nothing to decide).
+    pub decisions: Vec<Option<String>>,
+}
+
+/// Decide the PreM pushdown per component from a finished analysis
+/// report. Pruning bypasses the same-round Definition 2.6 conflict check
+/// for dominated derivations, so it is additionally gated on the program
+/// being certified evaluable (statically conflict-free).
+pub fn prem_rewrites(program: &Program, report: &AnalysisReport) -> Rewrites {
+    let certified = report.evaluable();
+    let mut out = Rewrites::default();
+    for comp in &report.prem {
+        let preds: Vec<String> = comp.preds.iter().map(|p| program.pred_name(*p)).collect();
+        let preds = preds.join(", ");
+        if !comp.recursive_aggregation {
+            out.prune.push(false);
+            out.decisions.push(None);
+            continue;
+        }
+        if comp.premappable() && certified {
+            out.prune.push(true);
+            out.decisions.push(Some(format!(
+                "prem: {{{preds}}} premappable — dominance pruning enabled"
+            )));
+        } else {
+            let why = if !certified {
+                "program not certified evaluable".to_string()
+            } else {
+                comp.refusals
+                    .first()
+                    .map(|r| r.reason.clone())
+                    .unwrap_or_else(|| "unproven".to_string())
+            };
+            out.prune.push(false);
+            out.decisions
+                .push(Some(format!("prem: {{{preds}}} pushdown refused — {why}")));
+        }
+    }
+    out
+}
 
 /// One evaluation step.
 #[derive(Clone, Debug, PartialEq)]

@@ -133,6 +133,11 @@ pub struct ProfileReport {
     /// Allocator high-water mark at report time — per-strategy when the
     /// host calls [`crate::alloc::reset_peak`] before each run.
     pub alloc_peak_bytes: u64,
+    /// Optimizing-rewrite decisions (`--optimize`), one line each; empty
+    /// when no rewrite ran.
+    pub optimizations: Vec<String>,
+    /// Derivations discarded by proven-sound optimization filters.
+    pub pruned: u64,
 }
 
 impl ProfileReport {
@@ -297,9 +302,15 @@ impl ProfileReport {
         }
         s.push_str("        ]\n      },\n");
         s.push_str(&format!(
-            "      \"aggregates\": {{\"groups\": {}, \"elements\": {}, \"peak_bytes\": {}}}\n",
+            "      \"aggregates\": {{\"groups\": {}, \"elements\": {}, \"peak_bytes\": {}}},\n",
             self.agg_groups, self.agg_elements, self.agg_peak_bytes
         ));
+        let decisions: Vec<String> = self.optimizations.iter().map(|d| json_str(d)).collect();
+        s.push_str(&format!(
+            "      \"optimizations\": [{}],\n",
+            decisions.join(", ")
+        ));
+        s.push_str(&format!("      \"pruned\": {}\n", self.pruned));
         s.push_str("    }");
         s
     }
@@ -391,6 +402,15 @@ impl ProfileReport {
             self.agg_elements,
             fmt_bytes(self.agg_peak_bytes)
         ));
+        if !self.optimizations.is_empty() || self.pruned > 0 {
+            s.push_str(&format!(
+                "optimizations ({} derivation(s) pruned):\n",
+                self.pruned
+            ));
+            for d in &self.optimizations {
+                s.push_str(&format!("  {d}\n"));
+            }
+        }
         s
     }
 }
@@ -442,6 +462,8 @@ pub struct MetricsSink<'p> {
     agg_groups: u64,
     agg_elements: u64,
     agg_peak_bytes: u64,
+    optimizations: Vec<String>,
+    pruned: u64,
     cur_round: Option<RoundProfile>,
     fire_started: u64,
 }
@@ -465,6 +487,8 @@ impl<'p> MetricsSink<'p> {
             agg_groups: 0,
             agg_elements: 0,
             agg_peak_bytes: 0,
+            optimizations: Vec::new(),
+            pruned: 0,
             cur_round: None,
             fire_started: 0,
         }
@@ -508,6 +532,8 @@ impl<'p> MetricsSink<'p> {
             agg_peak_bytes: self.agg_peak_bytes,
             alloc_current_bytes: crate::alloc::current_bytes() as u64,
             alloc_peak_bytes: crate::alloc::peak_bytes() as u64,
+            optimizations: self.optimizations,
+            pruned: self.pruned,
         }
     }
 }
@@ -595,6 +621,14 @@ impl EventSink for MetricsSink<'_> {
         self.agg_peak_bytes = self.agg_peak_bytes.max(peak_bytes);
     }
 
+    fn optimization(&mut self, decision: &str) {
+        self.optimizations.push(decision.to_string());
+    }
+
+    fn pruned(&mut self, _component: usize, count: u64) {
+        self.pruned += count;
+    }
+
     fn component_end(&mut self, _component: usize, rounds: usize) {
         if let Some(c) = self.components.last_mut() {
             c.rounds = rounds;
@@ -658,6 +692,16 @@ impl<'p> TraceSink<'p> {
 }
 
 impl EventSink for TraceSink<'_> {
+    fn optimization(&mut self, decision: &str) {
+        self.out.push_str(&format!("optimize: {decision}\n"));
+    }
+
+    fn pruned(&mut self, component: usize, count: u64) {
+        self.out.push_str(&format!(
+            "component {component}: {count} derivation(s) pruned by optimization\n"
+        ));
+    }
+
     fn component_start(&mut self, component: usize, strategy: Strategy, cdb: &[Pred]) {
         self.round_lines = 0;
         self.elided = 0;

@@ -85,6 +85,53 @@ where
     check_bounds(a);
 }
 
+/// Join-distributivity of a unary translation: `f(a ⊔ b) = f(a) ⊔ f(b)`.
+///
+/// This is the semilattice half of the premappability condition (PreM,
+/// Zaniolo et al.): a cost transformation applied by a recursive rule body
+/// may be pushed inside the aggregate's fold exactly when it distributes
+/// over the domain's join. Callers sample `f` over representative pairs.
+pub fn check_join_distributive<T, F>(f: F, a: &T, b: &T)
+where
+    T: JoinSemiLattice + Debug + PartialEq,
+    F: Fn(&T) -> T,
+{
+    assert_eq!(
+        f(&a.join(b)),
+        f(a).join(&f(b)),
+        "translation does not distribute over join at {a:?}, {b:?}"
+    );
+}
+
+/// Fold/insert compatibility: folding one more element into a join-fold is
+/// the same as joining it afterwards — `fold(S ∪ {d}) = fold(S) ⊔ d`.
+///
+/// For a join-fold aggregate (min over `min_real`, max over `max_real`, …)
+/// this is immediate from associativity/commutativity, and it is what lets
+/// the engine prune dominated derivations eagerly: an element that cannot
+/// change the running fold cannot change the aggregate's final value.
+pub fn check_fold_insert<T>(elements: &[T], extra: &T)
+where
+    T: JoinSemiLattice + Debug + PartialEq + Clone,
+{
+    let Some((first, rest)) = elements.split_first() else {
+        return;
+    };
+    let fold_without = rest.iter().fold(first.clone(), |acc, x| acc.join(x));
+    let fold_with = fold_without.join(extra);
+    // Insert `extra` at every position: the result must be order-independent.
+    for i in 0..=elements.len() {
+        let mut with: Vec<T> = elements.to_vec();
+        with.insert(i, extra.clone());
+        let (h, t) = with.split_first().unwrap();
+        let folded = t.iter().fold(h.clone(), |acc, x| acc.join(x));
+        assert_eq!(
+            folded, fold_with,
+            "fold(S ∪ {{d}}) ≠ fold(S) ⊔ d inserting {extra:?} at {i}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +196,59 @@ mod tests {
                     check_complete_lattice_laws(&BoolAnd(a), &BoolAnd(b), &BoolAnd(c));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn additive_translation_distributes_over_min_real() {
+        // The shortest-path recursive rule adds an arc weight: x ↦ x + c.
+        // Addition distributes over min, so the rule is premappable.
+        let samples = [-1.5, 0.0, 2.0, 7.25, f64::INFINITY];
+        for &c in &[0.0, 0.5, 3.0] {
+            for &a in &samples {
+                for &b in &samples {
+                    check_join_distributive(
+                        |x: &MinReal| MinReal::new(x.get() + c),
+                        &MinReal::new(a),
+                        &MinReal::new(b),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_translation_distributes_over_max_real() {
+        // The widest-path recursive rule clamps by an arc capacity:
+        // x ↦ min(x, c). min distributes over max.
+        let samples = [-1.0, 0.0, 2.0, 9.0, f64::NEG_INFINITY];
+        for &c in &[0.5, 3.0, 8.0] {
+            for &a in &samples {
+                for &b in &samples {
+                    check_join_distributive(
+                        |x: &MaxReal| MaxReal::new(x.get().min(c)),
+                        &MaxReal::new(a),
+                        &MaxReal::new(b),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_folds_absorb_late_inserts() {
+        let xs = [
+            MinReal::new(4.0),
+            MinReal::new(-1.0),
+            MinReal::new(2.5),
+            MinReal::new(0.0),
+        ];
+        for extra in [MinReal::new(-3.0), MinReal::new(1.0), MinReal::new(9.0)] {
+            check_fold_insert(&xs, &extra);
+        }
+        let bs = [BoolOr(false), BoolOr(true), BoolOr(false)];
+        for extra in [BoolOr(false), BoolOr(true)] {
+            check_fold_insert(&bs, &extra);
         }
     }
 

@@ -14,8 +14,9 @@
 //!
 //! ```text
 //! --format=human|json   rendering of the diagnostics (default: human)
-//! --deny <CODE|all>     escalate a lint code to deny (all: every warning)
+//! --deny <CODE|all>     escalate a lint code to deny (all/warnings: every warning)
 //! --allow <CODE>        silence a lint code entirely
+//! --explain <CODE>      print the long-form description of a lint code
 //! ```
 //!
 //! `profile` options:
@@ -36,7 +37,10 @@
 //! `run` options: `--stats` (profiler report on stderr, plus a per-phase
 //! parse/analyze/plan/eval wall-clock and allocation split), `--explain
 //! <pred>` (dump derivations + aggregate witnesses of every tuple of
-//! `pred`), `--max-rounds <N>` (per-component fixpoint cap).
+//! `pred`), `--max-rounds <N>` (per-component fixpoint cap),
+//! `--optimize[=prem,demand]` (opt-in proven rewrites; decisions are
+//! reported on stderr), `--query '<fact>'` (answer one ground point query;
+//! with `--optimize=demand` only the goal's derivation cone is computed).
 //!
 //! `bench` options:
 //!
@@ -65,7 +69,8 @@ use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::{
     alloc, explain_tree, fmt_bytes, parse_goal, render_explain_dot, render_explain_human,
     render_explain_json, render_profile_json, render_why_not_human, render_why_not_json, why_not,
-    Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Strategy, TraceSink, Tuple,
+    Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Optimize, Strategy, TraceSink,
+    Tuple,
 };
 use std::process::ExitCode;
 
@@ -77,11 +82,15 @@ static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 const USAGE: &str = "\
 usage: maglog <check|run|profile|bench|compare|explain> [args]
 
-  check   [--format=human|json] [--deny <CODE|all>] [--allow <CODE>] <program.mgl>
-  run     [--stats] [--explain <pred>] [--max-rounds <N>] <program.mgl> [pred...]
-  profile [--format=human|json] [--strategy=naive|seminaive|greedy] <program.mgl>
+  check   [--format=human|json] [--deny <CODE|all|warnings>] [--allow <CODE>] <program.mgl>
+  check   --explain <CODE>
+  run     [--stats] [--explain <pred>] [--max-rounds <N>] [--optimize[=prem,demand]]
+          [--query '<fact>'] <program.mgl> [pred...]
+  profile [--format=human|json] [--strategy=naive|seminaive|greedy]
+          [--optimize[=prem,demand]] <program.mgl>
   bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
           [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
+          [--optimize[=prem,demand]]
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
@@ -106,7 +115,15 @@ witnesses (--format=json emits maglog-explain-v1; dot emits Graphviz).
 With --why-not it reports, per candidate rule, the first body subgoal that
 fails. A goal is written like s(a, b) or s(a, b, 3) (cost optional).
 
-Lint codes are the stable MAGxxxx identifiers listed in docs/lint-codes.md.";
+Lint codes are the stable MAGxxxx identifiers listed in docs/lint-codes.md;
+check --explain MAGxxxx prints the long-form description of any code.
+--deny warnings (or all) escalates warn-level findings to errors; notes
+are never escalated, so an all-notes program still exits 0.
+
+--optimize enables proven rewrites (see docs/optimization.md): prem prunes
+derivations dominated under a premappable aggregate, demand restricts a
+--query point goal to its derivation cone. Both are gated on their static
+proofs and never change the computed model.";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -117,6 +134,8 @@ enum Format {
 struct CheckOpts {
     format: Format,
     config: LintConfig,
+    /// Print the long-form description of this code instead of checking.
+    explain: Option<Code>,
 }
 
 enum ArgError {
@@ -129,6 +148,7 @@ fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgErro
     let mut opts = CheckOpts {
         format: Format::Human,
         config: LintConfig::new(),
+        explain: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -155,7 +175,9 @@ fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgErro
             }
             "--deny" => {
                 let v = value("--deny")?;
-                if v == "all" {
+                // `warnings` is the CI-friendly spelling of `all`: both
+                // escalate warn-level codes only, never notes.
+                if v == "all" || v == "warnings" {
                     opts.config.set_deny_all(true);
                 } else {
                     let code = parse_code(&v)?;
@@ -165,6 +187,9 @@ fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgErro
             "--allow" => {
                 let code = parse_code(&value("--allow")?)?;
                 opts.config.set(code, Severity::Allow);
+            }
+            "--explain" => {
+                opts.explain = Some(parse_code(&value("--explain")?)?);
             }
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
@@ -177,6 +202,21 @@ fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgErro
 
 fn parse_code(s: &str) -> Result<Code, ArgError> {
     Code::parse(s).ok_or_else(|| ArgError::Usage(format!("unknown lint code '{s}'")))
+}
+
+/// Parse `--optimize`'s inline value. A bare `--optimize` (no value)
+/// enables every rewrite; the flag never consumes the next argument, so
+/// `maglog run --optimize prog.mgl` does the expected thing.
+fn parse_optimize(inline_value: Option<&str>) -> Result<Optimize, ArgError> {
+    match inline_value {
+        None => Ok(Optimize::all()),
+        Some(v) if v.trim().is_empty() => Ok(Optimize::all()),
+        Some(v) => Optimize::parse(v).ok_or_else(|| {
+            ArgError::Usage(format!(
+                "unknown rewrite in '--optimize={v}' (expected a comma list of: prem, demand)"
+            ))
+        }),
+    }
 }
 
 fn usage_exit(msg: &str) -> ExitCode {
@@ -198,6 +238,13 @@ fn main() -> ExitCode {
             Ok(x) => x,
             Err(ArgError::Usage(msg)) => return usage_exit(&msg),
         };
+        if let Some(code) = opts.explain {
+            if !operands.is_empty() {
+                return usage_exit("check --explain takes no program file");
+            }
+            print!("{}", explain_code(code));
+            return ExitCode::SUCCESS;
+        }
         let [path] = operands.as_slice() else {
             return usage_exit("check takes exactly one program file");
         };
@@ -251,6 +298,7 @@ fn main() -> ExitCode {
             warmup: opts.warmup,
             workloads: opts.workloads.clone(),
             sizes: opts.sizes.clone(),
+            optimize: opts.optimize,
         };
         // Filter problems (unknown workloads, sizes matching nothing) are
         // usage errors, caught before any measurement runs.
@@ -311,12 +359,14 @@ struct ProfileOpts {
     format: Format,
     /// `None` profiles all three strategies.
     strategy: Option<Strategy>,
+    optimize: Optimize,
 }
 
 fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), ArgError> {
     let mut opts = ProfileOpts {
         format: Format::Human,
         strategy: None,
+        optimize: Optimize::default(),
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -347,6 +397,7 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
                     ArgError::Usage(format!("unknown strategy '{v}'"))
                 })?);
             }
+            "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
             }
@@ -365,6 +416,7 @@ struct BenchOpts {
     out: Option<String>,
     baseline: Option<String>,
     gate: f64,
+    optimize: Optimize,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
@@ -377,6 +429,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
         out: None,
         baseline: None,
         gate: 1.25,
+        optimize: Optimize::default(),
     };
     let mut gate_set = false;
     let mut it = args.iter().peekable();
@@ -448,6 +501,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
             }
             "--out" => opts.out = Some(value("--out")?),
             "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
             "--gate" => {
                 let v = value("--gate")?;
                 opts.gate = v
@@ -509,6 +563,9 @@ struct RunOpts {
     /// Dump the derivation of every tuple of this predicate after the run.
     explain: Option<String>,
     max_rounds: Option<usize>,
+    optimize: Optimize,
+    /// Answer one ground point query (`--query 's(a, b)'`).
+    query: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
@@ -516,6 +573,8 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
         stats: false,
         explain: None,
         max_rounds: None,
+        optimize: Optimize::default(),
+        query: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -539,6 +598,8 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
                     ArgError::Usage(format!("--max-rounds needs a number, got '{v}'"))
                 })?);
             }
+            "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
+            "--query" => opts.query = Some(value("--query")?),
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
             }
@@ -616,6 +677,24 @@ fn read_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The long-form description of a lint code, as printed by `maglog check
+/// --explain MAGxxxx`. The text comes from [`Code::explain`], the one
+/// table shared with `docs/lint-codes.md`.
+fn explain_code(code: Code) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", code, code.title());
+    let _ = writeln!(out, "default severity: {}", code.default_severity().label());
+    let _ = writeln!(out, "reference: {}", code.paper_ref());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", code.explain());
+    if let Some(help) = code.help() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "help: {help}");
+    }
+    out
+}
+
 fn cmd_check(path: &str, opts: &CheckOpts) -> Result<(), String> {
     let src = read_source(path)?;
     let chk: SourceCheck = check_source(&src, &opts.config);
@@ -685,6 +764,12 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
     if let Some(max_rounds) = opts.max_rounds {
         eval_options.max_rounds = max_rounds;
     }
+    eval_options.optimize = opts.optimize;
+    let goal = opts
+        .query
+        .as_deref()
+        .map(|q| parse_goal(&program, q))
+        .transpose()?;
     let engine = run_phase(&mut phases, "plan", || {
         MonotonicEngine::with_options(&program, eval_options)
     });
@@ -693,9 +778,11 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         run_phase(&mut phases, "eval", || -> Result<_, String> {
             if opts.stats {
                 let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
-                let model = engine
-                    .evaluate_with_sink(&Edb::new(), &mut sink)
-                    .map_err(|e| e.to_string())?;
+                let model = match &goal {
+                    Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut sink),
+                    None => engine.evaluate_with_sink(&Edb::new(), &mut sink),
+                }
+                .map_err(|e| e.to_string())?;
                 Ok((model, Some(sink.finish().render_human())))
             } else if opts.explain.is_some() {
                 let (model, prov) = engine
@@ -703,11 +790,43 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 provenance = Some(prov);
                 Ok((model, None))
+            } else if let Some(goal) = &goal {
+                Ok((
+                    engine
+                        .evaluate_goal(&Edb::new(), goal)
+                        .map_err(|e| e.to_string())?,
+                    None,
+                ))
             } else {
                 Ok((engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None))
             }
         })?;
-    if preds.is_empty() {
+    if let Some(goal) = &goal {
+        // Answer the point query directly from the computed model. Under
+        // `--optimize=demand` only the goal's derivation cone was
+        // evaluated, so the full-model dump would be misleading — print
+        // the queried fact only.
+        let name = program.pred_name(goal.pred);
+        match model
+            .interp()
+            .relation(goal.pred)
+            .and_then(|rel| rel.get(&goal.key))
+        {
+            Some(cost) => {
+                let mut parts: Vec<String> =
+                    goal.key.0.iter().map(|v| v.display(&program)).collect();
+                if let Some(c) = cost {
+                    parts.push(c.display(&program));
+                }
+                println!("{name}({}).", parts.join(", "));
+            }
+            None => {
+                let parts: Vec<String> =
+                    goal.key.0.iter().map(|v| v.display(&program)).collect();
+                println!("{name}({}) is not in the model.", parts.join(", "));
+            }
+        }
+    } else if preds.is_empty() {
         println!("{}", model.render(&program));
     } else {
         for pred in preds {
@@ -733,6 +852,15 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         per_component,
         model.stats().firings
     );
+    for line in &model.stats().optimizations {
+        eprintln!("-- optimize: {line}");
+    }
+    if model.stats().pruned > 0 {
+        eprintln!(
+            "-- optimize: {} derivation(s) pruned",
+            model.stats().pruned
+        );
+    }
     if opts.stats {
         let parts: Vec<String> = phases
             .iter()
@@ -826,6 +954,7 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
             &program,
             EvalOptions {
                 strategy,
+                optimize: opts.optimize,
                 ..Default::default()
             },
         );

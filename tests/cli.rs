@@ -510,6 +510,114 @@ fn deny_escalates_a_note_to_an_error() {
 }
 
 #[test]
+fn check_explain_prints_the_long_form_lint_description() {
+    let out = maglog(&["check", "--explain", "MAG0701"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("MAG0701:"), "{text}");
+    assert!(text.contains("default severity:"), "{text}");
+    assert!(text.contains("reference:"), "{text}");
+    // The long-form body, not just the one-line summary.
+    assert!(text.contains("--optimize=prem"), "{text}");
+
+    // Unknown codes are usage errors naming the code.
+    let out = maglog(&["check", "--explain", "MAG9999"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("MAG9999"), "{}", stderr(&out));
+}
+
+#[test]
+fn deny_warnings_keeps_note_only_programs_passing() {
+    // shortest_path.mgl reports only note-level findings (MAG0501/0502/
+    // 0601/0701/0703); escalating warnings must not touch notes, so the
+    // exit code stays 0.
+    for deny in ["warnings", "all"] {
+        let out = maglog(&["check", "--deny", deny, "programs/shortest_path.mgl"]);
+        assert!(
+            out.status.success(),
+            "--deny {deny}: {}{}",
+            stdout(&out),
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn run_optimize_prunes_and_preserves_the_model() {
+    let plain = maglog(&["run", "programs/shortest_path.mgl"]);
+    let opt = maglog(&["run", "--optimize=prem", "programs/shortest_path.mgl"]);
+    assert!(opt.status.success(), "{}", stderr(&opt));
+    // Same model on stdout, decision lines on stderr.
+    assert_eq!(stdout(&plain), stdout(&opt));
+    let err = stderr(&opt);
+    assert!(err.contains("premappable — dominance pruning enabled"), "{err}");
+    assert!(err.contains("derivation(s) pruned"), "{err}");
+
+    // Bare --optimize enables every rewrite and must not eat the operand.
+    let out = maglog(&["run", "--optimize", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&plain), stdout(&out));
+
+    // Unknown rewrite names are usage errors.
+    let out = maglog(&["run", "--optimize=frobnicate", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("frobnicate"), "{}", stderr(&out));
+
+    // check/compare do not grow the flag.
+    for cmd in ["check", "compare"] {
+        let out = maglog(&[cmd, "--optimize", "programs/shortest_path.mgl"]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn run_query_answers_a_point_goal() {
+    let out = maglog(&["run", "--query", "s(a, b)", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "s(a, b, 1).");
+
+    // Under --optimize=demand the answer is identical and the restriction
+    // decision is reported.
+    let out = maglog(&[
+        "run",
+        "--optimize=demand",
+        "--query",
+        "s(a, b)",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "s(a, b, 1).");
+    let err = stderr(&out);
+    assert!(err.contains("demand: restricted the component of s to s[0] = a"), "{err}");
+
+    // A goal absent from the model says so without failing.
+    let out = maglog(&["run", "--query", "s(b, a)", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("s(b, a) is not in the model."), "{}", stdout(&out));
+
+    // Unknown predicates in the goal are runtime errors.
+    let out = maglog(&["run", "--query", "nope(a)", "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("nope"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_optimize_records_decisions_in_json() {
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--format=json",
+        "--optimize=prem",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"optimizations\""), "{text}");
+    assert!(text.contains("premappable"), "{text}");
+    assert!(text.contains("\"pruned\": 2"), "{text}");
+}
+
+#[test]
 fn non_monotonic_program_makes_check_fail() {
     let dir = std::env::temp_dir().join("maglog_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
