@@ -4,11 +4,13 @@
 //! `u32` ids so that atoms and tuples compare and hash cheaply during
 //! fixpoint evaluation. The table uses interior mutability so that callers
 //! holding a shared `&Program` (e.g. while loading EDB facts) can still
-//! intern new constants.
+//! intern new constants. The interior mutability is an `RwLock` (not a
+//! `RefCell`) so a `Program` is `Sync` and can be shared by the parallel
+//! evaluator's worker threads; evaluation itself only reads.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::RwLock;
 
 /// An interned string.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,7 +25,7 @@ struct Inner {
 /// An interning table mapping strings to [`Sym`] and back.
 #[derive(Default, Debug)]
 pub struct SymbolTable {
-    inner: RefCell<Inner>,
+    inner: RwLock<Inner>,
 }
 
 impl SymbolTable {
@@ -33,7 +35,12 @@ impl SymbolTable {
 
     /// Intern `name`, returning its id (existing or fresh).
     pub fn intern(&self, name: &str) -> Sym {
-        let mut inner = self.inner.borrow_mut();
+        if let Some(&sym) = self.inner.read().unwrap().ids.get(name) {
+            return sym;
+        }
+        let mut inner = self.inner.write().unwrap();
+        // Re-check under the write lock: another interner may have won the
+        // race between our read and write acquisitions.
         if let Some(&sym) = inner.ids.get(name) {
             return sym;
         }
@@ -46,23 +53,23 @@ impl SymbolTable {
 
     /// Look up an already-interned string.
     pub fn lookup(&self, name: &str) -> Option<Sym> {
-        self.inner.borrow().ids.get(name).copied()
+        self.inner.read().unwrap().ids.get(name).copied()
     }
 
     /// The string for `sym` (owned; the table cannot hand out references
-    /// across the `RefCell` boundary).
+    /// across the lock boundary).
     pub fn name(&self, sym: Sym) -> String {
-        self.inner.borrow().names[sym.0 as usize].to_string()
+        self.inner.read().unwrap().names[sym.0 as usize].to_string()
     }
 
     /// Apply `f` to the interned string without cloning.
     pub fn with_name<R>(&self, sym: Sym, f: impl FnOnce(&str) -> R) -> R {
-        f(&self.inner.borrow().names[sym.0 as usize])
+        f(&self.inner.read().unwrap().names[sym.0 as usize])
     }
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.inner.borrow().names.len()
+        self.inner.read().unwrap().names.len()
     }
 
     pub fn is_empty(&self) -> bool {

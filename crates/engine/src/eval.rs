@@ -32,9 +32,11 @@ use maglog_datalog::graph::{components, Component};
 use maglog_datalog::{
     AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
+use crate::par::{self, FireTally};
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Instant;
 
 /// Per-round dedup of aggregate-driver re-evaluations: one entry per
 /// (rule index, driver discriminator, seed binding).
@@ -119,6 +121,12 @@ pub struct EvalOptions {
     /// proof (premappability, uniform stable binding) succeeds. The
     /// computed model is identical with or without them.
     pub optimize: Optimize,
+    /// Worker threads for the sharded parallel evaluator: `1` (the
+    /// default) evaluates sequentially, `0` means "use available
+    /// parallelism", and `N > 1` runs each non-greedy component's rounds
+    /// across `N` workers. The computed model — tuples and costs — is
+    /// identical at every worker count; see `docs/parallelism.md`.
+    pub workers: usize,
 }
 
 impl Default for EvalOptions {
@@ -129,6 +137,7 @@ impl Default for EvalOptions {
             check_consistency: true,
             allow_unchecked: false,
             optimize: Optimize::default(),
+            workers: 1,
         }
     }
 }
@@ -215,6 +224,10 @@ impl<'p> MonotonicEngine<'p> {
         if options.strategy == Strategy::Greedy {
             options.strategy = Strategy::SemiNaive;
         }
+        // Provenance capture threads per-derivation trails through the
+        // firing order; clamp to the sequential evaluator (the model is
+        // identical either way, like the greedy clamp above).
+        options.workers = 1;
         let engine = MonotonicEngine {
             program: self.program,
             options,
@@ -547,6 +560,31 @@ impl<'p> MonotonicEngine<'p> {
             );
         }
 
+        // The sharded parallel evaluator covers the naive and semi-naive
+        // strategies. Provenance capture threads derivation trails through
+        // the firing order, so captured runs stay sequential (their entry
+        // point also clamps `workers`); greedy components settled above.
+        let workers = if C::ENABLED {
+            1
+        } else {
+            par::resolve_workers(self.options.workers)
+        };
+        if workers > 1 {
+            return self.eval_component_parallel(
+                db,
+                cdb,
+                &execs,
+                ci,
+                prune,
+                demand,
+                &mut rule_pushes,
+                &agg_counters,
+                stats,
+                sink,
+                workers,
+            );
+        }
+
         let mut rounds = 0usize;
         let mut component_pruned = 0u64;
         // Per-round delta, batched per predicate: each driver iterates only
@@ -615,6 +653,7 @@ impl<'p> MonotonicEngine<'p> {
                                     stats,
                                     sink,
                                     cap,
+                                    None,
                                 )?;
                             }
                         }
@@ -626,56 +665,8 @@ impl<'p> MonotonicEngine<'p> {
             stats.pruned += derived.pruned;
             component_pruned += derived.pruned;
 
-            // Apply derivations: join into db, recording changed keys. The
-            // buffered `Arc` keys flow straight into the relation and the
-            // next round's delta — no re-cloning of tuple storage.
-            let mut new_delta: HashMap<Pred, Vec<Arc<Tuple>>> = HashMap::new();
-            for ((pred, key), (cost, slot)) in derived.map {
-                let domain = self
-                    .program
-                    .cost_spec(pred)
-                    .map(|c| RuntimeDomain::new(c.domain));
-                let rel = db.relation_mut(pred);
-                let outcome = match rel.get(&key) {
-                    None => {
-                        // For default-value predicates, an explicit entry at
-                        // the default value is not a change.
-                        let is_default_entry = self.program.has_default(pred)
-                            && domain
-                                .as_ref()
-                                .is_some_and(|d| cost.as_ref() == Some(&d.bottom()));
-                        if C::ENABLED && !is_default_entry {
-                            cap.commit(pred, &key, &cost, false);
-                        }
-                        rel.insert_arc(key.clone(), cost);
-                        if !is_default_entry {
-                            new_delta.entry(pred).or_default().push(key);
-                            InsertOutcome::New
-                        } else {
-                            InsertOutcome::Noop
-                        }
-                    }
-                    Some(existing) => {
-                        let mut outcome = InsertOutcome::Noop;
-                        if let (Some(old), Some(new), Some(d)) =
-                            (existing.clone(), &cost, &domain)
-                        {
-                            let joined = d.join(&old, new);
-                            if joined != old {
-                                let joined = Some(joined);
-                                if C::ENABLED {
-                                    cap.commit(pred, &key, &joined, true);
-                                }
-                                rel.insert_arc(key.clone(), joined);
-                                new_delta.entry(pred).or_default().push(key);
-                                outcome = InsertOutcome::Improved;
-                            }
-                        }
-                        outcome
-                    }
-                };
-                sink.insert_outcome(execs[slot].ri, pred, outcome);
-            }
+            // Apply derivations: join into db, recording changed keys.
+            let new_delta = self.apply_round(db, derived.map, &execs, sink, cap);
             if C::ENABLED {
                 cap.end_round();
             }
@@ -705,6 +696,370 @@ impl<'p> MonotonicEngine<'p> {
                 return Ok(rounds);
             }
             delta = new_delta;
+        }
+    }
+
+    /// Join one round's buffered derivations into the database, emitting
+    /// per-derivation insert outcomes and returning the next round's
+    /// delta. The buffered `Arc` keys flow straight into the relation and
+    /// the delta — no re-cloning of tuple storage. Shared by the
+    /// sequential round loop and the parallel barrier (which applies the
+    /// merged shard buffers under the database write lock).
+    fn apply_round<S: EventSink, C: Capture>(
+        &self,
+        db: &mut Interp,
+        derived: HashMap<(Pred, Arc<Tuple>), DerivedEntry>,
+        execs: &[RuleExec<'_>],
+        sink: &mut S,
+        cap: &mut C,
+    ) -> HashMap<Pred, Vec<Arc<Tuple>>> {
+        let mut new_delta: HashMap<Pred, Vec<Arc<Tuple>>> = HashMap::new();
+        for ((pred, key), entry) in derived {
+            let DerivedEntry { cost, slot, .. } = entry;
+            let domain = self
+                .program
+                .cost_spec(pred)
+                .map(|c| RuntimeDomain::new(c.domain));
+            let rel = db.relation_mut(pred);
+            let outcome = match rel.get(&key) {
+                None => {
+                    // For default-value predicates, an explicit entry at
+                    // the default value is not a change.
+                    let is_default_entry = self.program.has_default(pred)
+                        && domain
+                            .as_ref()
+                            .is_some_and(|d| cost.as_ref() == Some(&d.bottom()));
+                    if C::ENABLED && !is_default_entry {
+                        cap.commit(pred, &key, &cost, false);
+                    }
+                    rel.insert_arc(key.clone(), cost);
+                    if !is_default_entry {
+                        new_delta.entry(pred).or_default().push(key);
+                        InsertOutcome::New
+                    } else {
+                        InsertOutcome::Noop
+                    }
+                }
+                Some(existing) => {
+                    let mut outcome = InsertOutcome::Noop;
+                    if let (Some(old), Some(new), Some(d)) =
+                        (existing.clone(), &cost, &domain)
+                    {
+                        let joined = d.join(&old, new);
+                        if joined != old {
+                            let joined = Some(joined);
+                            if C::ENABLED {
+                                cap.commit(pred, &key, &joined, true);
+                            }
+                            rel.insert_arc(key.clone(), joined);
+                            new_delta.entry(pred).or_default().push(key);
+                            outcome = InsertOutcome::Improved;
+                        }
+                    }
+                    outcome
+                }
+            };
+            sink.insert_outcome(execs[slot].ri, pred, outcome);
+        }
+        new_delta
+    }
+
+    /// Evaluate one component's rounds across a pool of worker threads
+    /// (`--parallel[=N]`), reaching the same fixpoint as the sequential
+    /// round loop.
+    ///
+    /// The database moves into an `RwLock` for the component: workers
+    /// take read locks while firing (the firing phase never writes), the
+    /// orchestrator takes the write lock for the apply phase, and the
+    /// round barrier separates the two, so the lock is never contended.
+    /// Every round, each worker walks the full delta but fires only the
+    /// seeds its shard owns ([`par::shard_of`]; full rounds round-robin
+    /// exec slots instead), so the union of worker firings is exactly the
+    /// sequential firing set and worker-local seed dedup is global dedup.
+    /// At the barrier the per-worker round buffers merge in worker order
+    /// ([`merge_worker_entry`]), rule-fire events replay into the real
+    /// sink in exec order, and the merged buffer is applied exactly as a
+    /// sequential round's would be.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_component_parallel<S: EventSink>(
+        &self,
+        db: &mut Interp,
+        cdb: &BTreeSet<Pred>,
+        execs: &[RuleExec<'_>],
+        ci: usize,
+        prune: bool,
+        demand: Option<&DemandFilter>,
+        rule_pushes: &mut [u64],
+        agg_counters: &AggCounters,
+        stats: &mut EvalStats,
+        sink: &mut S,
+        workers: usize,
+    ) -> Result<usize, EvalError> {
+        let db_lock = RwLock::new(std::mem::take(db));
+        let result = std::thread::scope(|s| {
+            let (res_tx, res_rx) = mpsc::channel::<WorkerRound>();
+            let mut job_txs = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (tx, rx) = mpsc::channel::<ParJob>();
+                job_txs.push(tx);
+                let res_tx = res_tx.clone();
+                let db_ref = &db_lock;
+                s.spawn(move || {
+                    self.parallel_worker(db_ref, execs, w, workers, prune, demand, rx, res_tx)
+                });
+            }
+            drop(res_tx);
+
+            let mut rounds = 0usize;
+            let mut component_pruned = 0u64;
+            let mut delta: Arc<HashMap<Pred, Vec<Arc<Tuple>>>> = Arc::new(HashMap::new());
+            loop {
+                if rounds >= self.options.max_rounds {
+                    return Err(EvalError::NonTermination {
+                        rounds,
+                        component: 0,
+                        preds: cdb.iter().map(|p| self.program.pred_name(*p)).collect(),
+                        last_delta: delta.values().map(Vec::len).sum(),
+                    });
+                }
+                let full = rounds == 0 || self.options.strategy == Strategy::Naive;
+                sink.round_start(rounds + 1, full);
+                for tx in &job_txs {
+                    tx.send(ParJob {
+                        round: rounds,
+                        full,
+                        delta: Arc::clone(&delta),
+                    })
+                    .expect("worker exited mid-component");
+                }
+
+                // Round barrier: one result per worker. The wait is
+                // measured from the first arrival — time the orchestrator
+                // spends blocked on stragglers, i.e. shard imbalance.
+                let mut results: Vec<WorkerRound> = Vec::with_capacity(workers);
+                let mut first_arrival: Option<Instant> = None;
+                while results.len() < workers {
+                    let r = res_rx.recv().expect("worker pool hung up mid-round");
+                    debug_assert_eq!(r.round, rounds, "barrier received a stale round");
+                    first_arrival.get_or_insert_with(Instant::now);
+                    results.push(r);
+                }
+                let barrier_wait_nanos = first_arrival
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                results.sort_by_key(|r| r.worker);
+                // The lowest-indexed worker's error wins: deterministic
+                // for a fixed pool size.
+                if let Some(e) = results.iter_mut().find_map(|r| r.error.take()) {
+                    return Err(e);
+                }
+
+                let shard_sizes: Vec<usize> =
+                    results.iter().map(|r| r.firings as usize).collect();
+                for r in &results {
+                    stats.firings += r.firings;
+                    stats.pruned += r.pruned;
+                    component_pruned += r.pruned;
+                    for (slot, n) in r.pushes.iter().enumerate() {
+                        rule_pushes[slot] += n;
+                    }
+                    agg_counters.groups.set(agg_counters.groups.get() + r.groups);
+                    agg_counters
+                        .elements
+                        .set(agg_counters.elements.get() + r.elements);
+                    agg_counters
+                        .peak_bytes
+                        .set(agg_counters.peak_bytes.get().max(r.peak_bytes));
+                }
+                // Replay rule-fire events in exec order so metrics sinks
+                // count firings exactly as sequentially (per-firing wall
+                // time is not meaningful under interleaving).
+                for exec in execs {
+                    let fired: u64 = results
+                        .iter()
+                        .map(|r| r.fired.get(&exec.ri).copied().unwrap_or(0))
+                        .sum();
+                    for _ in 0..fired {
+                        sink.rule_fire_start(exec.ri);
+                        sink.rule_fire_end(exec.ri);
+                    }
+                }
+
+                // Merge the shard buffers in worker order.
+                use std::collections::hash_map::Entry;
+                let mut merged: HashMap<(Pred, Arc<Tuple>), DerivedEntry> = HashMap::new();
+                let mut merges = 0u64;
+                for r in results {
+                    for (k, entry) in r.entries {
+                        match merged.entry(k) {
+                            Entry::Vacant(v) => {
+                                v.insert(entry);
+                            }
+                            Entry::Occupied(mut o) => {
+                                merges += 1;
+                                let (pred, key) = (o.key().0, Arc::clone(&o.key().1));
+                                merge_worker_entry(
+                                    self.program,
+                                    self.options.check_consistency,
+                                    pred,
+                                    &key,
+                                    o.get_mut(),
+                                    entry,
+                                )?;
+                            }
+                        }
+                    }
+                }
+                sink.parallel_round(rounds + 1, workers, &shard_sizes, merges, barrier_wait_nanos);
+
+                let derived_count = merged.len();
+                stats.derivations += derived_count as u64;
+                let new_delta = {
+                    let mut guard = db_lock.write().unwrap();
+                    self.apply_round(&mut guard, merged, execs, sink, &mut NoCapture)
+                };
+
+                rounds += 1;
+                let changed: usize = new_delta.values().map(Vec::len).sum();
+                for (pred, keys) in &new_delta {
+                    sink.delta(*pred, keys.len());
+                }
+                sink.round_end(rounds, derived_count, changed);
+                if new_delta.is_empty() {
+                    for (slot, exec) in execs.iter().enumerate() {
+                        sink.rule_derivations(exec.ri, rule_pushes[slot]);
+                    }
+                    sink.aggregate_totals(
+                        agg_counters.groups.get(),
+                        agg_counters.elements.get(),
+                        agg_counters.peak_bytes.get(),
+                    );
+                    if component_pruned > 0 {
+                        sink.pruned(ci, component_pruned);
+                    }
+                    sink.component_end(ci, rounds);
+                    return Ok(rounds);
+                }
+                delta = Arc::new(new_delta);
+            }
+        });
+        *db = db_lock
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        result
+    }
+
+    /// One worker thread's loop: for each round job, fire the shard's
+    /// slice of the work against a read-locked database view into a
+    /// worker-local round buffer, and send the buffer plus telemetry to
+    /// the barrier. Exits when the job channel closes (fixpoint or
+    /// error).
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_worker(
+        &self,
+        db_lock: &RwLock<Interp>,
+        execs: &[RuleExec<'_>],
+        me: usize,
+        workers: usize,
+        prune: bool,
+        demand: Option<&DemandFilter>,
+        jobs: mpsc::Receiver<ParJob>,
+        results: mpsc::Sender<WorkerRound>,
+    ) {
+        while let Ok(job) = jobs.recv() {
+            let mut pushes = vec![0u64; execs.len()];
+            let mut tally = FireTally::default();
+            let mut wstats = EvalStats::default();
+            let agg = AggCounters::default();
+            let mut error = None;
+            let pruned;
+            let entries;
+            {
+                let db = db_lock.read().unwrap();
+                let ctx = Ctx {
+                    program: self.program,
+                    db: &db,
+                    agg: &agg,
+                };
+                let mut derived = RoundBuffer::new(
+                    self.program,
+                    self.options.check_consistency,
+                    &mut pushes,
+                );
+                derived.prune = prune;
+                derived.demand = demand;
+                let fired: Result<(), EvalError> = if job.full {
+                    // Full rounds have no seeds to shard: round-robin the
+                    // exec slots instead.
+                    execs
+                        .iter()
+                        .enumerate()
+                        .filter(|(slot, _)| slot % workers == me)
+                        .try_for_each(|(slot, exec)| {
+                            wstats.firings += 1;
+                            tally.rule_fire_start(exec.ri);
+                            derived.current = slot;
+                            let mut binding = Binding::new();
+                            exec_steps(
+                                &ctx,
+                                exec.rule,
+                                &exec.plan.steps,
+                                &mut binding,
+                                &mut derived,
+                                &mut NoCapture,
+                            )
+                        })
+                } else {
+                    let mut seen_seeds = SeenSeeds::new();
+                    let mut walk = || -> Result<(), EvalError> {
+                        for (ei, exec) in execs.iter().enumerate() {
+                            for driver in &exec.drivers {
+                                let Some(changed) = job.delta.get(&driver.pred) else {
+                                    continue;
+                                };
+                                for dkey in changed {
+                                    self.fire_driver(
+                                        &ctx,
+                                        ei,
+                                        exec,
+                                        driver,
+                                        dkey,
+                                        &mut seen_seeds,
+                                        &mut derived,
+                                        &mut wstats,
+                                        &mut tally,
+                                        &mut NoCapture,
+                                        Some((me, workers)),
+                                    )?;
+                                }
+                            }
+                        }
+                        Ok(())
+                    };
+                    walk()
+                };
+                if let Err(e) = fired {
+                    error = Some(e);
+                }
+                pruned = derived.pruned;
+                entries = std::mem::take(&mut derived.map);
+            }
+            let sent = results.send(WorkerRound {
+                worker: me,
+                round: job.round,
+                entries,
+                pushes,
+                fired: tally.counts,
+                firings: wstats.firings,
+                pruned,
+                groups: agg.groups.get(),
+                elements: agg.elements.get(),
+                peak_bytes: agg.peak_bytes.get(),
+                error,
+            });
+            if sent.is_err() {
+                return;
+            }
         }
     }
 
@@ -767,11 +1122,11 @@ impl<'p> MonotonicEngine<'p> {
             stats.derivations += derived.map.len() as u64;
             stats.pruned += derived.pruned;
             component_pruned += derived.pruned;
-            for ((pred, key), (cost, _slot)) in derived.map {
-                if let Some(Value::Num(r)) = cost {
-                    let entry = costs.entry((pred, key.clone())).or_insert(r);
-                    if r <= *entry {
-                        *entry = r;
+            for ((pred, key), entry) in derived.map {
+                if let Some(Value::Num(r)) = entry.cost {
+                    let best = costs.entry((pred, key.clone())).or_insert(r);
+                    if r <= *best {
+                        *best = r;
                         candidates.push(Reverse((r, pred, key)));
                     }
                 }
@@ -831,6 +1186,7 @@ impl<'p> MonotonicEngine<'p> {
                             stats,
                             sink,
                             cap,
+                            None,
                         )?;
                     }
                 }
@@ -840,8 +1196,8 @@ impl<'p> MonotonicEngine<'p> {
             stats.pruned += derived.pruned;
             component_pruned += derived.pruned;
             let mut pushed = 0usize;
-            for ((dpred, dkey), (dcost, _slot)) in derived.map {
-                let Some(Value::Num(r)) = dcost else { continue };
+            for ((dpred, dkey), dentry) in derived.map {
+                let Some(Value::Num(r)) = dentry.cost else { continue };
                 // Re-derivations of settled atoms are fine as long as they
                 // do not *improve* them (alternative equal-cost paths, or
                 // dominated ones re-found through a new route).
@@ -901,6 +1257,10 @@ impl<'p> MonotonicEngine<'p> {
         Ok(pops)
     }
 
+    /// Fire one semi-naive driver for one delta tuple. `shard` is the
+    /// parallel evaluator's `(worker, workers)` filter: seeds hashing
+    /// outside the worker's shard are skipped *before* dedup, so each
+    /// seed fires on exactly one worker and worker-local dedup is global.
     #[allow(clippy::too_many_arguments)]
     fn fire_driver<S: EventSink, C: Capture>(
         &self,
@@ -914,6 +1274,7 @@ impl<'p> MonotonicEngine<'p> {
         stats: &mut EvalStats,
         sink: &mut S,
         cap: &mut C,
+        shard: Option<(usize, usize)>,
     ) -> Result<(), EvalError> {
         let rule = exec.rule;
         // Match the driver atom against the delta tuple to get a seed.
@@ -958,6 +1319,11 @@ impl<'p> MonotonicEngine<'p> {
                 seed.iter().map(|(v, val)| (*v, val.clone())).collect();
             seed_vec.sort_by_key(|(v, _)| *v);
             let disc = driver.lit as u64 * 1024 + 1022;
+            if let Some((me, workers)) = shard {
+                if par::shard_of(exec_index, disc, &seed_vec, workers) != me {
+                    return Ok(());
+                }
+            }
             if !seen_seeds.insert((exec_index, disc, seed_vec)) {
                 return Ok(());
             }
@@ -1020,6 +1386,11 @@ impl<'p> MonotonicEngine<'p> {
             .collect();
         seed_vec.sort_by_key(|(v, _)| *v);
         let disc = driver.lit as u64 * 1024 + driver.conjunct.unwrap_or(1023) as u64;
+        if let Some((me, workers)) = shard {
+            if par::shard_of(exec_index, disc, &seed_vec, workers) != me {
+                return Ok(());
+            }
+        }
         if !seen_seeds.insert((exec_index, disc, seed_vec)) {
             return Ok(());
         }
@@ -1043,6 +1414,79 @@ impl<'p> MonotonicEngine<'p> {
         sink.rule_fire_end(exec.ri);
         r
     }
+}
+
+/// One round's work order for a parallel worker. The delta is shared
+/// read-only: every worker walks all of it and fires only its shard.
+struct ParJob {
+    round: usize,
+    full: bool,
+    delta: Arc<HashMap<Pred, Vec<Arc<Tuple>>>>,
+}
+
+/// One worker's contribution to a round barrier: its shard's round
+/// buffer plus the telemetry the orchestrator folds into the component
+/// totals and replays into the caller's sink.
+struct WorkerRound {
+    worker: usize,
+    round: usize,
+    entries: HashMap<(Pred, Arc<Tuple>), DerivedEntry>,
+    /// Per-exec-slot head derivations this round.
+    pushes: Vec<u64>,
+    /// Firings per program rule index (event replay).
+    fired: HashMap<usize, u64>,
+    firings: u64,
+    pruned: u64,
+    groups: u64,
+    elements: u64,
+    peak_bytes: u64,
+    error: Option<EvalError>,
+}
+
+/// Combine two workers' buffered derivations of the same `(pred, key)` at
+/// the round barrier (applied in worker-index order). Equal costs keep
+/// the smallest exec-slot attribution — execs fire in ascending slot
+/// order sequentially, so the minimum over shards is exactly the
+/// sequential first deriver. Join-fold relaxation entries combine through
+/// the mergeable accumulators ([`par::merge_costs`]), which is the domain
+/// join the sequential buffer would have applied to the same pushes.
+/// Divergent strict costs on a checked run are a Definition 2.6 conflict,
+/// exactly as within one sequential buffer.
+fn merge_worker_entry(
+    program: &Program,
+    check: bool,
+    pred: Pred,
+    key: &Tuple,
+    into: &mut DerivedEntry,
+    from: DerivedEntry,
+) -> Result<(), EvalError> {
+    into.slot = into.slot.min(from.slot);
+    if into.cost == from.cost {
+        into.joined |= from.joined;
+        return Ok(());
+    }
+    if check && !into.joined && !from.joined {
+        return Err(EvalError::CostConflict {
+            pred: program.pred_name(pred),
+            key: render_key(program, key),
+            value_a: into
+                .cost
+                .as_ref()
+                .map(|v| v.display(program))
+                .unwrap_or_default(),
+            value_b: from
+                .cost
+                .as_ref()
+                .map(|v| v.display(program))
+                .unwrap_or_default(),
+        });
+    }
+    let domain = program.cost_spec(pred).map(|c| c.domain);
+    if let (Some(old), Some(new), Some(d)) = (into.cost.clone(), from.cost, domain) {
+        into.cost = Some(par::merge_costs(d, old, new));
+    }
+    into.joined |= from.joined;
+    Ok(())
 }
 
 /// Build the relaxation plan for an aggregate at body index `li` if the
@@ -1145,7 +1589,7 @@ struct Driver {
 
 /// Is `func` the lattice join-fold of `domain` (so that
 /// `F(S ∪ {d}) = F(S) ⊔ d`)?
-fn is_join_fold(func: AggFunc, domain: maglog_datalog::DomainSpec) -> bool {
+pub(crate) fn is_join_fold(func: AggFunc, domain: maglog_datalog::DomainSpec) -> bool {
     use maglog_datalog::DomainSpec::*;
     matches!(
         (func, domain),
@@ -1241,7 +1685,22 @@ struct RoundBuffer<'a> {
     pruned: u64,
     /// Per-exec-slot head-derivation counts (component lifetime).
     pushes: &'a mut [u64],
-    map: HashMap<(Pred, Arc<Tuple>), (Option<Value>, usize)>,
+    map: HashMap<(Pred, Arc<Tuple>), DerivedEntry>,
+}
+
+/// One buffered derivation of a round: the (possibly already joined)
+/// cost, the exec slot of the first rule to derive the key this round
+/// (insert-outcome attribution), and whether any contributing push came
+/// from a join-fold relaxation. The parallel barrier merges same-key
+/// entries from different worker shards: `joined` entries combine by
+/// lattice join (through the mergeable accumulators), non-joined entries
+/// with divergent costs are a Definition 2.6 conflict exactly as they
+/// would be within one sequential buffer.
+#[derive(Clone, Debug)]
+pub(crate) struct DerivedEntry {
+    cost: Option<Value>,
+    slot: usize,
+    joined: bool,
 }
 
 impl<'a> RoundBuffer<'a> {
@@ -1269,20 +1728,25 @@ impl<'a> RoundBuffer<'a> {
         self.pushes[self.current] += 1;
         match self.map.entry((pred, key)) {
             Entry::Vacant(slot) => {
-                slot.insert((cost, self.current));
+                slot.insert(DerivedEntry {
+                    cost,
+                    slot: self.current,
+                    joined: self.joining,
+                });
                 Ok(())
             }
             Entry::Occupied(mut slot) => {
-                let (existing, first_slot) = slot.get();
-                let first_slot = *first_slot;
-                if *existing == cost {
+                if slot.get().cost == cost {
+                    slot.get_mut().joined |= self.joining;
                     return Ok(());
                 }
                 if self.check && !self.joining {
                     return Err(EvalError::CostConflict {
                         pred: self.program.pred_name(pred),
                         key: render_key(self.program, &slot.key().1),
-                        value_a: existing
+                        value_a: slot
+                            .get()
+                            .cost
                             .as_ref()
                             .map(|v| v.display(self.program))
                             .unwrap_or_default(),
@@ -1298,10 +1762,11 @@ impl<'a> RoundBuffer<'a> {
                     .program
                     .cost_spec(pred)
                     .map(|c| RuntimeDomain::new(c.domain));
-                if let (Some(old), Some(new), Some(d)) = (existing.clone(), &cost, &domain) {
-                    let joined = d.join(&old, new);
-                    slot.insert((Some(joined), first_slot));
+                let entry = slot.get_mut();
+                if let (Some(old), Some(new), Some(d)) = (entry.cost.clone(), &cost, &domain) {
+                    entry.cost = Some(d.join(&old, new));
                 }
+                entry.joined |= self.joining;
                 Ok(())
             }
         }
@@ -2905,5 +3370,142 @@ mod tests {
             .optimizations
             .iter()
             .any(|l| l.contains("no stable binding")));
+    }
+
+    /// Evaluate `src` at `workers` workers under `strategy`.
+    fn run_parallel(src: &str, strategy: Strategy, workers: usize) -> (Program, Model) {
+        let p = parse_program(src).unwrap();
+        let m = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                strategy,
+                workers,
+                ..Default::default()
+            },
+        )
+        .evaluate(&Edb::new())
+        .unwrap();
+        (p, m)
+    }
+
+    const SHORTEST_PATH_SRC: &str = r#"
+        declare pred arc/3 cost min_real.
+        declare pred path/4 cost min_real.
+        declare pred s/3 cost min_real.
+        arc(a, b, 2). arc(b, c, 3). arc(c, a, 4). arc(a, c, 10).
+        arc(c, d, 1). arc(d, b, 2). arc(b, d, 7).
+        path(X, direct, Y, C) :- arc(X, Y, C).
+        path(X, Z, Y, C) :- s(X, Z, C1), arc(Z, Y, C2), C = C1 + C2.
+        s(X, Y, C) :- C =r min D : path(X, Z, Y, D).
+        constraint :- arc(direct, Z, C).
+    "#;
+
+    #[test]
+    fn parallel_matches_sequential_on_shortest_path() {
+        let (p, seq) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, 1);
+        for workers in [2, 3, 4] {
+            let (_, par) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, workers);
+            assert_eq!(seq.render(&p), par.render(&p), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_naive_matches_sequential_naive() {
+        let (p, seq) = run_parallel(SHORTEST_PATH_SRC, Strategy::Naive, 1);
+        let (_, par) = run_parallel(SHORTEST_PATH_SRC, Strategy::Naive, 4);
+        assert_eq!(seq.render(&p), par.render(&p));
+    }
+
+    #[test]
+    fn parallel_counters_match_sequential() {
+        // Seed-hash sharding fires each seed on exactly one worker, so
+        // the derivation/firing counters — not just the model — are equal.
+        let (_, seq) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, 1);
+        let (_, par) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, 4);
+        assert_eq!(seq.stats().derivations, par.stats().derivations);
+        assert_eq!(seq.stats().firings, par.stats().firings);
+        assert_eq!(seq.stats().rounds, par.stats().rounds);
+        assert_eq!(seq.stats().pruned, par.stats().pruned);
+    }
+
+    #[test]
+    fn parallel_zero_workers_means_available_parallelism() {
+        // `workers: 0` resolves to the machine; whatever that is, the
+        // model matches the sequential one.
+        let (p, seq) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, 1);
+        let (_, auto) = run_parallel(SHORTEST_PATH_SRC, Strategy::SemiNaive, 0);
+        assert_eq!(seq.render(&p), auto.render(&p));
+    }
+
+    #[test]
+    fn parallel_surfaces_cost_conflicts() {
+        // Two rules derive p(a) at different costs in the same round; the
+        // Definition 2.6 check must fire at whatever worker count, whether
+        // the colliding pushes land in one shard or meet at the barrier.
+        let src = r#"
+            declare pred p/2 cost min_real.
+            base(a).
+            seed(X) :- base(X).
+            p(X, 1) :- seed(X).
+            p(X, 2) :- seed(X).
+        "#;
+        let p = parse_program(src).unwrap();
+        for workers in [1usize, 2, 4] {
+            let r = MonotonicEngine::with_options(
+                &p,
+                EvalOptions {
+                    workers,
+                    allow_unchecked: true,
+                    ..Default::default()
+                },
+            )
+            .evaluate(&Edb::new());
+            assert!(
+                matches!(r, Err(EvalError::CostConflict { .. })),
+                "workers={workers}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_round_events_report_shards() {
+        struct ParSpy {
+            rounds: usize,
+            workers: Vec<usize>,
+            firings_via_shards: usize,
+        }
+        impl EventSink for ParSpy {
+            fn parallel_round(
+                &mut self,
+                _round: usize,
+                workers: usize,
+                shard_sizes: &[usize],
+                _merges: u64,
+                _wait: u64,
+            ) {
+                self.rounds += 1;
+                self.workers.push(workers);
+                assert_eq!(shard_sizes.len(), workers);
+                self.firings_via_shards += shard_sizes.iter().sum::<usize>();
+            }
+        }
+        let p = parse_program(SHORTEST_PATH_SRC).unwrap();
+        let mut spy = ParSpy {
+            rounds: 0,
+            workers: Vec::new(),
+            firings_via_shards: 0,
+        };
+        let m = MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                workers: 3,
+                ..Default::default()
+            },
+        )
+        .evaluate_with_sink(&Edb::new(), &mut spy)
+        .unwrap();
+        assert!(spy.rounds > 0, "no parallel_round events fired");
+        assert!(spy.workers.iter().all(|&w| w == 3));
+        assert_eq!(spy.firings_via_shards as u64, m.stats().firings);
     }
 }

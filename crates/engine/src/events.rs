@@ -64,6 +64,21 @@ pub trait EventSink {
     /// The round ended: `derivations` distinct (pred, key) derivations
     /// were buffered, `changed` of them changed the database.
     fn round_end(&mut self, round: usize, derivations: usize, changed: usize) {}
+    /// Parallel-evaluator barrier telemetry for one round (`--parallel`
+    /// only; fired between the firing phase and the apply phase).
+    /// `shard_sizes[w]` is worker `w`'s firing count, `merges` the number
+    /// of same-key collisions combined across shards at the barrier, and
+    /// `barrier_wait_nanos` the time the orchestrator spent waiting on
+    /// stragglers after the first worker finished (shard imbalance).
+    fn parallel_round(
+        &mut self,
+        round: usize,
+        workers: usize,
+        shard_sizes: &[usize],
+        merges: u64,
+        barrier_wait_nanos: u64,
+    ) {
+    }
     /// Total head derivations (including same-key re-derivations) a rule
     /// attempted over the whole component. Fired once per rule at
     /// component end.
@@ -142,6 +157,19 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     fn round_end(&mut self, round: usize, derivations: usize, changed: usize) {
         self.0.round_end(round, derivations, changed);
         self.1.round_end(round, derivations, changed);
+    }
+    fn parallel_round(
+        &mut self,
+        round: usize,
+        workers: usize,
+        shard_sizes: &[usize],
+        merges: u64,
+        barrier_wait_nanos: u64,
+    ) {
+        self.0
+            .parallel_round(round, workers, shard_sizes, merges, barrier_wait_nanos);
+        self.1
+            .parallel_round(round, workers, shard_sizes, merges, barrier_wait_nanos);
     }
     fn rule_derivations(&mut self, rule: usize, derivations: u64) {
         self.0.rule_derivations(rule, derivations);
@@ -262,6 +290,7 @@ mod tests {
         s.rule_fire_start(0);
         s.rule_fire_end(0);
         s.round_end(1, 0, 0);
+        s.parallel_round(1, 2, &[3, 4], 1, 250);
         s.aggregate_totals(0, 0, 0);
         s.optimization("prem: {p} premappable — dominance pruning enabled");
         s.pruned(0, 3);

@@ -31,10 +31,9 @@
 
 use crate::value::{RuntimeDomain, Value};
 use maglog_datalog::{Pred, Program};
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// A snapshot of one relation's join-index telemetry (see
 /// [`Relation::index_stats`]). Counters cover the relation's whole
@@ -54,40 +53,57 @@ pub struct IndexStats {
     /// Total log entries ingested across all catch-up passes and
     /// signatures.
     pub replayed_entries: u64,
-    /// Posting lists copied on write because a caller still held the `Rc`
-    /// from an earlier probe.
+    /// Posting lists copied on write because a caller still held the
+    /// shared `Arc` from an earlier probe.
     pub cow_clones: u64,
 }
 
-/// Always-on interior-mutability counters behind [`IndexStats`]. `Cell`
-/// bumps on the probe path cost a register increment — cheap enough to
-/// keep unconditionally instead of threading an `EventSink` into
-/// `&self` probes.
-#[derive(Clone, Debug, Default)]
+/// Always-on interior-mutability counters behind [`IndexStats`]. Relaxed
+/// atomic bumps on the probe path cost one uncontended RMW — cheap
+/// enough to keep unconditionally instead of threading an `EventSink`
+/// into `&self` probes, and (unlike the `Cell`s they replace) safe to
+/// bump from the parallel evaluator's worker threads. Counters are pure
+/// telemetry, so `Relaxed` ordering suffices: nothing synchronizes on
+/// them.
+#[derive(Debug, Default)]
 struct IndexCounters {
-    probes: Cell<u64>,
-    hits: Cell<u64>,
-    lazy_builds: Cell<u64>,
-    log_replays: Cell<u64>,
-    replayed_entries: Cell<u64>,
-    cow_clones: Cell<u64>,
+    probes: AtomicU64,
+    hits: AtomicU64,
+    lazy_builds: AtomicU64,
+    log_replays: AtomicU64,
+    replayed_entries: AtomicU64,
+    cow_clones: AtomicU64,
 }
 
 impl IndexCounters {
     fn snapshot(&self) -> IndexStats {
         IndexStats {
-            probes: self.probes.get(),
-            hits: self.hits.get(),
-            lazy_builds: self.lazy_builds.get(),
-            log_replays: self.log_replays.get(),
-            replayed_entries: self.replayed_entries.get(),
-            cow_clones: self.cow_clones.get(),
+            probes: self.probes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            lazy_builds: self.lazy_builds.load(Ordering::Relaxed),
+            log_replays: self.log_replays.load(Ordering::Relaxed),
+            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            cow_clones: self.cow_clones.load(Ordering::Relaxed),
         }
     }
 }
 
-fn bump(c: &Cell<u64>) {
-    c.set(c.get() + 1);
+impl Clone for IndexCounters {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        IndexCounters {
+            probes: AtomicU64::new(s.probes),
+            hits: AtomicU64::new(s.hits),
+            lazy_builds: AtomicU64::new(s.lazy_builds),
+            log_replays: AtomicU64::new(s.log_replays),
+            replayed_entries: AtomicU64::new(s.replayed_entries),
+            cow_clones: AtomicU64::new(s.cow_clones),
+        }
+    }
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
 }
 
 /// The non-cost arguments of an atom, as a hashable key.
@@ -145,7 +161,7 @@ fn project(key: &Tuple, sig: Sig) -> Box<[Value]> {
 #[derive(Clone, Debug, Default)]
 struct SigIndex {
     built_upto: usize,
-    postings: HashMap<Box<[Value]>, Rc<Vec<Arc<Tuple>>>>,
+    postings: HashMap<Box<[Value]>, Arc<Vec<Arc<Tuple>>>>,
 }
 
 impl SigIndex {
@@ -153,7 +169,7 @@ impl SigIndex {
         bump(&counters.log_replays);
         counters
             .replayed_entries
-            .set(counters.replayed_entries.get() + (log.len() - self.built_upto) as u64);
+            .fetch_add((log.len() - self.built_upto) as u64, Ordering::Relaxed);
         for key in &log[self.built_upto..] {
             // Keys too short for this signature (possible only in
             // heterogeneous test relations) don't participate in it.
@@ -161,10 +177,10 @@ impl SigIndex {
                 continue;
             }
             let entry = self.postings.entry(project(key, sig)).or_default();
-            if Rc::strong_count(entry) > 1 {
+            if Arc::strong_count(entry) > 1 {
                 bump(&counters.cow_clones);
             }
-            Rc::make_mut(entry).push(key.clone());
+            Arc::make_mut(entry).push(key.clone());
         }
         self.built_upto = log.len();
     }
@@ -172,17 +188,30 @@ impl SigIndex {
 
 /// One predicate's extension: key → optional cost value. `None` cost for
 /// predicates without a cost argument.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Relation {
     map: HashMap<Arc<Tuple>, Option<Value>>,
     /// Append-only log of distinct keys, in insertion order. Indexes catch
     /// up against this log under their generation counter.
     log: Vec<Arc<Tuple>>,
     /// Signature-keyed join indexes (interior mutability: probes through
-    /// `&self` catch indexes up lazily).
-    indexes: RefCell<HashMap<Sig, SigIndex>>,
+    /// `&self` catch indexes up lazily). An `RwLock` rather than a
+    /// `RefCell` so `Relation` is `Sync` and parallel workers can probe
+    /// concurrently; uncontended lock acquisition is a single atomic op.
+    indexes: RwLock<HashMap<Sig, SigIndex>>,
     /// Lifetime index telemetry (see [`IndexStats`]).
     counters: IndexCounters,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            map: self.map.clone(),
+            log: self.log.clone(),
+            indexes: RwLock::new(self.indexes.read().unwrap().clone()),
+            counters: self.counters.clone(),
+        }
+    }
 }
 
 impl Relation {
@@ -249,7 +278,7 @@ impl Relation {
     /// selection). Idempotent; the index is filled lazily on first probe.
     pub fn ensure_index(&self, sig: Sig) {
         if sig != 0 {
-            self.indexes.borrow_mut().entry(sig).or_default();
+            self.indexes.write().unwrap().entry(sig).or_default();
         }
     }
 
@@ -257,10 +286,10 @@ impl Relation {
     /// (values in ascending position order). Returns a shared postings
     /// list — O(1) to hand out, no per-probe allocation. `None` means no
     /// key matches.
-    pub fn probe(&self, sig: Sig, projection: &[Value]) -> Option<Rc<Vec<Arc<Tuple>>>> {
+    pub fn probe(&self, sig: Sig, projection: &[Value]) -> Option<Arc<Vec<Arc<Tuple>>>> {
         debug_assert_eq!(sig.count_ones() as usize, projection.len());
         bump(&self.counters.probes);
-        let mut indexes = self.indexes.borrow_mut();
+        let mut indexes = self.indexes.write().unwrap();
         let index = match indexes.entry(sig) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -280,7 +309,7 @@ impl Relation {
 
     /// Keys whose `pos`-th component equals `value` — the single-column
     /// probe, kept for callers without a plan (baselines, tests).
-    pub fn scan_eq(&self, pos: usize, value: &Value) -> Rc<Vec<Arc<Tuple>>> {
+    pub fn scan_eq(&self, pos: usize, value: &Value) -> Arc<Vec<Arc<Tuple>>> {
         self.probe(1 << pos, std::slice::from_ref(value))
             .unwrap_or_default()
     }
@@ -288,7 +317,7 @@ impl Relation {
     /// The signatures currently registered (for diagnostics and the index
     /// consistency property tests).
     pub fn index_sigs(&self) -> Vec<Sig> {
-        self.indexes.borrow().keys().copied().collect()
+        self.indexes.read().unwrap().keys().copied().collect()
     }
 
     /// Snapshot this relation's lifetime index telemetry.
@@ -321,13 +350,13 @@ impl Relation {
             + cost_heap;
         let log_bytes = self.log.capacity() * size_of::<Arc<Tuple>>();
         let mut index_bytes = 0usize;
-        for index in self.indexes.borrow().values() {
+        for index in self.indexes.read().unwrap().values() {
             index_bytes += index.postings.capacity()
-                * (size_of::<Box<[Value]>>() + size_of::<Rc<Vec<Arc<Tuple>>>>() + 1);
+                * (size_of::<Box<[Value]>>() + size_of::<Arc<Vec<Arc<Tuple>>>>() + 1);
             for (projection, postings) in &index.postings {
                 index_bytes += projection.len() * size_of::<Value>()
                     + projection.iter().map(Value::heap_bytes).sum::<usize>();
-                // Rc header + the Vec's pointer array.
+                // Arc header + the Vec's pointer array.
                 index_bytes += 2 * size_of::<usize>() + size_of::<Vec<Arc<Tuple>>>()
                     + postings.capacity() * size_of::<Arc<Tuple>>();
             }

@@ -50,6 +50,7 @@ pub mod events;
 pub mod interp;
 pub mod jsonish;
 pub mod model;
+pub mod par;
 pub mod plan;
 pub mod profile;
 pub mod provenance;
@@ -63,7 +64,10 @@ pub use plan::{prem_rewrites, Optimize, Rewrites};
 pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
 pub use interp::{IndexStats, Interp, Relation, RelationMemory, Tuple};
 pub use model::Model;
-pub use profile::{fmt_bytes, render_profile_json, MetricsSink, ProfileReport, TraceSink};
+pub use par::{available_workers, resolve_workers};
+pub use profile::{
+    fmt_bytes, render_profile_json, MetricsSink, ParallelProfile, ProfileReport, TraceSink,
+};
 pub use provenance::{
     explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
     render_why_not_human, render_why_not_json, AggWitness, BodyAtom, Capture, DerivationNode,

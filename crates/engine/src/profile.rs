@@ -108,6 +108,25 @@ pub struct MemoryProfile {
     pub memory: RelationMemory,
 }
 
+/// Parallel-evaluator telemetry (`--parallel`), summed over every
+/// parallel round of the run.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelProfile {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Rounds executed by the parallel evaluator (components small enough
+    /// to stay sequential are not counted).
+    pub rounds: usize,
+    /// Per-worker firing totals across all parallel rounds
+    /// (`len() == workers`); the spread shows shard balance.
+    pub shard_firings: Vec<u64>,
+    /// Same-key derivations merged across shards at round barriers.
+    pub merges: u64,
+    /// Total orchestrator time spent waiting on straggler workers after
+    /// the first worker finished each round.
+    pub barrier_wait_nanos: u64,
+}
+
 /// Aggregated profile of one evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileReport {
@@ -138,6 +157,8 @@ pub struct ProfileReport {
     pub optimizations: Vec<String>,
     /// Derivations discarded by proven-sound optimization filters.
     pub pruned: u64,
+    /// Parallel-evaluator telemetry; `None` for sequential runs.
+    pub parallel: Option<ParallelProfile>,
 }
 
 impl ProfileReport {
@@ -305,6 +326,19 @@ impl ProfileReport {
             "      \"aggregates\": {{\"groups\": {}, \"elements\": {}, \"peak_bytes\": {}}},\n",
             self.agg_groups, self.agg_elements, self.agg_peak_bytes
         ));
+        if let Some(par) = &self.parallel {
+            let shards: Vec<String> =
+                par.shard_firings.iter().map(|n| n.to_string()).collect();
+            s.push_str(&format!(
+                "      \"parallel\": {{\"workers\": {}, \"rounds\": {}, \
+                 \"shard_firings\": [{}], \"merges\": {}, \"barrier_wait_nanos\": {}}},\n",
+                par.workers,
+                par.rounds,
+                shards.join(", "),
+                par.merges,
+                par.barrier_wait_nanos,
+            ));
+        }
         let decisions: Vec<String> = self.optimizations.iter().map(|d| json_str(d)).collect();
         s.push_str(&format!(
             "      \"optimizations\": [{}],\n",
@@ -402,6 +436,19 @@ impl ProfileReport {
             self.agg_elements,
             fmt_bytes(self.agg_peak_bytes)
         ));
+        if let Some(par) = &self.parallel {
+            let shards: Vec<String> =
+                par.shard_firings.iter().map(|n| n.to_string()).collect();
+            s.push_str(&format!(
+                "parallel: {} worker(s), {} round(s), shard firings [{}], \
+                 {} barrier merge(s), {} ns waiting at barriers\n",
+                par.workers,
+                par.rounds,
+                shards.join(", "),
+                par.merges,
+                par.barrier_wait_nanos,
+            ));
+        }
         if !self.optimizations.is_empty() || self.pruned > 0 {
             s.push_str(&format!(
                 "optimizations ({} derivation(s) pruned):\n",
@@ -464,6 +511,7 @@ pub struct MetricsSink<'p> {
     agg_peak_bytes: u64,
     optimizations: Vec<String>,
     pruned: u64,
+    parallel: Option<ParallelProfile>,
     cur_round: Option<RoundProfile>,
     fire_started: u64,
 }
@@ -489,6 +537,7 @@ impl<'p> MetricsSink<'p> {
             agg_peak_bytes: 0,
             optimizations: Vec::new(),
             pruned: 0,
+            parallel: None,
             cur_round: None,
             fire_started: 0,
         }
@@ -534,6 +583,7 @@ impl<'p> MetricsSink<'p> {
             alloc_peak_bytes: crate::alloc::peak_bytes() as u64,
             optimizations: self.optimizations,
             pruned: self.pruned,
+            parallel: self.parallel,
         }
     }
 }
@@ -613,6 +663,29 @@ impl EventSink for MetricsSink<'_> {
 
     fn rule_derivations(&mut self, rule: usize, derivations: u64) {
         self.rule_entry(rule).derivations += derivations;
+    }
+
+    fn parallel_round(
+        &mut self,
+        _round: usize,
+        workers: usize,
+        shard_sizes: &[usize],
+        merges: u64,
+        barrier_wait_nanos: u64,
+    ) {
+        let par = self.parallel.get_or_insert_with(|| ParallelProfile {
+            workers,
+            shard_firings: vec![0; workers],
+            ..Default::default()
+        });
+        par.rounds += 1;
+        par.merges += merges;
+        par.barrier_wait_nanos += barrier_wait_nanos;
+        for (w, &n) in shard_sizes.iter().enumerate() {
+            if let Some(slot) = par.shard_firings.get_mut(w) {
+                *slot += n as u64;
+            }
+        }
     }
 
     fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {
@@ -922,6 +995,55 @@ mod tests {
         assert!(json.contains("\"memory\""));
         assert!(json.contains("\"heap_bytes\""));
         assert!(json.contains("\"alloc_peak_bytes\""));
+    }
+
+    #[test]
+    fn parallel_runs_report_shard_telemetry() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = MetricsSink::with_clock(
+            &p,
+            Strategy::SemiNaive,
+            Box::new(ManualClock::with_step(1)),
+        );
+        MonotonicEngine::with_options(
+            &p,
+            EvalOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .evaluate_with_sink(&Edb::new(), &mut sink)
+        .unwrap();
+        let report = sink.finish();
+        let par = report.parallel.as_ref().expect("parallel block missing");
+        assert_eq!(par.workers, 2);
+        assert_eq!(par.shard_firings.len(), 2);
+        assert!(par.rounds > 0);
+        // Every firing happened on exactly one shard.
+        assert_eq!(
+            par.shard_firings.iter().sum::<u64>(),
+            report.total_firings()
+        );
+        let json = render_profile_json("tc", &[report]);
+        assert!(json.contains("\"parallel\""));
+        assert!(json.contains("\"shard_firings\""));
+        assert!(json.contains("\"barrier_wait_nanos\""));
+    }
+
+    #[test]
+    fn sequential_runs_omit_the_parallel_block() {
+        let p = parse_program(TC).unwrap();
+        let mut sink = MetricsSink::with_clock(
+            &p,
+            Strategy::SemiNaive,
+            Box::new(ManualClock::with_step(1)),
+        );
+        MonotonicEngine::new(&p)
+            .evaluate_with_sink(&Edb::new(), &mut sink)
+            .unwrap();
+        let report = sink.finish();
+        assert!(report.parallel.is_none());
+        assert!(!render_profile_json("tc", &[report]).contains("\"parallel\""));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! ```text
 //! --format=human|json          human trace+report, or maglog-profile-v1 JSON
 //! --strategy=naive|seminaive|greedy   profile one strategy (default: all three)
+//! --parallel[=N]               evaluate with N workers (bare: every core)
 //! ```
 //!
 //! `explain` options (goal form):
@@ -39,8 +40,10 @@
 //! <pred>` (dump derivations + aggregate witnesses of every tuple of
 //! `pred`), `--max-rounds <N>` (per-component fixpoint cap),
 //! `--optimize[=prem,demand]` (opt-in proven rewrites; decisions are
-//! reported on stderr), `--query '<fact>'` (answer one ground point query;
-//! with `--optimize=demand` only the goal's derivation cone is computed).
+//! reported on stderr), `--parallel[=N]` (shard rounds across N workers;
+//! bare `--parallel` uses every core; the model is identical either way),
+//! `--query '<fact>'` (answer one ground point query; with
+//! `--optimize=demand` only the goal's derivation cone is computed).
 //!
 //! `bench` options:
 //!
@@ -53,6 +56,7 @@
 //! --out FILE            also write the v2 document to FILE
 //! --baseline FILE       gate medians against a v1/v2 baseline document
 //! --gate RATIO          regression threshold (default 1.25; needs --baseline)
+//! --parallel[=N]        N-worker evaluation plus a 1,2,4,...,N scaling curve
 //! ```
 //!
 //! Programs are text files in the maglog rule language; facts can be given
@@ -67,10 +71,10 @@ use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog::bench::v2;
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::{
-    alloc, explain_tree, fmt_bytes, parse_goal, render_explain_dot, render_explain_human,
-    render_explain_json, render_profile_json, render_why_not_human, render_why_not_json, why_not,
-    Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Optimize, Strategy, TraceSink,
-    Tuple,
+    alloc, available_workers, explain_tree, fmt_bytes, parse_goal, render_explain_dot,
+    render_explain_human, render_explain_json, render_profile_json, render_why_not_human,
+    render_why_not_json, why_not, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine,
+    Optimize, Strategy, TraceSink, Tuple,
 };
 use std::process::ExitCode;
 
@@ -85,12 +89,12 @@ usage: maglog <check|run|profile|bench|compare|explain> [args]
   check   [--format=human|json] [--deny <CODE|all|warnings>] [--allow <CODE>] <program.mgl>
   check   --explain <CODE>
   run     [--stats] [--explain <pred>] [--max-rounds <N>] [--optimize[=prem,demand]]
-          [--query '<fact>'] <program.mgl> [pred...]
+          [--parallel[=N]] [--query '<fact>'] <program.mgl> [pred...]
   profile [--format=human|json] [--strategy=naive|seminaive|greedy]
-          [--optimize[=prem,demand]] <program.mgl>
+          [--optimize[=prem,demand]] [--parallel[=N]] <program.mgl>
   bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
           [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
-          [--optimize[=prem,demand]]
+          [--optimize[=prem,demand]] [--parallel[=N]]
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
@@ -123,7 +127,12 @@ are never escalated, so an all-notes program still exits 0.
 --optimize enables proven rewrites (see docs/optimization.md): prem prunes
 derivations dominated under a premappable aggregate, demand restricts a
 --query point goal to its derivation cone. Both are gated on their static
-proofs and never change the computed model.";
+proofs and never change the computed model.
+
+--parallel[=N] shards each fixpoint round across N workers (bare
+--parallel uses every core; see docs/parallelism.md). The computed model
+and every counter are identical at any worker count. On bench, --parallel=N
+additionally measures a 1, 2, 4, ... N scaling curve per workload.";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -202,6 +211,26 @@ fn parse_check_opts(args: &[String]) -> Result<(CheckOpts, Vec<String>), ArgErro
 
 fn parse_code(s: &str) -> Result<Code, ArgError> {
     Code::parse(s).ok_or_else(|| ArgError::Usage(format!("unknown lint code '{s}'")))
+}
+
+/// Parse `--parallel`'s inline value. A bare `--parallel` (no value)
+/// uses every available core; like `--optimize`, the flag never consumes
+/// the next argument. `--parallel=1` is the sequential evaluator.
+fn parse_parallel(inline_value: Option<&str>) -> Result<usize, ArgError> {
+    match inline_value {
+        None => Ok(available_workers()),
+        Some(v) if v.trim().is_empty() => Ok(available_workers()),
+        Some(v) => v
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| {
+                ArgError::Usage(format!(
+                    "--parallel wants a positive worker count, got '{v}'"
+                ))
+            }),
+    }
 }
 
 /// Parse `--optimize`'s inline value. A bare `--optimize` (no value)
@@ -299,6 +328,8 @@ fn main() -> ExitCode {
             workloads: opts.workloads.clone(),
             sizes: opts.sizes.clone(),
             optimize: opts.optimize,
+            workers: opts.parallel,
+            scaling: v2::scaling_curve(opts.parallel),
         };
         // Filter problems (unknown workloads, sizes matching nothing) are
         // usage errors, caught before any measurement runs.
@@ -360,6 +391,8 @@ struct ProfileOpts {
     /// `None` profiles all three strategies.
     strategy: Option<Strategy>,
     optimize: Optimize,
+    /// Worker count for the parallel evaluator (1 = sequential).
+    parallel: usize,
 }
 
 fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), ArgError> {
@@ -367,6 +400,7 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
         format: Format::Human,
         strategy: None,
         optimize: Optimize::default(),
+        parallel: 1,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -398,6 +432,7 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
                 })?);
             }
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
+            "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
             }
@@ -417,6 +452,9 @@ struct BenchOpts {
     baseline: Option<String>,
     gate: f64,
     optimize: Optimize,
+    /// Worker count for the parallel evaluator (1 = sequential). Values
+    /// above 1 also measure the scaling curve 1, 2, 4, … up to this count.
+    parallel: usize,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
@@ -430,6 +468,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
         baseline: None,
         gate: 1.25,
         optimize: Optimize::default(),
+        parallel: 1,
     };
     let mut gate_set = false;
     let mut it = args.iter().peekable();
@@ -502,6 +541,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
             "--out" => opts.out = Some(value("--out")?),
             "--baseline" => opts.baseline = Some(value("--baseline")?),
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
+            "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             "--gate" => {
                 let v = value("--gate")?;
                 opts.gate = v
@@ -566,6 +606,8 @@ struct RunOpts {
     optimize: Optimize,
     /// Answer one ground point query (`--query 's(a, b)'`).
     query: Option<String>,
+    /// Worker count for the parallel evaluator (1 = sequential).
+    parallel: usize,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
@@ -575,6 +617,7 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
         max_rounds: None,
         optimize: Optimize::default(),
         query: None,
+        parallel: 1,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -599,6 +642,7 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
                 })?);
             }
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
+            "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             "--query" => opts.query = Some(value("--query")?),
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
@@ -765,6 +809,7 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         eval_options.max_rounds = max_rounds;
     }
     eval_options.optimize = opts.optimize;
+    eval_options.workers = opts.parallel;
     let goal = opts
         .query
         .as_deref()
@@ -955,6 +1000,7 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
             EvalOptions {
                 strategy,
                 optimize: opts.optimize,
+                workers: opts.parallel,
                 ..Default::default()
             },
         );

@@ -159,6 +159,8 @@ fn bench_rejects_bad_flags_with_exit_2() {
         &["bench", "--format=xml"][..],
         &["bench", "--gate", "1.25"][..], // --gate without --baseline
         &["bench", "--gate", "-2", "--baseline", "BENCH_engine.json"][..],
+        &["bench", "--parallel=0"][..],
+        &["bench", "--parallel=lots"][..],
         &["bench", "--frobnicate"][..],
         &["bench", "stray-operand"][..],
     ] {
@@ -568,6 +570,116 @@ fn run_optimize_prunes_and_preserves_the_model() {
         let out = maglog(&[cmd, "--optimize", "programs/shortest_path.mgl"]);
         assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
     }
+}
+
+#[test]
+fn run_parallel_matches_sequential_bit_for_bit() {
+    let plain = maglog(&["run", "programs/shortest_path.mgl"]);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    for flag in ["--parallel=2", "--parallel=4"] {
+        let par = maglog(&["run", flag, "programs/shortest_path.mgl"]);
+        assert!(par.status.success(), "{flag}: {}", stderr(&par));
+        // Same model on stdout AND the same atoms/rounds/firings summary:
+        // sharding partitions the sequential work, it never changes it.
+        assert_eq!(stdout(&plain), stdout(&par), "{flag}");
+        assert_eq!(stderr(&plain), stderr(&par), "{flag}");
+    }
+
+    // Bare --parallel resolves to the machine and must not eat the operand.
+    let par = maglog(&["run", "--parallel", "programs/shortest_path.mgl"]);
+    assert!(par.status.success(), "{}", stderr(&par));
+    assert_eq!(stdout(&plain), stdout(&par));
+
+    // Composed with the optimizing rewrites the model still matches.
+    let opt = maglog(&["run", "--optimize=prem", "programs/shortest_path.mgl"]);
+    let both = maglog(&[
+        "run",
+        "--optimize=prem",
+        "--parallel=2",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(both.status.success(), "{}", stderr(&both));
+    assert_eq!(stdout(&opt), stdout(&both));
+
+    // Zero or non-numeric worker counts are usage errors.
+    for bad in ["--parallel=0", "--parallel=many"] {
+        let out = maglog(&["run", bad, "programs/shortest_path.mgl"]);
+        assert_eq!(out.status.code(), Some(2), "{bad}: {}", stderr(&out));
+        assert!(stderr(&out).contains("usage"), "{bad}: {}", stderr(&out));
+    }
+
+    // check/compare do not grow the flag.
+    for cmd in ["check", "compare"] {
+        let out = maglog(&[cmd, "--parallel=2", "programs/shortest_path.mgl"]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn profile_parallel_reports_shard_telemetry() {
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--parallel=2",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("parallel: 2 worker(s)"), "{text}");
+    assert!(text.contains("shard firings"), "{text}");
+
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--parallel=2",
+        "--format=json",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"parallel\""), "{text}");
+    assert!(text.contains("\"shard_firings\""), "{text}");
+    assert!(text.contains("\"barrier_wait_nanos\""), "{text}");
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+
+    // Sequential profiles stay free of the block.
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--format=json",
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(!stdout(&out).contains("\"parallel\""), "{}", stdout(&out));
+}
+
+#[test]
+fn bench_parallel_emits_the_scaling_section() {
+    let cell = &[
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--workloads",
+        "shortest_path",
+        "--sizes",
+        "16",
+        "--parallel=2",
+    ][..];
+    let out = maglog(&[&["bench"], cell].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("workers 2"), "{text}");
+    assert!(text.contains("scaling"), "{text}");
+    assert!(text.contains("1w "), "{text}");
+    assert!(text.contains("2w "), "{text}");
+
+    let out = maglog(&[&["bench", "--format=json"], cell].concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = stdout(&out);
+    assert!(doc.contains("\"workers\": 2"), "{doc}");
+    assert!(doc.contains("\"scaling\""), "{doc}");
+    assert!(doc.contains("\"speedup\""), "{doc}");
+    assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
 }
 
 #[test]
