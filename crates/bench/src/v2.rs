@@ -19,9 +19,10 @@ use std::collections::BTreeMap;
 
 use maglog_datalog::Program;
 use maglog_engine::jsonish::{self, JsonValue};
+use maglog_engine::trace::MAIN_LANE;
 use maglog_engine::{
-    alloc, fmt_bytes, Edb, EvalOptions, MetricsSink, Model, MonotonicEngine, Optimize,
-    ProfileReport, Strategy,
+    alloc, fmt_bytes, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Optimize,
+    ProfileReport, SpanSink, Strategy, Tracer,
 };
 use maglog_workloads::{
     programs, random_circuit, random_digraph, random_ownership, random_party,
@@ -125,6 +126,10 @@ pub struct BenchConfig {
     /// curve; empty = no scaling section). [`scaling_curve`] builds the
     /// conventional 1, 2, 4, ..., N ladder.
     pub scaling: Vec<usize>,
+    /// Span tracer attached to each cell's untimed *instrumented* run
+    /// (`maglog bench --trace`). Timed samples always run untraced, so
+    /// tracing never perturbs the medians; `None` records nothing.
+    pub trace: Option<Tracer>,
 }
 
 impl Default for BenchConfig {
@@ -137,6 +142,7 @@ impl Default for BenchConfig {
             optimize: Optimize::default(),
             workers: 1,
             scaling: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -276,7 +282,13 @@ fn run_with(
     .expect("evaluation succeeds")
 }
 
-fn profile_with(p: &Program, edb: &Edb, strategy: Strategy, optimize: Optimize) -> ProfileReport {
+fn profile_with(
+    p: &Program,
+    edb: &Edb,
+    strategy: Strategy,
+    optimize: Optimize,
+    trace: Option<(&Tracer, &str)>,
+) -> ProfileReport {
     let engine = MonotonicEngine::with_options(
         p,
         EvalOptions {
@@ -285,11 +297,20 @@ fn profile_with(p: &Program, edb: &Edb, strategy: Strategy, optimize: Optimize) 
             ..Default::default()
         },
     );
-    let mut sink = MetricsSink::new(p, strategy);
+    let mut sink = Fanout(
+        trace.map(|(t, _)| SpanSink::new(p, t.clone())),
+        MetricsSink::new(p, strategy),
+    );
+    if let Some((t, label)) = trace {
+        t.begin(MAIN_LANE, "bench", t.intern(label));
+    }
     engine
         .evaluate_with_sink(edb, &mut sink)
         .expect("evaluation succeeds");
-    sink.finish()
+    if let Some((t, label)) = trace {
+        t.end(MAIN_LANE, "bench", t.intern(label));
+    }
+    sink.1.finish()
 }
 
 /// One point on a cell's semi-naive scaling curve.
@@ -323,6 +344,7 @@ fn measure_strategy(
     p: &Program,
     edb: &Edb,
     cfg: &BenchConfig,
+    cell: &str,
 ) -> (Model, StrategyMeasurement) {
     let run = |p: &Program, edb: &Edb| run_with(p, edb, strategy, cfg.optimize, cfg.workers);
     for _ in 1..cfg.warmup.max(1) {
@@ -345,9 +367,17 @@ fn measure_strategy(
     let stats = sample_stats(&samples);
 
     // Untimed instrumented run for the work counters, so the timed
-    // samples stay free of sink overhead. With rewrites on, one more
+    // samples stay free of sink overhead (the span tracer, when on,
+    // rides this run for the same reason). With rewrites on, one more
     // unoptimized instrumented run supplies the before figure.
-    let report = profile_with(p, edb, strategy, cfg.optimize);
+    let span_label = format!("{cell} {label}");
+    let report = profile_with(
+        p,
+        edb,
+        strategy,
+        cfg.optimize,
+        cfg.trace.as_ref().map(|t| (t, span_label.as_str())),
+    );
     let derivations_unoptimized = cfg
         .optimize
         .any()
@@ -378,8 +408,9 @@ pub fn run_workload(w: &Workload, size: usize, cfg: &BenchConfig) -> WorkloadMea
     ];
     let mut models = Vec::new();
     let mut strategies = Vec::new();
+    let cell = format!("{}/{size}", w.name);
     for (label, strategy) in runners {
-        let (model, m) = measure_strategy(label, strategy, &p, &edb, cfg);
+        let (model, m) = measure_strategy(label, strategy, &p, &edb, cfg, &cell);
         models.push(model);
         strategies.push(m);
     }

@@ -75,8 +75,9 @@ impl fmt::Display for EvalError {
                     f,
                     ": last round still changed {last_delta} tuple(s) \
                      (non-well-founded cost descent or non-continuous T_P?); \
-                     try `maglog profile` to watch the per-round deltas, or \
-                     `maglog explain --why-not '<fact>'` to probe a goal"
+                     try `maglog profile` to watch the per-round deltas, \
+                     `maglog run --trace trace.json` to see where the rounds \
+                     go, or `maglog explain --why-not '<fact>'` to probe a goal"
                 )
             }
             EvalError::Domain(msg) => write!(f, "domain error: {msg}"),
@@ -115,6 +116,7 @@ mod tests {
         assert!(msg.contains("4 tuple(s)"));
         // Actionable hint pointing at the observability tooling.
         assert!(msg.contains("maglog profile"), "{msg}");
+        assert!(msg.contains("--trace"), "{msg}");
         assert!(msg.contains("maglog explain --why-not"), "{msg}");
     }
 }

@@ -33,6 +33,7 @@ use maglog_datalog::{
     AggEq, AggFunc, Atom, BinOp, CmpOp, Const, Expr, Literal, Pred, Program, Rule, Term, Var,
 };
 use crate::par::{self, FireTally};
+use crate::trace::{NameRef, Ph, Tracer, MAIN_LANE};
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{mpsc, Arc, RwLock};
@@ -796,6 +797,9 @@ impl<'p> MonotonicEngine<'p> {
         workers: usize,
     ) -> Result<usize, EvalError> {
         let db_lock = RwLock::new(std::mem::take(db));
+        // Span recording is opt-in per sink; `None` (the default) keeps
+        // every clock read out of the worker loop and the barrier.
+        let tracer = sink.worker_tracer();
         let result = std::thread::scope(|s| {
             let (res_tx, res_rx) = mpsc::channel::<WorkerRound>();
             let mut job_txs = Vec::with_capacity(workers);
@@ -804,8 +808,9 @@ impl<'p> MonotonicEngine<'p> {
                 job_txs.push(tx);
                 let res_tx = res_tx.clone();
                 let db_ref = &db_lock;
+                let wt = tracer.clone();
                 s.spawn(move || {
-                    self.parallel_worker(db_ref, execs, w, workers, prune, demand, rx, res_tx)
+                    self.parallel_worker(db_ref, execs, w, workers, prune, demand, wt, rx, res_tx)
                 });
             }
             drop(res_tx);
@@ -847,11 +852,22 @@ impl<'p> MonotonicEngine<'p> {
                 let barrier_wait_nanos = first_arrival
                     .map(|t| t.elapsed().as_nanos() as u64)
                     .unwrap_or(0);
+                let barrier_done = tracer.as_ref().map(|t| t.now());
                 results.sort_by_key(|r| r.worker);
                 // The lowest-indexed worker's error wins: deterministic
                 // for a fixed pool size.
                 if let Some(e) = results.iter_mut().find_map(|r| r.error.take()) {
                     return Err(e);
+                }
+                // Worker lanes: each shard's fire span plus the wait from
+                // its last firing to barrier collection, pushed in worker
+                // order so parallel traces are push-order deterministic.
+                if let (Some(t), Some(done)) = (&tracer, barrier_done) {
+                    for r in &results {
+                        if let Some(span) = r.fire_span {
+                            t.worker_round_spans(r.worker, span, done);
+                        }
+                    }
                 }
 
                 let shard_sizes: Vec<usize> =
@@ -873,19 +889,20 @@ impl<'p> MonotonicEngine<'p> {
                 }
                 // Replay rule-fire events in exec order so metrics sinks
                 // count firings exactly as sequentially (per-firing wall
-                // time is not meaningful under interleaving).
+                // time is not meaningful under interleaving; span sinks
+                // already hold the real timings on the worker lanes).
                 for exec in execs {
                     let fired: u64 = results
                         .iter()
                         .map(|r| r.fired.get(&exec.ri).copied().unwrap_or(0))
                         .sum();
-                    for _ in 0..fired {
-                        sink.rule_fire_start(exec.ri);
-                        sink.rule_fire_end(exec.ri);
+                    if fired > 0 {
+                        sink.rule_firings(exec.ri, fired);
                     }
                 }
 
                 // Merge the shard buffers in worker order.
+                let merge_start = tracer.as_ref().map(|t| t.now());
                 use std::collections::hash_map::Entry;
                 let mut merged: HashMap<(Pred, Arc<Tuple>), DerivedEntry> = HashMap::new();
                 let mut merges = 0u64;
@@ -909,6 +926,11 @@ impl<'p> MonotonicEngine<'p> {
                             }
                         }
                     }
+                }
+                if let (Some(t), Some(start)) = (&tracer, merge_start) {
+                    let end = t.now();
+                    t.push_at(start, MAIN_LANE, Ph::Begin, "worker", NameRef::Static("merge"), Vec::new());
+                    t.push_at(end, MAIN_LANE, Ph::End, "worker", NameRef::Static("merge"), Vec::new());
                 }
                 sink.parallel_round(rounds + 1, workers, &shard_sizes, merges, barrier_wait_nanos);
 
@@ -963,10 +985,12 @@ impl<'p> MonotonicEngine<'p> {
         workers: usize,
         prune: bool,
         demand: Option<&DemandFilter>,
+        tracer: Option<Tracer>,
         jobs: mpsc::Receiver<ParJob>,
         results: mpsc::Sender<WorkerRound>,
     ) {
         while let Ok(job) = jobs.recv() {
+            let fire_start = tracer.as_ref().map(|t| t.now());
             let mut pushes = vec![0u64; execs.len()];
             let mut tally = FireTally::default();
             let mut wstats = EvalStats::default();
@@ -1044,9 +1068,15 @@ impl<'p> MonotonicEngine<'p> {
                 pruned = derived.pruned;
                 entries = std::mem::take(&mut derived.map);
             }
+            // Measured before the send so the span can't include the
+            // orchestrator's receive; the barrier clamps wait spans to
+            // start no earlier than this end.
+            let fire_span =
+                fire_start.map(|s| (s, tracer.as_ref().map(|t| t.now()).unwrap_or(s)));
             let sent = results.send(WorkerRound {
                 worker: me,
                 round: job.round,
+                fire_span,
                 entries,
                 pushes,
                 fired: tally.counts,
@@ -1430,6 +1460,9 @@ struct ParJob {
 struct WorkerRound {
     worker: usize,
     round: usize,
+    /// `(start, end)` clock readings around the firing phase, present
+    /// only when the sink opted into span tracing.
+    fire_span: Option<(u64, u64)>,
     entries: HashMap<(Pred, Arc<Tuple>), DerivedEntry>,
     /// Per-exec-slot head derivations this round.
     pushes: Vec<u64>,

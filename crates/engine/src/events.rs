@@ -19,7 +19,7 @@
 use crate::eval::Strategy;
 use crate::interp::{IndexStats, RelationMemory, Tuple};
 use maglog_datalog::Pred;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// How an applied derivation changed the database.
@@ -56,6 +56,18 @@ pub trait EventSink {
     fn rule_fire_start(&mut self, rule: usize) {}
     /// The matching rule firing completed.
     fn rule_fire_end(&mut self, rule: usize) {}
+    /// Bulk report of `count` completed firings of `rule` whose individual
+    /// begin/end interleaving is unavailable (the parallel barrier replays
+    /// worker-side tallies through this). The default expands to
+    /// `rule_fire_start`/`rule_fire_end` pairs so counting sinks observe
+    /// identical totals either way; span-recording sinks override it to
+    /// avoid synthesizing `count` zero-width spans.
+    fn rule_firings(&mut self, rule: usize, count: u64) {
+        for _ in 0..count {
+            self.rule_fire_start(rule);
+            self.rule_fire_end(rule);
+        }
+    }
     /// One buffered derivation was applied to the database. `rule` is the
     /// program rule index that first derived the tuple this round.
     fn insert_outcome(&mut self, rule: usize, pred: Pred, outcome: InsertOutcome) {}
@@ -116,6 +128,13 @@ pub trait EventSink {
     fn wants_relation_memory(&self) -> bool {
         false
     }
+    /// Opt-in handle for worker-side span recording under `--parallel`.
+    /// The parallel orchestrator asks the sink for a [`crate::trace::Tracer`]
+    /// once per component; `None` (the default) keeps the worker hot loop
+    /// free of any clock reads, preserving the zero-cost-when-off property.
+    fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
+        None
+    }
 }
 
 /// The default sink: does nothing, compiles to nothing.
@@ -145,6 +164,10 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     fn rule_fire_end(&mut self, rule: usize) {
         self.0.rule_fire_end(rule);
         self.1.rule_fire_end(rule);
+    }
+    fn rule_firings(&mut self, rule: usize, count: u64) {
+        self.0.rule_firings(rule, count);
+        self.1.rule_firings(rule, count);
     }
     fn insert_outcome(&mut self, rule: usize, pred: Pred, outcome: InsertOutcome) {
         self.0.insert_outcome(rule, pred, outcome);
@@ -206,6 +229,114 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     fn wants_relation_memory(&self) -> bool {
         self.0.wants_relation_memory() || self.1.wants_relation_memory()
     }
+    fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
+        self.0.worker_tracer().or_else(|| self.1.worker_tracer())
+    }
+}
+
+/// `None` behaves exactly like [`NoopSink`]; `Some(sink)` forwards. This
+/// lets callers compose an *optional* sink into a [`Fanout`] without
+/// duplicating the evaluation call per configuration (the CLI's
+/// `--trace` wiring).
+impl<S: EventSink> EventSink for Option<S> {
+    fn component_start(&mut self, component: usize, strategy: Strategy, cdb: &[Pred]) {
+        if let Some(s) = self {
+            s.component_start(component, strategy, cdb);
+        }
+    }
+    fn round_start(&mut self, round: usize, full: bool) {
+        if let Some(s) = self {
+            s.round_start(round, full);
+        }
+    }
+    fn rule_fire_start(&mut self, rule: usize) {
+        if let Some(s) = self {
+            s.rule_fire_start(rule);
+        }
+    }
+    fn rule_fire_end(&mut self, rule: usize) {
+        if let Some(s) = self {
+            s.rule_fire_end(rule);
+        }
+    }
+    fn rule_firings(&mut self, rule: usize, count: u64) {
+        if let Some(s) = self {
+            s.rule_firings(rule, count);
+        }
+    }
+    fn insert_outcome(&mut self, rule: usize, pred: Pred, outcome: InsertOutcome) {
+        if let Some(s) = self {
+            s.insert_outcome(rule, pred, outcome);
+        }
+    }
+    fn delta(&mut self, pred: Pred, size: usize) {
+        if let Some(s) = self {
+            s.delta(pred, size);
+        }
+    }
+    fn round_end(&mut self, round: usize, derivations: usize, changed: usize) {
+        if let Some(s) = self {
+            s.round_end(round, derivations, changed);
+        }
+    }
+    fn parallel_round(
+        &mut self,
+        round: usize,
+        workers: usize,
+        shard_sizes: &[usize],
+        merges: u64,
+        barrier_wait_nanos: u64,
+    ) {
+        if let Some(s) = self {
+            s.parallel_round(round, workers, shard_sizes, merges, barrier_wait_nanos);
+        }
+    }
+    fn rule_derivations(&mut self, rule: usize, derivations: u64) {
+        if let Some(s) = self {
+            s.rule_derivations(rule, derivations);
+        }
+    }
+    fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {
+        if let Some(s) = self {
+            s.aggregate_totals(groups, elements, peak_bytes);
+        }
+    }
+    fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {
+        if let Some(s) = self {
+            s.greedy_settle(pred, key, cost);
+        }
+    }
+    fn optimization(&mut self, decision: &str) {
+        if let Some(s) = self {
+            s.optimization(decision);
+        }
+    }
+    fn pruned(&mut self, component: usize, count: u64) {
+        if let Some(s) = self {
+            s.pruned(component, count);
+        }
+    }
+    fn component_end(&mut self, component: usize, rounds: usize) {
+        if let Some(s) = self {
+            s.component_end(component, rounds);
+        }
+    }
+    fn index_stats(&mut self, pred: Pred, sigs: usize, stats: IndexStats) {
+        if let Some(s) = self {
+            s.index_stats(pred, sigs, stats);
+        }
+    }
+    fn relation_memory(&mut self, pred: Pred, memory: RelationMemory) {
+        if let Some(s) = self {
+            s.relation_memory(pred, memory);
+        }
+    }
+    fn wants_relation_memory(&self) -> bool {
+        self.as_ref().is_some_and(EventSink::wants_relation_memory)
+    }
+    fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
+        self.as_ref().and_then(EventSink::worker_tracer)
+    }
 }
 
 /// A monotone nanosecond clock, injectable so profile tests are
@@ -237,27 +368,37 @@ impl Clock for SystemClock {
 }
 
 /// A deterministic clock: every reading advances by a fixed step, so the
-/// n-th call returns `(n - 1) * step`.
-#[derive(Clone, Debug)]
+/// n-th call returns `(n - 1) * step`. The counter is atomic so a shared
+/// `ManualClock` can be read from parallel workers (with `step == 0` every
+/// reading is `0` regardless of thread interleaving, which is how the
+/// parallel golden-trace tests stay byte-deterministic).
+#[derive(Debug)]
 pub struct ManualClock {
-    now: Cell<u64>,
+    now: AtomicU64,
     step: u64,
 }
 
 impl ManualClock {
     pub fn with_step(step: u64) -> Self {
         ManualClock {
-            now: Cell::new(0),
+            now: AtomicU64::new(0),
             step,
+        }
+    }
+}
+
+impl Clone for ManualClock {
+    fn clone(&self) -> Self {
+        ManualClock {
+            now: AtomicU64::new(self.now.load(Ordering::Relaxed)),
+            step: self.step,
         }
     }
 }
 
 impl Clock for ManualClock {
     fn now_nanos(&self) -> u64 {
-        let t = self.now.get();
-        self.now.set(t + self.step);
-        t
+        self.now.fetch_add(self.step, Ordering::Relaxed)
     }
 }
 
@@ -289,6 +430,8 @@ mod tests {
         s.round_start(1, true);
         s.rule_fire_start(0);
         s.rule_fire_end(0);
+        s.rule_firings(0, 3);
+        assert!(s.worker_tracer().is_none());
         s.round_end(1, 0, 0);
         s.parallel_round(1, 2, &[3, 4], 1, 250);
         s.aggregate_totals(0, 0, 0);

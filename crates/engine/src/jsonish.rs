@@ -267,12 +267,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Consume one UTF-8 character.
-                let rest = &bytes[*pos..];
-                let s = std::str::from_utf8(rest)
-                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
-                let c = s.chars().next().unwrap();
+                // Consume one multi-byte UTF-8 character. Decode from a
+                // four-byte window, not the whole remaining input — the
+                // full-slice validation this used to do made parsing a
+                // megabyte-scale trace dump quadratic.
+                let end = (*pos + 4).min(bytes.len());
+                let window = &bytes[*pos..end];
+                let c = match std::str::from_utf8(window) {
+                    Ok(s) => s.chars().next(),
+                    // A complete char followed by the truncated start of
+                    // the next one still decodes from the valid prefix.
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&window[..e.valid_up_to()])
+                            .unwrap()
+                            .chars()
+                            .next()
+                    }
+                    Err(_) => None,
+                };
+                let c = c.ok_or_else(|| format!("invalid UTF-8 at byte {}", *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -54,6 +54,7 @@ pub mod par;
 pub mod plan;
 pub mod profile;
 pub mod provenance;
+pub mod trace;
 pub mod value;
 
 pub use alloc::CountingAlloc;
@@ -68,6 +69,7 @@ pub use par::{available_workers, resolve_workers};
 pub use profile::{
     fmt_bytes, render_profile_json, MetricsSink, ParallelProfile, ProfileReport, TraceSink,
 };
+pub use trace::{validate_chrome_trace, SpanSink, TraceCheck, Tracer, TRACE_SCHEMA};
 pub use provenance::{
     explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
     render_why_not_human, render_why_not_json, AggWitness, BodyAtom, Capture, DerivationNode,

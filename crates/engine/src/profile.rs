@@ -448,6 +448,15 @@ impl ProfileReport {
                 par.merges,
                 par.barrier_wait_nanos,
             ));
+            let max = par.shard_firings.iter().copied().max().unwrap_or(0);
+            let total: u64 = par.shard_firings.iter().sum();
+            if max > 0 && !par.shard_firings.is_empty() {
+                let mean = total as f64 / par.shard_firings.len() as f64;
+                s.push_str(&format!(
+                    "shard imbalance: max/mean {:.2} (max {max}, mean {mean:.1})\n",
+                    max as f64 / mean
+                ));
+            }
         }
         if !self.optimizations.is_empty() || self.pruned > 0 {
             s.push_str(&format!(
@@ -1024,6 +1033,8 @@ mod tests {
             par.shard_firings.iter().sum::<u64>(),
             report.total_firings()
         );
+        let human = report.render_human();
+        assert!(human.contains("shard imbalance: max/mean"), "{human}");
         let json = render_profile_json("tc", &[report]);
         assert!(json.contains("\"parallel\""));
         assert!(json.contains("\"shard_firings\""));

@@ -8,6 +8,7 @@
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! maglog explain [opts] <program.mgl> '<fact>'   why / why-not a fact
+//! maglog trace-validate <trace.json>     check a maglog-trace-v1 document
 //! ```
 //!
 //! `check` options:
@@ -25,6 +26,7 @@
 //! --format=human|json          human trace+report, or maglog-profile-v1 JSON
 //! --strategy=naive|seminaive|greedy   profile one strategy (default: all three)
 //! --parallel[=N]               evaluate with N workers (bare: every core)
+//! --trace <FILE>               span timeline as Chrome trace JSON (docs/tracing.md)
 //! ```
 //!
 //! `explain` options (goal form):
@@ -43,7 +45,9 @@
 //! reported on stderr), `--parallel[=N]` (shard rounds across N workers;
 //! bare `--parallel` uses every core; the model is identical either way),
 //! `--query '<fact>'` (answer one ground point query; with
-//! `--optimize=demand` only the goal's derivation cone is computed).
+//! `--optimize=demand` only the goal's derivation cone is computed),
+//! `--trace <FILE>` (write a `maglog-trace-v1` span timeline — phases,
+//! components, rounds, rule firings, worker lanes — loadable in Perfetto).
 //!
 //! `bench` options:
 //!
@@ -57,6 +61,8 @@
 //! --baseline FILE       gate medians against a v1/v2 baseline document
 //! --gate RATIO          regression threshold (default 1.25; needs --baseline)
 //! --parallel[=N]        N-worker evaluation plus a 1,2,4,...,N scaling curve
+//! --trace FILE          trace the per-cell instrumented runs (timed samples
+//!                       stay untraced, so medians are unperturbed)
 //! ```
 //!
 //! Programs are text files in the maglog rule language; facts can be given
@@ -70,11 +76,12 @@ use maglog::analysis::diag::{
 use maglog::baselines::kemp_stuckey::{ks_well_founded, AtomStatus};
 use maglog::bench::v2;
 use maglog::datalog::{graph::components, parse_program, Program};
+use maglog::engine::trace::{NameRef, MAIN_LANE};
 use maglog::engine::{
     alloc, available_workers, explain_tree, fmt_bytes, parse_goal, render_explain_dot,
     render_explain_human, render_explain_json, render_profile_json, render_why_not_human,
-    render_why_not_json, why_not, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine,
-    Optimize, Strategy, TraceSink, Tuple,
+    render_why_not_json, validate_chrome_trace, why_not, Edb, EvalOptions, Fanout, MetricsSink,
+    Model, MonotonicEngine, Optimize, SpanSink, Strategy, TraceSink, Tracer, Tuple, TRACE_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -89,15 +96,16 @@ usage: maglog <check|run|profile|bench|compare|explain> [args]
   check   [--format=human|json] [--deny <CODE|all|warnings>] [--allow <CODE>] <program.mgl>
   check   --explain <CODE>
   run     [--stats] [--explain <pred>] [--max-rounds <N>] [--optimize[=prem,demand]]
-          [--parallel[=N]] [--query '<fact>'] <program.mgl> [pred...]
+          [--parallel[=N]] [--query '<fact>'] [--trace <FILE>] <program.mgl> [pred...]
   profile [--format=human|json] [--strategy=naive|seminaive|greedy]
-          [--optimize[=prem,demand]] [--parallel[=N]] <program.mgl>
+          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>] <program.mgl>
   bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
           [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
-          [--optimize[=prem,demand]] [--parallel[=N]]
+          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>]
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
+  trace-validate <trace.json>
 
 profile evaluates under every strategy (or just --strategy) and reports
 per-round deltas, per-rule counters, index telemetry, and memory (per-
@@ -132,7 +140,14 @@ proofs and never change the computed model.
 --parallel[=N] shards each fixpoint round across N workers (bare
 --parallel uses every core; see docs/parallelism.md). The computed model
 and every counter are identical at any worker count. On bench, --parallel=N
-additionally measures a 1, 2, 4, ... N scaling curve per workload.";
+additionally measures a 1, 2, 4, ... N scaling curve per workload.
+
+--trace <FILE> records a span timeline — phases, components, rounds, rule
+firings, and (under --parallel) per-worker fire/barrier-wait/merge lanes,
+plus heap and delta counter tracks — as Chrome trace-event JSON
+(maglog-trace-v1), loadable in Perfetto or chrome://tracing; see
+docs/tracing.md. trace-validate checks such a document structurally
+(balanced spans per lane, monotone timestamps, named lanes).";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -233,6 +248,24 @@ fn parse_parallel(inline_value: Option<&str>) -> Result<usize, ArgError> {
     }
 }
 
+/// Validate a `--trace` destination up front: a missing or unwritable
+/// path is a usage error (exit 2, like every other bad flag value), not
+/// something to discover only after a long evaluation. Opens the file
+/// for writing (creating it, truncating nothing) so permission problems
+/// surface before any work runs.
+fn check_trace_path(path: &str) -> Result<(), ArgError> {
+    if path.trim().is_empty() {
+        return Err(ArgError::Usage("--trace requires a file path".into()));
+    }
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map(drop)
+        .map_err(|e| ArgError::Usage(format!("--trace: cannot write {path}: {e}")))
+}
+
 /// Parse `--optimize`'s inline value. A bare `--optimize` (no value)
 /// enables every rewrite; the flag never consumes the next argument, so
 /// `maglog run --optimize prog.mgl` does the expected thing.
@@ -330,6 +363,7 @@ fn main() -> ExitCode {
             optimize: opts.optimize,
             workers: opts.parallel,
             scaling: v2::scaling_curve(opts.parallel),
+            trace: opts.trace.as_ref().map(|_| Tracer::new()),
         };
         // Filter problems (unknown workloads, sizes matching nothing) are
         // usage errors, caught before any measurement runs.
@@ -375,6 +409,8 @@ fn main() -> ExitCode {
     let result = match (cmd, rest) {
         ("compare", [path]) => cmd_compare(path),
         ("compare", _) => return usage_exit("compare requires a program file"),
+        ("trace-validate", [path]) => cmd_trace_validate(path),
+        ("trace-validate", _) => return usage_exit("trace-validate requires a trace file"),
         _ => return usage_exit(&format!("unknown subcommand '{cmd}'")),
     };
     match result {
@@ -393,6 +429,8 @@ struct ProfileOpts {
     optimize: Optimize,
     /// Worker count for the parallel evaluator (1 = sequential).
     parallel: usize,
+    /// Write a `maglog-trace-v1` span timeline here.
+    trace: Option<String>,
 }
 
 fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), ArgError> {
@@ -401,6 +439,7 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
         strategy: None,
         optimize: Optimize::default(),
         parallel: 1,
+        trace: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -433,6 +472,11 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
             }
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
             "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
+            "--trace" => {
+                let v = value("--trace")?;
+                check_trace_path(&v)?;
+                opts.trace = Some(v);
+            }
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
             }
@@ -455,6 +499,8 @@ struct BenchOpts {
     /// Worker count for the parallel evaluator (1 = sequential). Values
     /// above 1 also measure the scaling curve 1, 2, 4, … up to this count.
     parallel: usize,
+    /// Write a `maglog-trace-v1` span timeline of the instrumented runs.
+    trace: Option<String>,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
@@ -469,6 +515,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
         gate: 1.25,
         optimize: Optimize::default(),
         parallel: 1,
+        trace: None,
     };
     let mut gate_set = false;
     let mut it = args.iter().peekable();
@@ -542,6 +589,11 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
             "--baseline" => opts.baseline = Some(value("--baseline")?),
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
             "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
+            "--trace" => {
+                let v = value("--trace")?;
+                check_trace_path(&v)?;
+                opts.trace = Some(v);
+            }
             "--gate" => {
                 let v = value("--gate")?;
                 opts.gate = v
@@ -579,6 +631,12 @@ fn cmd_bench(cfg: &v2::BenchConfig, opts: &BenchOpts) -> Result<(), String> {
         Format::Human => print!("{}", v2::render_human(&env, &measurements)),
         Format::Json => print!("{doc}"),
     }
+    if let (Some(t), Some(out)) = (cfg.trace.as_ref(), opts.trace.as_deref()) {
+        // The tracer rode the untimed instrumented pass of every cell, so
+        // the timeline covers the whole matrix without touching the
+        // medians.
+        write_trace(t, "bench", out)?;
+    }
     if let Some(path) = &opts.out {
         std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -608,6 +666,8 @@ struct RunOpts {
     query: Option<String>,
     /// Worker count for the parallel evaluator (1 = sequential).
     parallel: usize,
+    /// Write a `maglog-trace-v1` span timeline here.
+    trace: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
@@ -618,6 +678,7 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
         optimize: Optimize::default(),
         query: None,
         parallel: 1,
+        trace: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -644,6 +705,11 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
             "--optimize" => opts.optimize = parse_optimize(inline_value.as_deref())?,
             "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             "--query" => opts.query = Some(value("--query")?),
+            "--trace" => {
+                let v = value("--trace")?;
+                check_trace_path(&v)?;
+                opts.trace = Some(v);
+            }
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
             }
@@ -782,10 +848,21 @@ struct Phase {
     alloc_bytes: usize,
 }
 
-fn run_phase<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() -> T) -> T {
+fn run_phase<T>(
+    phases: &mut Vec<Phase>,
+    tracer: Option<&Tracer>,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
     let start = std::time::Instant::now();
     let before = alloc::total_allocated_bytes();
+    if let Some(t) = tracer {
+        t.begin(MAIN_LANE, "phase", NameRef::Static(name));
+    }
     let out = f();
+    if let Some(t) = tracer {
+        t.end(MAIN_LANE, "phase", NameRef::Static(name));
+    }
     phases.push(Phase {
         name,
         secs: start.elapsed().as_secs_f64(),
@@ -794,13 +871,49 @@ fn run_phase<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() ->
     out
 }
 
+/// Render and write a `--trace` timeline, with a stderr note mirroring
+/// `bench --out`'s convention.
+fn write_trace(tracer: &Tracer, label: &str, path: &str) -> Result<(), String> {
+    let json = tracer.render_chrome_json(label);
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    let dropped = tracer.events_dropped();
+    let drop_note = if dropped > 0 {
+        format!(", {dropped} dropped at the buffer cap")
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "-- trace: wrote {path} ({} event(s){drop_note})",
+        tracer.events_recorded()
+    );
+    Ok(())
+}
+
+/// Anchor the allocator counter track at t0, so even a run that aborts
+/// before its first round produces a validator-clean document.
+fn trace_heap_anchor(t: &Tracer) {
+    t.counter(
+        MAIN_LANE,
+        NameRef::Static("heap"),
+        vec![
+            ("live", alloc::current_bytes() as u64),
+            ("peak", alloc::peak_bytes() as u64),
+        ],
+    );
+}
+
 fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
     let mut phases = Vec::new();
-    let program = run_phase(&mut phases, "parse", || load(path))?;
+    let tracer = opts.trace.as_ref().map(|_| Tracer::new());
+    let tr = tracer.as_ref();
+    if let Some(t) = tr {
+        trace_heap_anchor(t);
+    }
+    let program = run_phase(&mut phases, tr, "parse", || load(path))?;
     if opts.stats {
         // Evaluation doesn't need the static battery, but the phase split
         // should report what the full check-then-run pipeline costs.
-        run_phase(&mut phases, "analyze", || {
+        run_phase(&mut phases, tr, "analyze", || {
             std::hint::black_box(maglog::analysis::check_program(&program));
         });
     }
@@ -815,25 +928,38 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         .as_deref()
         .map(|q| parse_goal(&program, q))
         .transpose()?;
-    let engine = run_phase(&mut phases, "plan", || {
+    let engine = run_phase(&mut phases, tr, "plan", || {
         MonotonicEngine::with_options(&program, eval_options)
     });
     let mut provenance = None;
-    let (model, report): (Model, Option<String>) =
-        run_phase(&mut phases, "eval", || -> Result<_, String> {
+    let eval_result: Result<(Model, Option<String>), String> =
+        run_phase(&mut phases, tr, "eval", || -> Result<_, String> {
             if opts.stats {
-                let mut sink = MetricsSink::new(&program, Strategy::SemiNaive);
+                let mut sink = Fanout(
+                    tr.map(|t| SpanSink::new(&program, t.clone())),
+                    MetricsSink::new(&program, Strategy::SemiNaive),
+                );
                 let model = match &goal {
                     Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut sink),
                     None => engine.evaluate_with_sink(&Edb::new(), &mut sink),
                 }
                 .map_err(|e| e.to_string())?;
-                Ok((model, Some(sink.finish().render_human())))
+                Ok((model, Some(sink.1.finish().render_human())))
             } else if opts.explain.is_some() {
+                // Provenance capture runs its own walk; the phase spans
+                // still bracket it, but per-rule spans are not recorded.
                 let (model, prov) = engine
                     .evaluate_with_provenance(&Edb::new())
                     .map_err(|e| e.to_string())?;
                 provenance = Some(prov);
+                Ok((model, None))
+            } else if let Some(t) = tr {
+                let mut sink = SpanSink::new(&program, t.clone());
+                let model = match &goal {
+                    Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut sink),
+                    None => engine.evaluate_with_sink(&Edb::new(), &mut sink),
+                }
+                .map_err(|e| e.to_string())?;
                 Ok((model, None))
             } else if let Some(goal) = &goal {
                 Ok((
@@ -845,7 +971,14 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
             } else {
                 Ok((engine.evaluate(&Edb::new()).map_err(|e| e.to_string())?, None))
             }
-        })?;
+        });
+    // Dump the timeline even when evaluation failed: the renderer closes
+    // the spans an aborted run left open, so a non-terminating run's
+    // trace shows exactly where the rounds went.
+    if let (Some(t), Some(out)) = (tr, opts.trace.as_deref()) {
+        write_trace(t, path, out)?;
+    }
+    let (model, report) = eval_result?;
     if let Some(goal) = &goal {
         // Answer the point query directly from the computed model. Under
         // `--optimize=demand` only the goal's derivation cone was
@@ -989,6 +1122,10 @@ fn cmd_explain_goal(path: &str, goal_text: &str, opts: &ExplainOpts) -> Result<(
 /// the reports (human trace + summary, or the `maglog-profile-v1` JSON).
 fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
     let program = load(path)?;
+    let tracer = opts.trace.as_ref().map(|_| Tracer::new());
+    if let Some(t) = tracer.as_ref() {
+        trace_heap_anchor(t);
+    }
     let strategies: Vec<Strategy> = match opts.strategy {
         Some(s) => vec![s],
         None => vec![Strategy::Naive, Strategy::SemiNaive, Strategy::Greedy],
@@ -1004,14 +1141,36 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
                 ..Default::default()
             },
         );
-        let mut sink = Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy));
+        // One top-level span per strategy, so the strategies are easy to
+        // tell apart in the timeline when all three are profiled.
+        let span = tracer
+            .as_ref()
+            .map(|t| t.intern(&format!("eval[{}]", strategy.name())));
+        if let (Some(t), Some(name)) = (tracer.as_ref(), span) {
+            t.begin(MAIN_LANE, "phase", name);
+        }
+        let mut sink = Fanout(
+            tracer.as_ref().map(|t| SpanSink::new(&program, t.clone())),
+            Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy)),
+        );
         // Scope the allocator peak to this strategy's evaluation, so each
         // report's alloc_peak_bytes is a per-strategy high-water mark.
         alloc::reset_peak();
-        engine
+        let eval_result = engine
             .evaluate_with_sink(&Edb::new(), &mut sink)
-            .map_err(|e| format!("[{}] {e}", strategy.name()))?;
-        let Fanout(trace, metrics) = sink;
+            .map_err(|e| format!("[{}] {e}", strategy.name()));
+        if let (Some(t), Some(name)) = (tracer.as_ref(), span) {
+            t.end(MAIN_LANE, "phase", name);
+        }
+        if let Err(e) = eval_result {
+            // Still dump the partial timeline; the aborted evaluation is
+            // usually exactly what the trace is wanted for.
+            if let (Some(t), Some(out)) = (tracer.as_ref(), opts.trace.as_deref()) {
+                let _ = write_trace(t, path, out);
+            }
+            return Err(e);
+        }
+        let Fanout(_span, Fanout(trace, metrics)) = sink;
         let report = metrics.finish();
         match opts.format {
             Format::Human => {
@@ -1025,6 +1184,33 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
     if opts.format == Format::Json {
         print!("{}", render_profile_json(path, &reports));
     }
+    if let (Some(t), Some(out)) = (tracer.as_ref(), opts.trace.as_deref()) {
+        if opts.format == Format::Human {
+            let widest: Vec<String> = t
+                .top_spans(5)
+                .into_iter()
+                .map(|s| format!("{} {}", s.name, maglog::bench::fmt_secs(s.nanos as f64 / 1e9)))
+                .collect();
+            if !widest.is_empty() {
+                println!("widest spans: {}", widest.join(", "));
+            }
+        }
+        write_trace(t, path, out)?;
+    }
+    Ok(())
+}
+
+/// Check a `--trace` dump against the `maglog-trace-v1` contract: every
+/// lane's B/E spans balance, timestamps are monotone per lane, lanes are
+/// named, and the heap counter was sampled. CI runs this over every
+/// example program's trace.
+fn cmd_trace_validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let check = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid {TRACE_SCHEMA}: {} event(s), {} lane(s), {} heap sample(s), {} dropped",
+        check.events, check.lanes, check.heap_samples, check.dropped
+    );
     Ok(())
 }
 

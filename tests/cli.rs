@@ -406,7 +406,24 @@ fn evaluation_failure_exits_nonzero_with_an_actionable_hint() {
     let err = stderr(&out);
     assert!(err.contains("no fixpoint after 30 rounds"), "{err}");
     assert!(err.contains("maglog profile"), "{err}");
+    assert!(err.contains("--trace"), "{err}");
     assert!(err.contains("maglog explain --why-not"), "{err}");
+
+    // Taking the hint works: the aborted run still dumps its timeline
+    // (open spans are closed at the abort point) and it validates.
+    let trace = dir.join("diverging_trace.json");
+    let out = maglog(&[
+        "run",
+        "--max-rounds",
+        "30",
+        "--trace",
+        trace.to_str().unwrap(),
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("-- trace: wrote"), "{}", stderr(&out));
+    let check = maglog(&["trace-validate", trace.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
 }
 
 #[test]
@@ -727,6 +744,193 @@ fn profile_optimize_records_decisions_in_json() {
     assert!(text.contains("\"optimizations\""), "{text}");
     assert!(text.contains("premappable"), "{text}");
     assert!(text.contains("\"pruned\": 2"), "{text}");
+}
+
+/// A scratch path under the shared CLI temp dir; `name` must be unique
+/// per test because the suite runs in parallel.
+fn trace_tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn run_trace_writes_a_valid_timeline() {
+    for (flags, file) in [
+        (&[][..], "run_seq.json"),
+        (&["--parallel=2"][..], "run_par2.json"),
+        (&["--parallel=4"][..], "run_par4.json"),
+        (&["--parallel=2", "--optimize=prem"][..], "run_par_opt.json"),
+    ] {
+        let path = trace_tmp(file);
+        let args = [
+            &["run", "--trace", path.to_str().unwrap()],
+            flags,
+            &["programs/shortest_path.mgl"],
+        ]
+        .concat();
+        let out = maglog(&args);
+        assert!(out.status.success(), "{flags:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("-- trace: wrote"), "{}", stderr(&out));
+        let check = maglog(&["trace-validate", path.to_str().unwrap()]);
+        assert!(check.status.success(), "{flags:?}: {}", stderr(&check));
+        assert!(
+            stdout(&check).contains("valid maglog-trace-v1"),
+            "{}",
+            stdout(&check)
+        );
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"maglog-trace-v1\""), "{file}");
+        assert!(doc.contains("\"heap\""), "{file}");
+        if !flags.is_empty() && flags[0].starts_with("--parallel") {
+            // One named lane per worker, with the barrier/merge spans the
+            // parallel orchestrator records.
+            assert!(doc.contains("\"worker 1\""), "{file}");
+            assert!(doc.contains("\"barrier-wait\""), "{file}");
+            assert!(doc.contains("\"merge\""), "{file}");
+        }
+    }
+}
+
+#[test]
+fn run_trace_off_is_byte_identical() {
+    // The timeline must be a pure observer: stdout matches exactly, and
+    // stderr differs only by the "wrote the file" note.
+    let plain = maglog(&["run", "programs/shortest_path.mgl"]);
+    let path = trace_tmp("run_ab.json");
+    let traced = maglog(&[
+        "run",
+        "--trace",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(traced.status.success(), "{}", stderr(&traced));
+    assert_eq!(stdout(&plain), stdout(&traced));
+    let traced_err: String = stderr(&traced)
+        .lines()
+        .filter(|l| !l.starts_with("-- trace:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(stderr(&plain), traced_err);
+}
+
+#[test]
+fn trace_flag_errors_are_usage_errors() {
+    // Missing value.
+    let out = maglog(&["run", "--trace"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--trace requires a value"), "{}", stderr(&out));
+
+    // Unwritable destinations fail up front on every subcommand that
+    // grows the flag, before any evaluation runs.
+    for cmd in ["run", "profile", "bench"] {
+        let out = maglog(&[
+            cmd,
+            "--trace",
+            "/nonexistent-dir/trace.json",
+            "programs/shortest_path.mgl",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("--trace: cannot write"),
+            "{cmd}: {}",
+            stderr(&out)
+        );
+    }
+
+    // A directory is not a writable trace file.
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = maglog(&["run", "--trace", dir.to_str().unwrap(), "programs/shortest_path.mgl"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_validate_checks_documents() {
+    // A fresh valid document passes and is summarized.
+    let path = trace_tmp("validate_ok.json");
+    let out = maglog(&[
+        "run",
+        "--trace",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let check = maglog(&["trace-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    let text = stdout(&check);
+    assert!(text.contains("valid maglog-trace-v1"), "{text}");
+    assert!(text.contains("lane(s)"), "{text}");
+
+    // Structurally broken documents are rejected with the reason.
+    let bad = trace_tmp("validate_bad.json");
+    std::fs::write(&bad, "{}\n").unwrap();
+    let check = maglog(&["trace-validate", bad.to_str().unwrap()]);
+    assert_eq!(check.status.code(), Some(1), "{}", stderr(&check));
+    assert!(stderr(&check).contains("otherData"), "{}", stderr(&check));
+
+    // Missing files and missing operands are errors, not silence.
+    let check = maglog(&["trace-validate", "/nonexistent-dir/trace.json"]);
+    assert_eq!(check.status.code(), Some(1), "{}", stderr(&check));
+    let check = maglog(&["trace-validate"]);
+    assert_eq!(check.status.code(), Some(2), "{}", stderr(&check));
+}
+
+#[test]
+fn profile_trace_reports_widest_spans() {
+    let path = trace_tmp("profile_trace.json");
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--parallel=2",
+        "--trace",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("widest spans:"), "{text}");
+    assert!(text.contains("eval[seminaive]"), "{text}");
+    assert!(text.contains("shard imbalance: max/mean"), "{text}");
+    let check = maglog(&["trace-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+
+    // The summary lines stay out of the JSON report format.
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--format=json",
+        "--trace",
+        trace_tmp("profile_trace_json.json").to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("widest spans:"), "{}", stdout(&out));
+}
+
+#[test]
+fn bench_trace_covers_the_run() {
+    let path = trace_tmp("bench_trace.json");
+    let out = maglog(&[
+        "bench",
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--workloads",
+        "shortest_path",
+        "--sizes",
+        "16",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("-- trace: wrote"), "{}", stderr(&out));
+    let check = maglog(&["trace-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    // The per-cell bench spans label workload and size.
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(doc.contains("shortest_path/16"), "bench trace lacks cell spans");
 }
 
 #[test]
