@@ -21,8 +21,8 @@ use maglog_datalog::Program;
 use maglog_engine::jsonish::{self, JsonValue};
 use maglog_engine::trace::MAIN_LANE;
 use maglog_engine::{
-    alloc, fmt_bytes, Edb, EvalOptions, Fanout, MetricsSink, Model, MonotonicEngine, Optimize,
-    ProfileReport, SpanSink, Strategy, Tracer,
+    alloc, fmt_bytes, Edb, EvalOptions, Fanout, HistogramSink, MetricsSink, Model,
+    MonotonicEngine, Optimize, ProfileReport, Registry, SpanSink, Strategy, Tracer,
 };
 use maglog_workloads::{
     programs, random_circuit, random_digraph, random_ownership, random_party,
@@ -130,6 +130,11 @@ pub struct BenchConfig {
     /// (`maglog bench --trace`). Timed samples always run untraced, so
     /// tracing never perturbs the medians; `None` records nothing.
     pub trace: Option<Tracer>,
+    /// Metrics registry the instrumented runs publish their latency/size
+    /// histograms into (`maglog bench --metrics`), one series set per
+    /// (workload, size, strategy) label combination. Timed samples stay
+    /// uninstrumented, like `trace`; `None` records nothing.
+    pub metrics: Option<Registry>,
 }
 
 impl Default for BenchConfig {
@@ -143,6 +148,7 @@ impl Default for BenchConfig {
             workers: 1,
             scaling: Vec::new(),
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -216,9 +222,17 @@ pub struct SampleStats {
     pub min: f64,
     /// Median absolute deviation from the median.
     pub mad: f64,
+    /// Nearest-rank percentiles of the timed samples. `p50` is the
+    /// textbook nearest-rank median (ceil-rank), which differs from
+    /// `median` (upper-middle element) on even sample counts — both are
+    /// reported so baselines keep gating on the historical figure.
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
 }
 
-/// Median / min / MAD of a non-empty sample vector.
+/// Median / min / MAD / nearest-rank percentiles of a non-empty sample
+/// vector.
 pub fn sample_stats(samples: &[f64]) -> SampleStats {
     assert!(!samples.is_empty(), "sample_stats needs at least one sample");
     let mut s = samples.to_vec();
@@ -226,10 +240,17 @@ pub fn sample_stats(samples: &[f64]) -> SampleStats {
     let median = s[s.len() / 2];
     let mut dev: Vec<f64> = s.iter().map(|x| (x - median).abs()).collect();
     dev.sort_by(f64::total_cmp);
+    let pct = |q: f64| {
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    };
     SampleStats {
         median,
         min: s[0],
         mad: dev[dev.len() / 2],
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
     }
 }
 
@@ -288,6 +309,8 @@ fn profile_with(
     strategy: Strategy,
     optimize: Optimize,
     trace: Option<(&Tracer, &str)>,
+    // Registry plus the (workload, size) labels for this cell's series.
+    metrics: Option<(&Registry, &str, usize)>,
 ) -> ProfileReport {
     let engine = MonotonicEngine::with_options(
         p,
@@ -297,9 +320,23 @@ fn profile_with(
             ..Default::default()
         },
     );
+    let hist = metrics.map(|(reg, workload, size)| {
+        HistogramSink::new(
+            p,
+            &[
+                ("workload", workload),
+                ("size", &size.to_string()),
+                ("strategy", strategy.name()),
+            ],
+        )
+        .publish_to(reg.clone())
+    });
     let mut sink = Fanout(
-        trace.map(|(t, _)| SpanSink::new(p, t.clone())),
-        MetricsSink::new(p, strategy),
+        Fanout(
+            trace.map(|(t, _)| SpanSink::new(p, t.clone())),
+            MetricsSink::new(p, strategy),
+        ),
+        hist,
     );
     if let Some((t, label)) = trace {
         t.begin(MAIN_LANE, "bench", t.intern(label));
@@ -310,7 +347,12 @@ fn profile_with(
     if let Some((t, label)) = trace {
         t.end(MAIN_LANE, "bench", t.intern(label));
     }
-    sink.1.finish()
+    let Fanout(Fanout(_span, report), hist) = sink;
+    if let Some(h) = hist {
+        // Publishes the final cumulative snapshot into the registry.
+        h.finish();
+    }
+    report.finish()
 }
 
 /// One point on a cell's semi-naive scaling curve.
@@ -344,7 +386,8 @@ fn measure_strategy(
     p: &Program,
     edb: &Edb,
     cfg: &BenchConfig,
-    cell: &str,
+    workload: &str,
+    size: usize,
 ) -> (Model, StrategyMeasurement) {
     let run = |p: &Program, edb: &Edb| run_with(p, edb, strategy, cfg.optimize, cfg.workers);
     for _ in 1..cfg.warmup.max(1) {
@@ -370,13 +413,14 @@ fn measure_strategy(
     // samples stay free of sink overhead (the span tracer, when on,
     // rides this run for the same reason). With rewrites on, one more
     // unoptimized instrumented run supplies the before figure.
-    let span_label = format!("{cell} {label}");
+    let span_label = format!("{workload}/{size} {label}");
     let report = profile_with(
         p,
         edb,
         strategy,
         cfg.optimize,
         cfg.trace.as_ref().map(|t| (t, span_label.as_str())),
+        cfg.metrics.as_ref().map(|reg| (reg, workload, size)),
     );
     let derivations_unoptimized = cfg
         .optimize
@@ -408,9 +452,8 @@ pub fn run_workload(w: &Workload, size: usize, cfg: &BenchConfig) -> WorkloadMea
     ];
     let mut models = Vec::new();
     let mut strategies = Vec::new();
-    let cell = format!("{}/{size}", w.name);
     for (label, strategy) in runners {
-        let (model, m) = measure_strategy(label, strategy, &p, &edb, cfg, &cell);
+        let (model, m) = measure_strategy(label, strategy, &p, &edb, cfg, w.name, size);
         models.push(model);
         strategies.push(m);
     }
@@ -605,6 +648,11 @@ pub fn render_v2(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> String
                         ("median_secs".into(), JsonValue::Num(s.stats.median)),
                         ("min_secs".into(), JsonValue::Num(s.stats.min)),
                         ("mad_secs".into(), JsonValue::Num(s.stats.mad)),
+                        // Schema-additive (v2 readers key on median_secs):
+                        // nearest-rank percentiles of the timed samples.
+                        ("p50_secs".into(), JsonValue::Num(s.stats.p50)),
+                        ("p90_secs".into(), JsonValue::Num(s.stats.p90)),
+                        ("p99_secs".into(), JsonValue::Num(s.stats.p99)),
                         ("tuples_per_sec".into(), JsonValue::Num(s.tuples_per_sec)),
                         (
                             "derivations_per_sec".into(),
@@ -682,19 +730,23 @@ pub fn render_human(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> Str
         env.commit, env.rustc, env.cpus, env.warmup, env.samples
     );
     out.push_str(&format!(
-        "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-        "workload", "size", "strategy", "median", "min", "±MAD", "tuples/s", "deriv/s", "peak heap"
+        "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "workload", "size", "strategy", "median", "min", "±MAD", "p50", "p90", "p99",
+        "tuples/s", "deriv/s", "peak heap"
     ));
     for m in measurements {
         for s in &m.strategies {
             out.push_str(&format!(
-                "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:<18} {:>5} {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                 m.workload,
                 m.size,
                 s.strategy,
                 fmt_secs(s.stats.median),
                 fmt_secs(s.stats.min),
                 fmt_secs(s.stats.mad),
+                fmt_secs(s.stats.p50),
+                fmt_secs(s.stats.p90),
+                fmt_secs(s.stats.p99),
                 fmt_rate(s.tuples_per_sec),
                 fmt_rate(s.derivations_per_sec),
                 if s.peak_heap_bytes > 0 {
@@ -914,6 +966,24 @@ mod tests {
         let one = sample_stats(&[0.25]);
         assert_eq!(one.median, 0.25);
         assert_eq!(one.mad, 0.0);
+        assert_eq!(one.p50, 0.25);
+        assert_eq!(one.p99, 0.25);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        // 10 samples 1..=10: nearest-rank p50 = ceil(5) = 5th value,
+        // p90 = 9th, p99 = ceil(9.9) = 10th.
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = sample_stats(&v);
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.p90, 9.0);
+        assert_eq!(s.p99, 10.0);
+        // The historical median stays the upper-middle element.
+        assert_eq!(s.median, 6.0);
+        // Odd count: p50 and median agree.
+        let odd = sample_stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.p50, odd.median);
     }
 
     #[test]
@@ -1009,6 +1079,9 @@ mod tests {
                 median,
                 min: median * 0.9,
                 mad: median * 0.05,
+                p50: median,
+                p90: median * 1.1,
+                p99: median * 1.2,
             },
             tuples_per_sec: 100.0,
             derivations_per_sec: 80.0,
@@ -1047,6 +1120,7 @@ mod tests {
                     median: 0.0125,
                     min: 0.012,
                     mad: 0.0005,
+                    ..Default::default()
                 },
                 speedup: 1.0,
             },
@@ -1056,6 +1130,7 @@ mod tests {
                     median: 0.005,
                     min: 0.0048,
                     mad: 0.0002,
+                    ..Default::default()
                 },
                 speedup: 2.5,
             },
@@ -1063,6 +1138,9 @@ mod tests {
         let doc = render_v2(&env, &[m]);
         assert!(doc.contains("\"schema\": \"maglog-bench-v2\""));
         assert!(doc.contains("\"median_secs\": 0.0125"));
+        assert!(doc.contains("\"p50_secs\": 0.0125"));
+        assert!(doc.contains("\"p90_secs\""));
+        assert!(doc.contains("\"p99_secs\""));
         assert!(doc.contains("\"peak_heap_bytes\": 4096"));
         assert!(doc.contains("\"workers\": 4"));
         assert!(doc.contains("\"scaling\""));

@@ -800,6 +800,9 @@ impl<'p> MonotonicEngine<'p> {
         // Span recording is opt-in per sink; `None` (the default) keeps
         // every clock read out of the worker loop and the barrier.
         let tracer = sink.worker_tracer();
+        // Likewise latency recording: a meter means workers time their
+        // firings into local histograms, merged here at the barrier.
+        let meter = sink.worker_meter();
         let result = std::thread::scope(|s| {
             let (res_tx, res_rx) = mpsc::channel::<WorkerRound>();
             let mut job_txs = Vec::with_capacity(workers);
@@ -809,8 +812,11 @@ impl<'p> MonotonicEngine<'p> {
                 let res_tx = res_tx.clone();
                 let db_ref = &db_lock;
                 let wt = tracer.clone();
+                let wm = meter.clone();
                 s.spawn(move || {
-                    self.parallel_worker(db_ref, execs, w, workers, prune, demand, wt, rx, res_tx)
+                    self.parallel_worker(
+                        db_ref, execs, w, workers, prune, demand, wt, wm, rx, res_tx,
+                    )
                 });
             }
             drop(res_tx);
@@ -853,6 +859,7 @@ impl<'p> MonotonicEngine<'p> {
                     .map(|t| t.elapsed().as_nanos() as u64)
                     .unwrap_or(0);
                 let barrier_done = tracer.as_ref().map(|t| t.now());
+                let meter_done = meter.as_ref().map(|m| m.now_nanos());
                 results.sort_by_key(|r| r.worker);
                 // The lowest-indexed worker's error wins: deterministic
                 // for a fixed pool size.
@@ -866,6 +873,18 @@ impl<'p> MonotonicEngine<'p> {
                     for r in &results {
                         if let Some(span) = r.fire_span {
                             t.worker_round_spans(r.worker, span, done);
+                        }
+                    }
+                }
+                // Worker latency samples: fill in the barrier wait (time
+                // from each shard's last firing to barrier collection)
+                // and merge each worker's local histograms into the sink,
+                // in worker order so delivery is deterministic.
+                if let Some(done) = meter_done {
+                    for r in &mut results {
+                        if let Some(mut sample) = r.metrics.take() {
+                            sample.wait_nanos = done.saturating_sub(sample.fire_end_nanos);
+                            sink.worker_sample(&sample);
                         }
                     }
                 }
@@ -986,13 +1005,15 @@ impl<'p> MonotonicEngine<'p> {
         prune: bool,
         demand: Option<&DemandFilter>,
         tracer: Option<Tracer>,
+        meter: Option<crate::metrics::Meter>,
         jobs: mpsc::Receiver<ParJob>,
         results: mpsc::Sender<WorkerRound>,
     ) {
         while let Ok(job) = jobs.recv() {
             let fire_start = tracer.as_ref().map(|t| t.now());
+            let meter_start = meter.as_ref().map(|m| m.now_nanos());
             let mut pushes = vec![0u64; execs.len()];
-            let mut tally = FireTally::default();
+            let mut tally = FireTally::with_meter(meter.clone());
             let mut wstats = EvalStats::default();
             let agg = AggCounters::default();
             let mut error = None;
@@ -1024,14 +1045,16 @@ impl<'p> MonotonicEngine<'p> {
                             tally.rule_fire_start(exec.ri);
                             derived.current = slot;
                             let mut binding = Binding::new();
-                            exec_steps(
+                            let fired = exec_steps(
                                 &ctx,
                                 exec.rule,
                                 &exec.plan.steps,
                                 &mut binding,
                                 &mut derived,
                                 &mut NoCapture,
-                            )
+                            );
+                            tally.rule_fire_end(exec.ri);
+                            fired
                         })
                 } else {
                     let mut seen_seeds = SeenSeeds::new();
@@ -1073,6 +1096,19 @@ impl<'p> MonotonicEngine<'p> {
             // start no earlier than this end.
             let fire_span =
                 fire_start.map(|s| (s, tracer.as_ref().map(|t| t.now()).unwrap_or(s)));
+            // Same clamp for the metrics sample: the firing phase ends
+            // here; the orchestrator derives the barrier wait from this
+            // reading and its own collection time.
+            let metrics = meter.as_ref().map(|m| {
+                let end = m.now_nanos();
+                crate::metrics::WorkerSample {
+                    worker: me,
+                    fire_nanos: end.saturating_sub(meter_start.unwrap_or(end)),
+                    fire_end_nanos: end,
+                    wait_nanos: 0,
+                    rule_nanos: tally.take_rule_nanos(),
+                }
+            });
             let sent = results.send(WorkerRound {
                 worker: me,
                 round: job.round,
@@ -1080,6 +1116,7 @@ impl<'p> MonotonicEngine<'p> {
                 entries,
                 pushes,
                 fired: tally.counts,
+                metrics,
                 firings: wstats.firings,
                 pruned,
                 groups: agg.groups.get(),
@@ -1468,6 +1505,9 @@ struct WorkerRound {
     pushes: Vec<u64>,
     /// Firings per program rule index (event replay).
     fired: HashMap<usize, u64>,
+    /// Worker-local latency measurements, present only when the sink
+    /// opted into metering ([`EventSink::worker_meter`]).
+    metrics: Option<crate::metrics::WorkerSample>,
     firings: u64,
     pruned: u64,
     groups: u64,

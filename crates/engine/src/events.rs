@@ -135,6 +135,18 @@ pub trait EventSink {
     fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
         None
     }
+    /// Opt-in handle for worker-side latency recording under `--parallel`
+    /// — the metrics analogue of [`EventSink::worker_tracer`]. `None`
+    /// (the default) keeps workers free of clock reads and histogram
+    /// bookkeeping.
+    fn worker_meter(&self) -> Option<crate::metrics::Meter> {
+        None
+    }
+    /// One worker's round-local measurements, delivered by the parallel
+    /// orchestrator at the round barrier (only when
+    /// [`EventSink::worker_meter`] returned `Some`). Workers record into
+    /// local histograms; this merge point is the only synchronization.
+    fn worker_sample(&mut self, sample: &crate::metrics::WorkerSample) {}
 }
 
 /// The default sink: does nothing, compiles to nothing.
@@ -231,6 +243,13 @@ impl<A: EventSink, B: EventSink> EventSink for Fanout<A, B> {
     }
     fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
         self.0.worker_tracer().or_else(|| self.1.worker_tracer())
+    }
+    fn worker_meter(&self) -> Option<crate::metrics::Meter> {
+        self.0.worker_meter().or_else(|| self.1.worker_meter())
+    }
+    fn worker_sample(&mut self, sample: &crate::metrics::WorkerSample) {
+        self.0.worker_sample(sample);
+        self.1.worker_sample(sample);
     }
 }
 
@@ -336,6 +355,90 @@ impl<S: EventSink> EventSink for Option<S> {
     }
     fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
         self.as_ref().and_then(EventSink::worker_tracer)
+    }
+    fn worker_meter(&self) -> Option<crate::metrics::Meter> {
+        self.as_ref().and_then(EventSink::worker_meter)
+    }
+    fn worker_sample(&mut self, sample: &crate::metrics::WorkerSample) {
+        if let Some(s) = self {
+            s.worker_sample(sample);
+        }
+    }
+}
+
+/// Forward through a mutable reference, so an owned sink can ride a
+/// [`Fanout`] by `&mut` and still be consumed (`finish()`) after the
+/// evaluation returns — the CLI's `--metrics` wiring.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn component_start(&mut self, component: usize, strategy: Strategy, cdb: &[Pred]) {
+        (**self).component_start(component, strategy, cdb);
+    }
+    fn round_start(&mut self, round: usize, full: bool) {
+        (**self).round_start(round, full);
+    }
+    fn rule_fire_start(&mut self, rule: usize) {
+        (**self).rule_fire_start(rule);
+    }
+    fn rule_fire_end(&mut self, rule: usize) {
+        (**self).rule_fire_end(rule);
+    }
+    fn rule_firings(&mut self, rule: usize, count: u64) {
+        (**self).rule_firings(rule, count);
+    }
+    fn insert_outcome(&mut self, rule: usize, pred: Pred, outcome: InsertOutcome) {
+        (**self).insert_outcome(rule, pred, outcome);
+    }
+    fn delta(&mut self, pred: Pred, size: usize) {
+        (**self).delta(pred, size);
+    }
+    fn round_end(&mut self, round: usize, derivations: usize, changed: usize) {
+        (**self).round_end(round, derivations, changed);
+    }
+    fn parallel_round(
+        &mut self,
+        round: usize,
+        workers: usize,
+        shard_sizes: &[usize],
+        merges: u64,
+        barrier_wait_nanos: u64,
+    ) {
+        (**self).parallel_round(round, workers, shard_sizes, merges, barrier_wait_nanos);
+    }
+    fn rule_derivations(&mut self, rule: usize, derivations: u64) {
+        (**self).rule_derivations(rule, derivations);
+    }
+    fn aggregate_totals(&mut self, groups: u64, elements: u64, peak_bytes: u64) {
+        (**self).aggregate_totals(groups, elements, peak_bytes);
+    }
+    fn greedy_settle(&mut self, pred: Pred, key: &Tuple, cost: f64) {
+        (**self).greedy_settle(pred, key, cost);
+    }
+    fn optimization(&mut self, decision: &str) {
+        (**self).optimization(decision);
+    }
+    fn pruned(&mut self, component: usize, count: u64) {
+        (**self).pruned(component, count);
+    }
+    fn component_end(&mut self, component: usize, rounds: usize) {
+        (**self).component_end(component, rounds);
+    }
+    fn index_stats(&mut self, pred: Pred, sigs: usize, stats: IndexStats) {
+        (**self).index_stats(pred, sigs, stats);
+    }
+    fn relation_memory(&mut self, pred: Pred, memory: RelationMemory) {
+        (**self).relation_memory(pred, memory);
+    }
+    fn wants_relation_memory(&self) -> bool {
+        (**self).wants_relation_memory()
+    }
+    fn worker_tracer(&self) -> Option<crate::trace::Tracer> {
+        (**self).worker_tracer()
+    }
+    fn worker_meter(&self) -> Option<crate::metrics::Meter> {
+        (**self).worker_meter()
+    }
+    fn worker_sample(&mut self, sample: &crate::metrics::WorkerSample) {
+        (**self).worker_sample(sample);
     }
 }
 

@@ -45,6 +45,17 @@ pub fn json_num(x: f64) -> String {
     }
 }
 
+/// Render any finite `f64` in Rust's shortest-round-trip form: the
+/// output parses back to the identical bit pattern (except `-0.0`, which
+/// renders as `-0` and reads back as `-0.0`). This is the formatting the
+/// OpenMetrics exposition and the bench percentile columns share —
+/// unlike [`json_num`] it does not force a `.0` on integral values, so
+/// `2` stays `2`.
+pub fn fmt_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "non-finite value has no exposition rendering");
+    format!("{x}")
+}
+
 /// An ordered JSON value: objects keep their fields in insertion order,
 /// so rendered documents are deterministic.
 #[derive(Clone, Debug, PartialEq)]
@@ -367,6 +378,43 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn num_rejects_non_finite() {
         json_num(f64::NAN);
+    }
+
+    #[test]
+    fn fmt_f64_round_trips_bit_exactly() {
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            2.0,
+            0.1 + 0.2, // the classic non-representable sum
+            0.125,
+            1e-9,
+            123456789e-9,
+            1e300,
+            -1e300,
+            f64::MIN_POSITIVE,          // smallest normal
+            f64::MIN_POSITIVE / 4.0,    // subnormal
+            f64::MAX,
+            u64::MAX as f64,
+            std::f64::consts::PI,
+        ];
+        for x in cases {
+            let text = fmt_f64(x);
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} rendered as {text}");
+        }
+    }
+
+    #[test]
+    fn fmt_f64_parses_as_json_number() {
+        // Exposition values are also embedded in JSON documents; the
+        // shortest form must stay inside JSON's number grammar.
+        for x in [0.5, 1e300, 3.125e-9, -42.0] {
+            let text = format!("[{}]", fmt_f64(x));
+            let v = parse(&text).unwrap();
+            assert_eq!(v.as_arr().unwrap()[0].as_f64(), Some(x));
+        }
     }
 
     #[test]

@@ -49,8 +49,10 @@ pub mod eval;
 pub mod events;
 pub mod interp;
 pub mod jsonish;
+pub mod metrics;
 pub mod model;
 pub mod par;
+pub mod serve;
 pub mod plan;
 pub mod profile;
 pub mod provenance;
@@ -64,10 +66,16 @@ pub use eval::{why_not, EvalOptions, EvalStats, MonotonicEngine, Strategy};
 pub use plan::{prem_rewrites, Optimize, Rewrites};
 pub use events::{Clock, EventSink, Fanout, InsertOutcome, ManualClock, NoopSink, SystemClock};
 pub use interp::{IndexStats, Interp, Relation, RelationMemory, Tuple};
+pub use metrics::{
+    parse_openmetrics, Histogram, HistogramBlock, HistogramSink, Meter, MetricSet, Registry,
+    Unit, WorkerSample, OPENMETRICS_CONTENT_TYPE,
+};
 pub use model::Model;
 pub use par::{available_workers, resolve_workers};
+pub use serve::MetricsServer;
 pub use profile::{
-    fmt_bytes, render_profile_json, MetricsSink, ParallelProfile, ProfileReport, TraceSink,
+    fmt_bytes, fmt_nanos, render_profile_json, MetricsSink, ParallelProfile, ProfileReport,
+    TraceSink,
 };
 pub use trace::{validate_chrome_trace, SpanSink, TraceCheck, Tracer, TRACE_SCHEMA};
 pub use provenance::{

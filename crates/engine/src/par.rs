@@ -98,17 +98,50 @@ pub(crate) fn merge_costs(domain: DomainSpec, a: Value, b: Value) -> Value {
 /// Worker-side event sink: counts rule firings per program rule index so
 /// the orchestrator can replay `rule_fire_start`/`rule_fire_end` pairs
 /// into the real sink at the barrier. Workers cannot share the caller's
-/// sink (it is `&mut` on the orchestrating thread), and metrics sinks
-/// only need the counts — per-firing wall time is meaningless under
-/// interleaving anyway.
+/// sink (it is `&mut` on the orchestrating thread), and counting sinks
+/// only need the totals. When the orchestrator's sink hands out a
+/// [`Meter`](crate::metrics::Meter), the tally additionally times each
+/// firing into worker-local [`Histogram`](crate::metrics::Histogram)s —
+/// per-firing *ordering* is meaningless under interleaving, but the
+/// latency *distribution* is exactly what the metrics sink wants, and
+/// histograms merge losslessly at the barrier.
 #[derive(Debug, Default)]
 pub(crate) struct FireTally {
     pub(crate) counts: HashMap<usize, u64>,
+    meter: Option<crate::metrics::Meter>,
+    started: u64,
+    pub(crate) rule_nanos: HashMap<usize, crate::metrics::Histogram>,
+}
+
+impl FireTally {
+    pub(crate) fn with_meter(meter: Option<crate::metrics::Meter>) -> FireTally {
+        FireTally {
+            meter,
+            ..FireTally::default()
+        }
+    }
+
+    /// Drain the timed histograms (empty when unmetered).
+    pub(crate) fn take_rule_nanos(&mut self) -> Vec<(usize, crate::metrics::Histogram)> {
+        let mut v: Vec<_> = std::mem::take(&mut self.rule_nanos).into_iter().collect();
+        v.sort_by_key(|(ri, _)| *ri);
+        v
+    }
 }
 
 impl crate::events::EventSink for FireTally {
     fn rule_fire_start(&mut self, rule: usize) {
         *self.counts.entry(rule).or_insert(0) += 1;
+        if let Some(m) = &self.meter {
+            self.started = m.now_nanos();
+        }
+    }
+
+    fn rule_fire_end(&mut self, rule: usize) {
+        if let Some(m) = &self.meter {
+            let elapsed = m.now_nanos().saturating_sub(self.started);
+            self.rule_nanos.entry(rule).or_default().record(elapsed);
+        }
     }
 }
 
@@ -207,5 +240,26 @@ mod tests {
         assert_eq!(t.counts.get(&3), Some(&2));
         assert_eq!(t.counts.get(&5), Some(&1));
         assert_eq!(t.counts.get(&0), None);
+        // Unmetered: no latency histograms accumulate.
+        assert!(t.take_rule_nanos().is_empty());
+    }
+
+    #[test]
+    fn metered_fire_tally_times_each_firing() {
+        use crate::events::{EventSink, ManualClock};
+        use crate::metrics::Meter;
+        use std::sync::Arc;
+        let meter = Meter::with_clock(Arc::new(ManualClock::with_step(10)));
+        let mut t = FireTally::with_meter(Some(meter));
+        t.rule_fire_start(3); // clock: 0
+        t.rule_fire_end(3); // clock: 10 → elapsed 10
+        t.rule_fire_start(5); // clock: 20
+        t.rule_fire_end(5); // clock: 30 → elapsed 10
+        assert_eq!(t.counts.get(&3), Some(&1));
+        let nanos = t.take_rule_nanos();
+        assert_eq!(nanos.len(), 2);
+        assert_eq!(nanos[0].0, 3);
+        assert_eq!(nanos[0].1.max(), Some(10));
+        assert_eq!(nanos[1].1.count(), 1);
     }
 }

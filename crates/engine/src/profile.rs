@@ -159,6 +159,11 @@ pub struct ProfileReport {
     pub pruned: u64,
     /// Parallel-evaluator telemetry; `None` for sequential runs.
     pub parallel: Option<ParallelProfile>,
+    /// Latency-distribution summaries from a
+    /// [`HistogramSink`](crate::metrics::HistogramSink) run alongside
+    /// this sink (attached by the host; empty when no metrics were
+    /// recorded, and then absent from both renderings).
+    pub histograms: Vec<crate::metrics::HistogramBlock>,
 }
 
 impl ProfileReport {
@@ -339,6 +344,24 @@ impl ProfileReport {
                 par.barrier_wait_nanos,
             ));
         }
+        if !self.histograms.is_empty() {
+            s.push_str("      \"histograms\": [\n");
+            for (i, h) in self.histograms.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"metric\": {}, \"unit\": {}, \"count\": {}, \"p50\": {}, \
+                     \"p90\": {}, \"p99\": {}, \"max\": {}}}{}\n",
+                    json_str(&h.metric),
+                    json_str(raw_unit_name(h.unit)),
+                    h.count,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max,
+                    if i + 1 < self.histograms.len() { "," } else { "" },
+                ));
+            }
+            s.push_str("      ],\n");
+        }
         let decisions: Vec<String> = self.optimizations.iter().map(|d| json_str(d)).collect();
         s.push_str(&format!(
             "      \"optimizations\": [{}],\n",
@@ -458,6 +481,25 @@ impl ProfileReport {
                 ));
             }
         }
+        if !self.histograms.is_empty() {
+            s.push_str("histograms:\n");
+            for h in &self.histograms {
+                let v = |x: u64| match h.unit {
+                    crate::metrics::Unit::Seconds => fmt_nanos(x),
+                    crate::metrics::Unit::Bytes => fmt_bytes(x),
+                    _ => x.to_string(),
+                };
+                s.push_str(&format!(
+                    "  {}: n={} p50={} p90={} p99={} max={}\n",
+                    h.metric,
+                    h.count,
+                    v(h.p50),
+                    v(h.p90),
+                    v(h.p99),
+                    v(h.max),
+                ));
+            }
+        }
         if !self.optimizations.is_empty() || self.pruned > 0 {
             s.push_str(&format!(
                 "optimizations ({} derivation(s) pruned):\n",
@@ -468,6 +510,32 @@ impl ProfileReport {
             }
         }
         s
+    }
+}
+
+/// The unit histogram block values are *recorded* in — seconds-unit
+/// families record nanoseconds (scaling happens only at OpenMetrics
+/// exposition), so the profile JSON labels them honestly.
+fn raw_unit_name(unit: crate::metrics::Unit) -> &'static str {
+    match unit {
+        crate::metrics::Unit::None => "",
+        crate::metrics::Unit::Seconds => "nanoseconds",
+        crate::metrics::Unit::Bytes => "bytes",
+        crate::metrics::Unit::Tuples => "tuples",
+    }
+}
+
+/// Render a nanosecond count for humans: `512 ns`, `1.4 µs`, `3.2 ms`,
+/// `1.5 s`.
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
     }
 }
 
@@ -593,6 +661,7 @@ impl<'p> MetricsSink<'p> {
             optimizations: self.optimizations,
             pruned: self.pruned,
             parallel: self.parallel,
+            histograms: Vec::new(),
         }
     }
 }
@@ -1062,5 +1131,56 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512 B");
         assert_eq!(fmt_bytes(1536), "1.5 KiB");
         assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn fmt_nanos_picks_units() {
+        assert_eq!(fmt_nanos(512), "512 ns");
+        assert_eq!(fmt_nanos(1_500), "1.5 µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.5 ms");
+        assert_eq!(fmt_nanos(1_500_000_000), "1.50 s");
+    }
+
+    #[test]
+    fn histogram_blocks_render_in_both_formats() {
+        use crate::metrics::{HistogramBlock, Unit};
+        let mut report = ProfileReport {
+            strategy: "seminaive",
+            ..Default::default()
+        };
+        // Absent: neither rendering mentions histograms.
+        assert!(!report.render_human().contains("histograms"));
+        assert!(!report.to_json().contains("\"histograms\""));
+        report.histograms = vec![
+            HistogramBlock {
+                metric: "maglog_round_duration_seconds".into(),
+                unit: Unit::Seconds,
+                count: 4,
+                p50: 1_500,
+                p90: 2_000,
+                p99: 2_000,
+                max: 2_100,
+            },
+            HistogramBlock {
+                metric: "maglog_round_buffer_tuples".into(),
+                unit: Unit::Tuples,
+                count: 4,
+                p50: 3,
+                p90: 6,
+                p99: 6,
+                max: 6,
+            },
+        ];
+        let human = report.render_human();
+        assert!(human.contains("histograms:"), "{human}");
+        assert!(
+            human.contains("maglog_round_duration_seconds: n=4 p50=1.5 µs"),
+            "{human}"
+        );
+        assert!(human.contains("p99=6 max=6"), "{human}");
+        let json = report.to_json();
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"unit\": \"nanoseconds\""), "{json}");
+        assert!(json.contains("\"p50\": 1500"), "{json}");
     }
 }

@@ -1,0 +1,199 @@
+//! A minimal hand-rolled HTTP/1.1 server exposing a [`Registry`] at
+//! `GET /metrics` — the networked surface behind `maglog profile
+//! --listen <ADDR>`, and deliberately the skeleton the future `maglog
+//! serve` daemon grows from.
+//!
+//! Built on std's `TcpListener` only (no dependencies): one accept
+//! thread, one short-lived connection at a time, `Connection: close`
+//! with an explicit `Content-Length` on every response. Requests are
+//! read with a small bounded buffer; anything that is not a well-formed
+//! `GET` gets a terse error and the socket is dropped.
+
+use crate::metrics::{Registry, OPENMETRICS_CONTENT_TYPE};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on the bytes of request head we will buffer before answering.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running metrics endpoint. Serves until [`MetricsServer::stop`] is
+/// called or the process exits.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+    /// port) and start serving `registry` snapshots in a background
+    /// thread.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("maglog-metrics".into())
+            .spawn(move || accept_loop(listener, registry, flag))?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when the caller asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the accept loop to exit and join it. A self-connection
+    /// unblocks the blocking `accept`.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // Detached if the caller never stopped us (e.g. `--listen` keeps
+        // serving until the process exits).
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stuck client must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = handle_connection(stream, &registry);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let mut buf = vec![0u8; MAX_REQUEST_BYTES];
+    let mut len = 0;
+    // Read until the end of the request head (we ignore any body).
+    loop {
+        if len == buf.len() {
+            return respond(&mut stream, 431, "Request Header Fields Too Large", "text/plain", "");
+        }
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => return respond(&mut stream, 400, "Bad Request", "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    match target.split('?').next().unwrap_or(target) {
+        "/metrics" => {
+            let body = registry.render();
+            respond(&mut stream, 200, "OK", OPENMETRICS_CONTENT_TYPE, &body)
+        }
+        "/" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain",
+            "maglog metrics endpoint; see /metrics\n",
+        ),
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricSet;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or("")
+            .to_string();
+        (status, content_type, body.to_string())
+    }
+
+    #[test]
+    fn serves_live_registry_snapshots() {
+        let registry = Registry::new();
+        let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        // Empty registry: still a valid (bare) exposition.
+        let (status, ctype, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, OPENMETRICS_CONTENT_TYPE);
+        assert!(body.ends_with("# EOF\n"));
+        crate::metrics::parse_openmetrics(&body).unwrap();
+
+        // Publish mid-flight; the next GET sees it.
+        let mut set = MetricSet::new();
+        set.counter("maglog_rounds", "Rounds.", vec![], 7);
+        registry.publish(&set);
+        let (_, _, body) = get(addr, "/metrics");
+        assert!(body.contains("maglog_rounds_total 7"), "{body}");
+
+        let (status, _, _) = get(addr, "/");
+        assert_eq!(status, 200);
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+}

@@ -9,6 +9,7 @@
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! maglog explain [opts] <program.mgl> '<fact>'   why / why-not a fact
 //! maglog trace-validate <trace.json>     check a maglog-trace-v1 document
+//! maglog metrics-validate <out.prom>     check an OpenMetrics 1.0 exposition
 //! ```
 //!
 //! `check` options:
@@ -27,6 +28,8 @@
 //! --strategy=naive|seminaive|greedy   profile one strategy (default: all three)
 //! --parallel[=N]               evaluate with N workers (bare: every core)
 //! --trace <FILE>               span timeline as Chrome trace JSON (docs/tracing.md)
+//! --metrics <FILE>             latency/size histograms as OpenMetrics 1.0 text
+//! --listen <ADDR>              serve live GET /metrics during (and after) the run
 //! ```
 //!
 //! `explain` options (goal form):
@@ -47,7 +50,9 @@
 //! `--query '<fact>'` (answer one ground point query; with
 //! `--optimize=demand` only the goal's derivation cone is computed),
 //! `--trace <FILE>` (write a `maglog-trace-v1` span timeline — phases,
-//! components, rounds, rule firings, worker lanes — loadable in Perfetto).
+//! components, rounds, rule firings, worker lanes — loadable in Perfetto),
+//! `--metrics <FILE>` (write per-rule/round/worker latency histograms as
+//! OpenMetrics 1.0 text; see docs/metrics.md).
 //!
 //! `bench` options:
 //!
@@ -63,6 +68,9 @@
 //! --parallel[=N]        N-worker evaluation plus a 1,2,4,...,N scaling curve
 //! --trace FILE          trace the per-cell instrumented runs (timed samples
 //!                       stay untraced, so medians are unperturbed)
+//! --metrics FILE        OpenMetrics histograms from the instrumented runs
+//!                       (labeled workload/size/strategy; timed samples stay
+//!                       uninstrumented)
 //! ```
 //!
 //! Programs are text files in the maglog rule language; facts can be given
@@ -78,10 +86,11 @@ use maglog::bench::v2;
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::trace::{NameRef, MAIN_LANE};
 use maglog::engine::{
-    alloc, available_workers, explain_tree, fmt_bytes, parse_goal, render_explain_dot,
-    render_explain_human, render_explain_json, render_profile_json, render_why_not_human,
-    render_why_not_json, validate_chrome_trace, why_not, Edb, EvalOptions, Fanout, MetricsSink,
-    Model, MonotonicEngine, Optimize, SpanSink, Strategy, TraceSink, Tracer, Tuple, TRACE_SCHEMA,
+    alloc, available_workers, explain_tree, fmt_bytes, parse_goal, parse_openmetrics,
+    render_explain_dot, render_explain_human, render_explain_json, render_profile_json,
+    render_why_not_human, render_why_not_json, validate_chrome_trace, why_not, Edb, EvalOptions,
+    Fanout, HistogramSink, MetricSet, MetricsServer, MetricsSink, Model, MonotonicEngine,
+    Optimize, Registry, SpanSink, Strategy, TraceSink, Tracer, Tuple, TRACE_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -96,16 +105,19 @@ usage: maglog <check|run|profile|bench|compare|explain> [args]
   check   [--format=human|json] [--deny <CODE|all|warnings>] [--allow <CODE>] <program.mgl>
   check   --explain <CODE>
   run     [--stats] [--explain <pred>] [--max-rounds <N>] [--optimize[=prem,demand]]
-          [--parallel[=N]] [--query '<fact>'] [--trace <FILE>] <program.mgl> [pred...]
+          [--parallel[=N]] [--query '<fact>'] [--trace <FILE>] [--metrics <FILE>]
+          <program.mgl> [pred...]
   profile [--format=human|json] [--strategy=naive|seminaive|greedy]
-          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>] <program.mgl>
+          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>]
+          [--metrics <FILE>] [--listen <ADDR>] <program.mgl>
   bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
           [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
-          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>]
+          [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>] [--metrics <FILE>]
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
   trace-validate <trace.json>
+  metrics-validate <metrics.prom>
 
 profile evaluates under every strategy (or just --strategy) and reports
 per-round deltas, per-rule counters, index telemetry, and memory (per-
@@ -147,7 +159,19 @@ firings, and (under --parallel) per-worker fire/barrier-wait/merge lanes,
 plus heap and delta counter tracks — as Chrome trace-event JSON
 (maglog-trace-v1), loadable in Perfetto or chrome://tracing; see
 docs/tracing.md. trace-validate checks such a document structurally
-(balanced spans per lane, monotone timestamps, named lanes).";
+(balanced spans per lane, monotone timestamps, named lanes).
+
+--metrics <FILE> records log-linear latency/size histograms (per-rule
+firing latency, round duration, barrier wait, merged-buffer sizes, heap)
+plus work counters, and writes them as OpenMetrics 1.0 text — even when
+evaluation fails, so aborted runs can be diagnosed; see docs/metrics.md.
+profile additionally summarizes the histograms as p50/p90/p99/max blocks,
+and profile --listen <ADDR> serves live GET /metrics snapshots (updated at
+round barriers) while the evaluation runs, then keeps serving the final
+snapshot until interrupted. ADDR is host:port; port 0 picks a free port
+(the bound address is printed on stderr). metrics-validate checks an
+exposition against the bundled OpenMetrics parser and exits 1 on any
+violation, so CI can hard-fail malformed output.";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -248,14 +272,14 @@ fn parse_parallel(inline_value: Option<&str>) -> Result<usize, ArgError> {
     }
 }
 
-/// Validate a `--trace` destination up front: a missing or unwritable
-/// path is a usage error (exit 2, like every other bad flag value), not
-/// something to discover only after a long evaluation. Opens the file
-/// for writing (creating it, truncating nothing) so permission problems
-/// surface before any work runs.
-fn check_trace_path(path: &str) -> Result<(), ArgError> {
+/// Validate an output-file destination (`--trace`, `--metrics`) up
+/// front: a missing or unwritable path is a usage error (exit 2, like
+/// every other bad flag value), not something to discover only after a
+/// long evaluation. Opens the file for writing (creating it, truncating
+/// nothing) so permission problems surface before any work runs.
+fn check_out_path(flag: &str, path: &str) -> Result<(), ArgError> {
     if path.trim().is_empty() {
-        return Err(ArgError::Usage("--trace requires a file path".into()));
+        return Err(ArgError::Usage(format!("{flag} requires a file path")));
     }
     std::fs::OpenOptions::new()
         .write(true)
@@ -263,7 +287,7 @@ fn check_trace_path(path: &str) -> Result<(), ArgError> {
         .truncate(false)
         .open(path)
         .map(drop)
-        .map_err(|e| ArgError::Usage(format!("--trace: cannot write {path}: {e}")))
+        .map_err(|e| ArgError::Usage(format!("{flag}: cannot write {path}: {e}")))
 }
 
 /// Parse `--optimize`'s inline value. A bare `--optimize` (no value)
@@ -364,6 +388,7 @@ fn main() -> ExitCode {
             workers: opts.parallel,
             scaling: v2::scaling_curve(opts.parallel),
             trace: opts.trace.as_ref().map(|_| Tracer::new()),
+            metrics: opts.metrics.as_ref().map(|_| Registry::new()),
         };
         // Filter problems (unknown workloads, sizes matching nothing) are
         // usage errors, caught before any measurement runs.
@@ -411,6 +436,10 @@ fn main() -> ExitCode {
         ("compare", _) => return usage_exit("compare requires a program file"),
         ("trace-validate", [path]) => cmd_trace_validate(path),
         ("trace-validate", _) => return usage_exit("trace-validate requires a trace file"),
+        ("metrics-validate", [path]) => cmd_metrics_validate(path),
+        ("metrics-validate", _) => {
+            return usage_exit("metrics-validate requires an OpenMetrics file")
+        }
         _ => return usage_exit(&format!("unknown subcommand '{cmd}'")),
     };
     match result {
@@ -431,6 +460,10 @@ struct ProfileOpts {
     parallel: usize,
     /// Write a `maglog-trace-v1` span timeline here.
     trace: Option<String>,
+    /// Write an OpenMetrics 1.0 exposition here.
+    metrics: Option<String>,
+    /// Serve live `GET /metrics` snapshots on this address.
+    listen: Option<String>,
 }
 
 fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), ArgError> {
@@ -440,6 +473,8 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
         optimize: Optimize::default(),
         parallel: 1,
         trace: None,
+        metrics: None,
+        listen: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -474,8 +509,20 @@ fn parse_profile_opts(args: &[String]) -> Result<(ProfileOpts, Vec<String>), Arg
             "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             "--trace" => {
                 let v = value("--trace")?;
-                check_trace_path(&v)?;
+                check_out_path("--trace", &v)?;
                 opts.trace = Some(v);
+            }
+            "--metrics" => {
+                let v = value("--metrics")?;
+                check_out_path("--metrics", &v)?;
+                opts.metrics = Some(v);
+            }
+            "--listen" => {
+                let v = value("--listen")?;
+                if v.trim().is_empty() {
+                    return Err(ArgError::Usage("--listen requires host:port".into()));
+                }
+                opts.listen = Some(v);
             }
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
@@ -501,6 +548,8 @@ struct BenchOpts {
     parallel: usize,
     /// Write a `maglog-trace-v1` span timeline of the instrumented runs.
     trace: Option<String>,
+    /// Write an OpenMetrics exposition of the instrumented runs.
+    metrics: Option<String>,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
@@ -516,6 +565,7 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
         optimize: Optimize::default(),
         parallel: 1,
         trace: None,
+        metrics: None,
     };
     let mut gate_set = false;
     let mut it = args.iter().peekable();
@@ -591,8 +641,13 @@ fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, ArgError> {
             "--parallel" => opts.parallel = parse_parallel(inline_value.as_deref())?,
             "--trace" => {
                 let v = value("--trace")?;
-                check_trace_path(&v)?;
+                check_out_path("--trace", &v)?;
                 opts.trace = Some(v);
+            }
+            "--metrics" => {
+                let v = value("--metrics")?;
+                check_out_path("--metrics", &v)?;
+                opts.metrics = Some(v);
             }
             "--gate" => {
                 let v = value("--gate")?;
@@ -637,6 +692,11 @@ fn cmd_bench(cfg: &v2::BenchConfig, opts: &BenchOpts) -> Result<(), String> {
         // medians.
         write_trace(t, "bench", out)?;
     }
+    if let (Some(reg), Some(out)) = (cfg.metrics.as_ref(), opts.metrics.as_deref()) {
+        // Likewise: the histograms rode the untimed instrumented runs,
+        // labeled workload/size/strategy, without touching the samples.
+        write_metrics(&reg.snapshot(), out)?;
+    }
     if let Some(path) = &opts.out {
         std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -668,6 +728,8 @@ struct RunOpts {
     parallel: usize,
     /// Write a `maglog-trace-v1` span timeline here.
     trace: Option<String>,
+    /// Write an OpenMetrics 1.0 exposition here.
+    metrics: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
@@ -679,6 +741,7 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
         query: None,
         parallel: 1,
         trace: None,
+        metrics: None,
     };
     let mut operands = Vec::new();
     let mut it = args.iter().peekable();
@@ -707,8 +770,13 @@ fn parse_run_opts(args: &[String]) -> Result<(RunOpts, Vec<String>), ArgError> {
             "--query" => opts.query = Some(value("--query")?),
             "--trace" => {
                 let v = value("--trace")?;
-                check_trace_path(&v)?;
+                check_out_path("--trace", &v)?;
                 opts.trace = Some(v);
+            }
+            "--metrics" => {
+                let v = value("--metrics")?;
+                check_out_path("--metrics", &v)?;
+                opts.metrics = Some(v);
             }
             f if f.starts_with('-') => {
                 return Err(ArgError::Usage(format!("unknown flag '{f}'")));
@@ -889,6 +957,16 @@ fn write_trace(tracer: &Tracer, label: &str, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render and write a `--metrics` OpenMetrics exposition, with a stderr
+/// note mirroring `--trace`'s convention. Like the trace, this runs even
+/// when evaluation failed, so aborted runs can be diagnosed.
+fn write_metrics(set: &MetricSet, path: &str) -> Result<(), String> {
+    let text = set.render_openmetrics();
+    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("-- metrics: wrote {path} ({} sample(s))", set.samples().len());
+    Ok(())
+}
+
 /// Anchor the allocator counter track at t0, so even a run that aborts
 /// before its first round produces a validator-clean document.
 fn trace_heap_anchor(t: &Tracer) {
@@ -932,19 +1010,30 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
         MonotonicEngine::with_options(&program, eval_options)
     });
     let mut provenance = None;
+    // Histogram recorder for `--metrics`: rides every sink-driven eval
+    // path as a fanout arm (by `&mut`, so it can be finished after the
+    // run). `--explain`'s provenance walk takes no sink, so that path
+    // writes a bare exposition.
+    let mut hist = opts
+        .metrics
+        .as_ref()
+        .map(|_| HistogramSink::new(&program, &[("strategy", "seminaive")]));
     let eval_result: Result<(Model, Option<String>), String> =
         run_phase(&mut phases, tr, "eval", || -> Result<_, String> {
             if opts.stats {
                 let mut sink = Fanout(
-                    tr.map(|t| SpanSink::new(&program, t.clone())),
-                    MetricsSink::new(&program, Strategy::SemiNaive),
+                    Fanout(
+                        tr.map(|t| SpanSink::new(&program, t.clone())),
+                        MetricsSink::new(&program, Strategy::SemiNaive),
+                    ),
+                    &mut hist,
                 );
                 let model = match &goal {
                     Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut sink),
                     None => engine.evaluate_with_sink(&Edb::new(), &mut sink),
                 }
                 .map_err(|e| e.to_string())?;
-                Ok((model, Some(sink.1.finish().render_human())))
+                Ok((model, Some(sink.0 .1.finish().render_human())))
             } else if opts.explain.is_some() {
                 // Provenance capture runs its own walk; the phase spans
                 // still bracket it, but per-rule spans are not recorded.
@@ -954,10 +1043,17 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
                 provenance = Some(prov);
                 Ok((model, None))
             } else if let Some(t) = tr {
-                let mut sink = SpanSink::new(&program, t.clone());
+                let mut sink = Fanout(SpanSink::new(&program, t.clone()), &mut hist);
                 let model = match &goal {
                     Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut sink),
                     None => engine.evaluate_with_sink(&Edb::new(), &mut sink),
+                }
+                .map_err(|e| e.to_string())?;
+                Ok((model, None))
+            } else if hist.is_some() {
+                let model = match &goal {
+                    Some(goal) => engine.evaluate_goal_with_sink(&Edb::new(), goal, &mut hist),
+                    None => engine.evaluate_with_sink(&Edb::new(), &mut hist),
                 }
                 .map_err(|e| e.to_string())?;
                 Ok((model, None))
@@ -977,6 +1073,12 @@ fn cmd_run(path: &str, preds: &[String], opts: &RunOpts) -> Result<(), String> {
     // trace shows exactly where the rounds went.
     if let (Some(t), Some(out)) = (tr, opts.trace.as_deref()) {
         write_trace(t, path, out)?;
+    }
+    // Same contract for the metrics: whatever the histograms saw before
+    // the abort still gets written.
+    if let Some(out) = opts.metrics.as_deref() {
+        let set = hist.take().map(HistogramSink::finish).unwrap_or_default();
+        write_metrics(&set, out)?;
     }
     let (model, report) = eval_result?;
     if let Some(goal) = &goal {
@@ -1126,6 +1228,21 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
     if let Some(t) = tracer.as_ref() {
         trace_heap_anchor(t);
     }
+    // `--metrics`/`--listen` both want histogram recording; `--listen`
+    // additionally binds the live endpoint before any evaluation runs,
+    // so scrapes during the fixpoint see round-barrier snapshots.
+    let want_hist = opts.metrics.is_some() || opts.listen.is_some();
+    let registry = opts.listen.as_ref().map(|_| Registry::new());
+    let server = match (&opts.listen, &registry) {
+        (Some(addr), Some(reg)) => {
+            let srv = MetricsServer::bind(addr, reg.clone())
+                .map_err(|e| format!("--listen {addr}: {e}"))?;
+            eprintln!("-- metrics: serving http://{}/metrics", srv.local_addr());
+            Some(srv)
+        }
+        _ => None,
+    };
+    let mut all_metrics = MetricSet::new();
     let strategies: Vec<Strategy> = match opts.strategy {
         Some(s) => vec![s],
         None => vec![Strategy::Naive, Strategy::SemiNaive, Strategy::Greedy],
@@ -1149,9 +1266,19 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
         if let (Some(t), Some(name)) = (tracer.as_ref(), span) {
             t.begin(MAIN_LANE, "phase", name);
         }
+        let hist = want_hist.then(|| {
+            let h = HistogramSink::new(&program, &[("strategy", strategy.name())]);
+            match &registry {
+                Some(reg) => h.publish_to(reg.clone()),
+                None => h,
+            }
+        });
         let mut sink = Fanout(
             tracer.as_ref().map(|t| SpanSink::new(&program, t.clone())),
-            Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy)),
+            Fanout(
+                Fanout(TraceSink::new(&program), MetricsSink::new(&program, strategy)),
+                hist,
+            ),
         );
         // Scope the allocator peak to this strategy's evaluation, so each
         // report's alloc_peak_bytes is a per-strategy high-water mark.
@@ -1162,16 +1289,26 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
         if let (Some(t), Some(name)) = (tracer.as_ref(), span) {
             t.end(MAIN_LANE, "phase", name);
         }
+        let Fanout(_span, Fanout(Fanout(trace, metrics), hist)) = sink;
+        let hist_set = hist.map(HistogramSink::finish);
+        if let Some(set) = &hist_set {
+            all_metrics.merge(set);
+        }
         if let Err(e) = eval_result {
-            // Still dump the partial timeline; the aborted evaluation is
-            // usually exactly what the trace is wanted for.
+            // Still dump the partial timeline and exposition; the aborted
+            // evaluation is usually exactly what they are wanted for.
             if let (Some(t), Some(out)) = (tracer.as_ref(), opts.trace.as_deref()) {
                 let _ = write_trace(t, path, out);
             }
+            if let Some(out) = opts.metrics.as_deref() {
+                let _ = write_metrics(&all_metrics, out);
+            }
             return Err(e);
         }
-        let Fanout(_span, Fanout(trace, metrics)) = sink;
-        let report = metrics.finish();
+        let mut report = metrics.finish();
+        if let Some(set) = &hist_set {
+            report.histograms = set.blocks();
+        }
         match opts.format {
             Format::Human => {
                 print!("{}", trace.into_string());
@@ -1197,6 +1334,21 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
         }
         write_trace(t, path, out)?;
     }
+    if let Some(out) = opts.metrics.as_deref() {
+        write_metrics(&all_metrics, out)?;
+    }
+    if let Some(server) = server {
+        // Keep the endpoint up after the report: the registry holds every
+        // strategy's final snapshot, so dashboards (and the CI probe) can
+        // scrape at leisure. Ctrl-C ends the process.
+        eprintln!(
+            "-- metrics: still serving http://{}/metrics (interrupt to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
     Ok(())
 }
 
@@ -1210,6 +1362,21 @@ fn cmd_trace_validate(path: &str) -> Result<(), String> {
     println!(
         "{path}: valid {TRACE_SCHEMA}: {} event(s), {} lane(s), {} heap sample(s), {} dropped",
         check.events, check.lanes, check.heap_samples, check.dropped
+    );
+    Ok(())
+}
+
+/// Check a `--metrics` exposition against the bundled OpenMetrics 1.0
+/// parser: metadata shape, family contiguity, histogram bucket
+/// invariants, label syntax, and the mandatory `# EOF` terminator. CI
+/// runs this over every example program's exposition.
+fn cmd_metrics_validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let exp = parse_openmetrics(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: valid OpenMetrics 1.0: {} family(ies), {} sample(s)",
+        exp.families.len(),
+        exp.total_samples()
     );
     Ok(())
 }

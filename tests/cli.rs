@@ -934,6 +934,263 @@ fn bench_trace_covers_the_run() {
 }
 
 #[test]
+fn run_metrics_writes_a_valid_exposition_and_stays_invisible() {
+    // The exposition validates through the bundled parser, for sequential
+    // and parallel runs alike.
+    for (flags, file) in [
+        (&[][..], "run_metrics_seq.prom"),
+        (&["--parallel=2"][..], "run_metrics_par.prom"),
+    ] {
+        let path = trace_tmp(file);
+        let args = [
+            &["run", "--metrics", path.to_str().unwrap()],
+            flags,
+            &["programs/shortest_path.mgl"],
+        ]
+        .concat();
+        let out = maglog(&args);
+        assert!(out.status.success(), "{flags:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("-- metrics: wrote"), "{}", stderr(&out));
+        let check = maglog(&["metrics-validate", path.to_str().unwrap()]);
+        assert!(check.status.success(), "{flags:?}: {}", stderr(&check));
+        assert!(
+            stdout(&check).contains("valid OpenMetrics 1.0"),
+            "{}",
+            stdout(&check)
+        );
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("maglog_round_duration_seconds"), "{file}");
+        assert!(doc.contains("strategy=\"seminaive\""), "{file}");
+        assert!(doc.trim_end().ends_with("# EOF"), "{file}");
+        if !flags.is_empty() {
+            // Worker-labeled series merged in at the round barrier.
+            assert!(doc.contains("maglog_barrier_wait_seconds"), "{file}");
+            assert!(doc.contains("worker=\"1\""), "{file}");
+        }
+    }
+
+    // The recorder must be a pure observer: stdout matches exactly, and
+    // stderr differs only by the "wrote the file" note.
+    let plain = maglog(&["run", "programs/shortest_path.mgl"]);
+    let path = trace_tmp("run_metrics_ab.prom");
+    let metered = maglog(&[
+        "run",
+        "--metrics",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(metered.status.success(), "{}", stderr(&metered));
+    assert_eq!(stdout(&plain), stdout(&metered));
+    let metered_err: String = stderr(&metered)
+        .lines()
+        .filter(|l| !l.starts_with("-- metrics:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(stderr(&plain), metered_err);
+}
+
+#[test]
+fn metrics_survive_an_evaluation_failure() {
+    // Like --trace, the exposition captures whatever the aborted run
+    // recorded — that is exactly when the latency histograms matter.
+    let dir = std::env::temp_dir().join("maglog_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("diverging_metrics.mgl");
+    std::fs::write(
+        &file,
+        "declare pred n/2 cost max_real.\n\
+         n(z, 0).\n\
+         n(X, C) :- n(X, C1), C = C1 + 1.\n",
+    )
+    .unwrap();
+    let path = trace_tmp("diverging_metrics.prom");
+    let out = maglog(&[
+        "run",
+        "--max-rounds",
+        "30",
+        "--metrics",
+        path.to_str().unwrap(),
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("-- metrics: wrote"), "{}", stderr(&out));
+    let check = maglog(&["metrics-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    // The 30 aborted rounds left real observations behind.
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(doc.contains("maglog_rounds_total"), "{doc}");
+}
+
+#[test]
+fn metrics_flag_and_validate_errors() {
+    // Unwritable destinations fail up front on every subcommand that
+    // grows the flag, before any evaluation runs.
+    for cmd in ["run", "profile", "bench"] {
+        let out = maglog(&[
+            cmd,
+            "--metrics",
+            "/nonexistent-dir/out.prom",
+            "programs/shortest_path.mgl",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("--metrics: cannot write"),
+            "{cmd}: {}",
+            stderr(&out)
+        );
+    }
+
+    // Malformed expositions are rejected with the reason and exit 1.
+    let bad = trace_tmp("metrics_bad.prom");
+    std::fs::write(&bad, "# TYPE a counter\na_total 1\n").unwrap();
+    let check = maglog(&["metrics-validate", bad.to_str().unwrap()]);
+    assert_eq!(check.status.code(), Some(1), "{}", stderr(&check));
+    assert!(stderr(&check).contains("# EOF"), "{}", stderr(&check));
+
+    // Missing files and missing operands are errors, not silence.
+    let check = maglog(&["metrics-validate", "/nonexistent-dir/out.prom"]);
+    assert_eq!(check.status.code(), Some(1), "{}", stderr(&check));
+    let check = maglog(&["metrics-validate"]);
+    assert_eq!(check.status.code(), Some(2), "{}", stderr(&check));
+}
+
+#[test]
+fn profile_metrics_reports_histogram_percentiles() {
+    let path = trace_tmp("profile_metrics.prom");
+    let out = maglog(&[
+        "profile",
+        "--parallel=2",
+        "--metrics",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Human report gains the percentile blocks for every strategy run.
+    assert!(text.contains("histograms:"), "{text}");
+    assert!(text.contains("maglog_round_duration_seconds"), "{text}");
+    assert!(text.contains("maglog_barrier_wait_seconds"), "{text}");
+    assert!(text.contains("p50"), "{text}");
+    assert!(text.contains("p99"), "{text}");
+    // The merged exposition covers all three strategies and validates.
+    let check = maglog(&["metrics-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    let doc = std::fs::read_to_string(&path).unwrap();
+    for strategy in ["naive", "seminaive", "greedy"] {
+        assert!(doc.contains(&format!("strategy=\"{strategy}\"")), "{doc}");
+    }
+
+    // The JSON report grows a histograms section.
+    let out = maglog(&[
+        "profile",
+        "--strategy=seminaive",
+        "--format=json",
+        "--metrics",
+        trace_tmp("profile_metrics_json.prom").to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"histograms\""), "{text}");
+    assert!(text.contains("\"p50\""), "{text}");
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+}
+
+#[test]
+fn bench_metrics_labels_series_by_cell() {
+    let path = trace_tmp("bench_metrics.prom");
+    let out = maglog(&[
+        "bench",
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+        "--workloads",
+        "shortest_path",
+        "--sizes",
+        "16",
+        "--metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("-- metrics: wrote"), "{}", stderr(&out));
+    let check = maglog(&["metrics-validate", path.to_str().unwrap()]);
+    assert!(check.status.success(), "{}", stderr(&check));
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(doc.contains("workload=\"shortest_path\""), "{doc}");
+    assert!(doc.contains("size=\"16\""), "{doc}");
+    // The human table now carries the percentile columns.
+    let text = stdout(&out);
+    assert!(text.contains("p50"), "{text}");
+    assert!(text.contains("p99"), "{text}");
+}
+
+/// Spawn `profile --listen 127.0.0.1:0`, scrape the live endpoint over a
+/// raw TCP socket, and kill the child (it serves until interrupted).
+#[cfg(target_os = "linux")]
+#[test]
+fn profile_listen_serves_live_openmetrics() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let bin = env!("CARGO_BIN_EXE_maglog");
+    let mut child = Command::new(bin)
+        .args([
+            "profile",
+            "--strategy=seminaive",
+            "--listen",
+            "127.0.0.1:0",
+            "programs/shortest_path.mgl",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("maglog binary spawns");
+
+    // The bound address is announced on stderr before evaluation starts.
+    let mut reader = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let _ = child.kill();
+            panic!("child exited before announcing the listen address");
+        }
+        if let Some(rest) = line.strip_prefix("-- metrics: serving http://") {
+            break rest.trim_end().trim_end_matches("/metrics").to_string();
+        }
+    };
+
+    // Poll until the run has published something and the response carries
+    // the round-duration family (the first snapshot may still be empty).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let body = loop {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("endpoint accepts");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("application/openmetrics-text"), "{response}");
+        if response.contains("maglog_round_duration_seconds") {
+            break response;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("endpoint never served the round histogram: {response}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(body.contains("strategy=\"seminaive\""), "{body}");
+    assert!(body.contains("# EOF"), "{body}");
+
+    // The server keeps running after the report — that is the contract —
+    // so the test must interrupt it.
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+#[test]
 fn non_monotonic_program_makes_check_fail() {
     let dir = std::env::temp_dir().join("maglog_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
