@@ -782,12 +782,27 @@ pub fn render_human(env: &BenchEnv, measurements: &[WorkloadMeasurement]) -> Str
 
 // ---------------------------------------------------------------- baseline
 
-/// Median wall-clock per (workload, size, strategy) read from a baseline
+/// One baseline cell: the gated median plus whatever attribution figures
+/// the baseline document carried. v1 documents only have a timing figure
+/// (and round counts); v2 documents carry the full work-counter set, so a
+/// gate failure against them can say *which* counters moved.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineCell {
+    pub median_secs: f64,
+    pub mad_secs: Option<f64>,
+    pub rounds: Option<u64>,
+    pub firings: Option<u64>,
+    pub derivations: Option<u64>,
+    pub pruned: Option<u64>,
+    pub peak_heap_bytes: Option<u64>,
+}
+
+/// Per-(workload, size, strategy) baseline figures read from a committed
 /// document.
 #[derive(Clone, Debug)]
 pub struct Baseline {
     pub schema: String,
-    pub medians: BTreeMap<(String, usize, String), f64>,
+    pub cells: BTreeMap<(String, usize, String), BaselineCell>,
 }
 
 fn workload_key(w: &JsonValue) -> Result<(String, usize), String> {
@@ -816,7 +831,8 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
         .get("workloads")
         .and_then(|v| v.as_arr())
         .ok_or("baseline missing \"workloads\" array")?;
-    let mut medians = BTreeMap::new();
+    let mut cells = BTreeMap::new();
+    let counter = |s: &JsonValue, key: &str| s.get(key).and_then(|v| v.as_f64()).map(|x| x as u64);
     match schema.as_str() {
         "maglog-bench-v1" => {
             for w in workloads {
@@ -826,7 +842,19 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
                     .ok_or_else(|| format!("workload {name:?} missing \"seconds\""))?;
                 for strat in STRATEGIES {
                     if let Some(x) = seconds.get(strat).and_then(|v| v.as_f64()) {
-                        medians.insert((name.clone(), size, strat.to_string()), x);
+                        let rounds = w
+                            .get("rounds")
+                            .and_then(|r| r.get(strat))
+                            .and_then(|v| v.as_f64())
+                            .map(|x| x as u64);
+                        cells.insert(
+                            (name.clone(), size, strat.to_string()),
+                            BaselineCell {
+                                median_secs: x,
+                                rounds,
+                                ..BaselineCell::default()
+                            },
+                        );
                     }
                 }
             }
@@ -838,22 +866,40 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
                     .get("strategies")
                     .ok_or_else(|| format!("workload {name:?} missing \"strategies\""))?;
                 for strat in STRATEGIES {
-                    if let Some(x) = strategies
-                        .get(strat)
-                        .and_then(|s| s.get("median_secs"))
-                        .and_then(|v| v.as_f64())
-                    {
-                        medians.insert((name.clone(), size, strat.to_string()), x);
-                    }
+                    let Some(s) = strategies.get(strat) else { continue };
+                    let Some(x) = s.get("median_secs").and_then(|v| v.as_f64()) else {
+                        continue;
+                    };
+                    cells.insert(
+                        (name.clone(), size, strat.to_string()),
+                        BaselineCell {
+                            median_secs: x,
+                            mad_secs: s.get("mad_secs").and_then(|v| v.as_f64()),
+                            rounds: counter(s, "rounds"),
+                            firings: counter(s, "firings"),
+                            derivations: counter(s, "derivations"),
+                            pruned: counter(s, "pruned"),
+                            peak_heap_bytes: counter(s, "peak_heap_bytes"),
+                        },
+                    );
                 }
             }
         }
         other => return Err(format!("unsupported baseline schema {other:?}")),
     }
-    Ok(Baseline { schema, medians })
+    Ok(Baseline { schema, cells })
 }
 
 // ---------------------------------------------------------------- gate
+
+/// A work counter that moved between the baseline and the current run —
+/// the attribution a bare timing ratio lacks.
+#[derive(Clone, Debug)]
+pub struct CounterDelta {
+    pub name: &'static str,
+    pub baseline: u64,
+    pub current: u64,
+}
 
 /// One cell whose current median exceeds the gated baseline.
 #[derive(Clone, Debug)]
@@ -864,6 +910,13 @@ pub struct Regression {
     pub baseline_secs: f64,
     pub current_secs: f64,
     pub ratio: f64,
+    /// Counters that moved against the baseline (empty when none did, or
+    /// when the baseline carries no counters).
+    pub counters: Vec<CounterDelta>,
+    /// Whether the baseline carried any counters to compare at all — a
+    /// v1 timing-only baseline can't distinguish "more work" from
+    /// "same work, slower".
+    pub counters_available: bool,
 }
 
 /// The gate verdict over a whole run.
@@ -898,18 +951,24 @@ pub fn gate(
     for m in measurements {
         for s in &m.strategies {
             let key = (m.workload.clone(), m.size, s.strategy.to_string());
-            match baseline.medians.get(&key) {
-                Some(&base) if base > 0.0 => {
+            match baseline.cells.get(&key) {
+                Some(cell) if cell.median_secs > 0.0 => {
                     outcome.compared += 1;
-                    let ratio = s.stats.median / base;
+                    let ratio = s.stats.median / cell.median_secs;
                     if ratio > threshold {
                         outcome.regressions.push(Regression {
                             workload: m.workload.clone(),
                             size: m.size,
                             strategy: s.strategy.to_string(),
-                            baseline_secs: base,
+                            baseline_secs: cell.median_secs,
                             current_secs: s.stats.median,
                             ratio,
+                            counters: counter_deltas(cell, s),
+                            counters_available: cell.firings.is_some()
+                                || cell.derivations.is_some()
+                                || cell.rounds.is_some()
+                                || cell.pruned.is_some()
+                                || cell.peak_heap_bytes.is_some(),
                         });
                     }
                 }
@@ -918,6 +977,27 @@ pub fn gate(
         }
     }
     outcome
+}
+
+/// The baseline counters the current measurement disagrees with.
+fn counter_deltas(cell: &BaselineCell, s: &StrategyMeasurement) -> Vec<CounterDelta> {
+    let pairs = [
+        ("rounds", cell.rounds, s.rounds as u64),
+        ("firings", cell.firings, s.firings),
+        ("derivations", cell.derivations, s.derivations),
+        ("pruned", cell.pruned, s.pruned),
+        ("peak_heap_bytes", cell.peak_heap_bytes, s.peak_heap_bytes),
+    ];
+    pairs
+        .into_iter()
+        .filter_map(|(name, base, current)| {
+            base.filter(|&b| b != current).map(|baseline| CounterDelta {
+                name,
+                baseline,
+                current,
+            })
+        })
+        .collect()
 }
 
 /// Render the gate verdict for the terminal.
@@ -940,6 +1020,31 @@ pub fn render_gate(outcome: &GateOutcome, threshold: f64) -> String {
             fmt_secs(r.baseline_secs),
             r.ratio
         ));
+        if !r.counters.is_empty() {
+            let deltas: Vec<String> = r
+                .counters
+                .iter()
+                .map(|c| {
+                    let (b, cur) = if c.name == "peak_heap_bytes" {
+                        (fmt_bytes(c.baseline), fmt_bytes(c.current))
+                    } else {
+                        (c.baseline.to_string(), c.current.to_string())
+                    };
+                    if c.baseline > 0 {
+                        format!(
+                            "{} {b} -> {cur} ({:.2}x)",
+                            c.name,
+                            c.current as f64 / c.baseline as f64
+                        )
+                    } else {
+                        format!("{} {b} -> {cur}", c.name)
+                    }
+                })
+                .collect();
+            out.push_str(&format!("  counters: {}\n", deltas.join(", ")));
+        } else if r.counters_available {
+            out.push_str("  counters unchanged: same work, slower — timing-only regression\n");
+        }
     }
     if outcome.passed() {
         out.push_str("gate: OK\n");
@@ -1057,7 +1162,7 @@ mod tests {
         assert!(human.contains("scaling"), "{human}");
         // Baselines still parse documents carrying the scaling section.
         let base = parse_baseline(&render_v2(&env, &[m])).unwrap();
-        assert_eq!(base.medians.len(), 3);
+        assert_eq!(base.cells.len(), 3);
     }
 
     #[test]
@@ -1158,12 +1263,19 @@ mod tests {
         assert!(doc.contains("\"pruned\": 42"));
         let base = parse_baseline(&doc).unwrap();
         assert_eq!(base.schema, "maglog-bench-v2");
-        assert_eq!(
-            base.medians
-                .get(&("shortest_path".into(), 16, "seminaive".into())),
-            Some(&0.0125)
-        );
-        assert_eq!(base.medians.len(), 3);
+        let cell = base
+            .cells
+            .get(&("shortest_path".into(), 16, "seminaive".into()))
+            .unwrap();
+        assert_eq!(cell.median_secs, 0.0125);
+        // v2 baselines carry the full attribution counter set.
+        assert_eq!(cell.firings, Some(9));
+        assert_eq!(cell.derivations, Some(8));
+        assert_eq!(cell.rounds, Some(4));
+        assert_eq!(cell.pruned, Some(42));
+        assert_eq!(cell.peak_heap_bytes, Some(4096));
+        assert_eq!(cell.mad_secs, Some(0.0125 * 0.05));
+        assert_eq!(base.cells.len(), 3);
     }
 
     #[test]
@@ -1184,12 +1296,15 @@ mod tests {
         let doc = crate::render_bench_json("abc1234", 3, &[rec]);
         let base = parse_baseline(&doc).unwrap();
         assert_eq!(base.schema, "maglog-bench-v1");
-        assert_eq!(
-            base.medians
-                .get(&("shortest_path".into(), 16, "naive".into())),
-            Some(&0.020)
-        );
-        assert_eq!(base.medians.len(), 3);
+        let cell = base
+            .cells
+            .get(&("shortest_path".into(), 16, "naive".into()))
+            .unwrap();
+        assert_eq!(cell.median_secs, 0.020);
+        // v1 has rounds but no work counters: attribution degrades.
+        assert_eq!(cell.rounds, Some(4));
+        assert_eq!(cell.firings, None);
+        assert_eq!(base.cells.len(), 3);
     }
 
     #[test]
@@ -1227,14 +1342,114 @@ mod tests {
         let text = render_gate(&fail, 1.25);
         assert!(text.contains("REGRESSION shortest_path/16 seminaive"));
         assert!(text.contains("gate: FAIL (3 regressions)"));
+        // Identical counters on both sides: the attribution line says so
+        // rather than staying silent.
+        assert!(
+            text.contains("counters unchanged: same work, slower"),
+            "{text}"
+        );
+        // Every offending cell is enumerated, not just the first.
+        for strat in STRATEGIES {
+            assert!(
+                text.contains(&format!("REGRESSION shortest_path/16 {strat}")),
+                "{text}"
+            );
+        }
 
         // Cells the baseline lacks are reported, not failed.
         let empty = Baseline {
             schema: "maglog-bench-v2".into(),
-            medians: BTreeMap::new(),
+            cells: BTreeMap::new(),
         };
         let none = gate(&[m], &empty, 1.25);
         assert!(none.passed());
         assert_eq!(none.missing, 3);
+    }
+
+    #[test]
+    fn gate_attributes_which_counters_moved() {
+        let env = BenchEnv {
+            commit: "x".into(),
+            rustc: "r".into(),
+            cpus: 1,
+            warmup: 1,
+            samples: 1,
+            optimize: Vec::new(),
+            workers: 1,
+        };
+        // The baseline run did less work: fewer firings, smaller heap.
+        let mut slow = fake_measurement(0.005);
+        for s in &mut slow.strategies {
+            s.firings = 5;
+            s.peak_heap_bytes = 2048;
+        }
+        let base = parse_baseline(&render_v2(&env, &[slow])).unwrap();
+        let m = fake_measurement(0.010);
+        let fail = gate(std::slice::from_ref(&m), &base, 1.25);
+        assert_eq!(fail.regressions.len(), 3);
+        for r in &fail.regressions {
+            assert!(r.counters_available);
+            let names: Vec<&str> = r.counters.iter().map(|c| c.name).collect();
+            assert_eq!(names, ["firings", "peak_heap_bytes"]);
+        }
+        let text = render_gate(&fail, 1.25);
+        assert!(
+            text.contains(
+                "  counters: firings 5 -> 9 (1.80x), \
+                 peak_heap_bytes 2.0 KiB -> 4.0 KiB (2.00x)"
+            ),
+            "{text}"
+        );
+
+        // A v1 baseline has rounds but no work counters; when rounds
+        // agree the regression reports no counter attribution at all.
+        let rec = crate::BenchRecord {
+            workload: "shortest_path".into(),
+            size: 16,
+            edb_facts: 48,
+            tuples: 120,
+            rounds_seminaive: 4,
+            rounds_naive: 4,
+            rounds_greedy: 4,
+            secs_seminaive: 0.005,
+            secs_naive: 0.005,
+            secs_greedy: 0.005,
+            profile: None,
+        };
+        let v1 = parse_baseline(&crate::render_bench_json("abc", 1, &[rec])).unwrap();
+        let fail = gate(std::slice::from_ref(&m), &v1, 1.25);
+        assert_eq!(fail.regressions.len(), 3);
+        assert!(fail.regressions.iter().all(|r| r.counters.is_empty()));
+        assert!(fail.regressions.iter().all(|r| r.counters_available));
+    }
+
+    #[test]
+    fn rendered_v2_documents_self_diff_clean() {
+        let env = BenchEnv {
+            commit: "x".into(),
+            rustc: "r".into(),
+            cpus: 1,
+            warmup: 1,
+            samples: 3,
+            optimize: Vec::new(),
+            workers: 1,
+        };
+        let mut m = fake_measurement(0.010);
+        m.strategies[0].pruned = 7;
+        m.scaling = vec![ScalingPoint {
+            workers: 1,
+            stats: SampleStats {
+                median: 0.010,
+                min: 0.009,
+                mad: 0.0005,
+                ..Default::default()
+            },
+            speedup: 1.0,
+        }];
+        let doc = render_v2(&env, &[m]);
+        let report = maglog_engine::diff_texts(&doc, &doc).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.compared > 0);
+        assert_eq!(report.unchanged, report.compared);
     }
 }

@@ -57,12 +57,18 @@ fn harness_measures_and_gates_a_real_run() {
     assert_eq!(outcome.compared, 3);
     assert!(outcome.passed());
 
-    // ...and a doctored much-faster baseline fails the gate.
+    // ...and a doctored much-faster baseline fails the gate — with the
+    // attribution machinery seeing identical work counters.
     let mut fast = parse_baseline(&doc).unwrap();
-    for v in fast.medians.values_mut() {
-        *v /= 1000.0;
+    for cell in fast.cells.values_mut() {
+        cell.median_secs /= 1000.0;
     }
-    assert!(!gate(&measurements, &fast, 1.25).passed());
+    let failed = gate(&measurements, &fast, 1.25);
+    assert!(!failed.passed());
+    assert!(failed
+        .regressions
+        .iter()
+        .all(|r| r.counters_available && r.counters.is_empty()));
 
     // The human table renders every strategy row with a real peak column.
     let table = render_human(&env, &measurements);

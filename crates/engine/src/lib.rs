@@ -43,6 +43,7 @@
 
 pub mod aggregate;
 pub mod alloc;
+pub mod diff;
 pub mod edb;
 pub mod error;
 pub mod eval;
@@ -60,6 +61,10 @@ pub mod trace;
 pub mod value;
 
 pub use alloc::CountingAlloc;
+pub use diff::{
+    diff_documents, diff_texts, parse_document, DiffEntry, DiffReport, DocKind, Document,
+    Figure, DIFF_SCHEMA,
+};
 pub use edb::Edb;
 pub use error::EvalError;
 pub use eval::{why_not, EvalOptions, EvalStats, MonotonicEngine, Strategy};
@@ -77,7 +82,9 @@ pub use profile::{
     fmt_bytes, fmt_nanos, render_profile_json, MetricsSink, ParallelProfile, ProfileReport,
     TraceSink,
 };
-pub use trace::{validate_chrome_trace, SpanSink, TraceCheck, Tracer, TRACE_SCHEMA};
+pub use trace::{
+    render_collapsed_stacks, validate_chrome_trace, SpanSink, TraceCheck, Tracer, TRACE_SCHEMA,
+};
 pub use provenance::{
     explain_tree, parse_goal, render_explain_dot, render_explain_human, render_explain_json,
     render_why_not_human, render_why_not_json, AggWitness, BodyAtom, Capture, DerivationNode,

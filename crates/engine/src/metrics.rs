@@ -83,11 +83,21 @@ impl Histogram {
     }
 
     pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value at once — equivalent to
+    /// `n` calls to [`Histogram::record`] but O(1). This is how a parsed
+    /// cumulative `le` series is replayed back into a histogram.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let i = Self::bucket_index(v);
         if self.counts.len() <= i {
             self.counts.resize(i + 1, 0);
         }
-        self.counts[i] = self.counts[i].saturating_add(1);
+        self.counts[i] = self.counts[i].saturating_add(n);
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -95,8 +105,8 @@ impl Histogram {
             self.min = self.min.min(v);
             self.max = self.max.max(v);
         }
-        self.count = self.count.saturating_add(1);
-        self.sum = self.sum.saturating_add(v);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
     }
 
     /// Fold another histogram into this one, losslessly: bucket counts
@@ -1262,6 +1272,23 @@ fn unescape_help(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut one = Histogram::new();
+        let mut bulk = Histogram::new();
+        for (v, n) in [(0u64, 3u64), (7, 1), (100, 5), (1 << 40, 2)] {
+            for _ in 0..n {
+                one.record(v);
+            }
+            bulk.record_n(v, n);
+        }
+        bulk.record_n(999, 0); // no-op, must not disturb extrema
+        assert_eq!(one, bulk);
+        assert_eq!(bulk.count(), 11);
+        assert_eq!(bulk.min(), Some(0));
+        assert_eq!(bulk.max(), Some(1 << 40));
+    }
 
     #[test]
     fn bucket_index_is_continuous_and_inverts() {

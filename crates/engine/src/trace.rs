@@ -31,7 +31,7 @@ use crate::eval::Strategy;
 use crate::events::{Clock, EventSink, SystemClock};
 use crate::jsonish::{self, json_escape, JsonValue};
 use maglog_datalog::{Pred, Program};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// Schema tag written into the trace footer.
@@ -651,6 +651,93 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     Ok(check)
 }
 
+/// Render a `maglog-trace-v1` document to collapsed-stack format — one
+/// line per distinct span path with its summed *self* time in
+/// nanoseconds, `lane;span;span… <ns>` — the text format flame-graph
+/// tools (inferno, speedscope) load directly. Lanes become root frames
+/// (`main`, `worker 0`, …) so a multi-worker trace folds into one graph
+/// without timestamp collisions. Counter and meta events carry no
+/// duration and are skipped.
+///
+/// The document is checked with [`validate_chrome_trace`] first, so
+/// `trace-flame` and `trace-validate` accept exactly the same inputs.
+pub fn render_collapsed_stacks(text: &str) -> Result<String, String> {
+    validate_chrome_trace(text)?;
+    let doc = jsonish::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "missing `traceEvents` array".to_string())?;
+
+    // Frame names join with `;`, so a `;` inside a name would split the
+    // path; the collapsed format has no escape, the convention is to
+    // substitute.
+    let clean = |name: &str| name.replace(';', ",");
+
+    struct Frame {
+        name: String,
+        start: f64,
+        /// Microseconds consumed by already-closed children.
+        child: f64,
+    }
+    let mut lane_names: HashMap<i64, String> = HashMap::new();
+    let mut stacks: HashMap<i64, Vec<Frame>> = HashMap::new();
+    let mut self_us: BTreeMap<String, f64> = BTreeMap::new();
+
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        let name = e.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        let tid = e.get("tid").and_then(|v| v.as_f64()).unwrap_or(0.0) as i64;
+        let ts = e.get("ts").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        match ph {
+            "M" if name == "thread_name" => {
+                if let Some(label) = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                {
+                    lane_names.insert(tid, clean(label));
+                }
+            }
+            "B" => stacks.entry(tid).or_default().push(Frame {
+                name: clean(name),
+                start: ts,
+                child: 0.0,
+            }),
+            "E" => {
+                // The validator already guaranteed balance and name
+                // agreement; an unmatched E can only follow drops.
+                let stack = stacks.entry(tid).or_default();
+                let Some(frame) = stack.pop() else { continue };
+                let dur = (ts - frame.start).max(0.0);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child += dur;
+                }
+                let mut path = lane_names
+                    .get(&tid)
+                    .cloned()
+                    .unwrap_or_else(|| format!("lane {tid}"));
+                for f in stack.iter() {
+                    path.push(';');
+                    path.push_str(&f.name);
+                }
+                path.push(';');
+                path.push_str(&frame.name);
+                *self_us.entry(path).or_insert(0.0) += (dur - frame.child).max(0.0);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    for (path, us) in &self_us {
+        // `ts` is µs at nanosecond precision (3 decimals), so this
+        // round-trips the original integer nanoseconds exactly.
+        out.push_str(&format!("{path} {}\n", (us * 1000.0).round() as u64));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,6 +838,41 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("thread_name"), "{err}");
+    }
+
+    #[test]
+    fn collapsed_stacks_sum_self_time_per_path() {
+        let t = manual_tracer(1);
+        // Explicit timestamps; the manual clock is never consulted.
+        t.push_at(0, MAIN_LANE, Ph::Counter, "counter", NameRef::Static("heap"), vec![("live", 0), ("peak", 0)]);
+        t.push_at(0, MAIN_LANE, Ph::Begin, "phase", NameRef::Static("eval"), Vec::new());
+        t.push_at(100, MAIN_LANE, Ph::Begin, "round", NameRef::Static("round"), Vec::new());
+        t.push_at(400, MAIN_LANE, Ph::End, "round", NameRef::Static("round"), Vec::new());
+        t.push_at(400, MAIN_LANE, Ph::Begin, "round", NameRef::Static("round"), Vec::new());
+        t.push_at(900, MAIN_LANE, Ph::End, "round", NameRef::Static("round"), Vec::new());
+        t.push_at(1000, MAIN_LANE, Ph::End, "phase", NameRef::Static("eval"), Vec::new());
+        // Worker lane with a `;` in an interned name: substituted, not
+        // allowed to split the frame path.
+        let merge = t.intern("merge;shard");
+        t.push_at(200, 1, Ph::Begin, "worker", merge, Vec::new());
+        t.push_at(500, 1, Ph::End, "worker", merge, Vec::new());
+
+        let json = t.render_chrome_json("p");
+        let collapsed = render_collapsed_stacks(&json).unwrap();
+        // eval self = 1000 − (300 + 500) child ns; the two same-named
+        // round spans sum into one line.
+        assert_eq!(
+            collapsed,
+            "main;eval 200\n\
+             main;eval;round 800\n\
+             worker 0;merge,shard 300\n",
+        );
+    }
+
+    #[test]
+    fn collapsed_stacks_reject_what_the_validator_rejects() {
+        let err = render_collapsed_stacks("{\"traceEvents\": []}").unwrap_err();
+        assert!(err.contains("otherData"), "{err}");
     }
 
     #[test]

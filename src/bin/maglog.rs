@@ -8,8 +8,17 @@
 //! maglog compare <program.mgl>           minimal model vs Kemp–Stuckey WFS
 //! maglog explain <program.mgl>           components, CDB/LDB, plans-eye view
 //! maglog explain [opts] <program.mgl> '<fact>'   why / why-not a fact
+//! maglog diff [opts] <before> <after>    compare two telemetry documents
 //! maglog trace-validate <trace.json>     check a maglog-trace-v1 document
+//! maglog trace-flame <trace.json>        collapsed stacks for flame-graph tools
 //! maglog metrics-validate <out.prom>     check an OpenMetrics 1.0 exposition
+//! ```
+//!
+//! `diff` options:
+//!
+//! ```text
+//! --format=human|json   ranked report, or the maglog-diff-v1 document
+//! --gate RATIO          exit 1 when any regression exceeds RATIO
 //! ```
 //!
 //! `check` options:
@@ -86,11 +95,12 @@ use maglog::bench::v2;
 use maglog::datalog::{graph::components, parse_program, Program};
 use maglog::engine::trace::{NameRef, MAIN_LANE};
 use maglog::engine::{
-    alloc, available_workers, explain_tree, fmt_bytes, parse_goal, parse_openmetrics,
-    render_explain_dot, render_explain_human, render_explain_json, render_profile_json,
-    render_why_not_human, render_why_not_json, validate_chrome_trace, why_not, Edb, EvalOptions,
-    Fanout, HistogramSink, MetricSet, MetricsServer, MetricsSink, Model, MonotonicEngine,
-    Optimize, Registry, SpanSink, Strategy, TraceSink, Tracer, Tuple, TRACE_SCHEMA,
+    alloc, available_workers, diff_documents, explain_tree, fmt_bytes, parse_document,
+    parse_goal, parse_openmetrics, render_collapsed_stacks, render_explain_dot,
+    render_explain_human, render_explain_json, render_profile_json, render_why_not_human,
+    render_why_not_json, validate_chrome_trace, why_not, Document, Edb, EvalOptions, Fanout,
+    HistogramSink, MetricSet, MetricsServer, MetricsSink, Model, MonotonicEngine, Optimize,
+    Registry, SpanSink, Strategy, TraceSink, Tracer, Tuple, TRACE_SCHEMA,
 };
 use std::process::ExitCode;
 
@@ -100,7 +110,7 @@ use std::process::ExitCode;
 static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 const USAGE: &str = "\
-usage: maglog <check|run|profile|bench|compare|explain> [args]
+usage: maglog <check|run|profile|bench|diff|compare|explain> [args]
 
   check   [--format=human|json] [--deny <CODE|all|warnings>] [--allow <CODE>] <program.mgl>
   check   --explain <CODE>
@@ -113,10 +123,12 @@ usage: maglog <check|run|profile|bench|compare|explain> [args]
   bench   [--samples <N>] [--warmup <N>] [--workloads <a,b>] [--sizes <n,m>]
           [--format=human|json] [--out <FILE>] [--baseline <FILE>] [--gate <RATIO>]
           [--optimize[=prem,demand]] [--parallel[=N]] [--trace <FILE>] [--metrics <FILE>]
+  diff    [--format=human|json] [--gate <RATIO>] <before> <after>
   compare <program.mgl>
   explain <program.mgl>
   explain [--why-not] [--format=human|json|dot] [--depth <N>] <program.mgl> '<fact>'
   trace-validate <trace.json>
+  trace-flame <trace.json>
   metrics-validate <metrics.prom>
 
 profile evaluates under every strategy (or just --strategy) and reports
@@ -131,7 +143,22 @@ company_control, circuit, party) under all three strategies: median, min,
 and MAD over --samples timed runs, throughput, and peak heap per cell.
 --format=json prints the maglog-bench-v2 document; with --baseline the
 run's medians are gated against a committed v1 or v2 document and any
-cell slower than baseline x RATIO (default 1.25) fails the run.
+cell slower than baseline x RATIO (default 1.25) fails the run; the
+failure enumerates every offending cell and which work counters moved.
+
+diff compares two telemetry captures of the same kind — maglog-profile-v1
+or maglog-bench-v2 JSON, or an OpenMetrics exposition (the kind is
+sniffed) — and reports what changed, worst regressions first, with
+noise-aware significance (bench deltas below the measured MAD, allocator
+figures within 2%, and histogram quantiles within bucket resolution are
+not flagged); see docs/diffing.md. --format=json emits the stable
+maglog-diff-v1 document; --gate RATIO exits 1 when any regression exceeds
+RATIO. Exit codes: 0 clean (or no gate), 1 gated regression, 2 on
+unreadable/mismatched documents.
+
+trace-flame folds a maglog-trace-v1 timeline into collapsed-stack lines
+(lane;span;...;span <self-nanos>) for inferno or speedscope; it accepts
+exactly the documents trace-validate accepts.
 
 explain with a quoted fact answers WHY it holds — a depth-bounded
 derivation tree with rule firings, cost-refinement history, and aggregate
@@ -427,6 +454,16 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "diff" {
+        let (opts, operands) = match parse_diff_opts(rest) {
+            Ok(x) => x,
+            Err(ArgError::Usage(msg)) => return usage_exit(&msg),
+        };
+        let [before, after] = operands.as_slice() else {
+            return usage_exit("diff takes exactly two telemetry documents");
+        };
+        return cmd_diff(before, after, &opts);
+    }
     // The other subcommands take no flags.
     if let Some(flag) = rest.iter().find(|a| a.starts_with('-')) {
         return usage_exit(&format!("unknown flag '{flag}'"));
@@ -436,6 +473,8 @@ fn main() -> ExitCode {
         ("compare", _) => return usage_exit("compare requires a program file"),
         ("trace-validate", [path]) => cmd_trace_validate(path),
         ("trace-validate", _) => return usage_exit("trace-validate requires a trace file"),
+        ("trace-flame", [path]) => cmd_trace_flame(path),
+        ("trace-flame", _) => return usage_exit("trace-flame requires a trace file"),
         ("metrics-validate", [path]) => cmd_metrics_validate(path),
         ("metrics-validate", _) => {
             return usage_exit("metrics-validate requires an OpenMetrics file")
@@ -1356,6 +1395,109 @@ fn cmd_profile(path: &str, opts: &ProfileOpts) -> Result<(), String> {
 /// lane's B/E spans balance, timestamps are monotone per lane, lanes are
 /// named, and the heap counter was sampled. CI runs this over every
 /// example program's trace.
+struct DiffOpts {
+    format: Format,
+    /// Exit 1 when any regression's direction-corrected factor exceeds
+    /// this ratio.
+    gate: Option<f64>,
+}
+
+fn parse_diff_opts(args: &[String]) -> Result<(DiffOpts, Vec<String>), ArgError> {
+    let mut opts = DiffOpts {
+        format: Format::Human,
+        gate: None,
+    };
+    let mut operands = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            match inline_value.clone().or_else(|| it.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(ArgError::Usage(format!("{name} requires a value"))),
+            }
+        };
+        match flag {
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(ArgError::Usage(format!("unknown format '{other}'")))
+                    }
+                };
+            }
+            "--gate" => {
+                let v = value("--gate")?;
+                opts.gate = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                        .ok_or_else(|| {
+                            ArgError::Usage(format!("--gate needs a positive ratio, got '{v}'"))
+                        })?,
+                );
+            }
+            f if f.starts_with('-') => {
+                return Err(ArgError::Usage(format!("unknown flag '{f}'")));
+            }
+            _ => operands.push(arg.clone()),
+        }
+    }
+    Ok((opts, operands))
+}
+
+/// Diff two telemetry captures. Returns the exit code directly because
+/// the contract distinguishes gate failures (1) from unreadable or
+/// kind-mismatched documents (2) — and the latter should not dump the
+/// whole usage blob the way a flag typo does.
+fn cmd_diff(before_path: &str, after_path: &str, opts: &DiffOpts) -> ExitCode {
+    let load = |path: &str| -> Result<Document, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_document(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let report = match (|| {
+        let before = load(before_path)?;
+        let after = load(after_path)?;
+        diff_documents(&before, &after)
+    })() {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.format {
+        Format::Human => print!("{}", report.render_human(before_path, after_path)),
+        Format::Json => println!("{}", report.to_json(before_path, after_path)),
+    }
+    if let Some(threshold) = opts.gate {
+        let failures = report.gate_failures(threshold);
+        if !failures.is_empty() {
+            eprintln!(
+                "diff gate: FAIL ({} regression(s) beyond {threshold}x)",
+                failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("diff gate: OK (threshold {threshold}x)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fold a `maglog-trace-v1` timeline into collapsed-stack lines for
+/// flame-graph tools. Validation runs first, so this accepts exactly
+/// what `trace-validate` accepts.
+fn cmd_trace_flame(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let collapsed = render_collapsed_stacks(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{collapsed}");
+    Ok(())
+}
+
 fn cmd_trace_validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let check = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;

@@ -230,6 +230,9 @@ fn bench_emits_v2_json_and_gates_against_baselines() {
     let err = stderr(&out);
     assert!(err.contains("REGRESSION shortest_path/16"), "{err}");
     assert!(err.contains("gate: FAIL"), "{err}");
+    // Only the medians were doctored, so the attribution line reports a
+    // timing-only regression: identical work, slower.
+    assert!(err.contains("counters unchanged"), "{err}");
 
     // The legacy v1 schema still reads as a baseline (its min-of-samples
     // figure stands in for the median) — same doctored-fast failure.
@@ -1204,4 +1207,236 @@ fn non_monotonic_program_makes_check_fail() {
     let out = maglog(&["check", file.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(stdout(&out).contains("conflict-free:    no"));
+}
+
+// ---------------------------------------------------------------- diff
+
+/// Handcrafted bench-v2 "before" capture for diff tests: one cell, one
+/// strategy, MAD small enough that a 2x median move is significant.
+const DIFF_BENCH_BEFORE: &str = r#"{
+  "schema": "maglog-bench-v2",
+  "environment": {"commit": "aaa", "rustc": "r", "cpus": 1, "warmup": 0,
+                  "samples": 1, "workers": 1, "optimize": []},
+  "workloads": [
+    {"workload": "shortest_path", "size": 16, "edb_facts": 48, "tuples": 120,
+     "strategies": {
+       "seminaive": {"rounds": 4, "firings": 100, "derivations": 80,
+         "median_secs": 0.001, "min_secs": 0.0009, "mad_secs": 0.00001,
+         "p50_secs": 0.001, "p90_secs": 0.0011, "p99_secs": 0.0012,
+         "tuples_per_sec": 120000.0, "derivations_per_sec": 8000.0,
+         "peak_heap_bytes": 4096}},
+     "scaling": []}
+  ]
+}"#;
+
+fn diff_fixture(name: &str, text: &str) -> PathBuf {
+    let path = trace_tmp(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn diff_self_is_clean_for_all_three_document_kinds() {
+    // Profile document.
+    let out = maglog(&["profile", "--format=json", "programs/shortest_path.mgl"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let profile = diff_fixture("diff_profile.json", &stdout(&out));
+
+    // OpenMetrics exposition.
+    let metrics = trace_tmp("diff_metrics.prom");
+    let out = maglog(&[
+        "run",
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Bench document (one tiny cell).
+    let bench = trace_tmp("diff_bench.json");
+    let out = maglog(&[
+        "bench", "--samples", "1", "--warmup", "0", "--workloads", "shortest_path",
+        "--sizes", "16", "--format=json", "--out", bench.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    for (path, kind) in [
+        (&profile, "maglog-profile-v1"),
+        (&bench, "maglog-bench-v2"),
+        (&metrics, "openmetrics"),
+    ] {
+        let p = path.to_str().unwrap();
+        let out = maglog(&["diff", p, p]);
+        assert!(out.status.success(), "{kind}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains(&format!("maglog diff ({kind})")), "{text}");
+        assert!(text.contains("no significant differences"), "{kind}: {text}");
+
+        // Even with a gate, a self-diff exits 0.
+        let out = maglog(&["diff", "--gate", "1.01", p, p]);
+        assert!(out.status.success(), "{kind}: {}", stderr(&out));
+        assert!(stderr(&out).contains("diff gate: OK"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn diff_reports_and_gates_a_forced_bench_regression() {
+    let before = diff_fixture("diff_before.json", DIFF_BENCH_BEFORE);
+    let after_text = DIFF_BENCH_BEFORE
+        .replace("\"firings\": 100", "\"firings\": 150")
+        .replace("\"median_secs\": 0.001,", "\"median_secs\": 0.002,");
+    let after = diff_fixture("diff_after.json", &after_text);
+    let (b, a) = (before.to_str().unwrap(), after.to_str().unwrap());
+
+    // Without a gate the diff reports but exits 0.
+    let out = maglog(&["diff", b, a]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("regressions (worst first):"), "{text}");
+    assert!(text.contains("firings: 100 -> 150"), "{text}");
+    assert!(text.contains("median_secs"), "{text}");
+
+    // The JSON rendering is the stable maglog-diff-v1 document with
+    // per-cell, per-counter attribution.
+    let out = maglog(&["diff", "--format=json", b, a]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"schema\": \"maglog-diff-v1\""), "{text}");
+    assert!(text.contains("\"metric\": \"firings\""), "{text}");
+    assert!(text.contains("\"path\": \"shortest_path/16 seminaive\""), "{text}");
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "{text}");
+
+    // Gate below the 1.5x firings factor: exit 1.
+    let out = maglog(&["diff", "--gate", "1.25", b, a]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("diff gate: FAIL"), "{}", stderr(&out));
+
+    // Gate above every observed factor: exit 0 despite the regressions.
+    let out = maglog(&["diff", "--gate", "3.0", b, a]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("diff gate: OK"), "{}", stderr(&out));
+}
+
+#[test]
+fn diff_usage_and_parse_errors_exit_two() {
+    let good = diff_fixture("diff_good.json", DIFF_BENCH_BEFORE);
+    let g = good.to_str().unwrap();
+
+    // Wrong operand counts and bad flags are usage errors.
+    for args in [
+        &["diff"][..],
+        &["diff", g][..],
+        &["diff", g, g, g][..],
+        &["diff", "--unknown", g, g][..],
+        &["diff", "--gate", "0", g, g][..],
+        &["diff", "--gate", "nope", g, g][..],
+        &["diff", "--format=xml", g, g][..],
+    ] {
+        let out = maglog(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("usage"), "{args:?}: {}", stderr(&out));
+    }
+
+    // Unreadable or unparseable documents exit 2 with the reason — but
+    // without the usage blob (the flags were fine).
+    let garbage = diff_fixture("diff_garbage.json", "not a telemetry document");
+    for args in [
+        &["diff", "/nonexistent/before.json", g][..],
+        &["diff", g, garbage.to_str().unwrap()][..],
+    ] {
+        let out = maglog(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "{args:?}: {err}");
+        assert!(!err.contains("usage:"), "{args:?}: {err}");
+    }
+
+    // Mismatched document kinds are a parse-level error, not a report.
+    let metrics = diff_fixture(
+        "diff_kind.prom",
+        "# TYPE x counter\n# HELP x X.\nx_total 1\n# EOF\n",
+    );
+    let out = maglog(&["diff", g, metrics.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("kinds differ"), "{}", stderr(&out));
+}
+
+#[test]
+fn bench_gate_failure_attributes_moved_counters() {
+    let dir = std::env::temp_dir().join("maglog_cli_diff_gate_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("base.json");
+    let cell = &[
+        "--samples", "1", "--warmup", "0", "--workloads", "shortest_path", "--sizes", "16",
+    ][..];
+    let out = maglog(
+        &[&["bench", "--format=json", "--out", baseline.to_str().unwrap()], cell].concat(),
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Doctor the baseline: faster medians AND fewer firings, as if the
+    // baseline commit did less work.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let firings: u64 = text
+        .split("\"firings\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("bench doc has a firings counter");
+    let doctored = dir.join("doctored.json");
+    std::fs::write(
+        &doctored,
+        text.replace("\"median_secs\": 0.", "\"median_secs\": 0.000000000")
+            .replace(
+                &format!("\"firings\": {firings}"),
+                &format!("\"firings\": {}", firings / 2),
+            ),
+    )
+    .unwrap();
+
+    let out = maglog(&[&["bench", "--baseline", doctored.to_str().unwrap()], cell].concat());
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    // Every offending cell is enumerated with counter attribution.
+    for strat in ["seminaive", "naive", "greedy"] {
+        assert!(err.contains(&format!("REGRESSION shortest_path/16 {strat}")), "{err}");
+    }
+    assert!(err.contains("counters: firings"), "{err}");
+    assert!(err.contains(&format!("firings {} -> {firings}", firings / 2)), "{err}");
+}
+
+// ---------------------------------------------------------------- trace-flame
+
+#[test]
+fn trace_flame_renders_collapsed_stacks() {
+    let path = trace_tmp("flame.json");
+    let out = maglog(&[
+        "run",
+        "--trace",
+        path.to_str().unwrap(),
+        "programs/shortest_path.mgl",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = maglog(&["trace-flame", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Every line is `path space nanos`, rooted at the main lane.
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(line.starts_with("main;"), "{line}");
+        let (_, ns) = line.rsplit_once(' ').expect("self-time column");
+        ns.parse::<u64>().unwrap_or_else(|_| panic!("bad self-time in {line:?}"));
+    }
+    assert!(text.contains("main;eval"), "{text}");
+
+    // Corrupt documents are rejected (same contract as trace-validate).
+    let bad = trace_tmp("flame_bad.json");
+    std::fs::write(&bad, "{}\n").unwrap();
+    let out = maglog(&["trace-flame", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+
+    // Missing operand is a usage error.
+    let out = maglog(&["trace-flame"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
 }
